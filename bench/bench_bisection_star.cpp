@@ -1,0 +1,59 @@
+// E8 (Theorem 4.1): star-graph bisection width = N/4 +- o(N).
+// Lower: BATT chain; upper: exact (n=4), KL and layout-slice witnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E8: star-graph bisection width (Theorem 4.1)",
+                    "B = N/4 +- o(N); substar cut overshoots by n/(n-1)");
+  benchutil::row_labels({"n", "N/4", "lb(BATT)", "exact", "KL", "slice", "substar"});
+  for (int n : {4, 5, 6}) {
+    const std::int64_t N = factorial(n);
+    const double lb = core::bisection_lb_batt(N, core::star_te_time(n, static_cast<double>(N)));
+    const auto r = core::star_layout(n);
+    std::string exact = "-";
+    if (N <= 32) exact = std::to_string(bisect::exact_bisection(r.graph).width);
+    std::string kl = "-";
+    if (N <= 200) kl = std::to_string(bisect::kernighan_lin_bisection(r.graph, 4).width);
+    const auto slice = bisect::layout_slice_bisection(r.graph, r.structure.placement);
+    std::string substar = "-";
+    if (n % 2 == 0) substar = std::to_string(bisect::star_substar_bisection(r.graph, n).width);
+    std::printf("%16lld%16lld%16.1f%16s%16s%16lld%16s\n", static_cast<long long>(n),
+                static_cast<long long>(N / 4), lb, exact.c_str(), kl.c_str(),
+                static_cast<long long>(slice.width), substar.c_str());
+  }
+  std::printf("\n(the slice column is the balanced cut read off our own layout —\n"
+              " the paper's 'area implies bisection' direction made concrete.)\n");
+}
+
+void BM_ExactBisectionStar4(benchmark::State& state) {
+  const auto g = starlay::topology::star_graph(4);
+  for (auto _ : state) {
+    auto r = starlay::bisect::exact_bisection(g);
+    benchmark::DoNotOptimize(r.width);
+  }
+}
+BENCHMARK(BM_ExactBisectionStar4)->Unit(benchmark::kMillisecond);
+
+void BM_KlBisectionStar5(benchmark::State& state) {
+  const auto g = starlay::topology::star_graph(5);
+  for (auto _ : state) {
+    auto r = starlay::bisect::kernighan_lin_bisection(g, 2);
+    benchmark::DoNotOptimize(r.width);
+  }
+}
+BENCHMARK(BM_KlBisectionStar5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

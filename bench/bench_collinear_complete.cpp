@@ -1,0 +1,61 @@
+// E1 (Lemma 2.1a / Theorem 3.5): collinear K_m track counts.
+// Claim: exactly floor(m^2/4) tracks, strictly optimal (equals the
+// bisection width); 25% below the Chen-Agrawal bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/collinear_complete.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/layout/validate.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E1: collinear complete-graph layout (Lemma 2.1a, Thm 3.5)",
+                    "tracks = floor(m^2/4), optimal; both backends agree");
+  benchutil::row_labels({"m", "tracks(LE)", "tracks(paper)", "floor(m^2/4)", "valid", "area"});
+  for (int m : {4, 8, 16, 32, 64, 128}) {
+    const auto le = core::collinear_complete_layout(m, core::TrackBackend::kLeftEdge);
+    const auto pr = core::collinear_complete_layout(m, core::TrackBackend::kPaperRule);
+    const bool valid = layout::validate_layout(le.graph, le.routed.layout).ok &&
+                       layout::validate_layout(pr.graph, pr.routed.layout).ok;
+    std::printf("%16d%16d%16d%16lld%16s%16lld\n", m, le.tracks, pr.tracks,
+                static_cast<long long>(core::collinear_complete_tracks(m)),
+                valid ? "yes" : "NO", static_cast<long long>(le.routed.layout.area()));
+  }
+}
+
+void BM_CollinearLeftEdge(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::collinear_complete_layout(m);
+    benchmark::DoNotOptimize(r.tracks);
+  }
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_CollinearLeftEdge)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+void BM_CollinearPaperRule(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::collinear_complete_layout(m, starlay::core::TrackBackend::kPaperRule);
+    benchmark::DoNotOptimize(r.tracks);
+  }
+}
+BENCHMARK(BM_CollinearPaperRule)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_ValidateCollinear(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto r = starlay::core::collinear_complete_layout(m);
+  for (auto _ : state) {
+    auto rep = starlay::layout::validate_layout(r.graph, r.routed.layout);
+    benchmark::DoNotOptimize(rep.ok);
+  }
+}
+BENCHMARK(BM_ValidateCollinear)->Arg(64)->Arg(128);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

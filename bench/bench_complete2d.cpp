@@ -1,0 +1,65 @@
+// E2 (Lemma 2.1b): 2-D complete-graph layout areas.
+// Claim: undirected m^4/16 + O(m^3.5); directed m^4/4 + O(m^3.5).
+// The "model" column includes the paper's explicit second-order node term
+// (width = m2 (m2 floor(m1^2/4) + m - 1)), against which the measured
+// ratio should be ~1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/math.hpp"
+
+namespace {
+
+double model_area(int m) {
+  const auto f = starlay::grid_factors(m);
+  const double w = f.cols * (static_cast<double>(f.cols) * (f.rows * f.rows / 4) + m - 1);
+  const double h = f.rows * (static_cast<double>(f.rows) * (f.cols * f.cols / 4) + m - 1);
+  return w * h;
+}
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E2: 2-D complete-graph layouts (Lemma 2.1b)",
+                    "undirected area -> m^4/16; directed -> m^4/4 (4x)");
+  benchutil::row_labels({"m", "area", "m^4/16", "ratio", "model-ratio", "valid"});
+  for (int m : {9, 16, 25, 36, 64, 100, 144}) {
+    const auto r = core::complete2d_layout(m);
+    const double area = static_cast<double>(r.routed.layout.area());
+    const bool valid = layout::validate_layout(r.graph, r.routed.layout).ok;
+    std::printf("%16d%16.0f%16.0f%16.3f%16.3f%16s\n", m, area, core::complete2d_area(m),
+                area / core::complete2d_area(m), area / model_area(m), valid ? "yes" : "NO");
+  }
+  std::printf("\ndirected vs undirected (claim: 4x):\n");
+  benchutil::row_labels({"m", "undirected", "directed", "ratio"});
+  for (int m : {16, 36, 64}) {
+    const double u = static_cast<double>(core::complete2d_layout(m).routed.layout.area());
+    const double d = static_cast<double>(core::complete2d_directed_layout(m).routed.layout.area());
+    std::printf("%16d%16.0f%16.0f%16.3f\n", m, u, d, d / u);
+  }
+}
+
+void BM_Complete2D(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::complete2d_layout(m);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_Complete2D)->Arg(16)->Arg(64)->Arg(144);
+
+void BM_Complete2DDirected(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::complete2d_directed_layout(m);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_Complete2DDirected)->Arg(16)->Arg(64);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,99 @@
+// E12 (extended-grid node sizes + BAUT): the paper's smaller-node regime
+// (Lemma 2.1 / Theorem 3.7 allow node sides below the degree) realized by
+// four-sided attachment routing, and the BAUT unicast-throughput bound of
+// Section 3.1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/comm/unicast.hpp"
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E12a: extended-grid (four-sided) complete-graph layouts",
+                    "node side drops from m-1 toward (m-1)/2; area shrinks");
+  benchutil::row_labels({"m", "w(2side)", "area(2side)", "w(4side)", "area(4side)", "gain"});
+  for (int m : {16, 36, 64, 100}) {
+    const auto two = core::complete2d_layout(m);
+    const auto four_l = core::complete2d_compact_layout(m);
+    const bool ok = layout::validate_layout(four_l.graph, four_l.routed.layout).ok;
+    std::printf("%16d%16lld%16lld%16lld%16lld%16.2f%s\n", m,
+                static_cast<long long>(two.routed.node_size),
+                static_cast<long long>(two.routed.layout.area()),
+                static_cast<long long>(four_l.routed.node_size),
+                static_cast<long long>(four_l.routed.layout.area()),
+                static_cast<double>(two.routed.layout.area()) /
+                    static_cast<double>(four_l.routed.layout.area()),
+                ok ? "" : "   ** INVALID **");
+  }
+
+  std::printf("\nstar graphs (degree n-1 is small: jog overhead ~ node shrink):\n");
+  benchutil::row_labels({"n", "area(2side)", "area(4side)", "gain"});
+  for (int n : {5, 6}) {
+    const auto two = core::star_layout(n);
+    const auto four_l = core::star_layout_compact(n);
+    std::printf("%16d%16lld%16lld%16.2f\n", n,
+                static_cast<long long>(two.routed.layout.area()),
+                static_cast<long long>(four_l.routed.layout.area()),
+                static_cast<double>(two.routed.layout.area()) /
+                    static_cast<double>(four_l.routed.layout.area()));
+  }
+
+  benchutil::header("E12b: BAUT — unicast-throughput lower bounds (Sec. 3.1)",
+                    "B >= lambda N / 4 with measured achievable lambda");
+  benchutil::row_labels({"network", "N", "lambda", "B>=", "actual-B"});
+  struct Net {
+    const char* name;
+    topology::Graph g;
+    double b;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"star4", topology::star_graph(4), 8});
+  nets.push_back({"hcn2", topology::hcn(2), 4});
+  nets.push_back({"Q5", topology::hypercube(5), 16});
+  nets.push_back({"K16", topology::complete_graph(16), 64});
+  for (auto& net : nets) {
+    const comm::DistanceTable dt(net.g);
+    const auto r = comm::route_random_permutations(net.g, dt, 8);
+    std::printf("%16s%16d%16.3f%16.2f%16.0f\n", net.name, net.g.num_vertices(), r.rate,
+                comm::bisection_lb_baut(net.g.num_vertices(), r.rate), net.b);
+  }
+
+  std::printf("\ntransposition graph (Sec. 2.4's 'other networks'):\n");
+  benchutil::row_labels({"n", "nodes", "deg", "area", "valid"});
+  for (int n : {3, 4}) {
+    const auto r = core::transposition_layout(n);
+    std::printf("%16d%16d%16d%16lld%16s\n", n, r.graph.num_vertices(), r.graph.degree(0),
+                static_cast<long long>(r.routed.layout.area()),
+                layout::validate_layout(r.graph, r.routed.layout).ok ? "yes" : "NO");
+  }
+}
+
+void BM_CompactK64(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = starlay::core::complete2d_compact_layout(64);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_CompactK64)->Unit(benchmark::kMillisecond);
+
+void BM_UnicastStar5(benchmark::State& state) {
+  const auto g = starlay::topology::star_graph(5);
+  const starlay::comm::DistanceTable dt(g);
+  for (auto _ : state) {
+    auto r = starlay::comm::route_random_permutations(g, dt, 4);
+    benchmark::DoNotOptimize(r.rate);
+  }
+}
+BENCHMARK(BM_UnicastStar5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,57 @@
+// E2-figure (Fig. 1): the undirected K_9 layout on a 3x3 node grid.
+// The paper's figure: after halving the directed layout's 12 tracks per
+// channel, 6 vertical tracks remain between neighboring columns and 10/2/6
+// horizontal tracks above the three rows.  We print our channel histogram
+// next to those figures and emit the ASCII art of the layout.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/complete2d.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/render/render.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E2-figure: undirected K_9 on a 3x3 grid (Fig. 1)",
+                    "directed K_9 used 12 tracks/channel; undirected keeps "
+                    "6 vertical and 10/2/6 horizontal");
+  const auto r = core::complete2d_layout(9);
+  std::printf("grid: %dx%d   area: %lld   valid: %s\n", r.grid_rows, r.grid_cols,
+              static_cast<long long>(r.routed.layout.area()),
+              layout::validate_layout(r.graph, r.routed.layout).ok ? "yes" : "NO");
+  std::printf("horizontal tracks per row channel (paper: 10, 2, 6):");
+  for (std::int32_t t : r.routed.row_channel_tracks) std::printf(" %d", t);
+  std::printf("\nvertical tracks per column channel (paper: 6, 6, 6):  ");
+  for (std::int32_t t : r.routed.col_channel_tracks) std::printf(" %d", t);
+  std::printf("\ntotal horizontal: ours=%d paper=18; total vertical: ours=%d paper=18\n",
+              r.routed.row_channel_tracks[0] + r.routed.row_channel_tracks[1] +
+                  r.routed.row_channel_tracks[2],
+              r.routed.col_channel_tracks[0] + r.routed.col_channel_tracks[1] +
+                  r.routed.col_channel_tracks[2]);
+  std::printf("\nASCII rendering ('#' = node, '-'/'|' = wires, '+' = crossing):\n%s\n",
+              render::to_ascii(r.routed.layout).c_str());
+}
+
+void BM_K9Layout(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = starlay::core::complete2d_layout(9);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_K9Layout);
+
+void BM_K9Ascii(benchmark::State& state) {
+  const auto r = starlay::core::complete2d_layout(9);
+  for (auto _ : state) {
+    auto art = starlay::render::to_ascii(r.routed.layout);
+    benchmark::DoNotOptimize(art.size());
+  }
+}
+BENCHMARK(BM_K9Ascii);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,59 @@
+// E5 (Lemma 2.4 / Theorem 3.10): HCN/HFN layout areas.
+// Claim: area = N^2/16 + o(N^2) for both; diameter links cost only
+// lower-order area.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hcn_layout.hpp"
+#include "starlay/layout/validate.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E5: HCN / HFN layout area (Lemma 2.4, Thm 3.10)",
+                    "area -> N^2/16 for both networks");
+  benchutil::row_labels({"h", "N", "HCN-area", "HFN-area", "N^2/16", "HCN-ratio", "HFN-ratio"});
+  std::vector<int> sizes{2, 3, 4, 5};
+  if (std::getenv("STARLAY_BIG")) sizes.push_back(6);
+  for (int h : sizes) {
+    const double N = static_cast<double>(1 << (2 * h));
+    const auto rc = core::hcn_layout(h);
+    const auto rf = core::hfn_layout(h);
+    const double ac = static_cast<double>(rc.routed.layout.area());
+    const double af = static_cast<double>(rf.routed.layout.area());
+    if (!layout::validate_layout(rc.graph, rc.routed.layout).ok ||
+        !layout::validate_layout(rf.graph, rf.routed.layout).ok)
+      std::printf("INVALID LAYOUT at h=%d\n", h);
+    std::printf("%16d%16.0f%16.0f%16.0f%16.0f%16.3f%16.3f\n", h, N, ac, af,
+                core::hcn_area(N), ac / core::hcn_area(N), af / core::hcn_area(N));
+  }
+  std::printf("\n(ratios decrease toward 1; at small N the (log2 N + 1)-sized nodes\n"
+              " dominate, exactly the o(N^2) the paper's extended grid absorbs.)\n");
+}
+
+void BM_HcnLayout(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::hcn_layout(h);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_HcnLayout)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_HfnLayout(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::hfn_layout(h);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_HfnLayout)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

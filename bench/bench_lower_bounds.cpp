@@ -1,0 +1,58 @@
+// E7b (Theorems 3.1-3.5, 3.7, 3.8, 3.10): the lower-bound story.
+// Claims: BATT beats Sykora-Vrt'o's star lower bound 12.25x (single TE)
+// plus another ~4x (pipelined); upper/lower ratios -> 1 + o(1).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/lower_bounds.hpp"
+#include "starlay/support/math.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E7b: area lower bounds (Theorems 3.1-3.5, 3.7, 3.10)",
+                    "upper/lower -> 1 + o(1); 12.25x then 4x over [22]");
+  std::printf("\nstar graph (Theorem 3.7):\n");
+  benchutil::row_labels({"n", "upper", "lb-single", "lb-pipelined", "ratio", "vs[22]lb"});
+  for (int n : {6, 8, 10, 12, 16, 20}) {
+    const auto s = core::star_area_bounds(n);
+    const double N = static_cast<double>(s.nodes);
+    std::printf("%16d%16.3e%16.3e%16.3e%16.4f%16.2f\n", n, s.upper_formula, s.lb_batt_single,
+                s.lb_batt_pipelined, s.ratio,
+                s.lb_batt_pipelined / core::sykora_vrto_star_lower_bound(N));
+  }
+  std::printf("\nHCN/HFN (Theorem 3.10):\n");
+  benchutil::row_labels({"h", "N", "upper", "lb-pipelined", "ratio"});
+  for (int h : {3, 5, 8, 12}) {
+    const auto s = core::hcn_area_bounds(h);
+    std::printf("%16d%16lld%16.3e%16.3e%16.6f\n", h, static_cast<long long>(s.nodes),
+                s.upper_formula, s.lb_batt_pipelined, s.ratio);
+  }
+  std::printf("\ncomplete graph (Theorem 3.5):\n");
+  benchutil::row_labels({"m", "upper", "lb", "ratio"});
+  for (int m : {8, 32, 128}) {
+    const auto s = core::complete_area_bounds(m);
+    std::printf("%16d%16.3e%16.3e%16.4f\n", m, s.upper_formula, s.lb_batt_single, s.ratio);
+  }
+  std::printf("\nmultilayer star X-Y bounds (Theorem 3.8), n = 16:\n");
+  benchutil::row_labels({"L", "upper", "lb", "ratio"});
+  for (int L : {2, 3, 4, 6, 9}) {
+    const auto s = core::star_xy_bounds(16, L);
+    std::printf("%16d%16.3e%16.3e%16.4f\n", L, s.upper_formula, s.lb_batt, s.ratio);
+  }
+}
+
+void BM_StarBounds(benchmark::State& state) {
+  for (auto _ : state) {
+    auto s = starlay::core::star_area_bounds(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(s.ratio);
+  }
+}
+BENCHMARK(BM_StarBounds)->Arg(10)->Arg(20);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,65 @@
+// E3 (Lemma 2.2 / Theorem 3.7): star-graph layout area.
+// Claim: area = N^2/16 + o(N^2), 72x below Sykora-Vrt'o, within 1 + o(1)
+// of the BATT lower bound.  measured/claim must decrease toward 1.
+// STARLAY_BIG=1 adds n = 8 (about a second); STARLAY_BIG=2 adds n = 9.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/core/star_model.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/math.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E3: star-graph layout area (Lemma 2.2, Thm 3.7)",
+                    "area -> N^2/16; 72x below Sykora-Vrt'o 4.5N^2; "
+                    "upper/lower -> 1 + o(1)");
+  benchutil::row_labels(
+      {"n", "N", "area", "N^2/16", "ratio", "model-ratio", "vsSykoraVrto", "valid"});
+  std::vector<int> sizes{4, 5, 6, 7};
+  const char* big = std::getenv("STARLAY_BIG");
+  if (big) sizes.push_back(8);
+  if (big && std::atoi(big) >= 2) sizes.push_back(9);  // ~1 min, ~2 GB
+  for (int n : sizes) {
+    const auto r = core::star_layout(n);
+    const double N = static_cast<double>(factorial(n));
+    const double area = static_cast<double>(r.routed.layout.area());
+    const bool valid = layout::validate_layout(r.graph, r.routed.layout).ok;
+    const double model = core::star_area_model(n).area;
+    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16s\n", n, N, area,
+                core::star_area(N), area / core::star_area(N), area / model,
+                area / core::sykora_vrto_star_area(N), valid ? "yes" : "NO");
+  }
+  std::printf("\n(n >= 9: the ratio continues toward 1; the per-level channel tail\n"
+              " decays like 1/sqrt(n) and node rectangles like n*sqrt(N)/N.)\n");
+}
+
+void BM_StarLayout(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::star_layout(n);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_StarLayout)->Arg(5)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_StarValidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto r = starlay::core::star_layout(n);
+  for (auto _ : state) {
+    auto rep = starlay::layout::validate_layout(r.graph, r.routed.layout);
+    benchmark::DoNotOptimize(rep.ok);
+  }
+}
+BENCHMARK(BM_StarValidate)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

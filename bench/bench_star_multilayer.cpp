@@ -1,0 +1,50 @@
+// E4 (Lemma 2.3 / Theorem 3.8): multilayer X-Y star layouts.
+// Claim: area = N^2/(4L^2) (even L) or N^2/(4(L^2-1)) (odd L); odd L
+// strictly beats L-1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/multilayer_star.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/math.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E4: multilayer star layouts (Lemma 2.3, Thm 3.8)",
+                    "area = N^2/(4L^2) even L, N^2/(4(L^2-1)) odd L");
+  for (int n : {6, 7}) {
+    const double N = static_cast<double>(factorial(n));
+    std::printf("\nn = %d (N = %.0f):\n", n, N);
+    benchutil::row_labels({"L", "area", "claimA(L)", "gain-vs-L2", "claim-gain", "valid"});
+    double area2 = 0;
+    for (int L : {2, 3, 4, 5, 6, 8}) {
+      const auto r = core::multilayer_star_layout(n, L);
+      const double area = static_cast<double>(r.routed.layout.area());
+      if (L == 2) area2 = area;
+      const bool valid = layout::validate_layout(r.graph, r.routed.layout).ok;
+      std::printf("%16d%16.0f%16.0f%16.3f%16.3f%16s\n", L, area,
+                  core::multilayer_star_area(N, L), area2 / area,
+                  core::multilayer_star_area(N, 2) / core::multilayer_star_area(N, L),
+                  valid ? "yes" : "NO");
+    }
+  }
+  std::printf("\n(gain-vs-L2 trails claim-gain at small n because node rectangles\n"
+              " do not shrink with L; the channel part scales as claimed.)\n");
+}
+
+void BM_MultilayerStar(benchmark::State& state) {
+  const int L = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = starlay::core::multilayer_star_layout(6, L);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_MultilayerStar)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,74 @@
+// E6 (headline / Section 1): the Akers-Krishnamurthy question.
+// Claims: (1) a star graph packs tighter than a similar-size hypercube —
+// leading constants 1/16 vs 4/9, ratio 64/9 = 7.1(1); (2) an n-star can
+// NOT be laid out as efficiently as the (much smaller) n-cube.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hypercube_layout.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/support/math.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E6: star vs hypercube (the 1986 open question)",
+                    "similar size: star wins by up to 64/9 = 7.11x; same n: n-cube wins");
+  std::printf("\nmeasured area / nodes^2 (lower = denser packing):\n");
+  benchutil::row_labels({"network", "nodes", "area", "area/N^2", "claimedconst"});
+  struct Row {
+    const char* name;
+    double nodes, area, claimed;
+  };
+  std::vector<Row> rows;
+  for (int n : {5, 6, 7}) {
+    const auto r = core::star_layout(n);
+    const double N = static_cast<double>(factorial(n));
+    rows.push_back({"star", N, static_cast<double>(r.routed.layout.area()), 1.0 / 16});
+  }
+  for (int d : {7, 9, 12}) {
+    const auto r = core::hypercube_layout(d);
+    const double N = static_cast<double>(1 << d);
+    rows.push_back({"hypercube", N, static_cast<double>(r.routed.layout.area()), 4.0 / 9});
+  }
+  for (const auto& r : rows)
+    std::printf("%16s%16.0f%16.0f%16.5f%16.5f\n", r.name, r.nodes, r.area,
+                r.area / (r.nodes * r.nodes), r.claimed);
+
+  std::printf("\nheadline ratio (hypercube const / star const): claimed %.4f\n",
+              core::star_vs_hypercube_ratio());
+  std::printf("measured at closest sizes (star 7 vs Q_12): %.4f\n",
+              (rows[5].area / (rows[5].nodes * rows[5].nodes)) /
+                  (rows[2].area / (rows[2].nodes * rows[2].nodes)));
+
+  std::printf("\nsame-n comparison (claim: N^2/16 for n! nodes >> (4/9) 4^n for 2^n):\n");
+  benchutil::row_labels({"n", "star-area", "n-cube-area", "star/cube"});
+  for (int n : {5, 6, 7}) {
+    const double sa = static_cast<double>(core::star_layout(n).routed.layout.area());
+    const double ca = static_cast<double>(core::hypercube_layout(n).routed.layout.area());
+    std::printf("%16d%16.0f%16.0f%16.1f\n", n, sa, ca, sa / ca);
+  }
+}
+
+void BM_StarLayoutN6(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = starlay::core::star_layout(6);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_StarLayoutN6)->Unit(benchmark::kMillisecond);
+
+void BM_HypercubeLayoutD10(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = starlay::core::hypercube_layout(10);
+    benchmark::DoNotOptimize(r.routed.layout.area());
+  }
+}
+BENCHMARK(BM_HypercubeLayoutD10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,77 @@
+// E7 (Lemmas 3.6/3.9 substrate): total-exchange times.
+// Claims: star TE achievable in 2N + o(N) (single) and nN/(n-1) amortized
+// (pipelined); HCN/HFN throughput -> 1/N; hypercube TE = N/2 exactly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "starlay/comm/te.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E7: total-exchange times (Lemmas 3.6 / 3.9)",
+                    "greedy all-port simulation vs the paper's formulas");
+  benchutil::row_labels(
+      {"network", "N", "greedy-1", "greedy-2/2", "2N", "lb(N^2/4B)", "shortest"});
+  struct Net {
+    std::string name;
+    topology::Graph g;
+    std::int64_t bisection;
+  };
+  std::vector<Net> nets;
+  nets.push_back({"star4", topology::star_graph(4), 8});
+  nets.push_back({"star5", topology::star_graph(5), 32});   // KL upper bound witness
+  nets.push_back({"hcn(h=2)", topology::hcn(2), 4});
+  nets.push_back({"hfn(h=2)", topology::hfn(2), 4});
+  nets.push_back({"Q4", topology::hypercube(4), 8});
+  nets.push_back({"K16", topology::complete_graph(16), 64});
+  for (auto& net : nets) {
+    const comm::DistanceTable dt(net.g);
+    const auto one = comm::greedy_te(net.g, dt, 1);
+    const auto two = comm::greedy_te(net.g, dt, 2);
+    const auto lb =
+        comm::te_time_lower_bounds(net.g.num_vertices(), net.bisection, net.g.max_degree());
+    std::printf("%16s%16d%16lld%16.1f%16d%16lld%16s\n", net.name.c_str(),
+                net.g.num_vertices(), static_cast<long long>(one.steps),
+                static_cast<double>(two.steps) / 2.0, 2 * net.g.num_vertices(),
+                static_cast<long long>(lb.bisection),
+                one.all_shortest_paths ? "yes" : "no");
+  }
+
+  std::printf("\noptimal hypercube TE schedule (Konig coloring):\n");
+  benchutil::row_labels({"d", "steps", "N/2", "optimal"});
+  for (int d : {3, 5, 7, 9, 11}) {
+    const auto s = comm::hypercube_te_schedule(d);
+    const std::int64_t steps = comm::execute_hypercube_te(s);
+    std::printf("%16d%16lld%16d%16s\n", d, static_cast<long long>(steps), (1 << d) / 2,
+                steps == (1 << d) / 2 ? "yes" : "NO");
+  }
+}
+
+void BM_GreedyTeStar5(benchmark::State& state) {
+  const auto g = starlay::topology::star_graph(5);
+  const starlay::comm::DistanceTable dt(g);
+  for (auto _ : state) {
+    auto r = starlay::comm::greedy_te(g, dt);
+    benchmark::DoNotOptimize(r.steps);
+  }
+}
+BENCHMARK(BM_GreedyTeStar5)->Unit(benchmark::kMillisecond);
+
+void BM_HypercubeTeSchedule(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto s = starlay::comm::hypercube_te_schedule(d);
+    benchmark::DoNotOptimize(s.steps);
+  }
+}
+BENCHMARK(BM_HypercubeTeSchedule)->Arg(6)->Arg(9)->Arg(11)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table)

@@ -1,0 +1,44 @@
+#pragma once
+/// \file bench_util.hpp
+/// \brief Shared table printing for the experiment benches.
+///
+/// Every bench binary first prints its experiment table (paper-claimed vs
+/// measured) and then runs google-benchmark timings for the constructive
+/// kernels.  The tables are what EXPERIMENTS.md records.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace starlay::benchutil {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row_labels(const std::vector<std::string>& cols) {
+  for (const auto& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "---------------");
+  std::printf("\n");
+}
+
+inline void cell(const char* fmt, double v) { std::printf(fmt, v); }
+
+/// Standard main: print the experiment table, then run timings.
+#define STARLAY_BENCH_MAIN(print_table_fn)                          \
+  int main(int argc, char** argv) {                                 \
+    print_table_fn();                                               \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }
+
+}  // namespace starlay::benchutil

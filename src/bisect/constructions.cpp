@@ -1,0 +1,60 @@
+#include <algorithm>
+#include <numeric>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+#include "starlay/topology/permutation.hpp"
+
+namespace starlay::bisect {
+
+BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::Placement& p) {
+  const std::int32_t n = g.num_vertices();
+  p.check(n);
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    if (p.col_of(a) != p.col_of(b)) return p.col_of(a) < p.col_of(b);
+    return p.row_of(a) < p.row_of(b);
+  });
+  BisectionResult res;
+  res.side.assign(static_cast<std::size_t>(n), 1);
+  for (std::int32_t i = 0; i < n / 2; ++i)
+    res.side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 0;
+  res.width = partition_cut(g, res.side);
+  return res;
+}
+
+BisectionResult hcn_cluster_bisection(const topology::Graph& g, int h) {
+  const std::int32_t M = std::int32_t{1} << h;
+  STARLAY_REQUIRE(g.num_vertices() == M * M, "hcn_cluster_bisection: size mismatch");
+  STARLAY_REQUIRE(h >= 2, "hcn_cluster_bisection: need M >= 4 clusters");
+  BisectionResult res;
+  res.side.assign(static_cast<std::size_t>(M) * M, 1);
+  for (std::int32_t c = 0; c < M; ++c) {
+    const bool side0 = c < M / 4 || c >= 3 * M / 4;
+    if (!side0) continue;
+    for (std::int32_t x = 0; x < M; ++x)
+      res.side[static_cast<std::size_t>(topology::hcn_vertex(h, c, x))] = 0;
+  }
+  res.width = partition_cut(g, res.side);
+  return res;
+}
+
+BisectionResult star_substar_bisection(const topology::Graph& g, int n) {
+  STARLAY_REQUIRE(g.num_vertices() == starlay::factorial(n),
+                  "star_substar_bisection: size mismatch");
+  STARLAY_REQUIRE(n % 2 == 0, "star_substar_bisection: balanced only for even n "
+                              "(the paper's Theorem 4.1 remark)");
+  BisectionResult res;
+  res.side.assign(static_cast<std::size_t>(g.num_vertices()), 1);
+  for (std::int64_t r = 0; r < g.num_vertices(); ++r) {
+    const topology::Perm p = topology::perm_unrank(r, n);
+    if (p[static_cast<std::size_t>(n - 1)] <= n / 2) res.side[static_cast<std::size_t>(r)] = 0;
+  }
+  res.width = partition_cut(g, res.side);
+  return res;
+}
+
+}  // namespace starlay::bisect

@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::bisect {
+
+namespace {
+
+/// DFS over assignments of vertices 0..N-1 to sides, vertex order as given.
+/// The partial cut (edges with both endpoints assigned, on opposite sides)
+/// is monotone in the assignment prefix, so "partial >= best" prunes.
+class ExactSolver {
+ public:
+  explicit ExactSolver(const topology::Graph& g)
+      : g_(g), n_(g.num_vertices()), side_(static_cast<std::size_t>(n_), 0) {
+    // Adjacency restricted to already-assigned vertices: since we assign in
+    // id order, neighbors with smaller id are assigned when v is placed.
+    best_side_ = side_;
+  }
+
+  BisectionResult solve() {
+    const std::int32_t size0 = n_ / 2;
+    const std::int32_t size1 = n_ - size0;
+    best_ = g_.num_edges() + 1;
+    side_[0] = 0;  // WLOG
+    dfs(1, 1, 0, size0, size1, 0);
+    return {best_, best_side_};
+  }
+
+ private:
+  void dfs(std::int32_t v, std::int32_t c0, std::int32_t c1, std::int32_t size0,
+           std::int32_t size1, std::int64_t cut) {
+    if (cut >= best_) return;
+    if (v == n_) {
+      best_ = cut;
+      best_side_ = side_;
+      return;
+    }
+    // Remaining capacity check.
+    const std::int32_t remaining = n_ - v;
+    if (c0 + remaining < size0 || c1 + remaining < size1) return;
+
+    for (std::uint8_t s : {std::uint8_t{0}, std::uint8_t{1}}) {
+      if (s == 0 && c0 == size0) continue;
+      if (s == 1 && c1 == size1) continue;
+      std::int64_t delta = 0;
+      for (std::size_t i = 0; i < g_.neighbors(v).size(); ++i) {
+        const std::int32_t w = g_.neighbors(v)[i];
+        if (w < v && side_[static_cast<std::size_t>(w)] != s) ++delta;
+      }
+      side_[static_cast<std::size_t>(v)] = s;
+      dfs(v + 1, c0 + (s == 0 ? 1 : 0), c1 + (s == 1 ? 1 : 0), size0, size1, cut + delta);
+    }
+  }
+
+  const topology::Graph& g_;
+  std::int32_t n_;
+  std::vector<std::uint8_t> side_;
+  std::vector<std::uint8_t> best_side_;
+  std::int64_t best_ = 0;
+};
+
+}  // namespace
+
+BisectionResult exact_bisection(const topology::Graph& g) {
+  STARLAY_REQUIRE(g.num_vertices() >= 2, "exact_bisection: need >= 2 vertices");
+  STARLAY_REQUIRE(g.num_vertices() <= 32,
+                  "exact_bisection: too large; use kernighan_lin_bisection");
+  return ExactSolver(g).solve();
+}
+
+std::int64_t partition_cut(const topology::Graph& g, const std::vector<std::uint8_t>& side) {
+  STARLAY_REQUIRE(static_cast<std::int32_t>(side.size()) == g.num_vertices(),
+                  "partition_cut: side size mismatch");
+  std::int64_t cut = 0;
+  for (const auto& e : g.edges())
+    if (side[static_cast<std::size_t>(e.u)] != side[static_cast<std::size_t>(e.v)]) ++cut;
+  return cut;
+}
+
+}  // namespace starlay::bisect

@@ -1,0 +1,55 @@
+#pragma once
+/// \file bisect.hpp
+/// \brief Bisection-width computation (Section 4).
+///
+/// Three independent attacks, combined by the benches exactly as the paper
+/// combines them:
+///  * exact_bisection — branch-and-bound over balanced partitions; feasible
+///    to ~30 vertices (covers the 4-star, K_m, HCN/HFN-16);
+///  * kernighan_lin_bisection — multi-start KL heuristic (upper bounds);
+///  * constructive partitions — the paper's cluster/substar cuts and the
+///    cut induced by slicing an actual layout down its middle (the
+///    upper-bound half of Theorems 4.1/4.2);
+///  * the TE-throughput lower bound lives in core/formulas.hpp
+///    (bisection_lb_batt), closing the sandwich.
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::bisect {
+
+struct BisectionResult {
+  std::int64_t width = 0;
+  std::vector<std::uint8_t> side;  ///< witness partition (0/1 per vertex)
+};
+
+/// Exact minimum balanced cut via DFS with partial-cut pruning.
+/// Sides have sizes floor(N/2) and ceil(N/2); vertex 0 is pinned to side 0
+/// (WLOG).  Throws if num_vertices > 32 (use the heuristic instead).
+BisectionResult exact_bisection(const topology::Graph& g);
+
+/// Kernighan-Lin with \p restarts random starts (deterministic seeds).
+BisectionResult kernighan_lin_bisection(const topology::Graph& g, int restarts = 8);
+
+/// Cut size of a given 0/1 partition (must be balanced to be a bisection).
+std::int64_t partition_cut(const topology::Graph& g, const std::vector<std::uint8_t>& side);
+
+/// The cut induced by slicing a placed layout at the median column:
+/// vertices ordered by (col, row), first half vs rest.  This is the
+/// "VLSI area => bisection upper bound" direction of Theorem 4.1.
+BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::Placement& p);
+
+/// Theorem 4.2's construction for HCN/HFN with 2^(2h) nodes: side 0 holds
+/// clusters [0, M/4) and [3M/4, M), which confines every diameter link and
+/// cuts exactly N/4 inter-cluster links.
+BisectionResult hcn_cluster_bisection(const topology::Graph& g, int h);
+
+/// Substar partition of the n-star: side 0 = the first floor(n/2)
+/// (n-1)-substars (by last symbol).  Balanced only for even n; the paper
+/// notes this gives N/4 * n/(n-1) > N/4, i.e. substar cuts are NOT optimal.
+BisectionResult star_substar_bisection(const topology::Graph& g, int n);
+
+}  // namespace starlay::bisect

@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::bisect {
+
+namespace {
+
+/// One KL pass: repeatedly swap the best (unlocked) pair across the cut,
+/// tracking the best prefix of the swap sequence.
+std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) {
+  const std::int32_t n = g.num_vertices();
+  // D-values: external - internal cost per vertex.
+  std::vector<std::int64_t> D(static_cast<std::size_t>(n), 0);
+  const auto recompute_d = [&]() {
+    std::fill(D.begin(), D.end(), 0);
+    for (const auto& e : g.edges()) {
+      const bool cutedge = side[static_cast<std::size_t>(e.u)] != side[static_cast<std::size_t>(e.v)];
+      const std::int64_t s = cutedge ? 1 : -1;
+      D[static_cast<std::size_t>(e.u)] += s;
+      D[static_cast<std::size_t>(e.v)] += s;
+    }
+  };
+  recompute_d();
+
+  std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<std::int32_t, std::int32_t>> swaps;
+  std::vector<std::int64_t> gains;
+  const std::int32_t pairs = n / 2;
+  for (std::int32_t round = 0; round < pairs; ++round) {
+    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+    std::int32_t ba = -1, bb = -1;
+    for (std::int32_t a = 0; a < n; ++a) {
+      if (locked[static_cast<std::size_t>(a)] || side[static_cast<std::size_t>(a)] != 0) continue;
+      for (std::int32_t b = 0; b < n; ++b) {
+        if (locked[static_cast<std::size_t>(b)] || side[static_cast<std::size_t>(b)] != 1) continue;
+        std::int64_t w_ab = 0;
+        for (std::int32_t w : g.neighbors(a))
+          if (w == b) ++w_ab;
+        const std::int64_t gain = D[static_cast<std::size_t>(a)] +
+                                  D[static_cast<std::size_t>(b)] - 2 * w_ab;
+        if (gain > best_gain) {
+          best_gain = gain;
+          ba = a;
+          bb = b;
+        }
+      }
+    }
+    if (ba < 0) break;
+    // Tentatively swap and update D-values.
+    side[static_cast<std::size_t>(ba)] = 1;
+    side[static_cast<std::size_t>(bb)] = 0;
+    locked[static_cast<std::size_t>(ba)] = locked[static_cast<std::size_t>(bb)] = 1;
+    recompute_d();
+    swaps.push_back({ba, bb});
+    gains.push_back(best_gain);
+  }
+  // Best prefix of cumulative gains.
+  std::int64_t cum = 0, best_cum = 0;
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < gains.size(); ++k) {
+    cum += gains[k];
+    if (cum > best_cum) {
+      best_cum = cum;
+      best_k = k + 1;
+    }
+  }
+  // Undo swaps beyond the best prefix.
+  for (std::size_t k = gains.size(); k-- > best_k;) {
+    side[static_cast<std::size_t>(swaps[k].first)] = 0;
+    side[static_cast<std::size_t>(swaps[k].second)] = 1;
+  }
+  return best_cum;
+}
+
+}  // namespace
+
+BisectionResult kernighan_lin_bisection(const topology::Graph& g, int restarts) {
+  const std::int32_t n = g.num_vertices();
+  STARLAY_REQUIRE(n >= 2, "kernighan_lin_bisection: need >= 2 vertices");
+  STARLAY_REQUIRE(restarts >= 1, "kernighan_lin_bisection: restarts >= 1");
+
+  BisectionResult best;
+  best.width = g.num_edges() + 1;
+  for (int r = 0; r < restarts; ++r) {
+    std::vector<std::uint8_t> side(static_cast<std::size_t>(n), 0);
+    std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::mt19937 rng(static_cast<std::uint32_t>(0x9e3779b9u + 0x85ebca6bu * static_cast<std::uint32_t>(r)));
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::int32_t i = n / 2; i < n; ++i)
+      side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+
+    while (kl_pass(g, side) > 0) {
+    }
+    const std::int64_t cut = partition_cut(g, side);
+    if (cut < best.width) {
+      best.width = cut;
+      best.side = side;
+    }
+  }
+  return best;
+}
+
+}  // namespace starlay::bisect

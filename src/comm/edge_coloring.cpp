@@ -1,0 +1,78 @@
+#include "starlay/comm/edge_coloring.hpp"
+
+#include <algorithm>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::comm {
+
+std::vector<std::int32_t> bipartite_edge_coloring(std::int32_t num_left,
+                                                  std::int32_t num_right,
+                                                  const std::vector<BipartiteEdge>& edges) {
+  STARLAY_REQUIRE(num_left >= 0 && num_right >= 0, "bipartite_edge_coloring: bad sizes");
+  std::vector<std::int32_t> ldeg(static_cast<std::size_t>(num_left), 0),
+      rdeg(static_cast<std::size_t>(num_right), 0);
+  for (const auto& e : edges) {
+    STARLAY_REQUIRE(e.left >= 0 && e.left < num_left && e.right >= 0 && e.right < num_right,
+                    "bipartite_edge_coloring: endpoint out of range");
+    ++ldeg[static_cast<std::size_t>(e.left)];
+    ++rdeg[static_cast<std::size_t>(e.right)];
+  }
+  std::int32_t delta = 0;
+  for (std::int32_t d : ldeg) delta = std::max(delta, d);
+  for (std::int32_t d : rdeg) delta = std::max(delta, d);
+  if (delta == 0) return {};
+
+  // free_l[v][c] / free_r[v][c]: edge index using color c at vertex, or -1.
+  const auto idx = [&](std::int32_t v, std::int32_t c) {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(delta) +
+           static_cast<std::size_t>(c);
+  };
+  std::vector<std::int64_t> used_l(static_cast<std::size_t>(num_left) * delta, -1);
+  std::vector<std::int64_t> used_r(static_cast<std::size_t>(num_right) * delta, -1);
+  std::vector<std::int32_t> color(edges.size(), -1);
+
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    const std::int32_t u = edges[ei].left;
+    const std::int32_t v = edges[ei].right;
+    // Find a color free at u and a color free at v.
+    std::int32_t cu = -1, cv = -1;
+    for (std::int32_t c = 0; c < delta; ++c) {
+      if (cu < 0 && used_l[idx(u, c)] < 0) cu = c;
+      if (cv < 0 && used_r[idx(v, c)] < 0) cv = c;
+    }
+    STARLAY_REQUIRE(cu >= 0 && cv >= 0, "bipartite_edge_coloring: no free color (degree bug)");
+    if (cu != cv) {
+      // Flip the maximal (cu, cv)-alternating path starting at v so cu
+      // becomes free at v.  In a bipartite graph this path can never reach
+      // u, so cu stays free there (Konig's argument).
+      bool on_right = true;
+      std::int32_t c_from = cu, c_to = cv;
+      std::int64_t e2 = used_r[idx(v, cu)];
+      while (e2 >= 0) {
+        const std::int32_t nu = edges[static_cast<std::size_t>(e2)].left;
+        const std::int32_t nv = edges[static_cast<std::size_t>(e2)].right;
+        const std::int32_t next_vertex = on_right ? nu : nv;
+        // Grab the edge that will conflict at the far endpoint BEFORE
+        // overwriting the occupancy tables.
+        const std::int64_t e3 =
+            on_right ? used_l[idx(next_vertex, c_to)] : used_r[idx(next_vertex, c_to)];
+        // Recolor e2: c_from -> c_to.
+        color[static_cast<std::size_t>(e2)] = c_to;
+        if (used_l[idx(nu, c_from)] == e2) used_l[idx(nu, c_from)] = -1;
+        if (used_r[idx(nv, c_from)] == e2) used_r[idx(nv, c_from)] = -1;
+        used_l[idx(nu, c_to)] = e2;
+        used_r[idx(nv, c_to)] = e2;
+        e2 = e3;
+        on_right = !on_right;
+        std::swap(c_from, c_to);
+      }
+    }
+    color[ei] = cu;
+    used_l[idx(u, cu)] = static_cast<std::int64_t>(ei);
+    used_r[idx(v, cu)] = static_cast<std::int64_t>(ei);
+  }
+  return color;
+}
+
+}  // namespace starlay::comm

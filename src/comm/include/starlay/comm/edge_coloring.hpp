@@ -1,0 +1,26 @@
+#pragma once
+/// \file edge_coloring.hpp
+/// \brief Bipartite edge coloring (Konig) for conflict-free schedules.
+///
+/// Used by the optimal hypercube total-exchange schedule: offsets x
+/// dimensions form a bipartite multigraph whose proper edge coloring with
+/// exactly max-degree colors is a minimum-makespan unit open-shop schedule.
+
+#include <cstdint>
+#include <vector>
+
+namespace starlay::comm {
+
+struct BipartiteEdge {
+  std::int32_t left;
+  std::int32_t right;
+};
+
+/// Proper edge coloring of a bipartite multigraph using exactly max-degree
+/// colors (Konig's theorem), via alternating-path recoloring.
+/// Returns color per edge (same order as input), colors in [0, max_degree).
+std::vector<std::int32_t> bipartite_edge_coloring(std::int32_t num_left,
+                                                  std::int32_t num_right,
+                                                  const std::vector<BipartiteEdge>& edges);
+
+}  // namespace starlay::comm

@@ -1,0 +1,53 @@
+#pragma once
+/// \file network.hpp
+/// \brief Synchronous all-port packet network over a topology::Graph.
+///
+/// The model of Section 3 (BATT): links are bidirectional and carry one
+/// packet per direction per step; nodes have unbounded buffers and
+/// unlimited computation.  The simulator executes shortest-path store-and-
+/// forward schedules and reports completion times, giving *achievable*
+/// (upper-bound) TE times to compare against the paper's cited optima.
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::comm {
+
+/// All-pairs hop distances (BFS per source).  Memory: N^2 * 2 bytes.
+class DistanceTable {
+ public:
+  explicit DistanceTable(const topology::Graph& g);
+  std::int32_t dist(std::int32_t u, std::int32_t v) const {
+    return table_[static_cast<std::size_t>(u) * n_ + static_cast<std::size_t>(v)];
+  }
+  std::int32_t num_vertices() const { return static_cast<std::int32_t>(n_); }
+
+ private:
+  std::size_t n_;
+  std::vector<std::uint16_t> table_;
+};
+
+/// A packet in flight: where it currently sits and where it must go.
+struct Packet {
+  std::int32_t at;
+  std::int32_t dst;
+};
+
+struct SimResult {
+  std::int64_t steps = 0;             ///< completion time (communication steps)
+  std::int64_t packets_delivered = 0;
+  std::int64_t total_hops = 0;        ///< sum over packets of hops taken
+  bool all_shortest_paths = true;     ///< every packet took a shortest path
+};
+
+/// Runs greedy farthest-first all-port store-and-forward until every packet
+/// reaches its destination.  Each step, every directed link forwards at
+/// most one packet; packets only move along shortest paths toward their
+/// destinations; per node, the farthest-from-destination packets claim
+/// links first.
+SimResult simulate_greedy(const topology::Graph& g, const DistanceTable& dt,
+                          std::vector<Packet> packets, std::int64_t max_steps = -1);
+
+}  // namespace starlay::comm

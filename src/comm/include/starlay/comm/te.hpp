@@ -1,0 +1,54 @@
+#pragma once
+/// \file te.hpp
+/// \brief Total-exchange (all-to-all personalized) tasks and schedules.
+///
+/// The BATT lower-bound technique (Section 3.1) needs TE *throughput*
+/// numbers.  This module provides:
+///  * packet generation for f simultaneous TE tasks;
+///  * the greedy farthest-first simulation (achievable times on any
+///    vertex-transitive network);
+///  * a provably optimal hypercube TE schedule (exactly N/2 steps for
+///    d >= 2, via Konig edge coloring of the offsets x dimensions demand);
+///  * the trivial 1-step complete-graph TE;
+///  * the generic TE-time lower bounds (bisection and degree based) used
+///    to certify how close the simulated times are.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "starlay/comm/network.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::comm {
+
+/// Packets for \p copies simultaneous TE tasks on an N-node network.
+std::vector<Packet> make_te_packets(std::int32_t N, int copies = 1);
+
+/// Greedy farthest-first execution of \p copies TE tasks.
+SimResult greedy_te(const topology::Graph& g, const DistanceTable& dt, int copies = 1);
+
+/// Generic TE-time lower bounds under the all-port model.
+struct TeLowerBounds {
+  std::int64_t bisection;  ///< ceil(floor(N/2)*ceil(N/2) / B)
+  std::int64_t degree;     ///< ceil((N-1)/d): each node must absorb N-1 packets
+};
+TeLowerBounds te_time_lower_bounds(std::int64_t N, std::int64_t B, std::int32_t degree);
+
+/// Optimal all-port hypercube TE: offset e in [1, N) is routed through the
+/// set bits of e, one dimension per step; a proper edge coloring of the
+/// bipartite (offset, dimension) demand graph with max-degree N/2 colors
+/// gives a conflict-free schedule of exactly N/2 steps (d >= 2).
+struct HypercubeTeSchedule {
+  int d = 0;
+  std::int64_t steps = 0;
+  /// Per offset e (index e-1): the (bit, step) pairs, in routing order.
+  std::vector<std::vector<std::pair<int, std::int64_t>>> slots;
+};
+HypercubeTeSchedule hypercube_te_schedule(int d);
+
+/// Replays the schedule, asserting no two packets use a directed link in
+/// the same step and every packet arrives.  Returns the makespan.
+std::int64_t execute_hypercube_te(const HypercubeTeSchedule& s);
+
+}  // namespace starlay::comm

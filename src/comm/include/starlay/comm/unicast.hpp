@@ -1,0 +1,39 @@
+#pragma once
+/// \file unicast.hpp
+/// \brief BAUT — best achievable unicast throughput (Section 3.1).
+///
+/// The paper's companion to BATT: sustained random unicast traffic also
+/// lower-bounds layout area.  Formalization used here: if every node can
+/// sustain an injection rate of lambda packets/step with uniformly random
+/// destinations, then in expectation half of all traffic crosses any
+/// balanced bisection, so lambda * N / 2 packets/step cross B bidirectional
+/// links of capacity 2/step:  B >= lambda * N / 4,  hence area >= B^2
+/// (Theorem 3.1).  The simulator measures achievable lambda by routing
+/// pipelined random permutation batches greedily.
+
+#include <cstdint>
+
+#include "starlay/comm/network.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::comm {
+
+struct UnicastResult {
+  std::int64_t steps = 0;        ///< time to deliver all batches
+  std::int64_t packets = 0;      ///< total packets routed
+  double rate = 0.0;             ///< packets per node per step (lambda)
+};
+
+/// Routes \p batches pipelined random permutations (one packet per node per
+/// batch, derangement-free random destinations) with the greedy
+/// farthest-first scheduler.  Deterministic for a given seed.
+UnicastResult route_random_permutations(const topology::Graph& g, const DistanceTable& dt,
+                                        int batches, std::uint32_t seed = 1);
+
+/// BAUT bisection bound: B >= lambda * N / 4.
+double bisection_lb_baut(std::int64_t N, double rate);
+
+/// BAUT area bound: area >= (lambda * N / 4)^2.
+double area_lb_baut(std::int64_t N, double rate);
+
+}  // namespace starlay::comm

@@ -1,0 +1,103 @@
+#include "starlay/comm/network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "starlay/support/check.hpp"
+#include "starlay/topology/properties.hpp"
+
+namespace starlay::comm {
+
+DistanceTable::DistanceTable(const topology::Graph& g)
+    : n_(static_cast<std::size_t>(g.num_vertices())) {
+  STARLAY_REQUIRE(g.num_vertices() >= 1, "DistanceTable: empty graph");
+  table_.resize(n_ * n_);
+  for (std::int32_t s = 0; s < g.num_vertices(); ++s) {
+    const auto d = topology::bfs_distances(g, s);
+    for (std::size_t v = 0; v < n_; ++v) {
+      STARLAY_REQUIRE(d[v] >= 0, "DistanceTable: graph is disconnected");
+      STARLAY_REQUIRE(d[v] <= std::numeric_limits<std::uint16_t>::max(),
+                      "DistanceTable: distance overflow");
+      table_[static_cast<std::size_t>(s) * n_ + v] = static_cast<std::uint16_t>(d[v]);
+    }
+  }
+}
+
+SimResult simulate_greedy(const topology::Graph& g, const DistanceTable& dt,
+                          std::vector<Packet> packets, std::int64_t max_steps) {
+  STARLAY_REQUIRE(dt.num_vertices() == g.num_vertices(),
+                  "simulate_greedy: distance table mismatch");
+  SimResult res;
+  const std::int32_t V = g.num_vertices();
+
+  // Per-node queues of packet indices, kept as unsorted vectors; each step
+  // we sort candidates per node by remaining distance (farthest first).
+  std::vector<std::vector<std::int64_t>> at_node(static_cast<std::size_t>(V));
+  std::int64_t live = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (packets[i].at == packets[i].dst) {
+      ++res.packets_delivered;
+      continue;
+    }
+    at_node[static_cast<std::size_t>(packets[i].at)].push_back(static_cast<std::int64_t>(i));
+    ++live;
+  }
+
+  std::vector<std::vector<std::int64_t>> arriving(static_cast<std::size_t>(V));
+  while (live > 0) {
+    if (max_steps >= 0 && res.steps >= max_steps) break;
+    ++res.steps;
+    bool moved_any = false;
+    for (std::int32_t u = 0; u < V; ++u) {
+      auto& q = at_node[static_cast<std::size_t>(u)];
+      if (q.empty()) continue;
+      // Farthest-first priority.
+      std::sort(q.begin(), q.end(), [&](std::int64_t a, std::int64_t b) {
+        const std::int32_t da = dt.dist(u, packets[static_cast<std::size_t>(a)].dst);
+        const std::int32_t db = dt.dist(u, packets[static_cast<std::size_t>(b)].dst);
+        if (da != db) return da > db;
+        return a < b;
+      });
+      const auto nbrs = g.neighbors(u);
+      std::vector<std::uint8_t> link_used(nbrs.size(), 0);
+      std::vector<std::int64_t> stay;
+      stay.reserve(q.size());
+      for (std::int64_t pi : q) {
+        const Packet& p = packets[static_cast<std::size_t>(pi)];
+        bool sent = false;
+        for (std::size_t li = 0; li < nbrs.size(); ++li) {
+          if (link_used[li]) continue;
+          const std::int32_t w = nbrs[li];
+          if (dt.dist(w, p.dst) == dt.dist(u, p.dst) - 1) {
+            link_used[li] = 1;
+            arriving[static_cast<std::size_t>(w)].push_back(pi);
+            sent = true;
+            moved_any = true;
+            break;
+          }
+        }
+        if (!sent) stay.push_back(pi);
+      }
+      q = std::move(stay);
+    }
+    STARLAY_REQUIRE(moved_any, "simulate_greedy: deadlock (no packet advanced)");
+    for (std::int32_t w = 0; w < V; ++w) {
+      for (std::int64_t pi : arriving[static_cast<std::size_t>(w)]) {
+        Packet& p = packets[static_cast<std::size_t>(pi)];
+        p.at = w;
+        ++res.total_hops;
+        if (p.at == p.dst) {
+          ++res.packets_delivered;
+          --live;
+        } else {
+          at_node[static_cast<std::size_t>(w)].push_back(pi);
+        }
+      }
+      arriving[static_cast<std::size_t>(w)].clear();
+    }
+  }
+  return res;
+}
+
+}  // namespace starlay::comm

@@ -1,0 +1,94 @@
+#include "starlay/comm/te.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "starlay/comm/edge_coloring.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::comm {
+
+std::vector<Packet> make_te_packets(std::int32_t N, int copies) {
+  STARLAY_REQUIRE(N >= 2, "make_te_packets: need >= 2 nodes");
+  STARLAY_REQUIRE(copies >= 1, "make_te_packets: copies >= 1");
+  std::vector<Packet> pkts;
+  pkts.reserve(static_cast<std::size_t>(copies) * N * (N - 1));
+  for (int c = 0; c < copies; ++c)
+    for (std::int32_t s = 0; s < N; ++s)
+      for (std::int32_t t = 0; t < N; ++t)
+        if (s != t) pkts.push_back({s, t});
+  return pkts;
+}
+
+SimResult greedy_te(const topology::Graph& g, const DistanceTable& dt, int copies) {
+  return simulate_greedy(g, dt, make_te_packets(g.num_vertices(), copies));
+}
+
+TeLowerBounds te_time_lower_bounds(std::int64_t N, std::int64_t B, std::int32_t degree) {
+  STARLAY_REQUIRE(N >= 2 && B >= 1 && degree >= 1, "te_time_lower_bounds: bad arguments");
+  return {starlay::ceil_div((N / 2) * (N - N / 2), B),
+          starlay::ceil_div(N - 1, degree)};
+}
+
+HypercubeTeSchedule hypercubeschedule_impl(int d) {
+  const std::int64_t N = std::int64_t{1} << d;
+  // Demand bipartite multigraph: offsets (left) x dimensions (right); one
+  // edge per set bit of each offset.  Max degree = N/2 (each dimension is
+  // needed by half the offsets) as long as d <= N/2, i.e. d >= 2.
+  std::vector<BipartiteEdge> demand;
+  for (std::int64_t e = 1; e < N; ++e)
+    for (int b = 0; b < d; ++b)
+      if (e & (std::int64_t{1} << b))
+        demand.push_back({static_cast<std::int32_t>(e - 1), b});
+  const auto colors = bipartite_edge_coloring(static_cast<std::int32_t>(N - 1), d, demand);
+
+  HypercubeTeSchedule s;
+  s.d = d;
+  s.slots.resize(static_cast<std::size_t>(N - 1));
+  std::int64_t makespan = 0;
+  for (std::size_t i = 0; i < demand.size(); ++i) {
+    s.slots[static_cast<std::size_t>(demand[i].left)].push_back(
+        {demand[i].right, colors[i]});
+    makespan = std::max<std::int64_t>(makespan, colors[i] + 1);
+  }
+  // Route bits in increasing time order (any order is fine for delivery;
+  // time order makes the replay a real store-and-forward execution).
+  for (auto& v : s.slots)
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+  s.steps = makespan;
+  return s;
+}
+
+HypercubeTeSchedule hypercube_te_schedule(int d) {
+  STARLAY_REQUIRE(d >= 1 && d <= 16, "hypercube_te_schedule: d in [1, 16]");
+  return hypercubeschedule_impl(d);
+}
+
+std::int64_t execute_hypercubete_impl(const HypercubeTeSchedule& s) {
+  const std::int64_t N = std::int64_t{1} << s.d;
+  // (step, dimension) slots must be unique: one offset owns all dim-i
+  // links in a given step.
+  std::set<std::pair<std::int64_t, int>> used;
+  for (std::int64_t e = 1; e < N; ++e) {
+    const auto& route = s.slots[static_cast<std::size_t>(e - 1)];
+    std::int64_t applied = 0;
+    std::int64_t prev_step = -1;
+    for (const auto& [bit, step] : route) {
+      STARLAY_REQUIRE(step > prev_step, "hypercube TE: route not time-ordered");
+      prev_step = step;
+      STARLAY_REQUIRE(used.insert({step, bit}).second,
+                      "hypercube TE: link conflict (two offsets share a dimension-step)");
+      applied |= (std::int64_t{1} << bit);
+    }
+    STARLAY_REQUIRE(applied == e, "hypercube TE: offset not fully routed");
+  }
+  return s.steps;
+}
+
+std::int64_t execute_hypercube_te(const HypercubeTeSchedule& s) {
+  return execute_hypercubete_impl(s);
+}
+
+}  // namespace starlay::comm

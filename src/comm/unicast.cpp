@@ -1,0 +1,55 @@
+#include "starlay/comm/unicast.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::comm {
+
+UnicastResult route_random_permutations(const topology::Graph& g, const DistanceTable& dt,
+                                        int batches, std::uint32_t seed) {
+  STARLAY_REQUIRE(batches >= 1, "route_random_permutations: batches >= 1");
+  const std::int32_t N = g.num_vertices();
+  STARLAY_REQUIRE(N >= 2, "route_random_permutations: need >= 2 nodes");
+
+  std::mt19937 rng(seed);
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(batches) * static_cast<std::size_t>(N));
+  std::vector<std::int32_t> perm(static_cast<std::size_t>(N));
+  std::iota(perm.begin(), perm.end(), 0);
+  for (int b = 0; b < batches; ++b) {
+    // Random permutation with fixed points re-rolled once (self-packets
+    // would inflate the measured rate for free).
+    std::shuffle(perm.begin(), perm.end(), rng);
+    for (std::int32_t s = 0; s < N; ++s) {
+      std::int32_t d = perm[static_cast<std::size_t>(s)];
+      if (d == s) d = perm[static_cast<std::size_t>((s + 1) % N)];
+      if (d == s) d = (s + 1) % N;
+      packets.push_back({s, d});
+    }
+  }
+
+  const SimResult sim = simulate_greedy(g, dt, packets);
+  UnicastResult res;
+  res.steps = sim.steps;
+  res.packets = static_cast<std::int64_t>(packets.size());
+  res.rate = sim.steps == 0
+                 ? 0.0
+                 : static_cast<double>(res.packets) /
+                       (static_cast<double>(N) * static_cast<double>(sim.steps));
+  return res;
+}
+
+double bisection_lb_baut(std::int64_t N, double rate) {
+  STARLAY_REQUIRE(N >= 2 && rate > 0, "bisection_lb_baut: bad arguments");
+  return rate * static_cast<double>(N) / 4.0;
+}
+
+double area_lb_baut(std::int64_t N, double rate) {
+  const double b = bisection_lb_baut(N, rate);
+  return b * b;
+}
+
+}  // namespace starlay::comm

@@ -1,0 +1,70 @@
+#include "starlay/core/baseline.hpp"
+
+#include <algorithm>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::core {
+
+layout::RoutedLayout naive_collinear_layout(const topology::Graph& g) {
+  const std::int32_t m = g.num_vertices();
+  STARLAY_REQUIRE(m >= 2, "naive_collinear_layout: need >= 2 vertices");
+  const auto w = static_cast<layout::Coord>(std::max(1, g.max_degree()));
+  layout::Layout lay(m);
+  for (std::int32_t v = 0; v < m; ++v)
+    lay.set_node_rect(v, {v * w, 0, v * w + w - 1, w - 1});
+
+  // Stub offsets: incident edges sorted by the far endpoint (left-bound
+  // stubs left of right-bound ones, like the optimized layouts).
+  std::vector<std::int32_t> stub(static_cast<std::size_t>(g.num_edges()) * 2, -1);
+  for (std::int32_t v = 0; v < m; ++v) {
+    auto inc = g.incident_edges(v);
+    std::vector<std::int64_t> sorted(inc.begin(), inc.end());
+    std::sort(sorted.begin(), sorted.end(), [&](std::int64_t a, std::int64_t b) {
+      const auto other = [&](std::int64_t e) {
+        return g.edge(e).u == v ? g.edge(e).v : g.edge(e).u;
+      };
+      if (other(a) != other(b)) return other(a) < other(b);
+      return a < b;
+    });
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const std::int64_t e = sorted[i];
+      const std::size_t side = g.edge(e).u == v ? 0 : 1;
+      stub[static_cast<std::size_t>(e) * 2 + side] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const layout::Coord y = w + e;  // private track per edge
+    const layout::Coord xs = ed.u * w + stub[static_cast<std::size_t>(e) * 2];
+    const layout::Coord xd = ed.v * w + stub[static_cast<std::size_t>(e) * 2 + 1];
+    layout::Wire wire;
+    wire.edge = e;
+    wire.push({xs, w - 1});
+    wire.push({xs, y});
+    wire.push({xd, y});
+    wire.push({xd, w - 1});
+    lay.add_wire(wire);
+  }
+  layout::RoutedLayout out{std::move(lay),
+                           {static_cast<std::int32_t>(g.num_edges())},
+                           std::vector<std::int32_t>(static_cast<std::size_t>(m), 0),
+                           w};
+  return out;
+}
+
+layout::RoutedLayout unordered_grid_layout(const topology::Graph& g) {
+  const layout::Placement p = layout::row_major_placement(g.num_vertices());
+  return layout::route_grid(g, p);
+}
+
+layout::RoutedLayout unbalanced_orientation_layout(const topology::Graph& g,
+                                                   const layout::Placement& p) {
+  layout::RouteSpec spec;
+  spec.source_is_u.assign(static_cast<std::size_t>(g.num_edges()), 1);
+  return layout::route_grid(g, p, spec);
+}
+
+}  // namespace starlay::core

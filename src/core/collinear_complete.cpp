@@ -1,0 +1,83 @@
+#include "starlay/core/collinear_complete.hpp"
+
+#include <algorithm>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+namespace {
+
+/// The paper's explicit track rule, built directly as geometry.  Nodes sit
+/// in a row (side w = degree); each node's stub for the link to node j is
+/// at x-offset j (left neighbors) or j-1 (right neighbors), which puts all
+/// left-bound stubs left of all right-bound ones — the ordering that lets
+/// chained same-type links share a track.
+CollinearResult paper_rule_layout(int m, int multiplicity) {
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  const auto w = static_cast<layout::Coord>(std::max(1, (m - 1) * multiplicity));
+  layout::Layout lay(m);
+  for (std::int32_t v = 0; v < m; ++v) {
+    const layout::Coord x0 = v * w;
+    lay.set_node_rect(v, {x0, 0, x0 + w - 1, w - 1});
+  }
+
+  // Track base offset of each link type: type i gets min(i, m-i) tracks
+  // per multiplicity copy.
+  std::vector<std::int32_t> type_base(static_cast<std::size_t>(m), 0);
+  std::int32_t total = 0;
+  for (int i = 1; i < m; ++i) {
+    type_base[static_cast<std::size_t>(i)] = total;
+    total += std::min(i, m - i) * multiplicity;
+  }
+
+  const auto stub_off = [&](std::int32_t at, std::int32_t other, std::int32_t copy) {
+    // Offsets 0..(m-2)*mult: left-destined copies first, ascending.
+    const std::int32_t base = other < at ? other : other - 1;
+    return base * multiplicity + copy;
+  };
+
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const std::int32_t u = ed.u, v = ed.v, copy = ed.label;
+    const std::int32_t i = v - u;  // type
+    std::int32_t track_in_type;
+    if (i <= m / 2)
+      track_in_type = u % i;
+    else
+      track_in_type = u;  // each of the m-i links gets its own track
+    const std::int32_t track = type_base[static_cast<std::size_t>(i)] +
+                               track_in_type * multiplicity + copy;
+    const layout::Coord y = w + track;
+    const layout::Coord xs = u * w + stub_off(u, v, copy);
+    const layout::Coord xd = v * w + stub_off(v, u, copy);
+    layout::Wire wire;
+    wire.edge = e;
+    wire.push({xs, w - 1});
+    wire.push({xs, y});
+    wire.push({xd, y});
+    wire.push({xd, w - 1});
+    lay.add_wire(wire);
+  }
+
+  layout::RoutedLayout routed{std::move(lay), {total}, std::vector<std::int32_t>(static_cast<std::size_t>(m), 0), w};
+  return {std::move(g), std::move(routed), total};
+}
+
+}  // namespace
+
+CollinearResult collinear_complete_layout(int m, TrackBackend backend, int multiplicity) {
+  STARLAY_REQUIRE(m >= 2, "collinear_complete_layout: m must be >= 2");
+  STARLAY_REQUIRE(multiplicity >= 1, "collinear_complete_layout: multiplicity >= 1");
+  if (backend == TrackBackend::kPaperRule) return paper_rule_layout(m, multiplicity);
+
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  const layout::Placement p = layout::collinear_placement(m);
+  layout::RoutedLayout routed = layout::route_grid(g, p);
+  const std::int32_t tracks = routed.row_channel_tracks.at(0);
+  return {std::move(g), std::move(routed), tracks};
+}
+
+}  // namespace starlay::core

@@ -1,0 +1,70 @@
+#include "starlay/core/complete2d.hpp"
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+std::uint8_t complete_orientation(std::int32_t row_u, std::int32_t row_v, std::int32_t copy) {
+  bool u_src;
+  if (row_u == row_v)
+    u_src = true;  // routed in the shared row channel; orientation is moot
+  else
+    u_src = layout::parity_source_is_first(row_u, row_v);
+  if (copy % 2 == 1) u_src = !u_src;  // alternate copies between bundles
+  return u_src ? 1 : 0;
+}
+
+Complete2DResult complete2d_layout(int m, int multiplicity) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_layout: m must be >= 2");
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  const auto f = starlay::grid_factors(m);
+  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
+
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    spec.source_is_u[static_cast<std::size_t>(e)] =
+        complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
+  }
+  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
+  return {std::move(g), std::move(routed), f.rows, f.cols};
+}
+
+Complete2DResult complete2d_compact_layout(int m, int multiplicity) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_compact_layout: m must be >= 2");
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  const auto f = starlay::grid_factors(m);
+  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    spec.source_is_u[static_cast<std::size_t>(e)] =
+        complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
+  }
+  layout::RouterOptions opt;
+  opt.four_sided = true;
+  layout::RoutedLayout routed = layout::route_grid(g, p, spec, opt);
+  return {std::move(g), std::move(routed), f.rows, f.cols};
+}
+
+Complete2DResult complete2d_directed_layout(int m) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_directed_layout: m must be >= 2");
+  topology::Graph g = topology::complete_graph(m, 2);
+  const auto f = starlay::grid_factors(m);
+  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
+
+  // Copy 0 is the u -> v link, copy 1 the v -> u link.
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e)
+    spec.source_is_u[static_cast<std::size_t>(e)] = g.edge(e).label == 0 ? 1 : 0;
+  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
+  return {std::move(g), std::move(routed), f.rows, f.cols};
+}
+
+}  // namespace starlay::core

@@ -1,0 +1,93 @@
+#include "starlay/core/hcn_layout.hpp"
+
+#include "starlay/core/multilayer_star.hpp"
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+namespace {
+
+HcnLayoutResult hierarchical_layout(int h, bool folded, int num_layers = 2) {
+  STARLAY_REQUIRE(h >= 1 && h <= 8, "hcn/hfn layout: h must be in [1, 8]");
+  topology::Graph g = folded ? topology::hfn(h) : topology::hcn(h);
+  const std::int32_t M = std::int32_t{1} << h;  // clusters == cluster size
+
+  // Two-level hierarchical placement: cluster block grid, then the
+  // hypercube bit-split grid inside each block.
+  const auto cf = starlay::grid_factors(M);
+  // Orient the intra-cluster bit split so the overall slot grid stays as
+  // square as possible.
+  int row_bits = h / 2;
+  {
+    const auto skew = [&](int rb) {
+      const double r = static_cast<double>(cf.rows) * (1 << rb);
+      const double c = static_cast<double>(cf.cols) * (1 << (h - rb));
+      return r > c ? r / c : c / r;
+    };
+    if (skew(h - h / 2) < skew(h / 2)) row_bits = h - h / 2;
+  }
+  const std::int32_t in_rows = std::int32_t{1} << row_bits;
+  const std::int32_t in_cols = std::int32_t{1} << (h - row_bits);
+  std::vector<layout::LevelShape> shapes = {{cf.rows, cf.cols}, {in_rows, in_cols}};
+
+  std::vector<std::vector<std::int32_t>> paths(static_cast<std::size_t>(g.num_vertices()));
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const std::int32_t c = topology::hcn_cluster_of(h, v);
+    const std::int32_t x = topology::hcn_local_of(h, v);
+    const std::int32_t lr = x & (in_rows - 1);
+    const std::int32_t lc = x >> row_bits;
+    paths[static_cast<std::size_t>(v)] = {c, lr * in_cols + lc};
+  }
+  layout::Placement p = layout::hierarchical_placement(paths, shapes);
+
+  // Orientation: inter-cluster and diameter links follow the parity rule
+  // at cluster-block granularity (the complete-graph scheme); intra links
+  // use node granularity.
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    bool u_src = true;
+    if (ed.label == topology::kInterClusterLabel || ed.label == topology::kDiameterLabel) {
+      const std::int32_t cu = topology::hcn_cluster_of(h, ed.u);
+      const std::int32_t cv = topology::hcn_cluster_of(h, ed.v);
+      const std::int32_t bru = cu / cf.cols, brv = cv / cf.cols;
+      if (bru != brv) {
+        u_src = layout::parity_source_is_first(bru, brv);
+      } else {
+        const std::int32_t bcu = cu % cf.cols, bcv = cv % cf.cols;
+        STARLAY_REQUIRE(bcu != bcv, "hcn_layout: identical cluster blocks");
+        u_src = layout::parity_source_is_first(bcu, bcv);
+      }
+    } else {
+      const std::int32_t ru = p.row_of(ed.u), rv = p.row_of(ed.v);
+      if (ru != rv) u_src = layout::parity_source_is_first(ru, rv);
+    }
+    spec.source_is_u[static_cast<std::size_t>(e)] = u_src ? 1 : 0;
+  }
+
+  if (num_layers > 2) apply_xy_layers(spec, g.num_edges(), num_layers);
+  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
+  return {std::move(g), std::move(p), std::move(routed)};
+}
+
+}  // namespace
+
+HcnLayoutResult hcn_layout(int h) { return hierarchical_layout(h, /*folded=*/false); }
+
+HcnLayoutResult hfn_layout(int h) { return hierarchical_layout(h, /*folded=*/true); }
+
+HcnLayoutResult multilayer_hcn_layout(int h, int L) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_hcn_layout: need at least 2 layers");
+  return hierarchical_layout(h, /*folded=*/false, L);
+}
+
+HcnLayoutResult multilayer_hfn_layout(int h, int L) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_hfn_layout: need at least 2 layers");
+  return hierarchical_layout(h, /*folded=*/true, L);
+}
+
+}  // namespace starlay::core

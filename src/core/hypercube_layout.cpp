@@ -1,0 +1,42 @@
+#include "starlay/core/hypercube_layout.hpp"
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+layout::Placement hypercube_placement(int d) {
+  STARLAY_REQUIRE(d >= 1, "hypercube_placement: d must be >= 1");
+  const int row_bits = d / 2;  // low bits index the row
+  const std::int32_t rows = std::int32_t{1} << row_bits;
+  const std::int32_t cols = std::int32_t{1} << (d - row_bits);
+  layout::Placement p;
+  p.rows = rows;
+  p.cols = cols;
+  const std::int32_t N = std::int32_t{1} << d;
+  p.slot.resize(static_cast<std::size_t>(N));
+  const std::int32_t row_mask = rows - 1;
+  for (std::int32_t v = 0; v < N; ++v) {
+    const std::int32_t r = v & row_mask;
+    const std::int32_t c = v >> row_bits;
+    p.slot[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(r) * cols + c;
+  }
+  return p;
+}
+
+HypercubeLayoutResult hypercube_layout(int d) {
+  topology::Graph g = topology::hypercube(d);
+  const layout::Placement p = hypercube_placement(d);
+  layout::RoutedLayout routed = layout::route_grid(g, p);
+  return {std::move(g), std::move(routed)};
+}
+
+HypercubeLayoutResult folded_hypercube_layout(int d) {
+  topology::Graph g = topology::folded_hypercube(d);
+  const layout::Placement p = hypercube_placement(d);
+  layout::RoutedLayout routed = layout::route_grid(g, p);
+  return {std::move(g), std::move(routed)};
+}
+
+}  // namespace starlay::core

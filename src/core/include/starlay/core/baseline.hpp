@@ -1,0 +1,28 @@
+#pragma once
+/// \file baseline.hpp
+/// \brief Unoptimized comparison layouts for the ablation benches (E11).
+///
+/// The paper's gains come from three ingredients: channel track *sharing*
+/// (vs one private track per link), the *hierarchical* block placement,
+/// and the *orientation* (bundle-halving) rule.  Each baseline removes one
+/// ingredient so the benches can attribute the area factors.
+
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+/// Collinear layout with one private track per edge (no sharing at all) —
+/// the most naive valid layout; area ~ (#edges) x (row width).
+layout::RoutedLayout naive_collinear_layout(const topology::Graph& g);
+
+/// Row-major placement in vertex-id order (ignores the network hierarchy),
+/// default parity orientation.
+layout::RoutedLayout unordered_grid_layout(const topology::Graph& g);
+
+/// Given any placement, route with every L edge oriented from its
+/// smaller-id endpoint (disables the paper's halving rule).
+layout::RoutedLayout unbalanced_orientation_layout(const topology::Graph& g,
+                                                   const layout::Placement& p);
+
+}  // namespace starlay::core

@@ -1,0 +1,33 @@
+#pragma once
+/// \file collinear_complete.hpp
+/// \brief Lemma 2.1 (part 1): collinear layout of K_m in floor(m^2/4) tracks.
+///
+/// Two interchangeable backends produce the layout:
+///  * kPaperRule — the paper's explicit assignment: type-i links (address
+///    difference i) occupy min(i, m-i) tracks, grouped by address modulo i
+///    when i <= m/2 and one per link otherwise;
+///  * kLeftEdge — generic left-edge channel packing (layout/channel.hpp).
+/// Both are provably optimal: the track count equals the maximum cut
+/// density floor(m^2/4), which is also K_m's bisection width, so the
+/// layout is *strictly* optimal among collinear layouts (Theorem 3.5).
+
+#include <cstdint>
+
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+enum class TrackBackend { kLeftEdge, kPaperRule };
+
+struct CollinearResult {
+  topology::Graph graph;
+  layout::RoutedLayout routed;
+  std::int32_t tracks = 0;  ///< channel height actually used
+};
+
+/// Lays out K_m (optionally with parallel edges) along a single row.
+CollinearResult collinear_complete_layout(int m, TrackBackend backend = TrackBackend::kLeftEdge,
+                                          int multiplicity = 1);
+
+}  // namespace starlay::core

@@ -1,0 +1,47 @@
+#pragma once
+/// \file complete2d.hpp
+/// \brief Lemma 2.1 (part 2): 2-D layouts of complete graphs.
+///
+/// Nodes are placed on an m1 x m2 grid (m1 = ceil(sqrt(m))); each link is
+/// routed as an L through the source's row channel and the destination's
+/// column channel.  For the undirected K_m the paper's bundle-halving rule
+/// (equivalently: the endpoint u with floor(row(u)/k) even is the source,
+/// k = row gap) keeps exactly one orientation per pair and yields area
+/// m^4/16 + O(m^3.5).  The directed variant routes both orientations and
+/// measures m^4/4 + O(m^3.5).
+///
+/// Edge multiplicity is supported because the star-graph and HCN layouts
+/// reduce to complete graphs with (n-2)! (resp. 1) parallel links between
+/// supernodes; copies are split evenly between the two orientations,
+/// mirroring the paper's "first half / second half of each bundle".
+
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+struct Complete2DResult {
+  topology::Graph graph;
+  layout::RoutedLayout routed;
+  std::int32_t grid_rows = 0;
+  std::int32_t grid_cols = 0;
+};
+
+/// Undirected K_m with \p multiplicity parallel links per pair.
+Complete2DResult complete2d_layout(int m, int multiplicity = 1);
+
+/// Directed K_m: both orientations routed (modelled as multiplicity 2 with
+/// forced opposite orientations).  Area leading term m^4/4.
+Complete2DResult complete2d_directed_layout(int m);
+
+/// Extended-grid variant of the undirected layout: four-sided attachments,
+/// node side ~ceil((m-1)/2) instead of m-1 (Lemma 2.1's smaller node
+/// window).  Same m^4/16 asymptotics, smaller finite-size constant.
+Complete2DResult complete2d_compact_layout(int m, int multiplicity = 1);
+
+/// The paper's orientation (RouteSpec::source_is_u) for a complete-graph
+/// style construction: parity rule on rows for row-distinct pairs, with
+/// copies alternating orientation.  Exposed for reuse by star/HCN layouts.
+std::uint8_t complete_orientation(std::int32_t row_u, std::int32_t row_v, std::int32_t copy);
+
+}  // namespace starlay::core

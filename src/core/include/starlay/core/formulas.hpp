@@ -1,0 +1,112 @@
+#pragma once
+/// \file formulas.hpp
+/// \brief Every closed form the paper states, as checkable functions.
+///
+/// These are the "claimed" columns of EXPERIMENTS.md.  Leading-term
+/// formulas (areas, TE times) return doubles; exact combinatorial values
+/// (track counts, bisection widths) return integers.
+
+#include <cmath>
+#include <cstdint>
+
+namespace starlay::core {
+
+// ---- Complete graphs (Lemma 2.1, Theorem 3.5) -----------------------------
+
+/// Exact minimum track count for the collinear layout of K_m.
+inline std::int64_t collinear_complete_tracks(std::int64_t m) { return m * m / 4; }
+
+/// Leading term of the 2-D layout area of an undirected K_m.
+inline double complete2d_area(double m) { return m * m * m * m / 16.0; }
+
+/// Leading term of the 2-D layout area of a directed K_m (two opposite
+/// links per pair).
+inline double complete2d_directed_area(double m) { return m * m * m * m / 4.0; }
+
+/// Exact bisection width of K_m: floor(m^2/4).
+inline std::int64_t complete_bisection(std::int64_t m) { return m * m / 4; }
+
+// ---- Star graphs (Lemma 2.2/2.3, Theorems 3.7/3.8, 4.1) -------------------
+
+/// Leading term of the optimal star-graph layout area (N = n!).
+inline double star_area(double N) { return N * N / 16.0; }
+
+/// Sykora & Vrt'o 1994: prior best star layout area (72x worse).
+inline double sykora_vrto_star_area(double N) { return 4.5 * N * N; }
+
+/// Sykora & Vrt'o 1994: prior best star area lower bound (N^2/784,
+/// reconstructed from the paper's 3528x upper/lower ratio and 12.25x
+/// improvement statements).
+inline double sykora_vrto_star_lower_bound(double N) { return N * N / 784.0; }
+
+/// Lemma 3.6: (n-1) total exchanges in nN + o(nN) steps => per-task time.
+inline double star_te_time(int n, double N) {
+  return static_cast<double>(n) * N / (n - 1);
+}
+
+/// Fragopoulou & Akl: one TE task in 2N + o(N) steps (all-port).
+inline double fragopoulou_akl_te_time(double N) { return 2.0 * N; }
+
+/// Leading term of the star bisection width (Theorem 4.1).
+inline double star_bisection(double N) { return N / 4.0; }
+
+/// Multilayer star layout area (Lemma 2.3 / Theorem 3.8).
+inline double multilayer_star_area(double N, int L) {
+  return L % 2 == 0 ? N * N / (4.0 * L * L) : N * N / (4.0 * (static_cast<double>(L) * L - 1));
+}
+
+// ---- Hypercubes (comparison baseline, [28]) --------------------------------
+
+/// Optimal hypercube layout area from Yeh-Varvarigos-Parhami FMPC'99:
+/// (4/9) N^2 — the 0.444 N^2 the paper compares against.
+inline double hypercube_area(double N) { return 4.0 * N * N / 9.0; }
+
+/// The headline ratio: hypercube area / star area = 64/9 = 7.1(1).
+inline double star_vs_hypercube_ratio() { return 64.0 / 9.0; }
+
+/// Exact hypercube bisection width: N/2.
+inline std::int64_t hypercube_bisection(std::int64_t N) { return N / 2; }
+
+// ---- HCN / HFN (Lemma 2.4, Theorems 3.10, 4.2) ------------------------------
+
+/// Leading term of the optimal HCN/HFN layout area.
+inline double hcn_area(double N) { return N * N / 16.0; }
+
+/// Exact bisection width of HCN and HFN (Theorem 4.2).
+inline std::int64_t hcn_bisection(std::int64_t N) { return N / 4; }
+
+/// Lemma 3.9: TE throughput arbitrarily close to 1/N => effective per-task
+/// time used in Theorem 4.2 (f(N)=10N tasks in 10N^2+2N steps).
+inline double hcn_te_time(double N) { return N + 0.2; }
+
+// ---- Lower bounds (Theorems 3.1-3.4) ----------------------------------------
+
+/// Theorem 3.1: area >= B^2 (Thompson / extended grid).
+inline double area_lb_bisection(double B) { return B * B; }
+
+/// Theorem 3.2 (BATT): area >= floor(N/2)^2 ceil(N/2)^2 / T_TE^2.
+inline double area_lb_batt(std::int64_t N, double t_te) {
+  const double lo = static_cast<double>(N / 2);
+  const double hi = static_cast<double>(N - N / 2);
+  return lo * lo * hi * hi / (t_te * t_te);
+}
+
+/// Theorem 3.3: X-Y layout area >= 4B^2/L^2 (even L) or 4B^2/(L^2-1) (odd).
+inline double xy_area_lb_bisection(double B, int L) {
+  return L % 2 == 0 ? 4.0 * B * B / (static_cast<double>(L) * L)
+                    : 4.0 * B * B / (static_cast<double>(L) * L - 1);
+}
+
+/// Theorem 3.4: X-Y BATT bound.
+inline double xy_area_lb_batt(std::int64_t N, double t_te, int L) {
+  const double base = 4.0 * area_lb_batt(N, t_te);
+  return L % 2 == 0 ? base / (static_cast<double>(L) * L)
+                    : base / (static_cast<double>(L) * L - 1);
+}
+
+/// Theorem 4.2's chain: B >= floor(N/2) ceil(N/2) / T_TE.
+inline double bisection_lb_batt(std::int64_t N, double t_te) {
+  return static_cast<double>(N / 2) * static_cast<double>(N - N / 2) / t_te;
+}
+
+}  // namespace starlay::core

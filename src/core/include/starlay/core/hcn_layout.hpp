@@ -1,0 +1,36 @@
+#pragma once
+/// \file hcn_layout.hpp
+/// \brief Lemma 2.4: N^2/16 + o(N^2) layouts of HCNs and HFNs.
+///
+/// Clusters (each a (log2 N)/2-dimensional (folded) hypercube) are placed
+/// as blocks on a near-square block grid; the inter-cluster links — one per
+/// cluster pair, a K_sqrt(N) among supernodes — are routed with the
+/// complete-graph scheme at block granularity; intra-cluster links use the
+/// hypercube bit-split placement inside each block.  The HCN's sqrt(N)/2
+/// diameter links add only O(N sqrt(N)) area.
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+struct HcnLayoutResult {
+  topology::Graph graph;
+  layout::Placement placement;
+  layout::RoutedLayout routed;
+};
+
+/// Layout of the 2^(2h)-node hierarchical cubic network.
+HcnLayoutResult hcn_layout(int h);
+
+/// Layout of the 2^(2h)-node hierarchical folded-hypercube network.
+HcnLayoutResult hfn_layout(int h);
+
+/// L-layer X-Y variants (Section 2.4's remark: the multilayer technique
+/// applies to any cluster-partitionable network).  Area scales like the
+/// star's N^2/(4L^2) / N^2/(4(L^2-1)).
+HcnLayoutResult multilayer_hcn_layout(int h, int L);
+HcnLayoutResult multilayer_hfn_layout(int h, int L);
+
+}  // namespace starlay::core

@@ -1,0 +1,29 @@
+#pragma once
+/// \file hypercube_layout.hpp
+/// \brief Recursive-grid layouts for hypercubes and folded hypercubes.
+///
+/// Substrate for the HCN/HFN layouts (each cluster is a (folded) hypercube
+/// that must fit in an O(sqrt(N))-side block) and for the paper's headline
+/// comparison against the 4N^2/9 hypercube area of [28].  The placement
+/// splits the d address bits into a row half (low bits) and a column half;
+/// dimension links then run inside rows/columns and the channel packer
+/// recovers the familiar ~(2/3) 2^d collinear cube profile per channel.
+
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+struct HypercubeLayoutResult {
+  topology::Graph graph;
+  layout::RoutedLayout routed;
+};
+
+HypercubeLayoutResult hypercube_layout(int d);
+HypercubeLayoutResult folded_hypercube_layout(int d);
+
+/// The bit-split placement used above (exposed for the HCN layout, which
+/// replicates it inside every cluster block).
+layout::Placement hypercube_placement(int d);
+
+}  // namespace starlay::core

@@ -1,0 +1,44 @@
+#pragma once
+/// \file lower_bounds.hpp
+/// \brief Section 3: BATT / bisection lower-bound aggregators.
+///
+/// The raw formulas live in formulas.hpp; these helpers combine them into
+/// the per-network bound summaries the benches and EXPERIMENTS.md report,
+/// reproducing the paper's narrative numbers (the 12.25x improvement over
+/// Sykora-Vrt'o from the single-TE time, the further 4x from the pipelined
+/// (n-1)-TE throughput, and the final 1 + o(1) upper/lower ratio).
+
+#include <cstdint>
+
+namespace starlay::core {
+
+/// Everything Theorems 3.5/3.7/3.10 say about one network instance.
+struct AreaBoundSummary {
+  std::int64_t nodes = 0;
+  double upper_formula = 0.0;       ///< paper's constructive area (leading term)
+  double lb_bisection = 0.0;        ///< Theorem 3.1 with the network's B
+  double lb_batt_single = 0.0;      ///< Theorem 3.2 with one-task TE time
+  double lb_batt_pipelined = 0.0;   ///< Theorem 3.2 with pipelined TE throughput
+  double ratio = 0.0;               ///< upper / best lower
+};
+
+/// Star graph S_n: uses Lemma 3.6's pipelined TE and the 2N single-TE time.
+AreaBoundSummary star_area_bounds(int n);
+
+/// HCN/HFN with N = 2^(2h) nodes: uses Lemma 3.9's 1/N TE throughput.
+AreaBoundSummary hcn_area_bounds(int h);
+
+/// Complete graph K_m: B = floor(m^2/4), and one TE step suffices
+/// (T_TE -> f(N) tasks in f(N)*ceil((N-1)/ (N-1)) = 1 step each under
+/// all-port: every node sends one packet per link per step).
+AreaBoundSummary complete_area_bounds(int m);
+
+/// Multilayer X-Y bounds for the star graph with L layers (Theorem 3.8).
+struct XYBoundSummary {
+  double upper_formula = 0.0;
+  double lb_batt = 0.0;
+  double ratio = 0.0;
+};
+XYBoundSummary star_xy_bounds(int n, int L);
+
+}  // namespace starlay::core

@@ -1,0 +1,57 @@
+#pragma once
+/// \file multilayer_star.hpp
+/// \brief Lemma 2.3: multilayer X-Y layouts of the star graph.
+///
+/// With L wiring layers, odd layers carry horizontal segments and even
+/// layers vertical ones (the paper's X-Y discipline).  Each wire is
+/// assigned an adjacent (odd, even) layer pair, so its bend vias span only
+/// its own two layers; the closed-interval track packing then rules out
+/// every 3-D conflict (see layout/validate.hpp).  For even L = 2k the k
+/// disjoint pairs (1,2), (3,4), ... each receive 1/k of the wires; for odd
+/// L = 2k+1 the 2k overlapping pairs (1,2), (3,2), (3,4), (5,4), ... are
+/// weighted so every one of the k+1 horizontal layers carries 1/(k+1) of
+/// the horizontal demand and every one of the k vertical layers 1/k of
+/// the vertical demand — which is exactly how the paper's area drops from
+/// N^2/(4(L-1)^2) to N^2/(4(L^2-1)) for odd L.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "starlay/core/star_layout.hpp"
+
+namespace starlay::core {
+
+/// The adjacent (h_layer, v_layer) pairs available with L layers:
+/// (1,2),(3,4),... for even L; (1,2),(3,2),(3,4),(5,4),... for odd L.
+std::vector<std::pair<std::int16_t, std::int16_t>> xy_layer_pairs(int L);
+
+/// Wire-fraction each pair should receive so per-layer loads balance.
+/// Same order as xy_layer_pairs; sums to 1.
+std::vector<double> xy_pair_weights(int L);
+
+/// Deterministic smooth weighted round-robin assignment of \p count wires
+/// to pairs; any window of >= #pairs consecutive indices is balanced.
+std::vector<std::int32_t> assign_pairs(std::int64_t count, const std::vector<double>& weights);
+
+struct MultilayerStarResult {
+  topology::Graph graph;
+  StarStructure structure;
+  layout::RoutedLayout routed;
+  int num_layers = 0;
+
+  std::int64_t volume() const {
+    return static_cast<std::int64_t>(num_layers) * routed.layout.area();
+  }
+};
+
+/// L-layer X-Y layout of the n-star; 2 <= L, L = o(sqrt(N)/n) for the
+/// area claim to have room (the code works for any L >= 2).
+MultilayerStarResult multilayer_star_layout(int n, int L, int base_size = 3);
+
+/// Adds the L-layer X-Y assignment to any existing route spec (the
+/// Section 2.4 remark: the technique applies to every network that
+/// partitions into clusters).  Overwrites spec.layers.
+void apply_xy_layers(layout::RouteSpec& spec, std::int64_t num_edges, int L);
+
+}  // namespace starlay::core

@@ -1,0 +1,82 @@
+#pragma once
+/// \file star_layout.hpp
+/// \brief Lemma 2.2: the optimal N^2/16 + o(N^2) star-graph layout.
+///
+/// The construction, flattened onto one global slot grid:
+///  * the recursive substar hierarchy (an n-star is n (n-1)-stars, each of
+///    which is n-1 (n-2)-stars, ... down to base_size-stars) determines the
+///    *placement*: each level-j block occupies a contiguous sub-block of
+///    the grid, blocks arranged on a ceil(sqrt(j)) x ceil(j/..) block grid
+///    exactly as in the paper;
+///  * every dimension-i link is an inter-block link of the level-i complete
+///    graph of blocks and is oriented by the paper's bundle-halving parity
+///    rule *at block granularity*, then routed as an L through the global
+///    row/column channels (router.hpp).
+/// Dimension-n links dominate and reproduce the complete-graph constant;
+/// everything below contributes only o(N^2) — the measured/claimed ratio
+/// approaches 1 from above as n grows (EXPERIMENTS.md, E3).
+///
+/// The same machinery lays out pancake and bubble-sort graphs (the paper's
+/// closing remark of Section 2.3): both are hierarchical Cayley graphs
+/// whose dimension-i generators preserve all symbols above position i
+/// (star/pancake) or i+1 (bubble-sort).
+
+#include <vector>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+enum class PermutationFamily { kStar, kPancake, kBubbleSort };
+
+/// The hierarchy data shared by the single- and multi-layer constructions.
+struct StarStructure {
+  int n = 0;
+  int base_size = 0;
+  std::vector<layout::LevelShape> shapes;            ///< per level, outer first
+  std::vector<std::vector<std::int32_t>> paths;      ///< per vertex digit path
+  layout::Placement placement;
+};
+
+/// Builds the recursive block placement for the n-dimensional family
+/// member.  base_size is the paper's l = O(1): blocks of base_size! nodes
+/// are laid out directly.  Requires 2 <= base_size <= n.
+StarStructure star_structure(int n, int base_size = 3);
+
+/// The paper's orientation for every edge (block-granularity parity rule).
+/// \p level_of_label maps an edge label to its hierarchy level (identity
+/// for star/pancake, +1 for bubble-sort).
+layout::RouteSpec star_route_spec(const topology::Graph& g, const StarStructure& s,
+                                  int level_shift = 0);
+
+struct StarLayoutResult {
+  topology::Graph graph;
+  StarStructure structure;
+  layout::RoutedLayout routed;
+};
+
+/// Optimal Thompson-model layout of the n-star (N = n! nodes).
+StarLayoutResult star_layout(int n, int base_size = 3);
+
+/// Extended-grid variant (Theorem 3.7's smaller node window): attachments
+/// use all four node sides, shrinking the node side from n-1 to about
+/// ceil((n-1)/2) + 1 and the finite-size area with it.  Same asymptotics.
+StarLayoutResult star_layout_compact(int n, int base_size = 3);
+
+/// Same construction for the other permutation families.
+StarLayoutResult permutation_layout(PermutationFamily family, int n, int base_size = 3);
+
+/// Per-edge hierarchy levels, for families whose generators do not map
+/// one-to-one onto levels (the complete transposition graph: generator
+/// (i, j) is a level-j edge).
+layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStructure& s,
+                                         const std::vector<int>& edge_level);
+
+/// Layout of the n-dimensional complete transposition graph — the
+/// "various other networks" remark of Section 2.4: any network that
+/// partitions into clusters with multi-link cluster pairs.
+StarLayoutResult transposition_layout(int n, int base_size = 3);
+
+}  // namespace starlay::core

@@ -1,0 +1,83 @@
+#include "starlay/core/multilayer_star.hpp"
+
+#include <algorithm>
+
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+std::vector<std::pair<std::int16_t, std::int16_t>> xy_layer_pairs(int L) {
+  STARLAY_REQUIRE(L >= 2, "xy_layer_pairs: need at least 2 layers");
+  std::vector<std::pair<std::int16_t, std::int16_t>> pairs;
+  if (L % 2 == 0) {
+    for (int g = 0; g < L / 2; ++g)
+      pairs.push_back({static_cast<std::int16_t>(2 * g + 1), static_cast<std::int16_t>(2 * g + 2)});
+  } else {
+    const int k = L / 2;  // k vertical layers, k+1 horizontal layers
+    for (int p = 0; p < 2 * k; ++p) {
+      const int h = 2 * ((p + 1) / 2) + 1;
+      const int v = 2 * (p / 2 + 1);
+      pairs.push_back({static_cast<std::int16_t>(h), static_cast<std::int16_t>(v)});
+    }
+  }
+  return pairs;
+}
+
+std::vector<double> xy_pair_weights(int L) {
+  STARLAY_REQUIRE(L >= 2, "xy_pair_weights: need at least 2 layers");
+  if (L % 2 == 0) return std::vector<double>(static_cast<std::size_t>(L / 2), 2.0 / L);
+  const int k = L / 2;
+  // Alternating solve: horizontal layers carry 1/(k+1) each, vertical 1/k.
+  std::vector<double> w(static_cast<std::size_t>(2 * k));
+  double prev = 0.0;
+  for (int p = 0; p < 2 * k; ++p) {
+    const double target = p % 2 == 0 ? 1.0 / (k + 1) : 1.0 / k;
+    // Pair p shares its H (even p) or V (odd p) layer with pair p-1.
+    w[static_cast<std::size_t>(p)] = target - (p % 2 == 0 && p > 0 ? prev : 0.0);
+    if (p % 2 == 1) w[static_cast<std::size_t>(p)] = target - prev;
+    prev = w[static_cast<std::size_t>(p)];
+    STARLAY_REQUIRE(prev >= -1e-12, "xy_pair_weights: negative weight");
+  }
+  return w;
+}
+
+std::vector<std::int32_t> assign_pairs(std::int64_t count, const std::vector<double>& weights) {
+  STARLAY_REQUIRE(!weights.empty(), "assign_pairs: no pairs");
+  // Smooth weighted round-robin.
+  std::vector<double> credit(weights.size(), 0.0);
+  std::vector<std::int32_t> out(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    std::size_t best = 0;
+    for (std::size_t p = 0; p < weights.size(); ++p) {
+      credit[p] += weights[p];
+      if (credit[p] > credit[best]) best = p;
+    }
+    credit[best] -= 1.0;
+    out[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+void apply_xy_layers(layout::RouteSpec& spec, std::int64_t num_edges, int L) {
+  const auto pairs = xy_layer_pairs(L);
+  const auto weights = xy_pair_weights(L);
+  const auto choice = assign_pairs(num_edges, weights);
+  spec.layers.resize(static_cast<std::size_t>(num_edges));
+  for (std::int64_t e = 0; e < num_edges; ++e)
+    spec.layers[static_cast<std::size_t>(e)] =
+        pairs[static_cast<std::size_t>(choice[static_cast<std::size_t>(e)])];
+}
+
+MultilayerStarResult multilayer_star_layout(int n, int L, int base_size) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_star_layout: need at least 2 layers");
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::star_graph(n);
+  layout::RouteSpec spec = star_route_spec(g, s);
+  apply_xy_layers(spec, g.num_edges(), L);
+  layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
+  return {std::move(g), std::move(s), std::move(routed), L};
+}
+
+}  // namespace starlay::core

@@ -1,0 +1,168 @@
+#include "starlay/core/star_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+#include "starlay/topology/permutation.hpp"
+
+namespace starlay::core {
+
+namespace {
+
+/// Rank of the base block's reduced permutation: the first `base` symbols
+/// of p relabelled to 1..base preserving relative order.
+std::int32_t base_block_rank(const topology::Perm& p, int base) {
+  topology::Perm head(p.begin(), p.begin() + base);
+  topology::Perm sorted = head;
+  std::sort(sorted.begin(), sorted.end());
+  topology::Perm reduced(head.size());
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), head[i]);
+    reduced[i] = static_cast<std::uint8_t>(it - sorted.begin() + 1);
+  }
+  return static_cast<std::int32_t>(topology::perm_rank(reduced));
+}
+
+}  // namespace
+
+StarStructure star_structure(int n, int base_size) {
+  STARLAY_REQUIRE(n >= 2 && n <= 12, "star_structure: n must be in [2, 12]");
+  STARLAY_REQUIRE(base_size >= 2 && base_size <= n, "star_structure: base_size in [2, n]");
+  StarStructure s;
+  s.n = n;
+  s.base_size = base_size;
+
+  // Level shapes: the level-j block grid is ceil(sqrt(j)) x ceil(j / rows)
+  // for j = n .. base_size+1, then the base blocks' own near-square grid.
+  // Each level may be transposed: grid_factors always returns rows >= cols,
+  // and stacking several such levels would skew the global slot grid (and
+  // with it the H/V channel balance) far from square.  Greedily orient each
+  // level to keep the running row/column products balanced.
+  double log_rows = 0.0, log_cols = 0.0;
+  const auto push_balanced = [&](starlay::GridFactors f) {
+    const double lr = std::log(static_cast<double>(f.rows));
+    const double lc = std::log(static_cast<double>(f.cols));
+    const double keep = std::abs((log_rows + lr) - (log_cols + lc));
+    const double swap = std::abs((log_rows + lc) - (log_cols + lr));
+    if (swap < keep) std::swap(f.rows, f.cols);
+    log_rows += std::log(static_cast<double>(f.rows));
+    log_cols += std::log(static_cast<double>(f.cols));
+    s.shapes.push_back({f.rows, f.cols});
+  };
+  for (int j = n; j > base_size; --j) push_balanced(starlay::grid_factors(j));
+  push_balanced(starlay::grid_factors(static_cast<int>(starlay::factorial(base_size))));
+
+  const std::int64_t N = starlay::factorial(n);
+  s.paths.resize(static_cast<std::size_t>(N));
+  for (std::int64_t r = 0; r < N; ++r) {
+    const topology::Perm p = topology::perm_unrank(r, n);
+    std::vector<std::int32_t> path = topology::substar_path(p, base_size);
+    path.push_back(base_block_rank(p, base_size));
+    s.paths[static_cast<std::size_t>(r)] = std::move(path);
+  }
+  s.placement = layout::hierarchical_placement(s.paths, s.shapes);
+  return s;
+}
+
+layout::RouteSpec star_route_spec(const topology::Graph& g, const StarStructure& s,
+                                  int level_shift) {
+  std::vector<int> levels(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e)
+    levels[static_cast<std::size_t>(e)] = g.edge(e).label + level_shift;
+  return star_route_spec_levels(g, s, levels);
+}
+
+layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStructure& s,
+                                         const std::vector<int>& edge_level) {
+  STARLAY_REQUIRE(edge_level.size() == static_cast<std::size_t>(g.num_edges()),
+                  "star_route_spec_levels: level table size mismatch");
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    const int level = edge_level[static_cast<std::size_t>(e)];
+    bool u_src = true;
+    if (level > s.base_size && level <= s.n) {
+      // Inter-block link of the level's complete graph: parity rule on
+      // block rows, falling back to block columns when the rows agree.
+      const std::size_t depth = static_cast<std::size_t>(s.n - level);
+      const std::int32_t du = s.paths[static_cast<std::size_t>(ed.u)][depth];
+      const std::int32_t dv = s.paths[static_cast<std::size_t>(ed.v)][depth];
+      const std::int32_t cols = s.shapes[depth].cols;
+      const std::int32_t bru = du / cols, brv = dv / cols;
+      if (bru != brv) {
+        u_src = layout::parity_source_is_first(bru, brv);
+      } else {
+        const std::int32_t bcu = du % cols, bcv = dv % cols;
+        STARLAY_REQUIRE(bcu != bcv, "star_route_spec: identical block digits");
+        u_src = layout::parity_source_is_first(bcu, bcv);
+      }
+    } else {
+      // Intra-base-block link: parity rule at node granularity.
+      const std::int32_t ru = s.placement.row_of(ed.u);
+      const std::int32_t rv = s.placement.row_of(ed.v);
+      if (ru != rv) u_src = layout::parity_source_is_first(ru, rv);
+    }
+    spec.source_is_u[static_cast<std::size_t>(e)] = u_src ? 1 : 0;
+  }
+  return spec;
+}
+
+StarLayoutResult star_layout(int n, int base_size) {
+  return permutation_layout(PermutationFamily::kStar, n, base_size);
+}
+
+StarLayoutResult transposition_layout(int n, int base_size) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::transposition_graph(n);
+  // Generator label l enumerates pairs (i, j), i < j, in i-major order;
+  // the edge's hierarchy level is j (the larger moved position).
+  std::vector<int> levels(static_cast<std::size_t>(g.num_edges()));
+  std::vector<int> label_to_level;
+  for (int i = 1; i <= n; ++i)
+    for (int j = i + 1; j <= n; ++j) label_to_level.push_back(j);
+  for (std::int64_t e = 0; e < g.num_edges(); ++e)
+    levels[static_cast<std::size_t>(e)] =
+        label_to_level[static_cast<std::size_t>(g.edge(e).label)];
+  const layout::RouteSpec spec = star_route_spec_levels(g, s, levels);
+  layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
+  return {std::move(g), std::move(s), std::move(routed)};
+}
+
+StarLayoutResult star_layout_compact(int n, int base_size) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::star_graph(n);
+  const layout::RouteSpec spec = star_route_spec(g, s);
+  layout::RouterOptions opt;
+  opt.four_sided = true;  // node_size auto-shrinks to the stub demand
+  layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec, opt);
+  return {std::move(g), std::move(s), std::move(routed)};
+}
+
+StarLayoutResult permutation_layout(PermutationFamily family, int n, int base_size) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = [&] {
+    switch (family) {
+      case PermutationFamily::kStar:
+        return topology::star_graph(n);
+      case PermutationFamily::kPancake:
+        return topology::pancake_graph(n);
+      case PermutationFamily::kBubbleSort:
+        return topology::bubble_sort_graph(n);
+    }
+    STARLAY_REQUIRE(false, "permutation_layout: unknown family");
+    return topology::star_graph(n);
+  }();
+  const int level_shift = family == PermutationFamily::kBubbleSort ? 1 : 0;
+  const layout::RouteSpec spec = star_route_spec(g, s, level_shift);
+  layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
+  return {std::move(g), std::move(s), std::move(routed)};
+}
+
+}  // namespace starlay::core

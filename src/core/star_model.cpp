@@ -1,0 +1,87 @@
+#include "starlay/core/star_model.hpp"
+
+#include <numeric>
+
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+namespace {
+
+/// Channel demand of one hierarchy level: the level's j blocks as
+/// supernodes of a complete graph with (j-2)! parallel links, placed on
+/// the same (possibly transposed) block grid the star construction uses.
+struct LevelDemand {
+  std::int64_t h_tracks;
+  std::int64_t v_tracks;
+};
+
+LevelDemand level_demand(int j, layout::LevelShape shape) {
+  const int mult = j >= 2 ? static_cast<int>(starlay::factorial(j - 2)) : 1;
+  topology::Graph g = topology::complete_graph(j, mult);
+  const layout::Placement p = layout::grid_placement(j, shape.rows, shape.cols);
+  layout::RouteSpec spec;
+  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    spec.source_is_u[static_cast<std::size_t>(e)] =
+        complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
+  }
+  const layout::RoutedLayout r = layout::route_grid(g, p, spec);
+  return {std::accumulate(r.row_channel_tracks.begin(), r.row_channel_tracks.end(),
+                          std::int64_t{0}),
+          std::accumulate(r.col_channel_tracks.begin(), r.col_channel_tracks.end(),
+                          std::int64_t{0})};
+}
+
+}  // namespace
+
+StarAreaModel star_area_model(int n, int base_size) {
+  STARLAY_REQUIRE(n >= 2 && n <= 10, "star_area_model: n in [2, 10]");
+  if (base_size > n) base_size = n;
+  const StarStructure s = star_structure(n, base_size);
+
+  // Channel recursion down the levels (outermost first in s.shapes).
+  std::int64_t h_total = 0, v_total = 0;
+  std::int64_t row_mult = 1, col_mult = 1;  // sibling copies sharing rows/cols
+  for (int j = n; j > base_size; --j) {
+    const layout::LevelShape shape = s.shapes[static_cast<std::size_t>(n - j)];
+    const LevelDemand d = level_demand(j, shape);
+    // All sibling blocks at this level live in disjoint column ranges of
+    // the same rows (and vice versa), so the per-level demand enters once
+    // per *outer* row/column strip, not once per block.
+    h_total += row_mult * d.h_tracks;
+    v_total += col_mult * d.v_tracks;
+    row_mult *= shape.rows;
+    col_mult *= shape.cols;
+  }
+  // Base blocks: measure one directly (they are tiny).
+  {
+    const StarLayoutResult base = star_layout(base_size, base_size);
+    const std::int64_t bh =
+        std::accumulate(base.routed.row_channel_tracks.begin(),
+                        base.routed.row_channel_tracks.end(), std::int64_t{0});
+    const std::int64_t bv =
+        std::accumulate(base.routed.col_channel_tracks.begin(),
+                        base.routed.col_channel_tracks.end(), std::int64_t{0});
+    h_total += row_mult * bh;
+    v_total += col_mult * bv;
+  }
+
+  StarAreaModel m;
+  m.channel_height = h_total;
+  m.channel_width = v_total;
+  m.node_width = static_cast<std::int64_t>(s.placement.cols) * (n - 1);
+  m.node_height = static_cast<std::int64_t>(s.placement.rows) * (n - 1);
+  m.area = static_cast<double>(m.channel_width + m.node_width) *
+           static_cast<double>(m.channel_height + m.node_height);
+  return m;
+}
+
+}  // namespace starlay::core

@@ -1,0 +1,82 @@
+#include "starlay/layout/channel.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+
+PackResult pack_intervals_left_edge(std::span<const PackRequest> reqs) {
+  for (const PackRequest& r : reqs)
+    STARLAY_REQUIRE(r.lo <= r.hi, "pack_intervals_left_edge: inverted interval");
+
+  std::vector<std::int32_t> order(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) order[i] = static_cast<std::int32_t>(i);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const auto& ra = reqs[static_cast<std::size_t>(a)];
+    const auto& rb = reqs[static_cast<std::size_t>(b)];
+    if (ra.lo != rb.lo) return ra.lo < rb.lo;
+    return ra.hi < rb.hi;
+  });
+
+  PackResult result;
+  result.track.assign(reqs.size(), -1);
+  // Min-heap over (last hi on track, track index): reuse the track that
+  // freed earliest, provided it freed strictly before this interval starts.
+  using Slot = std::pair<std::int64_t, std::int32_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  for (std::int32_t idx : order) {
+    const PackRequest& r = reqs[static_cast<std::size_t>(idx)];
+    if (!free_at.empty() && free_at.top().first < r.lo) {
+      const std::int32_t t = free_at.top().second;
+      free_at.pop();
+      result.track[static_cast<std::size_t>(idx)] = t;
+      free_at.push({r.hi, t});
+    } else {
+      const std::int32_t t = result.num_tracks++;
+      result.track[static_cast<std::size_t>(idx)] = t;
+      free_at.push({r.hi, t});
+    }
+  }
+  return result;
+}
+
+std::int64_t max_closed_coverage(std::span<const PackRequest> reqs) {
+  // Sweep: +1 at lo, -1 just after hi.  Closed intervals touching at a
+  // point both count at that point.
+  std::vector<std::pair<std::int64_t, std::int32_t>> events;
+  events.reserve(reqs.size() * 2);
+  for (const PackRequest& r : reqs) {
+    events.push_back({r.lo, +1});
+    events.push_back({r.hi + 1, -1});
+  }
+  std::sort(events.begin(), events.end());
+  std::int64_t cur = 0, best = 0;
+  for (const auto& [pos, delta] : events) {
+    (void)pos;
+    cur += delta;
+    best = std::max(best, cur);
+  }
+  return best;
+}
+
+bool packing_is_valid(std::span<const PackRequest> reqs, const PackResult& result) {
+  if (result.track.size() != reqs.size()) return false;
+  std::vector<std::vector<PackRequest>> per_track(
+      static_cast<std::size_t>(result.num_tracks));
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const std::int32_t t = result.track[i];
+    if (t < 0 || t >= result.num_tracks) return false;
+    per_track[static_cast<std::size_t>(t)].push_back(reqs[i]);
+  }
+  for (auto& track : per_track) {
+    std::sort(track.begin(), track.end(),
+              [](const PackRequest& a, const PackRequest& b) { return a.lo < b.lo; });
+    for (std::size_t i = 1; i < track.size(); ++i)
+      if (track[i].lo <= track[i - 1].hi) return false;
+  }
+  return true;
+}
+
+}  // namespace starlay::layout

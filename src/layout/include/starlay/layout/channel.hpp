@@ -1,0 +1,46 @@
+#pragma once
+/// \file channel.hpp
+/// \brief Track assignment within a routing channel (left-edge packing).
+///
+/// Every layout in the paper boils down to: assign each wire segment in a
+/// channel to a track so that segments on the same track are disjoint.  The
+/// paper gives explicit modular assignment rules (Lemma 2.1); this module
+/// provides the classic left-edge algorithm instead, which is *optimal per
+/// channel* — for interval graphs the greedy coloring attains the clique
+/// number, i.e. the maximum closed-coverage density.  The explicit paper
+/// rules are implemented in core/collinear_complete.* and cross-checked to
+/// give identical track counts (experiment E11).
+///
+/// Intervals are CLOSED: two segments sharing even one grid point must land
+/// on different tracks.  This is what makes the downstream 3-D via argument
+/// work (see wire.hpp / validate.hpp).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace starlay::layout {
+
+/// A packing request: closed interval [lo, hi] in an ordinal key space.
+struct PackRequest {
+  std::int64_t lo;
+  std::int64_t hi;
+};
+
+struct PackResult {
+  std::vector<std::int32_t> track;  ///< per request, in input order
+  std::int32_t num_tracks = 0;
+};
+
+/// Left-edge packing of closed intervals.  Returns the minimum number of
+/// tracks (= max closed coverage) and a valid assignment.
+PackResult pack_intervals_left_edge(std::span<const PackRequest> reqs);
+
+/// Maximum number of intervals covering a single point (closed coverage).
+/// Lower bound for any packing; equals left-edge's track count.
+std::int64_t max_closed_coverage(std::span<const PackRequest> reqs);
+
+/// True when no two requests assigned to the same track overlap (closed).
+bool packing_is_valid(std::span<const PackRequest> reqs, const PackResult& result);
+
+}  // namespace starlay::layout

@@ -1,0 +1,67 @@
+#pragma once
+/// \file geometry.hpp
+/// \brief Integer grid geometry for VLSI layouts.
+///
+/// All coordinates are 64-bit: an n-star layout has side ~n!/4, so a 9-star
+/// already needs coordinates near 10^5 and areas near 10^10.
+
+#include <cstdint>
+
+namespace starlay::layout {
+
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Closed axis-aligned rectangle [x0, x1] x [y0, y1] of grid points.
+struct Rect {
+  Coord x0 = 0;
+  Coord y0 = 0;
+  Coord x1 = -1;  // empty by default
+  Coord y1 = -1;
+
+  bool empty() const { return x1 < x0 || y1 < y0; }
+  Coord width() const { return empty() ? 0 : x1 - x0 + 1; }
+  Coord height() const { return empty() ? 0 : y1 - y0 + 1; }
+  std::int64_t area() const { return width() * height(); }
+
+  bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  /// True when \p p lies strictly inside (not on the boundary).
+  bool strictly_contains(Point p) const {
+    return p.x > x0 && p.x < x1 && p.y > y0 && p.y < y1;
+  }
+  /// Grows the rectangle to cover \p p.
+  void cover(Point p) {
+    if (empty()) {
+      x0 = x1 = p.x;
+      y0 = y1 = p.y;
+      return;
+    }
+    if (p.x < x0) x0 = p.x;
+    if (p.x > x1) x1 = p.x;
+    if (p.y < y0) y0 = p.y;
+    if (p.y > y1) y1 = p.y;
+  }
+  void cover(const Rect& r) {
+    if (r.empty()) return;
+    cover(Point{r.x0, r.y0});
+    cover(Point{r.x1, r.y1});
+  }
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Closed 1-D interval [lo, hi]; used for track packing.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = 0;
+  bool overlaps_closed(const Interval& o) const { return lo <= o.hi && o.lo <= hi; }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace starlay::layout

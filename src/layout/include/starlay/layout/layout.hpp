@@ -1,0 +1,61 @@
+#pragma once
+/// \file layout.hpp
+/// \brief The layout container: node rectangles + wires + area queries.
+///
+/// A Layout is the executable counterpart of the paper's pen-and-paper grid
+/// layouts.  Constructions fill it; validate.hpp certifies it; area() is the
+/// quantity every lemma of the paper bounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/layout/geometry.hpp"
+#include "starlay/layout/wire.hpp"
+
+namespace starlay::layout {
+
+class Layout {
+ public:
+  /// Creates a layout for \p num_nodes topology vertices (rects unset).
+  explicit Layout(std::int32_t num_nodes);
+
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes_.size()); }
+  std::int64_t num_wires() const { return static_cast<std::int64_t>(wires_.size()); }
+
+  void set_node_rect(std::int32_t node, const Rect& r);
+  const Rect& node_rect(std::int32_t node) const;
+  const std::vector<Rect>& node_rects() const { return nodes_; }
+
+  void add_wire(const Wire& w) { wires_.push_back(w); }
+  const std::vector<Wire>& wires() const { return wires_; }
+  std::vector<Wire>& mutable_wires() { return wires_; }
+  void reserve_wires(std::int64_t n) { wires_.reserve(static_cast<std::size_t>(n)); }
+
+  /// Number of wiring layers used (max layer index over all wires; >= 2
+  /// whenever any wire exists, matching Thompson's two-layer guarantee).
+  int num_layers() const;
+
+  /// Smallest upright rectangle containing all nodes and wires.
+  Rect bounding_box() const;
+  Coord width() const { return bounding_box().width(); }
+  Coord height() const { return bounding_box().height(); }
+
+  /// Thompson-model layout area: grid-point count of the bounding box.
+  std::int64_t area() const { return bounding_box().area(); }
+
+  /// Total wire length (sum of Manhattan lengths of all wires).
+  std::int64_t total_wire_length() const;
+
+  /// Longest single wire (Manhattan length).
+  std::int64_t max_wire_length() const;
+
+  /// Flattens every wire into per-layer oriented segments (drops
+  /// zero-length artifacts).  Used by the validator and renderer.
+  std::vector<LayerSegment> segments() const;
+
+ private:
+  std::vector<Rect> nodes_;
+  std::vector<Wire> wires_;
+};
+
+}  // namespace starlay::layout

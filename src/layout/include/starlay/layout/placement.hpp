@@ -1,0 +1,62 @@
+#pragma once
+/// \file placement.hpp
+/// \brief Assignment of topology vertices to slots of a 2-D grid.
+///
+/// The router (router.hpp) only sees a slot grid; the network-specific
+/// hierarchy (substar nesting, HCN clusters, hypercube halves) is encoded
+/// entirely in *which slot each vertex gets* via hierarchical_placement().
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+
+/// Vertex-to-slot map on a rows x cols grid.  Slots may be empty; each
+/// occupied slot holds exactly one vertex.
+struct Placement {
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+  std::vector<std::int64_t> slot;  ///< vertex -> row * cols + col
+
+  std::int32_t row_of(std::int32_t v) const {
+    return static_cast<std::int32_t>(slot[static_cast<std::size_t>(v)] / cols);
+  }
+  std::int32_t col_of(std::int32_t v) const {
+    return static_cast<std::int32_t>(slot[static_cast<std::size_t>(v)] % cols);
+  }
+  std::int64_t num_slots() const {
+    return static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols);
+  }
+
+  /// Throws InvariantError unless every vertex has a distinct in-range slot.
+  void check(std::int32_t num_vertices) const;
+};
+
+/// Row-major placement of vertices 0..n-1 on a near-square grid
+/// (rows = ceil(sqrt(n))).
+Placement row_major_placement(std::int32_t num_vertices);
+
+/// Row-major placement on an explicit rows x cols grid (rows*cols >= n).
+Placement grid_placement(std::int32_t num_vertices, std::int32_t rows, std::int32_t cols);
+
+/// Single-row placement (used by collinear layouts).
+Placement collinear_placement(std::int32_t num_vertices);
+
+/// Shape of one hierarchy level's block grid.
+struct LevelShape {
+  std::int32_t rows;
+  std::int32_t cols;
+};
+
+/// Hierarchical placement.  Vertex v's digit path (one digit per level,
+/// outermost first) selects a block in each level's rows x cols grid,
+/// row-major: digit d -> (d / cols, d % cols).  The vertex's final grid row
+/// is the digit rows combined positionally (outer levels are coarser):
+///   row(v) = sum_j rowdigit_j * prod_{j' > j} shape[j'].rows
+/// and likewise for columns.  All paths must have one digit per level.
+Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& digit_paths,
+                                 const std::vector<LevelShape>& shapes);
+
+}  // namespace starlay::layout

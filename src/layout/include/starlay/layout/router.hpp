@@ -1,0 +1,85 @@
+#pragma once
+/// \file router.hpp
+/// \brief Channel-based grid router: turns (graph, placement, orientation)
+///        into a concrete, validator-clean Layout.
+///
+/// Routing discipline (exactly the paper's Lemma 2.1 scheme, generalized):
+///  * every node occupies a w x w square in its grid cell; each incident
+///    wire owns a private stub position on the node's top edge (if the wire
+///    leaves through the row channel above) or right edge (if it arrives
+///    from the column channel to the right);
+///  * an edge whose endpoints share a row is routed through the channel
+///    above that row; one sharing a column through the channel right of it;
+///  * any other edge is an "L": a horizontal run in the *source's* row
+///    channel followed by a vertical run in the *destination's* column
+///    channel — the paper's turning-node scheme.  Which endpoint acts as
+///    source is the caller's choice (RouteSpec::source_is_u); the default
+///    is the paper's bundle-halving parity rule, which is what turns the
+///    directed m^4/4 complete-graph area into the undirected m^4/16.
+///  * within each channel, tracks are assigned by left-edge packing of
+///    closed intervals, independently per wiring layer.
+///
+/// Multilayer X-Y layouts: RouteSpec::layers assigns each wire an
+/// (h_layer, v_layer) pair with h odd, v even, |h - v| = 1.  Tracks on
+/// different layers share physical positions, which is where the paper's
+/// N^2/(4 L^2) area gain comes from.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::layout {
+
+struct RouteSpec {
+  /// Per-edge orientation for L-shaped routes: true = u is the source
+  /// (horizontal run in u's row channel, vertical in v's column channel).
+  /// Empty = apply the paper's parity rule on node rows.
+  std::vector<std::uint8_t> source_is_u;
+
+  /// Per-edge (h_layer, v_layer); empty = all wires on layers (1, 2)
+  /// (the Thompson model's two implicit layers).
+  std::vector<std::pair<std::int16_t, std::int16_t>> layers;
+};
+
+struct RouterOptions {
+  /// Side of the square each node occupies; 0 = auto (max degree, floor 1).
+  /// Must be >= the per-side stub demand — the router throws otherwise.
+  Coord node_size = 0;
+
+  /// Use all four node sides for stubs (the paper's extended-grid regime,
+  /// Lemma 2.2's node sides below the degree): L-edge horizontal runs may
+  /// go through the channel above OR below the source row, vertical runs
+  /// left OR right of the destination column, balanced per node.  Top
+  /// stubs take even in-cell offsets and bottom stubs odd ones (likewise
+  /// right/left), so node_size can drop to about ceil(degree/2) + 1.
+  bool four_sided = false;
+};
+
+/// A routed layout plus the channel statistics the benches report.
+/// Two-sided mode: entry r/c = channel above row r / right of column c
+/// (size rows/cols).  Four-sided mode: entry k = channel below row k /
+/// left of column k (size rows+1 / cols+1).
+struct RoutedLayout {
+  Layout layout;
+  std::vector<std::int32_t> row_channel_tracks;
+  std::vector<std::int32_t> col_channel_tracks;
+  Coord node_size = 0;
+};
+
+/// Routes every edge of \p g on the slot grid of \p p.
+/// Preconditions: g finalized, p.check(g.num_vertices()) passes.
+RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
+                        const RouteSpec& spec = {}, const RouterOptions& opt = {});
+
+/// The paper's parity orientation rule (Section 2.2): for an edge whose
+/// endpoints' rows differ by k > 0, the endpoint u with floor(row_u / k)
+/// even is the source.  Exactly one endpoint qualifies.  Rows here may be
+/// node rows or block rows, depending on the granularity the construction
+/// balances at.
+bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v);
+
+}  // namespace starlay::layout

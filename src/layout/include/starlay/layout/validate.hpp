@@ -1,0 +1,64 @@
+#pragma once
+/// \file validate.hpp
+/// \brief Mechanical certification of layouts under the grid models.
+///
+/// The validator enforces, independently of how a layout was constructed:
+///
+///  1. *Path rules* — wires are alternating rectilinear polylines;
+///     horizontal segments on the wire's odd h_layer, vertical on its even
+///     v_layer, |h_layer - v_layer| = 1.
+///  2. *Track exclusivity* — on every (layer, grid line), the closed spans
+///     of all segments are pairwise disjoint.  Perpendicular crossings are
+///     allowed (different layers); overlaps and shared endpoints are not.
+///     Because bends join two segments that *end* at the bend point, this
+///     single rule also excludes knock-knees (two wires bending at one
+///     grid point) and, with the adjacent-layer restriction, all 3-D via
+///     conflicts of the multilayer model.
+///  3. *Via audit* — defense in depth: bend points are collected and any
+///     two vias at the same (x, y) with overlapping layer ranges are
+///     reported, as is any foreign segment passing through a via point on
+///     a spanned layer.  With rules 1-2 intact this never fires.
+///  4. *Node clearance* — a wire may touch only its own two endpoint
+///     nodes, at exactly one boundary grid point each; every other
+///     node rectangle must be completely avoided (closed).
+///  5. *Node size* (optional) — Thompson: each node is a square of side
+///     exactly max(1, degree); extended grid: each side must lie inside a
+///     caller-supplied window [min_side, max_side].
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starlay/layout/layout.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::layout {
+
+struct ValidationOptions {
+  /// 0 = don't check node sizes; otherwise extended-grid window.
+  Coord min_node_side = 0;
+  Coord max_node_side = 0;
+  /// Require side == max(1, degree) exactly (classic Thompson nodes).
+  bool thompson_node_size = false;
+  /// Stop after this many recorded errors.
+  int max_errors = 20;
+};
+
+struct ValidationReport {
+  bool ok = true;
+  std::vector<std::string> errors;
+  std::int64_t num_segments = 0;
+  int num_layers = 0;
+
+  void fail(std::string msg, int max_errors) {
+    ok = false;
+    if (static_cast<int>(errors.size()) < max_errors) errors.push_back(std::move(msg));
+  }
+};
+
+/// Validates \p lay as a layout of \p g.  Every edge of g must have exactly
+/// one wire and vice versa.
+ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
+                                 const ValidationOptions& opt = {});
+
+}  // namespace starlay::layout

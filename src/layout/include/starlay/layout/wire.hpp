@@ -1,0 +1,48 @@
+#pragma once
+/// \file wire.hpp
+/// \brief Rectilinear wires with multilayer X-Y layer assignment.
+///
+/// A wire is a polyline of up to kMaxWirePoints grid points; consecutive
+/// points differ in exactly one coordinate.  Horizontal segments live on the
+/// wire's (odd) h_layer, vertical segments on its (even) v_layer.  The
+/// classic Thompson model is the special case h_layer = 1, v_layer = 2 for
+/// every wire (Thompson guarantees two wiring layers suffice when wires
+/// merely cross).  |h_layer - v_layer| must be 1 so that bend vias span only
+/// the wire's own two layers — see validate.hpp for why that makes via
+/// conflicts reduce to same-line interval overlaps.
+
+#include <array>
+#include <cstdint>
+
+#include "starlay/layout/geometry.hpp"
+
+namespace starlay::layout {
+
+inline constexpr int kMaxWirePoints = 8;
+
+struct Wire {
+  std::int64_t edge = -1;   ///< index into the topology graph's edge list
+  std::int16_t h_layer = 1; ///< odd layer carrying horizontal segments
+  std::int16_t v_layer = 2; ///< even layer carrying vertical segments
+  std::uint8_t npts = 0;
+  std::array<Point, kMaxWirePoints> pts{};
+
+  /// Appends a point, dropping it when it repeats the previous point.
+  void push(Point p) {
+    if (npts > 0 && pts[npts - 1] == p) return;
+    pts[static_cast<std::size_t>(npts++)] = p;
+  }
+  Point front() const { return pts[0]; }
+  Point back() const { return pts[static_cast<std::size_t>(npts - 1)]; }
+};
+
+/// An oriented segment extracted from a wire, tagged with its layer.
+struct LayerSegment {
+  std::int16_t layer;
+  bool horizontal;
+  Coord line;  ///< y for horizontal segments, x for vertical ones
+  Interval span;
+  std::int64_t wire;  ///< index into Layout::wires()
+};
+
+}  // namespace starlay::layout

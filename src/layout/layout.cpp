@@ -1,0 +1,82 @@
+#include "starlay/layout/layout.hpp"
+
+#include <algorithm>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+
+Layout::Layout(std::int32_t num_nodes) {
+  STARLAY_REQUIRE(num_nodes >= 0, "Layout: negative node count");
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void Layout::set_node_rect(std::int32_t node, const Rect& r) {
+  STARLAY_REQUIRE(node >= 0 && node < num_nodes(), "Layout::set_node_rect: node out of range");
+  STARLAY_REQUIRE(!r.empty(), "Layout::set_node_rect: empty rectangle");
+  nodes_[static_cast<std::size_t>(node)] = r;
+}
+
+const Rect& Layout::node_rect(std::int32_t node) const {
+  STARLAY_REQUIRE(node >= 0 && node < num_nodes(), "Layout::node_rect: node out of range");
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+int Layout::num_layers() const {
+  int layers = 0;
+  for (const Wire& w : wires_)
+    layers = std::max({layers, static_cast<int>(w.h_layer), static_cast<int>(w.v_layer)});
+  return layers;
+}
+
+Rect Layout::bounding_box() const {
+  Rect bb;
+  for (const Rect& r : nodes_) bb.cover(r);
+  for (const Wire& w : wires_)
+    for (std::uint8_t i = 0; i < w.npts; ++i) bb.cover(w.pts[i]);
+  return bb;
+}
+
+std::int64_t Layout::total_wire_length() const {
+  std::int64_t len = 0;
+  for (const Wire& w : wires_)
+    for (std::uint8_t i = 1; i < w.npts; ++i)
+      len += std::abs(w.pts[i].x - w.pts[i - 1].x) + std::abs(w.pts[i].y - w.pts[i - 1].y);
+  return len;
+}
+
+std::int64_t Layout::max_wire_length() const {
+  std::int64_t best = 0;
+  for (const Wire& w : wires_) {
+    std::int64_t len = 0;
+    for (std::uint8_t i = 1; i < w.npts; ++i)
+      len += std::abs(w.pts[i].x - w.pts[i - 1].x) + std::abs(w.pts[i].y - w.pts[i - 1].y);
+    best = std::max(best, len);
+  }
+  return best;
+}
+
+std::vector<LayerSegment> Layout::segments() const {
+  std::vector<LayerSegment> segs;
+  segs.reserve(wires_.size() * 3);
+  for (std::size_t wi = 0; wi < wires_.size(); ++wi) {
+    const Wire& w = wires_[wi];
+    for (std::uint8_t i = 1; i < w.npts; ++i) {
+      const Point a = w.pts[i - 1];
+      const Point b = w.pts[i];
+      if (a == b) continue;
+      if (a.y == b.y) {
+        segs.push_back({w.h_layer, true, a.y,
+                        {std::min(a.x, b.x), std::max(a.x, b.x)},
+                        static_cast<std::int64_t>(wi)});
+      } else {
+        segs.push_back({w.v_layer, false, a.x,
+                        {std::min(a.y, b.y), std::max(a.y, b.y)},
+                        static_cast<std::int64_t>(wi)});
+      }
+    }
+  }
+  return segs;
+}
+
+}  // namespace starlay::layout

@@ -1,0 +1,80 @@
+#include "starlay/layout/placement.hpp"
+
+#include <unordered_set>
+
+#include "starlay/support/math.hpp"
+
+namespace starlay::layout {
+
+void Placement::check(std::int32_t num_vertices) const {
+  STARLAY_REQUIRE(rows > 0 && cols > 0, "Placement: empty grid");
+  STARLAY_REQUIRE(static_cast<std::int32_t>(slot.size()) == num_vertices,
+                  "Placement: slot table size mismatch");
+  std::unordered_set<std::int64_t> used;
+  used.reserve(slot.size() * 2);
+  for (std::int64_t s : slot) {
+    STARLAY_REQUIRE(s >= 0 && s < num_slots(), "Placement: slot out of range");
+    STARLAY_REQUIRE(used.insert(s).second, "Placement: duplicate slot");
+  }
+}
+
+Placement row_major_placement(std::int32_t num_vertices) {
+  STARLAY_REQUIRE(num_vertices >= 1, "row_major_placement: need >= 1 vertex");
+  const auto f = starlay::grid_factors(num_vertices);
+  return grid_placement(num_vertices, f.rows, f.cols);
+}
+
+Placement grid_placement(std::int32_t num_vertices, std::int32_t rows, std::int32_t cols) {
+  STARLAY_REQUIRE(static_cast<std::int64_t>(rows) * cols >= num_vertices,
+                  "grid_placement: grid too small");
+  Placement p;
+  p.rows = rows;
+  p.cols = cols;
+  p.slot.resize(static_cast<std::size_t>(num_vertices));
+  for (std::int32_t v = 0; v < num_vertices; ++v) p.slot[static_cast<std::size_t>(v)] = v;
+  return p;
+}
+
+Placement collinear_placement(std::int32_t num_vertices) {
+  return grid_placement(num_vertices, 1, num_vertices);
+}
+
+Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& digit_paths,
+                                 const std::vector<LevelShape>& shapes) {
+  STARLAY_REQUIRE(!shapes.empty(), "hierarchical_placement: no level shapes");
+  const std::size_t levels = shapes.size();
+  // Row/column strides: stride of level j = product of finer levels' extents.
+  std::vector<std::int64_t> row_stride(levels, 1), col_stride(levels, 1);
+  for (std::size_t j = levels; j-- > 0;) {
+    if (j + 1 < levels) {
+      row_stride[j] = row_stride[j + 1] * shapes[j + 1].rows;
+      col_stride[j] = col_stride[j + 1] * shapes[j + 1].cols;
+    }
+  }
+  std::int64_t total_rows = row_stride[0] * shapes[0].rows;
+  std::int64_t total_cols = col_stride[0] * shapes[0].cols;
+  STARLAY_REQUIRE(total_rows * total_cols < (std::int64_t{1} << 62),
+                  "hierarchical_placement: grid overflow");
+
+  Placement p;
+  p.rows = static_cast<std::int32_t>(total_rows);
+  p.cols = static_cast<std::int32_t>(total_cols);
+  p.slot.resize(digit_paths.size());
+  for (std::size_t v = 0; v < digit_paths.size(); ++v) {
+    const auto& path = digit_paths[v];
+    STARLAY_REQUIRE(path.size() == levels, "hierarchical_placement: path length mismatch");
+    std::int64_t row = 0, col = 0;
+    for (std::size_t j = 0; j < levels; ++j) {
+      const std::int32_t d = path[j];
+      STARLAY_REQUIRE(d >= 0 && d < shapes[j].rows * shapes[j].cols,
+                      "hierarchical_placement: digit out of range");
+      row += (d / shapes[j].cols) * row_stride[j];
+      col += (d % shapes[j].cols) * col_stride[j];
+    }
+    p.slot[v] = row * total_cols + col;
+  }
+  p.check(static_cast<std::int32_t>(digit_paths.size()));
+  return p;
+}
+
+}  // namespace starlay::layout

@@ -1,0 +1,518 @@
+#include "starlay/layout/router.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+
+#include "starlay/layout/channel.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+
+namespace {
+
+enum class EdgeClass : std::uint8_t { kRow, kCol, kL };
+
+// Node sides an attachment can leave through.  Top/Bottom attachments are
+// vertical stubs into the horizontal channel above/below the node's row;
+// Right/Left are horizontal stubs into the vertical channel beside it.
+enum Side : int { kTop = 0, kBottom = 1, kRight = 2, kLeft = 3 };
+
+inline bool vertical_side(int s) { return s == kTop || s == kBottom; }
+
+struct EdgePlan {
+  EdgeClass cls;
+  std::int32_t src;            // L: source; Row: left endpoint; Col: lower endpoint
+  std::int32_t dst;            // the other endpoint
+  std::int8_t src_side = kTop;
+  std::int8_t dst_side = kRight;
+  std::int32_t src_stub = -1;  // index within the source's side list
+  std::int32_t dst_stub = -1;
+  // Main runs.
+  std::int32_t h_chan = -1;    // horizontal channel of the main H run, in [0, R]
+  std::int32_t v_chan = -1;    // vertical channel of the main V run, in [0, C]
+  std::int32_t h_track = -1;
+  std::int32_t v_track = -1;
+  // Jogs (four-sided mode): a source attached left/right needs a short
+  // vertical jog from its stub up/down to the main H run; a destination
+  // attached top/bottom needs a short horizontal jog from the main V run
+  // to its terminal stub.
+  std::int32_t src_jog_vchan = -1;
+  std::int32_t src_jog_vtrack = -1;
+  std::int32_t dst_jog_hchan = -1;
+  std::int32_t dst_jog_htrack = -1;
+  std::int16_t h_layer = 1;
+  std::int16_t v_layer = 2;
+};
+
+struct StubKey {
+  std::int64_t edge;
+  std::int32_t primary;   // far endpoint's column (vertical sides) or row
+  std::int32_t secondary;
+  bool is_src;
+  bool operator<(const StubKey& o) const {
+    if (primary != o.primary) return primary < o.primary;
+    if (secondary != o.secondary) return secondary < o.secondary;
+    if (edge != o.edge) return edge < o.edge;
+    return is_src < o.is_src;
+  }
+};
+
+}  // namespace
+
+bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
+  STARLAY_REQUIRE(row_u != row_v, "parity_source_is_first: rows must differ");
+  const std::int32_t k = std::abs(row_u - row_v);
+  return (row_u / k) % 2 == 0;
+}
+
+RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
+                        const RouteSpec& spec, const RouterOptions& opt) {
+  p.check(g.num_vertices());
+  const std::int64_t E = g.num_edges();
+  if (!spec.source_is_u.empty())
+    STARLAY_REQUIRE(static_cast<std::int64_t>(spec.source_is_u.size()) == E,
+                    "route_grid: source_is_u size mismatch");
+  if (!spec.layers.empty())
+    STARLAY_REQUIRE(static_cast<std::int64_t>(spec.layers.size()) == E,
+                    "route_grid: layers size mismatch");
+
+  const std::int32_t V = g.num_vertices();
+  const std::int32_t R = p.rows;
+  const std::int32_t C = p.cols;
+  const bool four = opt.four_sided;
+  // Channel k sits below row k / left of column k; channels R and C close
+  // the top/right side.  Two-sided mode only uses channels 1..R / 1..C.
+  const std::int32_t HC = R + 1;
+  const std::int32_t VC = C + 1;
+
+  std::vector<std::int32_t> vrow(static_cast<std::size_t>(V)), vcol(static_cast<std::size_t>(V));
+  for (std::int32_t v = 0; v < V; ++v) {
+    vrow[static_cast<std::size_t>(v)] = p.row_of(v);
+    vcol[static_cast<std::size_t>(v)] = p.col_of(v);
+  }
+
+  // ---- Classify edges and pick L orientations -------------------------------
+  std::vector<EdgePlan> plan(static_cast<std::size_t>(E));
+  for (std::int64_t e = 0; e < E; ++e) {
+    const auto& ed = g.edge(e);
+    EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    if (!spec.layers.empty()) {
+      ep.h_layer = spec.layers[static_cast<std::size_t>(e)].first;
+      ep.v_layer = spec.layers[static_cast<std::size_t>(e)].second;
+      STARLAY_REQUIRE(ep.h_layer >= 1 && ep.h_layer % 2 == 1, "route_grid: h_layer must be odd");
+      STARLAY_REQUIRE(ep.v_layer >= 2 && ep.v_layer % 2 == 0, "route_grid: v_layer must be even");
+      STARLAY_REQUIRE(std::abs(ep.h_layer - ep.v_layer) == 1,
+                      "route_grid: h and v layers must be adjacent");
+    }
+    const std::int32_t ru = vrow[static_cast<std::size_t>(ed.u)];
+    const std::int32_t rv = vrow[static_cast<std::size_t>(ed.v)];
+    const std::int32_t cu = vcol[static_cast<std::size_t>(ed.u)];
+    const std::int32_t cv = vcol[static_cast<std::size_t>(ed.v)];
+    if (ru == rv) {
+      ep.cls = EdgeClass::kRow;
+      ep.src = cu <= cv ? ed.u : ed.v;
+      ep.dst = cu <= cv ? ed.v : ed.u;
+      const bool above = !four || ((cu + cv) % 2 == 0);
+      ep.src_side = ep.dst_side = above ? kTop : kBottom;
+      ep.h_chan = above ? ru + 1 : ru;
+    } else if (cu == cv) {
+      ep.cls = EdgeClass::kCol;
+      ep.src = ru <= rv ? ed.u : ed.v;
+      ep.dst = ru <= rv ? ed.v : ed.u;
+      const bool right_side = !four || ((ru + rv) % 2 == 0);
+      ep.src_side = ep.dst_side = right_side ? kRight : kLeft;
+      ep.v_chan = right_side ? cu + 1 : cu;
+    } else {
+      ep.cls = EdgeClass::kL;
+      bool u_is_src;
+      if (!spec.source_is_u.empty())
+        u_is_src = spec.source_is_u[static_cast<std::size_t>(e)] != 0;
+      else
+        u_is_src = parity_source_is_first(ru, rv);
+      ep.src = u_is_src ? ed.u : ed.v;
+      ep.dst = u_is_src ? ed.v : ed.u;
+      ep.src_side = kTop;    // refined below in four-sided mode
+      ep.dst_side = kRight;
+    }
+  }
+
+  // ---- Attachment-side balancing (four-sided mode) ---------------------------
+  // Each node spreads its L-edge attachments over all four sides; sources
+  // prefer top/bottom (no jog) and destinations right/left, but a loaded
+  // node spills onto the other pair, which is what lets node sides shrink
+  // toward degree/2 (the paper's extended-grid regime).
+  if (four) {
+    std::vector<std::array<std::int32_t, 4>> load(static_cast<std::size_t>(V),
+                                                  {0, 0, 0, 0});
+    for (std::int64_t e = 0; e < E; ++e) {
+      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      if (ep.cls == EdgeClass::kL) continue;
+      ++load[static_cast<std::size_t>(ep.src)][static_cast<std::size_t>(ep.src_side)];
+      ++load[static_cast<std::size_t>(ep.dst)][static_cast<std::size_t>(ep.dst_side)];
+    }
+    const auto pick = [&](std::int32_t v, bool prefer_vertical) -> std::int8_t {
+      auto& l = load[static_cast<std::size_t>(v)];
+      // Twice the load plus a half-step penalty for non-preferred sides.
+      int best = -1;
+      int best_score = 1 << 30;
+      for (int s = 0; s < 4; ++s) {
+        const int penalty = vertical_side(s) == prefer_vertical ? 0 : 1;
+        const int score = 2 * l[static_cast<std::size_t>(s)] + penalty;
+        if (score < best_score) {
+          best_score = score;
+          best = s;
+        }
+      }
+      ++l[static_cast<std::size_t>(best)];
+      return static_cast<std::int8_t>(best);
+    };
+    for (std::int64_t e = 0; e < E; ++e) {
+      EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      if (ep.cls != EdgeClass::kL) continue;
+      ep.src_side = pick(ep.src, /*prefer_vertical=*/true);
+      ep.dst_side = pick(ep.dst, /*prefer_vertical=*/false);
+    }
+  }
+
+  // ---- Channel selection ------------------------------------------------------
+  for (std::int64_t e = 0; e < E; ++e) {
+    EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    if (ep.cls != EdgeClass::kL) continue;
+    const std::int32_t rs = vrow[static_cast<std::size_t>(ep.src)];
+    const std::int32_t cs = vcol[static_cast<std::size_t>(ep.src)];
+    const std::int32_t rt = vrow[static_cast<std::size_t>(ep.dst)];
+    const std::int32_t ct = vcol[static_cast<std::size_t>(ep.dst)];
+    switch (ep.src_side) {
+      case kTop: ep.h_chan = rs + 1; break;
+      case kBottom: ep.h_chan = rs; break;
+      default:
+        // Side attachment: the jog channel is fixed by the side; the main
+        // H run may go above or below, alternating for balance.
+        ep.src_jog_vchan = ep.src_side == kRight ? cs + 1 : cs;
+        ep.h_chan = (e % 2 == 0) ? rs + 1 : rs;
+        break;
+    }
+    switch (ep.dst_side) {
+      case kRight: ep.v_chan = ct + 1; break;
+      case kLeft: ep.v_chan = ct; break;
+      default:
+        ep.dst_jog_hchan = ep.dst_side == kTop ? rt + 1 : rt;
+        ep.v_chan = (e % 2 == 0) ? ct + 1 : ct;
+        break;
+    }
+  }
+
+  // ---- Stub assignment ---------------------------------------------------------
+  // Within each node side, stubs are ordered by the far endpoint (column
+  // first on vertical sides, row first on horizontal ones) — the ordering
+  // that makes collinear K_m take exactly floor(m^2/4) tracks.  Four-sided
+  // mode interleaves: top/right stubs take even in-cell offsets, bottom/
+  // left odd ones, so the two rows (columns) adjoining a channel can never
+  // collide.
+  std::vector<std::vector<StubKey>> side_list(static_cast<std::size_t>(V) * 4);
+  const auto list_of = [&](std::int32_t v, int side) -> std::vector<StubKey>& {
+    return side_list[static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(side)];
+  };
+  for (std::int64_t e = 0; e < E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    const auto key_for = [&](std::int32_t other, bool by_col, bool is_src) -> StubKey {
+      const std::int32_t oc = vcol[static_cast<std::size_t>(other)];
+      const std::int32_t orow = vrow[static_cast<std::size_t>(other)];
+      return by_col ? StubKey{e, oc, orow, is_src} : StubKey{e, orow, oc, is_src};
+    };
+    list_of(ep.src, ep.src_side)
+        .push_back(key_for(ep.dst, vertical_side(ep.src_side), true));
+    list_of(ep.dst, ep.dst_side)
+        .push_back(key_for(ep.src, vertical_side(ep.dst_side), false));
+  }
+
+  const auto stub_offset = [&](int side, std::int32_t idx) -> Coord {
+    if (!four) return idx;
+    const bool odd = side == kBottom || side == kLeft;
+    return 2 * static_cast<Coord>(idx) + (odd ? 1 : 0);
+  };
+  // Auto node size: Thompson's degree square in two-sided mode; the exact
+  // per-side stub demand (about ceil(degree/2)) in four-sided mode.
+  Coord w = opt.node_size;
+  Coord w_needed = 1;
+  for (std::int32_t v = 0; v < V; ++v) {
+    for (int side = 0; side < 4; ++side) {
+      auto& list = list_of(v, side);
+      std::sort(list.begin(), list.end());
+      if (!list.empty())
+        w_needed = std::max(
+            w_needed, stub_offset(side, static_cast<std::int32_t>(list.size()) - 1) + 1);
+    }
+  }
+  if (w == 0) {
+    w = four ? w_needed
+             : std::max<Coord>(1, g.num_edges() == 0 ? 1 : g.max_degree());
+  }
+  STARLAY_REQUIRE(w >= w_needed,
+                  "route_grid: node_size too small for stub demand; "
+                  "increase RouterOptions::node_size");
+  std::vector<Coord> src_off(static_cast<std::size_t>(E)), dst_off(static_cast<std::size_t>(E));
+  for (std::int32_t v = 0; v < V; ++v) {
+    for (int side = 0; side < 4; ++side) {
+      const auto& list = list_of(v, side);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const Coord off = stub_offset(side, static_cast<std::int32_t>(i));
+        if (list[i].is_src)
+          src_off[static_cast<std::size_t>(list[i].edge)] = off;
+        else
+          dst_off[static_cast<std::size_t>(list[i].edge)] = off;
+      }
+    }
+  }
+
+  // ---- Horizontal packing (H channels: main runs + destination jogs) ---------
+  // Fine x-keys, interleaved: [v-chan 0][col 0][v-chan 1][col 1]...[v-chan C].
+  const std::int64_t xkey_width = w + 1;
+  auto xkey_cell = [&](std::int32_t c, Coord off) {
+    return static_cast<std::int64_t>(c) * xkey_width + 1 + off;
+  };
+  auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
+
+  struct HReq {
+    std::int64_t edge;
+    bool is_jog;
+    PackRequest req;
+  };
+  constexpr std::int64_t kMaxLayer = 64;
+  std::vector<std::pair<std::int64_t, HReq>> hreqs;  // key = chan * kMaxLayer + layer
+  for (std::int64_t e = 0; e < E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
+    if (ep.cls == EdgeClass::kCol) continue;
+    // Main H run.
+    std::int64_t lo, hi;
+    if (ep.cls == EdgeClass::kRow) {
+      lo = xkey_cell(vcol[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
+      hi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
+    } else {
+      lo = vertical_side(ep.src_side)
+               ? xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
+                           src_off[static_cast<std::size_t>(e)])
+               : xkey_chan(ep.src_jog_vchan);
+      hi = xkey_chan(ep.v_chan);
+    }
+    if (lo > hi) std::swap(lo, hi);
+    hreqs.push_back({static_cast<std::int64_t>(ep.h_chan) * kMaxLayer + ep.h_layer,
+                     {e, false, {lo, hi}}});
+    // Destination jog (L edges attached top/bottom).
+    if (ep.cls == EdgeClass::kL && vertical_side(ep.dst_side)) {
+      std::int64_t jlo = xkey_chan(ep.v_chan);
+      std::int64_t jhi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                                   dst_off[static_cast<std::size_t>(e)]);
+      if (jlo > jhi) std::swap(jlo, jhi);
+      hreqs.push_back({static_cast<std::int64_t>(ep.dst_jog_hchan) * kMaxLayer + ep.h_layer,
+                       {e, true, {jlo, jhi}}});
+    }
+  }
+  std::sort(hreqs.begin(), hreqs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::int32_t> h_chan_tracks(static_cast<std::size_t>(HC), 0);
+  for (std::size_t i = 0; i < hreqs.size();) {
+    std::size_t j = i;
+    while (j < hreqs.size() && hreqs[j].first == hreqs[i].first) ++j;
+    std::vector<PackRequest> reqs;
+    reqs.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) reqs.push_back(hreqs[k].second.req);
+    const PackResult pr = pack_intervals_left_edge(reqs);
+    const auto ch = static_cast<std::size_t>(hreqs[i].first / kMaxLayer);
+    h_chan_tracks[ch] = std::max(h_chan_tracks[ch], pr.num_tracks);
+    for (std::size_t k = i; k < j; ++k) {
+      EdgePlan& ep = plan[static_cast<std::size_t>(hreqs[k].second.edge)];
+      if (hreqs[k].second.is_jog)
+        ep.dst_jog_htrack = pr.track[k - i];
+      else
+        ep.h_track = pr.track[k - i];
+    }
+    i = j;
+  }
+
+  // ---- Vertical packing (V channels: main runs + source jogs) -----------------
+  std::int32_t max_h_tracks = 0;
+  for (std::int32_t t : h_chan_tracks) max_h_tracks = std::max(max_h_tracks, t);
+  const std::int64_t ykey_width = w + max_h_tracks;
+  auto ykey_cell = [&](std::int32_t r, Coord off) {
+    return static_cast<std::int64_t>(r) * ykey_width + max_h_tracks + off;
+  };
+  auto ykey_track = [&](std::int32_t chan, std::int32_t track) {
+    return static_cast<std::int64_t>(chan) * ykey_width + track;
+  };
+
+  struct VReq {
+    std::int64_t edge;
+    bool is_jog;
+    PackRequest req;
+  };
+  std::vector<std::pair<std::int64_t, VReq>> vreqs;
+  for (std::int64_t e = 0; e < E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    if (ep.cls == EdgeClass::kRow) continue;
+    std::int64_t lo, hi;
+    if (ep.cls == EdgeClass::kCol) {
+      lo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
+      hi = ykey_cell(vrow[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
+    } else {
+      lo = ykey_track(ep.h_chan, ep.h_track);
+      hi = vertical_side(ep.dst_side)
+               ? ykey_track(ep.dst_jog_hchan, ep.dst_jog_htrack)
+               : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                           dst_off[static_cast<std::size_t>(e)]);
+    }
+    if (lo > hi) std::swap(lo, hi);
+    vreqs.push_back({static_cast<std::int64_t>(ep.v_chan) * kMaxLayer + ep.v_layer,
+                     {e, false, {lo, hi}}});
+    // Source jog (L edges attached right/left).
+    if (ep.cls == EdgeClass::kL && !vertical_side(ep.src_side)) {
+      std::int64_t jlo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
+                                   src_off[static_cast<std::size_t>(e)]);
+      std::int64_t jhi = ykey_track(ep.h_chan, ep.h_track);
+      if (jlo > jhi) std::swap(jlo, jhi);
+      vreqs.push_back({static_cast<std::int64_t>(ep.src_jog_vchan) * kMaxLayer + ep.v_layer,
+                       {e, true, {jlo, jhi}}});
+    }
+  }
+  std::sort(vreqs.begin(), vreqs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<std::int32_t> v_chan_tracks(static_cast<std::size_t>(VC), 0);
+  for (std::size_t i = 0; i < vreqs.size();) {
+    std::size_t j = i;
+    while (j < vreqs.size() && vreqs[j].first == vreqs[i].first) ++j;
+    std::vector<PackRequest> reqs;
+    reqs.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) reqs.push_back(vreqs[k].second.req);
+    const PackResult pr = pack_intervals_left_edge(reqs);
+    const auto ch = static_cast<std::size_t>(vreqs[i].first / kMaxLayer);
+    v_chan_tracks[ch] = std::max(v_chan_tracks[ch], pr.num_tracks);
+    for (std::size_t k = i; k < j; ++k) {
+      EdgePlan& ep = plan[static_cast<std::size_t>(vreqs[k].second.edge)];
+      if (vreqs[k].second.is_jog)
+        ep.src_jog_vtrack = pr.track[k - i];
+      else
+        ep.v_track = pr.track[k - i];
+    }
+    i = j;
+  }
+
+  // ---- Geometry -----------------------------------------------------------------
+  std::vector<Coord> chan_x0(static_cast<std::size_t>(VC)), col_x0(static_cast<std::size_t>(C));
+  {
+    Coord pos = 0;
+    for (std::int32_t k = 0; k <= C; ++k) {
+      chan_x0[static_cast<std::size_t>(k)] = pos;
+      pos += v_chan_tracks[static_cast<std::size_t>(k)];
+      if (k < C) {
+        col_x0[static_cast<std::size_t>(k)] = pos;
+        pos += w;
+      }
+    }
+  }
+  std::vector<Coord> chan_y0(static_cast<std::size_t>(HC)), row_y0(static_cast<std::size_t>(R));
+  {
+    Coord pos = 0;
+    for (std::int32_t k = 0; k <= R; ++k) {
+      chan_y0[static_cast<std::size_t>(k)] = pos;
+      pos += h_chan_tracks[static_cast<std::size_t>(k)];
+      if (k < R) {
+        row_y0[static_cast<std::size_t>(k)] = pos;
+        pos += w;
+      }
+    }
+  }
+
+  std::vector<std::int32_t> row_stats, col_stats;
+  if (four) {
+    row_stats = h_chan_tracks;
+    col_stats = v_chan_tracks;
+  } else {
+    row_stats.assign(h_chan_tracks.begin() + 1, h_chan_tracks.end());
+    col_stats.assign(v_chan_tracks.begin() + 1, v_chan_tracks.end());
+  }
+
+  RoutedLayout out{Layout(V), std::move(row_stats), std::move(col_stats), w};
+  for (std::int32_t v = 0; v < V; ++v) {
+    const Coord x0 = col_x0[static_cast<std::size_t>(vcol[static_cast<std::size_t>(v)])];
+    const Coord y0 = row_y0[static_cast<std::size_t>(vrow[static_cast<std::size_t>(v)])];
+    out.layout.set_node_rect(v, {x0, y0, x0 + w - 1, y0 + w - 1});
+  }
+
+  const auto htrack_y = [&](std::int32_t chan, std::int32_t track) {
+    return chan_y0[static_cast<std::size_t>(chan)] + track;
+  };
+  const auto vtrack_x = [&](std::int32_t chan, std::int32_t track) {
+    return chan_x0[static_cast<std::size_t>(chan)] + track;
+  };
+  // Attachment point of an endpoint on its node boundary, and the first
+  // off-node point direction, per side.
+  const auto attach = [&](std::int32_t v, int side, Coord off) -> Point {
+    const Coord x0 = col_x0[static_cast<std::size_t>(vcol[static_cast<std::size_t>(v)])];
+    const Coord y0 = row_y0[static_cast<std::size_t>(vrow[static_cast<std::size_t>(v)])];
+    switch (side) {
+      case kTop: return {x0 + off, y0 + w - 1};
+      case kBottom: return {x0 + off, y0};
+      case kRight: return {x0 + w - 1, y0 + off};
+      default: return {x0, y0 + off};
+    }
+  };
+
+  out.layout.reserve_wires(E);
+  for (std::int64_t e = 0; e < E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    Wire wre;
+    wre.edge = e;
+    wre.h_layer = ep.h_layer;
+    wre.v_layer = ep.v_layer;
+    const Point sp = attach(ep.src, ep.src_side, src_off[static_cast<std::size_t>(e)]);
+    const Point dp = attach(ep.dst, ep.dst_side, dst_off[static_cast<std::size_t>(e)]);
+    switch (ep.cls) {
+      case EdgeClass::kRow: {
+        const Coord ty = htrack_y(ep.h_chan, ep.h_track);
+        wre.push(sp);
+        wre.push({sp.x, ty});
+        wre.push({dp.x, ty});
+        wre.push(dp);
+        break;
+      }
+      case EdgeClass::kCol: {
+        const Coord tx = vtrack_x(ep.v_chan, ep.v_track);
+        wre.push(sp);
+        wre.push({tx, sp.y});
+        wre.push({tx, dp.y});
+        wre.push(dp);
+        break;
+      }
+      case EdgeClass::kL: {
+        const Coord ty = htrack_y(ep.h_chan, ep.h_track);
+        const Coord tx = vtrack_x(ep.v_chan, ep.v_track);
+        wre.push(sp);
+        if (vertical_side(ep.src_side)) {
+          wre.push({sp.x, ty});  // vertical stub straight to the main run
+        } else {
+          const Coord jx = vtrack_x(ep.src_jog_vchan, ep.src_jog_vtrack);
+          wre.push({jx, sp.y});  // horizontal stub to the jog track
+          wre.push({jx, ty});    // vertical jog to the main run's level
+        }
+        wre.push({tx, ty});
+        if (vertical_side(ep.dst_side)) {
+          const Coord jy = htrack_y(ep.dst_jog_hchan, ep.dst_jog_htrack);
+          wre.push({tx, jy});    // vertical main down/up to the jog track
+          wre.push({dp.x, jy});  // horizontal jog over the terminal stub
+        } else {
+          wre.push({tx, dp.y});
+        }
+        wre.push(dp);
+        break;
+      }
+    }
+    out.layout.add_wire(wre);
+  }
+  return out;
+}
+
+}  // namespace starlay::layout

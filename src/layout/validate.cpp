@@ -1,0 +1,295 @@
+#include "starlay/layout/validate.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace starlay::layout {
+
+namespace {
+
+std::string pt(Point p) {
+  std::ostringstream os;
+  os << "(" << p.x << "," << p.y << ")";
+  return os.str();
+}
+
+/// Node rectangles grouped by their y-interval for fast "which rects does
+/// this segment touch" queries; grid layouts have one group per node row.
+/// Groups are expected to be y-disjoint (nodes in distinct row bands); the
+/// index stays correct otherwise but degrades to scanning.
+class RectIndex {
+ public:
+  explicit RectIndex(const std::vector<Rect>& rects) {
+    std::map<std::pair<Coord, Coord>, std::vector<Entry>> by_band;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].empty()) continue;
+      by_band[{rects[i].y0, rects[i].y1}].push_back(
+          {rects[i].x0, rects[i].x1, static_cast<std::int32_t>(i)});
+    }
+    max_band_height_ = 0;
+    for (auto& [key, v] : by_band) {
+      std::sort(v.begin(), v.end());
+      groups_.push_back({key.first, key.second, std::move(v)});
+      max_band_height_ = std::max(max_band_height_, key.second - key.first + 1);
+    }
+    // groups_ is sorted by y0 (map order).
+  }
+
+  /// Invokes \p f(node) for every rect whose closed area intersects the
+  /// closed segment (horizontal ? [lo,hi] x {line} : {line} x [lo,hi]).
+  template <typename F>
+  void for_touching(bool horizontal, Coord line, Coord lo, Coord hi, F&& f) const {
+    const Coord ylo = horizontal ? line : lo;
+    const Coord yhi = horizontal ? line : hi;
+    const Coord xlo = horizontal ? lo : line;
+    const Coord xhi = horizontal ? hi : line;
+    // Any group intersecting [ylo, yhi] has y0 >= ylo - (max height - 1).
+    auto git = std::lower_bound(groups_.begin(), groups_.end(),
+                                ylo - (max_band_height_ - 1),
+                                [](const Group& g, Coord y) { return g.y0 < y; });
+    for (; git != groups_.end() && git->y0 <= yhi; ++git) {
+      if (git->y1 < ylo) continue;
+      const auto& v = git->entries;
+      auto it = std::lower_bound(v.begin(), v.end(), xlo,
+                                 [](const Entry& e, Coord x) { return e.x1 < x; });
+      // Entries are sorted by (x0, x1); x1 is monotone in x0 for
+      // disjoint same-row rects, so linear scan from `it` is exact.
+      for (; it != v.end() && it->x0 <= xhi; ++it) f(it->node);
+    }
+  }
+
+ private:
+  struct Entry {
+    Coord x0, x1;
+    std::int32_t node;
+    bool operator<(const Entry& o) const { return x0 < o.x0 || (x0 == o.x0 && x1 < o.x1); }
+  };
+  struct Group {
+    Coord y0, y1;
+    std::vector<Entry> entries;
+  };
+  std::vector<Group> groups_;
+  Coord max_band_height_ = 0;
+};
+
+bool on_boundary(const Rect& r, Point p) { return r.contains(p) && !r.strictly_contains(p); }
+
+}  // namespace
+
+ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
+                                 const ValidationOptions& opt) {
+  ValidationReport rep;
+  const auto fail = [&](const std::string& m) { rep.fail(m, opt.max_errors); };
+
+  // --- wire <-> edge bijection ------------------------------------------
+  if (lay.num_wires() != g.num_edges())
+    fail("wire count " + std::to_string(lay.num_wires()) + " != edge count " +
+         std::to_string(g.num_edges()));
+  {
+    std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.num_edges()), 0);
+    for (const Wire& w : lay.wires()) {
+      if (w.edge < 0 || w.edge >= g.num_edges()) {
+        fail("wire references invalid edge " + std::to_string(w.edge));
+        continue;
+      }
+      if (seen[static_cast<std::size_t>(w.edge)]++)
+        fail("edge " + std::to_string(w.edge) + " has multiple wires");
+    }
+  }
+
+  // --- node sizes ---------------------------------------------------------
+  for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
+    const Rect& r = lay.node_rect(v);
+    if (r.empty()) {
+      fail("node " + std::to_string(v) + " has no rectangle");
+      continue;
+    }
+    if (opt.thompson_node_size) {
+      const Coord want = std::max<Coord>(1, g.degree(v));
+      if (r.width() != want || r.height() != want)
+        fail("node " + std::to_string(v) + " is " + std::to_string(r.width()) + "x" +
+             std::to_string(r.height()) + ", Thompson model wants side " +
+             std::to_string(want));
+    }
+    if (opt.min_node_side > 0 &&
+        (r.width() < opt.min_node_side || r.height() < opt.min_node_side))
+      fail("node " + std::to_string(v) + " smaller than extended-grid minimum");
+    if (opt.max_node_side > 0 &&
+        (r.width() > opt.max_node_side || r.height() > opt.max_node_side))
+      fail("node " + std::to_string(v) + " larger than extended-grid maximum");
+  }
+
+  // --- per-wire path rules --------------------------------------------------
+  for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+    const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
+    const std::string tag = "wire " + std::to_string(wi);
+    if (w.npts < 2) {
+      fail(tag + ": fewer than 2 points");
+      continue;
+    }
+    if (w.h_layer < 1 || w.h_layer % 2 != 1) fail(tag + ": h_layer must be odd >= 1");
+    if (w.v_layer < 2 || w.v_layer % 2 != 0) fail(tag + ": v_layer must be even >= 2");
+    if (std::abs(w.h_layer - w.v_layer) != 1) fail(tag + ": layers not adjacent");
+    for (std::uint8_t i = 1; i < w.npts; ++i) {
+      const Point a = w.pts[i - 1], b = w.pts[i];
+      const bool dx = a.x != b.x, dy = a.y != b.y;
+      if (dx == dy) {  // both (diagonal) or neither (repeated point)
+        fail(tag + ": segment " + pt(a) + "->" + pt(b) + " not a proper orthogonal step");
+        break;
+      }
+      if (i >= 2) {
+        const Point z = w.pts[i - 2];
+        const bool prev_horizontal = z.y == a.y;
+        if (prev_horizontal == (a.y == b.y)) {
+          fail(tag + ": consecutive collinear segments (merge them)");
+          break;
+        }
+      }
+    }
+    // Endpoint attachment.
+    if (w.edge >= 0 && w.edge < g.num_edges()) {
+      const auto& e = g.edge(w.edge);
+      const Rect& ru = lay.node_rect(e.u);
+      const Rect& rv = lay.node_rect(e.v);
+      const Point a = w.front(), b = w.back();
+      const bool ok_uv = on_boundary(ru, a) && on_boundary(rv, b);
+      const bool ok_vu = on_boundary(rv, a) && on_boundary(ru, b);
+      if (!(ok_uv || ok_vu))
+        fail(tag + ": endpoints " + pt(a) + "," + pt(b) + " not on its nodes' boundaries");
+    }
+  }
+
+  // --- track exclusivity ------------------------------------------------
+  auto segs = lay.segments();
+  rep.num_segments = static_cast<std::int64_t>(segs.size());
+  rep.num_layers = lay.num_layers();
+  std::sort(segs.begin(), segs.end(), [](const LayerSegment& a, const LayerSegment& b) {
+    if (a.layer != b.layer) return a.layer < b.layer;
+    if (a.horizontal != b.horizontal) return a.horizontal < b.horizontal;
+    if (a.line != b.line) return a.line < b.line;
+    return a.span.lo < b.span.lo;
+  });
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    const LayerSegment& a = segs[i - 1];
+    const LayerSegment& b = segs[i];
+    if (a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
+        b.span.lo <= a.span.hi)
+      fail("overlap on layer " + std::to_string(a.layer) +
+           (a.horizontal ? " y=" : " x=") + std::to_string(a.line) + ": wires " +
+           std::to_string(a.wire) + " and " + std::to_string(b.wire));
+  }
+
+  // --- via audit ----------------------------------------------------------
+  // Bend points with their z-ranges; conflicts between vias, and between a
+  // via and a segment crossing a spanned layer at that exact point.
+  struct Via {
+    Point p;
+    std::int16_t zlo, zhi;
+    std::int64_t wire;
+  };
+  std::vector<Via> vias;
+  for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+    const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
+    const std::int16_t zlo = std::min(w.h_layer, w.v_layer);
+    const std::int16_t zhi = std::max(w.h_layer, w.v_layer);
+    for (std::uint8_t i = 1; i + 1 < w.npts; ++i)
+      vias.push_back({w.pts[i], zlo, zhi, wi});
+  }
+  std::sort(vias.begin(), vias.end(), [](const Via& a, const Via& b) {
+    if (a.p.x != b.p.x) return a.p.x < b.p.x;
+    return a.p.y < b.p.y;
+  });
+  for (std::size_t i = 1; i < vias.size(); ++i) {
+    const Via& a = vias[i - 1];
+    const Via& b = vias[i];
+    if (a.p == b.p && a.wire != b.wire && a.zlo <= b.zhi && b.zlo <= a.zhi)
+      fail("via conflict at " + pt(a.p) + ": wires " + std::to_string(a.wire) + " and " +
+           std::to_string(b.wire));
+  }
+  {
+    // Segment passing through a via point on a spanned layer.
+    // Sort segments by (layer, line); for each via check both its layers.
+    // Segments on a line are disjoint (or already reported), so at most a
+    // couple of candidates around `pos` need checking.
+    auto covering = [&](std::int16_t layer, bool horizontal, Coord line,
+                        Coord pos, std::int64_t self) -> std::int64_t {
+      LayerSegment probe{layer, horizontal, line, {pos, pos}, 0};
+      const auto cmp = [](const LayerSegment& a, const LayerSegment& b) {
+        if (a.layer != b.layer) return a.layer < b.layer;
+        if (a.horizontal != b.horizontal) return a.horizontal < b.horizontal;
+        if (a.line != b.line) return a.line < b.line;
+        return a.span.lo < b.span.lo;
+      };
+      auto it = std::upper_bound(segs.begin(), segs.end(), probe, cmp);
+      // Candidates: the few segments at or before `it` on the same line.
+      for (int back = 0; back < 3 && it != segs.begin(); ++back) {
+        --it;
+        if (it->layer != layer || it->horizontal != horizontal || it->line != line) break;
+        if (it->span.lo <= pos && pos <= it->span.hi && it->wire != self) return it->wire;
+      }
+      return -1;
+    };
+    for (const Via& v : vias) {
+      for (std::int16_t z = v.zlo; z <= v.zhi; ++z) {
+        const bool horizontal = z % 2 == 1;
+        const Coord line = horizontal ? v.p.y : v.p.x;
+        const Coord pos = horizontal ? v.p.x : v.p.y;
+        const std::int64_t other = covering(z, horizontal, line, pos, v.wire);
+        if (other >= 0)
+          fail("via of wire " + std::to_string(v.wire) + " at " + pt(v.p) +
+               " pierced by wire " + std::to_string(other) + " on layer " +
+               std::to_string(z));
+      }
+    }
+  }
+
+  // --- node clearance -------------------------------------------------------
+  {
+    const RectIndex index(lay.node_rects());
+    for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+      const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
+      std::int32_t nu = -1, nv = -1;
+      if (w.edge >= 0 && w.edge < g.num_edges()) {
+        nu = g.edge(w.edge).u;
+        nv = g.edge(w.edge).v;
+      }
+      for (std::uint8_t i = 1; i < w.npts; ++i) {
+        const Point a = w.pts[i - 1], b = w.pts[i];
+        const bool horizontal = a.y == b.y;
+        const Coord line = horizontal ? a.y : a.x;
+        const Coord lo = horizontal ? std::min(a.x, b.x) : std::min(a.y, b.y);
+        const Coord hi = horizontal ? std::max(a.x, b.x) : std::max(a.y, b.y);
+        index.for_touching(horizontal, line, lo, hi, [&](std::int32_t node) {
+          if (node != nu && node != nv) {
+            fail("wire " + std::to_string(wi) + " touches foreign node " +
+                 std::to_string(node));
+            return;
+          }
+          // Own node: the intersection must be a single boundary point and
+          // must be this wire's endpoint at that node.
+          const Rect& r = lay.node_rect(node);
+          const Coord cl = std::max(lo, horizontal ? r.x0 : r.y0);
+          const Coord ch = std::min(hi, horizontal ? r.x1 : r.y1);
+          const bool line_inside =
+              horizontal ? (line >= r.y0 && line <= r.y1) : (line >= r.x0 && line <= r.x1);
+          if (!line_inside || cl > ch) return;  // no real intersection
+          if (cl != ch) {
+            fail("wire " + std::to_string(wi) + " runs along/through its node " +
+                 std::to_string(node));
+            return;
+          }
+          const Point touch = horizontal ? Point{cl, line} : Point{line, cl};
+          if (!(touch == w.front() || touch == w.back()))
+            fail("wire " + std::to_string(wi) + " passes over its own node " +
+                 std::to_string(node) + " at non-endpoint " + pt(touch));
+        });
+      }
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace starlay::layout

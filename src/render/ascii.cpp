@@ -1,0 +1,49 @@
+#include <vector>
+
+#include "starlay/render/render.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::render {
+
+std::string to_ascii(const layout::Layout& lay) {
+  const layout::Rect bb = lay.bounding_box();
+  STARLAY_REQUIRE(bb.width() <= 400 && bb.height() <= 200,
+                  "to_ascii: layout too large for ASCII rendering");
+  const auto W = static_cast<std::size_t>(bb.width());
+  const auto H = static_cast<std::size_t>(bb.height());
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  const auto put = [&](layout::Coord x, layout::Coord y, char c) {
+    auto& cell = grid[static_cast<std::size_t>(y - bb.y0)][static_cast<std::size_t>(x - bb.x0)];
+    if (cell == ' ')
+      cell = c;
+    else if (cell != c)
+      cell = '+';  // crossing / bend
+  };
+  for (const layout::Wire& w : lay.wires()) {
+    for (std::uint8_t i = 1; i < w.npts; ++i) {
+      const layout::Point a = w.pts[i - 1], b = w.pts[i];
+      if (a.y == b.y) {
+        for (layout::Coord x = std::min(a.x, b.x); x <= std::max(a.x, b.x); ++x)
+          put(x, a.y, '-');
+      } else {
+        for (layout::Coord y = std::min(a.y, b.y); y <= std::max(a.y, b.y); ++y)
+          put(a.x, y, '|');
+      }
+    }
+  }
+  for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
+    const layout::Rect& r = lay.node_rect(v);
+    for (layout::Coord y = r.y0; y <= r.y1; ++y)
+      for (layout::Coord x = r.x0; x <= r.x1; ++x)
+        grid[static_cast<std::size_t>(y - bb.y0)][static_cast<std::size_t>(x - bb.x0)] = '#';
+  }
+  // Top row of the layout is printed first (y grows upward).
+  std::string out;
+  for (std::size_t row = H; row-- > 0;) {
+    out += grid[row];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace starlay::render

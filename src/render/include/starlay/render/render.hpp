@@ -1,0 +1,32 @@
+#pragma once
+/// \file render.hpp
+/// \brief SVG and ASCII renderings of layouts (Figures 1-3 reproduction).
+
+#include <string>
+
+#include "starlay/layout/layout.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::render {
+
+struct SvgOptions {
+  double scale = 8.0;        ///< pixels per grid unit
+  bool color_by_layer = true;
+  bool show_node_labels = false;
+};
+
+/// Renders the layout as a standalone SVG document.
+std::string to_svg(const layout::Layout& lay, const SvgOptions& opt = {});
+
+/// Writes to_svg() output to \p path (throws on I/O failure).
+void write_svg(const layout::Layout& lay, const std::string& path, const SvgOptions& opt = {});
+
+/// ASCII-art rendering for small layouts (width x height up to ~200x100):
+/// '#' node cells, '-'/'|' wires, '+' crossings and bends.
+std::string to_ascii(const layout::Layout& lay);
+
+/// Renders a graph as a circular-arrangement SVG (structure figures:
+/// the paper's Fig. 2/3 top views).
+std::string graph_to_svg(const topology::Graph& g, double radius = 200.0);
+
+}  // namespace starlay::render

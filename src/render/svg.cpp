@@ -1,0 +1,91 @@
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "starlay/render/render.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::render {
+
+namespace {
+
+const char* layer_color(int layer) {
+  static const char* kColors[] = {"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+                                  "#ff7f0e", "#8c564b", "#e377c2", "#17becf"};
+  return kColors[layer % 8];
+}
+
+}  // namespace
+
+std::string to_svg(const layout::Layout& lay, const SvgOptions& opt) {
+  const layout::Rect bb = lay.bounding_box();
+  const double s = opt.scale;
+  const double margin = 2 * s;
+  const double W = static_cast<double>(bb.width()) * s + 2 * margin;
+  const double H = static_cast<double>(bb.height()) * s + 2 * margin;
+  const auto X = [&](layout::Coord x) { return margin + static_cast<double>(x - bb.x0) * s; };
+  // SVG y grows downward; layouts use y growing upward.
+  const auto Y = [&](layout::Coord y) { return H - margin - static_cast<double>(y - bb.y0) * s; };
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W << "\" height=\"" << H
+     << "\" viewBox=\"0 0 " << W << " " << H << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
+    const layout::Rect& r = lay.node_rect(v);
+    if (r.empty()) continue;
+    os << "<rect x=\"" << X(r.x0) - 0.4 * s << "\" y=\"" << Y(r.y1) - 0.4 * s << "\" width=\""
+       << static_cast<double>(r.width() - 1) * s + 0.8 * s << "\" height=\""
+       << static_cast<double>(r.height() - 1) * s + 0.8 * s
+       << "\" fill=\"#f2d7a0\" stroke=\"#333\" stroke-width=\"1\"/>\n";
+    if (opt.show_node_labels) {
+      os << "<text x=\"" << X((r.x0 + r.x1) / 2) << "\" y=\"" << Y((r.y0 + r.y1) / 2) + 3
+         << "\" font-size=\"" << s * 1.2 << "\" text-anchor=\"middle\">" << v << "</text>\n";
+    }
+  }
+  for (const layout::Wire& w : lay.wires()) {
+    const int color_layer = opt.color_by_layer ? (w.h_layer - 1) / 2 : 0;
+    os << "<polyline fill=\"none\" stroke=\"" << layer_color(color_layer)
+       << "\" stroke-width=\"1\" points=\"";
+    for (std::uint8_t i = 0; i < w.npts; ++i)
+      os << X(w.pts[i].x) << "," << Y(w.pts[i].y) << " ";
+    os << "\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+void write_svg(const layout::Layout& lay, const std::string& path, const SvgOptions& opt) {
+  std::ofstream f(path);
+  STARLAY_REQUIRE(f.good(), "write_svg: cannot open " + path);
+  f << to_svg(lay, opt);
+  STARLAY_REQUIRE(f.good(), "write_svg: write failed for " + path);
+}
+
+std::string graph_to_svg(const topology::Graph& g, double radius) {
+  const double cx = radius + 20, cy = radius + 20;
+  const double W = 2 * cx, H = 2 * cy;
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W << "\" height=\"" << H
+     << "\" viewBox=\"0 0 " << W << " " << H << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  const double n = std::max(1, g.num_vertices());
+  const auto pos = [&](std::int32_t v) {
+    const double a = 2 * 3.14159265358979 * v / n - 3.14159265358979 / 2;
+    return std::pair<double, double>{cx + radius * std::cos(a), cy + radius * std::sin(a)};
+  };
+  for (const auto& e : g.edges()) {
+    const auto [x1, y1] = pos(e.u);
+    const auto [x2, y2] = pos(e.v);
+    os << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2 << "\" y2=\"" << y2
+       << "\" stroke=\"" << layer_color(e.label) << "\" stroke-width=\"0.7\"/>\n";
+  }
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v) {
+    const auto [x, y] = pos(v);
+    os << "<circle cx=\"" << x << "\" cy=\"" << y << "\" r=\"3\" fill=\"#333\"/>\n";
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+}  // namespace starlay::render

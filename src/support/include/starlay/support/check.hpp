@@ -1,0 +1,29 @@
+#pragma once
+/// \file check.hpp
+/// \brief Invariant-checking helpers used across the library.
+///
+/// All library-level precondition violations throw starlay::InvariantError,
+/// so tests can assert on failures without aborting the process.
+
+#include <stdexcept>
+#include <string>
+
+namespace starlay {
+
+/// Thrown when a library invariant or caller precondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws InvariantError with \p msg when \p cond is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvariantError(msg);
+}
+
+}  // namespace starlay
+
+/// Convenience macro adding file/line context to the failure message.
+#define STARLAY_REQUIRE(cond, msg)                                        \
+  ::starlay::require((cond), std::string(msg) + " [" + __FILE__ + ":" + \
+                                 std::to_string(__LINE__) + "]")

@@ -1,0 +1,41 @@
+#pragma once
+/// \file math.hpp
+/// \brief Exact integer math helpers shared by all subsystems.
+///
+/// Layout areas for an n-star grow like (n!)^2/16, so everything here is
+/// 64-bit (or checked against overflow) rather than templated on smaller
+/// integer types.
+
+#include <cstdint>
+
+namespace starlay {
+
+/// Exact n! — throws InvariantError when the result would overflow int64.
+/// Valid for 0 <= n <= 20.
+std::int64_t factorial(int n);
+
+/// Exact binomial coefficient C(n, k); throws on overflow.
+std::int64_t binomial(int n, int k);
+
+/// ceil(a / b) for positive b; works for negative a.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b);
+
+/// floor(sqrt(x)) computed exactly for x >= 0.
+std::int64_t isqrt(std::int64_t x);
+
+/// Smallest integer m1 >= ceil(sqrt(m)) used by the paper's m1 x m2 node
+/// grids (m2 = ceil(m / m1)); the pair satisfies m1 * m2 >= m with both
+/// factors Theta(sqrt(m)).
+struct GridFactors {
+  int rows;  ///< m1 in the paper
+  int cols;  ///< m2 in the paper
+};
+GridFactors grid_factors(int m);
+
+/// floor(log2(x)) for x >= 1.
+int ilog2(std::int64_t x);
+
+/// True when x is a power of two (x >= 1).
+bool is_pow2(std::int64_t x);
+
+}  // namespace starlay

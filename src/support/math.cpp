@@ -1,0 +1,74 @@
+#include "starlay/support/math.hpp"
+
+#include <limits>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay {
+
+std::int64_t factorial(int n) {
+  STARLAY_REQUIRE(n >= 0, "factorial: n must be non-negative");
+  STARLAY_REQUIRE(n <= 20, "factorial: n! overflows int64 for n > 20");
+  std::int64_t r = 1;
+  for (int i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+std::int64_t binomial(int n, int k) {
+  STARLAY_REQUIRE(n >= 0 && k >= 0, "binomial: negative argument");
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::int64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    // r * (n - k + i) can overflow; divide first where exact.
+    std::int64_t num = n - k + i;
+    std::int64_t g = r % i == 0 ? i : 1;
+    std::int64_t rr = r / g;
+    std::int64_t ii = i / g;
+    if (num % ii == 0) {
+      num /= ii;
+      ii = 1;
+    }
+    STARLAY_REQUIRE(rr <= std::numeric_limits<std::int64_t>::max() / num,
+                    "binomial: overflow");
+    r = rr * num / ii;
+  }
+  return r;
+}
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  STARLAY_REQUIRE(b > 0, "ceil_div: divisor must be positive");
+  if (a >= 0) return (a + b - 1) / b;
+  return -((-a) / b);
+}
+
+std::int64_t isqrt(std::int64_t x) {
+  STARLAY_REQUIRE(x >= 0, "isqrt: negative argument");
+  if (x < 2) return x;
+  std::int64_t r = static_cast<std::int64_t>(__builtin_sqrt(static_cast<double>(x)));
+  while (r > 0 && r > x / r) --r;                      // r*r > x without overflow
+  while (r + 1 <= x / (r + 1)) ++r;                    // (r+1)^2 <= x without overflow
+  return r;
+}
+
+GridFactors grid_factors(int m) {
+  STARLAY_REQUIRE(m >= 1, "grid_factors: m must be positive");
+  int rows = static_cast<int>(isqrt(m));
+  if (rows * rows < m) ++rows;  // rows = ceil(sqrt(m))
+  int cols = static_cast<int>(ceil_div(m, rows));
+  return {rows, cols};
+}
+
+int ilog2(std::int64_t x) {
+  STARLAY_REQUIRE(x >= 1, "ilog2: argument must be >= 1");
+  int r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+bool is_pow2(std::int64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+}  // namespace starlay

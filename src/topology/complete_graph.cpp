@@ -1,0 +1,17 @@
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::topology {
+
+Graph complete_graph(int m, int multiplicity) {
+  STARLAY_REQUIRE(m >= 1, "complete_graph: m must be positive");
+  STARLAY_REQUIRE(multiplicity >= 1, "complete_graph: multiplicity must be positive");
+  Graph g(m);
+  for (std::int32_t u = 0; u < m; ++u)
+    for (std::int32_t v = u + 1; v < m; ++v)
+      for (std::int32_t c = 0; c < multiplicity; ++c) g.add_edge(u, v, c);
+  g.finalize();
+  return g;
+}
+
+}  // namespace starlay::topology

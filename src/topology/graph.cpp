@@ -1,0 +1,90 @@
+#include "starlay/topology/graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::topology {
+
+Graph::Graph(std::int32_t n) : n_(n) {
+  STARLAY_REQUIRE(n >= 0, "Graph: vertex count must be non-negative");
+}
+
+void Graph::add_edge(std::int32_t u, std::int32_t v, std::int32_t label) {
+  STARLAY_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_, "Graph::add_edge: vertex out of range");
+  STARLAY_REQUIRE(u != v, "Graph::add_edge: self-loops are not allowed");
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, label});
+  finalized_ = false;
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  row_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++row_[static_cast<std::size_t>(e.u) + 1];
+    ++row_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 1; i < row_.size(); ++i) row_[i] += row_[i - 1];
+  adj_.assign(static_cast<std::size_t>(row_.back()), 0);
+  adj_edge_.assign(static_cast<std::size_t>(row_.back()), 0);
+  std::vector<std::int64_t> cursor(row_.begin(), row_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)])] = e.v;
+    adj_edge_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.u)]++)] =
+        static_cast<std::int64_t>(i);
+    adj_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)])] = e.u;
+    adj_edge_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(e.v)]++)] =
+        static_cast<std::int64_t>(i);
+  }
+  finalized_ = true;
+}
+
+std::span<const std::int32_t> Graph::neighbors(std::int32_t v) const {
+  STARLAY_REQUIRE(finalized_, "Graph: call finalize() before neighbors()");
+  STARLAY_REQUIRE(v >= 0 && v < n_, "Graph::neighbors: vertex out of range");
+  auto b = static_cast<std::size_t>(row_[static_cast<std::size_t>(v)]);
+  auto e = static_cast<std::size_t>(row_[static_cast<std::size_t>(v) + 1]);
+  return {adj_.data() + b, e - b};
+}
+
+std::span<const std::int64_t> Graph::incident_edges(std::int32_t v) const {
+  STARLAY_REQUIRE(finalized_, "Graph: call finalize() before incident_edges()");
+  STARLAY_REQUIRE(v >= 0 && v < n_, "Graph::incident_edges: vertex out of range");
+  auto b = static_cast<std::size_t>(row_[static_cast<std::size_t>(v)]);
+  auto e = static_cast<std::size_t>(row_[static_cast<std::size_t>(v) + 1]);
+  return {adj_edge_.data() + b, e - b};
+}
+
+std::int32_t Graph::degree(std::int32_t v) const {
+  STARLAY_REQUIRE(finalized_, "Graph: call finalize() before degree()");
+  STARLAY_REQUIRE(v >= 0 && v < n_, "Graph::degree: vertex out of range");
+  return static_cast<std::int32_t>(row_[static_cast<std::size_t>(v) + 1] -
+                                   row_[static_cast<std::size_t>(v)]);
+}
+
+std::int32_t Graph::max_degree() const {
+  std::int32_t d = 0;
+  for (std::int32_t v = 0; v < n_; ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+bool Graph::is_regular() const {
+  if (n_ == 0) return true;
+  const std::int32_t d0 = degree(0);
+  for (std::int32_t v = 1; v < n_; ++v)
+    if (degree(v) != d0) return false;
+  return true;
+}
+
+bool Graph::is_simple() const {
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const Edge& e : edges_)
+    if (!seen.insert({e.u, e.v}).second) return false;
+  return true;
+}
+
+}  // namespace starlay::topology

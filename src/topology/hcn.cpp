@@ -1,0 +1,64 @@
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::topology {
+
+std::int32_t hcn_vertex(int h, std::int32_t cluster, std::int32_t local) {
+  const std::int32_t M = std::int32_t{1} << h;
+  STARLAY_REQUIRE(cluster >= 0 && cluster < M && local >= 0 && local < M,
+                  "hcn_vertex: index out of range");
+  return cluster * M + local;
+}
+
+std::int32_t hcn_cluster_of(int h, std::int32_t v) { return v >> h; }
+
+std::int32_t hcn_local_of(int h, std::int32_t v) {
+  return v & ((std::int32_t{1} << h) - 1);
+}
+
+namespace {
+
+/// Shared scaffold: clusters of size 2^h connected pairwise by (c,x)-(x,c).
+Graph hierarchical_network(int h, bool folded, bool diameter_links) {
+  STARLAY_REQUIRE(h >= 1 && h <= 12, "hcn/hfn: h must be in [1, 12]");
+  const std::int32_t M = std::int32_t{1} << h;  // clusters and cluster size
+  Graph g(M * M);
+  const std::int32_t mask = M - 1;
+  for (std::int32_t c = 0; c < M; ++c) {
+    // Intra-cluster (folded-)hypercube links.
+    for (std::int32_t x = 0; x < M; ++x) {
+      for (int b = 0; b < h; ++b) {
+        const std::int32_t y = x ^ (std::int32_t{1} << b);
+        if (x < y)
+          g.add_edge(hcn_vertex(h, c, x), hcn_vertex(h, c, y), kIntraClusterBase + b);
+      }
+      if (folded) {
+        const std::int32_t y = x ^ mask;
+        if (x < y)
+          g.add_edge(hcn_vertex(h, c, x), hcn_vertex(h, c, y), kFoldedComplementLabel);
+      }
+    }
+    // Inter-cluster links: node (c, x) to node (x, c) for x != c.
+    for (std::int32_t x = 0; x < M; ++x) {
+      if (x == c) continue;
+      if (c < x)  // add once per unordered cluster pair
+        g.add_edge(hcn_vertex(h, c, x), hcn_vertex(h, x, c), kInterClusterLabel);
+    }
+    // Diameter link: (c, c) to (~c, ~c).
+    if (diameter_links) {
+      const std::int32_t cc = c ^ mask;
+      if (c < cc)
+        g.add_edge(hcn_vertex(h, c, c), hcn_vertex(h, cc, cc), kDiameterLabel);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace
+
+Graph hcn(int h) { return hierarchical_network(h, /*folded=*/false, /*diameter_links=*/true); }
+
+Graph hfn(int h) { return hierarchical_network(h, /*folded=*/true, /*diameter_links=*/false); }
+
+}  // namespace starlay::topology

@@ -1,0 +1,36 @@
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::topology {
+
+Graph hypercube(int d) {
+  STARLAY_REQUIRE(d >= 1 && d <= 24, "hypercube: d must be in [1, 24]");
+  const std::int32_t N = std::int32_t{1} << d;
+  Graph g(N);
+  for (std::int32_t v = 0; v < N; ++v)
+    for (int b = 0; b < d; ++b) {
+      const std::int32_t w = v ^ (std::int32_t{1} << b);
+      if (v < w) g.add_edge(v, w, b);
+    }
+  g.finalize();
+  return g;
+}
+
+Graph folded_hypercube(int d) {
+  STARLAY_REQUIRE(d >= 1 && d <= 24, "folded_hypercube: d must be in [1, 24]");
+  const std::int32_t N = std::int32_t{1} << d;
+  Graph g(N);
+  const std::int32_t mask = N - 1;
+  for (std::int32_t v = 0; v < N; ++v) {
+    for (int b = 0; b < d; ++b) {
+      const std::int32_t w = v ^ (std::int32_t{1} << b);
+      if (v < w) g.add_edge(v, w, b);
+    }
+    const std::int32_t c = v ^ mask;
+    if (v < c) g.add_edge(v, c, kFoldedComplementLabel);
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace starlay::topology

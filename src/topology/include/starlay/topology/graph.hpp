@@ -1,0 +1,70 @@
+#pragma once
+/// \file graph.hpp
+/// \brief Compact undirected (multi)graph used by every subsystem.
+///
+/// Vertices are dense 0-based int32 ids.  Edges carry an int32 label whose
+/// meaning is builder-defined (star-graph dimension, hypercube bit index,
+/// HCN link class, ...).  Parallel edges are allowed — the star/HCN layouts
+/// route (n-2)! parallel links between supernodes, and the complete-graph
+/// layout of Lemma 2.1 is parameterized on edge multiplicity.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace starlay::topology {
+
+/// An undirected edge; by convention u <= v after normalization.
+struct Edge {
+  std::int32_t u;
+  std::int32_t v;
+  std::int32_t label;
+};
+
+/// Undirected multigraph with CSR adjacency built on finalize().
+class Graph {
+ public:
+  /// Creates a graph with \p n isolated vertices.
+  explicit Graph(std::int32_t n);
+
+  /// Adds an undirected edge {u, v} with an optional label.
+  /// Self-loops are rejected; parallel edges are allowed.
+  void add_edge(std::int32_t u, std::int32_t v, std::int32_t label = 0);
+
+  /// Builds the CSR adjacency.  Must be called before neighbors()/degree().
+  /// Safe to call repeatedly; rebuilds only after new edges were added.
+  void finalize();
+
+  std::int32_t num_vertices() const { return n_; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(edges_.size()); }
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(std::int64_t i) const { return edges_[static_cast<std::size_t>(i)]; }
+
+  /// Neighbor vertex ids of \p v (with multiplicity). Requires finalize().
+  std::span<const std::int32_t> neighbors(std::int32_t v) const;
+
+  /// Indices into edges() of the edges incident to \p v. Requires finalize().
+  std::span<const std::int64_t> incident_edges(std::int32_t v) const;
+
+  /// Degree counting multiplicity. Requires finalize().
+  std::int32_t degree(std::int32_t v) const;
+
+  /// Maximum degree over all vertices. Requires finalize().
+  std::int32_t max_degree() const;
+
+  /// True when every vertex has the same degree. Requires finalize().
+  bool is_regular() const;
+
+  /// True when the graph has no parallel edges.
+  bool is_simple() const;
+
+ private:
+  std::int32_t n_;
+  std::vector<Edge> edges_;
+  bool finalized_ = false;
+  std::vector<std::int64_t> row_;         // CSR offsets, size n_ + 1
+  std::vector<std::int32_t> adj_;         // neighbor ids
+  std::vector<std::int64_t> adj_edge_;    // edge index parallel to adj_
+};
+
+}  // namespace starlay::topology

@@ -1,0 +1,67 @@
+#pragma once
+/// \file networks.hpp
+/// \brief Builders for every interconnection network studied in the paper.
+///
+/// Edge labels:
+///  * star / pancake / bubble-sort / transposition graphs: the generator
+///    dimension (star: i in [2, n] swaps positions 1 and i);
+///  * hypercube / folded hypercube: the flipped bit index, and
+///    kFoldedComplementLabel for the complement (folded) links;
+///  * complete graph: the copy index in [0, multiplicity);
+///  * HCN / HFN: kIntraClusterBase + bit for intra-cluster hypercube links,
+///    kInterClusterLabel for inter-cluster links, kDiameterLabel for the
+///    HCN diameter links.
+
+#include <cstdint>
+
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::topology {
+
+inline constexpr std::int32_t kFoldedComplementLabel = 1000;
+inline constexpr std::int32_t kIntraClusterBase = 0;
+inline constexpr std::int32_t kInterClusterLabel = 2000;
+inline constexpr std::int32_t kDiameterLabel = 3000;
+
+/// n-dimensional star graph S_n: n! vertices (permutation ranks), degree
+/// n-1; dimension-i edges swap symbol positions 1 and i (2 <= i <= n).
+Graph star_graph(int n);
+
+/// n-dimensional pancake graph: n! vertices, prefix-reversal generators.
+Graph pancake_graph(int n);
+
+/// n-dimensional bubble-sort graph: n! vertices, adjacent transpositions.
+Graph bubble_sort_graph(int n);
+
+/// n-dimensional (complete) transposition graph: n! vertices, one generator
+/// per unordered position pair; degree n(n-1)/2.
+Graph transposition_graph(int n);
+
+/// d-dimensional binary hypercube Q_d: 2^d vertices.
+Graph hypercube(int d);
+
+/// d-dimensional folded hypercube FQ_d: Q_d plus complement edges.
+Graph folded_hypercube(int d);
+
+/// Complete graph K_m with \p multiplicity parallel edges per vertex pair.
+Graph complete_graph(int m, int multiplicity = 1);
+
+/// Hierarchical cubic network with 2^(2h) nodes: 2^h clusters, each a Q_h;
+/// inter-cluster link (c,x)-(x,c) for c != x; diameter link (c,c)-(~c,~c).
+Graph hcn(int h);
+
+/// Hierarchical folded-hypercube network with 2^(2h) nodes: 2^h clusters,
+/// each an FQ_h; inter-cluster link (c,x)-(x,c) for c != x; no diameter
+/// links (node (c,c) has no inter-cluster link).
+Graph hfn(int h);
+
+/// Vertex id of HCN/HFN node (cluster, local) with cluster size 2^h.
+std::int32_t hcn_vertex(int h, std::int32_t cluster, std::int32_t local);
+
+/// Cluster index of an HCN/HFN vertex.
+std::int32_t hcn_cluster_of(int h, std::int32_t v);
+
+/// Local (within-cluster) index of an HCN/HFN vertex.
+std::int32_t hcn_local_of(int h, std::int32_t v);
+
+}  // namespace starlay::topology

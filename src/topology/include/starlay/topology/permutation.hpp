@@ -1,0 +1,48 @@
+#pragma once
+/// \file permutation.hpp
+/// \brief Permutations over {1..n} with factoradic ranking.
+///
+/// Star-graph (and pancake / bubble-sort) vertices are permutations; the
+/// graph builders use rank/unrank to map them to dense vertex ids.  The
+/// layout recursion additionally needs the "substar path" of a vertex — the
+/// sequence of symbols at positions n, n-1, ..., identifying which nested
+/// substar block the vertex belongs to at each hierarchy level.
+
+#include <cstdint>
+#include <vector>
+
+namespace starlay::topology {
+
+/// A permutation of {1, 2, ..., n}; perm[i] is the symbol at position i+1.
+using Perm = std::vector<std::uint8_t>;
+
+/// Identity permutation of size n.
+Perm identity_perm(int n);
+
+/// Lexicographic rank of \p p among all n! permutations of {1..n}.
+std::int64_t perm_rank(const Perm& p);
+
+/// Inverse of perm_rank: the rank-\p r permutation of {1..n}.
+Perm perm_unrank(std::int64_t r, int n);
+
+/// True when \p p is a permutation of {1..n} for n = p.size().
+bool is_perm(const Perm& p);
+
+/// Swaps positions 1 and i (1-based), i.e. applies the star-graph
+/// dimension-i generator.  Requires 2 <= i <= p.size().
+Perm swap_first_with(const Perm& p, int i);
+
+/// Reverses the prefix of length i (pancake dimension-i generator).
+Perm reverse_prefix(const Perm& p, int i);
+
+/// Swaps adjacent positions i and i+1 (bubble-sort generator), 1-based.
+Perm swap_adjacent(const Perm& p, int i);
+
+/// Substar path of \p p: element 0 is the symbol at the last position
+/// (which level-n block p belongs to), element 1 the symbol at position
+/// n-1 among the remaining ones, etc., down to blocks of size
+/// `base_size`.  Each element is a 0-based index among the symbols still
+/// present at that level, so it can index block grids directly.
+std::vector<int> substar_path(const Perm& p, int base_size);
+
+}  // namespace starlay::topology

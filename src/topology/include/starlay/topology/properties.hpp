@@ -1,0 +1,35 @@
+#pragma once
+/// \file properties.hpp
+/// \brief Structural metrics for networks (diameter, distance, connectivity).
+///
+/// Used by tests to cross-check the builders against published values (e.g.
+/// the n-star's diameter is floor(3(n-1)/2)) and by the comm subsystem for
+/// routing and lower bounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::topology {
+
+/// BFS hop distances from \p src; unreachable vertices get -1.
+std::vector<std::int32_t> bfs_distances(const Graph& g, std::int32_t src);
+
+/// True when the graph is connected (or empty).
+bool is_connected(const Graph& g);
+
+/// Exact diameter via all-pairs BFS — O(V * E), intended for small graphs.
+/// For vertex-transitive graphs, prefer diameter_from(g, 0).
+std::int32_t diameter(const Graph& g);
+
+/// Eccentricity of \p src; equals the diameter for vertex-transitive graphs.
+std::int32_t diameter_from(const Graph& g, std::int32_t src);
+
+/// Mean hop distance from \p src to all other vertices.
+double average_distance_from(const Graph& g, std::int32_t src);
+
+/// Number of edges with exactly one endpoint in \p side (a 0/1 mask).
+std::int64_t cut_size(const Graph& g, const std::vector<std::uint8_t>& side);
+
+}  // namespace starlay::topology

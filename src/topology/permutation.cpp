@@ -1,0 +1,101 @@
+#include "starlay/topology/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::topology {
+
+Perm identity_perm(int n) {
+  STARLAY_REQUIRE(n >= 1 && n <= 20, "identity_perm: n out of range");
+  Perm p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), std::uint8_t{1});
+  return p;
+}
+
+bool is_perm(const Perm& p) {
+  const auto n = p.size();
+  std::vector<bool> seen(n + 1, false);
+  for (std::uint8_t s : p) {
+    if (s < 1 || s > n || seen[s]) return false;
+    seen[s] = true;
+  }
+  return true;
+}
+
+std::int64_t perm_rank(const Perm& p) {
+  STARLAY_REQUIRE(is_perm(p), "perm_rank: not a permutation of {1..n}");
+  const int n = static_cast<int>(p.size());
+  std::int64_t rank = 0;
+  // O(n^2) Lehmer code; n <= 20 so this is never hot.
+  for (int i = 0; i < n; ++i) {
+    int smaller = 0;
+    for (int j = i + 1; j < n; ++j)
+      if (p[static_cast<std::size_t>(j)] < p[static_cast<std::size_t>(i)]) ++smaller;
+    rank += smaller * factorial(n - 1 - i);
+  }
+  return rank;
+}
+
+Perm perm_unrank(std::int64_t r, int n) {
+  STARLAY_REQUIRE(n >= 1 && n <= 20, "perm_unrank: n out of range");
+  STARLAY_REQUIRE(r >= 0 && r < factorial(n), "perm_unrank: rank out of range");
+  std::vector<std::uint8_t> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int s = 1; s <= n; ++s) pool.push_back(static_cast<std::uint8_t>(s));
+  Perm p;
+  p.reserve(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    const std::int64_t f = factorial(i);
+    const auto idx = static_cast<std::size_t>(r / f);
+    r %= f;
+    p.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return p;
+}
+
+Perm swap_first_with(const Perm& p, int i) {
+  STARLAY_REQUIRE(i >= 2 && i <= static_cast<int>(p.size()),
+                  "swap_first_with: dimension out of range");
+  Perm q = p;
+  std::swap(q[0], q[static_cast<std::size_t>(i - 1)]);
+  return q;
+}
+
+Perm reverse_prefix(const Perm& p, int i) {
+  STARLAY_REQUIRE(i >= 2 && i <= static_cast<int>(p.size()),
+                  "reverse_prefix: dimension out of range");
+  Perm q = p;
+  std::reverse(q.begin(), q.begin() + i);
+  return q;
+}
+
+Perm swap_adjacent(const Perm& p, int i) {
+  STARLAY_REQUIRE(i >= 1 && i < static_cast<int>(p.size()),
+                  "swap_adjacent: position out of range");
+  Perm q = p;
+  std::swap(q[static_cast<std::size_t>(i - 1)], q[static_cast<std::size_t>(i)]);
+  return q;
+}
+
+std::vector<int> substar_path(const Perm& p, int base_size) {
+  STARLAY_REQUIRE(base_size >= 1, "substar_path: base_size must be >= 1");
+  const int n = static_cast<int>(p.size());
+  std::vector<int> path;
+  // Symbols still "available" at the current level, ordered ascending; the
+  // block index is the rank of the fixed symbol among them.
+  std::vector<std::uint8_t> avail;
+  for (int s = 1; s <= n; ++s) avail.push_back(static_cast<std::uint8_t>(s));
+  for (int level = n; level > base_size; --level) {
+    const std::uint8_t sym = p[static_cast<std::size_t>(level - 1)];
+    const auto it = std::lower_bound(avail.begin(), avail.end(), sym);
+    path.push_back(static_cast<int>(it - avail.begin()));
+    avail.erase(it);
+  }
+  return path;
+}
+
+}  // namespace starlay::topology

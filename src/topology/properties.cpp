@@ -1,0 +1,72 @@
+#include "starlay/topology/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::topology {
+
+std::vector<std::int32_t> bfs_distances(const Graph& g, std::int32_t src) {
+  STARLAY_REQUIRE(src >= 0 && src < g.num_vertices(), "bfs_distances: source out of range");
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<std::int32_t> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const std::int32_t v = q.front();
+    q.pop();
+    for (std::int32_t w : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(w)] < 0) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::int32_t d) { return d < 0; });
+}
+
+std::int32_t diameter_from(const Graph& g, std::int32_t src) {
+  const auto dist = bfs_distances(g, src);
+  std::int32_t ecc = 0;
+  for (std::int32_t d : dist) {
+    STARLAY_REQUIRE(d >= 0, "diameter_from: graph is disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::int32_t diameter(const Graph& g) {
+  std::int32_t diam = 0;
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+    diam = std::max(diam, diameter_from(g, v));
+  return diam;
+}
+
+double average_distance_from(const Graph& g, std::int32_t src) {
+  STARLAY_REQUIRE(g.num_vertices() > 1, "average_distance_from: need >= 2 vertices");
+  const auto dist = bfs_distances(g, src);
+  std::int64_t total = 0;
+  for (std::int32_t d : dist) {
+    STARLAY_REQUIRE(d >= 0, "average_distance_from: graph is disconnected");
+    total += d;
+  }
+  return static_cast<double>(total) / static_cast<double>(g.num_vertices() - 1);
+}
+
+std::int64_t cut_size(const Graph& g, const std::vector<std::uint8_t>& side) {
+  STARLAY_REQUIRE(static_cast<std::int32_t>(side.size()) == g.num_vertices(),
+                  "cut_size: side mask size mismatch");
+  std::int64_t cut = 0;
+  for (const Edge& e : g.edges())
+    if (side[static_cast<std::size_t>(e.u)] != side[static_cast<std::size_t>(e.v)]) ++cut;
+  return cut;
+}
+
+}  // namespace starlay::topology

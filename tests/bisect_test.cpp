@@ -1,0 +1,176 @@
+// E8/E9 (Theorems 4.1/4.2): bisection widths.
+
+#include <gtest/gtest.h>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::bisect {
+namespace {
+
+std::int32_t count_side(const std::vector<std::uint8_t>& side, std::uint8_t s) {
+  std::int32_t c = 0;
+  for (std::uint8_t x : side) c += x == s;
+  return c;
+}
+
+void expect_balanced(const std::vector<std::uint8_t>& side) {
+  const auto n = static_cast<std::int32_t>(side.size());
+  const std::int32_t c0 = count_side(side, 0);
+  EXPECT_TRUE(c0 == n / 2 || c0 == n - n / 2) << "unbalanced partition";
+}
+
+TEST(Exact, CompleteGraphIsFloorM2Over4) {
+  for (int m : {2, 3, 4, 5, 6, 7, 8, 9}) {
+    const auto g = topology::complete_graph(m);
+    const BisectionResult r = exact_bisection(g);
+    EXPECT_EQ(r.width, core::complete_bisection(m)) << m;
+    expect_balanced(r.side);
+    EXPECT_EQ(partition_cut(g, r.side), r.width);
+  }
+}
+
+TEST(Exact, HypercubeIsNOver2) {
+  for (int d : {2, 3, 4}) {
+    const auto g = topology::hypercube(d);
+    EXPECT_EQ(exact_bisection(g).width, (1 << d) / 2) << d;
+  }
+}
+
+TEST(Exact, CycleIsTwo) {
+  topology::Graph g(8);
+  for (std::int32_t v = 0; v < 8; ++v) g.add_edge(v, (v + 1) % 8);
+  g.finalize();
+  EXPECT_EQ(exact_bisection(g).width, 2);
+}
+
+TEST(Exact, Star4IsEight) {
+  // Theorem 4.1 gives N/4 +- o(N) = 6 +- o(24); the exact value is 8
+  // (the substar cut is optimal at n = 4).
+  const auto g = topology::star_graph(4);
+  const BisectionResult r = exact_bisection(g);
+  EXPECT_EQ(r.width, 8);
+  expect_balanced(r.side);
+}
+
+TEST(Exact, HcnAndHfn16AreExactlyNOver4) {
+  // Theorem 4.2: B = N/4 exactly.
+  {
+    const auto g = topology::hcn(2);
+    EXPECT_EQ(exact_bisection(g).width, core::hcn_bisection(16));
+  }
+  {
+    const auto g = topology::hfn(2);
+    EXPECT_EQ(exact_bisection(g).width, core::hcn_bisection(16));
+  }
+}
+
+TEST(Exact, RejectsOversizedInput) {
+  EXPECT_THROW(exact_bisection(topology::hypercube(6)), starlay::InvariantError);
+}
+
+TEST(KL, MatchesExactOnSmallGraphs) {
+  for (int m : {4, 6, 8}) {
+    const auto g = topology::complete_graph(m);
+    EXPECT_EQ(kernighan_lin_bisection(g).width, exact_bisection(g).width) << m;
+  }
+  {
+    const auto g = topology::hypercube(4);
+    EXPECT_EQ(kernighan_lin_bisection(g).width, exact_bisection(g).width);
+  }
+  {
+    const auto g = topology::star_graph(4);
+    EXPECT_EQ(kernighan_lin_bisection(g).width, 8);
+  }
+}
+
+TEST(KL, BalancedAndConsistent) {
+  const auto g = topology::star_graph(5);
+  const BisectionResult r = kernighan_lin_bisection(g, 4);
+  expect_balanced(r.side);
+  EXPECT_EQ(partition_cut(g, r.side), r.width);
+  // Upper bound sanity: KL can't beat the BATT lower bound of Theorem 4.2.
+  const double lb = core::bisection_lb_batt(120, core::star_te_time(5, 120));
+  EXPECT_GE(static_cast<double>(r.width), lb * 0.99);
+}
+
+TEST(Constructions, HcnClusterCutIsExactlyNOver4) {
+  for (int h : {2, 3, 4}) {
+    const std::int64_t N = std::int64_t{1} << (2 * h);
+    {
+      const auto g = topology::hcn(h);
+      const BisectionResult r = hcn_cluster_bisection(g, h);
+      expect_balanced(r.side);
+      EXPECT_EQ(r.width, N / 4) << "HCN h=" << h;
+    }
+    {
+      const auto g = topology::hfn(h);
+      const BisectionResult r = hcn_cluster_bisection(g, h);
+      expect_balanced(r.side);
+      EXPECT_EQ(r.width, N / 4) << "HFN h=" << h;
+    }
+  }
+}
+
+TEST(Constructions, NaiveClusterSplitCutsDiameterLinks) {
+  // Control experiment for Theorem 4.2's cluster ordering: splitting HCN
+  // clusters as [0, M/2) vs [M/2, M) also cuts N/4 inter-cluster links but
+  // adds M/2 diameter links — strictly worse.
+  const int h = 3;
+  const auto g = topology::hcn(h);
+  const std::int32_t M = 1 << h;
+  std::vector<std::uint8_t> naive(static_cast<std::size_t>(M) * M, 0);
+  for (std::int32_t c = M / 2; c < M; ++c)
+    for (std::int32_t x = 0; x < M; ++x)
+      naive[static_cast<std::size_t>(topology::hcn_vertex(h, c, x))] = 1;
+  const std::int64_t naive_cut = partition_cut(g, naive);
+  const std::int64_t smart_cut = hcn_cluster_bisection(g, h).width;
+  EXPECT_EQ(naive_cut, smart_cut + M / 2);
+}
+
+TEST(Constructions, StarSubstarCutMatchesFormula) {
+  // Even n: cut = (n/2)^2 (n-2)! = (N/4) n/(n-1), the paper's remark that
+  // substar cuts overshoot N/4.
+  for (int n : {4, 6}) {
+    const auto g = topology::star_graph(n);
+    const BisectionResult r = star_substar_bisection(g, n);
+    expect_balanced(r.side);
+    const std::int64_t expect = static_cast<std::int64_t>(n / 2) * (n / 2) *
+                                starlay::factorial(n - 2);
+    EXPECT_EQ(r.width, expect);
+    EXPECT_GT(static_cast<double>(r.width),
+              core::star_bisection(static_cast<double>(starlay::factorial(n))));
+  }
+}
+
+TEST(Constructions, StarSubstarRejectsOddN) {
+  const auto g = topology::star_graph(5);
+  EXPECT_THROW(star_substar_bisection(g, 5), starlay::InvariantError);
+}
+
+TEST(Constructions, LayoutSliceIsBalancedUpperBound) {
+  const auto r = core::star_layout(5);
+  const BisectionResult s = layout_slice_bisection(r.graph, r.structure.placement);
+  expect_balanced(s.side);
+  // It is an upper bound witness: some balanced cut of this size exists.
+  EXPECT_GE(s.width, kernighan_lin_bisection(r.graph, 2).width);
+}
+
+TEST(Theorem42Sandwich, Hcn16) {
+  // Lower bound (BATT chain) <= exact <= construction, all equal N/4.
+  const std::int64_t N = 16;
+  const double lb = core::bisection_lb_batt(N, core::hcn_te_time(static_cast<double>(N)));
+  const auto g = topology::hcn(2);
+  const std::int64_t exact = exact_bisection(g).width;
+  const std::int64_t upper = hcn_cluster_bisection(g, 2).width;
+  EXPECT_LE(std::ceil(lb - 0.05), static_cast<double>(exact));
+  EXPECT_LE(exact, upper);
+  EXPECT_EQ(upper, N / 4);
+  EXPECT_EQ(exact, N / 4);
+}
+
+}  // namespace
+}  // namespace starlay::bisect

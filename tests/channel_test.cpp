@@ -1,0 +1,106 @@
+// Tests for left-edge interval packing — the per-channel optimality that
+// every layout's track counts rest on.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "starlay/layout/channel.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+namespace {
+
+TEST(Packing, EmptyInput) {
+  const PackResult r = pack_intervals_left_edge({});
+  EXPECT_EQ(r.num_tracks, 0);
+  EXPECT_TRUE(r.track.empty());
+  EXPECT_EQ(max_closed_coverage({}), 0);
+}
+
+TEST(Packing, SingleInterval) {
+  const std::vector<PackRequest> reqs{{3, 9}};
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_EQ(r.num_tracks, 1);
+  EXPECT_EQ(r.track[0], 0);
+}
+
+TEST(Packing, TouchingEndpointsConflict) {
+  // Closed intervals sharing one point need two tracks.
+  const std::vector<PackRequest> reqs{{0, 5}, {5, 9}};
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_EQ(r.num_tracks, 2);
+  EXPECT_EQ(max_closed_coverage(reqs), 2);
+}
+
+TEST(Packing, DisjointChainSharesOneTrack) {
+  const std::vector<PackRequest> reqs{{0, 4}, {5, 9}, {10, 14}, {15, 19}};
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_EQ(r.num_tracks, 1);
+  EXPECT_TRUE(packing_is_valid(reqs, r));
+}
+
+TEST(Packing, NestedIntervalsStack) {
+  const std::vector<PackRequest> reqs{{0, 10}, {1, 9}, {2, 8}, {3, 7}};
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_EQ(r.num_tracks, 4);
+  EXPECT_TRUE(packing_is_valid(reqs, r));
+}
+
+TEST(Packing, RejectsInvertedInterval) {
+  const std::vector<PackRequest> reqs{{5, 3}};
+  EXPECT_THROW(pack_intervals_left_edge(reqs), starlay::InvariantError);
+}
+
+TEST(Packing, CollinearCompleteGraphPattern) {
+  // The K_m collinear demand: one interval [i, j] per pair, endpoints
+  // spread by node: coverage must be floor(m^2/4) with distinct stubs.
+  // Model stubs: node i spans [i*m, i*m + m - 1]; edge (i, j) uses
+  // lo = i*m + j, hi = j*m + i, which mirrors the stub discipline.
+  const int m = 12;
+  std::vector<PackRequest> reqs;
+  for (int i = 0; i < m; ++i)
+    for (int j = i + 1; j < m; ++j)
+      reqs.push_back({static_cast<std::int64_t>(i) * m + j,
+                      static_cast<std::int64_t>(j) * m + i});
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_EQ(r.num_tracks, m * m / 4);
+  EXPECT_TRUE(packing_is_valid(reqs, r));
+}
+
+class RandomPacking : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomPacking, OptimalAndValid) {
+  std::mt19937 rng(static_cast<std::uint32_t>(GetParam()));
+  std::uniform_int_distribution<std::int64_t> pos(0, 300);
+  std::uniform_int_distribution<std::int64_t> len(0, 40);
+  std::vector<PackRequest> reqs;
+  const int count = 50 + GetParam() * 37;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t lo = pos(rng);
+    reqs.push_back({lo, lo + len(rng)});
+  }
+  const PackResult r = pack_intervals_left_edge(reqs);
+  EXPECT_TRUE(packing_is_valid(reqs, r));
+  // Left-edge is optimal for interval graphs: tracks == max clique ==
+  // max closed coverage.
+  EXPECT_EQ(static_cast<std::int64_t>(r.num_tracks), max_closed_coverage(reqs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPacking, ::testing::Range(0, 12));
+
+TEST(Coverage, CountsClosedTouching) {
+  const std::vector<PackRequest> reqs{{0, 2}, {2, 4}, {2, 2}};
+  EXPECT_EQ(max_closed_coverage(reqs), 3);
+}
+
+TEST(PackingValidity, DetectsBadAssignment) {
+  const std::vector<PackRequest> reqs{{0, 5}, {3, 9}};
+  PackResult bad;
+  bad.num_tracks = 1;
+  bad.track = {0, 0};
+  EXPECT_FALSE(packing_is_valid(reqs, bad));
+}
+
+}  // namespace
+}  // namespace starlay::layout

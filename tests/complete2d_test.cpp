@@ -1,0 +1,97 @@
+// E2 (Lemma 2.1b): 2-D complete-graph layouts — undirected m^4/16 leading
+// term, directed m^4/4, valid geometry, and the K_9 figure's structure.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/layout/validate.hpp"
+
+namespace starlay::core {
+namespace {
+
+class Complete2D : public ::testing::TestWithParam<int> {};
+
+TEST_P(Complete2D, ValidUnderThompsonRules) {
+  const int m = GetParam();
+  const Complete2DResult r = complete2d_layout(m);
+  layout::ValidationOptions opt;
+  opt.thompson_node_size = true;
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout, opt);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST_P(Complete2D, VerticalChannelsMatchTheory) {
+  // For a perfectly balanced grid the total vertical track count equals
+  // floor(m1^2/4) * m2 per... in aggregate exactly m^2/4 (paper Sec 2.2).
+  const int m = GetParam();
+  const Complete2DResult r = complete2d_layout(m);
+  const std::int64_t vch = std::accumulate(r.routed.col_channel_tracks.begin(),
+                                           r.routed.col_channel_tracks.end(), std::int64_t{0});
+  if (r.grid_rows * r.grid_cols == m) {
+    EXPECT_LE(vch, m * m / 4 + m);  // small endpoint slack
+    EXPECT_GE(vch, m * m / 4 - m);
+  } else {
+    EXPECT_LE(vch, m * m / 4 + m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepM, Complete2D, ::testing::Values(4, 6, 9, 12, 16, 25, 36, 49));
+
+TEST(Complete2D, DirectedCostsFourTimesUndirected) {
+  for (int m : {16, 36}) {
+    const auto undirected = complete2d_layout(m);
+    const auto directed = complete2d_directed_layout(m);
+    EXPECT_TRUE(layout::validate_layout(directed.graph, directed.routed.layout).ok);
+    const double ratio = static_cast<double>(directed.routed.layout.area()) /
+                         static_cast<double>(undirected.routed.layout.area());
+    EXPECT_NEAR(ratio, 4.0, 1.2) << "m=" << m;
+  }
+}
+
+TEST(Complete2D, AreaRatioDecreasesTowardOne) {
+  // measured / (m^4/16) must decrease in m (converging to 1 + o(1)).
+  double prev = 1e18;
+  for (int m : {16, 36, 64, 100}) {
+    const auto r = complete2d_layout(m);
+    const double ratio = static_cast<double>(r.routed.layout.area()) / complete2d_area(m);
+    EXPECT_LT(ratio, prev) << "m=" << m;
+    EXPECT_GT(ratio, 1.0) << "m=" << m;
+    prev = ratio;
+  }
+  EXPECT_LT(prev, 2.1);  // by m=100 the ratio is close to the paper's model
+}
+
+TEST(Complete2D, MultiplicityValidAndMonotone) {
+  const auto r1 = complete2d_layout(9, 1);
+  const auto r3 = complete2d_layout(9, 3);
+  EXPECT_TRUE(layout::validate_layout(r3.graph, r3.routed.layout).ok);
+  EXPECT_GT(r3.routed.layout.area(), r1.routed.layout.area());
+  EXPECT_EQ(r3.routed.layout.num_wires(), 3 * r1.routed.layout.num_wires());
+}
+
+TEST(Complete2D, K9GridIsThreeByThree) {
+  const auto r = complete2d_layout(9);
+  EXPECT_EQ(r.grid_rows, 3);
+  EXPECT_EQ(r.grid_cols, 3);
+  // Fig. 1 scale check: the directed K_9 had 12 tracks between neighboring
+  // rows/columns; the undirected layout must use at most that everywhere.
+  for (std::int32_t t : r.routed.col_channel_tracks) EXPECT_LE(t, 12);
+  for (std::int32_t t : r.routed.row_channel_tracks) EXPECT_LE(t, 12);
+}
+
+TEST(Complete2D, OrientationRuleAntisymmetricInCopies) {
+  // Copies must alternate orientation: copy 0 and copy 1 of the same pair
+  // route through different row channels.
+  EXPECT_NE(complete_orientation(0, 2, 0), complete_orientation(0, 2, 1));
+  EXPECT_NE(complete_orientation(5, 1, 0), complete_orientation(5, 1, 1));
+}
+
+TEST(Complete2D, RejectsTooSmall) {
+  EXPECT_THROW(complete2d_layout(1), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::core

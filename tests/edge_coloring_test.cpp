@@ -1,0 +1,100 @@
+// Konig edge coloring — correctness and optimality (exactly Delta colors).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "starlay/comm/edge_coloring.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::comm {
+namespace {
+
+/// Checks the coloring is proper and uses at most max_colors colors.
+void expect_proper(std::int32_t nl, std::int32_t nr, const std::vector<BipartiteEdge>& edges,
+                   const std::vector<std::int32_t>& colors, std::int32_t max_colors) {
+  ASSERT_EQ(colors.size(), edges.size());
+  std::set<std::pair<std::int32_t, std::int32_t>> left_used, right_used;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ASSERT_GE(colors[i], 0);
+    ASSERT_LT(colors[i], max_colors);
+    EXPECT_TRUE(left_used.insert({edges[i].left, colors[i]}).second)
+        << "left " << edges[i].left << " repeats color " << colors[i];
+    EXPECT_TRUE(right_used.insert({edges[i].right, colors[i]}).second)
+        << "right " << edges[i].right << " repeats color " << colors[i];
+  }
+  (void)nl;
+  (void)nr;
+}
+
+std::int32_t max_degree(std::int32_t nl, std::int32_t nr,
+                        const std::vector<BipartiteEdge>& edges) {
+  std::vector<std::int32_t> l(static_cast<std::size_t>(nl), 0), r(static_cast<std::size_t>(nr), 0);
+  std::int32_t d = 0;
+  for (const auto& e : edges) {
+    d = std::max({d, ++l[static_cast<std::size_t>(e.left)],
+                  ++r[static_cast<std::size_t>(e.right)]});
+  }
+  return d;
+}
+
+TEST(EdgeColoring, EmptyGraph) {
+  EXPECT_TRUE(bipartite_edge_coloring(3, 3, {}).empty());
+}
+
+TEST(EdgeColoring, SingleEdge) {
+  const std::vector<BipartiteEdge> e{{0, 0}};
+  const auto c = bipartite_edge_coloring(1, 1, e);
+  expect_proper(1, 1, e, c, 1);
+}
+
+TEST(EdgeColoring, CompleteBipartite) {
+  std::vector<BipartiteEdge> e;
+  for (std::int32_t a = 0; a < 5; ++a)
+    for (std::int32_t b = 0; b < 5; ++b) e.push_back({a, b});
+  const auto c = bipartite_edge_coloring(5, 5, e);
+  expect_proper(5, 5, e, c, 5);
+}
+
+TEST(EdgeColoring, ParallelEdges) {
+  const std::vector<BipartiteEdge> e{{0, 0}, {0, 0}, {0, 0}};
+  const auto c = bipartite_edge_coloring(1, 1, e);
+  expect_proper(1, 1, e, c, 3);
+}
+
+TEST(EdgeColoring, RejectsOutOfRange) {
+  EXPECT_THROW(bipartite_edge_coloring(1, 1, {{1, 0}}), starlay::InvariantError);
+  EXPECT_THROW(bipartite_edge_coloring(1, 1, {{0, -1}}), starlay::InvariantError);
+}
+
+class RandomBipartite : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBipartite, KonigOptimal) {
+  std::mt19937 rng(static_cast<std::uint32_t>(GetParam() * 7919 + 13));
+  const std::int32_t nl = 4 + GetParam() % 13;
+  const std::int32_t nr = 3 + GetParam() % 7;
+  std::uniform_int_distribution<std::int32_t> dl(0, nl - 1), dr(0, nr - 1);
+  std::vector<BipartiteEdge> e;
+  const int count = 10 + GetParam() * 11;
+  for (int i = 0; i < count; ++i) e.push_back({dl(rng), dr(rng)});
+  const auto c = bipartite_edge_coloring(nl, nr, e);
+  // Konig: exactly max-degree colors suffice.
+  expect_proper(nl, nr, e, c, max_degree(nl, nr, e));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBipartite, ::testing::Range(0, 20));
+
+TEST(EdgeColoring, HypercubeDemandShape) {
+  // The Q_d TE demand graph: offsets x dims, degree N/2 per dim.
+  const int d = 5;
+  const std::int32_t N = 1 << d;
+  std::vector<BipartiteEdge> e;
+  for (std::int32_t off = 1; off < N; ++off)
+    for (int b = 0; b < d; ++b)
+      if (off & (1 << b)) e.push_back({off - 1, b});
+  const auto c = bipartite_edge_coloring(N - 1, d, e);
+  expect_proper(N - 1, d, e, c, N / 2);
+}
+
+}  // namespace
+}  // namespace starlay::comm

@@ -1,0 +1,183 @@
+// Four-sided routing (the extended-grid node-size regime of Lemma 2.1 /
+// Theorem 3.7): attachments on all four node sides with jog terminals.
+
+#include <gtest/gtest.h>
+
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::layout {
+namespace {
+
+void expect_valid(const topology::Graph& g, const Layout& lay) {
+  const ValidationReport rep = validate_layout(g, lay);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "?" : rep.errors[0]);
+}
+
+struct FourCase {
+  const char* name;
+  topology::Graph (*make)();
+};
+
+topology::Graph f_k9() { return topology::complete_graph(9); }
+topology::Graph f_k16() { return topology::complete_graph(16); }
+topology::Graph f_k6x3() { return topology::complete_graph(6, 3); }
+topology::Graph f_q5() { return topology::hypercube(5); }
+topology::Graph f_star4() { return topology::star_graph(4); }
+topology::Graph f_hcn2() { return topology::hcn(2); }
+topology::Graph f_bubble4() { return topology::bubble_sort_graph(4); }
+
+class FourSided : public ::testing::TestWithParam<FourCase> {};
+
+TEST_P(FourSided, AutoSizeProducesValidLayout) {
+  const topology::Graph g = GetParam().make();
+  RouterOptions opt;
+  opt.four_sided = true;
+  const RoutedLayout r = route_grid(g, row_major_placement(g.num_vertices()), {}, opt);
+  expect_valid(g, r.layout);
+  // Auto size in four-sided mode is about half the degree for large
+  // degrees; the even/odd interleave can cost one extra unit at tiny ones.
+  EXPECT_LE(r.node_size, std::max<Coord>(1, g.max_degree()) + 1);
+}
+
+TEST_P(FourSided, StatsCoverAllChannels) {
+  const topology::Graph g = GetParam().make();
+  const Placement p = row_major_placement(g.num_vertices());
+  RouterOptions opt;
+  opt.four_sided = true;
+  const RoutedLayout r = route_grid(g, p, {}, opt);
+  EXPECT_EQ(static_cast<std::int32_t>(r.row_channel_tracks.size()), p.rows + 1);
+  EXPECT_EQ(static_cast<std::int32_t>(r.col_channel_tracks.size()), p.cols + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, FourSided,
+    ::testing::Values(FourCase{"K9", &f_k9}, FourCase{"K16", &f_k16},
+                      FourCase{"K6x3", &f_k6x3}, FourCase{"Q5", &f_q5},
+                      FourCase{"star4", &f_star4}, FourCase{"hcn2", &f_hcn2},
+                      FourCase{"bubble4", &f_bubble4}),
+    [](const ::testing::TestParamInfo<FourCase>& info) { return info.param.name; });
+
+TEST(FourSided, NodeSizeNearHalfDegree) {
+  // K_m: degree m-1; the even/odd interleave admits about (m-1)/2 + 1.
+  for (int m : {16, 36, 64}) {
+    const topology::Graph g = topology::complete_graph(m);
+    RouterOptions opt;
+    opt.four_sided = true;
+    const RoutedLayout r = route_grid(g, row_major_placement(m), {}, opt);
+    expect_valid(g, r.layout);
+    EXPECT_LE(r.node_size, (m - 1) / 2 + 3) << m;
+  }
+}
+
+TEST(FourSided, SmallerAreaThanTwoSided) {
+  for (int m : {36, 100}) {
+    const topology::Graph g = topology::complete_graph(m);
+    const Placement p = row_major_placement(m);
+    RouterOptions opt;
+    opt.four_sided = true;
+    const RoutedLayout four = route_grid(g, p, {}, opt);
+    const RoutedLayout two = route_grid(g, p);
+    expect_valid(g, four.layout);
+    EXPECT_LT(four.layout.area(), two.layout.area()) << m;
+  }
+}
+
+TEST(FourSided, ExplicitTooSmallNodeThrows) {
+  const topology::Graph g = topology::complete_graph(12);
+  RouterOptions opt;
+  opt.four_sided = true;
+  opt.node_size = 2;
+  EXPECT_THROW(route_grid(g, row_major_placement(12), {}, opt), starlay::InvariantError);
+}
+
+TEST(FourSided, CollinearStillExactTracks) {
+  // Four-sided collinear K_m: row edges alternate above/below, so the
+  // track demand splits between two channels; the total stays floor(m^2/4)
+  // + O(1) imbalance.
+  for (int m : {8, 16}) {
+    const topology::Graph g = topology::complete_graph(m);
+    RouterOptions opt;
+    opt.four_sided = true;
+    const RoutedLayout r = route_grid(g, collinear_placement(m), {}, opt);
+    expect_valid(g, r.layout);
+    std::int64_t total = 0;
+    for (std::int32_t t : r.row_channel_tracks) total += t;
+    EXPECT_GE(total, m * m / 4);
+    EXPECT_LE(total, m * m / 4 + m);
+  }
+}
+
+TEST(FourSided, MultilayerCombination) {
+  // Four-sided + multilayer: jogs carry the wire's own layers, so the
+  // adjacent-pair via rules still hold — the validator confirms.
+  topology::Graph g = topology::complete_graph(10, 2);
+  const Placement p = row_major_placement(10);
+  RouteSpec spec;
+  spec.source_is_u.assign(static_cast<std::size_t>(g.num_edges()), 1);
+  spec.layers.resize(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e)
+    spec.layers[static_cast<std::size_t>(e)] =
+        g.edge(e).label == 0 ? std::pair<std::int16_t, std::int16_t>{1, 2}
+                             : std::pair<std::int16_t, std::int16_t>{3, 4};
+  RouterOptions opt;
+  opt.four_sided = true;
+  const RoutedLayout r = route_grid(g, p, spec, opt);
+  expect_valid(g, r.layout);
+  EXPECT_EQ(r.layout.num_layers(), 4);
+}
+
+}  // namespace
+}  // namespace starlay::layout
+
+namespace starlay::core {
+namespace {
+
+TEST(CompactLayouts, StarCompactValid) {
+  // Star graphs have degree n-1 only, so the node shrink is small while
+  // the jog terminals add channel demand — compact layouts of stars are
+  // legal but not smaller at these sizes (see EXPERIMENTS.md E11 notes).
+  // The win shows on degree-dominated layouts (K_m below, ~1.2-1.3x).
+  for (int n : {4, 5, 6}) {
+    const StarLayoutResult compact = star_layout_compact(n);
+    const StarLayoutResult normal = star_layout(n);
+    const auto rep = layout::validate_layout(compact.graph, compact.routed.layout);
+    EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "?" : rep.errors[0]);
+    // Still the same order of magnitude as the standard construction.
+    EXPECT_LT(compact.routed.layout.area(), 2 * normal.routed.layout.area()) << n;
+  }
+}
+
+TEST(CompactLayouts, StarCompactStaysAboveLowerBound) {
+  // Theorem 3.7 holds for node sides down to the extended-grid minimum:
+  // even the compact layout cannot beat N^2/16's BATT floor.
+  for (int n : {5, 6}) {
+    const StarLayoutResult compact = star_layout_compact(n);
+    const double N = static_cast<double>(starlay::factorial(n));
+    EXPECT_GE(static_cast<double>(compact.routed.layout.area()),
+              N * N / 16.0 * (1.0 - 1.0 / n) * (1.0 - 1.0 / n));
+  }
+}
+
+TEST(CompactLayouts, Complete2dCompactValidAndSmaller) {
+  for (int m : {16, 36}) {
+    const Complete2DResult compact = complete2d_compact_layout(m);
+    const Complete2DResult normal = complete2d_layout(m);
+    EXPECT_TRUE(layout::validate_layout(compact.graph, compact.routed.layout).ok) << m;
+    EXPECT_LT(compact.routed.layout.area(), normal.routed.layout.area()) << m;
+  }
+}
+
+TEST(CompactLayouts, CompactWithMultiplicity) {
+  const Complete2DResult r = complete2d_compact_layout(9, 3);
+  EXPECT_TRUE(layout::validate_layout(r.graph, r.routed.layout).ok);
+}
+
+}  // namespace
+}  // namespace starlay::core

@@ -1,0 +1,152 @@
+// Unit tests for the geometry primitives and the Layout container.
+
+#include <gtest/gtest.h>
+
+#include "starlay/core/star_model.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/geometry.hpp"
+#include "starlay/layout/layout.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::layout {
+namespace {
+
+TEST(Rect, EmptyByDefault) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(Rect, DimensionsAndContainment) {
+  Rect r{2, 3, 5, 7};
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 5);
+  EXPECT_EQ(r.area(), 20);
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({5, 7}));
+  EXPECT_FALSE(r.contains({6, 7}));
+  EXPECT_FALSE(r.strictly_contains({2, 5}));
+  EXPECT_TRUE(r.strictly_contains({3, 5}));
+}
+
+TEST(Rect, CoverGrows) {
+  Rect r;
+  r.cover(Point{4, 4});
+  EXPECT_EQ(r, (Rect{4, 4, 4, 4}));
+  r.cover(Point{-1, 9});
+  EXPECT_EQ(r, (Rect{-1, 4, 4, 9}));
+  Rect other{10, 10, 12, 12};
+  r.cover(other);
+  EXPECT_EQ(r.x1, 12);
+  r.cover(Rect{});  // covering an empty rect is a no-op
+  EXPECT_EQ(r.x1, 12);
+}
+
+TEST(Interval, ClosedOverlap) {
+  EXPECT_TRUE((Interval{0, 5}).overlaps_closed({5, 9}));
+  EXPECT_FALSE((Interval{0, 5}).overlaps_closed({6, 9}));
+  EXPECT_TRUE((Interval{3, 3}).overlaps_closed({0, 9}));
+}
+
+TEST(Wire, PushDeduplicates) {
+  Wire w;
+  w.push({0, 0});
+  w.push({0, 0});
+  w.push({0, 5});
+  EXPECT_EQ(w.npts, 2);
+  EXPECT_EQ(w.back(), (Point{0, 5}));
+}
+
+TEST(Layout, AreaAndWireLength) {
+  Layout lay(2);
+  lay.set_node_rect(0, {0, 0, 1, 1});
+  lay.set_node_rect(1, {8, 0, 9, 1});
+  Wire w;
+  w.edge = 0;
+  w.push({1, 1});
+  w.push({1, 3});
+  w.push({8, 3});
+  w.push({8, 1});
+  lay.add_wire(w);
+  EXPECT_EQ(lay.width(), 10);
+  EXPECT_EQ(lay.height(), 4);
+  EXPECT_EQ(lay.area(), 40);
+  EXPECT_EQ(lay.total_wire_length(), 2 + 7 + 2);
+  EXPECT_EQ(lay.max_wire_length(), 11);
+  EXPECT_EQ(lay.num_layers(), 2);
+  EXPECT_EQ(lay.segments().size(), 3u);
+}
+
+TEST(Layout, RejectsBadNodeAccess) {
+  Layout lay(1);
+  EXPECT_THROW(lay.set_node_rect(1, {0, 0, 1, 1}), starlay::InvariantError);
+  EXPECT_THROW(lay.set_node_rect(0, Rect{}), starlay::InvariantError);
+  EXPECT_THROW(lay.node_rect(-1), starlay::InvariantError);
+}
+
+TEST(Layout, SegmentsSkipDegenerate) {
+  Layout lay(1);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  Wire w;
+  w.push({0, 0});
+  w.push({0, 0});  // deduped: single point, no segments
+  lay.add_wire(w);
+  EXPECT_TRUE(lay.segments().empty());
+}
+
+}  // namespace
+}  // namespace starlay::layout
+
+namespace starlay::core {
+namespace {
+
+TEST(StarAreaModel, PredictsMeasuredAreaTightly) {
+  // The second-order model must be far tighter than the bare N^2/16, and
+  // conservative (the router's cross-level sharing only helps).
+  for (int n : {5, 6, 7}) {
+    const StarAreaModel m = star_area_model(n);
+    const auto r = star_layout(n);
+    const double measured = static_cast<double>(r.routed.layout.area());
+    const double model_ratio = measured / m.area;
+    EXPECT_GT(model_ratio, 0.6) << n;
+    EXPECT_LT(model_ratio, 1.1) << n;
+    const double bare_ratio =
+        measured / (static_cast<double>(starlay::factorial(n)) *
+                    static_cast<double>(starlay::factorial(n)) / 16.0);
+    EXPECT_LT(std::abs(model_ratio - 1.0), std::abs(bare_ratio - 1.0)) << n;
+  }
+}
+
+TEST(StarAreaModel, ComponentsArePositiveAndOrdered) {
+  const StarAreaModel m = star_area_model(6);
+  EXPECT_GT(m.channel_width, 0);
+  EXPECT_GT(m.channel_height, 0);
+  EXPECT_GT(m.node_width, 0);
+  // Channels dominate nodes from n = 6 on.
+  EXPECT_GT(m.channel_height, m.node_height);
+}
+
+TEST(StarAreaModel, ChannelTermApproachesNQuarter) {
+  // The model's channel totals, normalized by N/4, shrink toward 1 as n
+  // grows — the measurable version of the paper's o(N^2) claim.
+  double prev = 1e18;
+  for (int n : {5, 6, 7, 8}) {
+    const StarAreaModel m = star_area_model(n);
+    const double norm = static_cast<double>(m.channel_height) /
+                        (static_cast<double>(starlay::factorial(n)) / 4.0);
+    EXPECT_LT(norm, prev) << n;
+    EXPECT_GT(norm, 1.0) << n;
+    prev = norm;
+  }
+}
+
+TEST(StarAreaModel, RejectsBadArguments) {
+  EXPECT_THROW(star_area_model(1), starlay::InvariantError);
+  EXPECT_THROW(star_area_model(11), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::core

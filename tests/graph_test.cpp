@@ -1,0 +1,115 @@
+// Unit tests for the Graph container (CSR multigraph).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "starlay/support/check.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::topology {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  g.finalize();
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_TRUE(g.is_simple());
+}
+
+TEST(Graph, AddEdgeNormalizesEndpoints) {
+  Graph g(4);
+  g.add_edge(3, 1, 7);
+  g.finalize();
+  EXPECT_EQ(g.edge(0).u, 1);
+  EXPECT_EQ(g.edge(0).v, 3);
+  EXPECT_EQ(g.edge(0).label, 7);
+}
+
+TEST(Graph, RejectsSelfLoopsAndOutOfRange) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), InvariantError);
+  EXPECT_THROW(g.add_edge(0, 3), InvariantError);
+  EXPECT_THROW(g.add_edge(-1, 0), InvariantError);
+}
+
+TEST(Graph, AdjacencyMatchesEdges) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.finalize();
+  const auto n0 = g.neighbors(0);
+  std::multiset<std::int32_t> s0(n0.begin(), n0.end());
+  EXPECT_EQ(s0, (std::multiset<std::int32_t>{1, 2}));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Graph, ParallelEdgesCountInDegree) {
+  Graph g(2);
+  g.add_edge(0, 1, 0);
+  g.add_edge(0, 1, 1);
+  g.add_edge(0, 1, 2);
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_FALSE(g.is_simple());
+  EXPECT_TRUE(g.is_regular());
+}
+
+TEST(Graph, IncidentEdgesRoundTrip) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(1, 3);
+  g.finalize();
+  for (std::int32_t v = 0; v < 4; ++v) {
+    const auto inc = g.incident_edges(v);
+    EXPECT_EQ(static_cast<std::int32_t>(inc.size()), g.degree(v));
+    for (std::int64_t ei : inc) {
+      const Edge& e = g.edge(ei);
+      EXPECT_TRUE(e.u == v || e.v == v);
+    }
+  }
+}
+
+TEST(Graph, RequiresFinalizeForQueries) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.neighbors(0), InvariantError);
+  EXPECT_THROW(g.degree(0), InvariantError);
+  g.finalize();
+  EXPECT_NO_THROW(g.neighbors(0));
+}
+
+TEST(Graph, RefinalizeAfterNewEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 1);
+  g.add_edge(0, 2);
+  g.finalize();
+  EXPECT_EQ(g.degree(0), 2);
+}
+
+TEST(Graph, HandshakeLemma) {
+  Graph g(10);
+  for (std::int32_t u = 0; u < 10; ++u)
+    for (std::int32_t v = u + 1; v < 10; v += 2) g.add_edge(u, v);
+  g.finalize();
+  std::int64_t total = 0;
+  for (std::int32_t v = 0; v < 10; ++v) total += g.degree(v);
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace starlay::topology

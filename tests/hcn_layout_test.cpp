@@ -1,0 +1,94 @@
+// E5 (Lemma 2.4 / Theorem 3.10): HCN and HFN layouts.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hcn_layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+namespace {
+
+class HcnLayoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HcnLayoutSweep, HcnValid) {
+  const int h = GetParam();
+  const HcnLayoutResult r = hcn_layout(h);
+  layout::ValidationOptions opt;
+  opt.thompson_node_size = true;  // HCN is (h+1)-regular
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout, opt);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST_P(HcnLayoutSweep, HfnValid) {
+  const int h = GetParam();
+  const HcnLayoutResult r = hfn_layout(h);
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallH, HcnLayoutSweep, ::testing::Values(1, 2, 3, 4));
+
+TEST(HcnLayout, ClustersOccupyContiguousBlocks) {
+  const int h = 3;
+  const HcnLayoutResult r = hcn_layout(h);
+  const std::int32_t M = 1 << h;
+  // Each cluster's nodes must fit in one block of the cluster grid.
+  for (std::int32_t c = 0; c < M; ++c) {
+    std::int32_t rmin = 1 << 30, rmax = -1, cmin = 1 << 30, cmax = -1;
+    for (std::int32_t x = 0; x < M; ++x) {
+      const std::int32_t v = topology::hcn_vertex(h, c, x);
+      rmin = std::min(rmin, r.placement.row_of(v));
+      rmax = std::max(rmax, r.placement.row_of(v));
+      cmin = std::min(cmin, r.placement.col_of(v));
+      cmax = std::max(cmax, r.placement.col_of(v));
+    }
+    EXPECT_LE((rmax - rmin + 1) * (cmax - cmin + 1), M) << "cluster " << c << " not compact";
+  }
+}
+
+TEST(HcnLayout, AreaRatioDecreases) {
+  double prev = 1e18;
+  for (int h : {2, 3, 4}) {
+    const HcnLayoutResult r = hcn_layout(h);
+    const double N = static_cast<double>(1 << (2 * h));
+    const double ratio = static_cast<double>(r.routed.layout.area()) / hcn_area(N);
+    EXPECT_LT(ratio, prev) << h;
+    EXPECT_GT(ratio, 1.0) << h;
+    prev = ratio;
+  }
+}
+
+TEST(HcnLayout, HfnAreaRatioDecreases) {
+  double prev = 1e18;
+  for (int h : {2, 3, 4}) {
+    const HcnLayoutResult r = hfn_layout(h);
+    const double N = static_cast<double>(1 << (2 * h));
+    const double ratio = static_cast<double>(r.routed.layout.area()) / hcn_area(N);
+    EXPECT_LT(ratio, prev) << h;
+    prev = ratio;
+  }
+}
+
+TEST(HcnLayout, DiameterLinksOnlyAddLowerOrderArea) {
+  // Paper: diameter links imply only O(N sqrt(N)) extra area, so HCN and
+  // HFN areas stay within a modest factor of each other (HFN has the
+  // heavier clusters instead).
+  for (int h : {3, 4}) {
+    const double hcn_area_measured = static_cast<double>(hcn_layout(h).routed.layout.area());
+    const double hfn_area_measured = static_cast<double>(hfn_layout(h).routed.layout.area());
+    EXPECT_LT(hcn_area_measured / hfn_area_measured, 1.5) << h;
+    EXPECT_GT(hcn_area_measured / hfn_area_measured, 0.3) << h;
+  }
+}
+
+TEST(HcnLayout, RejectsBadArguments) {
+  EXPECT_THROW(hcn_layout(0), starlay::InvariantError);
+  EXPECT_THROW(hfn_layout(9), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::core

@@ -1,0 +1,71 @@
+// Hypercube / folded-hypercube layouts (the 4N^2/9 comparison substrate).
+
+#include <gtest/gtest.h>
+
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hypercube_layout.hpp"
+#include "starlay/layout/validate.hpp"
+
+namespace starlay::core {
+namespace {
+
+class CubeLayout : public ::testing::TestWithParam<int> {};
+
+TEST_P(CubeLayout, HypercubeValid) {
+  const int d = GetParam();
+  const HypercubeLayoutResult r = hypercube_layout(d);
+  layout::ValidationOptions opt;
+  opt.thompson_node_size = true;
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout, opt);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST_P(CubeLayout, FoldedHypercubeValid) {
+  const int d = GetParam();
+  const HypercubeLayoutResult r = folded_hypercube_layout(d);
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallD, CubeLayout, ::testing::Values(1, 2, 3, 4, 5, 6, 8));
+
+TEST(CubeLayout, PlacementSplitsBits) {
+  const layout::Placement p = hypercube_placement(6);
+  EXPECT_EQ(p.rows, 8);
+  EXPECT_EQ(p.cols, 8);
+  // Low bits = row, high bits = column.
+  EXPECT_EQ(p.row_of(0b101101), 0b101);
+  EXPECT_EQ(p.col_of(0b101101), 0b101);
+}
+
+TEST(CubeLayout, AreaRatioDecreasesTowardOne) {
+  // measured / (4 N^2 / 9) decreasing (converging to the [28] constant).
+  double prev = 1e18;
+  for (int d : {4, 6, 8, 10}) {
+    const HypercubeLayoutResult r = hypercube_layout(d);
+    const double N = static_cast<double>(1 << d);
+    const double ratio = static_cast<double>(r.routed.layout.area()) / hypercube_area(N);
+    EXPECT_LT(ratio, prev) << d;
+    prev = ratio;
+  }
+  EXPECT_LT(prev, 2.5);
+}
+
+TEST(CubeLayout, AreaAboveBisectionLowerBound) {
+  // Thompson: area >= B^2 = (N/2)^2 for the hypercube.
+  for (int d : {4, 6, 8}) {
+    const HypercubeLayoutResult r = hypercube_layout(d);
+    const double B = static_cast<double>(hypercube_bisection(1 << d));
+    EXPECT_GE(static_cast<double>(r.routed.layout.area()), area_lb_bisection(B));
+  }
+}
+
+TEST(CubeLayout, FoldedCostsMoreThanPlain) {
+  for (int d : {4, 6}) {
+    EXPECT_GT(folded_hypercube_layout(d).routed.layout.area(),
+              hypercube_layout(d).routed.layout.area());
+  }
+}
+
+}  // namespace
+}  // namespace starlay::core

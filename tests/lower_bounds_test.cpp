@@ -1,0 +1,127 @@
+// Section 3: formulas and bound aggregators — the paper's narrative numbers.
+
+#include <gtest/gtest.h>
+
+#include "starlay/support/check.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/lower_bounds.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::core {
+namespace {
+
+TEST(Formulas, HeadlineRatioIsSevenPointOneRepeating) {
+  EXPECT_NEAR(star_vs_hypercube_ratio(), 7.111111, 1e-5);
+  EXPECT_DOUBLE_EQ(hypercube_area(1.0) / star_area(1.0), star_vs_hypercube_ratio());
+}
+
+TEST(Formulas, SykoraVrtoComparisons) {
+  const double N = 40320;
+  // 72x improvement of the constructive area.
+  EXPECT_NEAR(sykora_vrto_star_area(N) / star_area(N), 72.0, 1e-9);
+  // Their upper/lower ratio was 3528; ours is 1 + o(1).
+  EXPECT_NEAR(sykora_vrto_star_area(N) / sykora_vrto_star_lower_bound(N), 3528.0, 1e-6);
+}
+
+TEST(Formulas, BattSingleTaskImproves12Point25x) {
+  // Using T_TE = 2N in Theorem 3.2 beats Sykora-Vrt'o's lower bound 12.25x.
+  const std::int64_t N = 362880;
+  const double lb = area_lb_batt(N, fragopoulou_akl_te_time(static_cast<double>(N)));
+  EXPECT_NEAR(lb / sykora_vrto_star_lower_bound(static_cast<double>(N)), 12.25, 0.01);
+}
+
+TEST(Formulas, PipelinedTeAddsFactorFour) {
+  // Lemma 3.6's throughput improves the single-task bound by ~4x
+  // (exactly 4 (1 - 1/n)^2 -> 4).
+  const int n = 9;
+  const std::int64_t N = starlay::factorial(n);
+  const double single = area_lb_batt(N, fragopoulou_akl_te_time(static_cast<double>(N)));
+  const double pipelined = area_lb_batt(N, star_te_time(n, static_cast<double>(N)));
+  EXPECT_NEAR(pipelined / single, 4.0 * (1.0 - 1.0 / n) * (1.0 - 1.0 / n), 1e-9);
+}
+
+TEST(Formulas, BattBoundWithOptimalTeMatchesUpperAsymptotically) {
+  // area_lb_batt with T_TE = nN/(n-1) equals (N^2/16)(1-1/n)^2 -> N^2/16.
+  for (int n : {6, 10, 16, 20}) {
+    const std::int64_t N = starlay::factorial(n);
+    const double lb = area_lb_batt(N, star_te_time(n, static_cast<double>(N)));
+    const double expect = star_area(static_cast<double>(N)) * (1.0 - 1.0 / n) * (1.0 - 1.0 / n);
+    EXPECT_NEAR(lb / expect, 1.0, 1e-6) << n;
+  }
+}
+
+TEST(Formulas, OddNFloorCeilSplitHandled) {
+  // Odd N: floor/ceil split differs from N^2/4 squared.
+  EXPECT_DOUBLE_EQ(area_lb_batt(5, 1.0), 4.0 * 9.0);
+  EXPECT_DOUBLE_EQ(area_lb_batt(4, 1.0), 4.0 * 4.0);
+  EXPECT_DOUBLE_EQ(bisection_lb_batt(5, 1.0), 6.0);
+}
+
+TEST(Formulas, XYBoundsEvenOdd) {
+  EXPECT_DOUBLE_EQ(xy_area_lb_bisection(10.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(xy_area_lb_bisection(10.0, 4), 25.0);
+  EXPECT_DOUBLE_EQ(xy_area_lb_bisection(10.0, 3), 50.0);
+  // X-Y with L=2 equals the Thompson bound B^2.
+  EXPECT_DOUBLE_EQ(xy_area_lb_bisection(7.0, 2), area_lb_bisection(7.0));
+}
+
+TEST(Formulas, HcnTeTimeNearN) {
+  EXPECT_NEAR(hcn_te_time(1024), 1024.2, 1e-9);
+}
+
+TEST(StarBounds, RatioApproachesOne) {
+  double prev = 1e18;
+  for (int n : {6, 8, 10, 12, 16, 20}) {
+    const AreaBoundSummary s = star_area_bounds(n);
+    EXPECT_GT(s.ratio, 1.0) << n;
+    EXPECT_LT(s.ratio, prev) << n;
+    prev = s.ratio;
+  }
+  // By n = 20 the construction is within 12% of the best lower bound.
+  EXPECT_LT(prev, 1.12);
+}
+
+TEST(StarBounds, BisectionBoundIsWeakerThanBatt) {
+  // B^2 = N^2/16 matches BATT asymptotically but the paper derives B from
+  // the layout, so BATT must carry the argument: check both are present.
+  const AreaBoundSummary s = star_area_bounds(10);
+  EXPECT_GT(s.lb_batt_pipelined, s.lb_batt_single);
+  EXPECT_GT(s.lb_bisection, 0.0);
+}
+
+TEST(HcnBounds, RatioApproachesOne) {
+  double prev = 1e18;
+  for (int h : {3, 5, 7, 10}) {
+    const AreaBoundSummary s = hcn_area_bounds(h);
+    EXPECT_GT(s.ratio, 1.0) << h;
+    EXPECT_LT(s.ratio, prev) << h;
+    prev = s.ratio;
+  }
+  EXPECT_LT(prev, 1.01);
+}
+
+TEST(CompleteBounds, TightAtAllSizes) {
+  for (int m : {4, 8, 16, 100}) {
+    const AreaBoundSummary s = complete_area_bounds(m);
+    // K_m: BATT with T_TE = 1 gives ~m^4/16 directly; ratio -> 1.
+    EXPECT_GT(s.ratio, 0.99) << m;
+    EXPECT_LT(s.ratio, 1.2) << m;
+  }
+}
+
+TEST(XYBounds, StarMultilayerRatioApproachesOne) {
+  for (int L : {2, 3, 4, 8}) {
+    const XYBoundSummary s = star_xy_bounds(16, L);
+    EXPECT_GT(s.ratio, 1.0) << L;
+    EXPECT_LT(s.ratio, 1.2) << L;
+  }
+}
+
+TEST(Bounds, RejectBadArguments) {
+  EXPECT_THROW(star_area_bounds(1), starlay::InvariantError);
+  EXPECT_THROW(hcn_area_bounds(0), starlay::InvariantError);
+  EXPECT_THROW(star_xy_bounds(8, 1), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::core

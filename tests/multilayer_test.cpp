@@ -1,0 +1,171 @@
+// E4 (Lemma 2.3 / Theorem 3.8): multilayer X-Y star layouts.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hcn_layout.hpp"
+#include "starlay/core/multilayer_star.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::core {
+namespace {
+
+TEST(XYLayerPairs, EvenLDisjointPairs) {
+  const auto pairs = xy_layer_pairs(6);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<std::int16_t, std::int16_t>{1, 2}));
+  EXPECT_EQ(pairs[1], (std::pair<std::int16_t, std::int16_t>{3, 4}));
+  EXPECT_EQ(pairs[2], (std::pair<std::int16_t, std::int16_t>{5, 6}));
+}
+
+TEST(XYLayerPairs, OddLSharedPairs) {
+  const auto pairs = xy_layer_pairs(5);
+  ASSERT_EQ(pairs.size(), 4u);
+  EXPECT_EQ(pairs[0], (std::pair<std::int16_t, std::int16_t>{1, 2}));
+  EXPECT_EQ(pairs[1], (std::pair<std::int16_t, std::int16_t>{3, 2}));
+  EXPECT_EQ(pairs[2], (std::pair<std::int16_t, std::int16_t>{3, 4}));
+  EXPECT_EQ(pairs[3], (std::pair<std::int16_t, std::int16_t>{5, 4}));
+}
+
+TEST(XYLayerPairs, AllPairsAdjacentAndParityCorrect) {
+  for (int L = 2; L <= 11; ++L) {
+    for (const auto& [h, v] : xy_layer_pairs(L)) {
+      EXPECT_EQ(h % 2, 1);
+      EXPECT_EQ(v % 2, 0);
+      EXPECT_EQ(std::abs(h - v), 1);
+      EXPECT_LE(std::max(h, v), L);
+    }
+  }
+}
+
+TEST(XYPairWeights, SumToOneAndBalancePerLayer) {
+  for (int L = 2; L <= 11; ++L) {
+    const auto pairs = xy_layer_pairs(L);
+    const auto w = xy_pair_weights(L);
+    ASSERT_EQ(pairs.size(), w.size());
+    double total = 0;
+    std::map<int, double> h_load, v_load;
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      EXPECT_GE(w[p], -1e-12) << "L=" << L;
+      total += w[p];
+      h_load[pairs[p].first] += w[p];
+      v_load[pairs[p].second] += w[p];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << "L=" << L;
+    const int kH = L % 2 == 0 ? L / 2 : L / 2 + 1;
+    const int kV = L / 2;
+    for (const auto& [layer, load] : h_load) {
+      (void)layer;
+      EXPECT_NEAR(load, 1.0 / kH, 1e-9) << "L=" << L;
+    }
+    for (const auto& [layer, load] : v_load) {
+      (void)layer;
+      EXPECT_NEAR(load, 1.0 / kV, 1e-9) << "L=" << L;
+    }
+  }
+}
+
+TEST(AssignPairs, BalancedPrefixes) {
+  const std::vector<double> w{0.5, 0.25, 0.25};
+  const auto a = assign_pairs(1000, w);
+  std::vector<int> counts(3, 0);
+  for (std::int32_t p : a) ++counts[static_cast<std::size_t>(p)];
+  EXPECT_NEAR(counts[0], 500, 2);
+  EXPECT_NEAR(counts[1], 250, 2);
+  EXPECT_NEAR(counts[2], 250, 2);
+  // Windows of 8 consecutive assignments contain every pair.
+  for (std::size_t i = 0; i + 8 < a.size(); i += 97) {
+    std::set<std::int32_t> seen(a.begin() + static_cast<std::ptrdiff_t>(i),
+                                a.begin() + static_cast<std::ptrdiff_t>(i) + 8);
+    EXPECT_EQ(seen.size(), 3u);
+  }
+}
+
+class MultilayerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultilayerSweep, ValidUnderMultilayerRules) {
+  const int L = GetParam();
+  const MultilayerStarResult r = multilayer_star_layout(5, L);
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_LE(rep.num_layers, L);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layers, MultilayerSweep, ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(Multilayer, TwoLayersEqualsThompson) {
+  // L = 2 must reproduce the single-pair Thompson layout exactly.
+  const auto thompson = star_layout(5);
+  const auto two = multilayer_star_layout(5, 2);
+  EXPECT_EQ(two.routed.layout.area(), thompson.routed.layout.area());
+}
+
+TEST(Multilayer, AreaDecreasesWithLayers) {
+  // More layers, less area (n=6 so channels dominate enough to see it).
+  const auto a2 = multilayer_star_layout(6, 2).routed.layout.area();
+  const auto a4 = multilayer_star_layout(6, 4).routed.layout.area();
+  const auto a6 = multilayer_star_layout(6, 6).routed.layout.area();
+  EXPECT_LT(a4, a2);
+  EXPECT_LT(a6, a4);
+}
+
+TEST(Multilayer, OddLayerCountBeatsEvenPredecessor) {
+  // The paper's odd-L trick: 3 layers strictly beat 2.
+  const auto a2 = multilayer_star_layout(6, 2).routed.layout.area();
+  const auto a3 = multilayer_star_layout(6, 3).routed.layout.area();
+  EXPECT_LT(a3, a2);
+}
+
+TEST(Multilayer, VolumeAccounting) {
+  const MultilayerStarResult r = multilayer_star_layout(5, 4);
+  EXPECT_EQ(r.volume(), 4 * r.routed.layout.area());
+}
+
+TEST(Multilayer, UpperFormulaHalvesFromEvenToNext) {
+  const double N = 5040;
+  // N^2/(4L^2) sequence: L=2 -> N^2/16, L=4 -> N^2/64.
+  EXPECT_DOUBLE_EQ(multilayer_star_area(N, 2), N * N / 16);
+  EXPECT_DOUBLE_EQ(multilayer_star_area(N, 4), N * N / 64);
+  EXPECT_DOUBLE_EQ(multilayer_star_area(N, 3), N * N / 32);
+  EXPECT_DOUBLE_EQ(multilayer_star_area(N, 5), N * N / 96);
+}
+
+TEST(MultilayerHcn, ValidAndAreaDecreases) {
+  // Section 2.4's remark, executed on HCN/HFN.
+  const auto l2 = multilayer_hcn_layout(3, 2);
+  const auto l4 = multilayer_hcn_layout(3, 4);
+  EXPECT_TRUE(layout::validate_layout(l4.graph, l4.routed.layout).ok);
+  EXPECT_LT(l4.routed.layout.area(), l2.routed.layout.area());
+  EXPECT_EQ(l2.routed.layout.area(), hcn_layout(3).routed.layout.area());
+  const auto f4 = multilayer_hfn_layout(3, 4);
+  EXPECT_TRUE(layout::validate_layout(f4.graph, f4.routed.layout).ok);
+  EXPECT_LT(f4.routed.layout.area(), hfn_layout(3).routed.layout.area());
+}
+
+TEST(MultilayerHcn, OddLayerCountValid) {
+  const auto l3 = multilayer_hcn_layout(2, 3);
+  EXPECT_TRUE(layout::validate_layout(l3.graph, l3.routed.layout).ok);
+  EXPECT_LE(l3.routed.layout.num_layers(), 3);
+}
+
+TEST(ApplyXyLayers, OverwritesLayersForAnySpec) {
+  layout::RouteSpec spec;
+  apply_xy_layers(spec, 10, 6);
+  ASSERT_EQ(spec.layers.size(), 10u);
+  for (const auto& [h, v] : spec.layers) {
+    EXPECT_EQ(h % 2, 1);
+    EXPECT_EQ(v % 2, 0);
+    EXPECT_LE(std::max(h, v), 6);
+  }
+}
+
+TEST(Multilayer, RejectsFewerThanTwoLayers) {
+  EXPECT_THROW(multilayer_star_layout(5, 1), starlay::InvariantError);
+  EXPECT_THROW(xy_layer_pairs(1), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::core

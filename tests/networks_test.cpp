@@ -1,0 +1,220 @@
+// Tests for every network builder against published structural facts.
+
+#include <gtest/gtest.h>
+
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+#include "starlay/topology/permutation.hpp"
+#include "starlay/topology/properties.hpp"
+
+namespace starlay::topology {
+namespace {
+
+class StarGraphTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StarGraphTest, CountsDegreeConnectivity) {
+  const int n = GetParam();
+  const Graph g = star_graph(n);
+  EXPECT_EQ(g.num_vertices(), factorial(n));
+  EXPECT_EQ(g.num_edges(), factorial(n) * (n - 1) / 2);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), n - 1);
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST_P(StarGraphTest, DiameterIsFloor3NMinus1Over2) {
+  // Akers & Krishnamurthy: diam(S_n) = floor(3(n-1)/2).
+  const int n = GetParam();
+  if (factorial(n) > 5100) GTEST_SKIP() << "diameter check limited to small n";
+  const Graph g = star_graph(n);
+  EXPECT_EQ(diameter_from(g, 0), 3 * (n - 1) / 2);
+}
+
+TEST_P(StarGraphTest, EdgesAreDimensionGenerators) {
+  const int n = GetParam();
+  const Graph g = star_graph(n);
+  for (std::int64_t e = 0; e < g.num_edges(); e += 17) {
+    const auto& ed = g.edge(e);
+    const Perm pu = perm_unrank(ed.u, n);
+    EXPECT_EQ(perm_rank(swap_first_with(pu, ed.label)), ed.v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, StarGraphTest, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(StarGraph, SubstarDecomposition) {
+  // An n-star is n disjoint (n-1)-stars connected by (n-2)! links per pair.
+  const int n = 5;
+  const Graph g = star_graph(n);
+  std::vector<std::vector<std::int64_t>> between(static_cast<std::size_t>(n),
+                                                 std::vector<std::int64_t>(n, 0));
+  for (const auto& e : g.edges()) {
+    const int bu = perm_unrank(e.u, n)[static_cast<std::size_t>(n - 1)];
+    const int bv = perm_unrank(e.v, n)[static_cast<std::size_t>(n - 1)];
+    if (e.label == n) {
+      EXPECT_NE(bu, bv);
+      ++between[static_cast<std::size_t>(bu - 1)][static_cast<std::size_t>(bv - 1)];
+      ++between[static_cast<std::size_t>(bv - 1)][static_cast<std::size_t>(bu - 1)];
+    } else {
+      EXPECT_EQ(bu, bv) << "dimension-" << e.label << " link left its substar";
+    }
+  }
+  for (int a = 0; a < n; ++a)
+    for (int b = 0; b < n; ++b)
+      if (a != b)
+        EXPECT_EQ(between[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)],
+                  factorial(n - 2));
+}
+
+TEST(PancakeGraph, CountsAndKnownDiameters) {
+  for (int n = 2; n <= 5; ++n) {
+    const Graph g = pancake_graph(n);
+    EXPECT_EQ(g.num_vertices(), factorial(n));
+    EXPECT_EQ(g.num_edges(), factorial(n) * (n - 1) / 2);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_TRUE(is_connected(g));
+  }
+  // Known pancake diameters: P3 = 3, P4 = 4, P5 = 5.
+  EXPECT_EQ(diameter_from(pancake_graph(3), 0), 3);
+  EXPECT_EQ(diameter_from(pancake_graph(4), 0), 4);
+  EXPECT_EQ(diameter_from(pancake_graph(5), 0), 5);
+}
+
+TEST(BubbleSortGraph, CountsAndDiameter) {
+  for (int n = 2; n <= 5; ++n) {
+    const Graph g = bubble_sort_graph(n);
+    EXPECT_EQ(g.num_vertices(), factorial(n));
+    EXPECT_EQ(g.num_edges(), factorial(n) * (n - 1) / 2);
+    EXPECT_TRUE(is_connected(g));
+    // Diameter = max inversions = n(n-1)/2.
+    EXPECT_EQ(diameter_from(g, 0), n * (n - 1) / 2);
+  }
+}
+
+TEST(TranspositionGraph, CountsAndDiameter) {
+  for (int n = 2; n <= 4; ++n) {
+    const Graph g = transposition_graph(n);
+    EXPECT_EQ(g.num_vertices(), factorial(n));
+    EXPECT_EQ(g.num_edges(), factorial(n) * n * (n - 1) / 4);
+    EXPECT_TRUE(g.is_regular());
+    // Diameter = n - (number of cycles) max = n - 1.
+    EXPECT_EQ(diameter_from(g, 0), n - 1);
+  }
+}
+
+class HypercubeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeTest, Structure) {
+  const int d = GetParam();
+  const Graph g = hypercube(d);
+  EXPECT_EQ(g.num_vertices(), 1 << d);
+  EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(d) * (1 << d) / 2);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), d);
+  EXPECT_EQ(diameter_from(g, 0), d);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallD, HypercubeTest, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(FoldedHypercube, Structure) {
+  for (int d = 2; d <= 8; d += 2) {
+    const Graph g = folded_hypercube(d);
+    EXPECT_EQ(g.num_vertices(), 1 << d);
+    EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(d + 1) * (1 << d) / 2);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.degree(0), d + 1);
+    // Folding halves the diameter (rounded up).
+    EXPECT_EQ(diameter_from(g, 0), (d + 1) / 2);
+  }
+}
+
+TEST(CompleteGraph, StructureAndMultiplicity) {
+  const Graph g = complete_graph(7);
+  EXPECT_EQ(g.num_edges(), 21);
+  EXPECT_TRUE(g.is_simple());
+  EXPECT_EQ(diameter_from(g, 0), 1);
+  const Graph g3 = complete_graph(5, 3);
+  EXPECT_EQ(g3.num_edges(), 30);
+  EXPECT_EQ(g3.degree(2), 12);
+  EXPECT_FALSE(g3.is_simple());
+}
+
+class HcnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HcnTest, StructureMatchesGhoseDesai) {
+  const int h = GetParam();
+  const std::int32_t M = 1 << h;
+  const Graph g = hcn(h);
+  EXPECT_EQ(g.num_vertices(), M * M);
+  // Edges: M clusters x (M h / 2 intra) + M(M-1)/2 inter + M/2 diameter.
+  EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(M) * M * h / 2 +
+                               static_cast<std::int64_t>(M) * (M - 1) / 2 + M / 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(g.is_simple());
+  // Every node has degree h+1 (h cube links + 1 inter-cluster or diameter).
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(0), h + 1);
+}
+
+TEST_P(HcnTest, HfnStructureMatchesDuhChenFang) {
+  const int h = GetParam();
+  const std::int32_t M = 1 << h;
+  const Graph g = hfn(h);
+  EXPECT_EQ(g.num_vertices(), M * M);
+  // Intra: M * M(h+1)/2 (folded cubes); inter: M(M-1)/2; nodes (c,c) have
+  // no inter link, so the graph is NOT regular (degree h+1 or h+2).
+  EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(M) * M * (h + 1) / 2 +
+                               static_cast<std::int64_t>(M) * (M - 1) / 2);
+  EXPECT_TRUE(is_connected(g));
+  for (std::int32_t c = 0; c < M; ++c) {
+    EXPECT_EQ(g.degree(hcn_vertex(h, c, c)), h + 1);
+    EXPECT_EQ(g.degree(hcn_vertex(h, c, c ^ 1)), h + 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallH, HcnTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(Hcn, VertexHelpersRoundTrip) {
+  const int h = 3;
+  for (std::int32_t c = 0; c < 8; ++c)
+    for (std::int32_t x = 0; x < 8; ++x) {
+      const std::int32_t v = hcn_vertex(h, c, x);
+      EXPECT_EQ(hcn_cluster_of(h, v), c);
+      EXPECT_EQ(hcn_local_of(h, v), x);
+    }
+}
+
+TEST(Hcn, DiameterLinksConnectComplementClusters) {
+  const int h = 3;
+  const Graph g = hcn(h);
+  int count = 0;
+  for (const auto& e : g.edges()) {
+    if (e.label != kDiameterLabel) continue;
+    ++count;
+    const std::int32_t cu = hcn_cluster_of(h, e.u);
+    const std::int32_t cv = hcn_cluster_of(h, e.v);
+    EXPECT_EQ(cu ^ cv, (1 << h) - 1);
+    EXPECT_EQ(hcn_local_of(h, e.u), cu);
+    EXPECT_EQ(hcn_local_of(h, e.v), cv);
+  }
+  EXPECT_EQ(count, (1 << h) / 2);
+}
+
+TEST(Hcn, InterClusterLinksFormCompleteGraph) {
+  const int h = 2;
+  const Graph g = hcn(h);
+  std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+  for (const auto& e : g.edges()) {
+    if (e.label != kInterClusterLabel) continue;
+    const std::int32_t cu = hcn_cluster_of(h, e.u);
+    const std::int32_t cv = hcn_cluster_of(h, e.v);
+    EXPECT_NE(cu, cv);
+    pairs.insert({std::min(cu, cv), std::max(cu, cv)});
+  }
+  EXPECT_EQ(static_cast<int>(pairs.size()), 4 * 3 / 2);
+}
+
+}  // namespace
+}  // namespace starlay::topology

@@ -1,0 +1,132 @@
+// Unit tests for permutations and the factoradic ranking used by all
+// permutation-network builders.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/permutation.hpp"
+
+namespace starlay::topology {
+namespace {
+
+TEST(Permutation, IdentityIsRankZero) {
+  for (int n = 1; n <= 8; ++n) EXPECT_EQ(perm_rank(identity_perm(n)), 0);
+}
+
+TEST(Permutation, ReverseIsLastRank) {
+  for (int n = 1; n <= 8; ++n) {
+    Perm p = identity_perm(n);
+    std::reverse(p.begin(), p.end());
+    EXPECT_EQ(perm_rank(p), factorial(n) - 1);
+  }
+}
+
+class RankRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankRoundTrip, UnrankThenRankIsIdentity) {
+  const int n = GetParam();
+  std::set<Perm> seen;
+  for (std::int64_t r = 0; r < factorial(n); ++r) {
+    const Perm p = perm_unrank(r, n);
+    EXPECT_TRUE(is_perm(p));
+    EXPECT_EQ(perm_rank(p), r);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate perm at rank " << r;
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), factorial(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, RankRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Permutation, UnrankIsLexicographic) {
+  // Rank order must be lexicographic order of the permutation sequences.
+  for (std::int64_t r = 1; r < factorial(5); ++r)
+    EXPECT_LT(perm_unrank(r - 1, 5), perm_unrank(r, 5));
+}
+
+TEST(Permutation, RejectsBadInput) {
+  EXPECT_THROW(perm_unrank(-1, 4), starlay::InvariantError);
+  EXPECT_THROW(perm_unrank(24, 4), starlay::InvariantError);
+  EXPECT_THROW(perm_rank(Perm{1, 1, 2}), starlay::InvariantError);
+  EXPECT_THROW(perm_rank(Perm{0, 1, 2}), starlay::InvariantError);
+}
+
+TEST(Generators, SwapFirstWithIsInvolution) {
+  const Perm p = perm_unrank(37, 5);
+  for (int i = 2; i <= 5; ++i) EXPECT_EQ(swap_first_with(swap_first_with(p, i), i), p);
+}
+
+TEST(Generators, ReversePrefixIsInvolution) {
+  const Perm p = perm_unrank(91, 5);
+  for (int i = 2; i <= 5; ++i) EXPECT_EQ(reverse_prefix(reverse_prefix(p, i), i), p);
+}
+
+TEST(Generators, SwapAdjacentIsInvolution) {
+  const Perm p = perm_unrank(53, 5);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(swap_adjacent(swap_adjacent(p, i), i), p);
+}
+
+TEST(Generators, DimensionBounds) {
+  const Perm p = identity_perm(4);
+  EXPECT_THROW(swap_first_with(p, 1), starlay::InvariantError);
+  EXPECT_THROW(swap_first_with(p, 5), starlay::InvariantError);
+  EXPECT_THROW(reverse_prefix(p, 1), starlay::InvariantError);
+  EXPECT_THROW(swap_adjacent(p, 0), starlay::InvariantError);
+  EXPECT_THROW(swap_adjacent(p, 4), starlay::InvariantError);
+}
+
+TEST(SubstarPath, IdentityTakesFirstBlocks) {
+  // Identity permutation: symbol at position j is j, always the largest
+  // among remaining => block index = remaining count - 1... actually the
+  // symbol n at position n has rank n-1 among {1..n}.
+  const Perm p = identity_perm(5);
+  const auto path = substar_path(p, 2);
+  ASSERT_EQ(path.size(), 3u);  // levels 5, 4, 3
+  EXPECT_EQ(path[0], 4);       // symbol 5 among {1,2,3,4,5}
+  EXPECT_EQ(path[1], 3);       // symbol 4 among {1,2,3,4}
+  EXPECT_EQ(path[2], 2);       // symbol 3 among {1,2,3}
+}
+
+TEST(SubstarPath, DigitsInRange) {
+  for (std::int64_t r = 0; r < factorial(6); r += 11) {
+    const auto path = substar_path(perm_unrank(r, 6), 3);
+    ASSERT_EQ(path.size(), 3u);
+    for (std::size_t j = 0; j < path.size(); ++j) {
+      EXPECT_GE(path[j], 0);
+      EXPECT_LT(path[j], 6 - static_cast<int>(j));
+    }
+  }
+}
+
+TEST(SubstarPath, SameBlockIffSameSuffix) {
+  // Two permutations share all path digits iff they agree on positions
+  // base+1..n.
+  const int n = 5, base = 3;
+  for (std::int64_t r1 = 0; r1 < factorial(n); r1 += 7) {
+    for (std::int64_t r2 = r1 + 1; r2 < factorial(n); r2 += 13) {
+      const Perm p1 = perm_unrank(r1, n), p2 = perm_unrank(r2, n);
+      const bool same_suffix = std::equal(p1.begin() + base, p1.end(), p2.begin() + base);
+      const bool same_path = substar_path(p1, base) == substar_path(p2, base);
+      EXPECT_EQ(same_suffix, same_path);
+    }
+  }
+}
+
+TEST(SubstarPath, DimensionEdgeChangesExactlyItsLevel) {
+  // A dimension-i generator changes the level-i digit and nothing above.
+  const int n = 6, base = 3;
+  const Perm p = perm_unrank(123, n);
+  const auto path = substar_path(p, base);
+  for (int i = base + 1; i <= n; ++i) {
+    const auto qath = substar_path(swap_first_with(p, i), base);
+    for (int level = n; level > i; --level)
+      EXPECT_EQ(path[static_cast<std::size_t>(n - level)],
+                qath[static_cast<std::size_t>(n - level)]);
+    EXPECT_NE(path[static_cast<std::size_t>(n - i)], qath[static_cast<std::size_t>(n - i)]);
+  }
+}
+
+}  // namespace
+}  // namespace starlay::topology

@@ -1,0 +1,121 @@
+// Tests for vertex-to-slot placements, including the hierarchical block
+// placement that encodes the paper's recursive substar structure.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+namespace {
+
+TEST(Placement, RowMajorIsNearSquareAndBijective) {
+  for (std::int32_t n : {1, 2, 5, 9, 10, 16, 17, 100}) {
+    const Placement p = row_major_placement(n);
+    EXPECT_NO_THROW(p.check(n));
+    EXPECT_GE(p.num_slots(), n);
+    EXPECT_LE(static_cast<std::int64_t>(p.rows) * p.cols, static_cast<std::int64_t>(p.rows) * p.rows);
+  }
+}
+
+TEST(Placement, GridPlacementRowMajorOrder) {
+  const Placement p = grid_placement(6, 2, 3);
+  EXPECT_EQ(p.row_of(0), 0);
+  EXPECT_EQ(p.col_of(0), 0);
+  EXPECT_EQ(p.row_of(4), 1);
+  EXPECT_EQ(p.col_of(4), 1);
+}
+
+TEST(Placement, GridTooSmallThrows) {
+  EXPECT_THROW(grid_placement(7, 2, 3), starlay::InvariantError);
+}
+
+TEST(Placement, CollinearSingleRow) {
+  const Placement p = collinear_placement(9);
+  EXPECT_EQ(p.rows, 1);
+  EXPECT_EQ(p.cols, 9);
+  for (std::int32_t v = 0; v < 9; ++v) {
+    EXPECT_EQ(p.row_of(v), 0);
+    EXPECT_EQ(p.col_of(v), v);
+  }
+}
+
+TEST(Placement, CheckRejectsDuplicates) {
+  Placement p;
+  p.rows = 2;
+  p.cols = 2;
+  p.slot = {0, 0, 1};
+  EXPECT_THROW(p.check(3), starlay::InvariantError);
+}
+
+TEST(Placement, CheckRejectsOutOfRange) {
+  Placement p;
+  p.rows = 2;
+  p.cols = 2;
+  p.slot = {0, 4};
+  EXPECT_THROW(p.check(2), starlay::InvariantError);
+}
+
+TEST(HierarchicalPlacement, TwoLevelStrides) {
+  // Outer 2x2 of blocks, inner 3x3 per block.
+  std::vector<LevelShape> shapes{{2, 2}, {3, 3}};
+  std::vector<std::vector<std::int32_t>> paths;
+  for (std::int32_t outer = 0; outer < 4; ++outer)
+    for (std::int32_t inner = 0; inner < 9; ++inner) paths.push_back({outer, inner});
+  const Placement p = hierarchical_placement(paths, shapes);
+  EXPECT_EQ(p.rows, 6);
+  EXPECT_EQ(p.cols, 6);
+  // Vertex (outer=3, inner=4) -> block (1,1), inner (1,1) -> slot (4,4).
+  const std::int32_t v = 3 * 9 + 4;
+  EXPECT_EQ(p.row_of(v), 4);
+  EXPECT_EQ(p.col_of(v), 4);
+}
+
+TEST(HierarchicalPlacement, BlocksAreContiguous) {
+  std::vector<LevelShape> shapes{{2, 3}, {2, 2}};
+  std::vector<std::vector<std::int32_t>> paths;
+  for (std::int32_t outer = 0; outer < 6; ++outer)
+    for (std::int32_t inner = 0; inner < 4; ++inner) paths.push_back({outer, inner});
+  const Placement p = hierarchical_placement(paths, shapes);
+  // All vertices of one outer block must fall in one 2x2 slot sub-square.
+  for (std::int32_t outer = 0; outer < 6; ++outer) {
+    std::set<std::int32_t> rows, cols;
+    for (std::int32_t inner = 0; inner < 4; ++inner) {
+      rows.insert(p.row_of(outer * 4 + inner));
+      cols.insert(p.col_of(outer * 4 + inner));
+    }
+    EXPECT_EQ(rows.size(), 2u);
+    EXPECT_EQ(cols.size(), 2u);
+    EXPECT_EQ(*rows.rbegin() - *rows.begin(), 1);
+    EXPECT_EQ(*cols.rbegin() - *cols.begin(), 1);
+  }
+}
+
+TEST(HierarchicalPlacement, RejectsBadDigit) {
+  std::vector<LevelShape> shapes{{2, 2}};
+  std::vector<std::vector<std::int32_t>> paths{{4}};
+  EXPECT_THROW(hierarchical_placement(paths, shapes), starlay::InvariantError);
+}
+
+TEST(HierarchicalPlacement, RejectsPathLengthMismatch) {
+  std::vector<LevelShape> shapes{{2, 2}, {2, 2}};
+  std::vector<std::vector<std::int32_t>> paths{{1}};
+  EXPECT_THROW(hierarchical_placement(paths, shapes), starlay::InvariantError);
+}
+
+TEST(HierarchicalPlacement, ThreeLevelsBijective) {
+  std::vector<LevelShape> shapes{{2, 2}, {2, 1}, {1, 3}};
+  std::vector<std::vector<std::int32_t>> paths;
+  for (std::int32_t a = 0; a < 4; ++a)
+    for (std::int32_t b = 0; b < 2; ++b)
+      for (std::int32_t c = 0; c < 3; ++c) paths.push_back({a, b, c});
+  const Placement p = hierarchical_placement(paths, shapes);
+  EXPECT_EQ(p.rows, 4);
+  EXPECT_EQ(p.cols, 6);
+  EXPECT_NO_THROW(p.check(static_cast<std::int32_t>(paths.size())));
+}
+
+}  // namespace
+}  // namespace starlay::layout

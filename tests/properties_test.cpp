@@ -1,0 +1,74 @@
+// Tests for graph property computations (BFS, diameter, cuts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+#include "starlay/topology/properties.hpp"
+
+namespace starlay::topology {
+namespace {
+
+Graph path_graph(int n) {
+  Graph g(n);
+  for (std::int32_t v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  g.finalize();
+  return g;
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = path_graph(6);
+  const auto d = bfs_distances(g, 0);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, DisconnectedMarksUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_THROW(diameter_from(g, 0), starlay::InvariantError);
+}
+
+TEST(Diameter, MatchesEccentricityForVertexTransitive) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(diameter(g), diameter_from(g, 0));
+  EXPECT_EQ(diameter(g), 4);
+}
+
+TEST(Diameter, PathGraph) { EXPECT_EQ(diameter(path_graph(7)), 6); }
+
+TEST(AverageDistance, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(average_distance_from(complete_graph(6), 0), 1.0);
+}
+
+TEST(AverageDistance, HypercubeIsHalfD) {
+  // Average distance of Q_d from any vertex: d * 2^(d-1) / (2^d - 1).
+  const int d = 5;
+  const double expect = d * std::pow(2.0, d - 1) / ((1 << d) - 1);
+  EXPECT_NEAR(average_distance_from(hypercube(d), 0), expect, 1e-12);
+}
+
+TEST(CutSize, HypercubeHalving) {
+  // Splitting Q_d by the top bit cuts exactly 2^(d-1) links.
+  const int d = 5;
+  const Graph g = hypercube(d);
+  std::vector<std::uint8_t> side(static_cast<std::size_t>(1 << d), 0);
+  for (int v = 0; v < (1 << d); ++v)
+    side[static_cast<std::size_t>(v)] = static_cast<std::uint8_t>((v >> (d - 1)) & 1);
+  EXPECT_EQ(cut_size(g, side), 1 << (d - 1));
+}
+
+TEST(CutSize, RejectsSizeMismatch) {
+  const Graph g = complete_graph(4);
+  EXPECT_THROW(cut_size(g, std::vector<std::uint8_t>(3, 0)), starlay::InvariantError);
+}
+
+}  // namespace
+}  // namespace starlay::topology

@@ -1,0 +1,75 @@
+// Rendering sanity: SVG structure, ASCII output, figure reproduction paths.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "starlay/core/collinear_complete.hpp"
+#include "starlay/core/complete2d.hpp"
+#include "starlay/render/render.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::render {
+namespace {
+
+TEST(Svg, ContainsNodesAndWires) {
+  const auto r = core::complete2d_layout(9);
+  const std::string svg = to_svg(r.routed.layout);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 9 node rects + background rect.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1))
+    ++rects;
+  EXPECT_EQ(rects, 10u);
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1))
+    ++polylines;
+  EXPECT_EQ(polylines, 36u);
+}
+
+TEST(Svg, WriteToFile) {
+  const auto r = core::collinear_complete_layout(5);
+  const std::string path = ::testing::TempDir() + "/k5.svg";
+  write_svg(r.routed.layout, path);
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_NE(line.find("<svg"), std::string::npos);
+}
+
+TEST(Svg, WriteToBadPathThrows) {
+  const auto r = core::collinear_complete_layout(4);
+  EXPECT_THROW(write_svg(r.routed.layout, "/nonexistent-dir/x.svg"), starlay::InvariantError);
+}
+
+TEST(Ascii, SmallLayoutRenders) {
+  const auto r = core::collinear_complete_layout(4);
+  const std::string art = to_ascii(r.routed.layout);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('-'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(Ascii, RejectsHugeLayouts) {
+  const auto r = core::complete2d_layout(36);
+  EXPECT_THROW(to_ascii(r.routed.layout), starlay::InvariantError);
+}
+
+TEST(GraphSvg, StructureFigure) {
+  const auto g = topology::hcn(2);
+  const std::string svg = graph_to_svg(g);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1))
+    ++circles;
+  EXPECT_EQ(circles, 16u);
+}
+
+}  // namespace
+}  // namespace starlay::render

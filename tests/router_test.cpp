@@ -1,0 +1,189 @@
+// Tests for the channel-based grid router: every routed layout must pass
+// the independent validator, on a spread of networks and placements.
+
+#include <gtest/gtest.h>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::layout {
+namespace {
+
+void expect_valid(const topology::Graph& g, const Layout& lay) {
+  const ValidationReport rep = validate_layout(g, lay);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "?" : rep.errors[0]);
+}
+
+TEST(Router, SingleEdge) {
+  topology::Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  const RoutedLayout r = route_grid(g, collinear_placement(2));
+  expect_valid(g, r.layout);
+  EXPECT_EQ(r.layout.num_wires(), 1);
+}
+
+TEST(Router, ParityRuleIsAntisymmetric) {
+  for (std::int32_t a = 0; a < 40; ++a)
+    for (std::int32_t b = 0; b < 40; ++b)
+      if (a != b)
+        EXPECT_NE(parity_source_is_first(a, b), parity_source_is_first(b, a))
+            << a << "," << b;
+}
+
+TEST(Router, ParityRuleRejectsEqualRows) {
+  EXPECT_THROW(parity_source_is_first(3, 3), starlay::InvariantError);
+}
+
+struct RouterCase {
+  const char* name;
+  topology::Graph (*make)();
+};
+
+topology::Graph make_k8() { return topology::complete_graph(8); }
+topology::Graph make_k5x3() { return topology::complete_graph(5, 3); }
+topology::Graph make_q5() { return topology::hypercube(5); }
+topology::Graph make_fq4() { return topology::folded_hypercube(4); }
+topology::Graph make_star4() { return topology::star_graph(4); }
+topology::Graph make_pancake4() { return topology::pancake_graph(4); }
+topology::Graph make_bubble4() { return topology::bubble_sort_graph(4); }
+topology::Graph make_hcn2() { return topology::hcn(2); }
+topology::Graph make_hfn2() { return topology::hfn(2); }
+topology::Graph make_transposition4() { return topology::transposition_graph(4); }
+
+class RouterNetworks : public ::testing::TestWithParam<RouterCase> {};
+
+TEST_P(RouterNetworks, DefaultSpecProducesValidLayout) {
+  const topology::Graph g = GetParam().make();
+  const RoutedLayout r = route_grid(g, row_major_placement(g.num_vertices()));
+  expect_valid(g, r.layout);
+  EXPECT_EQ(r.layout.num_wires(), g.num_edges());
+  // Channel stats shape.
+  EXPECT_EQ(static_cast<std::int32_t>(r.row_channel_tracks.size()),
+            row_major_placement(g.num_vertices()).rows);
+}
+
+TEST_P(RouterNetworks, CollinearPlacementProducesValidLayout) {
+  const topology::Graph g = GetParam().make();
+  const RoutedLayout r = route_grid(g, collinear_placement(g.num_vertices()));
+  expect_valid(g, r.layout);
+}
+
+TEST_P(RouterNetworks, ThompsonNodeSizes) {
+  const topology::Graph g = GetParam().make();
+  if (!g.is_regular()) GTEST_SKIP() << "uniform node size only matches regular graphs";
+  const RoutedLayout r = route_grid(g, row_major_placement(g.num_vertices()));
+  ValidationOptions opt;
+  opt.thompson_node_size = true;
+  const ValidationReport rep = validate_layout(g, r.layout, opt);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "?" : rep.errors[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, RouterNetworks,
+    ::testing::Values(RouterCase{"K8", &make_k8}, RouterCase{"K5x3", &make_k5x3},
+                      RouterCase{"Q5", &make_q5}, RouterCase{"FQ4", &make_fq4},
+                      RouterCase{"star4", &make_star4}, RouterCase{"pancake4", &make_pancake4},
+                      RouterCase{"bubble4", &make_bubble4}, RouterCase{"hcn2", &make_hcn2},
+                      RouterCase{"hfn2", &make_hfn2},
+                      RouterCase{"transposition4", &make_transposition4}),
+    [](const ::testing::TestParamInfo<RouterCase>& info) { return info.param.name; });
+
+TEST(Router, ExplicitOrientationRespected) {
+  topology::Graph g(4);
+  g.add_edge(0, 3);  // diagonal on a 2x2 grid
+  g.finalize();
+  const Placement p = grid_placement(4, 2, 2);
+  RouteSpec spec;
+  spec.source_is_u = {1};
+  const RoutedLayout r = route_grid(g, p, spec);
+  expect_valid(g, r.layout);
+  // Horizontal run must sit in vertex 0's row channel (row 0).
+  EXPECT_GT(r.row_channel_tracks[0], 0);
+  EXPECT_EQ(r.row_channel_tracks[1], 0);
+
+  RouteSpec spec2;
+  spec2.source_is_u = {0};
+  const RoutedLayout r2 = route_grid(g, p, spec2);
+  expect_valid(g, r2.layout);
+  EXPECT_EQ(r2.row_channel_tracks[0], 0);
+  EXPECT_GT(r2.row_channel_tracks[1], 0);
+}
+
+TEST(Router, NodeSizeTooSmallThrows) {
+  topology::Graph g = topology::complete_graph(6);
+  RouterOptions opt;
+  opt.node_size = 2;  // degree 5 needs up to 5 stubs on a side
+  EXPECT_THROW(route_grid(g, collinear_placement(6), {}, opt), starlay::InvariantError);
+}
+
+TEST(Router, LargerNodesStillValid) {
+  topology::Graph g = topology::complete_graph(6);
+  RouterOptions opt;
+  opt.node_size = 12;
+  const RoutedLayout r = route_grid(g, row_major_placement(6), {}, opt);
+  expect_valid(g, r.layout);
+  ValidationOptions vopt;
+  vopt.min_node_side = 12;
+  vopt.max_node_side = 12;
+  EXPECT_TRUE(validate_layout(g, r.layout, vopt).ok);
+}
+
+TEST(Router, SpecSizeMismatchThrows) {
+  topology::Graph g = topology::complete_graph(4);
+  RouteSpec spec;
+  spec.source_is_u = {1};  // 6 edges expected
+  EXPECT_THROW(route_grid(g, row_major_placement(4), spec), starlay::InvariantError);
+}
+
+TEST(Router, LayerValidationInSpec) {
+  topology::Graph g(4);
+  g.add_edge(0, 3);
+  g.finalize();
+  const Placement p = grid_placement(4, 2, 2);
+  RouteSpec spec;
+  spec.layers = {{2, 3}};  // h must be odd
+  EXPECT_THROW(route_grid(g, p, spec), starlay::InvariantError);
+  spec.layers = {{1, 4}};  // not adjacent
+  EXPECT_THROW(route_grid(g, p, spec), starlay::InvariantError);
+  spec.layers = {{3, 2}};  // fine: odd h, even v, adjacent
+  const RoutedLayout r = route_grid(g, p, spec);
+  expect_valid(g, r.layout);
+}
+
+TEST(Router, MultilayerSharesTrackPositions) {
+  // Two parallel edges on separate layer pairs can reuse the same track
+  // coordinates: the channel width must not double.
+  topology::Graph g(4);
+  g.add_edge(0, 3, 0);
+  g.add_edge(0, 3, 1);
+  g.finalize();
+  const Placement p = grid_placement(4, 2, 2);
+  RouteSpec one_pair;
+  one_pair.source_is_u = {1, 1};
+  const RoutedLayout r1 = route_grid(g, p, one_pair);
+  RouteSpec two_pairs;
+  two_pairs.source_is_u = {1, 1};
+  two_pairs.layers = {{1, 2}, {3, 4}};
+  const RoutedLayout r2 = route_grid(g, p, two_pairs);
+  expect_valid(g, r1.layout);
+  expect_valid(g, r2.layout);
+  EXPECT_EQ(r2.row_channel_tracks[0], 1);
+  EXPECT_EQ(r1.row_channel_tracks[0], 2);
+  EXPECT_LT(r2.layout.area(), r1.layout.area());
+}
+
+TEST(Router, WireLengthAccounting) {
+  topology::Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  const RoutedLayout r = route_grid(g, collinear_placement(2));
+  EXPECT_GT(r.layout.total_wire_length(), 0);
+  EXPECT_EQ(r.layout.total_wire_length(), r.layout.max_wire_length());
+}
+
+}  // namespace
+}  // namespace starlay::layout

@@ -1,0 +1,128 @@
+// Unit tests for starlay/support: exact math helpers.
+
+#include <gtest/gtest.h>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay {
+namespace {
+
+TEST(Factorial, SmallValues) {
+  EXPECT_EQ(factorial(0), 1);
+  EXPECT_EQ(factorial(1), 1);
+  EXPECT_EQ(factorial(2), 2);
+  EXPECT_EQ(factorial(5), 120);
+  EXPECT_EQ(factorial(10), 3628800);
+  EXPECT_EQ(factorial(20), 2432902008176640000LL);
+}
+
+TEST(Factorial, RejectsOutOfRange) {
+  EXPECT_THROW(factorial(-1), InvariantError);
+  EXPECT_THROW(factorial(21), InvariantError);
+}
+
+TEST(Factorial, RecurrenceHolds) {
+  for (int n = 1; n <= 20; ++n) EXPECT_EQ(factorial(n), n * factorial(n - 1)) << n;
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(0, 0), 1);
+  EXPECT_EQ(binomial(5, 2), 10);
+  EXPECT_EQ(binomial(10, 5), 252);
+  EXPECT_EQ(binomial(52, 5), 2598960);
+  EXPECT_EQ(binomial(4, 7), 0);
+}
+
+TEST(Binomial, Symmetry) {
+  for (int n = 0; n <= 30; ++n)
+    for (int k = 0; k <= n; ++k) EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+}
+
+TEST(Binomial, PascalRule) {
+  for (int n = 1; n <= 40; ++n)
+    for (int k = 1; k < n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+}
+
+TEST(Binomial, RejectsNegative) {
+  EXPECT_THROW(binomial(-1, 0), InvariantError);
+  EXPECT_THROW(binomial(3, -2), InvariantError);
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(ceil_div(0, 3), 0);
+  EXPECT_EQ(ceil_div(1, 3), 1);
+  EXPECT_EQ(ceil_div(3, 3), 1);
+  EXPECT_EQ(ceil_div(4, 3), 2);
+  EXPECT_EQ(ceil_div(-4, 3), -1);
+  EXPECT_THROW(ceil_div(1, 0), InvariantError);
+  EXPECT_THROW(ceil_div(1, -2), InvariantError);
+}
+
+TEST(Isqrt, ExactAndNear) {
+  EXPECT_EQ(isqrt(0), 0);
+  EXPECT_EQ(isqrt(1), 1);
+  EXPECT_EQ(isqrt(2), 1);
+  EXPECT_EQ(isqrt(3), 1);
+  EXPECT_EQ(isqrt(4), 2);
+  EXPECT_EQ(isqrt(99), 9);
+  EXPECT_EQ(isqrt(100), 10);
+  EXPECT_EQ(isqrt(3037000499LL * 3037000499LL), 3037000499LL);
+  EXPECT_THROW(isqrt(-1), InvariantError);
+}
+
+TEST(Isqrt, PropertySweep) {
+  for (std::int64_t x = 0; x < 100000; x += 7) {
+    const std::int64_t r = isqrt(x);
+    EXPECT_LE(r * r, x);
+    EXPECT_GT((r + 1) * (r + 1), x);
+  }
+}
+
+TEST(GridFactors, CoversAndStaysBalanced) {
+  for (int m = 1; m <= 500; ++m) {
+    const auto f = grid_factors(m);
+    EXPECT_GE(static_cast<std::int64_t>(f.rows) * f.cols, m) << m;
+    EXPECT_EQ(f.rows, static_cast<int>(isqrt(m)) + (isqrt(m) * isqrt(m) < m ? 1 : 0)) << m;
+    EXPECT_LE(f.cols, f.rows) << m;                     // near-square
+    EXPECT_GE(f.cols, f.rows - 1) << "waste too big " << m;
+  }
+}
+
+TEST(GridFactors, ExactSquares) {
+  EXPECT_EQ(grid_factors(9).rows, 3);
+  EXPECT_EQ(grid_factors(9).cols, 3);
+  EXPECT_EQ(grid_factors(16).rows, 4);
+  EXPECT_EQ(grid_factors(16).cols, 4);
+}
+
+TEST(Ilog2, Basics) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_THROW(ilog2(0), InvariantError);
+}
+
+TEST(IsPow2, Basics) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1 << 20));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(-4));
+}
+
+TEST(Require, ThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  try {
+    require(false, "boom");
+    FAIL() << "expected throw";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace starlay

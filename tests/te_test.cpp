@@ -1,0 +1,139 @@
+// E7 (Lemmas 3.6/3.9): total-exchange simulation and schedules.
+
+#include <gtest/gtest.h>
+
+#include "starlay/support/check.hpp"
+#include "starlay/comm/te.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::comm {
+namespace {
+
+TEST(DistanceTable, MatchesBfs) {
+  const auto g = topology::hypercube(4);
+  const DistanceTable dt(g);
+  EXPECT_EQ(dt.dist(0, 0), 0);
+  EXPECT_EQ(dt.dist(0, 0b1111), 4);
+  EXPECT_EQ(dt.dist(0b1010, 0b1000), 1);
+}
+
+TEST(DistanceTable, RejectsDisconnected) {
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  EXPECT_THROW(DistanceTable{g}, starlay::InvariantError);
+}
+
+TEST(MakeTePackets, CountsAndContents) {
+  const auto p = make_te_packets(4, 2);
+  EXPECT_EQ(p.size(), 2u * 4 * 3);
+  for (const auto& pk : p) EXPECT_NE(pk.at, pk.dst);
+}
+
+TEST(Greedy, CompleteGraphOneStepPerTask) {
+  // All-port K_m finishes a whole TE in one step.
+  const auto g = topology::complete_graph(8);
+  const DistanceTable dt(g);
+  EXPECT_EQ(greedy_te(g, dt, 1).steps, 1);
+  EXPECT_EQ(greedy_te(g, dt, 3).steps, 3);
+}
+
+TEST(Greedy, DeliversEverything) {
+  const auto g = topology::star_graph(4);
+  const DistanceTable dt(g);
+  const SimResult r = greedy_te(g, dt);
+  EXPECT_EQ(r.packets_delivered, 24 * 23);
+  EXPECT_TRUE(r.all_shortest_paths);
+}
+
+TEST(Greedy, RespectsLowerBounds) {
+  struct Case {
+    topology::Graph g;
+    std::int64_t B;
+  };
+  std::vector<Case> cases;
+  cases.push_back({topology::hypercube(4), 8});
+  cases.push_back({topology::star_graph(4), 8});   // exact bisection (computed)
+  cases.push_back({topology::hcn(2), 4});
+  for (auto& c : cases) {
+    const DistanceTable dt(c.g);
+    const SimResult r = greedy_te(c.g, dt);
+    const auto lb = te_time_lower_bounds(c.g.num_vertices(), c.B, c.g.max_degree());
+    EXPECT_GE(r.steps, lb.bisection);
+    EXPECT_GE(r.steps, lb.degree);
+  }
+}
+
+TEST(Greedy, StarBeatsFragopoulouAklFormulaTime) {
+  // The greedy all-port schedule should comfortably meet 2N + o(N).
+  const auto g = topology::star_graph(5);
+  const DistanceTable dt(g);
+  const SimResult r = greedy_te(g, dt);
+  const double N = 120;
+  EXPECT_LE(static_cast<double>(r.steps), core::fragopoulou_akl_te_time(N));
+  // And it can't beat the bisection bound N^2/4 / B with B = N/4 + o(N).
+  EXPECT_GE(static_cast<double>(r.steps), 0.8 * N);
+}
+
+TEST(Greedy, HcnThroughputNearOneOverN) {
+  // Lemma 3.9: HCN TE throughput -> 1/N.  Two pipelined tasks should take
+  // under 2x the single-task-plus-slack time.
+  const auto g = topology::hcn(2);
+  const DistanceTable dt(g);
+  const auto one = greedy_te(g, dt, 1);
+  const auto two = greedy_te(g, dt, 2);
+  EXPECT_LE(two.steps, 2 * one.steps);
+  EXPECT_GE(two.steps, one.steps);
+}
+
+TEST(TeLowerBounds, Formulas) {
+  const auto b = te_time_lower_bounds(16, 4, 5);
+  EXPECT_EQ(b.bisection, 16);
+  EXPECT_EQ(b.degree, 3);
+  EXPECT_THROW(te_time_lower_bounds(1, 1, 1), starlay::InvariantError);
+}
+
+class HypercubeTe : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeTe, ScheduleIsOptimal) {
+  // max(per-dimension load, longest offset) = N/2 for every d >= 1.
+  const int d = GetParam();
+  const HypercubeTeSchedule s = hypercube_te_schedule(d);
+  EXPECT_EQ(s.steps, (1 << d) / 2);
+  EXPECT_EQ(execute_hypercube_te(s), (1 << d) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeTe, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10));
+
+TEST(HypercubeTe, ScheduleMatchesBisectionBound) {
+  // N/2 steps is exactly the bisection lower bound N^2/4 / (N/2).
+  for (int d : {3, 5, 8}) {
+    const std::int64_t N = 1 << d;
+    const auto lb = te_time_lower_bounds(N, core::hypercube_bisection(N),
+                                         static_cast<std::int32_t>(d));
+    EXPECT_EQ(hypercube_te_schedule(d).steps, lb.bisection);
+  }
+}
+
+TEST(HypercubeTe, CorruptedScheduleRejected) {
+  HypercubeTeSchedule s = hypercube_te_schedule(3);
+  // Give two offsets the same (step, dim) slot.
+  ASSERT_GE(s.slots.size(), 2u);
+  s.slots[1] = s.slots[0];
+  EXPECT_THROW(execute_hypercube_te(s), starlay::InvariantError);
+}
+
+TEST(Greedy, MultipleTasksIncreaseThroughputUtilization) {
+  // Pipelining f tasks must not take f times as long as one when the
+  // single task is latency-bound.
+  const auto g = topology::hypercube(3);
+  const DistanceTable dt(g);
+  const auto one = greedy_te(g, dt, 1);
+  const auto four = greedy_te(g, dt, 4);
+  EXPECT_LE(static_cast<double>(four.steps), 4.0 * static_cast<double>(one.steps));
+}
+
+}  // namespace
+}  // namespace starlay::comm

@@ -1,0 +1,139 @@
+// BAUT (best achievable unicast throughput) — the paper's second
+// lower-bound technique (Section 3.1) — plus the transposition-graph
+// layout ("various other networks", Section 2.4).
+
+#include <gtest/gtest.h>
+
+#include "starlay/comm/unicast.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::comm {
+namespace {
+
+TEST(Unicast, DeliversAllPackets) {
+  const auto g = topology::star_graph(4);
+  const DistanceTable dt(g);
+  const UnicastResult r = route_random_permutations(g, dt, 3);
+  EXPECT_EQ(r.packets, 3 * 24);
+  EXPECT_GT(r.steps, 0);
+  EXPECT_GT(r.rate, 0.0);
+}
+
+TEST(Unicast, DeterministicForSeed) {
+  const auto g = topology::hypercube(4);
+  const DistanceTable dt(g);
+  const UnicastResult a = route_random_permutations(g, dt, 2, 7);
+  const UnicastResult b = route_random_permutations(g, dt, 2, 7);
+  EXPECT_EQ(a.steps, b.steps);
+  const UnicastResult c = route_random_permutations(g, dt, 2, 8);
+  EXPECT_EQ(c.packets, a.packets);  // same load, possibly different time
+}
+
+TEST(Unicast, CompleteGraphNearRateOne) {
+  // K_m routes any permutation in one step: rate ~ 1 per batch.
+  const auto g = topology::complete_graph(12);
+  const DistanceTable dt(g);
+  const UnicastResult r = route_random_permutations(g, dt, 5);
+  EXPECT_GE(r.rate, 0.99);
+}
+
+TEST(Unicast, RateNeverExceedsOne) {
+  // One injection port per node per step bounds lambda by ~1 (it can reach
+  // 1 only when every packet needs a single hop).
+  for (auto make : {+[] { return topology::star_graph(4); },
+                    +[] { return topology::hypercube(4); },
+                    +[] { return topology::hcn(2); }}) {
+    const auto g = make();
+    const DistanceTable dt(g);
+    const UnicastResult r = route_random_permutations(g, dt, 4);
+    EXPECT_LE(r.rate, 1.0 + 1e-9);
+  }
+}
+
+TEST(Unicast, BautBoundsAreConsistent) {
+  // The BAUT bisection bound must hold against the known bisections.
+  struct Case {
+    topology::Graph g;
+    double true_bisection;
+  };
+  std::vector<Case> cases;
+  cases.push_back({topology::star_graph(4), 8});
+  cases.push_back({topology::hcn(2), 4});
+  cases.push_back({topology::hypercube(4), 8});
+  for (auto& c : cases) {
+    const DistanceTable dt(c.g);
+    const UnicastResult r = route_random_permutations(c.g, dt, 6);
+    EXPECT_LE(bisection_lb_baut(c.g.num_vertices(), r.rate), c.true_bisection + 1e-9);
+    EXPECT_LE(area_lb_baut(c.g.num_vertices(), r.rate),
+              c.true_bisection * c.true_bisection + 1e-6);
+  }
+}
+
+TEST(Unicast, FormulaShapes) {
+  EXPECT_DOUBLE_EQ(bisection_lb_baut(100, 1.0), 25.0);
+  EXPECT_DOUBLE_EQ(area_lb_baut(100, 1.0), 625.0);
+  EXPECT_THROW(bisection_lb_baut(1, 1.0), starlay::InvariantError);
+  EXPECT_THROW(bisection_lb_baut(8, 0.0), starlay::InvariantError);
+}
+
+TEST(Unicast, MoreBatchesDontLowerThroughput) {
+  // Pipelining should keep or improve utilization.
+  const auto g = topology::hypercube(4);
+  const DistanceTable dt(g);
+  const UnicastResult one = route_random_permutations(g, dt, 1, 3);
+  const UnicastResult four = route_random_permutations(g, dt, 4, 3);
+  EXPECT_GE(four.rate, 0.8 * one.rate);
+}
+
+}  // namespace
+}  // namespace starlay::comm
+
+namespace starlay::core {
+namespace {
+
+TEST(TranspositionLayout, ValidUnderThompsonRules) {
+  for (int n : {3, 4}) {
+    const StarLayoutResult r = transposition_layout(n);
+    layout::ValidationOptions opt;
+    opt.thompson_node_size = true;  // degree n(n-1)/2, regular
+    const auto rep = layout::validate_layout(r.graph, r.routed.layout, opt);
+    EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "?" : rep.errors[0]);
+  }
+}
+
+TEST(TranspositionLayout, DenserThanNaiveBaseline) {
+  const StarLayoutResult r = transposition_layout(4);
+  // The transposition graph on n=4 has 24 nodes of degree 6; its layout
+  // area must exceed the star's (more links) but stay within a small
+  // multiple (the hierarchy still localizes most links).
+  const StarLayoutResult star = star_layout(4);
+  EXPECT_GT(r.routed.layout.area(), star.routed.layout.area());
+  EXPECT_LT(r.routed.layout.area(), 40 * star.routed.layout.area());
+}
+
+TEST(TranspositionLayout, LevelMapIsConsistent) {
+  // Generator (i, j) must stay within its level-j block: endpoints agree
+  // on all digits above level j.
+  const int n = 4, base = 3;
+  const StarStructure s = star_structure(n, base);
+  const auto g = topology::transposition_graph(n);
+  std::vector<int> label_to_level;
+  for (int i = 1; i <= n; ++i)
+    for (int j = i + 1; j <= n; ++j) label_to_level.push_back(j);
+  for (const auto& e : g.edges()) {
+    const int level = label_to_level[static_cast<std::size_t>(e.label)];
+    for (int lvl = n; lvl > std::max(level, base); --lvl) {
+      const std::size_t depth = static_cast<std::size_t>(n - lvl);
+      EXPECT_EQ(s.paths[static_cast<std::size_t>(e.u)][depth],
+                s.paths[static_cast<std::size_t>(e.v)][depth])
+          << "level-" << level << " edge leaked out of its level-" << lvl << " block";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace starlay::core

@@ -1,0 +1,301 @@
+// Tests that the validator actually rejects every class of illegal layout:
+// overlaps, shared endpoints, knock-knees, via conflicts, node violations.
+
+#include <gtest/gtest.h>
+
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::layout {
+namespace {
+
+/// Two nodes on a line with one wire; a sandbox the tests mutate.
+struct Fixture {
+  topology::Graph g{2};
+  Layout lay{2};
+  Fixture() {
+    g.add_edge(0, 1);
+    g.finalize();
+    lay.set_node_rect(0, {0, 0, 0, 0});
+    lay.set_node_rect(1, {10, 0, 10, 0});
+  }
+};
+
+Wire straight_wire(std::int64_t edge, Point a, Point b) {
+  Wire w;
+  w.edge = edge;
+  w.push(a);
+  w.push(b);
+  return w;
+}
+
+TEST(Validate, AcceptsMinimalLayout) {
+  Fixture f;
+  f.lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  const auto rep = validate_layout(f.g, f.lay);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_EQ(rep.num_segments, 1);
+}
+
+TEST(Validate, MissingWireIsError) {
+  Fixture f;
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, DuplicateWireForEdgeIsError) {
+  Fixture f;
+  f.lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  Wire w2 = straight_wire(0, {0, 0}, {10, 0});
+  w2.h_layer = 3;
+  w2.v_layer = 4;
+  f.lay.add_wire(w2);
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, OverlappingSegmentsRejected) {
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  Layout lay(4);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  lay.set_node_rect(1, {10, 0, 10, 0});
+  lay.set_node_rect(2, {3, 0, 3, 0});  // sits on the first wire's line
+  lay.set_node_rect(3, {7, 0, 7, 0});
+  lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  lay.add_wire(straight_wire(1, {3, 0}, {7, 0}));
+  const auto rep = validate_layout(g, lay);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Validate, SharedEndpointOnSameLineRejected) {
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.finalize();
+  Layout lay(3);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  lay.set_node_rect(1, {5, 0, 5, 0});
+  lay.set_node_rect(2, {9, 0, 9, 0});
+  // Both wires use grid point (5, 0): closed-interval conflict.
+  lay.add_wire(straight_wire(0, {0, 0}, {5, 0}));
+  lay.add_wire(straight_wire(1, {5, 0}, {9, 0}));
+  EXPECT_FALSE(validate_layout(g, lay).ok);
+}
+
+TEST(Validate, CrossingIsLegal) {
+  topology::Graph g(4);
+  g.add_edge(0, 1);  // horizontal
+  g.add_edge(2, 3);  // vertical
+  g.finalize();
+  Layout lay(4);
+  lay.set_node_rect(0, {0, 5, 0, 5});
+  lay.set_node_rect(1, {10, 5, 10, 5});
+  lay.set_node_rect(2, {5, 0, 5, 0});
+  lay.set_node_rect(3, {5, 10, 5, 10});
+  lay.add_wire(straight_wire(0, {0, 5}, {10, 5}));
+  lay.add_wire(straight_wire(1, {5, 0}, {5, 10}));
+  const auto rep = validate_layout(g, lay);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+}
+
+TEST(Validate, KnockKneeRejected) {
+  // Two wires bending at the same grid point (the knock-knee the Thompson
+  // model forbids): wire A bends at (5,5) coming from west going north;
+  // wire B bends at (5,5) coming from south going east.
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  Layout lay(4);
+  lay.set_node_rect(0, {0, 5, 0, 5});
+  lay.set_node_rect(1, {5, 10, 5, 10});
+  lay.set_node_rect(2, {5, 0, 5, 0});
+  lay.set_node_rect(3, {10, 5, 10, 5});
+  Wire a;
+  a.edge = 0;
+  a.push({0, 5});
+  a.push({5, 5});
+  a.push({5, 10});
+  lay.add_wire(a);
+  Wire b;
+  b.edge = 1;
+  b.push({5, 0});
+  b.push({5, 5});
+  b.push({10, 5});
+  lay.add_wire(b);
+  EXPECT_FALSE(validate_layout(g, lay).ok);
+}
+
+TEST(Validate, EndpointNotOnNodeRejected) {
+  Fixture f;
+  f.lay.add_wire(straight_wire(0, {1, 0}, {10, 0}));  // starts off node 0
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, DiagonalSegmentRejected) {
+  Fixture f;
+  Wire w;
+  w.edge = 0;
+  w.push({0, 0});
+  w.push({10, 0});
+  w.pts[1] = {10, 3};  // forge a diagonal step
+  w.npts = 2;
+  f.lay.add_wire(w);
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, CollinearConsecutiveSegmentsRejected) {
+  Fixture f;
+  Wire w;
+  w.edge = 0;
+  w.push({0, 0});
+  w.push({4, 0});
+  w.push({10, 0});  // same direction twice
+  f.lay.add_wire(w);
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, BadLayerParityRejected) {
+  Fixture f;
+  Wire w = straight_wire(0, {0, 0}, {10, 0});
+  w.h_layer = 2;  // must be odd
+  w.v_layer = 1;
+  f.lay.add_wire(w);
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, NonAdjacentLayersRejected) {
+  Fixture f;
+  Wire w = straight_wire(0, {0, 0}, {10, 0});
+  w.h_layer = 1;
+  w.v_layer = 4;
+  f.lay.add_wire(w);
+  EXPECT_FALSE(validate_layout(f.g, f.lay).ok);
+}
+
+TEST(Validate, WireThroughForeignNodeRejected) {
+  topology::Graph g(3);
+  g.add_edge(0, 1);
+  g.finalize();
+  Layout lay(3);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  lay.set_node_rect(1, {10, 0, 10, 0});
+  lay.set_node_rect(2, {4, -1, 6, 1});  // straddles the wire path
+  lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  // Vertex 2 has no edges; still, the wire may not cross its node.
+  EXPECT_FALSE(validate_layout(g, lay).ok);
+}
+
+TEST(Validate, WireAlongOwnNodeRejected) {
+  topology::Graph g(2);
+  g.add_edge(0, 1);
+  g.finalize();
+  Layout lay(2);
+  lay.set_node_rect(0, {0, 0, 3, 3});
+  lay.set_node_rect(1, {10, 0, 13, 3});
+  // Runs along node 0's top boundary for several points.
+  lay.add_wire(straight_wire(0, {0, 3}, {10, 3}));
+  EXPECT_FALSE(validate_layout(g, lay).ok);
+}
+
+TEST(Validate, ThompsonNodeSizeEnforced) {
+  Fixture f;  // nodes are 1x1, degree 1 => want side 1: OK
+  f.lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  ValidationOptions opt;
+  opt.thompson_node_size = true;
+  EXPECT_TRUE(validate_layout(f.g, f.lay, opt).ok);
+
+  // Blow up node 0 beyond its degree.
+  f.lay.set_node_rect(0, {-3, 0, 0, 3});
+  EXPECT_FALSE(validate_layout(f.g, f.lay, opt).ok);
+}
+
+TEST(Validate, ExtendedGridWindowEnforced) {
+  Fixture f;
+  f.lay.add_wire(straight_wire(0, {0, 0}, {10, 0}));
+  ValidationOptions opt;
+  opt.min_node_side = 2;
+  EXPECT_FALSE(validate_layout(f.g, f.lay, opt).ok);
+  opt.min_node_side = 1;
+  opt.max_node_side = 1;
+  EXPECT_TRUE(validate_layout(f.g, f.lay, opt).ok);
+}
+
+TEST(Validate, ViaConflictAcrossSharedLayerRejected) {
+  // Wire A uses layers (1,2), wire B layers (3,2).  Give them bends at the
+  // same point: B's via [2,3] and A's via [1,2] share (x,y,2).
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  Layout lay(4);
+  lay.set_node_rect(0, {0, 5, 0, 5});
+  lay.set_node_rect(1, {5, 10, 5, 10});
+  lay.set_node_rect(2, {9, 5, 9, 5});
+  lay.set_node_rect(3, {5, 0, 5, 0});
+  Wire a;  // west -> bend (5,5) -> north, layers (1,2)
+  a.edge = 0;
+  a.push({0, 5});
+  a.push({5, 5});
+  a.push({5, 10});
+  lay.add_wire(a);
+  Wire b;  // east -> bend (5,5) -> south, layers (3,2)
+  b.edge = 1;
+  b.h_layer = 3;
+  b.v_layer = 2;
+  b.push({9, 5});
+  b.push({5, 5});
+  b.push({5, 0});
+  lay.add_wire(b);
+  EXPECT_FALSE(validate_layout(g, lay).ok);
+}
+
+TEST(Validate, DisjointLayerPairsMayShareBendPoint) {
+  // Same geometry, but B on layers (3,4): vias [1,2] and [3,4] are
+  // z-disjoint, so the shared 2-D bend point is legal.
+  topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.finalize();
+  Layout lay(4);
+  lay.set_node_rect(0, {0, 5, 0, 5});
+  lay.set_node_rect(1, {5, 10, 5, 10});
+  lay.set_node_rect(2, {9, 5, 9, 5});
+  lay.set_node_rect(3, {5, 0, 5, 0});
+  Wire a;
+  a.edge = 0;
+  a.push({0, 5});
+  a.push({5, 5});
+  a.push({5, 10});
+  lay.add_wire(a);
+  Wire b;
+  b.edge = 1;
+  b.h_layer = 3;
+  b.v_layer = 4;
+  b.push({9, 5});
+  b.push({5, 5});
+  b.push({5, 0});
+  lay.add_wire(b);
+  const auto rep = validate_layout(g, lay);
+  EXPECT_TRUE(rep.ok) << (rep.errors.empty() ? "" : rep.errors[0]);
+  EXPECT_EQ(rep.num_layers, 4);
+}
+
+TEST(Validate, ErrorCapRespected) {
+  topology::Graph g(2);
+  for (int i = 0; i < 60; ++i) g.add_edge(0, 1, i);
+  g.finalize();
+  Layout lay(2);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  lay.set_node_rect(1, {10, 0, 10, 0});
+  for (int i = 0; i < 60; ++i) lay.add_wire(straight_wire(i, {0, 0}, {10, 0}));
+  ValidationOptions opt;
+  opt.max_errors = 5;
+  const auto rep = validate_layout(g, lay, opt);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_LE(rep.errors.size(), 5u);
+}
+
+}  // namespace
+}  // namespace starlay::layout
