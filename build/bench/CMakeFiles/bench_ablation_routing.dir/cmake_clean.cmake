@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o"
+  "CMakeFiles/bench_ablation_routing.dir/bench_ablation_routing.cpp.o.d"
+  "bench_ablation_routing"
+  "bench_ablation_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisection_hcn.dir/bench_bisection_hcn.cpp.o"
+  "CMakeFiles/bench_bisection_hcn.dir/bench_bisection_hcn.cpp.o.d"
+  "bench_bisection_hcn"
+  "bench_bisection_hcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisection_hcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

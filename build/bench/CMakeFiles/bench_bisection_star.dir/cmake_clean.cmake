@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisection_star.dir/bench_bisection_star.cpp.o"
+  "CMakeFiles/bench_bisection_star.dir/bench_bisection_star.cpp.o.d"
+  "bench_bisection_star"
+  "bench_bisection_star.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisection_star.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_collinear_complete.cpp" "bench/CMakeFiles/bench_collinear_complete.dir/bench_collinear_complete.cpp.o" "gcc" "bench/CMakeFiles/bench_collinear_complete.dir/bench_collinear_complete.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/starlay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/starlay_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bisect/CMakeFiles/starlay_bisect.dir/DependInfo.cmake"
+  "/root/repo/build/src/render/CMakeFiles/starlay_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/starlay_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_collinear_complete.dir/bench_collinear_complete.cpp.o"
+  "CMakeFiles/bench_collinear_complete.dir/bench_collinear_complete.cpp.o.d"
+  "bench_collinear_complete"
+  "bench_collinear_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_collinear_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complete2d.dir/bench_complete2d.cpp.o"
+  "CMakeFiles/bench_complete2d.dir/bench_complete2d.cpp.o.d"
+  "bench_complete2d"
+  "bench_complete2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complete2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

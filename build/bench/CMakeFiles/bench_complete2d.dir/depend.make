@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_complete2d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_grid.dir/bench_extended_grid.cpp.o"
+  "CMakeFiles/bench_extended_grid.dir/bench_extended_grid.cpp.o.d"
+  "bench_extended_grid"
+  "bench_extended_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_k9.dir/bench_fig1_k9.cpp.o"
+  "CMakeFiles/bench_fig1_k9.dir/bench_fig1_k9.cpp.o.d"
+  "bench_fig1_k9"
+  "bench_fig1_k9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_k9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

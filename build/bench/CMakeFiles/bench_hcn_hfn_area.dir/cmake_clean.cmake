@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hcn_hfn_area.dir/bench_hcn_hfn_area.cpp.o"
+  "CMakeFiles/bench_hcn_hfn_area.dir/bench_hcn_hfn_area.cpp.o.d"
+  "bench_hcn_hfn_area"
+  "bench_hcn_hfn_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hcn_hfn_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_hcn_hfn_area.
+# This may be replaced when dependencies are built.

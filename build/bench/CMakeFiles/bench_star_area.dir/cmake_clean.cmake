@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_area.dir/bench_star_area.cpp.o"
+  "CMakeFiles/bench_star_area.dir/bench_star_area.cpp.o.d"
+  "bench_star_area"
+  "bench_star_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

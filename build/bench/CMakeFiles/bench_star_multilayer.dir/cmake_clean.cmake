@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_multilayer.dir/bench_star_multilayer.cpp.o"
+  "CMakeFiles/bench_star_multilayer.dir/bench_star_multilayer.cpp.o.d"
+  "bench_star_multilayer"
+  "bench_star_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

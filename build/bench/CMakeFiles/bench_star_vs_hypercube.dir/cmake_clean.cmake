@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_star_vs_hypercube.dir/bench_star_vs_hypercube.cpp.o"
+  "CMakeFiles/bench_star_vs_hypercube.dir/bench_star_vs_hypercube.cpp.o.d"
+  "bench_star_vs_hypercube"
+  "bench_star_vs_hypercube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_star_vs_hypercube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

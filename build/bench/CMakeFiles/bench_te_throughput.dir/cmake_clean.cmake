@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_te_throughput.dir/bench_te_throughput.cpp.o"
+  "CMakeFiles/bench_te_throughput.dir/bench_te_throughput.cpp.o.d"
+  "bench_te_throughput"
+  "bench_te_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_te_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/k9_figure.dir/k9_figure.cpp.o"
+  "CMakeFiles/k9_figure.dir/k9_figure.cpp.o.d"
+  "k9_figure"
+  "k9_figure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/k9_figure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for k9_figure.
+# This may be replaced when dependencies are built.

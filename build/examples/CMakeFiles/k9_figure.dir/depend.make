@@ -1,0 +1,2 @@
+# Empty dependencies file for k9_figure.
+# This may be replaced when dependencies are built.

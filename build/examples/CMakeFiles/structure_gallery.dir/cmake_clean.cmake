@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_gallery.dir/structure_gallery.cpp.o"
+  "CMakeFiles/structure_gallery.dir/structure_gallery.cpp.o.d"
+  "structure_gallery"
+  "structure_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

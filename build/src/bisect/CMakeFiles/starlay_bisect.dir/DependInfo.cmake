@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisect/constructions.cpp" "src/bisect/CMakeFiles/starlay_bisect.dir/constructions.cpp.o" "gcc" "src/bisect/CMakeFiles/starlay_bisect.dir/constructions.cpp.o.d"
+  "/root/repo/src/bisect/exact.cpp" "src/bisect/CMakeFiles/starlay_bisect.dir/exact.cpp.o" "gcc" "src/bisect/CMakeFiles/starlay_bisect.dir/exact.cpp.o.d"
+  "/root/repo/src/bisect/kl.cpp" "src/bisect/CMakeFiles/starlay_bisect.dir/kl.cpp.o" "gcc" "src/bisect/CMakeFiles/starlay_bisect.dir/kl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/starlay_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

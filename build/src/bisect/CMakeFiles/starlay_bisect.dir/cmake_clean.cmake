@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_bisect.dir/constructions.cpp.o"
+  "CMakeFiles/starlay_bisect.dir/constructions.cpp.o.d"
+  "CMakeFiles/starlay_bisect.dir/exact.cpp.o"
+  "CMakeFiles/starlay_bisect.dir/exact.cpp.o.d"
+  "CMakeFiles/starlay_bisect.dir/kl.cpp.o"
+  "CMakeFiles/starlay_bisect.dir/kl.cpp.o.d"
+  "libstarlay_bisect.a"
+  "libstarlay_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/edge_coloring.cpp" "src/comm/CMakeFiles/starlay_comm.dir/edge_coloring.cpp.o" "gcc" "src/comm/CMakeFiles/starlay_comm.dir/edge_coloring.cpp.o.d"
+  "/root/repo/src/comm/network.cpp" "src/comm/CMakeFiles/starlay_comm.dir/network.cpp.o" "gcc" "src/comm/CMakeFiles/starlay_comm.dir/network.cpp.o.d"
+  "/root/repo/src/comm/te.cpp" "src/comm/CMakeFiles/starlay_comm.dir/te.cpp.o" "gcc" "src/comm/CMakeFiles/starlay_comm.dir/te.cpp.o.d"
+  "/root/repo/src/comm/unicast.cpp" "src/comm/CMakeFiles/starlay_comm.dir/unicast.cpp.o" "gcc" "src/comm/CMakeFiles/starlay_comm.dir/unicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_comm.dir/edge_coloring.cpp.o"
+  "CMakeFiles/starlay_comm.dir/edge_coloring.cpp.o.d"
+  "CMakeFiles/starlay_comm.dir/network.cpp.o"
+  "CMakeFiles/starlay_comm.dir/network.cpp.o.d"
+  "CMakeFiles/starlay_comm.dir/te.cpp.o"
+  "CMakeFiles/starlay_comm.dir/te.cpp.o.d"
+  "CMakeFiles/starlay_comm.dir/unicast.cpp.o"
+  "CMakeFiles/starlay_comm.dir/unicast.cpp.o.d"
+  "libstarlay_comm.a"
+  "libstarlay_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/starlay_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/collinear_complete.cpp" "src/core/CMakeFiles/starlay_core.dir/collinear_complete.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/collinear_complete.cpp.o.d"
+  "/root/repo/src/core/complete2d.cpp" "src/core/CMakeFiles/starlay_core.dir/complete2d.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/complete2d.cpp.o.d"
+  "/root/repo/src/core/hcn_layout.cpp" "src/core/CMakeFiles/starlay_core.dir/hcn_layout.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/hcn_layout.cpp.o.d"
+  "/root/repo/src/core/hypercube_layout.cpp" "src/core/CMakeFiles/starlay_core.dir/hypercube_layout.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/hypercube_layout.cpp.o.d"
+  "/root/repo/src/core/lower_bounds.cpp" "src/core/CMakeFiles/starlay_core.dir/lower_bounds.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/lower_bounds.cpp.o.d"
+  "/root/repo/src/core/multilayer_star.cpp" "src/core/CMakeFiles/starlay_core.dir/multilayer_star.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/multilayer_star.cpp.o.d"
+  "/root/repo/src/core/star_layout.cpp" "src/core/CMakeFiles/starlay_core.dir/star_layout.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/star_layout.cpp.o.d"
+  "/root/repo/src/core/star_model.cpp" "src/core/CMakeFiles/starlay_core.dir/star_model.cpp.o" "gcc" "src/core/CMakeFiles/starlay_core.dir/star_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/starlay_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

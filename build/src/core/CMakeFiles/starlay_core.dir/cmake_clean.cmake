@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_core.dir/baseline.cpp.o"
+  "CMakeFiles/starlay_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/collinear_complete.cpp.o"
+  "CMakeFiles/starlay_core.dir/collinear_complete.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/complete2d.cpp.o"
+  "CMakeFiles/starlay_core.dir/complete2d.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/hcn_layout.cpp.o"
+  "CMakeFiles/starlay_core.dir/hcn_layout.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/hypercube_layout.cpp.o"
+  "CMakeFiles/starlay_core.dir/hypercube_layout.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/lower_bounds.cpp.o"
+  "CMakeFiles/starlay_core.dir/lower_bounds.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/multilayer_star.cpp.o"
+  "CMakeFiles/starlay_core.dir/multilayer_star.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/star_layout.cpp.o"
+  "CMakeFiles/starlay_core.dir/star_layout.cpp.o.d"
+  "CMakeFiles/starlay_core.dir/star_model.cpp.o"
+  "CMakeFiles/starlay_core.dir/star_model.cpp.o.d"
+  "libstarlay_core.a"
+  "libstarlay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstarlay_core.a"
+)

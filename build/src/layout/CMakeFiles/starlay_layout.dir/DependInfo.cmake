@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/channel.cpp" "src/layout/CMakeFiles/starlay_layout.dir/channel.cpp.o" "gcc" "src/layout/CMakeFiles/starlay_layout.dir/channel.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/layout/CMakeFiles/starlay_layout.dir/layout.cpp.o" "gcc" "src/layout/CMakeFiles/starlay_layout.dir/layout.cpp.o.d"
+  "/root/repo/src/layout/placement.cpp" "src/layout/CMakeFiles/starlay_layout.dir/placement.cpp.o" "gcc" "src/layout/CMakeFiles/starlay_layout.dir/placement.cpp.o.d"
+  "/root/repo/src/layout/router.cpp" "src/layout/CMakeFiles/starlay_layout.dir/router.cpp.o" "gcc" "src/layout/CMakeFiles/starlay_layout.dir/router.cpp.o.d"
+  "/root/repo/src/layout/validate.cpp" "src/layout/CMakeFiles/starlay_layout.dir/validate.cpp.o" "gcc" "src/layout/CMakeFiles/starlay_layout.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

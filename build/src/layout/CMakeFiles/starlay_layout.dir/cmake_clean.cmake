@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_layout.dir/channel.cpp.o"
+  "CMakeFiles/starlay_layout.dir/channel.cpp.o.d"
+  "CMakeFiles/starlay_layout.dir/layout.cpp.o"
+  "CMakeFiles/starlay_layout.dir/layout.cpp.o.d"
+  "CMakeFiles/starlay_layout.dir/placement.cpp.o"
+  "CMakeFiles/starlay_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/starlay_layout.dir/router.cpp.o"
+  "CMakeFiles/starlay_layout.dir/router.cpp.o.d"
+  "CMakeFiles/starlay_layout.dir/validate.cpp.o"
+  "CMakeFiles/starlay_layout.dir/validate.cpp.o.d"
+  "libstarlay_layout.a"
+  "libstarlay_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

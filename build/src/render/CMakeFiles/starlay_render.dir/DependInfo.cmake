@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/render/ascii.cpp" "src/render/CMakeFiles/starlay_render.dir/ascii.cpp.o" "gcc" "src/render/CMakeFiles/starlay_render.dir/ascii.cpp.o.d"
+  "/root/repo/src/render/svg.cpp" "src/render/CMakeFiles/starlay_render.dir/svg.cpp.o" "gcc" "src/render/CMakeFiles/starlay_render.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/starlay_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/starlay_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

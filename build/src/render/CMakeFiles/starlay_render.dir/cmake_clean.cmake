@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_render.dir/ascii.cpp.o"
+  "CMakeFiles/starlay_render.dir/ascii.cpp.o.d"
+  "CMakeFiles/starlay_render.dir/svg.cpp.o"
+  "CMakeFiles/starlay_render.dir/svg.cpp.o.d"
+  "libstarlay_render.a"
+  "libstarlay_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

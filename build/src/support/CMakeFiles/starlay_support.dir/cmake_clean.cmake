@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_support.dir/math.cpp.o"
+  "CMakeFiles/starlay_support.dir/math.cpp.o.d"
+  "libstarlay_support.a"
+  "libstarlay_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

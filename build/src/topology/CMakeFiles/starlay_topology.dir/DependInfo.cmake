@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/bubble_sort_graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/bubble_sort_graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/bubble_sort_graph.cpp.o.d"
+  "/root/repo/src/topology/complete_graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/complete_graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/complete_graph.cpp.o.d"
+  "/root/repo/src/topology/graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/graph.cpp.o.d"
+  "/root/repo/src/topology/hcn.cpp" "src/topology/CMakeFiles/starlay_topology.dir/hcn.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/hcn.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/starlay_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/pancake_graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/pancake_graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/pancake_graph.cpp.o.d"
+  "/root/repo/src/topology/permutation.cpp" "src/topology/CMakeFiles/starlay_topology.dir/permutation.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/permutation.cpp.o.d"
+  "/root/repo/src/topology/properties.cpp" "src/topology/CMakeFiles/starlay_topology.dir/properties.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/properties.cpp.o.d"
+  "/root/repo/src/topology/star_graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/star_graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/star_graph.cpp.o.d"
+  "/root/repo/src/topology/transposition_graph.cpp" "src/topology/CMakeFiles/starlay_topology.dir/transposition_graph.cpp.o" "gcc" "src/topology/CMakeFiles/starlay_topology.dir/transposition_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/starlay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starlay_topology.dir/bubble_sort_graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/bubble_sort_graph.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/complete_graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/complete_graph.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/graph.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/hcn.cpp.o"
+  "CMakeFiles/starlay_topology.dir/hcn.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/starlay_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/pancake_graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/pancake_graph.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/permutation.cpp.o"
+  "CMakeFiles/starlay_topology.dir/permutation.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/properties.cpp.o"
+  "CMakeFiles/starlay_topology.dir/properties.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/star_graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/star_graph.cpp.o.d"
+  "CMakeFiles/starlay_topology.dir/transposition_graph.cpp.o"
+  "CMakeFiles/starlay_topology.dir/transposition_graph.cpp.o.d"
+  "libstarlay_topology.a"
+  "libstarlay_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starlay_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisect_test.dir/bisect_test.cpp.o"
+  "CMakeFiles/bisect_test.dir/bisect_test.cpp.o.d"
+  "bisect_test"
+  "bisect_test.pdb"
+  "bisect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

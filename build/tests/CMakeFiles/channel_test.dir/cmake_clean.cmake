@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_test.dir/channel_test.cpp.o"
+  "CMakeFiles/channel_test.dir/channel_test.cpp.o.d"
+  "channel_test"
+  "channel_test.pdb"
+  "channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

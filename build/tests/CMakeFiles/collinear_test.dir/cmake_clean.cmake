@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collinear_test.dir/collinear_test.cpp.o"
+  "CMakeFiles/collinear_test.dir/collinear_test.cpp.o.d"
+  "collinear_test"
+  "collinear_test.pdb"
+  "collinear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete2d_test.dir/complete2d_test.cpp.o"
+  "CMakeFiles/complete2d_test.dir/complete2d_test.cpp.o.d"
+  "complete2d_test"
+  "complete2d_test.pdb"
+  "complete2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

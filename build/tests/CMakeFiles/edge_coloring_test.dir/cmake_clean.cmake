@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_coloring_test.dir/edge_coloring_test.cpp.o"
+  "CMakeFiles/edge_coloring_test.dir/edge_coloring_test.cpp.o.d"
+  "edge_coloring_test"
+  "edge_coloring_test.pdb"
+  "edge_coloring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_coloring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/four_sided_test.dir/four_sided_test.cpp.o"
+  "CMakeFiles/four_sided_test.dir/four_sided_test.cpp.o.d"
+  "four_sided_test"
+  "four_sided_test.pdb"
+  "four_sided_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/four_sided_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

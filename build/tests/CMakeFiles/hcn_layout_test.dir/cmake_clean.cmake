@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcn_layout_test.dir/hcn_layout_test.cpp.o"
+  "CMakeFiles/hcn_layout_test.dir/hcn_layout_test.cpp.o.d"
+  "hcn_layout_test"
+  "hcn_layout_test.pdb"
+  "hcn_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcn_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

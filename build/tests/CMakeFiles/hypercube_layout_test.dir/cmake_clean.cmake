@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypercube_layout_test.dir/hypercube_layout_test.cpp.o"
+  "CMakeFiles/hypercube_layout_test.dir/hypercube_layout_test.cpp.o.d"
+  "hypercube_layout_test"
+  "hypercube_layout_test.pdb"
+  "hypercube_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypercube_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bounds_test.dir/lower_bounds_test.cpp.o"
+  "CMakeFiles/lower_bounds_test.dir/lower_bounds_test.cpp.o.d"
+  "lower_bounds_test"
+  "lower_bounds_test.pdb"
+  "lower_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilayer_test.dir/multilayer_test.cpp.o"
+  "CMakeFiles/multilayer_test.dir/multilayer_test.cpp.o.d"
+  "multilayer_test"
+  "multilayer_test.pdb"
+  "multilayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/networks_test.dir/networks_test.cpp.o"
+  "CMakeFiles/networks_test.dir/networks_test.cpp.o.d"
+  "networks_test"
+  "networks_test.pdb"
+  "networks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/networks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

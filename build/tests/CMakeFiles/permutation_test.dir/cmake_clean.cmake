@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permutation_test.dir/permutation_test.cpp.o"
+  "CMakeFiles/permutation_test.dir/permutation_test.cpp.o.d"
+  "permutation_test"
+  "permutation_test.pdb"
+  "permutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

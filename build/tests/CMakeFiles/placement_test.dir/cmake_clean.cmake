@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_test.dir/placement_test.cpp.o"
+  "CMakeFiles/placement_test.dir/placement_test.cpp.o.d"
+  "placement_test"
+  "placement_test.pdb"
+  "placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_layout_test.dir/star_layout_test.cpp.o"
+  "CMakeFiles/star_layout_test.dir/star_layout_test.cpp.o.d"
+  "star_layout_test"
+  "star_layout_test.pdb"
+  "star_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_test.dir/te_test.cpp.o"
+  "CMakeFiles/te_test.dir/te_test.cpp.o.d"
+  "te_test"
+  "te_test.pdb"
+  "te_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unicast_test.dir/unicast_test.cpp.o"
+  "CMakeFiles/unicast_test.dir/unicast_test.cpp.o.d"
+  "unicast_test"
+  "unicast_test.pdb"
+  "unicast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unicast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

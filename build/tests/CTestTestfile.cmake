@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/permutation_test[1]_include.cmake")
+include("/root/repo/build/tests/networks_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/channel_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/collinear_test[1]_include.cmake")
+include("/root/repo/build/tests/complete2d_test[1]_include.cmake")
+include("/root/repo/build/tests/star_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/hypercube_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/hcn_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/multilayer_test[1]_include.cmake")
+include("/root/repo/build/tests/lower_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_coloring_test[1]_include.cmake")
+include("/root/repo/build/tests/te_test[1]_include.cmake")
+include("/root/repo/build/tests/bisect_test[1]_include.cmake")
+include("/root/repo/build/tests/render_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/four_sided_test[1]_include.cmake")
+include("/root/repo/build/tests/unicast_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
