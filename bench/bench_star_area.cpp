@@ -1,10 +1,14 @@
 // E3 (Lemma 2.2 / Theorem 3.7): star-graph layout area.
 // Claim: area = N^2/16 + o(N^2), 72x below Sykora-Vrt'o, within 1 + o(1)
 // of the BATT lower bound.  measured/claim must decrease toward 1.
-// STARLAY_BIG=1 adds n = 8 (about a second); STARLAY_BIG=2 adds n = 9.
+// n = 8 (40,320 nodes) runs by default since the parallel layout engine;
+// STARLAY_BIG=1 adds n = 9 (362,880 nodes, ~1 GB).
+// Alongside the printed table, the run emits BENCH_star_area.json with
+// per-n construction/validation timings and area ratios.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
 
 #include "bench_util.hpp"
@@ -13,30 +17,49 @@
 #include "starlay/core/star_model.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/support/math.hpp"
+#include "starlay/support/thread_pool.hpp"
 
 namespace {
 
 void print_table() {
   using namespace starlay;
+  using clock = std::chrono::steady_clock;
   benchutil::header("E3: star-graph layout area (Lemma 2.2, Thm 3.7)",
                     "area -> N^2/16; 72x below Sykora-Vrt'o 4.5N^2; "
                     "upper/lower -> 1 + o(1)");
-  benchutil::row_labels(
-      {"n", "N", "area", "N^2/16", "ratio", "model-ratio", "vsSykoraVrto", "valid"});
-  std::vector<int> sizes{4, 5, 6, 7};
+  benchutil::row_labels({"n", "N", "area", "N^2/16", "ratio", "model-ratio",
+                         "vsSykoraVrto", "build-ms", "valid"});
+  std::vector<int> sizes{4, 5, 6, 7, 8};
   const char* big = std::getenv("STARLAY_BIG");
-  if (big) sizes.push_back(8);
-  if (big && std::atoi(big) >= 2) sizes.push_back(9);  // ~1 min, ~2 GB
+  if (big) sizes.push_back(9);
+  benchutil::JsonReport report("BENCH_star_area.json");
   for (int n : sizes) {
+    const auto t0 = clock::now();
     const auto r = core::star_layout(n);
+    const auto t1 = clock::now();
+    const bool valid = layout::validate_layout(r.graph, r.routed.layout).ok;
+    const auto t2 = clock::now();
+    const double construct_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double validate_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
     const double N = static_cast<double>(factorial(n));
     const double area = static_cast<double>(r.routed.layout.area());
-    const bool valid = layout::validate_layout(r.graph, r.routed.layout).ok;
     const double model = core::star_area_model(n).area;
-    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16s\n", n, N, area,
+    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16.1f%16s\n", n, N, area,
                 core::star_area(N), area / core::star_area(N), area / model,
-                area / core::sykora_vrto_star_area(N), valid ? "yes" : "NO");
+                area / core::sykora_vrto_star_area(N), construct_ms,
+                valid ? "yes" : "NO");
+    report.add_row()
+        .integer("n", n)
+        .integer("N", static_cast<long long>(N))
+        .num("area", area)
+        .num("claim_n2_over_16", core::star_area(N))
+        .num("area_over_claim", area / core::star_area(N))
+        .num("construct_ms", construct_ms)
+        .num("validate_ms", validate_ms)
+        .integer("threads", support::ThreadPool::instance().num_threads())
+        .boolean("valid", valid);
   }
+  if (report.write()) std::printf("\nwrote BENCH_star_area.json\n");
   std::printf("\n(n >= 9: the ratio continues toward 1; the per-level channel tail\n"
               " decays like 1/sqrt(n) and node rectangles like n*sqrt(N)/N.)\n");
 }

@@ -9,10 +9,77 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace starlay::benchutil {
+
+/// Machine-readable companion to the printed tables: accumulates flat rows
+/// of (key, value) pairs and writes them as a JSON array of objects, in the
+/// spirit of google-benchmark's --benchmark_out.  Every bench binary also
+/// accepts --benchmark_out=<file> natively (handled by benchmark::Initialize
+/// in STARLAY_BENCH_MAIN) for the timing section; this reporter covers the
+/// experiment tables, which benchmark's own reporter cannot see.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& num(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      fields_.push_back({key, buf});
+      return *this;
+    }
+    Row& integer(const std::string& key, long long v) {
+      fields_.push_back({key, std::to_string(v)});
+      return *this;
+    }
+    Row& boolean(const std::string& key, bool v) {
+      fields_.push_back({key, v ? "true" : "false"});
+      return *this;
+    }
+    Row& str(const std::string& key, const std::string& v) {
+      fields_.push_back({key, "\"" + v + "\""});  // values are identifier-like
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string path) : path_(std::move(path)) {}
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the accumulated rows; returns false (and keeps quiet) when the
+  /// file cannot be opened, so benches never fail on read-only dirs.
+  bool write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    out << "[\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        out << "\"" << fields[f].first << "\": " << fields[f].second;
+        if (f + 1 < fields.size()) out << ", ";
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string path_;
+  std::vector<Row> rows_;
+};
 
 inline void header(const std::string& experiment, const std::string& claim) {
   std::printf("\n================================================================\n");

@@ -4,49 +4,79 @@
 
 #include "starlay/bisect/bisect.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
 
 namespace starlay::bisect {
 
 namespace {
 
+constexpr std::int64_t kVertexGrain = 64;
+
 /// One KL pass: repeatedly swap the best (unlocked) pair across the cut,
 /// tracking the best prefix of the swap sequence.
 std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) {
   const std::int32_t n = g.num_vertices();
-  // D-values: external - internal cost per vertex.
+  // D-values: external - internal cost per vertex.  Expressed per vertex
+  // over its own adjacency (instead of scattering over the edge list) so
+  // chunks write disjoint D slots.
   std::vector<std::int64_t> D(static_cast<std::size_t>(n), 0);
   const auto recompute_d = [&]() {
-    std::fill(D.begin(), D.end(), 0);
-    for (const auto& e : g.edges()) {
-      const bool cutedge = side[static_cast<std::size_t>(e.u)] != side[static_cast<std::size_t>(e.v)];
-      const std::int64_t s = cutedge ? 1 : -1;
-      D[static_cast<std::size_t>(e.u)] += s;
-      D[static_cast<std::size_t>(e.v)] += s;
-    }
+    support::parallel_for(0, n, kVertexGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      for (std::int64_t v = lo; v < hi; ++v) {
+        std::int64_t d = 0;
+        for (std::int32_t w : g.neighbors(static_cast<std::int32_t>(v)))
+          d += side[static_cast<std::size_t>(w)] != side[static_cast<std::size_t>(v)] ? 1 : -1;
+        D[static_cast<std::size_t>(v)] = d;
+      }
+    });
   };
   recompute_d();
 
+  struct Best {
+    std::int64_t gain = std::numeric_limits<std::int64_t>::min();
+    std::int32_t a = -1, b = -1;
+  };
   std::vector<std::uint8_t> locked(static_cast<std::size_t>(n), 0);
   std::vector<std::pair<std::int32_t, std::int32_t>> swaps;
   std::vector<std::int64_t> gains;
   const std::int32_t pairs = n / 2;
   for (std::int32_t round = 0; round < pairs; ++round) {
+    // Gain scan, chunked over the `a` side.  Each chunk keeps the first
+    // strictly-best pair in (a, b) scan order; merging chunks in ascending
+    // order reproduces the serial argmax exactly for any thread count.
+    const std::int64_t chunks = support::num_chunks(0, n, kVertexGrain);
+    std::vector<Best> chunk_best(static_cast<std::size_t>(chunks));
+    support::parallel_for(0, n, kVertexGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      Best best;
+      for (std::int64_t a = lo; a < hi; ++a) {
+        if (locked[static_cast<std::size_t>(a)] || side[static_cast<std::size_t>(a)] != 0)
+          continue;
+        for (std::int32_t b = 0; b < n; ++b) {
+          if (locked[static_cast<std::size_t>(b)] || side[static_cast<std::size_t>(b)] != 1)
+            continue;
+          std::int64_t w_ab = 0;
+          for (std::int32_t w : g.neighbors(static_cast<std::int32_t>(a)))
+            if (w == b) ++w_ab;
+          const std::int64_t gain = D[static_cast<std::size_t>(a)] +
+                                    D[static_cast<std::size_t>(b)] - 2 * w_ab;
+          if (gain > best.gain) {
+            best.gain = gain;
+            best.a = static_cast<std::int32_t>(a);
+            best.b = b;
+          }
+        }
+      }
+      chunk_best[static_cast<std::size_t>(chunk)] = best;
+    });
     std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
     std::int32_t ba = -1, bb = -1;
-    for (std::int32_t a = 0; a < n; ++a) {
-      if (locked[static_cast<std::size_t>(a)] || side[static_cast<std::size_t>(a)] != 0) continue;
-      for (std::int32_t b = 0; b < n; ++b) {
-        if (locked[static_cast<std::size_t>(b)] || side[static_cast<std::size_t>(b)] != 1) continue;
-        std::int64_t w_ab = 0;
-        for (std::int32_t w : g.neighbors(a))
-          if (w == b) ++w_ab;
-        const std::int64_t gain = D[static_cast<std::size_t>(a)] +
-                                  D[static_cast<std::size_t>(b)] - 2 * w_ab;
-        if (gain > best_gain) {
-          best_gain = gain;
-          ba = a;
-          bb = b;
-        }
+    for (const Best& cb : chunk_best) {
+      if (cb.a >= 0 && cb.gain > best_gain) {
+        best_gain = cb.gain;
+        ba = cb.a;
+        bb = cb.b;
       }
     }
     if (ba < 0) break;

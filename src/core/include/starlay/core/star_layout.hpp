@@ -31,12 +31,27 @@ namespace starlay::core {
 
 enum class PermutationFamily { kStar, kPancake, kBubbleSort };
 
+/// Per-vertex digit paths in one flat row-major buffer (stride digits per
+/// vertex) instead of n! small vectors — one allocation for the whole
+/// hierarchy, cache-linear traversal, and chunkable for parallel fill.
+struct DigitPaths {
+  std::int32_t stride = 0;          ///< digits per vertex (= #levels)
+  std::vector<std::int32_t> flat;   ///< vertex-major, outermost level first
+
+  std::int64_t num_paths() const {
+    return stride == 0 ? 0 : static_cast<std::int64_t>(flat.size()) / stride;
+  }
+  std::int32_t digit(std::int64_t vertex, std::int32_t depth) const {
+    return flat[static_cast<std::size_t>(vertex * stride + depth)];
+  }
+};
+
 /// The hierarchy data shared by the single- and multi-layer constructions.
 struct StarStructure {
   int n = 0;
   int base_size = 0;
-  std::vector<layout::LevelShape> shapes;            ///< per level, outer first
-  std::vector<std::vector<std::int32_t>> paths;      ///< per vertex digit path
+  std::vector<layout::LevelShape> shapes;  ///< per level, outer first
+  DigitPaths paths;                        ///< substar digits + base rank per vertex
   layout::Placement placement;
 };
 

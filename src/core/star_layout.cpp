@@ -5,28 +5,11 @@
 
 #include "starlay/support/check.hpp"
 #include "starlay/support/math.hpp"
+#include "starlay/support/thread_pool.hpp"
 #include "starlay/topology/networks.hpp"
 #include "starlay/topology/permutation.hpp"
 
 namespace starlay::core {
-
-namespace {
-
-/// Rank of the base block's reduced permutation: the first `base` symbols
-/// of p relabelled to 1..base preserving relative order.
-std::int32_t base_block_rank(const topology::Perm& p, int base) {
-  topology::Perm head(p.begin(), p.begin() + base);
-  topology::Perm sorted = head;
-  std::sort(sorted.begin(), sorted.end());
-  topology::Perm reduced(head.size());
-  for (std::size_t i = 0; i < head.size(); ++i) {
-    const auto it = std::lower_bound(sorted.begin(), sorted.end(), head[i]);
-    reduced[i] = static_cast<std::uint8_t>(it - sorted.begin() + 1);
-  }
-  return static_cast<std::int32_t>(topology::perm_rank(reduced));
-}
-
-}  // namespace
 
 StarStructure star_structure(int n, int base_size) {
   STARLAY_REQUIRE(n >= 2 && n <= 12, "star_structure: n must be in [2, 12]");
@@ -55,15 +38,26 @@ StarStructure star_structure(int n, int base_size) {
   for (int j = n; j > base_size; --j) push_balanced(starlay::grid_factors(j));
   push_balanced(starlay::grid_factors(static_cast<int>(starlay::factorial(base_size))));
 
+  // Digit paths for all n! vertices: substar digits (outermost first) plus
+  // the base-block rank as the final, finest-level digit.  Vertex rank
+  // order is lexicographic, so each chunk seeds one unrank and then walks
+  // its ranks with the incremental enumerator, writing into its disjoint
+  // slice of the flat buffer — bit-identical for every thread count.
   const std::int64_t N = starlay::factorial(n);
-  s.paths.resize(static_cast<std::size_t>(N));
-  for (std::int64_t r = 0; r < N; ++r) {
-    const topology::Perm p = topology::perm_unrank(r, n);
-    std::vector<std::int32_t> path = topology::substar_path(p, base_size);
-    path.push_back(base_block_rank(p, base_size));
-    s.paths[static_cast<std::size_t>(r)] = std::move(path);
-  }
-  s.placement = layout::hierarchical_placement(s.paths, s.shapes);
+  const std::int32_t stride = n - base_size + 1;
+  s.paths.stride = stride;
+  s.paths.flat.resize(static_cast<std::size_t>(N * stride));
+  std::int32_t* flat = s.paths.flat.data();
+  support::parallel_for(0, N, 4096, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    topology::StarPathEnumerator en(lo, n, base_size);
+    for (std::int64_t r = lo; r < hi; ++r) {
+      std::int32_t* out = flat + r * stride;
+      for (std::int32_t d = 0; d + 1 < stride; ++d) out[d] = en.digit(d);
+      out[stride - 1] = en.base_rank();
+      if (r + 1 < hi) en.advance();
+    }
+  });
+  s.placement = layout::hierarchical_placement(flat, stride, N, s.shapes);
   return s;
 }
 
@@ -81,33 +75,32 @@ layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStr
                   "star_route_spec_levels: level table size mismatch");
   layout::RouteSpec spec;
   spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
-  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+  const auto orient = [&](std::int64_t e) -> bool {
     const auto& ed = g.edge(e);
     const int level = edge_level[static_cast<std::size_t>(e)];
-    bool u_src = true;
     if (level > s.base_size && level <= s.n) {
       // Inter-block link of the level's complete graph: parity rule on
       // block rows, falling back to block columns when the rows agree.
-      const std::size_t depth = static_cast<std::size_t>(s.n - level);
-      const std::int32_t du = s.paths[static_cast<std::size_t>(ed.u)][depth];
-      const std::int32_t dv = s.paths[static_cast<std::size_t>(ed.v)][depth];
-      const std::int32_t cols = s.shapes[depth].cols;
+      const std::int32_t depth = s.n - level;
+      const std::int32_t du = s.paths.digit(ed.u, depth);
+      const std::int32_t dv = s.paths.digit(ed.v, depth);
+      const std::int32_t cols = s.shapes[static_cast<std::size_t>(depth)].cols;
       const std::int32_t bru = du / cols, brv = dv / cols;
-      if (bru != brv) {
-        u_src = layout::parity_source_is_first(bru, brv);
-      } else {
-        const std::int32_t bcu = du % cols, bcv = dv % cols;
-        STARLAY_REQUIRE(bcu != bcv, "star_route_spec: identical block digits");
-        u_src = layout::parity_source_is_first(bcu, bcv);
-      }
-    } else {
-      // Intra-base-block link: parity rule at node granularity.
-      const std::int32_t ru = s.placement.row_of(ed.u);
-      const std::int32_t rv = s.placement.row_of(ed.v);
-      if (ru != rv) u_src = layout::parity_source_is_first(ru, rv);
+      if (bru != brv) return layout::parity_source_is_first(bru, brv);
+      const std::int32_t bcu = du % cols, bcv = dv % cols;
+      STARLAY_REQUIRE(bcu != bcv, "star_route_spec: identical block digits");
+      return layout::parity_source_is_first(bcu, bcv);
     }
-    spec.source_is_u[static_cast<std::size_t>(e)] = u_src ? 1 : 0;
-  }
+    // Intra-base-block link: parity rule at node granularity.
+    const std::int32_t ru = s.placement.row_of(ed.u);
+    const std::int32_t rv = s.placement.row_of(ed.v);
+    return ru == rv || layout::parity_source_is_first(ru, rv);
+  };
+  support::parallel_for(0, g.num_edges(), 8192,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+                          for (std::int64_t e = lo; e < hi; ++e)
+                            spec.source_is_u[static_cast<std::size_t>(e)] = orient(e) ? 1 : 0;
+                        });
   return spec;
 }
 

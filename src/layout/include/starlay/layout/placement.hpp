@@ -59,4 +59,11 @@ struct LevelShape {
 Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& digit_paths,
                                  const std::vector<LevelShape>& shapes);
 
+/// Flat-buffer variant: \p digits holds \p count paths of \p stride digits
+/// each, vertex-major (path v at digits[v * stride .. v * stride + stride)).
+/// Requires stride == shapes.size().  Slot computation is embarrassingly
+/// parallel per vertex and runs on the global thread pool.
+Placement hierarchical_placement(const std::int32_t* digits, std::int32_t stride,
+                                 std::int64_t count, const std::vector<LevelShape>& shapes);
+
 }  // namespace starlay::layout

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "starlay/support/math.hpp"
+#include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
 
@@ -43,6 +44,22 @@ Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& d
                                  const std::vector<LevelShape>& shapes) {
   STARLAY_REQUIRE(!shapes.empty(), "hierarchical_placement: no level shapes");
   const std::size_t levels = shapes.size();
+  std::vector<std::int32_t> flat;
+  flat.reserve(digit_paths.size() * levels);
+  for (const auto& path : digit_paths) {
+    STARLAY_REQUIRE(path.size() == levels, "hierarchical_placement: path length mismatch");
+    flat.insert(flat.end(), path.begin(), path.end());
+  }
+  return hierarchical_placement(flat.data(), static_cast<std::int32_t>(levels),
+                                static_cast<std::int64_t>(digit_paths.size()), shapes);
+}
+
+Placement hierarchical_placement(const std::int32_t* digits, std::int32_t stride,
+                                 std::int64_t count, const std::vector<LevelShape>& shapes) {
+  STARLAY_REQUIRE(!shapes.empty(), "hierarchical_placement: no level shapes");
+  STARLAY_REQUIRE(stride == static_cast<std::int32_t>(shapes.size()),
+                  "hierarchical_placement: stride must equal the level count");
+  const std::size_t levels = shapes.size();
   // Row/column strides: stride of level j = product of finer levels' extents.
   std::vector<std::int64_t> row_stride(levels, 1), col_stride(levels, 1);
   for (std::size_t j = levels; j-- > 0;) {
@@ -59,21 +76,22 @@ Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& d
   Placement p;
   p.rows = static_cast<std::int32_t>(total_rows);
   p.cols = static_cast<std::int32_t>(total_cols);
-  p.slot.resize(digit_paths.size());
-  for (std::size_t v = 0; v < digit_paths.size(); ++v) {
-    const auto& path = digit_paths[v];
-    STARLAY_REQUIRE(path.size() == levels, "hierarchical_placement: path length mismatch");
-    std::int64_t row = 0, col = 0;
-    for (std::size_t j = 0; j < levels; ++j) {
-      const std::int32_t d = path[j];
-      STARLAY_REQUIRE(d >= 0 && d < shapes[j].rows * shapes[j].cols,
-                      "hierarchical_placement: digit out of range");
-      row += (d / shapes[j].cols) * row_stride[j];
-      col += (d % shapes[j].cols) * col_stride[j];
+  p.slot.resize(static_cast<std::size_t>(count));
+  support::parallel_for(0, count, 8192, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    for (std::int64_t v = lo; v < hi; ++v) {
+      const std::int32_t* path = digits + v * stride;
+      std::int64_t row = 0, col = 0;
+      for (std::size_t j = 0; j < levels; ++j) {
+        const std::int32_t d = path[j];
+        STARLAY_REQUIRE(d >= 0 && d < shapes[j].rows * shapes[j].cols,
+                        "hierarchical_placement: digit out of range");
+        row += (d / shapes[j].cols) * row_stride[j];
+        col += (d % shapes[j].cols) * col_stride[j];
+      }
+      p.slot[static_cast<std::size_t>(v)] = row * total_cols + col;
     }
-    p.slot[v] = row * total_cols + col;
-  }
-  p.check(static_cast<std::int32_t>(digit_paths.size()));
+  });
+  p.check(static_cast<std::int32_t>(count));
   return p;
 }
 

@@ -6,10 +6,14 @@
 
 #include "starlay/layout/channel.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
 
 namespace {
+
+constexpr std::int64_t kEdgeGrain = 8192;  // per-edge loops
+constexpr std::int64_t kNodeGrain = 4096;  // per-node loops
 
 enum class EdgeClass : std::uint8_t { kRow, kCol, kL };
 
@@ -58,6 +62,52 @@ struct StubKey {
   }
 };
 
+/// A main-run or jog interval destined for one (channel, layer) group.
+struct KeyedReq {
+  std::int64_t edge;
+  bool is_jog;
+  PackRequest req;
+};
+
+/// Left-edge packs every (channel * kMaxLayer + layer) group of \p reqs.
+/// Groups are independent interval sets, so they run concurrently on the
+/// pool; per-channel track counts are reduced serially from per-group
+/// results afterward, keeping the outcome thread-count independent.
+/// \p store(edge, is_jog, track) records each request's assigned track.
+template <typename Store>
+void pack_groups(std::vector<std::pair<std::int64_t, KeyedReq>>& reqs,
+                 std::int64_t max_layer, std::vector<std::int32_t>& chan_tracks,
+                 Store&& store) {
+  std::sort(reqs.begin(), reqs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t i = 0; i < reqs.size();) {
+    std::size_t j = i;
+    while (j < reqs.size() && reqs[j].first == reqs[i].first) ++j;
+    groups.push_back({i, j});
+    i = j;
+  }
+  std::vector<std::int32_t> group_tracks(groups.size(), 0);
+  support::parallel_for(
+      0, static_cast<std::int64_t>(groups.size()), 1,
+      [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+        for (std::int64_t gi = lo; gi < hi; ++gi) {
+          const auto [i, j] = groups[static_cast<std::size_t>(gi)];
+          std::vector<PackRequest> group;
+          group.reserve(j - i);
+          for (std::size_t k = i; k < j; ++k) group.push_back(reqs[k].second.req);
+          const PackResult pr = pack_intervals_left_edge(group);
+          group_tracks[static_cast<std::size_t>(gi)] = pr.num_tracks;
+          for (std::size_t k = i; k < j; ++k)
+            store(reqs[k].second.edge, reqs[k].second.is_jog, pr.track[k - i]);
+        }
+      });
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto ch = static_cast<std::size_t>(reqs[groups[gi].first].first / max_layer);
+    chan_tracks[ch] = std::max(chan_tracks[ch], group_tracks[gi]);
+  }
+}
+
 }  // namespace
 
 bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
@@ -93,8 +143,10 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   }
 
   // ---- Classify edges and pick L orientations -------------------------------
+  // Per-edge independent: each iteration writes only plan[e].
   std::vector<EdgePlan> plan(static_cast<std::size_t>(E));
-  for (std::int64_t e = 0; e < E; ++e) {
+  support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+  for (std::int64_t e = lo; e < hi; ++e) {
     const auto& ed = g.edge(e);
     EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     if (!spec.layers.empty()) {
@@ -136,6 +188,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
       ep.dst_side = kRight;
     }
   }
+  });
 
   // ---- Attachment-side balancing (four-sided mode) ---------------------------
   // Each node spreads its L-edge attachments over all four sides; sources
@@ -176,7 +229,8 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   }
 
   // ---- Channel selection ------------------------------------------------------
-  for (std::int64_t e = 0; e < E; ++e) {
+  support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+  for (std::int64_t e = lo; e < hi; ++e) {
     EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     if (ep.cls != EdgeClass::kL) continue;
     const std::int32_t rs = vrow[static_cast<std::size_t>(ep.src)];
@@ -202,6 +256,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
         break;
     }
   }
+  });
 
   // ---- Stub assignment ---------------------------------------------------------
   // Within each node side, stubs are ordered by the far endpoint (column
@@ -234,16 +289,27 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   };
   // Auto node size: Thompson's degree square in two-sided mode; the exact
   // per-side stub demand (about ceil(degree/2)) in four-sided mode.
+  // Per-node side lists are sorted independently; the stub-demand maximum
+  // is reduced from per-chunk partials to stay thread-count independent.
   Coord w = opt.node_size;
   Coord w_needed = 1;
-  for (std::int32_t v = 0; v < V; ++v) {
-    for (int side = 0; side < 4; ++side) {
-      auto& list = list_of(v, side);
-      std::sort(list.begin(), list.end());
-      if (!list.empty())
-        w_needed = std::max(
-            w_needed, stub_offset(side, static_cast<std::int32_t>(list.size()) - 1) + 1);
-    }
+  {
+    const std::int64_t chunks = support::num_chunks(0, V, kNodeGrain);
+    std::vector<Coord> chunk_max(static_cast<std::size_t>(chunks), 1);
+    support::parallel_for(0, V, kNodeGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      Coord m = 1;
+      for (std::int64_t v = lo; v < hi; ++v) {
+        for (int side = 0; side < 4; ++side) {
+          auto& list = list_of(static_cast<std::int32_t>(v), side);
+          std::sort(list.begin(), list.end());
+          if (!list.empty())
+            m = std::max(m, stub_offset(side, static_cast<std::int32_t>(list.size()) - 1) + 1);
+        }
+      }
+      chunk_max[static_cast<std::size_t>(chunk)] = m;
+    });
+    for (Coord m : chunk_max) w_needed = std::max(w_needed, m);
   }
   if (w == 0) {
     w = four ? w_needed
@@ -253,18 +319,20 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
                   "route_grid: node_size too small for stub demand; "
                   "increase RouterOptions::node_size");
   std::vector<Coord> src_off(static_cast<std::size_t>(E)), dst_off(static_cast<std::size_t>(E));
-  for (std::int32_t v = 0; v < V; ++v) {
-    for (int side = 0; side < 4; ++side) {
-      const auto& list = list_of(v, side);
-      for (std::size_t i = 0; i < list.size(); ++i) {
-        const Coord off = stub_offset(side, static_cast<std::int32_t>(i));
-        if (list[i].is_src)
-          src_off[static_cast<std::size_t>(list[i].edge)] = off;
-        else
-          dst_off[static_cast<std::size_t>(list[i].edge)] = off;
+  support::parallel_for(0, V, kNodeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    for (std::int64_t v = lo; v < hi; ++v) {
+      for (int side = 0; side < 4; ++side) {
+        const auto& list = list_of(static_cast<std::int32_t>(v), side);
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          const Coord off = stub_offset(side, static_cast<std::int32_t>(i));
+          if (list[i].is_src)
+            src_off[static_cast<std::size_t>(list[i].edge)] = off;
+          else
+            dst_off[static_cast<std::size_t>(list[i].edge)] = off;
+        }
       }
     }
-  }
+  });
 
   // ---- Horizontal packing (H channels: main runs + destination jogs) ---------
   // Fine x-keys, interleaved: [v-chan 0][col 0][v-chan 1][col 1]...[v-chan C].
@@ -274,13 +342,8 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   };
   auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
 
-  struct HReq {
-    std::int64_t edge;
-    bool is_jog;
-    PackRequest req;
-  };
   constexpr std::int64_t kMaxLayer = 64;
-  std::vector<std::pair<std::int64_t, HReq>> hreqs;  // key = chan * kMaxLayer + layer
+  std::vector<std::pair<std::int64_t, KeyedReq>> hreqs;  // key = chan * kMaxLayer + layer
   for (std::int64_t e = 0; e < E; ++e) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
@@ -310,28 +373,12 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
                        {e, true, {jlo, jhi}}});
     }
   }
-  std::sort(hreqs.begin(), hreqs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-
   std::vector<std::int32_t> h_chan_tracks(static_cast<std::size_t>(HC), 0);
-  for (std::size_t i = 0; i < hreqs.size();) {
-    std::size_t j = i;
-    while (j < hreqs.size() && hreqs[j].first == hreqs[i].first) ++j;
-    std::vector<PackRequest> reqs;
-    reqs.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) reqs.push_back(hreqs[k].second.req);
-    const PackResult pr = pack_intervals_left_edge(reqs);
-    const auto ch = static_cast<std::size_t>(hreqs[i].first / kMaxLayer);
-    h_chan_tracks[ch] = std::max(h_chan_tracks[ch], pr.num_tracks);
-    for (std::size_t k = i; k < j; ++k) {
-      EdgePlan& ep = plan[static_cast<std::size_t>(hreqs[k].second.edge)];
-      if (hreqs[k].second.is_jog)
-        ep.dst_jog_htrack = pr.track[k - i];
-      else
-        ep.h_track = pr.track[k - i];
-    }
-    i = j;
-  }
+  pack_groups(hreqs, kMaxLayer, h_chan_tracks,
+              [&](std::int64_t e, bool is_jog, std::int32_t track) {
+                EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+                (is_jog ? ep.dst_jog_htrack : ep.h_track) = track;
+              });
 
   // ---- Vertical packing (V channels: main runs + source jogs) -----------------
   std::int32_t max_h_tracks = 0;
@@ -344,12 +391,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     return static_cast<std::int64_t>(chan) * ykey_width + track;
   };
 
-  struct VReq {
-    std::int64_t edge;
-    bool is_jog;
-    PackRequest req;
-  };
-  std::vector<std::pair<std::int64_t, VReq>> vreqs;
+  std::vector<std::pair<std::int64_t, KeyedReq>> vreqs;
   for (std::int64_t e = 0; e < E; ++e) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     if (ep.cls == EdgeClass::kRow) continue;
@@ -377,28 +419,12 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
                        {e, true, {jlo, jhi}}});
     }
   }
-  std::sort(vreqs.begin(), vreqs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-
   std::vector<std::int32_t> v_chan_tracks(static_cast<std::size_t>(VC), 0);
-  for (std::size_t i = 0; i < vreqs.size();) {
-    std::size_t j = i;
-    while (j < vreqs.size() && vreqs[j].first == vreqs[i].first) ++j;
-    std::vector<PackRequest> reqs;
-    reqs.reserve(j - i);
-    for (std::size_t k = i; k < j; ++k) reqs.push_back(vreqs[k].second.req);
-    const PackResult pr = pack_intervals_left_edge(reqs);
-    const auto ch = static_cast<std::size_t>(vreqs[i].first / kMaxLayer);
-    v_chan_tracks[ch] = std::max(v_chan_tracks[ch], pr.num_tracks);
-    for (std::size_t k = i; k < j; ++k) {
-      EdgePlan& ep = plan[static_cast<std::size_t>(vreqs[k].second.edge)];
-      if (vreqs[k].second.is_jog)
-        ep.src_jog_vtrack = pr.track[k - i];
-      else
-        ep.v_track = pr.track[k - i];
-    }
-    i = j;
-  }
+  pack_groups(vreqs, kMaxLayer, v_chan_tracks,
+              [&](std::int64_t e, bool is_jog, std::int32_t track) {
+                EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+                (is_jog ? ep.src_jog_vtrack : ep.v_track) = track;
+              });
 
   // ---- Geometry -----------------------------------------------------------------
   std::vector<Coord> chan_x0(static_cast<std::size_t>(VC)), col_x0(static_cast<std::size_t>(C));
@@ -461,8 +487,12 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     }
   };
 
-  out.layout.reserve_wires(E);
-  for (std::int64_t e = 0; e < E; ++e) {
+  // Each edge's wire geometry is a pure function of its plan entry; write
+  // wires into their slots in parallel.
+  std::vector<Wire>& wires = out.layout.mutable_wires();
+  wires.resize(static_cast<std::size_t>(E));
+  support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+  for (std::int64_t e = lo; e < hi; ++e) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     Wire wre;
     wre.edge = e;
@@ -510,8 +540,9 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
         break;
       }
     }
-    out.layout.add_wire(wre);
+    wires[static_cast<std::size_t>(e)] = wre;
   }
+  });
   return out;
 }
 

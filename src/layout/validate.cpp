@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <map>
 #include <sstream>
+
+#include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
 
 namespace {
+
+constexpr std::int64_t kWireGrain = 4096;
 
 std::string pt(Point p) {
   std::ostringstream os;
@@ -22,19 +25,26 @@ std::string pt(Point p) {
 class RectIndex {
  public:
   explicit RectIndex(const std::vector<Rect>& rects) {
-    std::map<std::pair<Coord, Coord>, std::vector<Entry>> by_band;
+    // Sort-then-group over one flat vector: one allocation and a single
+    // sort instead of a node-count's worth of std::map rebalancing.
+    entries_.reserve(rects.size());
     for (std::size_t i = 0; i < rects.size(); ++i) {
       if (rects[i].empty()) continue;
-      by_band[{rects[i].y0, rects[i].y1}].push_back(
-          {rects[i].x0, rects[i].x1, static_cast<std::int32_t>(i)});
+      entries_.push_back({rects[i].y0, rects[i].y1, rects[i].x0, rects[i].x1,
+                          static_cast<std::int32_t>(i)});
     }
+    std::sort(entries_.begin(), entries_.end());
     max_band_height_ = 0;
-    for (auto& [key, v] : by_band) {
-      std::sort(v.begin(), v.end());
-      groups_.push_back({key.first, key.second, std::move(v)});
-      max_band_height_ = std::max(max_band_height_, key.second - key.first + 1);
+    for (std::size_t i = 0; i < entries_.size();) {
+      std::size_t j = i;
+      while (j < entries_.size() && entries_[j].y0 == entries_[i].y0 &&
+             entries_[j].y1 == entries_[i].y1)
+        ++j;
+      groups_.push_back({entries_[i].y0, entries_[i].y1, i, j});
+      max_band_height_ = std::max(max_band_height_, entries_[i].y1 - entries_[i].y0 + 1);
+      i = j;
     }
-    // groups_ is sorted by y0 (map order).
+    // groups_ is sorted by y0 (sort order).
   }
 
   /// Invokes \p f(node) for every rect whose closed area intersects the
@@ -51,30 +61,46 @@ class RectIndex {
                                 [](const Group& g, Coord y) { return g.y0 < y; });
     for (; git != groups_.end() && git->y0 <= yhi; ++git) {
       if (git->y1 < ylo) continue;
-      const auto& v = git->entries;
-      auto it = std::lower_bound(v.begin(), v.end(), xlo,
+      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(git->begin);
+      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(git->end);
+      auto it = std::lower_bound(first, last, xlo,
                                  [](const Entry& e, Coord x) { return e.x1 < x; });
       // Entries are sorted by (x0, x1); x1 is monotone in x0 for
       // disjoint same-row rects, so linear scan from `it` is exact.
-      for (; it != v.end() && it->x0 <= xhi; ++it) f(it->node);
+      for (; it != last && it->x0 <= xhi; ++it) f(it->node);
     }
   }
 
  private:
   struct Entry {
-    Coord x0, x1;
+    Coord y0, y1, x0, x1;
     std::int32_t node;
-    bool operator<(const Entry& o) const { return x0 < o.x0 || (x0 == o.x0 && x1 < o.x1); }
+    bool operator<(const Entry& o) const {
+      if (y0 != o.y0) return y0 < o.y0;
+      if (y1 != o.y1) return y1 < o.y1;
+      if (x0 != o.x0) return x0 < o.x0;
+      return x1 < o.x1;
+    }
   };
   struct Group {
     Coord y0, y1;
-    std::vector<Entry> entries;
+    std::size_t begin, end;  ///< half-open range into entries_
   };
+  std::vector<Entry> entries_;
   std::vector<Group> groups_;
   Coord max_band_height_ = 0;
 };
 
 bool on_boundary(const Rect& r, Point p) { return r.contains(p) && !r.strictly_contains(p); }
+
+/// Per-chunk error buffer for parallel validation passes.  Each chunk
+/// records its first max_errors messages plus the total count; buffers are
+/// merged into the report in chunk order, which reproduces the serial scan
+/// order exactly (chunk geometry is thread-count independent).
+struct ChunkErrors {
+  std::vector<std::string> msgs;
+  std::int64_t total = 0;
+};
 
 }  // namespace
 
@@ -82,6 +108,27 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
                                  const ValidationOptions& opt) {
   ValidationReport rep;
   const auto fail = [&](const std::string& m) { rep.fail(m, opt.max_errors); };
+
+  // Runs body(i, emit) for i in [0, count) on the thread pool, collecting
+  // emitted errors deterministically (see ChunkErrors).
+  const auto parallel_check = [&](std::int64_t count, const auto& body) {
+    const std::int64_t chunks = support::num_chunks(0, count, kWireGrain);
+    std::vector<ChunkErrors> errs(static_cast<std::size_t>(chunks));
+    support::parallel_for(0, count, kWireGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      ChunkErrors& local = errs[static_cast<std::size_t>(chunk)];
+      const auto emit = [&](std::string m) {
+        ++local.total;
+        if (static_cast<int>(local.msgs.size()) < opt.max_errors)
+          local.msgs.push_back(std::move(m));
+      };
+      for (std::int64_t i = lo; i < hi; ++i) body(i, emit);
+    });
+    for (ChunkErrors& ce : errs) {
+      for (std::string& m : ce.msgs) rep.fail(std::move(m), opt.max_errors);
+      if (ce.total > 0) rep.ok = false;  // capped chunks still flip the verdict
+    }
+  };
 
   // --- wire <-> edge bijection ------------------------------------------
   if (lay.num_wires() != g.num_edges())
@@ -122,28 +169,28 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   }
 
   // --- per-wire path rules --------------------------------------------------
-  for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+  parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
     const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
     const std::string tag = "wire " + std::to_string(wi);
     if (w.npts < 2) {
-      fail(tag + ": fewer than 2 points");
-      continue;
+      emit(tag + ": fewer than 2 points");
+      return;
     }
-    if (w.h_layer < 1 || w.h_layer % 2 != 1) fail(tag + ": h_layer must be odd >= 1");
-    if (w.v_layer < 2 || w.v_layer % 2 != 0) fail(tag + ": v_layer must be even >= 2");
-    if (std::abs(w.h_layer - w.v_layer) != 1) fail(tag + ": layers not adjacent");
+    if (w.h_layer < 1 || w.h_layer % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
+    if (w.v_layer < 2 || w.v_layer % 2 != 0) emit(tag + ": v_layer must be even >= 2");
+    if (std::abs(w.h_layer - w.v_layer) != 1) emit(tag + ": layers not adjacent");
     for (std::uint8_t i = 1; i < w.npts; ++i) {
       const Point a = w.pts[i - 1], b = w.pts[i];
       const bool dx = a.x != b.x, dy = a.y != b.y;
       if (dx == dy) {  // both (diagonal) or neither (repeated point)
-        fail(tag + ": segment " + pt(a) + "->" + pt(b) + " not a proper orthogonal step");
+        emit(tag + ": segment " + pt(a) + "->" + pt(b) + " not a proper orthogonal step");
         break;
       }
       if (i >= 2) {
         const Point z = w.pts[i - 2];
         const bool prev_horizontal = z.y == a.y;
         if (prev_horizontal == (a.y == b.y)) {
-          fail(tag + ": consecutive collinear segments (merge them)");
+          emit(tag + ": consecutive collinear segments (merge them)");
           break;
         }
       }
@@ -157,9 +204,9 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
       const bool ok_uv = on_boundary(ru, a) && on_boundary(rv, b);
       const bool ok_vu = on_boundary(rv, a) && on_boundary(ru, b);
       if (!(ok_uv || ok_vu))
-        fail(tag + ": endpoints " + pt(a) + "," + pt(b) + " not on its nodes' boundaries");
+        emit(tag + ": endpoints " + pt(a) + "," + pt(b) + " not on its nodes' boundaries");
     }
-  }
+  });
 
   // --- track exclusivity ------------------------------------------------
   auto segs = lay.segments();
@@ -171,15 +218,16 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     if (a.line != b.line) return a.line < b.line;
     return a.span.lo < b.span.lo;
   });
-  for (std::size_t i = 1; i < segs.size(); ++i) {
-    const LayerSegment& a = segs[i - 1];
-    const LayerSegment& b = segs[i];
+  parallel_check(static_cast<std::int64_t>(segs.size()) - 1,
+                 [&](std::int64_t i, const auto& emit) {
+    const LayerSegment& a = segs[static_cast<std::size_t>(i)];
+    const LayerSegment& b = segs[static_cast<std::size_t>(i) + 1];
     if (a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
         b.span.lo <= a.span.hi)
-      fail("overlap on layer " + std::to_string(a.layer) +
+      emit("overlap on layer " + std::to_string(a.layer) +
            (a.horizontal ? " y=" : " x=") + std::to_string(a.line) + ": wires " +
            std::to_string(a.wire) + " and " + std::to_string(b.wire));
-  }
+  });
 
   // --- via audit ----------------------------------------------------------
   // Bend points with their z-ranges; conflicts between vias, and between a
@@ -201,13 +249,14 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     if (a.p.x != b.p.x) return a.p.x < b.p.x;
     return a.p.y < b.p.y;
   });
-  for (std::size_t i = 1; i < vias.size(); ++i) {
-    const Via& a = vias[i - 1];
-    const Via& b = vias[i];
+  parallel_check(static_cast<std::int64_t>(vias.size()) - 1,
+                 [&](std::int64_t i, const auto& emit) {
+    const Via& a = vias[static_cast<std::size_t>(i)];
+    const Via& b = vias[static_cast<std::size_t>(i) + 1];
     if (a.p == b.p && a.wire != b.wire && a.zlo <= b.zhi && b.zlo <= a.zhi)
-      fail("via conflict at " + pt(a.p) + ": wires " + std::to_string(a.wire) + " and " +
+      emit("via conflict at " + pt(a.p) + ": wires " + std::to_string(a.wire) + " and " +
            std::to_string(b.wire));
-  }
+  });
   {
     // Segment passing through a via point on a spanned layer.
     // Sort segments by (layer, line); for each via check both its layers.
@@ -231,24 +280,26 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
       }
       return -1;
     };
-    for (const Via& v : vias) {
+    parallel_check(static_cast<std::int64_t>(vias.size()),
+                   [&](std::int64_t vi, const auto& emit) {
+      const Via& v = vias[static_cast<std::size_t>(vi)];
       for (std::int16_t z = v.zlo; z <= v.zhi; ++z) {
         const bool horizontal = z % 2 == 1;
         const Coord line = horizontal ? v.p.y : v.p.x;
         const Coord pos = horizontal ? v.p.x : v.p.y;
         const std::int64_t other = covering(z, horizontal, line, pos, v.wire);
         if (other >= 0)
-          fail("via of wire " + std::to_string(v.wire) + " at " + pt(v.p) +
+          emit("via of wire " + std::to_string(v.wire) + " at " + pt(v.p) +
                " pierced by wire " + std::to_string(other) + " on layer " +
                std::to_string(z));
       }
-    }
+    });
   }
 
   // --- node clearance -------------------------------------------------------
   {
     const RectIndex index(lay.node_rects());
-    for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+    parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
       const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
       std::int32_t nu = -1, nv = -1;
       if (w.edge >= 0 && w.edge < g.num_edges()) {
@@ -263,7 +314,7 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
         const Coord hi = horizontal ? std::max(a.x, b.x) : std::max(a.y, b.y);
         index.for_touching(horizontal, line, lo, hi, [&](std::int32_t node) {
           if (node != nu && node != nv) {
-            fail("wire " + std::to_string(wi) + " touches foreign node " +
+            emit("wire " + std::to_string(wi) + " touches foreign node " +
                  std::to_string(node));
             return;
           }
@@ -276,17 +327,17 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
               horizontal ? (line >= r.y0 && line <= r.y1) : (line >= r.x0 && line <= r.x1);
           if (!line_inside || cl > ch) return;  // no real intersection
           if (cl != ch) {
-            fail("wire " + std::to_string(wi) + " runs along/through its node " +
+            emit("wire " + std::to_string(wi) + " runs along/through its node " +
                  std::to_string(node));
             return;
           }
           const Point touch = horizontal ? Point{cl, line} : Point{line, cl};
           if (!(touch == w.front() || touch == w.back()))
-            fail("wire " + std::to_string(wi) + " passes over its own node " +
+            emit("wire " + std::to_string(wi) + " passes over its own node " +
                  std::to_string(node) + " at non-endpoint " + pt(touch));
         });
       }
-    }
+    });
   }
 
   return rep;

@@ -1,0 +1,73 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Deterministic parallel execution layer shared by all subsystems.
+///
+/// The layout pipeline decomposes into bulk per-node / per-edge work
+/// (placement digits, edge routes, validation probes, KL gain scans).  This
+/// module runs such loops on a persistent worker pool while guaranteeing
+/// *bit-identical results for every thread count*, which the tests pin down
+/// (parallel_determinism_test):
+///
+///  * parallel_for splits [begin, end) into fixed chunks of size `grain`.
+///    Chunk boundaries depend only on (begin, end, grain) — never on the
+///    number of threads — so kernels that write disjoint per-index output
+///    slots produce the same bytes serially and in parallel.
+///  * Reductions must be expressed as per-chunk partials (the chunk index is
+///    passed to the body) merged serially afterward; no atomics on results.
+///
+/// Sizing: STARLAY_THREADS overrides std::thread::hardware_concurrency();
+/// ThreadPool::set_num_threads() overrides both at runtime (used by tests
+/// and benches to compare thread counts within one process).
+
+#include <cstdint>
+#include <functional>
+
+namespace starlay::support {
+
+/// Persistent worker pool.  Workers sleep between jobs; the calling thread
+/// participates in every job, so a 1-thread pool degenerates to inline
+/// serial execution with zero synchronization overhead.
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use.  Initial size comes from
+  /// the STARLAY_THREADS environment variable when set (clamped to
+  /// [1, 256]), else std::thread::hardware_concurrency().
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Resizes the pool (joins/spawns workers).  Must not be called while a
+  /// job is running.  Intended for tests and benches.
+  void set_num_threads(int n);
+
+  /// Runs fn(chunk) for every chunk in [0, num_chunks), distributing chunks
+  /// over the pool.  Blocks until all chunks are done; rethrows the first
+  /// exception any chunk threw.  Chunks may run in any order and must not
+  /// depend on each other.  Re-entrant calls (from inside a chunk) run
+  /// inline on the calling worker.
+  void run(std::int64_t num_chunks, const std::function<void(std::int64_t)>& fn);
+
+ private:
+  explicit ThreadPool(int num_threads);
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+/// Splits [begin, end) into chunks of size `grain` (the last chunk may be
+/// short) and invokes fn(lo, hi, chunk_index) for each on the global pool.
+/// Chunk geometry is a pure function of the range and grain, so output
+/// written to disjoint [lo, hi) slots — or to per-chunk_index partials
+/// merged serially by the caller — is identical for every thread count.
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn);
+
+/// Number of chunks parallel_for will use for the given range and grain.
+/// Callers size per-chunk partial buffers with this.
+std::int64_t num_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain);
+
+}  // namespace starlay::support

@@ -1,0 +1,176 @@
+#include "starlay/support/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::support {
+
+namespace {
+
+int env_or_hardware_threads() {
+  if (const char* env = std::getenv("STARLAY_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v > 256 ? 256 : v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+thread_local bool tls_in_pool_job = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable job_cv;    // workers wait here for a new job
+  std::condition_variable done_cv;   // run() waits here for completion
+  std::vector<std::thread> workers;
+
+  // Current job state, guarded by mu except for the chunk counter.
+  std::uint64_t generation = 0;
+  const std::function<void(std::int64_t)>* job = nullptr;
+  std::int64_t job_chunks = 0;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::int64_t chunks_done = 0;
+  std::exception_ptr first_error;
+  bool shutting_down = false;
+
+  /// Grabs chunks until the counter is exhausted; returns how many ran.
+  std::int64_t drain(const std::function<void(std::int64_t)>& fn, std::int64_t total) {
+    std::int64_t ran = 0;
+    for (;;) {
+      const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= total) break;
+      try {
+        fn(c);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      ++ran;
+    }
+    return ran;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    tls_in_pool_job = true;  // re-entrant run() calls from here stay inline
+    for (;;) {
+      const std::function<void(std::int64_t)>* fn = nullptr;
+      std::int64_t total = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        job_cv.wait(lock, [&] { return shutting_down || generation != seen; });
+        if (shutting_down) return;
+        seen = generation;
+        fn = job;
+        total = job_chunks;
+      }
+      if (fn == nullptr) continue;  // woke after the job already completed
+      const std::int64_t ran = drain(*fn, total);
+      if (ran > 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks_done += ran;
+        if (chunks_done == total) done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : impl_(new Impl), num_threads_(num_threads) {
+  STARLAY_REQUIRE(num_threads >= 1, "ThreadPool: need at least one thread");
+  for (int i = 1; i < num_threads; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->job_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(env_or_hardware_threads());
+  return pool;
+}
+
+void ThreadPool::set_num_threads(int n) {
+  STARLAY_REQUIRE(n >= 1 && n <= 256, "ThreadPool::set_num_threads: n in [1, 256]");
+  if (n == num_threads_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutting_down = true;
+  }
+  impl_->job_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  impl_->workers.clear();
+  impl_->shutting_down = false;
+  num_threads_ = n;
+  for (int i = 1; i < n; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+void ThreadPool::run(std::int64_t chunks, const std::function<void(std::int64_t)>& fn) {
+  if (chunks <= 0) return;
+  // Serial fast paths: tiny jobs, a 1-thread pool, or a nested call from
+  // inside a running chunk.  Chunk order 0..chunks-1 here is irrelevant to
+  // results (chunks are independent by contract).
+  if (chunks == 1 || num_threads_ == 1 || tls_in_pool_job) {
+    for (std::int64_t c = 0; c < chunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &fn;
+    impl_->job_chunks = chunks;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->chunks_done = 0;
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->job_cv.notify_all();
+  const bool was_in_job = tls_in_pool_job;
+  tls_in_pool_job = true;
+  const std::int64_t ran = impl_->drain(fn, chunks);
+  tls_in_pool_job = was_in_job;
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->chunks_done += ran;
+  impl_->done_cv.wait(lock, [&] { return impl_->chunks_done == chunks; });
+  impl_->job = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr err = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::int64_t num_chunks(std::int64_t begin, std::int64_t end, std::int64_t grain) {
+  STARLAY_REQUIRE(grain >= 1, "parallel_for: grain must be >= 1");
+  return begin >= end ? 0 : ceil_div(end - begin, grain);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  const std::int64_t chunks = num_chunks(begin, end, grain);
+  if (chunks == 0) return;
+  ThreadPool::instance().run(chunks, [&](std::int64_t c) {
+    const std::int64_t lo = begin + c * grain;
+    const std::int64_t hi = lo + grain < end ? lo + grain : end;
+    fn(lo, hi, c);
+  });
+}
+
+}  // namespace starlay::support

@@ -45,4 +45,52 @@ Perm swap_adjacent(const Perm& p, int i);
 /// present at that level, so it can index block grids directly.
 std::vector<int> substar_path(const Perm& p, int base_size);
 
+/// Rank of the base block's reduced permutation: the first \p base_size
+/// symbols of \p p relabelled to 1..base_size preserving relative order.
+std::int32_t base_block_rank(const Perm& p, int base_size);
+
+/// Incremental enumerator of permutations in lexicographic (rank) order
+/// that maintains the substar path digits and base-block rank under each
+/// advance, instead of re-deriving them from scratch per rank.
+///
+/// The key identities making the updates cheap:
+///  * digit(d) — the substar-path digit for level n-d (the symbol at
+///    0-based position j = n-1-d) equals |{k < j : p[k] < p[j]}|, a pure
+///    function of the prefix p[0..j];
+///  * a lexicographic next-permutation step rewrites only the suffix from
+///    its pivot position onward, so only digits at positions >= pivot (and
+///    the base rank only when pivot < base_size) need recomputation.
+/// The pivot sits at position n-2 half the time, giving O(n) expected work
+/// per step versus O(n^2) plus allocations for perm_unrank + substar_path.
+class StarPathEnumerator {
+ public:
+  /// Positions the enumerator at rank \p r of the n! permutations.
+  /// Requires 1 <= base_size <= n and 0 <= r < n!.
+  StarPathEnumerator(std::int64_t r, int n, int base_size);
+
+  const Perm& perm() const { return p_; }
+  std::int64_t rank() const { return rank_; }
+  int num_digits() const { return n_ - base_; }
+
+  /// Substar-path digit for depth \p d (0 = outermost level n), matching
+  /// substar_path(perm(), base_size)[d].  Requires 0 <= d < num_digits().
+  std::int32_t digit(int d) const { return digits_[static_cast<std::size_t>(d)]; }
+
+  /// Matching base_block_rank(perm(), base_size).
+  std::int32_t base_rank() const { return base_rank_; }
+
+  /// Steps to the rank+1 permutation.  Requires rank() + 1 < n!.
+  void advance();
+
+ private:
+  void recompute_digits_from(int pos);
+
+  int n_;
+  int base_;
+  std::int64_t rank_;
+  Perm p_;
+  std::vector<std::int32_t> digits_;  ///< by depth d, position n-1-d
+  std::int32_t base_rank_ = 0;
+};
+
 }  // namespace starlay::topology

@@ -81,6 +81,59 @@ Perm swap_adjacent(const Perm& p, int i) {
   return q;
 }
 
+std::int32_t base_block_rank(const Perm& p, int base_size) {
+  STARLAY_REQUIRE(base_size >= 1 && base_size <= static_cast<int>(p.size()),
+                  "base_block_rank: base_size out of range");
+  // Lehmer code of the head relabelled by relative order — identical to
+  // reducing to 1..base_size and calling perm_rank, without materializing
+  // the reduced permutation.
+  std::int64_t rank = 0;
+  for (int i = 0; i < base_size; ++i) {
+    int smaller = 0;
+    for (int j = i + 1; j < base_size; ++j)
+      if (p[static_cast<std::size_t>(j)] < p[static_cast<std::size_t>(i)]) ++smaller;
+    rank += smaller * factorial(base_size - 1 - i);
+  }
+  return static_cast<std::int32_t>(rank);
+}
+
+StarPathEnumerator::StarPathEnumerator(std::int64_t r, int n, int base_size)
+    : n_(n), base_(base_size), rank_(r) {
+  STARLAY_REQUIRE(base_size >= 1 && base_size <= n,
+                  "StarPathEnumerator: base_size in [1, n]");
+  p_ = perm_unrank(r, n);
+  digits_.resize(static_cast<std::size_t>(n_ - base_));
+  recompute_digits_from(0);
+  base_rank_ = base_block_rank(p_, base_);
+}
+
+void StarPathEnumerator::recompute_digits_from(int pos) {
+  // digit(d) lives at position j = n-1-d; only positions >= max(pos, base_)
+  // carry digits.
+  for (int j = std::max(pos, base_); j < n_; ++j) {
+    const std::uint8_t sym = p_[static_cast<std::size_t>(j)];
+    std::int32_t smaller = 0;
+    for (int k = 0; k < j; ++k)
+      if (p_[static_cast<std::size_t>(k)] < sym) ++smaller;
+    digits_[static_cast<std::size_t>(n_ - 1 - j)] = smaller;
+  }
+}
+
+void StarPathEnumerator::advance() {
+  // Manual next_permutation so the pivot position is known: everything
+  // before it is untouched, bounding the incremental update.
+  int i = n_ - 2;
+  while (i >= 0 && p_[static_cast<std::size_t>(i)] >= p_[static_cast<std::size_t>(i + 1)]) --i;
+  STARLAY_REQUIRE(i >= 0, "StarPathEnumerator::advance: already at the last rank");
+  int j = n_ - 1;
+  while (p_[static_cast<std::size_t>(j)] <= p_[static_cast<std::size_t>(i)]) --j;
+  std::swap(p_[static_cast<std::size_t>(i)], p_[static_cast<std::size_t>(j)]);
+  std::reverse(p_.begin() + i + 1, p_.end());
+  ++rank_;
+  recompute_digits_from(i);
+  if (i < base_) base_rank_ = base_block_rank(p_, base_);
+}
+
 std::vector<int> substar_path(const Perm& p, int base_size) {
   STARLAY_REQUIRE(base_size >= 1, "substar_path: base_size must be >= 1");
   const int n = static_cast<int>(p.size());

@@ -1,0 +1,178 @@
+// The parallel layout engine must be bit-identical across thread counts:
+// every parallel_for partitions by (begin, end, grain) only — never by the
+// number of workers — and all merges happen serially in chunk order.  These
+// tests pin the whole pipeline (paths, placement, routing, validation, KL)
+// to that contract by fingerprinting full results at 1 vs 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/thread_pool.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay {
+namespace {
+
+std::string fingerprint(const core::StarLayoutResult& r) {
+  std::ostringstream os;
+  const core::StarStructure& s = r.structure;
+  os << s.paths.stride << ':';
+  for (std::int32_t d : s.paths.flat) os << d << ',';
+  os << '|' << s.placement.rows << 'x' << s.placement.cols << ':';
+  for (std::int64_t sl : s.placement.slot) os << sl << ',';
+  os << '|' << r.routed.layout.area() << '|';
+  for (const layout::Wire& w : r.routed.layout.wires()) {
+    os << w.edge << '/' << w.h_layer << '/' << w.v_layer << '/';
+    for (int i = 0; i < w.npts; ++i)
+      os << w.pts[static_cast<std::size_t>(i)].x << ';'
+         << w.pts[static_cast<std::size_t>(i)].y << ';';
+    os << ' ';
+  }
+  return os.str();
+}
+
+/// Evaluates \p make at 1 worker and at 8 workers and requires identical
+/// output, restoring the pool size afterwards.
+template <typename Fn>
+void expect_thread_invariant(Fn&& make) {
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+  pool.set_num_threads(1);
+  const auto serial = make();
+  pool.set_num_threads(8);
+  const auto parallel = make();
+  pool.set_num_threads(orig);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelDeterminism, StarLayoutBitIdentical) {
+  for (int n : {4, 5, 6})
+    expect_thread_invariant([n] { return fingerprint(core::star_layout(n)); });
+}
+
+TEST(ParallelDeterminism, CompactStarLayoutBitIdentical) {
+  expect_thread_invariant([] { return fingerprint(core::star_layout_compact(5)); });
+}
+
+TEST(ParallelDeterminism, TranspositionLayoutBitIdentical) {
+  expect_thread_invariant([] { return fingerprint(core::transposition_layout(4)); });
+}
+
+TEST(ParallelDeterminism, KlBisectionBitIdentical) {
+  const auto g = topology::star_graph(5);
+  expect_thread_invariant([&] {
+    const auto b = bisect::kernighan_lin_bisection(g, 3);
+    std::string s = std::to_string(b.width) + ":";
+    for (std::uint8_t v : b.side) s += static_cast<char>('0' + v);
+    return s;
+  });
+}
+
+TEST(ParallelDeterminism, ValidationErrorsStable) {
+  // Corrupt a layout so the chunked validator actually produces errors,
+  // then require the full report (order and cap included) to be invariant.
+  auto r = core::star_layout(4);
+  auto& ws = r.routed.layout.mutable_wires();
+  ASSERT_GE(ws.size(), 2u);
+  const std::int64_t keep_edge = ws[0].edge;
+  ws[0] = ws[1];  // coincident geometry => overlap + path-rule violations
+  ws[0].edge = keep_edge;
+  expect_thread_invariant([&] {
+    layout::ValidationOptions opt;
+    opt.max_errors = 5;
+    const auto rep = layout::validate_layout(r.graph, r.routed.layout, opt);
+    std::string s = rep.ok ? "ok" : "bad";
+    for (const auto& e : rep.errors) s += "\n" + e;
+    return s;
+  });
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+  pool.set_num_threads(8);
+  for (std::int64_t begin : {0, 3}) {
+    for (std::int64_t end : {begin, begin + 1, begin + 97, begin + 1000}) {
+      for (std::int64_t grain : {1, 7, 64, 5000}) {
+        std::vector<int> hits(static_cast<std::size_t>(end), 0);
+        support::parallel_for(begin, end, grain,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+          for (std::int64_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+        });
+        for (std::int64_t i = begin; i < end; ++i)
+          ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1)
+              << "i=" << i << " grain=" << grain << " end=" << end;
+      }
+    }
+  }
+  pool.set_num_threads(orig);
+}
+
+TEST(ParallelFor, ChunkIndicesMatchSerialPartition) {
+  // Chunk k must always cover [begin + k*grain, min(end, begin+(k+1)*grain)),
+  // independent of thread count.
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+  for (int threads : {1, 8}) {
+    pool.set_num_threads(threads);
+    const std::int64_t begin = 5, end = 137, grain = 16;
+    const std::int64_t chunks = support::num_chunks(begin, end, grain);
+    std::vector<std::pair<std::int64_t, std::int64_t>> bounds(
+        static_cast<std::size_t>(chunks), {-1, -1});
+    support::parallel_for(begin, end, grain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      bounds[static_cast<std::size_t>(chunk)] = {lo, hi};
+    });
+    for (std::int64_t k = 0; k < chunks; ++k) {
+      EXPECT_EQ(bounds[static_cast<std::size_t>(k)].first, begin + k * grain);
+      EXPECT_EQ(bounds[static_cast<std::size_t>(k)].second,
+                std::min(end, begin + (k + 1) * grain));
+    }
+  }
+  pool.set_num_threads(orig);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  // Re-entrant parallel_for (a pool job spawning another) must not deadlock:
+  // inner loops detect the pool context and run serially on the caller.
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+  pool.set_num_threads(4);
+  std::vector<int> hits(64, 0);
+  support::parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      support::parallel_for(0, 8, 1, [&](std::int64_t jlo, std::int64_t jhi, std::int64_t) {
+        for (std::int64_t j = jlo; j < jhi; ++j)
+          hits[static_cast<std::size_t>(i * 8 + j)]++;
+      });
+  });
+  pool.set_num_threads(orig);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+  pool.set_num_threads(4);
+  EXPECT_THROW(
+      support::parallel_for(0, 100, 1,
+                            [&](std::int64_t lo, std::int64_t, std::int64_t) {
+                              if (lo == 42) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+  pool.set_num_threads(orig);
+  // The pool must stay usable after an exception.
+  std::int64_t total = 0;
+  support::parallel_for(0, 1, 1,
+                        [&](std::int64_t, std::int64_t hi, std::int64_t) { total = hi; });
+  EXPECT_EQ(total, 1);
+}
+
+}  // namespace
+}  // namespace starlay

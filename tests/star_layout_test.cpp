@@ -71,7 +71,8 @@ TEST(StarLayout, StructureShapesCoverAllLevels) {
   EXPECT_GE(s.shapes[1].rows * s.shapes[1].cols, 5);
   EXPECT_GE(s.shapes[2].rows * s.shapes[2].cols, 4);
   EXPECT_GE(s.shapes[3].rows * s.shapes[3].cols, 6);  // 3! = 6
-  EXPECT_EQ(s.paths.size(), static_cast<std::size_t>(starlay::factorial(6)));
+  EXPECT_EQ(s.paths.num_paths(), starlay::factorial(6));
+  EXPECT_EQ(s.paths.stride, static_cast<std::int32_t>(s.shapes.size()));
 }
 
 TEST(StarLayout, PlacementKeepsSubstarsContiguous) {
@@ -82,7 +83,7 @@ TEST(StarLayout, PlacementKeepsSubstarsContiguous) {
   const std::int32_t block_rows = s.placement.rows / s.shapes[0].rows;
   const std::int32_t block_cols = s.placement.cols / s.shapes[0].cols;
   for (std::int64_t v = 0; v < starlay::factorial(n); ++v) {
-    const std::int32_t digit = s.paths[static_cast<std::size_t>(v)][0];
+    const std::int32_t digit = s.paths.digit(v, 0);
     const std::int32_t expect_row_block = digit / s.shapes[0].cols;
     const std::int32_t expect_col_block = digit % s.shapes[0].cols;
     EXPECT_EQ(s.placement.row_of(static_cast<std::int32_t>(v)) / block_rows, expect_row_block);

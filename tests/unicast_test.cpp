@@ -127,9 +127,8 @@ TEST(TranspositionLayout, LevelMapIsConsistent) {
   for (const auto& e : g.edges()) {
     const int level = label_to_level[static_cast<std::size_t>(e.label)];
     for (int lvl = n; lvl > std::max(level, base); --lvl) {
-      const std::size_t depth = static_cast<std::size_t>(n - lvl);
-      EXPECT_EQ(s.paths[static_cast<std::size_t>(e.u)][depth],
-                s.paths[static_cast<std::size_t>(e.v)][depth])
+      const std::int32_t depth = n - lvl;
+      EXPECT_EQ(s.paths.digit(e.u, depth), s.paths.digit(e.v, depth))
           << "level-" << level << " edge leaked out of its level-" << lvl << " block";
     }
   }
