@@ -1,10 +1,11 @@
 // E3 (Lemma 2.2 / Theorem 3.7): star-graph layout area.
 // Claim: area = N^2/16 + o(N^2), 72x below Sykora-Vrt'o, within 1 + o(1)
 // of the BATT lower bound.  measured/claim must decrease toward 1.
-// n = 8 (40,320 nodes) runs by default since the parallel layout engine;
-// STARLAY_BIG=1 adds n = 9 (362,880 nodes, ~1 GB).
-// Alongside the printed table, the run emits BENCH_star_area.json with
-// per-n construction/validation timings and area ratios.
+// n = 9 (362,880 nodes, 1.45M wires) runs by default since the SoA
+// geometry core; STARLAY_BENCH_MAX_N caps the sweep (e.g. =7 for the
+// perf-regression gate).  Alongside the printed table, the run emits
+// BENCH_star_area.json with per-n construction/validation timings, area
+// ratios, and the process peak RSS after each size.
 
 #include <benchmark/benchmark.h>
 
@@ -28,10 +29,12 @@ void print_table() {
                     "area -> N^2/16; 72x below Sykora-Vrt'o 4.5N^2; "
                     "upper/lower -> 1 + o(1)");
   benchutil::row_labels({"n", "N", "area", "N^2/16", "ratio", "model-ratio",
-                         "vsSykoraVrto", "build-ms", "valid"});
-  std::vector<int> sizes{4, 5, 6, 7, 8};
-  const char* big = std::getenv("STARLAY_BIG");
-  if (big) sizes.push_back(9);
+                         "vsSykoraVrto", "build-ms", "rss-mb", "valid"});
+  std::vector<int> sizes{4, 5, 6, 7, 8, 9};
+  if (const char* cap = std::getenv("STARLAY_BENCH_MAX_N")) {
+    const int max_n = std::atoi(cap);
+    while (sizes.size() > 1 && sizes.back() > max_n) sizes.pop_back();
+  }
   benchutil::JsonReport report("BENCH_star_area.json");
   for (int n : sizes) {
     const auto t0 = clock::now();
@@ -44,9 +47,10 @@ void print_table() {
     const double N = static_cast<double>(factorial(n));
     const double area = static_cast<double>(r.routed.layout.area());
     const double model = core::star_area_model(n).area;
-    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16.1f%16s\n", n, N, area,
+    const double rss_mb = benchutil::peak_rss_mb();
+    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16.1f%16.0f%16s\n", n, N, area,
                 core::star_area(N), area / core::star_area(N), area / model,
-                area / core::sykora_vrto_star_area(N), construct_ms,
+                area / core::sykora_vrto_star_area(N), construct_ms, rss_mb,
                 valid ? "yes" : "NO");
     report.add_row()
         .integer("n", n)
@@ -56,6 +60,7 @@ void print_table() {
         .num("area_over_claim", area / core::star_area(N))
         .num("construct_ms", construct_ms)
         .num("validate_ms", validate_ms)
+        .num("peak_rss_mb", rss_mb)
         .integer("threads", support::ThreadPool::instance().num_threads())
         .boolean("valid", valid);
   }

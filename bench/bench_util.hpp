@@ -14,7 +14,28 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace starlay::benchutil {
+
+/// Peak resident set size of this process in MiB (0 when unavailable).
+/// The scaling benches report it alongside timings: at star dimension 9 the
+/// layout's memory footprint, not time, is the binding constraint.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // kilobytes
+#endif
+#else
+  return 0.0;
+#endif
+}
 
 /// Machine-readable companion to the printed tables: accumulates flat rows
 /// of (key, value) pairs and writes them as a JSON array of objects, in the

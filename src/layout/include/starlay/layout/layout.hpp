@@ -5,12 +5,19 @@
 /// A Layout is the executable counterpart of the paper's pen-and-paper grid
 /// layouts.  Constructions fill it; validate.hpp certifies it; area() is the
 /// quantity every lemma of the paper bounds.
+///
+/// Wires live in a structure-of-arrays WireStore (wire_store.hpp); the
+/// bounding box is cached (constructions query area()/width()/height()
+/// repeatedly) and invalidated by every geometry mutation, and the O(W)
+/// scans (bounding box, layer count, wire lengths) run chunk-parallel with
+/// serial per-chunk merges, so they are bit-identical across thread counts.
 
 #include <cstdint>
 #include <vector>
 
 #include "starlay/layout/geometry.hpp"
 #include "starlay/layout/wire.hpp"
+#include "starlay/layout/wire_store.hpp"
 
 namespace starlay::layout {
 
@@ -20,23 +27,38 @@ class Layout {
   explicit Layout(std::int32_t num_nodes);
 
   std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes_.size()); }
-  std::int64_t num_wires() const { return static_cast<std::int64_t>(wires_.size()); }
+  std::int64_t num_wires() const { return wires_.size(); }
 
   void set_node_rect(std::int32_t node, const Rect& r);
   const Rect& node_rect(std::int32_t node) const;
   const std::vector<Rect>& node_rects() const { return nodes_; }
 
-  void add_wire(const Wire& w) { wires_.push_back(w); }
-  const std::vector<Wire>& wires() const { return wires_; }
-  std::vector<Wire>& mutable_wires() { return wires_; }
-  void reserve_wires(std::int64_t n) { wires_.reserve(static_cast<std::size_t>(n)); }
+  void add_wire(const Wire& w) {
+    wires_.push_back(w);
+    bb_valid_ = false;
+  }
+  const WireStore& wires() const { return wires_; }
+  /// Materializes wire \p i as the AoS value type (tests, repairs).
+  Wire wire(std::int64_t i) const { return wires_.extract(i); }
+  /// Replaces wire \p i wholesale; O(total points) when the size changes.
+  void replace_wire(std::int64_t i, const Wire& w) {
+    wires_.replace(i, w);
+    bb_valid_ = false;
+  }
+  /// Installs a bulk-built store (route_grid's two-phase parallel build).
+  void set_wires(WireStore&& s) {
+    wires_ = std::move(s);
+    bb_valid_ = false;
+  }
+  void reserve_wires(std::int64_t n) { wires_.reserve(n, 4 * n); }
 
   /// Number of wiring layers used (max layer index over all wires; >= 2
   /// whenever any wire exists, matching Thompson's two-layer guarantee).
   int num_layers() const;
 
-  /// Smallest upright rectangle containing all nodes and wires.
-  Rect bounding_box() const;
+  /// Smallest upright rectangle containing all nodes and wires.  Cached;
+  /// recomputed (chunk-parallel) after any mutation.
+  const Rect& bounding_box() const;
   Coord width() const { return bounding_box().width(); }
   Coord height() const { return bounding_box().height(); }
 
@@ -49,13 +71,16 @@ class Layout {
   /// Longest single wire (Manhattan length).
   std::int64_t max_wire_length() const;
 
-  /// Flattens every wire into per-layer oriented segments (drops
-  /// zero-length artifacts).  Used by the validator and renderer.
+  /// Flattens every wire into per-layer oriented segments in wire-major
+  /// order (drops zero-length artifacts).  The validator uses the bucketed
+  /// SegmentIndex instead; this remains for renderers, tests, and tools.
   std::vector<LayerSegment> segments() const;
 
  private:
   std::vector<Rect> nodes_;
-  std::vector<Wire> wires_;
+  WireStore wires_;
+  mutable Rect bb_;
+  mutable bool bb_valid_ = false;
 };
 
 }  // namespace starlay::layout

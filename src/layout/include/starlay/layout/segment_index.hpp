@@ -1,0 +1,68 @@
+#pragma once
+/// \file segment_index.hpp
+/// \brief Bucketed, line-sorted view of a layout's wire segments.
+///
+/// The validator's track-exclusivity and via-pierce passes need segments
+/// grouped per (layer, orientation) and sorted by grid line.  Materializing
+/// every segment and running one global comparison sort is the dominant
+/// validation cost at star dimension n >= 8, so SegmentIndex instead:
+///
+///   1. counts segments per (layer, orientation) bucket chunk-parallel,
+///   2. places each segment into its bucket via a serial prefix sum over
+///      the per-chunk counts (thread-count independent),
+///   3. counting-sorts each bucket by line (lines are bounded by the
+///      layout's bounding box, so the histogram is one array per bucket),
+///   4. sorts each line's handful of segments by (span.lo, span.hi, wire),
+///      chunk-parallel over lines.
+///
+/// The resulting global order — (layer, vertical-before-horizontal, line,
+/// span.lo, span.hi, wire) — refines the order the old std::sort pass
+/// produced, so the adjacent-overlap scan runs over it unchanged, and
+/// line_range() gives the via-pierce check O(1) access to one line's
+/// segments.  Degenerate layouts whose coordinate range dwarfs the segment
+/// count fall back to a comparison sort per bucket (line_range then binary
+/// searches); the order is identical either way.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/wire.hpp"
+
+namespace starlay::layout {
+
+class SegmentIndex {
+ public:
+  explicit SegmentIndex(const Layout& lay);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(segs_.size()); }
+
+  /// All segments in (layer, orientation, line, span.lo, span.hi, wire)
+  /// order; vertical precedes horizontal within a layer (matching the
+  /// validator's historical comparator).
+  const std::vector<LayerSegment>& segments() const { return segs_; }
+
+  /// Half-open range of the segments on grid line \p line of the given
+  /// layer/orientation, sorted by span.lo.  Empty when there are none.
+  std::pair<const LayerSegment*, const LayerSegment*> line_range(std::int16_t layer,
+                                                                 bool horizontal,
+                                                                 Coord line) const;
+
+ private:
+  struct Bucket {
+    std::int64_t begin = 0;  ///< range into segs_
+    std::int64_t end = 0;
+    Coord base = 0;  ///< smallest line covered by line_start
+    /// Dense per-line offsets into segs_ (size = line count + 1); empty in
+    /// the sparse fallback, where line_range binary-searches instead.
+    std::vector<std::int64_t> line_start;
+  };
+
+  std::vector<LayerSegment> segs_;
+  std::vector<Bucket> buckets_;  ///< index: (layer - min_layer_) * 2 + horizontal
+  std::int16_t min_layer_ = 0;
+  std::int16_t max_layer_ = -1;
+};
+
+}  // namespace starlay::layout

@@ -1,0 +1,141 @@
+#pragma once
+/// \file wire_store.hpp
+/// \brief Structure-of-arrays wire storage: the layout data plane.
+///
+/// A layout holds up to ~1.5M wires at star dimension n = 9; the AoS
+/// `std::vector<Wire>` representation spends a fixed 144 bytes per wire
+/// (8-point capacity) although wires carry 2-7 actual points.  WireStore
+/// keeps one flat point buffer (32-bit coordinates — checked on append;
+/// any realistic layout side fits comfortably), per-wire offsets into it,
+/// and one parallel metadata array (edge, h_layer, v_layer).  At the star
+/// layouts' ~4.5 points per wire this is ~56 bytes per wire, every O(W)
+/// pass streams linearly, and per-wire padding disappears.
+///
+/// `Wire` (wire.hpp) remains the value/builder type: constructions build a
+/// Wire on the stack and append it; consumers read through the `WireRef`
+/// view, whose accessors mirror the old Wire fields one-for-one.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "starlay/layout/geometry.hpp"
+#include "starlay/layout/wire.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout {
+
+/// Internal 32-bit point of the flat buffer.  Narrowing is checked on
+/// append; coordinates are widened back to Coord on read.
+struct Point32 {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Point32&, const Point32&) = default;
+};
+
+class WireStore;
+
+/// Lightweight view of one stored wire; accessors mirror Wire's fields.
+class WireRef {
+ public:
+  std::int64_t edge() const;
+  std::int16_t h_layer() const;
+  std::int16_t v_layer() const;
+  int npts() const;
+  Point pt(int i) const;
+  Point front() const { return pt(0); }
+  Point back() const { return pt(npts() - 1); }
+  std::int64_t index() const { return i_; }
+
+ private:
+  friend class WireStore;
+  WireRef(const WireStore* store, std::int64_t i) : store_(store), i_(i) {}
+  const WireStore* store_;
+  std::int64_t i_;
+};
+
+/// Flat SoA container of wires.
+class WireStore {
+ public:
+  struct Meta {
+    std::int64_t edge = -1;
+    std::int16_t h_layer = 1;
+    std::int16_t v_layer = 2;
+  };
+
+  std::int64_t size() const { return static_cast<std::int64_t>(meta_.size()); }
+  bool empty() const { return meta_.empty(); }
+  std::int64_t num_points() const { return static_cast<std::int64_t>(pts_.size()); }
+
+  WireRef operator[](std::int64_t i) const { return WireRef(this, i); }
+
+  /// Index-based forward iteration yielding WireRef views.
+  class const_iterator {
+   public:
+    const_iterator(const WireStore* s, std::int64_t i) : store_(s), i_(i) {}
+    WireRef operator*() const { return WireRef(store_, i_); }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const WireStore* store_;
+    std::int64_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size()}; }
+
+  void reserve(std::int64_t wires, std::int64_t points);
+
+  /// Appends \p w (coordinates are checked against the 32-bit range).
+  void push_back(const Wire& w);
+
+  /// Materializes wire \p i back into the AoS value type.
+  Wire extract(std::int64_t i) const;
+
+  /// Replaces wire \p i, shifting the point buffer when the point count
+  /// changes.  O(total points); meant for tests and small repairs.
+  void replace(std::int64_t i, const Wire& w);
+
+  /// Two-phase chunk-parallel bulk build: \p fill(i, wire) must write wire
+  /// i deterministically (it is invoked twice — once to size the point
+  /// buffer, once to fill it).  Offsets are a prefix sum over counts, so
+  /// the result is bit-identical for every thread count.
+  static WireStore build_parallel(std::int64_t count, std::int64_t grain,
+                                  const std::function<void(std::int64_t, Wire&)>& fill);
+
+  // Raw access for streaming passes (renderer, validator, fingerprints).
+  const Point32* raw_points() const { return pts_.data(); }
+  const std::uint32_t* raw_offsets() const { return off_.data(); }  ///< size()+1 entries
+  const Meta* raw_meta() const { return meta_.data(); }
+
+ private:
+  friend class WireRef;
+  std::vector<Point32> pts_;
+  std::vector<std::uint32_t> off_{0};  ///< off_[i]..off_[i+1]: wire i's points
+  std::vector<Meta> meta_;
+};
+
+inline std::int64_t WireRef::edge() const {
+  return store_->meta_[static_cast<std::size_t>(i_)].edge;
+}
+inline std::int16_t WireRef::h_layer() const {
+  return store_->meta_[static_cast<std::size_t>(i_)].h_layer;
+}
+inline std::int16_t WireRef::v_layer() const {
+  return store_->meta_[static_cast<std::size_t>(i_)].v_layer;
+}
+inline int WireRef::npts() const {
+  return static_cast<int>(store_->off_[static_cast<std::size_t>(i_) + 1] -
+                          store_->off_[static_cast<std::size_t>(i_)]);
+}
+inline Point WireRef::pt(int i) const {
+  const Point32& p =
+      store_->pts_[store_->off_[static_cast<std::size_t>(i_)] + static_cast<std::size_t>(i)];
+  return {p.x, p.y};
+}
+
+}  // namespace starlay::layout

@@ -3,8 +3,16 @@
 #include <algorithm>
 
 #include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
+
+namespace {
+
+constexpr std::int64_t kPointGrain = 1 << 16;  // flat point-buffer scans
+constexpr std::int64_t kWireGrain = 8192;      // per-wire scans
+
+}  // namespace
 
 Layout::Layout(std::int32_t num_nodes) {
   STARLAY_REQUIRE(num_nodes >= 0, "Layout: negative node count");
@@ -15,6 +23,7 @@ void Layout::set_node_rect(std::int32_t node, const Rect& r) {
   STARLAY_REQUIRE(node >= 0 && node < num_nodes(), "Layout::set_node_rect: node out of range");
   STARLAY_REQUIRE(!r.empty(), "Layout::set_node_rect: empty rectangle");
   nodes_[static_cast<std::size_t>(node)] = r;
+  bb_valid_ = false;
 }
 
 const Rect& Layout::node_rect(std::int32_t node) const {
@@ -23,56 +32,103 @@ const Rect& Layout::node_rect(std::int32_t node) const {
 }
 
 int Layout::num_layers() const {
+  const WireStore::Meta* meta = wires_.raw_meta();
+  const std::int64_t W = wires_.size();
+  const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+  std::vector<int> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    int m = 0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      m = std::max({m, static_cast<int>(meta[i].h_layer), static_cast<int>(meta[i].v_layer)});
+    partial[static_cast<std::size_t>(chunk)] = m;
+  });
   int layers = 0;
-  for (const Wire& w : wires_)
-    layers = std::max({layers, static_cast<int>(w.h_layer), static_cast<int>(w.v_layer)});
+  for (int m : partial) layers = std::max(layers, m);
   return layers;
 }
 
-Rect Layout::bounding_box() const {
+const Rect& Layout::bounding_box() const {
+  if (bb_valid_) return bb_;
   Rect bb;
   for (const Rect& r : nodes_) bb.cover(r);
-  for (const Wire& w : wires_)
-    for (std::uint8_t i = 0; i < w.npts; ++i) bb.cover(w.pts[i]);
-  return bb;
+  const Point32* pts = wires_.raw_points();
+  const std::int64_t P = wires_.num_points();
+  const std::int64_t chunks = support::num_chunks(0, P, kPointGrain);
+  std::vector<Rect> partial(static_cast<std::size_t>(chunks));
+  support::parallel_for(0, P, kPointGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    Rect r;
+    for (std::int64_t i = lo; i < hi; ++i) r.cover(Point{pts[i].x, pts[i].y});
+    partial[static_cast<std::size_t>(chunk)] = r;
+  });
+  for (const Rect& r : partial) bb.cover(r);
+  bb_ = bb;
+  bb_valid_ = true;
+  return bb_;
 }
 
 std::int64_t Layout::total_wire_length() const {
+  const Point32* pts = wires_.raw_points();
+  const std::uint32_t* off = wires_.raw_offsets();
+  const std::int64_t W = wires_.size();
+  const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::int64_t len = 0;
+    for (std::int64_t w = lo; w < hi; ++w)
+      for (std::uint32_t i = off[w] + 1; i < off[w + 1]; ++i)
+        len += std::abs(static_cast<std::int64_t>(pts[i].x) - pts[i - 1].x) +
+               std::abs(static_cast<std::int64_t>(pts[i].y) - pts[i - 1].y);
+    partial[static_cast<std::size_t>(chunk)] = len;
+  });
   std::int64_t len = 0;
-  for (const Wire& w : wires_)
-    for (std::uint8_t i = 1; i < w.npts; ++i)
-      len += std::abs(w.pts[i].x - w.pts[i - 1].x) + std::abs(w.pts[i].y - w.pts[i - 1].y);
+  for (std::int64_t l : partial) len += l;
   return len;
 }
 
 std::int64_t Layout::max_wire_length() const {
+  const Point32* pts = wires_.raw_points();
+  const std::uint32_t* off = wires_.raw_offsets();
+  const std::int64_t W = wires_.size();
+  const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::int64_t best = 0;
+    for (std::int64_t w = lo; w < hi; ++w) {
+      std::int64_t len = 0;
+      for (std::uint32_t i = off[w] + 1; i < off[w + 1]; ++i)
+        len += std::abs(static_cast<std::int64_t>(pts[i].x) - pts[i - 1].x) +
+               std::abs(static_cast<std::int64_t>(pts[i].y) - pts[i - 1].y);
+      best = std::max(best, len);
+    }
+    partial[static_cast<std::size_t>(chunk)] = best;
+  });
   std::int64_t best = 0;
-  for (const Wire& w : wires_) {
-    std::int64_t len = 0;
-    for (std::uint8_t i = 1; i < w.npts; ++i)
-      len += std::abs(w.pts[i].x - w.pts[i - 1].x) + std::abs(w.pts[i].y - w.pts[i - 1].y);
-    best = std::max(best, len);
-  }
+  for (std::int64_t l : partial) best = std::max(best, l);
   return best;
 }
 
 std::vector<LayerSegment> Layout::segments() const {
+  const Point32* pts = wires_.raw_points();
+  const std::uint32_t* off = wires_.raw_offsets();
+  const WireStore::Meta* meta = wires_.raw_meta();
   std::vector<LayerSegment> segs;
-  segs.reserve(wires_.size() * 3);
-  for (std::size_t wi = 0; wi < wires_.size(); ++wi) {
-    const Wire& w = wires_[wi];
-    for (std::uint8_t i = 1; i < w.npts; ++i) {
-      const Point a = w.pts[i - 1];
-      const Point b = w.pts[i];
+  segs.reserve(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, wires_.num_points() - wires_.size())));
+  for (std::int64_t w = 0; w < wires_.size(); ++w) {
+    for (std::uint32_t i = off[w] + 1; i < off[w + 1]; ++i) {
+      const Point32 a = pts[i - 1];
+      const Point32 b = pts[i];
       if (a == b) continue;
       if (a.y == b.y) {
-        segs.push_back({w.h_layer, true, a.y,
-                        {std::min(a.x, b.x), std::max(a.x, b.x)},
-                        static_cast<std::int64_t>(wi)});
+        segs.push_back({meta[w].h_layer, true, a.y,
+                        {std::min(a.x, b.x), std::max(a.x, b.x)}, w});
       } else {
-        segs.push_back({w.v_layer, false, a.x,
-                        {std::min(a.y, b.y), std::max(a.y, b.y)},
-                        static_cast<std::int64_t>(wi)});
+        segs.push_back({meta[w].v_layer, false, a.x,
+                        {std::min(a.y, b.y), std::max(a.y, b.y)}, w});
       }
     }
   }

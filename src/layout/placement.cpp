@@ -11,6 +11,15 @@ void Placement::check(std::int32_t num_vertices) const {
   STARLAY_REQUIRE(rows > 0 && cols > 0, "Placement: empty grid");
   STARLAY_REQUIRE(static_cast<std::int32_t>(slot.size()) == num_vertices,
                   "Placement: slot table size mismatch");
+  if (num_slots() <= 4 * static_cast<std::int64_t>(slot.size()) + 4096) {
+    // Dense grids (every real placement): one byte per slot beats hashing.
+    std::vector<std::uint8_t> used(static_cast<std::size_t>(num_slots()), 0);
+    for (std::int64_t s : slot) {
+      STARLAY_REQUIRE(s >= 0 && s < num_slots(), "Placement: slot out of range");
+      STARLAY_REQUIRE(!used[static_cast<std::size_t>(s)]++, "Placement: duplicate slot");
+    }
+    return;
+  }
   std::unordered_set<std::int64_t> used;
   used.reserve(slot.size() * 2);
   for (std::int64_t s : slot) {
@@ -73,6 +82,20 @@ Placement hierarchical_placement(const std::int32_t* digits, std::int32_t stride
   STARLAY_REQUIRE(total_rows * total_cols < (std::int64_t{1} << 62),
                   "hierarchical_placement: grid overflow");
 
+  // Stamp each level's block-local slot geometry once: digit d of level j
+  // always shifts the final slot by the same amount, so the per-vertex
+  // inner loop collapses to `levels` table lookups and adds — no div/mod,
+  // no per-level row/col bookkeeping.
+  std::vector<std::vector<std::int64_t>> contrib(levels);
+  for (std::size_t j = 0; j < levels; ++j) {
+    const std::int32_t extent = shapes[j].rows * shapes[j].cols;
+    contrib[j].resize(static_cast<std::size_t>(extent));
+    for (std::int32_t d = 0; d < extent; ++d)
+      contrib[j][static_cast<std::size_t>(d)] =
+          (d / shapes[j].cols) * row_stride[j] * total_cols +
+          (d % shapes[j].cols) * col_stride[j];
+  }
+
   Placement p;
   p.rows = static_cast<std::int32_t>(total_rows);
   p.cols = static_cast<std::int32_t>(total_cols);
@@ -80,15 +103,14 @@ Placement hierarchical_placement(const std::int32_t* digits, std::int32_t stride
   support::parallel_for(0, count, 8192, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
     for (std::int64_t v = lo; v < hi; ++v) {
       const std::int32_t* path = digits + v * stride;
-      std::int64_t row = 0, col = 0;
+      std::int64_t slot = 0;
       for (std::size_t j = 0; j < levels; ++j) {
         const std::int32_t d = path[j];
-        STARLAY_REQUIRE(d >= 0 && d < shapes[j].rows * shapes[j].cols,
+        STARLAY_REQUIRE(d >= 0 && d < static_cast<std::int32_t>(contrib[j].size()),
                         "hierarchical_placement: digit out of range");
-        row += (d / shapes[j].cols) * row_stride[j];
-        col += (d % shapes[j].cols) * col_stride[j];
+        slot += contrib[j][static_cast<std::size_t>(d)];
       }
-      p.slot[static_cast<std::size_t>(v)] = row * total_cols + col;
+      p.slot[static_cast<std::size_t>(v)] = slot;
     }
   });
   p.check(static_cast<std::int32_t>(count));

@@ -487,14 +487,11 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     }
   };
 
-  // Each edge's wire geometry is a pure function of its plan entry; write
-  // wires into their slots in parallel.
-  std::vector<Wire>& wires = out.layout.mutable_wires();
-  wires.resize(static_cast<std::size_t>(E));
-  support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
-  for (std::int64_t e = lo; e < hi; ++e) {
+  // Each edge's wire geometry is a pure function of its plan entry, so the
+  // SoA store can be bulk-built in two deterministic parallel passes.
+  out.layout.set_wires(WireStore::build_parallel(
+      E, kEdgeGrain, [&](std::int64_t e, Wire& wre) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-    Wire wre;
     wre.edge = e;
     wre.h_layer = ep.h_layer;
     wre.v_layer = ep.v_layer;
@@ -540,9 +537,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
         break;
       }
     }
-    wires[static_cast<std::size_t>(e)] = wre;
-  }
-  });
+  }));
   return out;
 }
 

@@ -1,0 +1,200 @@
+#include "starlay/layout/segment_index.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::layout {
+
+namespace {
+
+constexpr std::int64_t kWireGrain = 8192;  // per-wire counting / filling
+constexpr std::int64_t kLineGrain = 1024;  // per-line sorting
+
+/// Invokes f(layer, horizontal, line, lo, hi) for every non-degenerate
+/// segment of wire w, in point order.
+template <typename F>
+void for_wire_segments(const Point32* pts, const std::uint32_t* off,
+                       const WireStore::Meta& m, std::int64_t w, F&& f) {
+  for (std::uint32_t i = off[w] + 1; i < off[w + 1]; ++i) {
+    const Point32 a = pts[i - 1];
+    const Point32 b = pts[i];
+    if (a == b) continue;
+    if (a.y == b.y)
+      f(m.h_layer, true, static_cast<Coord>(a.y), static_cast<Coord>(std::min(a.x, b.x)),
+        static_cast<Coord>(std::max(a.x, b.x)));
+    else
+      f(m.v_layer, false, static_cast<Coord>(a.x), static_cast<Coord>(std::min(a.y, b.y)),
+        static_cast<Coord>(std::max(a.y, b.y)));
+  }
+}
+
+bool span_less(const LayerSegment& a, const LayerSegment& b) {
+  if (a.span.lo != b.span.lo) return a.span.lo < b.span.lo;
+  if (a.span.hi != b.span.hi) return a.span.hi < b.span.hi;
+  return a.wire < b.wire;
+}
+
+}  // namespace
+
+SegmentIndex::SegmentIndex(const Layout& lay) {
+  const WireStore& ws = lay.wires();
+  const Point32* pts = ws.raw_points();
+  const std::uint32_t* off = ws.raw_offsets();
+  const WireStore::Meta* meta = ws.raw_meta();
+  const std::int64_t W = ws.size();
+  if (W == 0) return;
+
+  // Layer range (over wire metadata; buckets for layers that carry no
+  // segments simply stay empty).
+  const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+  {
+    std::vector<std::pair<std::int16_t, std::int16_t>> partial(
+        static_cast<std::size_t>(chunks), {std::numeric_limits<std::int16_t>::max(),
+                                           std::numeric_limits<std::int16_t>::min()});
+    support::parallel_for(0, W, kWireGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      auto& [mn, mx] = partial[static_cast<std::size_t>(chunk)];
+      for (std::int64_t i = lo; i < hi; ++i) {
+        mn = std::min({mn, meta[i].h_layer, meta[i].v_layer});
+        mx = std::max({mx, meta[i].h_layer, meta[i].v_layer});
+      }
+    });
+    min_layer_ = std::numeric_limits<std::int16_t>::max();
+    max_layer_ = std::numeric_limits<std::int16_t>::min();
+    for (const auto& [mn, mx] : partial) {
+      min_layer_ = std::min(min_layer_, mn);
+      max_layer_ = std::max(max_layer_, mx);
+    }
+  }
+  const std::int64_t B = (static_cast<std::int64_t>(max_layer_) - min_layer_ + 1) * 2;
+  const auto bucket_of = [&](std::int16_t layer, bool horizontal) {
+    return (static_cast<std::int64_t>(layer) - min_layer_) * 2 + (horizontal ? 1 : 0);
+  };
+
+  // Pass 1: per-chunk, per-bucket segment counts.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(chunks * B), 0);
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::int64_t* c = counts.data() + chunk * B;
+    for (std::int64_t w = lo; w < hi; ++w)
+      for_wire_segments(pts, off, meta[w], w,
+                        [&](std::int16_t layer, bool horizontal, Coord, Coord, Coord) {
+                          ++c[bucket_of(layer, horizontal)];
+                        });
+  });
+
+  // Serial prefix sum in (bucket, chunk) order: bucket-major placement that
+  // preserves wire order within a bucket and is thread-count independent.
+  buckets_.resize(static_cast<std::size_t>(B));
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(chunks * B), 0);
+  std::int64_t run = 0;
+  for (std::int64_t b = 0; b < B; ++b) {
+    buckets_[static_cast<std::size_t>(b)].begin = run;
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      cursor[static_cast<std::size_t>(c * B + b)] = run;
+      run += counts[static_cast<std::size_t>(c * B + b)];
+    }
+    buckets_[static_cast<std::size_t>(b)].end = run;
+  }
+
+  // Pass 2: place each segment into its bucket slice.
+  segs_.resize(static_cast<std::size_t>(run));
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::int64_t* cur = cursor.data() + chunk * B;
+    for (std::int64_t w = lo; w < hi; ++w)
+      for_wire_segments(pts, off, meta[w], w,
+                        [&](std::int16_t layer, bool horizontal, Coord line, Coord slo,
+                            Coord shi) {
+                          segs_[static_cast<std::size_t>(
+                              cur[bucket_of(layer, horizontal)]++)] =
+                              {layer, horizontal, line, {slo, shi}, w};
+                        });
+  });
+
+  // Pass 3: order each bucket by (line, span.lo, span.hi, wire).
+  const Rect& bb = lay.bounding_box();
+  std::vector<LayerSegment> scratch;
+  for (std::int64_t b = 0; b < B; ++b) {
+    Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+    const std::int64_t count = bk.end - bk.begin;
+    if (count == 0) continue;
+    const bool horizontal = (b % 2) == 1;
+    const Coord base = horizontal ? bb.y0 : bb.x0;
+    const std::int64_t nlines = horizontal ? bb.height() : bb.width();
+    if (nlines > 4 * count + 1024) {
+      // Sparse coordinate range: a comparison sort beats the histogram.
+      std::sort(segs_.begin() + static_cast<std::ptrdiff_t>(bk.begin),
+                segs_.begin() + static_cast<std::ptrdiff_t>(bk.end),
+                [](const LayerSegment& a, const LayerSegment& c) {
+                  if (a.line != c.line) return a.line < c.line;
+                  return span_less(a, c);
+                });
+      continue;
+    }
+    // Counting sort by line.  Every segment lies inside the bounding box,
+    // so line - base indexes the histogram directly.
+    bk.base = base;
+    bk.line_start.assign(static_cast<std::size_t>(nlines) + 1, 0);
+    for (std::int64_t i = bk.begin; i < bk.end; ++i) {
+      const std::int64_t l = segs_[static_cast<std::size_t>(i)].line - base;
+      STARLAY_REQUIRE(l >= 0 && l < nlines, "SegmentIndex: segment outside bounding box");
+      ++bk.line_start[static_cast<std::size_t>(l) + 1];
+    }
+    for (std::size_t l = 1; l < bk.line_start.size(); ++l)
+      bk.line_start[l] += bk.line_start[l - 1];
+    for (auto& s : bk.line_start) s += bk.begin;  // absolute offsets into segs_
+    scratch.resize(static_cast<std::size_t>(count));
+    {
+      std::vector<std::int64_t> cur(bk.line_start.begin(), bk.line_start.end() - 1);
+      for (std::int64_t i = bk.begin; i < bk.end; ++i) {
+        const LayerSegment& s = segs_[static_cast<std::size_t>(i)];
+        scratch[static_cast<std::size_t>(cur[static_cast<std::size_t>(s.line - base)]++ -
+                                         bk.begin)] = s;
+      }
+    }
+    std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(count),
+              segs_.begin() + static_cast<std::ptrdiff_t>(bk.begin));
+    // Per-line sorts touch disjoint ranges: deterministic under any thread
+    // count.
+    support::parallel_for(0, nlines, kLineGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      for (std::int64_t l = lo; l < hi; ++l) {
+        const std::int64_t s = bk.line_start[static_cast<std::size_t>(l)];
+        const std::int64_t e = bk.line_start[static_cast<std::size_t>(l) + 1];
+        if (e - s > 1)
+          std::sort(segs_.begin() + static_cast<std::ptrdiff_t>(s),
+                    segs_.begin() + static_cast<std::ptrdiff_t>(e), span_less);
+      }
+    });
+  }
+}
+
+std::pair<const LayerSegment*, const LayerSegment*> SegmentIndex::line_range(
+    std::int16_t layer, bool horizontal, Coord line) const {
+  static constexpr std::pair<const LayerSegment*, const LayerSegment*> kEmpty{nullptr,
+                                                                              nullptr};
+  if (layer < min_layer_ || layer > max_layer_) return kEmpty;
+  const Bucket& bk = buckets_[static_cast<std::size_t>(
+      (static_cast<std::int64_t>(layer) - min_layer_) * 2 + (horizontal ? 1 : 0))];
+  if (bk.begin == bk.end) return kEmpty;
+  if (!bk.line_start.empty()) {
+    const std::int64_t l = line - bk.base;
+    if (l < 0 || l + 1 >= static_cast<std::int64_t>(bk.line_start.size())) return kEmpty;
+    return {segs_.data() + bk.line_start[static_cast<std::size_t>(l)],
+            segs_.data() + bk.line_start[static_cast<std::size_t>(l) + 1]};
+  }
+  // Sparse bucket: binary search the line's range.
+  const LayerSegment* first = segs_.data() + bk.begin;
+  const LayerSegment* last = segs_.data() + bk.end;
+  const LayerSegment* lo = std::lower_bound(
+      first, last, line, [](const LayerSegment& s, Coord ln) { return s.line < ln; });
+  const LayerSegment* hi = std::upper_bound(
+      lo, last, line, [](Coord ln, const LayerSegment& s) { return ln < s.line; });
+  return {lo, hi};
+}
+
+}  // namespace starlay::layout

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "starlay/layout/segment_index.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
@@ -110,8 +111,10 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   const auto fail = [&](const std::string& m) { rep.fail(m, opt.max_errors); };
 
   // Runs body(i, emit) for i in [0, count) on the thread pool, collecting
-  // emitted errors deterministically (see ChunkErrors).
+  // emitted errors deterministically (see ChunkErrors).  Negative counts
+  // (e.g. `size() - 1` on an empty collection) clamp to an empty pass.
   const auto parallel_check = [&](std::int64_t count, const auto& body) {
+    count = std::max<std::int64_t>(0, count);
     const std::int64_t chunks = support::num_chunks(0, count, kWireGrain);
     std::vector<ChunkErrors> errs(static_cast<std::size_t>(chunks));
     support::parallel_for(0, count, kWireGrain,
@@ -135,59 +138,62 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     fail("wire count " + std::to_string(lay.num_wires()) + " != edge count " +
          std::to_string(g.num_edges()));
   {
+    const WireStore::Meta* meta = lay.wires().raw_meta();
     std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.num_edges()), 0);
-    for (const Wire& w : lay.wires()) {
-      if (w.edge < 0 || w.edge >= g.num_edges()) {
-        fail("wire references invalid edge " + std::to_string(w.edge));
+    for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+      const std::int64_t edge = meta[wi].edge;
+      if (edge < 0 || edge >= g.num_edges()) {
+        fail("wire references invalid edge " + std::to_string(edge));
         continue;
       }
-      if (seen[static_cast<std::size_t>(w.edge)]++)
-        fail("edge " + std::to_string(w.edge) + " has multiple wires");
+      if (seen[static_cast<std::size_t>(edge)]++)
+        fail("edge " + std::to_string(edge) + " has multiple wires");
     }
   }
 
   // --- node sizes ---------------------------------------------------------
-  for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
+  parallel_check(lay.num_nodes(), [&](std::int64_t vi, const auto& emit) {
+    const auto v = static_cast<std::int32_t>(vi);
     const Rect& r = lay.node_rect(v);
     if (r.empty()) {
-      fail("node " + std::to_string(v) + " has no rectangle");
-      continue;
+      emit("node " + std::to_string(v) + " has no rectangle");
+      return;
     }
     if (opt.thompson_node_size) {
       const Coord want = std::max<Coord>(1, g.degree(v));
       if (r.width() != want || r.height() != want)
-        fail("node " + std::to_string(v) + " is " + std::to_string(r.width()) + "x" +
+        emit("node " + std::to_string(v) + " is " + std::to_string(r.width()) + "x" +
              std::to_string(r.height()) + ", Thompson model wants side " +
              std::to_string(want));
     }
     if (opt.min_node_side > 0 &&
         (r.width() < opt.min_node_side || r.height() < opt.min_node_side))
-      fail("node " + std::to_string(v) + " smaller than extended-grid minimum");
+      emit("node " + std::to_string(v) + " smaller than extended-grid minimum");
     if (opt.max_node_side > 0 &&
         (r.width() > opt.max_node_side || r.height() > opt.max_node_side))
-      fail("node " + std::to_string(v) + " larger than extended-grid maximum");
-  }
+      emit("node " + std::to_string(v) + " larger than extended-grid maximum");
+  });
 
   // --- per-wire path rules --------------------------------------------------
   parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-    const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
+    const WireRef w = lay.wires()[wi];
     const std::string tag = "wire " + std::to_string(wi);
-    if (w.npts < 2) {
+    if (w.npts() < 2) {
       emit(tag + ": fewer than 2 points");
       return;
     }
-    if (w.h_layer < 1 || w.h_layer % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
-    if (w.v_layer < 2 || w.v_layer % 2 != 0) emit(tag + ": v_layer must be even >= 2");
-    if (std::abs(w.h_layer - w.v_layer) != 1) emit(tag + ": layers not adjacent");
-    for (std::uint8_t i = 1; i < w.npts; ++i) {
-      const Point a = w.pts[i - 1], b = w.pts[i];
+    if (w.h_layer() < 1 || w.h_layer() % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
+    if (w.v_layer() < 2 || w.v_layer() % 2 != 0) emit(tag + ": v_layer must be even >= 2");
+    if (std::abs(w.h_layer() - w.v_layer()) != 1) emit(tag + ": layers not adjacent");
+    for (int i = 1; i < w.npts(); ++i) {
+      const Point a = w.pt(i - 1), b = w.pt(i);
       const bool dx = a.x != b.x, dy = a.y != b.y;
       if (dx == dy) {  // both (diagonal) or neither (repeated point)
         emit(tag + ": segment " + pt(a) + "->" + pt(b) + " not a proper orthogonal step");
         break;
       }
       if (i >= 2) {
-        const Point z = w.pts[i - 2];
+        const Point z = w.pt(i - 2);
         const bool prev_horizontal = z.y == a.y;
         if (prev_horizontal == (a.y == b.y)) {
           emit(tag + ": consecutive collinear segments (merge them)");
@@ -196,8 +202,8 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
       }
     }
     // Endpoint attachment.
-    if (w.edge >= 0 && w.edge < g.num_edges()) {
-      const auto& e = g.edge(w.edge);
+    if (w.edge() >= 0 && w.edge() < g.num_edges()) {
+      const auto& e = g.edge(w.edge());
       const Rect& ru = lay.node_rect(e.u);
       const Rect& rv = lay.node_rect(e.v);
       const Point a = w.front(), b = w.back();
@@ -209,17 +215,13 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   });
 
   // --- track exclusivity ------------------------------------------------
-  auto segs = lay.segments();
-  rep.num_segments = static_cast<std::int64_t>(segs.size());
+  // Segments arrive bucketed per (layer, orientation) and sorted by
+  // (line, span.lo), so a single adjacent-pair scan finds every overlap.
+  const SegmentIndex sidx(lay);
+  const std::vector<LayerSegment>& segs = sidx.segments();
+  rep.num_segments = sidx.size();
   rep.num_layers = lay.num_layers();
-  std::sort(segs.begin(), segs.end(), [](const LayerSegment& a, const LayerSegment& b) {
-    if (a.layer != b.layer) return a.layer < b.layer;
-    if (a.horizontal != b.horizontal) return a.horizontal < b.horizontal;
-    if (a.line != b.line) return a.line < b.line;
-    return a.span.lo < b.span.lo;
-  });
-  parallel_check(static_cast<std::int64_t>(segs.size()) - 1,
-                 [&](std::int64_t i, const auto& emit) {
+  parallel_check(sidx.size() - 1, [&](std::int64_t i, const auto& emit) {
     const LayerSegment& a = segs[static_cast<std::size_t>(i)];
     const LayerSegment& b = segs[static_cast<std::size_t>(i) + 1];
     if (a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
@@ -238,17 +240,84 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     std::int64_t wire;
   };
   std::vector<Via> vias;
-  for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
-    const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
-    const std::int16_t zlo = std::min(w.h_layer, w.v_layer);
-    const std::int16_t zhi = std::max(w.h_layer, w.v_layer);
-    for (std::uint8_t i = 1; i + 1 < w.npts; ++i)
-      vias.push_back({w.pts[i], zlo, zhi, wi});
+  {
+    // Two-phase parallel collection into wire-major order.
+    const Point32* pts = lay.wires().raw_points();
+    const std::uint32_t* off = lay.wires().raw_offsets();
+    const WireStore::Meta* meta = lay.wires().raw_meta();
+    const std::int64_t W = lay.num_wires();
+    const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+    std::vector<std::int64_t> start(static_cast<std::size_t>(chunks) + 1, 0);
+    support::parallel_for(0, W, kWireGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      std::int64_t n = 0;
+      for (std::int64_t w = lo; w < hi; ++w) {
+        const std::int64_t npts = static_cast<std::int64_t>(off[w + 1]) - off[w];
+        n += std::max<std::int64_t>(0, npts - 2);
+      }
+      start[static_cast<std::size_t>(chunk) + 1] = n;
+    });
+    for (std::size_t c = 1; c < start.size(); ++c) start[c] += start[c - 1];
+    vias.resize(static_cast<std::size_t>(start.back()));
+    support::parallel_for(0, W, kWireGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      std::int64_t cur = start[static_cast<std::size_t>(chunk)];
+      for (std::int64_t w = lo; w < hi; ++w) {
+        const std::int16_t zlo = std::min(meta[w].h_layer, meta[w].v_layer);
+        const std::int16_t zhi = std::max(meta[w].h_layer, meta[w].v_layer);
+        for (std::uint32_t i = off[w] + 1; i + 1 < off[w + 1]; ++i)
+          vias[static_cast<std::size_t>(cur++)] = {
+              {pts[i].x, pts[i].y}, zlo, zhi, w};
+      }
+    });
   }
-  std::sort(vias.begin(), vias.end(), [](const Via& a, const Via& b) {
-    if (a.p.x != b.p.x) return a.p.x < b.p.x;
-    return a.p.y < b.p.y;
-  });
+  {
+    // Order by (x, y, zlo, zhi, wire) so same-point vias are adjacent:
+    // counting sort by x (vias lie inside the bounding box), then sort each
+    // x-column — deterministic for every thread count.
+    const auto rest_less = [](const Via& a, const Via& b) {
+      if (a.p.y != b.p.y) return a.p.y < b.p.y;
+      if (a.zlo != b.zlo) return a.zlo < b.zlo;
+      if (a.zhi != b.zhi) return a.zhi < b.zhi;
+      return a.wire < b.wire;
+    };
+    const Rect& bb = lay.bounding_box();
+    const std::int64_t n = static_cast<std::int64_t>(vias.size());
+    if (n > 0 && bb.width() <= 4 * n + 1024) {
+      const Coord base = bb.x0;
+      const std::int64_t ncols = bb.width();
+      std::vector<std::int64_t> col_start(static_cast<std::size_t>(ncols) + 1, 0);
+      for (const Via& v : vias) {
+        const std::int64_t c = v.p.x - base;
+        STARLAY_REQUIRE(c >= 0 && c < ncols, "validate: via outside bounding box");
+        ++col_start[static_cast<std::size_t>(c) + 1];
+      }
+      for (std::size_t c = 1; c < col_start.size(); ++c) col_start[c] += col_start[c - 1];
+      std::vector<Via> sorted(vias.size());
+      {
+        std::vector<std::int64_t> cur(col_start.begin(), col_start.end() - 1);
+        for (const Via& v : vias)
+          sorted[static_cast<std::size_t>(cur[static_cast<std::size_t>(v.p.x - base)]++)] =
+              v;
+      }
+      vias.swap(sorted);
+      support::parallel_for(0, ncols, 1024,
+                            [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+        for (std::int64_t c = lo; c < hi; ++c) {
+          const std::int64_t s = col_start[static_cast<std::size_t>(c)];
+          const std::int64_t e = col_start[static_cast<std::size_t>(c) + 1];
+          if (e - s > 1)
+            std::sort(vias.begin() + static_cast<std::ptrdiff_t>(s),
+                      vias.begin() + static_cast<std::ptrdiff_t>(e), rest_less);
+        }
+      });
+    } else {
+      std::sort(vias.begin(), vias.end(), [&](const Via& a, const Via& b) {
+        if (a.p.x != b.p.x) return a.p.x < b.p.x;
+        return rest_less(a, b);
+      });
+    }
+  }
   parallel_check(static_cast<std::int64_t>(vias.size()) - 1,
                  [&](std::int64_t i, const auto& emit) {
     const Via& a = vias[static_cast<std::size_t>(i)];
@@ -258,24 +327,18 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
            std::to_string(b.wire));
   });
   {
-    // Segment passing through a via point on a spanned layer.
-    // Sort segments by (layer, line); for each via check both its layers.
-    // Segments on a line are disjoint (or already reported), so at most a
-    // couple of candidates around `pos` need checking.
+    // Segment passing through a via point on a spanned layer.  The index
+    // hands back exactly the segments on (layer, line); segments on a line
+    // are disjoint (or already reported), so at most a couple of
+    // candidates around `pos` need checking.
     auto covering = [&](std::int16_t layer, bool horizontal, Coord line,
                         Coord pos, std::int64_t self) -> std::int64_t {
-      LayerSegment probe{layer, horizontal, line, {pos, pos}, 0};
-      const auto cmp = [](const LayerSegment& a, const LayerSegment& b) {
-        if (a.layer != b.layer) return a.layer < b.layer;
-        if (a.horizontal != b.horizontal) return a.horizontal < b.horizontal;
-        if (a.line != b.line) return a.line < b.line;
-        return a.span.lo < b.span.lo;
-      };
-      auto it = std::upper_bound(segs.begin(), segs.end(), probe, cmp);
-      // Candidates: the few segments at or before `it` on the same line.
-      for (int back = 0; back < 3 && it != segs.begin(); ++back) {
+      const auto [first, last] = sidx.line_range(layer, horizontal, line);
+      const LayerSegment* it = std::upper_bound(
+          first, last, pos,
+          [](Coord p, const LayerSegment& s) { return p < s.span.lo; });
+      for (int back = 0; back < 3 && it != first; ++back) {
         --it;
-        if (it->layer != layer || it->horizontal != horizontal || it->line != line) break;
         if (it->span.lo <= pos && pos <= it->span.hi && it->wire != self) return it->wire;
       }
       return -1;
@@ -300,14 +363,14 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   {
     const RectIndex index(lay.node_rects());
     parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-      const Wire& w = lay.wires()[static_cast<std::size_t>(wi)];
+      const WireRef w = lay.wires()[wi];
       std::int32_t nu = -1, nv = -1;
-      if (w.edge >= 0 && w.edge < g.num_edges()) {
-        nu = g.edge(w.edge).u;
-        nv = g.edge(w.edge).v;
+      if (w.edge() >= 0 && w.edge() < g.num_edges()) {
+        nu = g.edge(w.edge()).u;
+        nv = g.edge(w.edge()).v;
       }
-      for (std::uint8_t i = 1; i < w.npts; ++i) {
-        const Point a = w.pts[i - 1], b = w.pts[i];
+      for (int i = 1; i < w.npts(); ++i) {
+        const Point a = w.pt(i - 1), b = w.pt(i);
         const bool horizontal = a.y == b.y;
         const Coord line = horizontal ? a.y : a.x;
         const Coord lo = horizontal ? std::min(a.x, b.x) : std::min(a.y, b.y);

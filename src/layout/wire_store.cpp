@@ -1,0 +1,104 @@
+#include "starlay/layout/wire_store.hpp"
+
+#include <limits>
+
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::layout {
+
+namespace {
+
+inline std::int32_t narrow(Coord c) {
+  STARLAY_REQUIRE(c >= std::numeric_limits<std::int32_t>::min() &&
+                      c <= std::numeric_limits<std::int32_t>::max(),
+                  "WireStore: coordinate exceeds 32-bit storage range");
+  return static_cast<std::int32_t>(c);
+}
+
+}  // namespace
+
+void WireStore::reserve(std::int64_t wires, std::int64_t points) {
+  meta_.reserve(static_cast<std::size_t>(wires));
+  off_.reserve(static_cast<std::size_t>(wires) + 1);
+  pts_.reserve(static_cast<std::size_t>(points));
+}
+
+void WireStore::push_back(const Wire& w) {
+  for (std::uint8_t i = 0; i < w.npts; ++i)
+    pts_.push_back({narrow(w.pts[i].x), narrow(w.pts[i].y)});
+  STARLAY_REQUIRE(pts_.size() <= std::numeric_limits<std::uint32_t>::max(),
+                  "WireStore: point buffer exceeds 32-bit offsets");
+  off_.push_back(static_cast<std::uint32_t>(pts_.size()));
+  meta_.push_back({w.edge, w.h_layer, w.v_layer});
+}
+
+Wire WireStore::extract(std::int64_t i) const {
+  const WireRef r = (*this)[i];
+  Wire w;
+  w.edge = r.edge();
+  w.h_layer = r.h_layer();
+  w.v_layer = r.v_layer();
+  STARLAY_REQUIRE(r.npts() <= kMaxWirePoints, "WireStore::extract: wire too long");
+  for (int p = 0; p < r.npts(); ++p) {
+    const Point pt = r.pt(p);
+    w.pts[static_cast<std::size_t>(w.npts++)] = pt;
+  }
+  return w;
+}
+
+void WireStore::replace(std::int64_t i, const Wire& w) {
+  STARLAY_REQUIRE(i >= 0 && i < size(), "WireStore::replace: index out of range");
+  const std::size_t lo = off_[static_cast<std::size_t>(i)];
+  const std::size_t hi = off_[static_cast<std::size_t>(i) + 1];
+  std::vector<Point32> np;
+  np.reserve(w.npts);
+  for (std::uint8_t p = 0; p < w.npts; ++p)
+    np.push_back({narrow(w.pts[p].x), narrow(w.pts[p].y)});
+  const std::int64_t delta =
+      static_cast<std::int64_t>(np.size()) - static_cast<std::int64_t>(hi - lo);
+  pts_.erase(pts_.begin() + static_cast<std::ptrdiff_t>(lo),
+             pts_.begin() + static_cast<std::ptrdiff_t>(hi));
+  pts_.insert(pts_.begin() + static_cast<std::ptrdiff_t>(lo), np.begin(), np.end());
+  if (delta != 0)
+    for (std::size_t j = static_cast<std::size_t>(i) + 1; j < off_.size(); ++j)
+      off_[j] = static_cast<std::uint32_t>(static_cast<std::int64_t>(off_[j]) + delta);
+  meta_[static_cast<std::size_t>(i)] = {w.edge, w.h_layer, w.v_layer};
+}
+
+WireStore WireStore::build_parallel(std::int64_t count, std::int64_t grain,
+                                    const std::function<void(std::int64_t, Wire&)>& fill) {
+  WireStore s;
+  s.meta_.resize(static_cast<std::size_t>(count));
+  s.off_.assign(static_cast<std::size_t>(count) + 1, 0);
+  // Pass 1: point counts (and metadata) per wire, written to disjoint slots.
+  support::parallel_for(0, count, grain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      Wire w;
+      fill(i, w);
+      s.off_[static_cast<std::size_t>(i) + 1] = w.npts;
+      s.meta_[static_cast<std::size_t>(i)] = {w.edge, w.h_layer, w.v_layer};
+    }
+  });
+  // Serial prefix sum fixes every wire's slice; thread-count independent.
+  std::uint64_t total = 0;
+  for (std::size_t i = 1; i < s.off_.size(); ++i) {
+    total += s.off_[i];
+    STARLAY_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max(),
+                    "WireStore: point buffer exceeds 32-bit offsets");
+    s.off_[i] = static_cast<std::uint32_t>(total);
+  }
+  // Pass 2: rebuild each wire into its disjoint slice.
+  s.pts_.resize(static_cast<std::size_t>(total));
+  support::parallel_for(0, count, grain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      Wire w;
+      fill(i, w);
+      Point32* out = s.pts_.data() + s.off_[static_cast<std::size_t>(i)];
+      for (std::uint8_t p = 0; p < w.npts; ++p)
+        out[p] = {narrow(w.pts[p].x), narrow(w.pts[p].y)};
+    }
+  });
+  return s;
+}
+
+}  // namespace starlay::layout

@@ -19,9 +19,9 @@ std::string to_ascii(const layout::Layout& lay) {
     else if (cell != c)
       cell = '+';  // crossing / bend
   };
-  for (const layout::Wire& w : lay.wires()) {
-    for (std::uint8_t i = 1; i < w.npts; ++i) {
-      const layout::Point a = w.pts[i - 1], b = w.pts[i];
+  for (const layout::WireRef w : lay.wires()) {
+    for (int i = 1; i < w.npts(); ++i) {
+      const layout::Point a = w.pt(i - 1), b = w.pt(i);
       if (a.y == b.y) {
         for (layout::Coord x = std::min(a.x, b.x); x <= std::max(a.x, b.x); ++x)
           put(x, a.y, '-');

@@ -43,12 +43,12 @@ std::string to_svg(const layout::Layout& lay, const SvgOptions& opt) {
          << "\" font-size=\"" << s * 1.2 << "\" text-anchor=\"middle\">" << v << "</text>\n";
     }
   }
-  for (const layout::Wire& w : lay.wires()) {
-    const int color_layer = opt.color_by_layer ? (w.h_layer - 1) / 2 : 0;
+  for (const layout::WireRef w : lay.wires()) {
+    const int color_layer = opt.color_by_layer ? (w.h_layer() - 1) / 2 : 0;
     os << "<polyline fill=\"none\" stroke=\"" << layer_color(color_layer)
        << "\" stroke-width=\"1\" points=\"";
-    for (std::uint8_t i = 0; i < w.npts; ++i)
-      os << X(w.pts[i].x) << "," << Y(w.pts[i].y) << " ";
+    for (int i = 0; i < w.npts(); ++i)
+      os << X(w.pt(i).x) << "," << Y(w.pt(i).y) << " ";
     os << "\"/>\n";
   }
   os << "</svg>\n";

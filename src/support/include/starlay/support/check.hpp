@@ -4,6 +4,11 @@
 ///
 /// All library-level precondition violations throw starlay::InvariantError,
 /// so tests can assert on failures without aborting the process.
+///
+/// STARLAY_REQUIRE builds its failure message *only on failure*: checks sit
+/// on per-edge / per-vertex hot paths (graph building, placement digits,
+/// wire appends), where eagerly concatenating the message string would
+/// dominate the loop body.
 
 #include <stdexcept>
 #include <string>
@@ -21,9 +26,15 @@ inline void require(bool cond, const std::string& msg) {
   if (!cond) throw InvariantError(msg);
 }
 
+[[noreturn]] inline void require_fail(const std::string& msg) { throw InvariantError(msg); }
+
 }  // namespace starlay
 
-/// Convenience macro adding file/line context to the failure message.
-#define STARLAY_REQUIRE(cond, msg)                                        \
-  ::starlay::require((cond), std::string(msg) + " [" + __FILE__ + ":" + \
-                                 std::to_string(__LINE__) + "]")
+/// Convenience macro adding file/line context to the failure message.  The
+/// message expression is not evaluated unless the condition fails.
+#define STARLAY_REQUIRE(cond, msg)                                             \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::starlay::require_fail(std::string(msg) + " [" + __FILE__ + ":" +       \
+                              std::to_string(__LINE__) + "]");                 \
+  } while (0)

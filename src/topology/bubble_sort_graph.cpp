@@ -1,24 +1,20 @@
 #include "starlay/support/check.hpp"
-#include "starlay/support/math.hpp"
 #include "starlay/topology/networks.hpp"
 #include "starlay/topology/permutation.hpp"
+
+#include "perm_graph_builder.hpp"
 
 namespace starlay::topology {
 
 Graph bubble_sort_graph(int n) {
   STARLAY_REQUIRE(n >= 2 && n <= 12, "bubble_sort_graph: n must be in [2, 12]");
-  const std::int64_t N = factorial(n);
-  Graph g(static_cast<std::int32_t>(N));
-  for (std::int64_t r = 0; r < N; ++r) {
-    const Perm p = perm_unrank(r, n);
-    for (int i = 1; i < n; ++i) {
-      const std::int64_t q = perm_rank(swap_adjacent(p, i));
-      if (r < q)
-        g.add_edge(static_cast<std::int32_t>(r), static_cast<std::int32_t>(q), i);
-    }
-  }
-  g.finalize();
-  return g;
+  // Generator i swaps adjacent positions i and i+1 (1-based).
+  return detail::build_permutation_graph(
+      n, n - 1,
+      [n](const std::uint8_t* p, std::int64_t r, const std::int64_t* fact,
+          const auto& add) {
+        for (int i = 1; i < n; ++i) add(rank_after_swap(p, n, r, i - 1, i, fact), i);
+      });
 }
 
 }  // namespace starlay::topology

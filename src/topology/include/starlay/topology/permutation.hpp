@@ -38,6 +38,36 @@ Perm reverse_prefix(const Perm& p, int i);
 /// Swaps adjacent positions i and i+1 (bubble-sort generator), 1-based.
 Perm swap_adjacent(const Perm& p, int i);
 
+/// Lexicographic rank of \p p after swapping 0-based positions \p i < \p j,
+/// given that rank(p) == \p r.  A transposition perturbs only the Lehmer
+/// digits at positions i..j, each by a count obtainable from one scan of
+/// the suffix, so this is O(n) — versus O(n^2) plus two allocations for
+/// materializing the swapped permutation and re-ranking it.  \p fact must
+/// hold 0!..(n-1)! at least.  The permutation-graph builders call this once
+/// per generator per vertex; at star dimension 9 that is ~12M calls.
+inline std::int64_t rank_after_swap(const std::uint8_t* p, int n, std::int64_t r, int i,
+                                    int j, const std::int64_t* fact) {
+  const int x = p[i], y = p[j];
+  // Lehmer digit i: the value at i becomes y; the suffix loses y, gains x.
+  std::int64_t ci_x = 0, ci_y = 0;
+  for (int k = i + 1; k < n; ++k) {
+    ci_x += p[k] < x;
+    ci_y += p[k] < y;
+  }
+  std::int64_t delta = (ci_y + (x < y ? 1 : 0) - ci_x) * fact[n - 1 - i];
+  // Digits strictly between: position j's value changes from y to x.
+  for (int k = i + 1; k < j; ++k)
+    delta += (static_cast<std::int64_t>(x < p[k]) - (y < p[k])) * fact[n - 1 - k];
+  // Digit j: the value there becomes x; the suffix beyond j is untouched.
+  std::int64_t cj_x = 0, cj_y = 0;
+  for (int k = j + 1; k < n; ++k) {
+    cj_x += p[k] < x;
+    cj_y += p[k] < y;
+  }
+  delta += (cj_x - cj_y) * fact[n - 1 - j];
+  return r + delta;
+}
+
 /// Substar path of \p p: element 0 is the symbol at the last position
 /// (which level-n block p belongs to), element 1 the symbol at position
 /// n-1 among the remaining ones, etc., down to blocks of size

@@ -1,0 +1,61 @@
+#pragma once
+/// \file perm_graph_builder.hpp
+/// \brief Shared chunk-parallel driver for permutation-graph builders
+/// (star, bubble-sort, transposition).
+///
+/// Every family enumerates all n! vertices in rank order and, per vertex,
+/// ranks each generator's image.  The driver walks each chunk's rank range
+/// with std::next_permutation (amortized O(1) per step, no allocations)
+/// and hands the family callback the raw permutation plus the factorial
+/// table so it can use rank_after_swap.  Chunks collect edges into private
+/// buffers that are concatenated serially in chunk order, reproducing the
+/// serial r-ascending insertion order bit-for-bit at every thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "starlay/support/math.hpp"
+#include "starlay/support/thread_pool.hpp"
+#include "starlay/topology/graph.hpp"
+#include "starlay/topology/permutation.hpp"
+
+namespace starlay::topology::detail {
+
+/// Builds the graph on all n! permutations of {1..n}.  For each vertex
+/// rank r, \p per_vertex(p, r, fact, add) must call add(q, label) once per
+/// generator, where q is the neighbor's rank; edges are kept when r < q,
+/// so each undirected edge is added exactly once, labels in emit order.
+/// \p gens is the generator count (used only to size chunk buffers).
+template <typename PerVertex>
+Graph build_permutation_graph(int n, int gens, const PerVertex& per_vertex) {
+  const std::int64_t N = starlay::factorial(n);
+  std::int64_t fact[21];
+  fact[0] = 1;
+  for (int k = 1; k <= n; ++k) fact[k] = fact[k - 1] * k;
+
+  constexpr std::int64_t kGrain = 4096;
+  const std::int64_t chunks = support::num_chunks(0, N, kGrain);
+  std::vector<std::vector<Edge>> buf(static_cast<std::size_t>(chunks));
+  support::parallel_for(0, N, kGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::vector<Edge>& out = buf[static_cast<std::size_t>(chunk)];
+    out.reserve(static_cast<std::size_t>((hi - lo) * gens / 2 + gens));
+    Perm p = perm_unrank(lo, n);
+    for (std::int64_t r = lo; r < hi; ++r) {
+      per_vertex(p.data(), r, fact, [&](std::int64_t q, std::int32_t label) {
+        if (r < q)
+          out.push_back({static_cast<std::int32_t>(r), static_cast<std::int32_t>(q), label});
+      });
+      if (r + 1 < hi) std::next_permutation(p.begin(), p.end());
+    }
+  });
+
+  Graph g(static_cast<std::int32_t>(N));
+  for (const auto& b : buf)
+    for (const Edge& e : b) g.add_edge(e.u, e.v, e.label);
+  g.finalize();
+  return g;
+}
+
+}  // namespace starlay::topology::detail

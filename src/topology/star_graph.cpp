@@ -1,24 +1,21 @@
 #include "starlay/support/check.hpp"
-#include "starlay/support/math.hpp"
 #include "starlay/topology/networks.hpp"
 #include "starlay/topology/permutation.hpp"
+
+#include "perm_graph_builder.hpp"
 
 namespace starlay::topology {
 
 Graph star_graph(int n) {
   STARLAY_REQUIRE(n >= 2 && n <= 12, "star_graph: n must be in [2, 12]");
-  const std::int64_t N = factorial(n);
-  Graph g(static_cast<std::int32_t>(N));
-  for (std::int64_t r = 0; r < N; ++r) {
-    const Perm p = perm_unrank(r, n);
-    for (int i = 2; i <= n; ++i) {
-      const std::int64_t q = perm_rank(swap_first_with(p, i));
-      if (r < q)  // add each undirected edge once
-        g.add_edge(static_cast<std::int32_t>(r), static_cast<std::int32_t>(q), i);
-    }
-  }
-  g.finalize();
-  return g;
+  // Generator i swaps positions 1 and i (1-based): rank each neighbor by
+  // Lehmer delta instead of materializing and re-ranking the permutation.
+  return detail::build_permutation_graph(
+      n, n - 1,
+      [n](const std::uint8_t* p, std::int64_t r, const std::int64_t* fact,
+          const auto& add) {
+        for (int i = 2; i <= n; ++i) add(rank_after_swap(p, n, r, 0, i - 1, fact), i);
+      });
 }
 
 }  // namespace starlay::topology

@@ -1,29 +1,23 @@
 #include "starlay/support/check.hpp"
-#include "starlay/support/math.hpp"
 #include "starlay/topology/networks.hpp"
 #include "starlay/topology/permutation.hpp"
+
+#include "perm_graph_builder.hpp"
 
 namespace starlay::topology {
 
 Graph transposition_graph(int n) {
   STARLAY_REQUIRE(n >= 2 && n <= 10, "transposition_graph: n must be in [2, 10]");
-  const std::int64_t N = factorial(n);
-  Graph g(static_cast<std::int32_t>(N));
-  for (std::int64_t r = 0; r < N; ++r) {
-    const Perm p = perm_unrank(r, n);
-    std::int32_t label = 0;
-    for (int i = 1; i <= n; ++i) {
-      for (int j = i + 1; j <= n; ++j, ++label) {
-        Perm q = p;
-        std::swap(q[static_cast<std::size_t>(i - 1)], q[static_cast<std::size_t>(j - 1)]);
-        const std::int64_t s = perm_rank(q);
-        if (r < s)
-          g.add_edge(static_cast<std::int32_t>(r), static_cast<std::int32_t>(s), label);
-      }
-    }
-  }
-  g.finalize();
-  return g;
+  // One generator per position pair (i, j), i < j, labeled in i-major order.
+  return detail::build_permutation_graph(
+      n, n * (n - 1) / 2,
+      [n](const std::uint8_t* p, std::int64_t r, const std::int64_t* fact,
+          const auto& add) {
+        std::int32_t label = 0;
+        for (int i = 1; i <= n; ++i)
+          for (int j = i + 1; j <= n; ++j, ++label)
+            add(rank_after_swap(p, n, r, i - 1, j - 1, fact), label);
+      });
 }
 
 }  // namespace starlay::topology

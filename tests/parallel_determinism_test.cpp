@@ -27,11 +27,13 @@ std::string fingerprint(const core::StarLayoutResult& r) {
   os << '|' << s.placement.rows << 'x' << s.placement.cols << ':';
   for (std::int64_t sl : s.placement.slot) os << sl << ',';
   os << '|' << r.routed.layout.area() << '|';
-  for (const layout::Wire& w : r.routed.layout.wires()) {
-    os << w.edge << '/' << w.h_layer << '/' << w.v_layer << '/';
-    for (int i = 0; i < w.npts; ++i)
-      os << w.pts[static_cast<std::size_t>(i)].x << ';'
-         << w.pts[static_cast<std::size_t>(i)].y << ';';
+  const layout::WireStore& ws = r.routed.layout.wires();
+  // Pin the SoA store itself, not just the logical wires: offsets must be
+  // the same prefix sum no matter how many threads built them.
+  for (std::int64_t wi = 0; wi <= ws.size(); ++wi) os << ws.raw_offsets()[wi] << '~';
+  for (const layout::WireRef w : ws) {
+    os << w.edge() << '/' << w.h_layer() << '/' << w.v_layer() << '/';
+    for (int i = 0; i < w.npts(); ++i) os << w.pt(i).x << ';' << w.pt(i).y << ';';
     os << ' ';
   }
   return os.str();
@@ -78,11 +80,11 @@ TEST(ParallelDeterminism, ValidationErrorsStable) {
   // Corrupt a layout so the chunked validator actually produces errors,
   // then require the full report (order and cap included) to be invariant.
   auto r = core::star_layout(4);
-  auto& ws = r.routed.layout.mutable_wires();
-  ASSERT_GE(ws.size(), 2u);
-  const std::int64_t keep_edge = ws[0].edge;
-  ws[0] = ws[1];  // coincident geometry => overlap + path-rule violations
-  ws[0].edge = keep_edge;
+  auto& lay = r.routed.layout;
+  ASSERT_GE(lay.num_wires(), 2);
+  layout::Wire dup = lay.wire(1);  // coincident geometry => overlap + path-rule violations
+  dup.edge = lay.wire(0).edge;
+  lay.replace_wire(0, dup);
   expect_thread_invariant([&] {
     layout::ValidationOptions opt;
     opt.max_errors = 5;

@@ -189,5 +189,27 @@ TEST(Enumerator, SeededMidRangeMatchesAdvancedFromZero) {
   }
 }
 
+TEST(RankAfterSwap, MatchesMaterializedRankExhaustively) {
+  // The graph builders replace perm_rank(swap(p, i, j)) with a Lehmer-delta
+  // computation; sweep every permutation and every position pair.
+  for (int n = 2; n <= 6; ++n) {
+    std::int64_t fact[8];
+    fact[0] = 1;
+    for (int k = 1; k <= n; ++k) fact[k] = fact[k - 1] * k;
+    Perm p = identity_perm(n);
+    for (std::int64_t r = 0; r < factorial(n); ++r) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          Perm q = p;
+          std::swap(q[static_cast<std::size_t>(i)], q[static_cast<std::size_t>(j)]);
+          ASSERT_EQ(rank_after_swap(p.data(), n, r, i, j, fact), perm_rank(q))
+              << "n=" << n << " r=" << r << " i=" << i << " j=" << j;
+        }
+      }
+      std::next_permutation(p.begin(), p.end());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace starlay::topology

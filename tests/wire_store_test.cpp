@@ -1,0 +1,246 @@
+// The SoA wire store and the bucketed segment index must be *observably
+// identical* to the AoS std::vector<Wire> representation they replaced.
+// The golden fingerprints below were computed against the pre-SoA tree
+// (identical construction pipeline, wires stored as vector<Wire>, segments
+// sorted with one global std::sort): any divergence in wire geometry,
+// metadata, segment set, bounding box, or derived lengths changes the hash.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "starlay/core/hcn_layout.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/segment_index.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/layout/wire_store.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::layout {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v);
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// FNV-1a over every observable quantity of a layout, in a fixed order.
+std::uint64_t layout_fingerprint(const Layout& lay) {
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv(h, lay.num_wires());
+  for (const WireRef w : lay.wires()) {
+    h = fnv(h, w.edge());
+    h = fnv(h, w.h_layer());
+    h = fnv(h, w.v_layer());
+    h = fnv(h, w.npts());
+    for (int i = 0; i < w.npts(); ++i) {
+      h = fnv(h, w.pt(i).x);
+      h = fnv(h, w.pt(i).y);
+    }
+  }
+  for (const LayerSegment& s : lay.segments()) {
+    h = fnv(h, s.layer);
+    h = fnv(h, s.horizontal ? 1 : 0);
+    h = fnv(h, s.line);
+    h = fnv(h, s.span.lo);
+    h = fnv(h, s.span.hi);
+    h = fnv(h, s.wire);
+  }
+  const Rect& bb = lay.bounding_box();
+  h = fnv(h, bb.x0);
+  h = fnv(h, bb.y0);
+  h = fnv(h, bb.x1);
+  h = fnv(h, bb.y1);
+  h = fnv(h, lay.num_layers());
+  h = fnv(h, lay.total_wire_length());
+  h = fnv(h, lay.max_wire_length());
+  return h;
+}
+
+TEST(WireStoreGolden, StarLayoutsMatchAoSBaseline) {
+  EXPECT_EQ(layout_fingerprint(core::star_layout(6).routed.layout),
+            10461399955388810600ull);
+  EXPECT_EQ(layout_fingerprint(core::star_layout_compact(5).routed.layout),
+            8595571350256437763ull);
+  EXPECT_EQ(layout_fingerprint(core::transposition_layout(4).routed.layout),
+            3861059960937322183ull);
+}
+
+TEST(WireStoreGolden, HierarchicalCubicLayoutsMatchAoSBaseline) {
+  EXPECT_EQ(layout_fingerprint(core::hcn_layout(2).routed.layout),
+            16386271916943833031ull);
+  EXPECT_EQ(layout_fingerprint(core::hfn_layout(2).routed.layout),
+            12231418494752869806ull);
+}
+
+// The bucketed counting-sort pass must order segments exactly like the
+// comparison sort it replaced, refined by (span.hi, wire) to a total order.
+TEST(SegmentIndex, MatchesGlobalSortOrder) {
+  const auto r = core::star_layout(5);
+  const Layout& lay = r.routed.layout;
+  auto expect = lay.segments();
+  std::sort(expect.begin(), expect.end(), [](const LayerSegment& a, const LayerSegment& b) {
+    if (a.layer != b.layer) return a.layer < b.layer;
+    if (a.horizontal != b.horizontal) return a.horizontal < b.horizontal;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.span.lo != b.span.lo) return a.span.lo < b.span.lo;
+    if (a.span.hi != b.span.hi) return a.span.hi < b.span.hi;
+    return a.wire < b.wire;
+  });
+  const SegmentIndex idx(lay);
+  ASSERT_EQ(idx.size(), static_cast<std::int64_t>(expect.size()));
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    const LayerSegment& a = idx.segments()[i];
+    const LayerSegment& b = expect[i];
+    ASSERT_TRUE(a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
+                a.span == b.span && a.wire == b.wire)
+        << "segment " << i << " diverges";
+  }
+}
+
+TEST(SegmentIndex, LineRangeFindsEverySegment) {
+  const auto r = core::star_layout(4);
+  const SegmentIndex idx(r.routed.layout);
+  for (const LayerSegment& s : idx.segments()) {
+    const auto [first, last] = idx.line_range(s.layer, s.horizontal, s.line);
+    bool found = false;
+    for (const LayerSegment* it = first; it != last; ++it) {
+      EXPECT_EQ(it->line, s.line);
+      if (it->span == s.span && it->wire == s.wire) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(idx.line_range(99, true, 0).first, idx.line_range(99, true, 0).second);
+}
+
+TEST(WireStore, PushBackExtractRoundTrip) {
+  WireStore s;
+  Wire a;
+  a.edge = 7;
+  a.h_layer = 3;
+  a.v_layer = 4;
+  a.push({0, 0});
+  a.push({5, 0});
+  a.push({5, 9});
+  Wire b;
+  b.edge = 1;
+  b.push({-2, -3});
+  b.push({-2, 8});
+  s.push_back(a);
+  s.push_back(b);
+  ASSERT_EQ(s.size(), 2);
+  EXPECT_EQ(s.num_points(), 5);
+  const Wire a2 = s.extract(0);
+  EXPECT_EQ(a2.edge, 7);
+  EXPECT_EQ(a2.h_layer, 3);
+  EXPECT_EQ(a2.v_layer, 4);
+  ASSERT_EQ(a2.npts, 3);
+  EXPECT_EQ(a2.pts[2], (Point{5, 9}));
+  EXPECT_EQ(s[1].front(), (Point{-2, -3}));
+  EXPECT_EQ(s[1].back(), (Point{-2, 8}));
+}
+
+TEST(WireStore, ReplaceShiftsFollowingOffsets) {
+  WireStore s;
+  for (int k = 0; k < 3; ++k) {
+    Wire w;
+    w.edge = k;
+    w.push({k, 0});
+    w.push({k, 5});
+    s.push_back(w);
+  }
+  Wire longer;
+  longer.edge = 1;
+  longer.push({10, 0});
+  longer.push({14, 0});
+  longer.push({14, 3});
+  longer.push({20, 3});
+  s.replace(1, longer);
+  ASSERT_EQ(s.size(), 3);
+  EXPECT_EQ(s[1].npts(), 4);
+  EXPECT_EQ(s[1].pt(3), (Point{20, 3}));
+  // Wire 2 must be untouched by the shift.
+  EXPECT_EQ(s[2].npts(), 2);
+  EXPECT_EQ(s[2].front(), (Point{2, 0}));
+  EXPECT_EQ(s[2].back(), (Point{2, 5}));
+  EXPECT_EQ(s.extract(2).edge, 2);
+}
+
+TEST(WireStore, BuildParallelMatchesSerialAppend) {
+  const auto fill = [](std::int64_t i, Wire& w) {
+    w.edge = i;
+    w.h_layer = 1;
+    w.v_layer = 2;
+    w.push({i, -i});
+    w.push({i + 3, -i});
+    if (i % 2 == 0) w.push({i + 3, -i + 4});
+  };
+  const WireStore par = WireStore::build_parallel(100, 7, fill);
+  WireStore ser;
+  for (std::int64_t i = 0; i < 100; ++i) {
+    Wire w;
+    fill(i, w);
+    ser.push_back(w);
+  }
+  ASSERT_EQ(par.size(), ser.size());
+  ASSERT_EQ(par.num_points(), ser.num_points());
+  for (std::int64_t i = 0; i <= par.size(); ++i)
+    ASSERT_EQ(par.raw_offsets()[i], ser.raw_offsets()[i]);
+  for (std::int64_t i = 0; i < par.size(); ++i) {
+    ASSERT_EQ(par[i].edge(), ser[i].edge());
+    for (int p = 0; p < par[i].npts(); ++p) ASSERT_EQ(par[i].pt(p), ser[i].pt(p));
+  }
+}
+
+TEST(WireStore, RejectsCoordinatesBeyond32Bit) {
+  WireStore s;
+  Wire w;
+  w.push({1ll << 40, 0});
+  w.push({1ll << 40, 5});
+  EXPECT_THROW(s.push_back(w), InvariantError);
+}
+
+// Regression: validating a layout with nodes but no wires used to hand
+// `segment count - 1 = -1` to the chunked checker.  It must come back clean
+// (wire/edge mismatch aside), not crash.
+TEST(Validate, EmptyAndRouteFreeLayouts) {
+  const auto g = topology::star_graph(3);
+  Layout lay(g.num_vertices());
+  for (std::int32_t v = 0; v < g.num_vertices(); ++v)
+    lay.set_node_rect(v, {v * 10, 0, v * 10 + 1, 1});
+  const auto rep = validate_layout(g, lay);
+  EXPECT_FALSE(rep.ok);  // wires missing for every edge
+  EXPECT_EQ(rep.num_segments, 0);
+  EXPECT_EQ(rep.num_layers, 0);
+
+  const topology::Graph empty(0);
+  const auto rep2 = validate_layout(empty, Layout(0));
+  EXPECT_TRUE(rep2.ok);
+  EXPECT_EQ(rep2.num_segments, 0);
+}
+
+TEST(Layout, BoundingBoxCacheInvalidates) {
+  Layout lay(1);
+  lay.set_node_rect(0, {0, 0, 2, 2});
+  EXPECT_EQ(lay.area(), 9);
+  EXPECT_EQ(lay.area(), 9);  // cached hit
+  Wire w;
+  w.push({2, 1});
+  w.push({10, 1});
+  lay.add_wire(w);
+  EXPECT_EQ(lay.width(), 11);
+  lay.set_node_rect(0, {0, -5, 2, 2});
+  EXPECT_EQ(lay.height(), 8);
+  Wire w2 = lay.wire(0);
+  w2.pts[1].x = 20;
+  lay.replace_wire(0, w2);
+  EXPECT_EQ(lay.width(), 21);
+}
+
+}  // namespace
+}  // namespace starlay::layout

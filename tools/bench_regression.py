@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Performance-regression gate for the star-area bench.
+
+Runs bench_star_area (sizes capped at n <= 7 so the gate stays fast), takes
+the best of several runs per size, and compares construct/validate timings
+against the committed BENCH_star_area.json baseline.  Fails when either
+phase regresses by more than the threshold at any size; small absolute
+times are exempted by a noise floor, since sub-millisecond phases on a
+shared machine jitter far beyond any realistic regression.
+
+Usage: bench_regression.py <bench-binary> [baseline-json]
+Environment: STARLAY_THREADS is forced to the baseline's thread count so
+timings are compared like for like.
+
+Wired into CTest as `bench_star_regression` with LABEL perf:
+    ctest -L perf
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+MAX_N = 7  # sizes above this are scaling runs, not gate material
+RUNS = 3  # best-of, to shed scheduler noise
+THRESHOLD = 0.15  # fail on >15% regression
+NOISE_FLOOR_MS = 2.0  # phases this fast are all jitter
+
+
+def run_bench(binary, env):
+    """Runs the bench once and returns its JSON rows keyed by n."""
+    subprocess.run(
+        [binary, "--benchmark_filter=NONE"],
+        cwd=os.path.dirname(binary) or ".",
+        env=env,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    out = os.path.join(os.path.dirname(binary) or ".", "BENCH_star_area.json")
+    with open(out, encoding="utf-8") as f:
+        return {row["n"]: row for row in json.load(f)}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    binary = os.path.abspath(sys.argv[1])
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                          "BENCH_star_area.json")
+    )
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = {row["n"]: row for row in json.load(f) if row["n"] <= MAX_N}
+    if not baseline:
+        print(f"no baseline rows at n <= {MAX_N} in {baseline_path}")
+        return 2
+
+    env = dict(os.environ)
+    env["STARLAY_BENCH_MAX_N"] = str(MAX_N)
+    threads = next(iter(baseline.values())).get("threads")
+    if threads:
+        env["STARLAY_THREADS"] = str(threads)
+
+    best = {}
+    for _ in range(RUNS):
+        for n, row in run_bench(binary, env).items():
+            if n not in baseline:
+                continue
+            cur = best.setdefault(n, {"construct_ms": float("inf"),
+                                      "validate_ms": float("inf")})
+            for key in cur:
+                cur[key] = min(cur[key], row[key])
+
+    failures = []
+    for n, row in sorted(best.items()):
+        for key in ("construct_ms", "validate_ms"):
+            now, ref = row[key], baseline[n][key]
+            verdict = "ok"
+            if now > ref * (1 + THRESHOLD) and now - ref > NOISE_FLOOR_MS:
+                verdict = "REGRESSION"
+                failures.append(f"n={n} {key}: {now:.2f}ms vs baseline {ref:.2f}ms")
+            print(f"n={n} {key:>13}: {now:8.2f}ms  baseline {ref:8.2f}ms  [{verdict}]")
+
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print("\nPASS: no phase regressed beyond "
+          f"{THRESHOLD:.0%} (+{NOISE_FLOOR_MS}ms noise floor) at n <= {MAX_N}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
