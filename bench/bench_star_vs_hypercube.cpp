@@ -27,12 +27,12 @@ void print_table() {
   for (int n : {5, 6, 7}) {
     const auto r = core::star_layout(n);
     const double N = static_cast<double>(factorial(n));
-    rows.push_back({"star", N, static_cast<double>(r.routed.layout.area()), 1.0 / 16});
+    rows.push_back({"star", N, static_cast<double>(r.routed.layout.area()), core::star_area(1.0)});
   }
   for (int d : {7, 9, 12}) {
     const auto r = core::hypercube_layout(d);
     const double N = static_cast<double>(1 << d);
-    rows.push_back({"hypercube", N, static_cast<double>(r.routed.layout.area()), 4.0 / 9});
+    rows.push_back({"hypercube", N, static_cast<double>(r.routed.layout.area()), core::hypercube_area(1.0)});
   }
   for (const auto& r : rows)
     std::printf("%16s%16.0f%16.0f%16.5f%16.5f\n", r.name, r.nodes, r.area,

@@ -118,10 +118,14 @@ inline void row_labels(const std::vector<std::string>& cols) {
 
 inline void cell(const char* fmt, double v) { std::printf(fmt, v); }
 
-/// Standard main: print the experiment table, then run timings.
+/// Standard main: print the experiment table (followed by the process's
+/// peak RSS — at star dimension >= 9 memory, not time, is the binding
+/// constraint, so every experiment records it), then run timings.
 #define STARLAY_BENCH_MAIN(print_table_fn)                          \
   int main(int argc, char** argv) {                                 \
     print_table_fn();                                               \
+    std::printf("\npeak RSS after tables: %.1f MiB\n",              \
+                ::starlay::benchutil::peak_rss_mb());               \
     ::benchmark::Initialize(&argc, argv);                           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();                          \

@@ -1,48 +1,50 @@
 // Design-space explorer: the trade study a machine architect would run
 // with this library.  For each candidate interconnect near a target node
-// count, report measured layout area (2-layer and multilayer where
-// supported), bisection-width witnesses, and total-exchange capability.
+// count, report measured layout area, bisection-width witnesses, and
+// total-exchange capability.  Every candidate is built through the
+// builder registry — the same entry point starlay_cli and the streaming
+// pipeline use — so adding a family there makes it explorable here.
 //
 //   $ ./design_explorer [~target-nodes]
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <vector>
 
 #include "starlay/bisect/bisect.hpp"
 #include "starlay/comm/te.hpp"
+#include "starlay/core/builder.hpp"
 #include "starlay/core/formulas.hpp"
-#include "starlay/core/hcn_layout.hpp"
-#include "starlay/core/hypercube_layout.hpp"
-#include "starlay/core/star_layout.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/support/math.hpp"
 #include "starlay/topology/properties.hpp"
 
 namespace {
 
-struct Candidate {
-  std::string name;
-  starlay::topology::Graph graph;
-  starlay::layout::RoutedLayout routed;
-  starlay::layout::Placement placement;
-};
-
-void report(Candidate& c) {
+void report(const std::string& family, int n) {
   using namespace starlay;
-  const auto rep = layout::validate_layout(c.graph, c.routed.layout);
-  const std::int32_t N = c.graph.num_vertices();
-  const double area = static_cast<double>(c.routed.layout.area());
-  const auto slice = bisect::layout_slice_bisection(c.graph, c.placement);
-  const std::int32_t diam = topology::diameter_from(c.graph, 0);
+  const core::LayoutBuilder* builder = core::find_builder(family);
+  if (!builder) {
+    std::printf("%-14s (not registered)\n", family.c_str());
+    return;
+  }
+  core::BuildParams params;
+  params.n = n;
+  core::BuildResult r = builder->build(params);
+
+  const auto rep = layout::validate_layout(r.graph, r.routed.layout);
+  const std::int32_t N = r.graph.num_vertices();
+  const double area = static_cast<double>(r.routed.layout.area());
+  const auto slice = bisect::layout_slice_bisection(r.graph, r.routed.layout);
+  const std::int32_t diam = topology::diameter_from(r.graph, 0);
   double te = -1;
   if (N <= 256) {
-    const comm::DistanceTable dt(c.graph);
-    te = static_cast<double>(comm::greedy_te(c.graph, dt).steps);
+    const comm::DistanceTable dt(r.graph);
+    te = static_cast<double>(comm::greedy_te(r.graph, dt).steps);
   }
-  std::printf("%-12s %7d %6d %7d %14.0f %10.4f %9lld %8.0f %s\n", c.name.c_str(), N,
-              c.graph.degree(0), diam, area, area / (static_cast<double>(N) * N),
+  const std::string label = family + "-" + std::to_string(n);
+  std::printf("%-14s %7d %6d %7d %14.0f %10.4f %9lld %8.0f %s\n", label.c_str(), N,
+              r.graph.degree(0), diam, area, area / (static_cast<double>(N) * N),
               static_cast<long long>(slice.width), te, rep.ok ? "" : "  ** INVALID **");
 }
 
@@ -55,49 +57,24 @@ int main(int argc, char** argv) {
   std::printf("candidate interconnects near %d nodes\n", target);
   std::printf("(area measured on real validated layouts; bisection = layout-slice witness;\n"
               " TE = greedy all-port total-exchange steps, simulated when N <= 256)\n\n");
-  std::printf("%-12s %7s %6s %7s %14s %10s %9s %8s\n", "network", "nodes", "deg", "diam",
+  std::printf("%-14s %7s %6s %7s %14s %10s %9s %8s\n", "network", "nodes", "deg", "diam",
               "area", "area/N^2", "bisect<=", "TE");
 
-  // Star graph: the n with n! closest to target.
+  // Star graph (and pancake, same vertex count): the n with n! closest
+  // to target.
   int n = 3;
   while (n < 9 && factorial(n + 1) <= 2 * static_cast<std::int64_t>(target)) ++n;
-  {
-    auto r = core::star_layout(n);
-    Candidate c{"star-" + std::to_string(n), std::move(r.graph), std::move(r.routed),
-                std::move(r.structure.placement)};
-    report(c);
-  }
+  report("star", n);
+  report("pancake", n);
   // Hypercube: 2^d closest to target.
   int d = 2;
   while (d < 14 && (1 << (d + 1)) <= 2 * target) ++d;
-  {
-    auto r = core::hypercube_layout(d);
-    Candidate c{"Q-" + std::to_string(d), std::move(r.graph), std::move(r.routed),
-                core::hypercube_placement(d)};
-    report(c);
-  }
+  report("hypercube", d);
   // HCN/HFN: 2^(2h) closest to target.
   int h = 1;
   while (h < 5 && (1 << (2 * (h + 1))) <= 2 * target) ++h;
-  {
-    auto r = core::hcn_layout(h);
-    Candidate c{"HCN-" + std::to_string(1 << (2 * h)), std::move(r.graph), std::move(r.routed),
-                std::move(r.placement)};
-    report(c);
-  }
-  {
-    auto r = core::hfn_layout(h);
-    Candidate c{"HFN-" + std::to_string(1 << (2 * h)), std::move(r.graph), std::move(r.routed),
-                std::move(r.placement)};
-    report(c);
-  }
-  // Pancake graph, same n as the star.
-  {
-    auto r = core::permutation_layout(core::PermutationFamily::kPancake, n);
-    Candidate c{"pancake-" + std::to_string(n), std::move(r.graph), std::move(r.routed),
-                std::move(r.structure.placement)};
-    report(c);
-  }
+  report("hcn", h);
+  report("hfn", h);
 
   std::printf("\nreading: the star graph packs ~%.1fx denser than the hypercube\n",
               core::star_vs_hypercube_ratio());

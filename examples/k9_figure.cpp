@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   std::printf("area: %lld\n", static_cast<long long>(r.routed.layout.area()));
 
   std::printf("\n%s\n", render::to_ascii(r.routed.layout).c_str());
-  render::write_svg(r.routed.layout, svg_path, {12.0, true, true});
+  render::write_svg(r.routed.layout, svg_path, {12.0, true, true, {}});
   std::printf("wrote %s\n", svg_path.c_str());
   return rep.ok ? 0 : 1;
 }

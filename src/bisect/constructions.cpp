@@ -26,6 +26,25 @@ BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::P
   return res;
 }
 
+BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::Layout& lay) {
+  const std::int32_t n = g.num_vertices();
+  STARLAY_REQUIRE(lay.num_nodes() == n, "layout_slice_bisection: node count mismatch");
+  std::vector<std::int32_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    const layout::Rect& ra = lay.node_rect(a);
+    const layout::Rect& rb = lay.node_rect(b);
+    if (ra.x0 != rb.x0) return ra.x0 < rb.x0;
+    return ra.y0 < rb.y0;
+  });
+  BisectionResult res;
+  res.side.assign(static_cast<std::size_t>(n), 1);
+  for (std::int32_t i = 0; i < n / 2; ++i)
+    res.side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 0;
+  res.width = partition_cut(g, res.side);
+  return res;
+}
+
 BisectionResult hcn_cluster_bisection(const topology::Graph& g, int h) {
   const std::int32_t M = std::int32_t{1} << h;
   STARLAY_REQUIRE(g.num_vertices() == M * M, "hcn_cluster_bisection: size mismatch");

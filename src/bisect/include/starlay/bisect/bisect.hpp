@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "starlay/layout/layout.hpp"
 #include "starlay/layout/placement.hpp"
 #include "starlay/topology/graph.hpp"
 
@@ -41,6 +42,11 @@ std::int64_t partition_cut(const topology::Graph& g, const std::vector<std::uint
 /// vertices ordered by (col, row), first half vs rest.  This is the
 /// "VLSI area => bisection upper bound" direction of Theorem 4.1.
 BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::Placement& p);
+
+/// Same slice, but ordered by the node rectangles of a materialized layout
+/// (x then y of each vertex's lower-left corner).  Lets builder-registry
+/// consumers compute the witness without family-specific placement access.
+BisectionResult layout_slice_bisection(const topology::Graph& g, const layout::Layout& lay);
 
 /// Theorem 4.2's construction for HCN/HFN with 2^(2h) nodes: side 0 holds
 /// clusters [0, M/4) and [3M/4, M), which confines every diameter link and

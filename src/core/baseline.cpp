@@ -7,13 +7,14 @@
 
 namespace starlay::core {
 
-layout::RoutedLayout naive_collinear_layout(const topology::Graph& g) {
+layout::RouteStats naive_collinear_layout_stream(const topology::Graph& g,
+                                                 layout::WireSink& sink) {
   const std::int32_t m = g.num_vertices();
   STARLAY_REQUIRE(m >= 2, "naive_collinear_layout: need >= 2 vertices");
   const auto w = static_cast<layout::Coord>(std::max(1, g.max_degree()));
-  layout::Layout lay(m);
+  std::vector<layout::Rect> rects(static_cast<std::size_t>(m));
   for (std::int32_t v = 0; v < m; ++v)
-    lay.set_node_rect(v, {v * w, 0, v * w + w - 1, w - 1});
+    rects[static_cast<std::size_t>(v)] = {v * w, 0, v * w + w - 1, w - 1};
 
   // Stub offsets: incident edges sorted by the far endpoint (left-bound
   // stubs left of right-bound ones, like the optimized layouts).
@@ -35,24 +36,29 @@ layout::RoutedLayout naive_collinear_layout(const topology::Graph& g) {
     }
   }
 
-  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+  sink.begin(g, std::move(rects));
+  sink.emit_bulk(g.num_edges(), 4096, [&](std::int64_t e, layout::Wire& wire) {
     const auto& ed = g.edge(e);
     const layout::Coord y = w + e;  // private track per edge
     const layout::Coord xs = ed.u * w + stub[static_cast<std::size_t>(e) * 2];
     const layout::Coord xd = ed.v * w + stub[static_cast<std::size_t>(e) * 2 + 1];
-    layout::Wire wire;
     wire.edge = e;
     wire.push({xs, w - 1});
     wire.push({xs, y});
     wire.push({xd, y});
     wire.push({xd, w - 1});
-    lay.add_wire(wire);
-  }
-  layout::RoutedLayout out{std::move(lay),
-                           {static_cast<std::int32_t>(g.num_edges())},
-                           std::vector<std::int32_t>(static_cast<std::size_t>(m), 0),
-                           w};
-  return out;
+  });
+  sink.end();
+  return {{static_cast<std::int32_t>(g.num_edges())},
+          std::vector<std::int32_t>(static_cast<std::size_t>(m), 0),
+          w};
+}
+
+layout::RoutedLayout naive_collinear_layout(const topology::Graph& g) {
+  layout::MaterializingSink sink;
+  layout::RouteStats stats = naive_collinear_layout_stream(g, sink);
+  return {sink.take_layout(), std::move(stats.row_channel_tracks),
+          std::move(stats.col_channel_tracks), stats.node_size};
 }
 
 layout::RoutedLayout unordered_grid_layout(const topology::Graph& g) {
@@ -60,11 +66,25 @@ layout::RoutedLayout unordered_grid_layout(const topology::Graph& g) {
   return layout::route_grid(g, p);
 }
 
+layout::RouteStats unordered_grid_layout_stream(const topology::Graph& g,
+                                                layout::WireSink& sink) {
+  const layout::Placement p = layout::row_major_placement(g.num_vertices());
+  return layout::route_grid_stream(g, p, {}, {}, sink);
+}
+
 layout::RoutedLayout unbalanced_orientation_layout(const topology::Graph& g,
                                                    const layout::Placement& p) {
   layout::RouteSpec spec;
   spec.source_is_u.assign(static_cast<std::size_t>(g.num_edges()), 1);
   return layout::route_grid(g, p, spec);
+}
+
+layout::RouteStats unbalanced_orientation_layout_stream(const topology::Graph& g,
+                                                        const layout::Placement& p,
+                                                        layout::WireSink& sink) {
+  layout::RouteSpec spec;
+  spec.source_is_u.assign(static_cast<std::size_t>(g.num_edges()), 1);
+  return layout::route_grid_stream(g, p, spec, {}, sink);
 }
 
 }  // namespace starlay::core

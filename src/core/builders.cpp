@@ -1,0 +1,270 @@
+#include "starlay/core/builder.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "starlay/core/baseline.hpp"
+#include "starlay/core/collinear_complete.hpp"
+#include "starlay/core/complete2d.hpp"
+#include "starlay/core/hcn_layout.hpp"
+#include "starlay/core/hypercube_layout.hpp"
+#include "starlay/core/multilayer_star.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+namespace {
+
+using BuildFn = std::function<BuildResult(const BuildParams&)>;
+using StreamFn =
+    std::function<layout::RouteStats(const BuildParams&, layout::WireSink&, topology::Graph*)>;
+
+class FnBuilder final : public LayoutBuilder {
+ public:
+  FnBuilder(std::string name, std::string description, std::pair<int, int> n_range,
+            BuildFn build, StreamFn stream)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        n_range_(n_range),
+        build_(std::move(build)),
+        stream_(std::move(stream)) {}
+
+  std::string_view name() const override { return name_; }
+  std::string_view description() const override { return description_; }
+  std::pair<int, int> n_range() const override { return n_range_; }
+
+  BuildResult build(const BuildParams& params) const override {
+    check_range(params);
+    return build_(params);
+  }
+
+  layout::RouteStats build_stream(const BuildParams& params, layout::WireSink& sink,
+                                  topology::Graph* graph_out) const override {
+    check_range(params);
+    return stream_(params, sink, graph_out);
+  }
+
+ private:
+  void check_range(const BuildParams& params) const {
+    STARLAY_REQUIRE(params.n >= n_range_.first && params.n <= n_range_.second,
+                    "builder: n outside the family's valid range");
+  }
+
+  std::string name_;
+  std::string description_;
+  std::pair<int, int> n_range_;
+  BuildFn build_;
+  StreamFn stream_;
+};
+
+BuildResult from_star(StarLayoutResult r) { return {std::move(r.graph), std::move(r.routed)}; }
+BuildResult from_hcn(HcnLayoutResult r) { return {std::move(r.graph), std::move(r.routed)}; }
+
+/// The baselines need a subject network; the n-star is the repo's standard
+/// ablation subject (EXPERIMENTS.md, E11).
+topology::Graph baseline_subject(int n) { return topology::star_graph(n); }
+
+const std::vector<FnBuilder>& registry() {
+  // Function-local so registration cannot be dropped by the linker and
+  // needs no static-init ordering.
+  static const std::vector<FnBuilder> builders = [] {
+    std::vector<FnBuilder> b;
+    const auto add = [&](std::string name, std::string desc, std::pair<int, int> range,
+                         BuildFn build, StreamFn stream) {
+      b.emplace_back(std::move(name), std::move(desc), range, std::move(build),
+                     std::move(stream));
+    };
+
+    add("star", "n-star graph, optimal N^2/16 hierarchical layout (Lemma 2.2)", {2, 12},
+        [](const BuildParams& p) { return from_star(star_layout(p.n, p.base_size)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return star_layout_stream(p.n, s, p.base_size, g);
+        });
+    add("star-compact", "n-star with four-sided attachments (Theorem 3.7 node window)",
+        {2, 12},
+        [](const BuildParams& p) { return from_star(star_layout_compact(p.n, p.base_size)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return star_layout_compact_stream(p.n, s, p.base_size, g);
+        });
+    add("pancake", "n-pancake graph via the star hierarchy machinery", {2, 12},
+        [](const BuildParams& p) {
+          return from_star(permutation_layout(PermutationFamily::kPancake, p.n, p.base_size));
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return permutation_layout_stream(PermutationFamily::kPancake, p.n, s, p.base_size, g);
+        });
+    add("bubble-sort", "n-bubble-sort graph via the star hierarchy machinery", {2, 12},
+        [](const BuildParams& p) {
+          return from_star(
+              permutation_layout(PermutationFamily::kBubbleSort, p.n, p.base_size));
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return permutation_layout_stream(PermutationFamily::kBubbleSort, p.n, s, p.base_size,
+                                           g);
+        });
+    add("transposition", "complete transposition graph (Section 2.4 remark)", {2, 12},
+        [](const BuildParams& p) { return from_star(transposition_layout(p.n, p.base_size)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return transposition_layout_stream(p.n, s, p.base_size, g);
+        });
+    add("multilayer-star", "L-layer X-Y star layout, area ~N^2/(4L^2) (Lemma 2.3)", {2, 12},
+        [](const BuildParams& p) {
+          MultilayerStarResult r = multilayer_star_layout(p.n, p.layers, p.base_size);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return multilayer_star_layout_stream(p.n, p.layers, s, p.base_size, g);
+        });
+    add("hcn", "hierarchical cubic network HCN(h, h), N = 2^(2h) (Lemma 2.4)", {1, 8},
+        [](const BuildParams& p) { return from_hcn(hcn_layout(p.n)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return hcn_layout_stream(p.n, s, g);
+        });
+    add("hfn", "hierarchical folded-hypercube network HFN(h, h) (Lemma 2.4)", {1, 8},
+        [](const BuildParams& p) { return from_hcn(hfn_layout(p.n)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return hfn_layout_stream(p.n, s, g);
+        });
+    add("multilayer-hcn", "L-layer X-Y HCN layout (Section 2.4 remark)", {1, 8},
+        [](const BuildParams& p) { return from_hcn(multilayer_hcn_layout(p.n, p.layers)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return multilayer_hcn_layout_stream(p.n, p.layers, s, g);
+        });
+    add("multilayer-hfn", "L-layer X-Y HFN layout (Section 2.4 remark)", {1, 8},
+        [](const BuildParams& p) { return from_hcn(multilayer_hfn_layout(p.n, p.layers)); },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return multilayer_hfn_layout_stream(p.n, p.layers, s, g);
+        });
+    add("hypercube", "d-dimensional hypercube, bit-split placement", {1, 16},
+        [](const BuildParams& p) {
+          HypercubeLayoutResult r = hypercube_layout(p.n);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return hypercube_layout_stream(p.n, s, g);
+        });
+    add("folded-hypercube", "d-dimensional folded hypercube, bit-split placement", {1, 16},
+        [](const BuildParams& p) {
+          HypercubeLayoutResult r = folded_hypercube_layout(p.n);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return folded_hypercube_layout_stream(p.n, s, g);
+        });
+    add("complete2d", "K_m on a near-square grid, area m^4/16 (Lemma 2.1)", {2, 4096},
+        [](const BuildParams& p) {
+          Complete2DResult r = complete2d_layout(p.n, p.multiplicity);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return complete2d_layout_stream(p.n, s, p.multiplicity, g);
+        });
+    add("complete2d-compact", "K_m with four-sided attachments (Lemma 2.1 node window)",
+        {2, 4096},
+        [](const BuildParams& p) {
+          Complete2DResult r = complete2d_compact_layout(p.n, p.multiplicity);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return complete2d_compact_layout_stream(p.n, s, p.multiplicity, g);
+        });
+    add("complete2d-directed", "directed K_m, both orientations routed, area m^4/4",
+        {2, 4096},
+        [](const BuildParams& p) {
+          Complete2DResult r = complete2d_directed_layout(p.n);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return complete2d_directed_layout_stream(p.n, s, g);
+        });
+    add("collinear", "collinear K_m, left-edge channel packing (Lemma 2.1)", {2, 4096},
+        [](const BuildParams& p) {
+          CollinearResult r =
+              collinear_complete_layout(p.n, TrackBackend::kLeftEdge, p.multiplicity);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return collinear_complete_layout_stream(p.n, s, TrackBackend::kLeftEdge,
+                                                  p.multiplicity, g);
+        });
+    add("collinear-paper", "collinear K_m, the paper's explicit track rule (Lemma 2.1)",
+        {2, 4096},
+        [](const BuildParams& p) {
+          CollinearResult r =
+              collinear_complete_layout(p.n, TrackBackend::kPaperRule, p.multiplicity);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return collinear_complete_layout_stream(p.n, s, TrackBackend::kPaperRule,
+                                                  p.multiplicity, g);
+        });
+    add("baseline-naive", "n-star on one row, a private track per edge (E11 ablation)",
+        {2, 10},
+        [](const BuildParams& p) {
+          topology::Graph g = baseline_subject(p.n);
+          layout::RoutedLayout routed = naive_collinear_layout(g);
+          return BuildResult{std::move(g), std::move(routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g_out) {
+          topology::Graph g = baseline_subject(p.n);
+          layout::RouteStats stats = naive_collinear_layout_stream(g, s);
+          if (g_out) *g_out = std::move(g);
+          return stats;
+        });
+    add("baseline-unordered", "n-star with vertex-id row-major placement (E11 ablation)",
+        {2, 10},
+        [](const BuildParams& p) {
+          topology::Graph g = baseline_subject(p.n);
+          layout::RoutedLayout routed = unordered_grid_layout(g);
+          return BuildResult{std::move(g), std::move(routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g_out) {
+          topology::Graph g = baseline_subject(p.n);
+          layout::RouteStats stats = unordered_grid_layout_stream(g, s);
+          if (g_out) *g_out = std::move(g);
+          return stats;
+        });
+    add("baseline-unbalanced",
+        "n-star, hierarchical placement but no bundle halving (E11 ablation)", {2, 10},
+        [](const BuildParams& p) {
+          const int base = std::min(p.base_size, p.n);
+          const StarStructure s = star_structure(p.n, base);
+          topology::Graph g = baseline_subject(p.n);
+          layout::RoutedLayout routed = unbalanced_orientation_layout(g, s.placement);
+          return BuildResult{std::move(g), std::move(routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& sink, topology::Graph* g_out) {
+          const int base = std::min(p.base_size, p.n);
+          const StarStructure s = star_structure(p.n, base);
+          topology::Graph g = baseline_subject(p.n);
+          layout::RouteStats stats = unbalanced_orientation_layout_stream(g, s.placement, sink);
+          if (g_out) *g_out = std::move(g);
+          return stats;
+        });
+
+    std::sort(b.begin(), b.end(),
+              [](const FnBuilder& x, const FnBuilder& y) { return x.name() < y.name(); });
+    return b;
+  }();
+  return builders;
+}
+
+}  // namespace
+
+const LayoutBuilder* find_builder(std::string_view name) {
+  for (const FnBuilder& b : registry())
+    if (b.name() == name) return &b;
+  return nullptr;
+}
+
+std::vector<const LayoutBuilder*> all_builders() {
+  std::vector<const LayoutBuilder*> out;
+  out.reserve(registry().size());
+  for (const FnBuilder& b : registry()) out.push_back(&b);
+  return out;
+}
+
+}  // namespace starlay::core

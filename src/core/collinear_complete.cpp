@@ -10,18 +10,18 @@ namespace starlay::core {
 
 namespace {
 
-/// The paper's explicit track rule, built directly as geometry.  Nodes sit
-/// in a row (side w = degree); each node's stub for the link to node j is
-/// at x-offset j (left neighbors) or j-1 (right neighbors), which puts all
-/// left-bound stubs left of all right-bound ones — the ordering that lets
-/// chained same-type links share a track.
-CollinearResult paper_rule_layout(int m, int multiplicity) {
-  topology::Graph g = topology::complete_graph(m, multiplicity);
+/// The paper's explicit track rule, emitted directly as geometry.  Nodes
+/// sit in a row (side w = degree); each node's stub for the link to node j
+/// is at x-offset j (left neighbors) or j-1 (right neighbors), which puts
+/// all left-bound stubs left of all right-bound ones — the ordering that
+/// lets chained same-type links share a track.  Returns the track count.
+std::int32_t paper_rule_stream(const topology::Graph& g, int m, int multiplicity,
+                               layout::WireSink& sink) {
   const auto w = static_cast<layout::Coord>(std::max(1, (m - 1) * multiplicity));
-  layout::Layout lay(m);
+  std::vector<layout::Rect> rects(static_cast<std::size_t>(m));
   for (std::int32_t v = 0; v < m; ++v) {
     const layout::Coord x0 = v * w;
-    lay.set_node_rect(v, {x0, 0, x0 + w - 1, w - 1});
+    rects[static_cast<std::size_t>(v)] = {x0, 0, x0 + w - 1, w - 1};
   }
 
   // Track base offset of each link type: type i gets min(i, m-i) tracks
@@ -39,7 +39,8 @@ CollinearResult paper_rule_layout(int m, int multiplicity) {
     return base * multiplicity + copy;
   };
 
-  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+  sink.begin(g, std::move(rects));
+  sink.emit_bulk(g.num_edges(), 4096, [&](std::int64_t e, layout::Wire& wire) {
     const auto& ed = g.edge(e);
     const std::int32_t u = ed.u, v = ed.v, copy = ed.label;
     const std::int32_t i = v - u;  // type
@@ -53,16 +54,25 @@ CollinearResult paper_rule_layout(int m, int multiplicity) {
     const layout::Coord y = w + track;
     const layout::Coord xs = u * w + stub_off(u, v, copy);
     const layout::Coord xd = v * w + stub_off(v, u, copy);
-    layout::Wire wire;
     wire.edge = e;
     wire.push({xs, w - 1});
     wire.push({xs, y});
     wire.push({xd, y});
     wire.push({xd, w - 1});
-    lay.add_wire(wire);
-  }
+  });
+  sink.end();
+  return total;
+}
 
-  layout::RoutedLayout routed{std::move(lay), {total}, std::vector<std::int32_t>(static_cast<std::size_t>(m), 0), w};
+CollinearResult paper_rule_layout(int m, int multiplicity) {
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  layout::MaterializingSink sink;
+  const std::int32_t total = paper_rule_stream(g, m, multiplicity, sink);
+  const auto w = static_cast<layout::Coord>(std::max(1, (m - 1) * multiplicity));
+  layout::RoutedLayout routed{sink.take_layout(),
+                              {total},
+                              std::vector<std::int32_t>(static_cast<std::size_t>(m), 0),
+                              w};
   return {std::move(g), std::move(routed), total};
 }
 
@@ -78,6 +88,28 @@ CollinearResult collinear_complete_layout(int m, TrackBackend backend, int multi
   layout::RoutedLayout routed = layout::route_grid(g, p);
   const std::int32_t tracks = routed.row_channel_tracks.at(0);
   return {std::move(g), std::move(routed), tracks};
+}
+
+layout::RouteStats collinear_complete_layout_stream(int m, layout::WireSink& sink,
+                                                    TrackBackend backend, int multiplicity,
+                                                    topology::Graph* graph_out) {
+  STARLAY_REQUIRE(m >= 2, "collinear_complete_layout_stream: m must be >= 2");
+  STARLAY_REQUIRE(multiplicity >= 1, "collinear_complete_layout_stream: multiplicity >= 1");
+  topology::Graph g = topology::complete_graph(m, multiplicity);
+  layout::RouteStats stats;
+  if (backend == TrackBackend::kPaperRule) {
+    g.release_adjacency();
+    const std::int32_t total = paper_rule_stream(g, m, multiplicity, sink);
+    stats.row_channel_tracks = {total};
+    stats.col_channel_tracks.assign(static_cast<std::size_t>(m), 0);
+    stats.node_size = static_cast<layout::Coord>(std::max(1, (m - 1) * multiplicity));
+  } else {
+    const layout::Placement p = layout::collinear_placement(m);
+    g.release_adjacency();
+    stats = layout::route_grid_stream(g, p, {}, {}, sink);
+  }
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
 }
 
 }  // namespace starlay::core

@@ -17,54 +17,92 @@ std::uint8_t complete_orientation(std::int32_t row_u, std::int32_t row_v, std::i
   return u_src ? 1 : 0;
 }
 
-Complete2DResult complete2d_layout(int m, int multiplicity) {
-  STARLAY_REQUIRE(m >= 2, "complete2d_layout: m must be >= 2");
+namespace {
+
+/// Graph, near-square placement, and orientation spec shared by every
+/// complete-graph variant.  directed: copy 0 is the u -> v link, copy 1
+/// the v -> u link; otherwise the paper's bundle-halving parity rule.
+struct CompletePrep {
+  topology::Graph graph;
+  layout::Placement placement;
+  layout::RouteSpec spec;
+  starlay::GridFactors factors;
+};
+
+CompletePrep complete_prep(int m, int multiplicity, bool directed) {
   topology::Graph g = topology::complete_graph(m, multiplicity);
   const auto f = starlay::grid_factors(m);
-  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
-
+  layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
   layout::RouteSpec spec;
   spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
   for (std::int64_t e = 0; e < g.num_edges(); ++e) {
     const auto& ed = g.edge(e);
     spec.source_is_u[static_cast<std::size_t>(e)] =
-        complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
+        directed ? (ed.label == 0 ? 1 : 0)
+                 : complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
   }
-  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
-  return {std::move(g), std::move(routed), f.rows, f.cols};
+  return {std::move(g), std::move(p), std::move(spec), f};
+}
+
+}  // namespace
+
+Complete2DResult complete2d_layout(int m, int multiplicity) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_layout: m must be >= 2");
+  CompletePrep pr = complete_prep(m, multiplicity, /*directed=*/false);
+  layout::RoutedLayout routed = layout::route_grid(pr.graph, pr.placement, pr.spec);
+  return {std::move(pr.graph), std::move(routed), pr.factors.rows, pr.factors.cols};
 }
 
 Complete2DResult complete2d_compact_layout(int m, int multiplicity) {
   STARLAY_REQUIRE(m >= 2, "complete2d_compact_layout: m must be >= 2");
-  topology::Graph g = topology::complete_graph(m, multiplicity);
-  const auto f = starlay::grid_factors(m);
-  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
-  layout::RouteSpec spec;
-  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
-  for (std::int64_t e = 0; e < g.num_edges(); ++e) {
-    const auto& ed = g.edge(e);
-    spec.source_is_u[static_cast<std::size_t>(e)] =
-        complete_orientation(p.row_of(ed.u), p.row_of(ed.v), ed.label);
-  }
+  CompletePrep pr = complete_prep(m, multiplicity, /*directed=*/false);
   layout::RouterOptions opt;
   opt.four_sided = true;
-  layout::RoutedLayout routed = layout::route_grid(g, p, spec, opt);
-  return {std::move(g), std::move(routed), f.rows, f.cols};
+  layout::RoutedLayout routed = layout::route_grid(pr.graph, pr.placement, pr.spec, opt);
+  return {std::move(pr.graph), std::move(routed), pr.factors.rows, pr.factors.cols};
 }
 
 Complete2DResult complete2d_directed_layout(int m) {
   STARLAY_REQUIRE(m >= 2, "complete2d_directed_layout: m must be >= 2");
-  topology::Graph g = topology::complete_graph(m, 2);
-  const auto f = starlay::grid_factors(m);
-  const layout::Placement p = layout::grid_placement(m, f.rows, f.cols);
+  CompletePrep pr = complete_prep(m, 2, /*directed=*/true);
+  layout::RoutedLayout routed = layout::route_grid(pr.graph, pr.placement, pr.spec);
+  return {std::move(pr.graph), std::move(routed), pr.factors.rows, pr.factors.cols};
+}
 
-  // Copy 0 is the u -> v link, copy 1 the v -> u link.
-  layout::RouteSpec spec;
-  spec.source_is_u.resize(static_cast<std::size_t>(g.num_edges()));
-  for (std::int64_t e = 0; e < g.num_edges(); ++e)
-    spec.source_is_u[static_cast<std::size_t>(e)] = g.edge(e).label == 0 ? 1 : 0;
-  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
-  return {std::move(g), std::move(routed), f.rows, f.cols};
+layout::RouteStats complete2d_layout_stream(int m, layout::WireSink& sink, int multiplicity,
+                                            topology::Graph* graph_out) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_layout_stream: m must be >= 2");
+  CompletePrep pr = complete_prep(m, multiplicity, /*directed=*/false);
+  pr.graph.release_adjacency();
+  layout::RouteStats stats =
+      layout::route_grid_stream(pr.graph, pr.placement, pr.spec, {}, sink);
+  if (graph_out) *graph_out = std::move(pr.graph);
+  return stats;
+}
+
+layout::RouteStats complete2d_compact_layout_stream(int m, layout::WireSink& sink,
+                                                    int multiplicity,
+                                                    topology::Graph* graph_out) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_compact_layout_stream: m must be >= 2");
+  CompletePrep pr = complete_prep(m, multiplicity, /*directed=*/false);
+  pr.graph.release_adjacency();
+  layout::RouterOptions opt;
+  opt.four_sided = true;
+  layout::RouteStats stats =
+      layout::route_grid_stream(pr.graph, pr.placement, pr.spec, opt, sink);
+  if (graph_out) *graph_out = std::move(pr.graph);
+  return stats;
+}
+
+layout::RouteStats complete2d_directed_layout_stream(int m, layout::WireSink& sink,
+                                                     topology::Graph* graph_out) {
+  STARLAY_REQUIRE(m >= 2, "complete2d_directed_layout_stream: m must be >= 2");
+  CompletePrep pr = complete_prep(m, 2, /*directed=*/true);
+  pr.graph.release_adjacency();
+  layout::RouteStats stats =
+      layout::route_grid_stream(pr.graph, pr.placement, pr.spec, {}, sink);
+  if (graph_out) *graph_out = std::move(pr.graph);
+  return stats;
 }
 
 }  // namespace starlay::core

@@ -10,7 +10,15 @@ namespace starlay::core {
 
 namespace {
 
-HcnLayoutResult hierarchical_layout(int h, bool folded, int num_layers = 2) {
+/// Everything the router consumes, shared by the materialized and
+/// streaming tails.
+struct HcnPrep {
+  topology::Graph graph;
+  layout::Placement placement;
+  layout::RouteSpec spec;
+};
+
+HcnPrep hierarchical_prep(int h, bool folded, int num_layers) {
   STARLAY_REQUIRE(h >= 1 && h <= 8, "hcn/hfn layout: h must be in [1, 8]");
   topology::Graph g = folded ? topology::hfn(h) : topology::hcn(h);
   const std::int32_t M = std::int32_t{1} << h;  // clusters == cluster size
@@ -70,8 +78,23 @@ HcnLayoutResult hierarchical_layout(int h, bool folded, int num_layers = 2) {
   }
 
   if (num_layers > 2) apply_xy_layers(spec, g.num_edges(), num_layers);
-  layout::RoutedLayout routed = layout::route_grid(g, p, spec);
-  return {std::move(g), std::move(p), std::move(routed)};
+  return {std::move(g), std::move(p), std::move(spec)};
+}
+
+HcnLayoutResult hierarchical_layout(int h, bool folded, int num_layers = 2) {
+  HcnPrep pr = hierarchical_prep(h, folded, num_layers);
+  layout::RoutedLayout routed = layout::route_grid(pr.graph, pr.placement, pr.spec);
+  return {std::move(pr.graph), std::move(pr.placement), std::move(routed)};
+}
+
+layout::RouteStats hierarchical_stream(int h, bool folded, int num_layers,
+                                       layout::WireSink& sink, topology::Graph* graph_out) {
+  HcnPrep pr = hierarchical_prep(h, folded, num_layers);
+  pr.graph.release_adjacency();
+  layout::RouteStats stats =
+      layout::route_grid_stream(pr.graph, pr.placement, pr.spec, {}, sink);
+  if (graph_out) *graph_out = std::move(pr.graph);
+  return stats;
 }
 
 }  // namespace
@@ -88,6 +111,28 @@ HcnLayoutResult multilayer_hcn_layout(int h, int L) {
 HcnLayoutResult multilayer_hfn_layout(int h, int L) {
   STARLAY_REQUIRE(L >= 2, "multilayer_hfn_layout: need at least 2 layers");
   return hierarchical_layout(h, /*folded=*/true, L);
+}
+
+layout::RouteStats hcn_layout_stream(int h, layout::WireSink& sink,
+                                     topology::Graph* graph_out) {
+  return hierarchical_stream(h, /*folded=*/false, 2, sink, graph_out);
+}
+
+layout::RouteStats hfn_layout_stream(int h, layout::WireSink& sink,
+                                     topology::Graph* graph_out) {
+  return hierarchical_stream(h, /*folded=*/true, 2, sink, graph_out);
+}
+
+layout::RouteStats multilayer_hcn_layout_stream(int h, int L, layout::WireSink& sink,
+                                                topology::Graph* graph_out) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_hcn_layout_stream: need at least 2 layers");
+  return hierarchical_stream(h, /*folded=*/false, L, sink, graph_out);
+}
+
+layout::RouteStats multilayer_hfn_layout_stream(int h, int L, layout::WireSink& sink,
+                                                topology::Graph* graph_out) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_hfn_layout_stream: need at least 2 layers");
+  return hierarchical_stream(h, /*folded=*/true, L, sink, graph_out);
 }
 
 }  // namespace starlay::core

@@ -39,4 +39,24 @@ HypercubeLayoutResult folded_hypercube_layout(int d) {
   return {std::move(g), std::move(routed)};
 }
 
+layout::RouteStats hypercube_layout_stream(int d, layout::WireSink& sink,
+                                           topology::Graph* graph_out) {
+  topology::Graph g = topology::hypercube(d);
+  const layout::Placement p = hypercube_placement(d);
+  g.release_adjacency();
+  layout::RouteStats stats = layout::route_grid_stream(g, p, {}, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
+layout::RouteStats folded_hypercube_layout_stream(int d, layout::WireSink& sink,
+                                                  topology::Graph* graph_out) {
+  topology::Graph g = topology::folded_hypercube(d);
+  const layout::Placement p = hypercube_placement(d);
+  g.release_adjacency();
+  layout::RouteStats stats = layout::route_grid_stream(g, p, {}, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
 }  // namespace starlay::core

@@ -25,4 +25,15 @@ layout::RoutedLayout unordered_grid_layout(const topology::Graph& g);
 layout::RoutedLayout unbalanced_orientation_layout(const topology::Graph& g,
                                                    const layout::Placement& p);
 
+/// Streaming variants: same constructions, wires emitted into \p sink
+/// instead of materialized.  The caller owns \p g (finalized; the naive
+/// variant needs incident_edges for its stub ordering).
+layout::RouteStats naive_collinear_layout_stream(const topology::Graph& g,
+                                                 layout::WireSink& sink);
+layout::RouteStats unordered_grid_layout_stream(const topology::Graph& g,
+                                                layout::WireSink& sink);
+layout::RouteStats unbalanced_orientation_layout_stream(const topology::Graph& g,
+                                                        const layout::Placement& p,
+                                                        layout::WireSink& sink);
+
 }  // namespace starlay::core

@@ -1,0 +1,70 @@
+#pragma once
+/// \file builder.hpp
+/// \brief Unified builder interface + registry over every network family.
+///
+/// Each family (star, HCN, hypercube, complete-graph variants, baselines)
+/// registers one LayoutBuilder.  Every consumer that wants "a layout of
+/// family F at size n" — the CLI driver, the design explorer, tests that
+/// sweep families — goes through find_builder()/all_builders() instead of
+/// hard-coding the per-family entry points.  Both execution modes share
+/// one construction: build() materializes the geometry, build_stream()
+/// emits it into a WireSink (a StreamingCertifier validates and measures
+/// tile-by-tile without ever holding the full wire store).
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/wire_sink.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+/// Family-independent size knobs.  Builders read the fields that apply to
+/// them and ignore the rest (the star's base_size means nothing to a
+/// hypercube; multiplicity only matters to complete-graph variants).
+struct BuildParams {
+  int n = 0;             ///< primary size: star/transposition n, HCN h, hypercube d, K_m m
+  int base_size = 3;     ///< star hierarchy base block size (the paper's l = O(1))
+  int layers = 2;        ///< wiring layers for the multilayer X-Y variants
+  int multiplicity = 1;  ///< parallel links per pair (complete-graph variants)
+};
+
+/// Materialized build: the subject graph plus its routed, stored layout.
+struct BuildResult {
+  topology::Graph graph;
+  layout::RoutedLayout routed;
+};
+
+/// One network family's entry point, in both execution modes.
+class LayoutBuilder {
+ public:
+  virtual ~LayoutBuilder() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+
+  /// Inclusive [min, max] range of BuildParams::n this family accepts.
+  virtual std::pair<int, int> n_range() const = 0;
+
+  /// Materializes the full layout (geometry stored in a WireStore).
+  virtual BuildResult build(const BuildParams& params) const = 0;
+
+  /// Streams the same construction into \p sink.  With a
+  /// layout::MaterializingSink the emitted geometry is bit-identical to
+  /// build(); with a layout::StreamingCertifier it is validated and
+  /// measured without being stored.  On return \p graph_out (if non-null)
+  /// receives the subject graph, its CSR adjacency released where the
+  /// family can afford to (degrees stay available).
+  virtual layout::RouteStats build_stream(const BuildParams& params, layout::WireSink& sink,
+                                          topology::Graph* graph_out = nullptr) const = 0;
+};
+
+/// Looks up a registered family by name; nullptr when unknown.
+const LayoutBuilder* find_builder(std::string_view name);
+
+/// All registered families, sorted by name.
+std::vector<const LayoutBuilder*> all_builders();
+
+}  // namespace starlay::core

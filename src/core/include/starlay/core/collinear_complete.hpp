@@ -30,4 +30,10 @@ struct CollinearResult {
 CollinearResult collinear_complete_layout(int m, TrackBackend backend = TrackBackend::kLeftEdge,
                                           int multiplicity = 1);
 
+/// Streaming variant: same construction, wires emitted into \p sink
+/// instead of materialized (see star_layout.hpp for the conventions).
+layout::RouteStats collinear_complete_layout_stream(
+    int m, layout::WireSink& sink, TrackBackend backend = TrackBackend::kLeftEdge,
+    int multiplicity = 1, topology::Graph* graph_out = nullptr);
+
 }  // namespace starlay::core

@@ -39,6 +39,16 @@ Complete2DResult complete2d_directed_layout(int m);
 /// window).  Same m^4/16 asymptotics, smaller finite-size constant.
 Complete2DResult complete2d_compact_layout(int m, int multiplicity = 1);
 
+/// Streaming variants: same constructions, wires emitted into \p sink
+/// instead of materialized (see star_layout.hpp for the conventions).
+layout::RouteStats complete2d_layout_stream(int m, layout::WireSink& sink, int multiplicity = 1,
+                                            topology::Graph* graph_out = nullptr);
+layout::RouteStats complete2d_compact_layout_stream(int m, layout::WireSink& sink,
+                                                    int multiplicity = 1,
+                                                    topology::Graph* graph_out = nullptr);
+layout::RouteStats complete2d_directed_layout_stream(int m, layout::WireSink& sink,
+                                                     topology::Graph* graph_out = nullptr);
+
 /// The paper's orientation (RouteSpec::source_is_u) for a complete-graph
 /// style construction: parity rule on rows for row-distinct pairs, with
 /// copies alternating orientation.  Exposed for reuse by star/HCN layouts.

@@ -33,4 +33,15 @@ HcnLayoutResult hfn_layout(int h);
 HcnLayoutResult multilayer_hcn_layout(int h, int L);
 HcnLayoutResult multilayer_hfn_layout(int h, int L);
 
+/// Streaming variants: same constructions, wires emitted into \p sink
+/// instead of materialized (see star_layout.hpp for the conventions).
+layout::RouteStats hcn_layout_stream(int h, layout::WireSink& sink,
+                                     topology::Graph* graph_out = nullptr);
+layout::RouteStats hfn_layout_stream(int h, layout::WireSink& sink,
+                                     topology::Graph* graph_out = nullptr);
+layout::RouteStats multilayer_hcn_layout_stream(int h, int L, layout::WireSink& sink,
+                                                topology::Graph* graph_out = nullptr);
+layout::RouteStats multilayer_hfn_layout_stream(int h, int L, layout::WireSink& sink,
+                                                topology::Graph* graph_out = nullptr);
+
 }  // namespace starlay::core

@@ -49,6 +49,12 @@ struct MultilayerStarResult {
 /// area claim to have room (the code works for any L >= 2).
 MultilayerStarResult multilayer_star_layout(int n, int L, int base_size = 3);
 
+/// Streaming variant: same construction, wires emitted into \p sink
+/// instead of materialized (see star_layout.hpp for the conventions).
+layout::RouteStats multilayer_star_layout_stream(int n, int L, layout::WireSink& sink,
+                                                 int base_size = 3,
+                                                 topology::Graph* graph_out = nullptr);
+
 /// Adds the L-layer X-Y assignment to any existing route spec (the
 /// Section 2.4 remark: the technique applies to every network that
 /// partitions into clusters).  Overwrites spec.layers.

@@ -94,4 +94,20 @@ layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStr
 /// partitions into clusters with multi-link cluster pairs.
 StarLayoutResult transposition_layout(int n, int base_size = 3);
 
+/// Streaming variants: identical construction, but the wire geometry is
+/// emitted into \p sink (validated/measured tile-by-tile when the sink is
+/// a layout::StreamingCertifier) instead of materialized.  The digit-path
+/// buffer and the graph's CSR adjacency are freed before routing, so peak
+/// memory is the router's plan tables plus one certifier tile.  Pass
+/// \p graph_out to keep the (adjacency-released) graph for reporting.
+layout::RouteStats permutation_layout_stream(PermutationFamily family, int n,
+                                             layout::WireSink& sink, int base_size = 3,
+                                             topology::Graph* graph_out = nullptr);
+layout::RouteStats star_layout_stream(int n, layout::WireSink& sink, int base_size = 3,
+                                      topology::Graph* graph_out = nullptr);
+layout::RouteStats star_layout_compact_stream(int n, layout::WireSink& sink, int base_size = 3,
+                                              topology::Graph* graph_out = nullptr);
+layout::RouteStats transposition_layout_stream(int n, layout::WireSink& sink, int base_size = 3,
+                                               topology::Graph* graph_out = nullptr);
+
 }  // namespace starlay::core

@@ -80,4 +80,20 @@ MultilayerStarResult multilayer_star_layout(int n, int L, int base_size) {
   return {std::move(g), std::move(s), std::move(routed), L};
 }
 
+layout::RouteStats multilayer_star_layout_stream(int n, int L, layout::WireSink& sink,
+                                                 int base_size, topology::Graph* graph_out) {
+  STARLAY_REQUIRE(L >= 2, "multilayer_star_layout_stream: need at least 2 layers");
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::star_graph(n);
+  layout::RouteSpec spec = star_route_spec(g, s);
+  apply_xy_layers(spec, g.num_edges(), L);
+  std::vector<std::int32_t>().swap(s.paths.flat);
+  s.paths.stride = 0;
+  g.release_adjacency();
+  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
 }  // namespace starlay::core

@@ -104,6 +104,47 @@ layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStr
   return spec;
 }
 
+namespace {
+
+topology::Graph family_graph(PermutationFamily family, int n) {
+  switch (family) {
+    case PermutationFamily::kStar:
+      return topology::star_graph(n);
+    case PermutationFamily::kPancake:
+      return topology::pancake_graph(n);
+    case PermutationFamily::kBubbleSort:
+      return topology::bubble_sort_graph(n);
+  }
+  STARLAY_REQUIRE(false, "permutation_layout: unknown family");
+  return topology::star_graph(n);
+}
+
+/// Generator label l of the transposition graph enumerates pairs (i, j),
+/// i < j, in i-major order; the edge's hierarchy level is j (the larger
+/// moved position).
+std::vector<int> transposition_levels(const topology::Graph& g, int n) {
+  std::vector<int> label_to_level;
+  for (int i = 1; i <= n; ++i)
+    for (int j = i + 1; j <= n; ++j) label_to_level.push_back(j);
+  std::vector<int> levels(static_cast<std::size_t>(g.num_edges()));
+  for (std::int64_t e = 0; e < g.num_edges(); ++e)
+    levels[static_cast<std::size_t>(e)] =
+        label_to_level[static_cast<std::size_t>(g.edge(e).label)];
+  return levels;
+}
+
+/// Drops everything the router does not need — the digit-path buffer
+/// (spec is already computed) and the CSR adjacency (only degrees are
+/// consulted downstream) — so the streaming paths peak on plan tables
+/// plus one certifier tile, not on the hierarchy bookkeeping.
+void shed_for_streaming(StarStructure& s, topology::Graph& g) {
+  std::vector<std::int32_t>().swap(s.paths.flat);
+  s.paths.stride = 0;
+  g.release_adjacency();
+}
+
+}  // namespace
+
 StarLayoutResult star_layout(int n, int base_size) {
   return permutation_layout(PermutationFamily::kStar, n, base_size);
 }
@@ -112,16 +153,7 @@ StarLayoutResult transposition_layout(int n, int base_size) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
   topology::Graph g = topology::transposition_graph(n);
-  // Generator label l enumerates pairs (i, j), i < j, in i-major order;
-  // the edge's hierarchy level is j (the larger moved position).
-  std::vector<int> levels(static_cast<std::size_t>(g.num_edges()));
-  std::vector<int> label_to_level;
-  for (int i = 1; i <= n; ++i)
-    for (int j = i + 1; j <= n; ++j) label_to_level.push_back(j);
-  for (std::int64_t e = 0; e < g.num_edges(); ++e)
-    levels[static_cast<std::size_t>(e)] =
-        label_to_level[static_cast<std::size_t>(g.edge(e).label)];
-  const layout::RouteSpec spec = star_route_spec_levels(g, s, levels);
+  const layout::RouteSpec spec = star_route_spec_levels(g, s, transposition_levels(g, n));
   layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
   return {std::move(g), std::move(s), std::move(routed)};
 }
@@ -140,22 +172,56 @@ StarLayoutResult star_layout_compact(int n, int base_size) {
 StarLayoutResult permutation_layout(PermutationFamily family, int n, int base_size) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
-  topology::Graph g = [&] {
-    switch (family) {
-      case PermutationFamily::kStar:
-        return topology::star_graph(n);
-      case PermutationFamily::kPancake:
-        return topology::pancake_graph(n);
-      case PermutationFamily::kBubbleSort:
-        return topology::bubble_sort_graph(n);
-    }
-    STARLAY_REQUIRE(false, "permutation_layout: unknown family");
-    return topology::star_graph(n);
-  }();
+  topology::Graph g = family_graph(family, n);
   const int level_shift = family == PermutationFamily::kBubbleSort ? 1 : 0;
   const layout::RouteSpec spec = star_route_spec(g, s, level_shift);
   layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
   return {std::move(g), std::move(s), std::move(routed)};
+}
+
+layout::RouteStats permutation_layout_stream(PermutationFamily family, int n,
+                                             layout::WireSink& sink, int base_size,
+                                             topology::Graph* graph_out) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = family_graph(family, n);
+  const int level_shift = family == PermutationFamily::kBubbleSort ? 1 : 0;
+  const layout::RouteSpec spec = star_route_spec(g, s, level_shift);
+  shed_for_streaming(s, g);
+  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
+layout::RouteStats star_layout_stream(int n, layout::WireSink& sink, int base_size,
+                                      topology::Graph* graph_out) {
+  return permutation_layout_stream(PermutationFamily::kStar, n, sink, base_size, graph_out);
+}
+
+layout::RouteStats star_layout_compact_stream(int n, layout::WireSink& sink, int base_size,
+                                              topology::Graph* graph_out) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::star_graph(n);
+  const layout::RouteSpec spec = star_route_spec(g, s);
+  shed_for_streaming(s, g);
+  layout::RouterOptions opt;
+  opt.four_sided = true;
+  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, opt, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
+layout::RouteStats transposition_layout_stream(int n, layout::WireSink& sink, int base_size,
+                                               topology::Graph* graph_out) {
+  base_size = std::min(base_size, n);
+  StarStructure s = star_structure(n, base_size);
+  topology::Graph g = topology::transposition_graph(n);
+  const layout::RouteSpec spec = star_route_spec_levels(g, s, transposition_levels(g, n));
+  shed_for_streaming(s, g);
+  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
 }
 
 }  // namespace starlay::core

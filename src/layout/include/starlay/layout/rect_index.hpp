@@ -1,0 +1,89 @@
+#pragma once
+/// \file rect_index.hpp
+/// \brief Y-banded rectangle index for node-clearance queries.
+///
+/// Node rectangles grouped by their y-interval for fast "which rects does
+/// this segment touch" queries; grid layouts have one group per node row.
+/// Groups are expected to be y-disjoint (nodes in distinct row bands); the
+/// index stays correct otherwise but degrades to scanning.  Shared by the
+/// materialized validator (validate.cpp) and the streaming certifier
+/// (stream_certify.cpp), which must agree on clearance semantics exactly.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "starlay/layout/geometry.hpp"
+
+namespace starlay::layout {
+
+class RectIndex {
+ public:
+  explicit RectIndex(const std::vector<Rect>& rects) {
+    // Sort-then-group over one flat vector: one allocation and a single
+    // sort instead of a node-count's worth of std::map rebalancing.
+    entries_.reserve(rects.size());
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].empty()) continue;
+      entries_.push_back({rects[i].y0, rects[i].y1, rects[i].x0, rects[i].x1,
+                          static_cast<std::int32_t>(i)});
+    }
+    std::sort(entries_.begin(), entries_.end());
+    max_band_height_ = 0;
+    for (std::size_t i = 0; i < entries_.size();) {
+      std::size_t j = i;
+      while (j < entries_.size() && entries_[j].y0 == entries_[i].y0 &&
+             entries_[j].y1 == entries_[i].y1)
+        ++j;
+      groups_.push_back({entries_[i].y0, entries_[i].y1, i, j});
+      max_band_height_ = std::max(max_band_height_, entries_[i].y1 - entries_[i].y0 + 1);
+      i = j;
+    }
+    // groups_ is sorted by y0 (sort order).
+  }
+
+  /// Invokes \p f(node) for every rect whose closed area intersects the
+  /// closed segment (horizontal ? [lo,hi] x {line} : {line} x [lo,hi]).
+  template <typename F>
+  void for_touching(bool horizontal, Coord line, Coord lo, Coord hi, F&& f) const {
+    const Coord ylo = horizontal ? line : lo;
+    const Coord yhi = horizontal ? line : hi;
+    const Coord xlo = horizontal ? lo : line;
+    const Coord xhi = horizontal ? hi : line;
+    // Any group intersecting [ylo, yhi] has y0 >= ylo - (max height - 1).
+    auto git = std::lower_bound(groups_.begin(), groups_.end(),
+                                ylo - (max_band_height_ - 1),
+                                [](const Group& g, Coord y) { return g.y0 < y; });
+    for (; git != groups_.end() && git->y0 <= yhi; ++git) {
+      if (git->y1 < ylo) continue;
+      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(git->begin);
+      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(git->end);
+      auto it = std::lower_bound(first, last, xlo,
+                                 [](const Entry& e, Coord x) { return e.x1 < x; });
+      // Entries are sorted by (x0, x1); x1 is monotone in x0 for
+      // disjoint same-row rects, so linear scan from `it` is exact.
+      for (; it != last && it->x0 <= xhi; ++it) f(it->node);
+    }
+  }
+
+ private:
+  struct Entry {
+    Coord y0, y1, x0, x1;
+    std::int32_t node;
+    bool operator<(const Entry& o) const {
+      if (y0 != o.y0) return y0 < o.y0;
+      if (y1 != o.y1) return y1 < o.y1;
+      if (x0 != o.x0) return x0 < o.x0;
+      return x1 < o.x1;
+    }
+  };
+  struct Group {
+    Coord y0, y1;
+    std::size_t begin, end;  ///< half-open range into entries_
+  };
+  std::vector<Entry> entries_;
+  std::vector<Group> groups_;
+  Coord max_band_height_ = 0;
+};
+
+}  // namespace starlay::layout

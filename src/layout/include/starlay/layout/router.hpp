@@ -30,6 +30,7 @@
 
 #include "starlay/layout/layout.hpp"
 #include "starlay/layout/placement.hpp"
+#include "starlay/layout/wire_sink.hpp"
 #include "starlay/topology/graph.hpp"
 
 namespace starlay::layout {
@@ -59,16 +60,35 @@ struct RouterOptions {
   bool four_sided = false;
 };
 
-/// A routed layout plus the channel statistics the benches report.
+/// Channel statistics of a routed grid, as the benches report them.
 /// Two-sided mode: entry r/c = channel above row r / right of column c
 /// (size rows/cols).  Four-sided mode: entry k = channel below row k /
 /// left of column k (size rows+1 / cols+1).
+struct RouteStats {
+  std::vector<std::int32_t> row_channel_tracks;
+  std::vector<std::int32_t> col_channel_tracks;
+  Coord node_size = 0;
+};
+
+/// A routed layout plus its channel statistics (the materialized result).
 struct RoutedLayout {
   Layout layout;
   std::vector<std::int32_t> row_channel_tracks;
   std::vector<std::int32_t> col_channel_tracks;
   Coord node_size = 0;
 };
+
+/// Routes every edge of \p g on the slot grid of \p p, emitting node
+/// rectangles and wire geometry into \p sink (begin / emit_bulk / end).
+/// With a MaterializingSink this reproduces route_grid bit-for-bit; with a
+/// StreamingCertifier the geometry is validated and measured without ever
+/// being stored.  Preconditions: g finalized or carrying the
+/// release_adjacency() degree cache (only degrees are consulted),
+/// p.check(g.num_vertices()) passes, g.num_edges() < 2^31 (wire ids and
+/// stub bookkeeping are 32-bit, matching WireStore's 32-bit point offsets).
+RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
+                             const RouteSpec& spec, const RouterOptions& opt,
+                             WireSink& sink);
 
 /// Routes every edge of \p g on the slot grid of \p p.
 /// Preconditions: g finalized, p.check(g.num_vertices()) passes.

@@ -1,0 +1,105 @@
+#pragma once
+/// \file stream_certify.hpp
+/// \brief Streaming certification: validate + measure wires, then discard.
+///
+/// The materialized pipeline holds every wire in memory (WireStore), then
+/// builds global indices over all of them (SegmentIndex, via arrays) to run
+/// the track-exclusivity and via audits.  At star dimension 10 that is
+/// ~16.3M wires and several GB of transient index state.  The
+/// StreamingCertifier runs the same rule set without ever materializing the
+/// full geometry:
+///
+///  * Per-wire rules (path shape, layer discipline, endpoint attachment,
+///    node clearance) and the scalar accumulators (bounding box, wire
+///    lengths, segment count) need one look at each wire — they run in a
+///    single chunk-parallel pass over the emit_bulk fill.
+///  * The cross-wire rules (track exclusivity, via-via, via-pierce) only
+///    relate records that share a grid line: horizontal segments and
+///    odd-layer via probes are keyed by y, vertical segments and even-layer
+///    probes by x, vias by x.  Lines are grouped into *bands*
+///    (line >> band_shift) and consecutive bands are greedily packed into
+///    batches whose record bytes fit batch_budget_bytes.  For each batch
+///    the fill is replayed, only the records falling in the batch's bands
+///    are collected, sorted, scanned exactly like the materialized
+///    validator, and freed.  A (layer, orientation, line) group always
+///    falls entirely inside one batch, so the adjacent-pair scans see the
+///    same pairs the global sort would have produced.
+///
+/// The verdict (ok), the total error count and the measured quantities are
+/// identical to running validate_layout on the materialized layout; only
+/// the order of the retained error *messages* may differ (the materialized
+/// validator reports rule-by-rule over all wires, the streaming one
+/// batch-by-batch).
+///
+/// emit_bulk's fill is replayed 2 + (number of batches) times, so it must
+/// be pure (see wire_sink.hpp).  Serial constructions that use emit() are
+/// buffered and certified through the identical code path at end().
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "starlay/layout/geometry.hpp"
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/layout/wire_sink.hpp"
+
+namespace starlay::layout {
+
+struct StreamOptions {
+  ValidationOptions validation;
+  /// Approximate cap on the record bytes held by one cross-wire batch.
+  std::int64_t batch_budget_bytes = std::int64_t{384} << 20;
+  /// Grid lines per spatial band: band = (line - base) >> band_shift.
+  int band_shift = 12;
+  /// Non-empty: wires and node rects intersecting this window are kept in
+  /// retained_layout() for rendering a zoomed view of the (discarded) whole.
+  Rect retain_window;
+};
+
+/// Everything the materialized pipeline would have reported, minus the
+/// geometry itself.
+struct StreamReport {
+  ValidationReport validation;
+  std::int64_t num_wires = 0;
+  int num_layers = 0;       ///< == Layout::num_layers()
+  Rect bounding_box;        ///< == Layout::bounding_box()
+  std::int64_t area = 0;    ///< == Layout::area()
+  std::int64_t total_wire_length = 0;
+  std::int64_t max_wire_length = 0;
+  std::int64_t num_batches = 0;   ///< cross-wire batches run
+  std::int64_t num_replays = 0;   ///< times the fill was invoked per index
+};
+
+class StreamingCertifier final : public WireSink {
+ public:
+  explicit StreamingCertifier(StreamOptions opt = {});
+  ~StreamingCertifier() override;
+
+  void begin(const topology::Graph& g, std::vector<Rect>&& nodes) override;
+  void emit(const Wire& w) override;
+  void emit_bulk(std::int64_t count, std::int64_t grain, const WireFill& fill) override;
+  void end() override;
+
+  /// Certification results; valid after end().
+  const StreamReport& report() const;
+
+  /// Wires/nodes captured inside StreamOptions::retain_window (empty
+  /// layout when no window was set); valid after end().
+  const Layout& retained_layout() const;
+
+ private:
+  void process(std::int64_t count, std::int64_t grain, const WireFill& fill);
+
+  StreamOptions opt_;
+  const topology::Graph* g_ = nullptr;
+  std::vector<Rect> nodes_;
+  std::vector<Wire> buffered_;  ///< emit() path; certified at end()
+  bool begun_ = false;
+  bool bulk_done_ = false;
+  bool done_ = false;
+  StreamReport rep_;
+  Layout retained_{0};
+};
+
+}  // namespace starlay::layout

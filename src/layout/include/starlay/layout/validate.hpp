@@ -46,13 +46,28 @@ struct ValidationOptions {
 
 struct ValidationReport {
   bool ok = true;
-  std::vector<std::string> errors;
+  std::vector<std::string> errors;  ///< first max_errors messages only
+  /// Every violation found, including those truncated out of `errors`.
+  /// The pre-truncation count used to be lost entirely; reports now say
+  /// "N errors (showing first 20)" instead of silently showing 20.
+  std::int64_t num_errors_total = 0;
   std::int64_t num_segments = 0;
   int num_layers = 0;
 
   void fail(std::string msg, int max_errors) {
     ok = false;
+    ++num_errors_total;
     if (static_cast<int>(errors.size()) < max_errors) errors.push_back(std::move(msg));
+  }
+
+  /// One-line verdict: "clean", "3 errors", or "41 errors (showing first 20)".
+  std::string summary() const {
+    if (ok) return "clean";
+    std::string s = std::to_string(num_errors_total) + " error" +
+                    (num_errors_total == 1 ? "" : "s");
+    if (num_errors_total > static_cast<std::int64_t>(errors.size()))
+      s += " (showing first " + std::to_string(errors.size()) + ")";
+    return s;
   }
 };
 

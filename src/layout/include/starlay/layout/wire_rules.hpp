@@ -1,0 +1,168 @@
+#pragma once
+/// \file wire_rules.hpp
+/// \brief Per-wire validation rules shared by both validation pipelines.
+///
+/// The materialized validator (validate.cpp) and the streaming certifier
+/// (stream_certify.cpp) must produce the same verdict for the same
+/// geometry.  Every check that looks at one wire in isolation — path
+/// shape, layer discipline, endpoint attachment, node clearance — lives
+/// here as a template over the wire view (WireRef for stored wires, the
+/// Wire value type for streamed ones), so the two pipelines cannot drift.
+///
+/// Error message texts are part of the shared contract: tests and the CLI
+/// print them, and the stream-vs-materialized tests compare totals.
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "starlay/layout/geometry.hpp"
+#include "starlay/layout/rect_index.hpp"
+#include "starlay/layout/wire.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::layout {
+
+inline std::string format_point(Point p) {
+  std::ostringstream os;
+  os << "(" << p.x << "," << p.y << ")";
+  return os.str();
+}
+
+inline bool on_node_boundary(const Rect& r, Point p) {
+  return r.contains(p) && !r.strictly_contains(p);
+}
+
+/// Adapter giving the Wire value type the WireRef accessor surface, so the
+/// rule templates below take either interchangeably.
+class WireValueView {
+ public:
+  explicit WireValueView(const Wire& w) : w_(&w) {}
+  std::int64_t edge() const { return w_->edge; }
+  std::int16_t h_layer() const { return w_->h_layer; }
+  std::int16_t v_layer() const { return w_->v_layer; }
+  int npts() const { return w_->npts; }
+  Point pt(int i) const { return w_->pts[static_cast<std::size_t>(i)]; }
+  Point front() const { return w_->front(); }
+  Point back() const { return w_->back(); }
+
+ private:
+  const Wire* w_;
+};
+
+/// Path rules (orthogonal alternating polyline, X-Y layer discipline) and
+/// endpoint attachment for one wire.  \p wi is the wire's index (used only
+/// in messages), \p rects the per-vertex node rectangles.  Emits zero or
+/// more error strings via \p emit.
+template <typename W, typename Emit>
+void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
+                     const std::vector<Rect>& rects, const Emit& emit) {
+  const std::string tag = "wire " + std::to_string(wi);
+  if (w.npts() < 2) {
+    emit(tag + ": fewer than 2 points");
+    return;
+  }
+  if (w.h_layer() < 1 || w.h_layer() % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
+  if (w.v_layer() < 2 || w.v_layer() % 2 != 0) emit(tag + ": v_layer must be even >= 2");
+  if (std::abs(w.h_layer() - w.v_layer()) != 1) emit(tag + ": layers not adjacent");
+  for (int i = 1; i < w.npts(); ++i) {
+    const Point a = w.pt(i - 1), b = w.pt(i);
+    const bool dx = a.x != b.x, dy = a.y != b.y;
+    if (dx == dy) {  // both (diagonal) or neither (repeated point)
+      emit(tag + ": segment " + format_point(a) + "->" + format_point(b) +
+           " not a proper orthogonal step");
+      break;
+    }
+    if (i >= 2) {
+      const Point z = w.pt(i - 2);
+      const bool prev_horizontal = z.y == a.y;
+      if (prev_horizontal == (a.y == b.y)) {
+        emit(tag + ": consecutive collinear segments (merge them)");
+        break;
+      }
+    }
+  }
+  // Endpoint attachment.
+  if (w.edge() >= 0 && w.edge() < g.num_edges()) {
+    const auto& e = g.edge(w.edge());
+    const Rect& ru = rects[static_cast<std::size_t>(e.u)];
+    const Rect& rv = rects[static_cast<std::size_t>(e.v)];
+    const Point a = w.front(), b = w.back();
+    const bool ok_uv = on_node_boundary(ru, a) && on_node_boundary(rv, b);
+    const bool ok_vu = on_node_boundary(rv, a) && on_node_boundary(ru, b);
+    if (!(ok_uv || ok_vu))
+      emit(tag + ": endpoints " + format_point(a) + "," + format_point(b) +
+           " not on its nodes' boundaries");
+  }
+}
+
+/// Node clearance for one wire: it may touch only its own two endpoint
+/// nodes, at exactly one boundary point each (its endpoints).
+template <typename W, typename Emit>
+void check_wire_clearance(const W& w, std::int64_t wi, const topology::Graph& g,
+                          const RectIndex& index, const std::vector<Rect>& rects,
+                          const Emit& emit) {
+  std::int32_t nu = -1, nv = -1;
+  if (w.edge() >= 0 && w.edge() < g.num_edges()) {
+    nu = g.edge(w.edge()).u;
+    nv = g.edge(w.edge()).v;
+  }
+  for (int i = 1; i < w.npts(); ++i) {
+    const Point a = w.pt(i - 1), b = w.pt(i);
+    const bool horizontal = a.y == b.y;
+    const Coord line = horizontal ? a.y : a.x;
+    const Coord lo = horizontal ? std::min(a.x, b.x) : std::min(a.y, b.y);
+    const Coord hi = horizontal ? std::max(a.x, b.x) : std::max(a.y, b.y);
+    index.for_touching(horizontal, line, lo, hi, [&](std::int32_t node) {
+      if (node != nu && node != nv) {
+        emit("wire " + std::to_string(wi) + " touches foreign node " + std::to_string(node));
+        return;
+      }
+      // Own node: the intersection must be a single boundary point and
+      // must be this wire's endpoint at that node.
+      const Rect& r = rects[static_cast<std::size_t>(node)];
+      const Coord cl = std::max(lo, horizontal ? r.x0 : r.y0);
+      const Coord ch = std::min(hi, horizontal ? r.x1 : r.y1);
+      const bool line_inside =
+          horizontal ? (line >= r.y0 && line <= r.y1) : (line >= r.x0 && line <= r.x1);
+      if (!line_inside || cl > ch) return;  // no real intersection
+      if (cl != ch) {
+        emit("wire " + std::to_string(wi) + " runs along/through its node " +
+             std::to_string(node));
+        return;
+      }
+      const Point touch = horizontal ? Point{cl, line} : Point{line, cl};
+      if (!(touch == w.front() || touch == w.back()))
+        emit("wire " + std::to_string(wi) + " passes over its own node " +
+             std::to_string(node) + " at non-endpoint " + format_point(touch));
+    });
+  }
+}
+
+/// Node-size window checks for one node (Thompson / extended grid).
+/// \p degree is the node's topology degree (only read when
+/// \p thompson_node_size is set).
+template <typename Emit>
+void check_node_rect(std::int32_t v, const Rect& r, std::int32_t degree,
+                     Coord min_node_side, Coord max_node_side, bool thompson_node_size,
+                     const Emit& emit) {
+  if (r.empty()) {
+    emit("node " + std::to_string(v) + " has no rectangle");
+    return;
+  }
+  if (thompson_node_size) {
+    const Coord want = std::max<Coord>(1, degree);
+    if (r.width() != want || r.height() != want)
+      emit("node " + std::to_string(v) + " is " + std::to_string(r.width()) + "x" +
+           std::to_string(r.height()) + ", Thompson model wants side " +
+           std::to_string(want));
+  }
+  if (min_node_side > 0 && (r.width() < min_node_side || r.height() < min_node_side))
+    emit("node " + std::to_string(v) + " smaller than extended-grid minimum");
+  if (max_node_side > 0 && (r.width() > max_node_side || r.height() > max_node_side))
+    emit("node " + std::to_string(v) + " larger than extended-grid maximum");
+}
+
+}  // namespace starlay::layout

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cstdlib>
+#include <limits>
 
 #include "starlay/layout/channel.hpp"
 #include "starlay/support/check.hpp"
@@ -24,37 +25,46 @@ enum Side : int { kTop = 0, kBottom = 1, kRight = 2, kLeft = 3 };
 
 inline bool vertical_side(int s) { return s == kTop || s == kBottom; }
 
+// One entry per edge, alive for the whole route — at star dimension 10
+// that is 16.3M edges, so the layout matters: 32 bytes, with the
+// four-sided-only jog fields split into JogPlan (allocated only in
+// four-sided mode, where edge counts are small).
 struct EdgePlan {
-  EdgeClass cls;
-  std::int32_t src;            // L: source; Row: left endpoint; Col: lower endpoint
-  std::int32_t dst;            // the other endpoint
-  std::int8_t src_side = kTop;
-  std::int8_t dst_side = kRight;
-  std::int32_t src_stub = -1;  // index within the source's side list
-  std::int32_t dst_stub = -1;
+  std::int32_t src = -1;       // L: source; Row: left endpoint; Col: lower endpoint
+  std::int32_t dst = -1;       // the other endpoint
   // Main runs.
   std::int32_t h_chan = -1;    // horizontal channel of the main H run, in [0, R]
   std::int32_t v_chan = -1;    // vertical channel of the main V run, in [0, C]
   std::int32_t h_track = -1;
   std::int32_t v_track = -1;
-  // Jogs (four-sided mode): a source attached left/right needs a short
-  // vertical jog from its stub up/down to the main H run; a destination
-  // attached top/bottom needs a short horizontal jog from the main V run
-  // to its terminal stub.
-  std::int32_t src_jog_vchan = -1;
-  std::int32_t src_jog_vtrack = -1;
-  std::int32_t dst_jog_hchan = -1;
-  std::int32_t dst_jog_htrack = -1;
   std::int16_t h_layer = 1;
   std::int16_t v_layer = 2;
+  EdgeClass cls = EdgeClass::kL;
+  std::int8_t src_side = kTop;
+  std::int8_t dst_side = kRight;
+};
+static_assert(sizeof(EdgePlan) <= 32, "EdgePlan grew past its memory budget");
+
+// Jogs (four-sided mode): a source attached left/right needs a short
+// vertical jog from its stub up/down to the main H run; a destination
+// attached top/bottom needs a short horizontal jog from the main V run to
+// its terminal stub.
+struct JogPlan {
+  std::int32_t src_vchan = -1;
+  std::int32_t src_vtrack = -1;
+  std::int32_t dst_hchan = -1;
+  std::int32_t dst_htrack = -1;
 };
 
-struct StubKey {
-  std::int64_t edge;
+// One stub (edge endpoint attachment) on a node side.  Stored in a single
+// flat array, slot-major (slot = node * 4 + side), built by counting sort —
+// the former vector-of-vectors cost a heap block per (node, side).
+struct StubEntry {
+  std::int32_t edge;
   std::int32_t primary;   // far endpoint's column (vertical sides) or row
   std::int32_t secondary;
-  bool is_src;
-  bool operator<(const StubKey& o) const {
+  std::uint8_t is_src;
+  bool operator<(const StubEntry& o) const {
     if (primary != o.primary) return primary < o.primary;
     if (secondary != o.secondary) return secondary < o.secondary;
     if (edge != o.edge) return edge < o.edge;
@@ -63,11 +73,14 @@ struct StubKey {
 };
 
 /// A main-run or jog interval destined for one (channel, layer) group.
+/// key = channel * kMaxLayer + layer; the sort key leads the struct.
 struct KeyedReq {
-  std::int64_t edge;
+  std::int64_t key;
+  std::int64_t lo, hi;
+  std::int32_t edge;
   bool is_jog;
-  PackRequest req;
 };
+static_assert(sizeof(KeyedReq) <= 32, "KeyedReq grew past its memory budget");
 
 /// Left-edge packs every (channel * kMaxLayer + layer) group of \p reqs.
 /// Groups are independent interval sets, so they run concurrently on the
@@ -75,15 +88,14 @@ struct KeyedReq {
 /// results afterward, keeping the outcome thread-count independent.
 /// \p store(edge, is_jog, track) records each request's assigned track.
 template <typename Store>
-void pack_groups(std::vector<std::pair<std::int64_t, KeyedReq>>& reqs,
-                 std::int64_t max_layer, std::vector<std::int32_t>& chan_tracks,
-                 Store&& store) {
+void pack_groups(std::vector<KeyedReq>& reqs, std::int64_t max_layer,
+                 std::vector<std::int32_t>& chan_tracks, Store&& store) {
   std::sort(reqs.begin(), reqs.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const KeyedReq& a, const KeyedReq& b) { return a.key < b.key; });
   std::vector<std::pair<std::size_t, std::size_t>> groups;
   for (std::size_t i = 0; i < reqs.size();) {
     std::size_t j = i;
-    while (j < reqs.size() && reqs[j].first == reqs[i].first) ++j;
+    while (j < reqs.size() && reqs[j].key == reqs[i].key) ++j;
     groups.push_back({i, j});
     i = j;
   }
@@ -95,17 +107,22 @@ void pack_groups(std::vector<std::pair<std::int64_t, KeyedReq>>& reqs,
           const auto [i, j] = groups[static_cast<std::size_t>(gi)];
           std::vector<PackRequest> group;
           group.reserve(j - i);
-          for (std::size_t k = i; k < j; ++k) group.push_back(reqs[k].second.req);
+          for (std::size_t k = i; k < j; ++k) group.push_back({reqs[k].lo, reqs[k].hi});
           const PackResult pr = pack_intervals_left_edge(group);
           group_tracks[static_cast<std::size_t>(gi)] = pr.num_tracks;
           for (std::size_t k = i; k < j; ++k)
-            store(reqs[k].second.edge, reqs[k].second.is_jog, pr.track[k - i]);
+            store(reqs[k].edge, reqs[k].is_jog, pr.track[k - i]);
         }
       });
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    const auto ch = static_cast<std::size_t>(reqs[groups[gi].first].first / max_layer);
+    const auto ch = static_cast<std::size_t>(reqs[groups[gi].first].key / max_layer);
     chan_tracks[ch] = std::max(chan_tracks[ch], group_tracks[gi]);
   }
+}
+
+template <typename T>
+void free_vector(std::vector<T>& v) {
+  std::vector<T>().swap(v);
 }
 
 }  // namespace
@@ -116,10 +133,13 @@ bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
   return (row_u / k) % 2 == 0;
 }
 
-RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
-                        const RouteSpec& spec, const RouterOptions& opt) {
+RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
+                             const RouteSpec& spec, const RouterOptions& opt,
+                             WireSink& sink) {
   p.check(g.num_vertices());
   const std::int64_t E = g.num_edges();
+  STARLAY_REQUIRE(E <= std::numeric_limits<std::int32_t>::max(),
+                  "route_grid: edge count exceeds 32-bit bookkeeping");
   if (!spec.source_is_u.empty())
     STARLAY_REQUIRE(static_cast<std::int64_t>(spec.source_is_u.size()) == E,
                     "route_grid: source_is_u size mismatch");
@@ -145,6 +165,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   // ---- Classify edges and pick L orientations -------------------------------
   // Per-edge independent: each iteration writes only plan[e].
   std::vector<EdgePlan> plan(static_cast<std::size_t>(E));
+  std::vector<JogPlan> jogs(four ? static_cast<std::size_t>(E) : 0);
   support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
   for (std::int64_t e = lo; e < hi; ++e) {
     const auto& ed = g.edge(e);
@@ -243,7 +264,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
       default:
         // Side attachment: the jog channel is fixed by the side; the main
         // H run may go above or below, alternating for balance.
-        ep.src_jog_vchan = ep.src_side == kRight ? cs + 1 : cs;
+        jogs[static_cast<std::size_t>(e)].src_vchan = ep.src_side == kRight ? cs + 1 : cs;
         ep.h_chan = (e % 2 == 0) ? rs + 1 : rs;
         break;
     }
@@ -251,7 +272,7 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
       case kRight: ep.v_chan = ct + 1; break;
       case kLeft: ep.v_chan = ct; break;
       default:
-        ep.dst_jog_hchan = ep.dst_side == kTop ? rt + 1 : rt;
+        jogs[static_cast<std::size_t>(e)].dst_hchan = ep.dst_side == kTop ? rt + 1 : rt;
         ep.v_chan = (e % 2 == 0) ? ct + 1 : ct;
         break;
     }
@@ -265,21 +286,39 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   // mode interleaves: top/right stubs take even in-cell offsets, bottom/
   // left odd ones, so the two rows (columns) adjoining a channel can never
   // collide.
-  std::vector<std::vector<StubKey>> side_list(static_cast<std::size_t>(V) * 4);
-  const auto list_of = [&](std::int32_t v, int side) -> std::vector<StubKey>& {
-    return side_list[static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(side)];
-  };
-  for (std::int64_t e = 0; e < E; ++e) {
-    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-    const auto key_for = [&](std::int32_t other, bool by_col, bool is_src) -> StubKey {
+  //
+  // The 2E stubs live in one flat slot-major array (slot = node * 4 +
+  // side): count per slot, prefix-sum, then write in edge order — the same
+  // per-slot sequences the former per-slot vectors held, without their 4V
+  // heap blocks.
+  const std::size_t num_slots = static_cast<std::size_t>(V) * 4;
+  std::vector<std::uint32_t> slot_start(num_slots + 1, 0);
+  std::vector<StubEntry> stubs(static_cast<std::size_t>(E) * 2);
+  {
+    const auto slot_of = [](std::int32_t v, std::int8_t side) {
+      return static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(side);
+    };
+    for (std::int64_t e = 0; e < E; ++e) {
+      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      ++slot_start[slot_of(ep.src, ep.src_side) + 1];
+      ++slot_start[slot_of(ep.dst, ep.dst_side) + 1];
+    }
+    for (std::size_t s = 1; s < slot_start.size(); ++s) slot_start[s] += slot_start[s - 1];
+    std::vector<std::uint32_t> cursor(slot_start.begin(), slot_start.end() - 1);
+    const auto put = [&](std::int64_t e, std::int32_t v, std::int8_t side,
+                         std::int32_t other, bool is_src) {
+      const bool by_col = vertical_side(side);
       const std::int32_t oc = vcol[static_cast<std::size_t>(other)];
       const std::int32_t orow = vrow[static_cast<std::size_t>(other)];
-      return by_col ? StubKey{e, oc, orow, is_src} : StubKey{e, orow, oc, is_src};
+      stubs[cursor[slot_of(v, side)]++] = {static_cast<std::int32_t>(e),
+                                           by_col ? oc : orow, by_col ? orow : oc,
+                                           is_src ? std::uint8_t{1} : std::uint8_t{0}};
     };
-    list_of(ep.src, ep.src_side)
-        .push_back(key_for(ep.dst, vertical_side(ep.src_side), true));
-    list_of(ep.dst, ep.dst_side)
-        .push_back(key_for(ep.src, vertical_side(ep.dst_side), false));
+    for (std::int64_t e = 0; e < E; ++e) {
+      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      put(e, ep.src, ep.src_side, ep.dst, true);
+      put(e, ep.dst, ep.dst_side, ep.src, false);
+    }
   }
 
   const auto stub_offset = [&](int side, std::int32_t idx) -> Coord {
@@ -289,8 +328,8 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   };
   // Auto node size: Thompson's degree square in two-sided mode; the exact
   // per-side stub demand (about ceil(degree/2)) in four-sided mode.
-  // Per-node side lists are sorted independently; the stub-demand maximum
-  // is reduced from per-chunk partials to stay thread-count independent.
+  // Per-slot runs are sorted independently; the stub-demand maximum is
+  // reduced from per-chunk partials to stay thread-count independent.
   Coord w = opt.node_size;
   Coord w_needed = 1;
   {
@@ -301,10 +340,11 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
       Coord m = 1;
       for (std::int64_t v = lo; v < hi; ++v) {
         for (int side = 0; side < 4; ++side) {
-          auto& list = list_of(static_cast<std::int32_t>(v), side);
-          std::sort(list.begin(), list.end());
-          if (!list.empty())
-            m = std::max(m, stub_offset(side, static_cast<std::int32_t>(list.size()) - 1) + 1);
+          const std::size_t slot = static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(side);
+          const std::uint32_t b = slot_start[slot], t = slot_start[slot + 1];
+          if (b == t) continue;
+          std::sort(stubs.begin() + b, stubs.begin() + t);
+          m = std::max(m, stub_offset(side, static_cast<std::int32_t>(t - b) - 1) + 1);
         }
       }
       chunk_max[static_cast<std::size_t>(chunk)] = m;
@@ -318,21 +358,26 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   STARLAY_REQUIRE(w >= w_needed,
                   "route_grid: node_size too small for stub demand; "
                   "increase RouterOptions::node_size");
-  std::vector<Coord> src_off(static_cast<std::size_t>(E)), dst_off(static_cast<std::size_t>(E));
+  // In-cell stub offsets fit 32 bits (bounded by 2 * degree + 1).
+  std::vector<std::int32_t> src_off(static_cast<std::size_t>(E)), dst_off(static_cast<std::size_t>(E));
   support::parallel_for(0, V, kNodeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
     for (std::int64_t v = lo; v < hi; ++v) {
       for (int side = 0; side < 4; ++side) {
-        const auto& list = list_of(static_cast<std::int32_t>(v), side);
-        for (std::size_t i = 0; i < list.size(); ++i) {
-          const Coord off = stub_offset(side, static_cast<std::int32_t>(i));
-          if (list[i].is_src)
-            src_off[static_cast<std::size_t>(list[i].edge)] = off;
+        const std::size_t slot = static_cast<std::size_t>(v) * 4 + static_cast<std::size_t>(side);
+        const std::uint32_t b = slot_start[slot], t = slot_start[slot + 1];
+        for (std::uint32_t i = b; i < t; ++i) {
+          const auto off =
+              static_cast<std::int32_t>(stub_offset(side, static_cast<std::int32_t>(i - b)));
+          if (stubs[i].is_src)
+            src_off[static_cast<std::size_t>(stubs[i].edge)] = off;
           else
-            dst_off[static_cast<std::size_t>(list[i].edge)] = off;
+            dst_off[static_cast<std::size_t>(stubs[i].edge)] = off;
         }
       }
     }
   });
+  free_vector(stubs);
+  free_vector(slot_start);
 
   // ---- Horizontal packing (H channels: main runs + destination jogs) ---------
   // Fine x-keys, interleaved: [v-chan 0][col 0][v-chan 1][col 1]...[v-chan C].
@@ -343,42 +388,48 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
   auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
 
   constexpr std::int64_t kMaxLayer = 64;
-  std::vector<std::pair<std::int64_t, KeyedReq>> hreqs;  // key = chan * kMaxLayer + layer
-  for (std::int64_t e = 0; e < E; ++e) {
-    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-    STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
-    if (ep.cls == EdgeClass::kCol) continue;
-    // Main H run.
-    std::int64_t lo, hi;
-    if (ep.cls == EdgeClass::kRow) {
-      lo = xkey_cell(vcol[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
-      hi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
-    } else {
-      lo = vertical_side(ep.src_side)
-               ? xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
-                           src_off[static_cast<std::size_t>(e)])
-               : xkey_chan(ep.src_jog_vchan);
-      hi = xkey_chan(ep.v_chan);
-    }
-    if (lo > hi) std::swap(lo, hi);
-    hreqs.push_back({static_cast<std::int64_t>(ep.h_chan) * kMaxLayer + ep.h_layer,
-                     {e, false, {lo, hi}}});
-    // Destination jog (L edges attached top/bottom).
-    if (ep.cls == EdgeClass::kL && vertical_side(ep.dst_side)) {
-      std::int64_t jlo = xkey_chan(ep.v_chan);
-      std::int64_t jhi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
-                                   dst_off[static_cast<std::size_t>(e)]);
-      if (jlo > jhi) std::swap(jlo, jhi);
-      hreqs.push_back({static_cast<std::int64_t>(ep.dst_jog_hchan) * kMaxLayer + ep.h_layer,
-                       {e, true, {jlo, jhi}}});
-    }
-  }
   std::vector<std::int32_t> h_chan_tracks(static_cast<std::size_t>(HC), 0);
-  pack_groups(hreqs, kMaxLayer, h_chan_tracks,
-              [&](std::int64_t e, bool is_jog, std::int32_t track) {
-                EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-                (is_jog ? ep.dst_jog_htrack : ep.h_track) = track;
-              });
+  {
+    std::vector<KeyedReq> hreqs;  // key = chan * kMaxLayer + layer
+    for (std::int64_t e = 0; e < E; ++e) {
+      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
+      if (ep.cls == EdgeClass::kCol) continue;
+      // Main H run.
+      std::int64_t lo, hi;
+      if (ep.cls == EdgeClass::kRow) {
+        lo = xkey_cell(vcol[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
+        hi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
+      } else {
+        lo = vertical_side(ep.src_side)
+                 ? xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
+                             src_off[static_cast<std::size_t>(e)])
+                 : xkey_chan(jogs[static_cast<std::size_t>(e)].src_vchan);
+        hi = xkey_chan(ep.v_chan);
+      }
+      if (lo > hi) std::swap(lo, hi);
+      hreqs.push_back({static_cast<std::int64_t>(ep.h_chan) * kMaxLayer + ep.h_layer, lo, hi,
+                       static_cast<std::int32_t>(e), false});
+      // Destination jog (L edges attached top/bottom).
+      if (ep.cls == EdgeClass::kL && vertical_side(ep.dst_side)) {
+        std::int64_t jlo = xkey_chan(ep.v_chan);
+        std::int64_t jhi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                                     dst_off[static_cast<std::size_t>(e)]);
+        if (jlo > jhi) std::swap(jlo, jhi);
+        hreqs.push_back(
+            {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].dst_hchan) * kMaxLayer +
+                 ep.h_layer,
+             jlo, jhi, static_cast<std::int32_t>(e), true});
+      }
+    }
+    pack_groups(hreqs, kMaxLayer, h_chan_tracks,
+                [&](std::int32_t e, bool is_jog, std::int32_t track) {
+                  if (is_jog)
+                    jogs[static_cast<std::size_t>(e)].dst_htrack = track;
+                  else
+                    plan[static_cast<std::size_t>(e)].h_track = track;
+                });
+  }
 
   // ---- Vertical packing (V channels: main runs + source jogs) -----------------
   std::int32_t max_h_tracks = 0;
@@ -391,40 +442,47 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     return static_cast<std::int64_t>(chan) * ykey_width + track;
   };
 
-  std::vector<std::pair<std::int64_t, KeyedReq>> vreqs;
-  for (std::int64_t e = 0; e < E; ++e) {
-    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-    if (ep.cls == EdgeClass::kRow) continue;
-    std::int64_t lo, hi;
-    if (ep.cls == EdgeClass::kCol) {
-      lo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
-      hi = ykey_cell(vrow[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
-    } else {
-      lo = ykey_track(ep.h_chan, ep.h_track);
-      hi = vertical_side(ep.dst_side)
-               ? ykey_track(ep.dst_jog_hchan, ep.dst_jog_htrack)
-               : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
-                           dst_off[static_cast<std::size_t>(e)]);
-    }
-    if (lo > hi) std::swap(lo, hi);
-    vreqs.push_back({static_cast<std::int64_t>(ep.v_chan) * kMaxLayer + ep.v_layer,
-                     {e, false, {lo, hi}}});
-    // Source jog (L edges attached right/left).
-    if (ep.cls == EdgeClass::kL && !vertical_side(ep.src_side)) {
-      std::int64_t jlo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
-                                   src_off[static_cast<std::size_t>(e)]);
-      std::int64_t jhi = ykey_track(ep.h_chan, ep.h_track);
-      if (jlo > jhi) std::swap(jlo, jhi);
-      vreqs.push_back({static_cast<std::int64_t>(ep.src_jog_vchan) * kMaxLayer + ep.v_layer,
-                       {e, true, {jlo, jhi}}});
-    }
-  }
   std::vector<std::int32_t> v_chan_tracks(static_cast<std::size_t>(VC), 0);
-  pack_groups(vreqs, kMaxLayer, v_chan_tracks,
-              [&](std::int64_t e, bool is_jog, std::int32_t track) {
-                EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-                (is_jog ? ep.src_jog_vtrack : ep.v_track) = track;
-              });
+  {
+    std::vector<KeyedReq> vreqs;
+    for (std::int64_t e = 0; e < E; ++e) {
+      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+      if (ep.cls == EdgeClass::kRow) continue;
+      std::int64_t lo, hi;
+      if (ep.cls == EdgeClass::kCol) {
+        lo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
+        hi = ykey_cell(vrow[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
+      } else {
+        lo = ykey_track(ep.h_chan, ep.h_track);
+        hi = vertical_side(ep.dst_side)
+                 ? ykey_track(jogs[static_cast<std::size_t>(e)].dst_hchan,
+                              jogs[static_cast<std::size_t>(e)].dst_htrack)
+                 : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                             dst_off[static_cast<std::size_t>(e)]);
+      }
+      if (lo > hi) std::swap(lo, hi);
+      vreqs.push_back({static_cast<std::int64_t>(ep.v_chan) * kMaxLayer + ep.v_layer, lo, hi,
+                       static_cast<std::int32_t>(e), false});
+      // Source jog (L edges attached right/left).
+      if (ep.cls == EdgeClass::kL && !vertical_side(ep.src_side)) {
+        std::int64_t jlo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
+                                     src_off[static_cast<std::size_t>(e)]);
+        std::int64_t jhi = ykey_track(ep.h_chan, ep.h_track);
+        if (jlo > jhi) std::swap(jlo, jhi);
+        vreqs.push_back(
+            {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].src_vchan) * kMaxLayer +
+                 ep.v_layer,
+             jlo, jhi, static_cast<std::int32_t>(e), true});
+      }
+    }
+    pack_groups(vreqs, kMaxLayer, v_chan_tracks,
+                [&](std::int32_t e, bool is_jog, std::int32_t track) {
+                  if (is_jog)
+                    jogs[static_cast<std::size_t>(e)].src_vtrack = track;
+                  else
+                    plan[static_cast<std::size_t>(e)].v_track = track;
+                });
+  }
 
   // ---- Geometry -----------------------------------------------------------------
   std::vector<Coord> chan_x0(static_cast<std::size_t>(VC)), col_x0(static_cast<std::size_t>(C));
@@ -452,21 +510,23 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     }
   }
 
-  std::vector<std::int32_t> row_stats, col_stats;
+  RouteStats stats;
+  stats.node_size = w;
   if (four) {
-    row_stats = h_chan_tracks;
-    col_stats = v_chan_tracks;
+    stats.row_channel_tracks = h_chan_tracks;
+    stats.col_channel_tracks = v_chan_tracks;
   } else {
-    row_stats.assign(h_chan_tracks.begin() + 1, h_chan_tracks.end());
-    col_stats.assign(v_chan_tracks.begin() + 1, v_chan_tracks.end());
+    stats.row_channel_tracks.assign(h_chan_tracks.begin() + 1, h_chan_tracks.end());
+    stats.col_channel_tracks.assign(v_chan_tracks.begin() + 1, v_chan_tracks.end());
   }
 
-  RoutedLayout out{Layout(V), std::move(row_stats), std::move(col_stats), w};
+  std::vector<Rect> node_rects(static_cast<std::size_t>(V));
   for (std::int32_t v = 0; v < V; ++v) {
     const Coord x0 = col_x0[static_cast<std::size_t>(vcol[static_cast<std::size_t>(v)])];
     const Coord y0 = row_y0[static_cast<std::size_t>(vrow[static_cast<std::size_t>(v)])];
-    out.layout.set_node_rect(v, {x0, y0, x0 + w - 1, y0 + w - 1});
+    node_rects[static_cast<std::size_t>(v)] = {x0, y0, x0 + w - 1, y0 + w - 1};
   }
+  sink.begin(g, std::move(node_rects));
 
   const auto htrack_y = [&](std::int32_t chan, std::int32_t track) {
     return chan_y0[static_cast<std::size_t>(chan)] + track;
@@ -487,10 +547,11 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
     }
   };
 
-  // Each edge's wire geometry is a pure function of its plan entry, so the
-  // SoA store can be bulk-built in two deterministic parallel passes.
-  out.layout.set_wires(WireStore::build_parallel(
-      E, kEdgeGrain, [&](std::int64_t e, Wire& wre) {
+  // Each edge's wire geometry is a pure function of its plan entry, so
+  // sinks may replay this fill any number of times (the materializing sink
+  // runs it twice to size the SoA store, the streaming one once per tile
+  // batch).
+  sink.emit_bulk(E, kEdgeGrain, [&](std::int64_t e, Wire& wre) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     wre.edge = e;
     wre.h_layer = ep.h_layer;
@@ -521,13 +582,15 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
         if (vertical_side(ep.src_side)) {
           wre.push({sp.x, ty});  // vertical stub straight to the main run
         } else {
-          const Coord jx = vtrack_x(ep.src_jog_vchan, ep.src_jog_vtrack);
+          const Coord jx = vtrack_x(jogs[static_cast<std::size_t>(e)].src_vchan,
+                                    jogs[static_cast<std::size_t>(e)].src_vtrack);
           wre.push({jx, sp.y});  // horizontal stub to the jog track
           wre.push({jx, ty});    // vertical jog to the main run's level
         }
         wre.push({tx, ty});
         if (vertical_side(ep.dst_side)) {
-          const Coord jy = htrack_y(ep.dst_jog_hchan, ep.dst_jog_htrack);
+          const Coord jy = htrack_y(jogs[static_cast<std::size_t>(e)].dst_hchan,
+                                    jogs[static_cast<std::size_t>(e)].dst_htrack);
           wre.push({tx, jy});    // vertical main down/up to the jog track
           wre.push({dp.x, jy});  // horizontal jog over the terminal stub
         } else {
@@ -537,8 +600,17 @@ RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
         break;
       }
     }
-  }));
-  return out;
+  });
+  sink.end();
+  return stats;
+}
+
+RoutedLayout route_grid(const topology::Graph& g, const Placement& p,
+                        const RouteSpec& spec, const RouterOptions& opt) {
+  MaterializingSink sink;
+  RouteStats stats = route_grid_stream(g, p, spec, opt, sink);
+  return {sink.take_layout(), std::move(stats.row_channel_tracks),
+          std::move(stats.col_channel_tracks), stats.node_size};
 }
 
 }  // namespace starlay::layout

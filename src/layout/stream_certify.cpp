@@ -1,0 +1,527 @@
+#include "starlay/layout/stream_certify.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "starlay/layout/rect_index.hpp"
+#include "starlay/layout/wire_rules.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::layout {
+
+namespace {
+
+/// Cross-wire records.  Coordinates are 32-bit (checked against the same
+/// range WireStore enforces on append), wire ids 32-bit (count checked);
+/// record size is what bounds a batch's memory, so these stay compact.
+struct SegRec {
+  std::int32_t line, lo, hi;
+  std::uint32_t wire;
+  std::int16_t layer;
+};
+
+struct ProbeRec {
+  std::int32_t line, pos;
+  std::uint32_t wire;
+  std::int16_t layer;
+};
+
+struct ViaRec {
+  std::int32_t x, y;
+  std::uint32_t wire;
+  std::int16_t zlo, zhi;
+};
+
+struct ChunkErrors {
+  std::vector<std::string> msgs;
+  std::int64_t total = 0;
+};
+
+/// One greedily-packed run of consecutive bands.
+struct Batch {
+  std::int64_t band_lo = 0, band_hi = 0;  ///< half-open band range
+  std::int64_t nseg = 0, nprobe = 0;
+};
+
+std::int32_t to32(Coord c) {
+  STARLAY_REQUIRE(c >= std::numeric_limits<std::int32_t>::min() &&
+                      c <= std::numeric_limits<std::int32_t>::max(),
+                  "stream: wire coordinate exceeds 32-bit range");
+  return static_cast<std::int32_t>(c);
+}
+
+bool rects_intersect(const Rect& a, const Rect& b) {
+  return !a.empty() && !b.empty() && a.x0 <= b.x1 && b.x0 <= a.x1 && a.y0 <= b.y1 &&
+         b.y0 <= a.y1;
+}
+
+/// Walks one wire's oriented segments exactly like Layout::segments()
+/// (zero-length steps dropped, horizontal on h_layer keyed by y, the rest
+/// on v_layer keyed by x) and its interior bend points like the
+/// materialized via collection.
+template <typename SegF, typename ViaF>
+void scan_wire(const Wire& w, const SegF& on_seg, const ViaF& on_via) {
+  for (int i = 1; i < w.npts; ++i) {
+    const Point a = w.pts[static_cast<std::size_t>(i) - 1];
+    const Point b = w.pts[static_cast<std::size_t>(i)];
+    if (a == b) continue;
+    if (a.y == b.y)
+      on_seg(true, w.h_layer, a.y, std::min(a.x, b.x), std::max(a.x, b.x));
+    else
+      on_seg(false, w.v_layer, a.x, std::min(a.y, b.y), std::max(a.y, b.y));
+  }
+  const auto zlo = std::min(w.h_layer, w.v_layer);
+  const auto zhi = std::max(w.h_layer, w.v_layer);
+  for (int i = 1; i + 1 < w.npts; ++i)
+    on_via(w.pts[static_cast<std::size_t>(i)], zlo, zhi);
+}
+
+/// Packs consecutive bands into batches of at most `budget` record bytes
+/// (a single band may exceed it — bands are indivisible).
+std::vector<Batch> pack_bands(const std::vector<std::int64_t>& seg_counts,
+                              const std::vector<std::int64_t>& probe_counts,
+                              std::int64_t seg_bytes, std::int64_t probe_bytes,
+                              std::int64_t budget) {
+  std::vector<Batch> batches;
+  Batch cur;
+  std::int64_t cur_bytes = 0;
+  const auto bands = static_cast<std::int64_t>(seg_counts.size());
+  for (std::int64_t b = 0; b < bands; ++b) {
+    const std::int64_t nseg = seg_counts[static_cast<std::size_t>(b)];
+    const std::int64_t nprobe =
+        probe_counts.empty() ? 0 : probe_counts[static_cast<std::size_t>(b)];
+    const std::int64_t bytes = nseg * seg_bytes + nprobe * probe_bytes;
+    if (cur.band_hi > cur.band_lo && cur_bytes + bytes > budget) {
+      batches.push_back(cur);
+      cur = {b, b, 0, 0};
+      cur_bytes = 0;
+    }
+    if (cur.band_hi == cur.band_lo) cur.band_lo = b;
+    cur.band_hi = b + 1;
+    cur.nseg += nseg;
+    cur.nprobe += nprobe;
+    cur_bytes += bytes;
+  }
+  if (cur.band_hi > cur.band_lo) batches.push_back(cur);
+  return batches;
+}
+
+}  // namespace
+
+StreamingCertifier::StreamingCertifier(StreamOptions opt) : opt_(std::move(opt)) {}
+StreamingCertifier::~StreamingCertifier() = default;
+
+void StreamingCertifier::begin(const topology::Graph& g, std::vector<Rect>&& nodes) {
+  STARLAY_REQUIRE(!begun_, "stream: begin() called twice");
+  g_ = &g;
+  nodes_ = std::move(nodes);
+  begun_ = true;
+  retained_ = Layout(static_cast<std::int32_t>(nodes_.size()));
+  if (!opt_.retain_window.empty())
+    for (std::size_t v = 0; v < nodes_.size(); ++v)
+      if (rects_intersect(nodes_[v], opt_.retain_window))
+        retained_.set_node_rect(static_cast<std::int32_t>(v), nodes_[v]);
+}
+
+void StreamingCertifier::emit(const Wire& w) {
+  STARLAY_REQUIRE(begun_ && !bulk_done_, "stream: emit() outside an emission");
+  buffered_.push_back(w);
+}
+
+void StreamingCertifier::emit_bulk(std::int64_t count, std::int64_t grain,
+                                   const WireFill& fill) {
+  STARLAY_REQUIRE(begun_ && !bulk_done_ && buffered_.empty(),
+                  "stream: emit_bulk() mixed with emit() or called twice");
+  process(count, grain, fill);
+  bulk_done_ = true;
+}
+
+void StreamingCertifier::end() {
+  STARLAY_REQUIRE(begun_ && !done_, "stream: end() without begin()");
+  if (!bulk_done_) {
+    const auto n = static_cast<std::int64_t>(buffered_.size());
+    process(n, 4096, [this](std::int64_t i, Wire& w) {
+      w = buffered_[static_cast<std::size_t>(i)];
+    });
+    buffered_.clear();
+    buffered_.shrink_to_fit();
+  }
+  done_ = true;
+}
+
+const StreamReport& StreamingCertifier::report() const {
+  STARLAY_REQUIRE(done_, "stream: report() before end()");
+  return rep_;
+}
+
+const Layout& StreamingCertifier::retained_layout() const {
+  STARLAY_REQUIRE(done_, "stream: retained_layout() before end()");
+  return retained_;
+}
+
+void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
+                                 const WireFill& fill) {
+  const std::int64_t E = g_->num_edges();
+  const int max_errors = opt_.validation.max_errors;
+  ValidationReport& rep = rep_.validation;
+  rep_.num_wires = count;
+  STARLAY_REQUIRE(count <= std::numeric_limits<std::uint32_t>::max(),
+                  "stream: wire count exceeds 32-bit record ids");
+  STARLAY_REQUIRE(grain > 0, "stream: grain must be positive");
+
+  // Merges per-chunk error buffers in chunk order — identical error
+  // sequence to a serial scan, independent of thread count.
+  const auto merge_errors = [&](std::vector<ChunkErrors>& errs) {
+    for (ChunkErrors& ce : errs) {
+      const auto recorded = static_cast<std::int64_t>(ce.msgs.size());
+      for (std::string& m : ce.msgs) rep.fail(std::move(m), max_errors);
+      rep.num_errors_total += ce.total - recorded;
+      if (ce.total > 0) rep.ok = false;
+    }
+  };
+  const auto chunk_emit = [max_errors](ChunkErrors& ce) {
+    return [&ce, max_errors](std::string m) {
+      ++ce.total;
+      if (static_cast<int>(ce.msgs.size()) < max_errors) ce.msgs.push_back(std::move(m));
+    };
+  };
+
+  // --- wire <-> edge counts ---------------------------------------------
+  if (count != E)
+    rep.fail("wire count " + std::to_string(count) + " != edge count " +
+                 std::to_string(E),
+             max_errors);
+
+  // --- node sizes ---------------------------------------------------------
+  {
+    const auto N = static_cast<std::int64_t>(nodes_.size());
+    constexpr std::int64_t kNodeGrain = 4096;
+    std::vector<ChunkErrors> errs(
+        static_cast<std::size_t>(support::num_chunks(0, N, kNodeGrain)));
+    support::parallel_for(0, N, kNodeGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      const auto emit = chunk_emit(errs[static_cast<std::size_t>(chunk)]);
+      for (std::int64_t vi = lo; vi < hi; ++vi) {
+        const auto v = static_cast<std::int32_t>(vi);
+        const Rect& r = nodes_[static_cast<std::size_t>(vi)];
+        const std::int32_t deg =
+            !r.empty() && opt_.validation.thompson_node_size ? g_->degree(v) : 0;
+        check_node_rect(v, r, deg, opt_.validation.min_node_side,
+                        opt_.validation.max_node_side,
+                        opt_.validation.thompson_node_size, emit);
+      }
+    });
+    merge_errors(errs);
+  }
+
+  Rect bb;
+  for (const Rect& r : nodes_) bb.cover(r);
+
+  std::unique_ptr<std::atomic<std::uint32_t>[]> edge_seen;
+  if (E > 0) {
+    edge_seen.reset(new std::atomic<std::uint32_t>[static_cast<std::size_t>(E)]);
+    support::parallel_for(0, E, std::int64_t{1} << 16,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      for (std::int64_t e = lo; e < hi; ++e)
+        edge_seen[static_cast<std::size_t>(e)].store(0, std::memory_order_relaxed);
+    });
+  }
+
+  // --- pass A: per-wire rules + accumulators ------------------------------
+  {
+    const RectIndex rect_index(nodes_);
+    struct ChunkStats {
+      Rect bb;
+      std::int64_t len = 0, len_max = 0, nsegs = 0;
+      int max_layer = 0;
+      ChunkErrors errs;
+      std::vector<Wire> captured;
+    };
+    const std::int64_t chunks = support::num_chunks(0, count, grain);
+    std::vector<ChunkStats> stats(static_cast<std::size_t>(chunks));
+    support::parallel_for(0, count, grain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      ChunkStats& cs = stats[static_cast<std::size_t>(chunk)];
+      const auto emit = chunk_emit(cs.errs);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        Wire w;
+        fill(i, w);
+        const WireValueView view(w);
+        check_wire_path(view, i, *g_, nodes_, emit);
+        check_wire_clearance(view, i, *g_, rect_index, nodes_, emit);
+        if (w.edge < 0 || w.edge >= E)
+          emit("wire references invalid edge " + std::to_string(w.edge));
+        else
+          edge_seen[static_cast<std::size_t>(w.edge)].fetch_add(
+              1, std::memory_order_relaxed);
+        Rect wbb;
+        std::int64_t len = 0;
+        for (int p = 0; p < w.npts; ++p) {
+          const Point pt = w.pts[static_cast<std::size_t>(p)];
+          (void)to32(pt.x);
+          (void)to32(pt.y);
+          wbb.cover(pt);
+          if (p > 0) {
+            const Point prev = w.pts[static_cast<std::size_t>(p) - 1];
+            len += std::abs(pt.x - prev.x) + std::abs(pt.y - prev.y);
+            if (!(pt == prev)) ++cs.nsegs;
+          }
+        }
+        cs.bb.cover(wbb);
+        cs.len += len;
+        cs.len_max = std::max(cs.len_max, len);
+        cs.max_layer = std::max(
+            {cs.max_layer, static_cast<int>(w.h_layer), static_cast<int>(w.v_layer)});
+        if (rects_intersect(wbb, opt_.retain_window)) cs.captured.push_back(w);
+      }
+    });
+    for (ChunkStats& cs : stats) {
+      bb.cover(cs.bb);
+      rep_.total_wire_length += cs.len;
+      rep_.max_wire_length = std::max(rep_.max_wire_length, cs.len_max);
+      rep_.num_layers = std::max(rep_.num_layers, cs.max_layer);
+      rep.num_segments += cs.nsegs;
+      for (const Wire& w : cs.captured) retained_.add_wire(w);
+    }
+    std::vector<ChunkErrors> errs;
+    errs.reserve(stats.size());
+    for (ChunkStats& cs : stats) errs.push_back(std::move(cs.errs));
+    merge_errors(errs);
+  }
+  rep_.num_replays = 1;
+
+  // --- bijection: duplicate wires per edge --------------------------------
+  for (std::int64_t e = 0; e < E; ++e) {
+    const std::uint32_t c =
+        edge_seen[static_cast<std::size_t>(e)].load(std::memory_order_relaxed);
+    for (std::uint32_t k = 1; k < c; ++k)
+      rep.fail("edge " + std::to_string(e) + " has multiple wires", max_errors);
+  }
+  edge_seen.reset();
+
+  rep_.bounding_box = bb;
+  rep_.area = bb.area();
+  rep.num_layers = rep_.num_layers;
+  if (count == 0) return;
+
+  // --- pass B: per-band record counts -------------------------------------
+  // Horizontal space keyed by y, vertical and via spaces keyed by x.  bb
+  // covers every wire point, so band indices are in range by construction.
+  const int shift = opt_.band_shift;
+  const Coord ybase = bb.y0, xbase = bb.x0;
+  const std::int64_t ybands = ((bb.y1 - ybase) >> shift) + 1;
+  const std::int64_t xbands = ((bb.x1 - xbase) >> shift) + 1;
+  const auto yband = [&](Coord y) { return (y - ybase) >> shift; };
+  const auto xband = [&](Coord x) { return (x - xbase) >> shift; };
+
+  using AtomicCounts = std::unique_ptr<std::atomic<std::int64_t>[]>;
+  const auto make_counts = [](std::int64_t n) {
+    AtomicCounts a(new std::atomic<std::int64_t>[static_cast<std::size_t>(n)]);
+    for (std::int64_t i = 0; i < n; ++i) a[static_cast<std::size_t>(i)].store(0);
+    return a;
+  };
+  AtomicCounts hseg_n = make_counts(ybands), hprobe_n = make_counts(ybands);
+  AtomicCounts vseg_n = make_counts(xbands), vprobe_n = make_counts(xbands);
+  AtomicCounts via_n = make_counts(xbands);
+  support::parallel_for(0, count, grain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    const auto bump = [](std::atomic<std::int64_t>& c) {
+      c.fetch_add(1, std::memory_order_relaxed);
+    };
+    for (std::int64_t i = lo; i < hi; ++i) {
+      Wire w;
+      fill(i, w);
+      scan_wire(
+          w,
+          [&](bool horizontal, std::int16_t, Coord line, Coord, Coord) {
+            if (horizontal)
+              bump(hseg_n[static_cast<std::size_t>(yband(line))]);
+            else
+              bump(vseg_n[static_cast<std::size_t>(xband(line))]);
+          },
+          [&](Point p, std::int16_t zlo, std::int16_t zhi) {
+            bump(via_n[static_cast<std::size_t>(xband(p.x))]);
+            for (std::int16_t z = zlo; z <= zhi; ++z) {
+              if (z % 2 == 1)
+                bump(hprobe_n[static_cast<std::size_t>(yband(p.y))]);
+              else
+                bump(vprobe_n[static_cast<std::size_t>(xband(p.x))]);
+            }
+          });
+    }
+  });
+  rep_.num_replays = 2;
+  const auto snapshot = [](const AtomicCounts& a, std::int64_t n) {
+    std::vector<std::int64_t> v(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+      v[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)].load();
+    return v;
+  };
+  const std::vector<std::int64_t> hseg_c = snapshot(hseg_n, ybands);
+  const std::vector<std::int64_t> hprobe_c = snapshot(hprobe_n, ybands);
+  const std::vector<std::int64_t> vseg_c = snapshot(vseg_n, xbands);
+  const std::vector<std::int64_t> vprobe_c = snapshot(vprobe_n, xbands);
+  const std::vector<std::int64_t> via_c = snapshot(via_n, xbands);
+  hseg_n.reset();
+  hprobe_n.reset();
+  vseg_n.reset();
+  vprobe_n.reset();
+  via_n.reset();
+
+  // --- batched track-exclusivity + via-pierce -----------------------------
+  // Every (layer, line) group lands in exactly one batch (the batch owning
+  // the line's band), so the adjacent-pair overlap scan and the pierce
+  // lookups see the complete group — identical pairs to the materialized
+  // validator's global sort.
+  const auto run_seg_space = [&](bool horizontal, Coord base,
+                                 const std::vector<std::int64_t>& seg_c,
+                                 const std::vector<std::int64_t>& probe_c) {
+    const auto band_of = [&](Coord line) { return (line - base) >> shift; };
+    for (const Batch& bt : pack_bands(seg_c, probe_c,
+                                      static_cast<std::int64_t>(sizeof(SegRec)),
+                                      static_cast<std::int64_t>(sizeof(ProbeRec)),
+                                      opt_.batch_budget_bytes)) {
+      if (bt.nseg == 0 && bt.nprobe == 0) continue;
+      std::vector<SegRec> segs(static_cast<std::size_t>(bt.nseg));
+      std::vector<ProbeRec> probes(static_cast<std::size_t>(bt.nprobe));
+      std::atomic<std::int64_t> seg_cur{0}, probe_cur{0};
+      support::parallel_for(0, count, grain,
+                            [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          Wire w;
+          fill(i, w);
+          scan_wire(
+              w,
+              [&](bool h, std::int16_t layer, Coord line, Coord slo, Coord shi) {
+                if (h != horizontal) return;
+                const std::int64_t b = band_of(line);
+                if (b < bt.band_lo || b >= bt.band_hi) return;
+                segs[static_cast<std::size_t>(
+                    seg_cur.fetch_add(1, std::memory_order_relaxed))] = {
+                    to32(line), to32(slo), to32(shi), static_cast<std::uint32_t>(i),
+                    layer};
+              },
+              [&](Point p, std::int16_t zlo, std::int16_t zhi) {
+                for (std::int16_t z = zlo; z <= zhi; ++z) {
+                  if ((z % 2 == 1) != horizontal) continue;
+                  const Coord line = horizontal ? p.y : p.x;
+                  const Coord pos = horizontal ? p.x : p.y;
+                  const std::int64_t b = band_of(line);
+                  if (b < bt.band_lo || b >= bt.band_hi) continue;
+                  probes[static_cast<std::size_t>(
+                      probe_cur.fetch_add(1, std::memory_order_relaxed))] = {
+                      to32(line), to32(pos), static_cast<std::uint32_t>(i), z};
+                }
+              });
+        }
+      });
+      STARLAY_REQUIRE(seg_cur.load() == bt.nseg && probe_cur.load() == bt.nprobe,
+                      "stream: fill is not replay-pure (record counts drifted)");
+      std::sort(segs.begin(), segs.end(), [](const SegRec& a, const SegRec& b) {
+        if (a.layer != b.layer) return a.layer < b.layer;
+        if (a.line != b.line) return a.line < b.line;
+        if (a.lo != b.lo) return a.lo < b.lo;
+        if (a.hi != b.hi) return a.hi < b.hi;
+        return a.wire < b.wire;
+      });
+      std::sort(probes.begin(), probes.end(), [](const ProbeRec& a, const ProbeRec& b) {
+        if (a.layer != b.layer) return a.layer < b.layer;
+        if (a.line != b.line) return a.line < b.line;
+        if (a.pos != b.pos) return a.pos < b.pos;
+        return a.wire < b.wire;
+      });
+      for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+        const SegRec& a = segs[i];
+        const SegRec& b = segs[i + 1];
+        if (a.layer == b.layer && a.line == b.line && b.lo <= a.hi)
+          rep.fail("overlap on layer " + std::to_string(a.layer) +
+                       (horizontal ? " y=" : " x=") + std::to_string(a.line) +
+                       ": wires " + std::to_string(a.wire) + " and " +
+                       std::to_string(b.wire),
+                   max_errors);
+      }
+      for (const ProbeRec& pr : probes) {
+        // Run of segments on (layer, line), sorted by span.lo — the same
+        // window SegmentIndex::line_range hands the materialized check.
+        const auto ll_less = [](const SegRec& s, const ProbeRec& p) {
+          if (s.layer != p.layer) return s.layer < p.layer;
+          return s.line < p.line;
+        };
+        const auto first = std::lower_bound(segs.begin(), segs.end(), pr, ll_less);
+        auto it = std::upper_bound(
+            segs.begin(), segs.end(), pr, [](const ProbeRec& p, const SegRec& s) {
+              if (p.layer != s.layer) return p.layer < s.layer;
+              if (p.line != s.line) return p.line < s.line;
+              return p.pos < s.lo;
+            });
+        for (int back = 0; back < 3 && it != first; ++back) {
+          --it;
+          if (it->lo <= pr.pos && pr.pos <= it->hi && it->wire != pr.wire) {
+            const Point p = horizontal ? Point{pr.pos, pr.line} : Point{pr.line, pr.pos};
+            rep.fail("via of wire " + std::to_string(pr.wire) + " at " +
+                         format_point(p) + " pierced by wire " +
+                         std::to_string(it->wire) + " on layer " +
+                         std::to_string(pr.layer),
+                     max_errors);
+            break;
+          }
+        }
+      }
+      ++rep_.num_batches;
+      ++rep_.num_replays;
+    }
+  };
+  run_seg_space(true, ybase, hseg_c, hprobe_c);
+  run_seg_space(false, xbase, vseg_c, vprobe_c);
+
+  // --- batched via-via audit ----------------------------------------------
+  for (const Batch& bt :
+       pack_bands(via_c, {}, static_cast<std::int64_t>(sizeof(ViaRec)), 0,
+                  opt_.batch_budget_bytes)) {
+    if (bt.nseg == 0) continue;
+    std::vector<ViaRec> vias(static_cast<std::size_t>(bt.nseg));
+    std::atomic<std::int64_t> cur{0};
+    support::parallel_for(0, count, grain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        Wire w;
+        fill(i, w);
+        scan_wire(
+            w, [](bool, std::int16_t, Coord, Coord, Coord) {},
+            [&](Point p, std::int16_t zlo, std::int16_t zhi) {
+              const std::int64_t b = xband(p.x);
+              if (b < bt.band_lo || b >= bt.band_hi) return;
+              vias[static_cast<std::size_t>(
+                  cur.fetch_add(1, std::memory_order_relaxed))] = {
+                  to32(p.x), to32(p.y), static_cast<std::uint32_t>(i), zlo, zhi};
+            });
+      }
+    });
+    STARLAY_REQUIRE(cur.load() == bt.nseg,
+                    "stream: fill is not replay-pure (via counts drifted)");
+    std::sort(vias.begin(), vias.end(), [](const ViaRec& a, const ViaRec& b) {
+      if (a.x != b.x) return a.x < b.x;
+      if (a.y != b.y) return a.y < b.y;
+      if (a.zlo != b.zlo) return a.zlo < b.zlo;
+      if (a.zhi != b.zhi) return a.zhi < b.zhi;
+      return a.wire < b.wire;
+    });
+    for (std::size_t i = 0; i + 1 < vias.size(); ++i) {
+      const ViaRec& a = vias[i];
+      const ViaRec& b = vias[i + 1];
+      if (a.x == b.x && a.y == b.y && a.wire != b.wire && a.zlo <= b.zhi &&
+          b.zlo <= a.zhi)
+        rep.fail("via conflict at " + format_point({a.x, a.y}) + ": wires " +
+                     std::to_string(a.wire) + " and " + std::to_string(b.wire),
+                 max_errors);
+    }
+    ++rep_.num_batches;
+    ++rep_.num_replays;
+  }
+}
+
+}  // namespace starlay::layout

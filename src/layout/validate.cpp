@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <sstream>
 
+#include "starlay/layout/rect_index.hpp"
 #include "starlay/layout/segment_index.hpp"
+#include "starlay/layout/wire_rules.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
@@ -12,87 +13,6 @@ namespace starlay::layout {
 namespace {
 
 constexpr std::int64_t kWireGrain = 4096;
-
-std::string pt(Point p) {
-  std::ostringstream os;
-  os << "(" << p.x << "," << p.y << ")";
-  return os.str();
-}
-
-/// Node rectangles grouped by their y-interval for fast "which rects does
-/// this segment touch" queries; grid layouts have one group per node row.
-/// Groups are expected to be y-disjoint (nodes in distinct row bands); the
-/// index stays correct otherwise but degrades to scanning.
-class RectIndex {
- public:
-  explicit RectIndex(const std::vector<Rect>& rects) {
-    // Sort-then-group over one flat vector: one allocation and a single
-    // sort instead of a node-count's worth of std::map rebalancing.
-    entries_.reserve(rects.size());
-    for (std::size_t i = 0; i < rects.size(); ++i) {
-      if (rects[i].empty()) continue;
-      entries_.push_back({rects[i].y0, rects[i].y1, rects[i].x0, rects[i].x1,
-                          static_cast<std::int32_t>(i)});
-    }
-    std::sort(entries_.begin(), entries_.end());
-    max_band_height_ = 0;
-    for (std::size_t i = 0; i < entries_.size();) {
-      std::size_t j = i;
-      while (j < entries_.size() && entries_[j].y0 == entries_[i].y0 &&
-             entries_[j].y1 == entries_[i].y1)
-        ++j;
-      groups_.push_back({entries_[i].y0, entries_[i].y1, i, j});
-      max_band_height_ = std::max(max_band_height_, entries_[i].y1 - entries_[i].y0 + 1);
-      i = j;
-    }
-    // groups_ is sorted by y0 (sort order).
-  }
-
-  /// Invokes \p f(node) for every rect whose closed area intersects the
-  /// closed segment (horizontal ? [lo,hi] x {line} : {line} x [lo,hi]).
-  template <typename F>
-  void for_touching(bool horizontal, Coord line, Coord lo, Coord hi, F&& f) const {
-    const Coord ylo = horizontal ? line : lo;
-    const Coord yhi = horizontal ? line : hi;
-    const Coord xlo = horizontal ? lo : line;
-    const Coord xhi = horizontal ? hi : line;
-    // Any group intersecting [ylo, yhi] has y0 >= ylo - (max height - 1).
-    auto git = std::lower_bound(groups_.begin(), groups_.end(),
-                                ylo - (max_band_height_ - 1),
-                                [](const Group& g, Coord y) { return g.y0 < y; });
-    for (; git != groups_.end() && git->y0 <= yhi; ++git) {
-      if (git->y1 < ylo) continue;
-      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(git->begin);
-      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(git->end);
-      auto it = std::lower_bound(first, last, xlo,
-                                 [](const Entry& e, Coord x) { return e.x1 < x; });
-      // Entries are sorted by (x0, x1); x1 is monotone in x0 for
-      // disjoint same-row rects, so linear scan from `it` is exact.
-      for (; it != last && it->x0 <= xhi; ++it) f(it->node);
-    }
-  }
-
- private:
-  struct Entry {
-    Coord y0, y1, x0, x1;
-    std::int32_t node;
-    bool operator<(const Entry& o) const {
-      if (y0 != o.y0) return y0 < o.y0;
-      if (y1 != o.y1) return y1 < o.y1;
-      if (x0 != o.x0) return x0 < o.x0;
-      return x1 < o.x1;
-    }
-  };
-  struct Group {
-    Coord y0, y1;
-    std::size_t begin, end;  ///< half-open range into entries_
-  };
-  std::vector<Entry> entries_;
-  std::vector<Group> groups_;
-  Coord max_band_height_ = 0;
-};
-
-bool on_boundary(const Rect& r, Point p) { return r.contains(p) && !r.strictly_contains(p); }
 
 /// Per-chunk error buffer for parallel validation passes.  Each chunk
 /// records its first max_errors messages plus the total count; buffers are
@@ -128,8 +48,11 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
       for (std::int64_t i = lo; i < hi; ++i) body(i, emit);
     });
     for (ChunkErrors& ce : errs) {
+      const auto recorded = static_cast<std::int64_t>(ce.msgs.size());
       for (std::string& m : ce.msgs) rep.fail(std::move(m), opt.max_errors);
-      if (ce.total > 0) rep.ok = false;  // capped chunks still flip the verdict
+      // Capped chunks still flip the verdict and count toward the total.
+      rep.num_errors_total += ce.total - recorded;
+      if (ce.total > 0) rep.ok = false;
     }
   };
 
@@ -155,63 +78,14 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   parallel_check(lay.num_nodes(), [&](std::int64_t vi, const auto& emit) {
     const auto v = static_cast<std::int32_t>(vi);
     const Rect& r = lay.node_rect(v);
-    if (r.empty()) {
-      emit("node " + std::to_string(v) + " has no rectangle");
-      return;
-    }
-    if (opt.thompson_node_size) {
-      const Coord want = std::max<Coord>(1, g.degree(v));
-      if (r.width() != want || r.height() != want)
-        emit("node " + std::to_string(v) + " is " + std::to_string(r.width()) + "x" +
-             std::to_string(r.height()) + ", Thompson model wants side " +
-             std::to_string(want));
-    }
-    if (opt.min_node_side > 0 &&
-        (r.width() < opt.min_node_side || r.height() < opt.min_node_side))
-      emit("node " + std::to_string(v) + " smaller than extended-grid minimum");
-    if (opt.max_node_side > 0 &&
-        (r.width() > opt.max_node_side || r.height() > opt.max_node_side))
-      emit("node " + std::to_string(v) + " larger than extended-grid maximum");
+    const std::int32_t deg = !r.empty() && opt.thompson_node_size ? g.degree(v) : 0;
+    check_node_rect(v, r, deg, opt.min_node_side, opt.max_node_side,
+                    opt.thompson_node_size, emit);
   });
 
   // --- per-wire path rules --------------------------------------------------
   parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-    const WireRef w = lay.wires()[wi];
-    const std::string tag = "wire " + std::to_string(wi);
-    if (w.npts() < 2) {
-      emit(tag + ": fewer than 2 points");
-      return;
-    }
-    if (w.h_layer() < 1 || w.h_layer() % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
-    if (w.v_layer() < 2 || w.v_layer() % 2 != 0) emit(tag + ": v_layer must be even >= 2");
-    if (std::abs(w.h_layer() - w.v_layer()) != 1) emit(tag + ": layers not adjacent");
-    for (int i = 1; i < w.npts(); ++i) {
-      const Point a = w.pt(i - 1), b = w.pt(i);
-      const bool dx = a.x != b.x, dy = a.y != b.y;
-      if (dx == dy) {  // both (diagonal) or neither (repeated point)
-        emit(tag + ": segment " + pt(a) + "->" + pt(b) + " not a proper orthogonal step");
-        break;
-      }
-      if (i >= 2) {
-        const Point z = w.pt(i - 2);
-        const bool prev_horizontal = z.y == a.y;
-        if (prev_horizontal == (a.y == b.y)) {
-          emit(tag + ": consecutive collinear segments (merge them)");
-          break;
-        }
-      }
-    }
-    // Endpoint attachment.
-    if (w.edge() >= 0 && w.edge() < g.num_edges()) {
-      const auto& e = g.edge(w.edge());
-      const Rect& ru = lay.node_rect(e.u);
-      const Rect& rv = lay.node_rect(e.v);
-      const Point a = w.front(), b = w.back();
-      const bool ok_uv = on_boundary(ru, a) && on_boundary(rv, b);
-      const bool ok_vu = on_boundary(rv, a) && on_boundary(ru, b);
-      if (!(ok_uv || ok_vu))
-        emit(tag + ": endpoints " + pt(a) + "," + pt(b) + " not on its nodes' boundaries");
-    }
+    check_wire_path(lay.wires()[wi], wi, g, lay.node_rects(), emit);
   });
 
   // --- track exclusivity ------------------------------------------------
@@ -323,8 +197,8 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     const Via& a = vias[static_cast<std::size_t>(i)];
     const Via& b = vias[static_cast<std::size_t>(i) + 1];
     if (a.p == b.p && a.wire != b.wire && a.zlo <= b.zhi && b.zlo <= a.zhi)
-      emit("via conflict at " + pt(a.p) + ": wires " + std::to_string(a.wire) + " and " +
-           std::to_string(b.wire));
+      emit("via conflict at " + format_point(a.p) + ": wires " + std::to_string(a.wire) +
+           " and " + std::to_string(b.wire));
   });
   {
     // Segment passing through a via point on a spanned layer.  The index
@@ -352,7 +226,7 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
         const Coord pos = horizontal ? v.p.x : v.p.y;
         const std::int64_t other = covering(z, horizontal, line, pos, v.wire);
         if (other >= 0)
-          emit("via of wire " + std::to_string(v.wire) + " at " + pt(v.p) +
+          emit("via of wire " + std::to_string(v.wire) + " at " + format_point(v.p) +
                " pierced by wire " + std::to_string(other) + " on layer " +
                std::to_string(z));
       }
@@ -363,43 +237,7 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   {
     const RectIndex index(lay.node_rects());
     parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-      const WireRef w = lay.wires()[wi];
-      std::int32_t nu = -1, nv = -1;
-      if (w.edge() >= 0 && w.edge() < g.num_edges()) {
-        nu = g.edge(w.edge()).u;
-        nv = g.edge(w.edge()).v;
-      }
-      for (int i = 1; i < w.npts(); ++i) {
-        const Point a = w.pt(i - 1), b = w.pt(i);
-        const bool horizontal = a.y == b.y;
-        const Coord line = horizontal ? a.y : a.x;
-        const Coord lo = horizontal ? std::min(a.x, b.x) : std::min(a.y, b.y);
-        const Coord hi = horizontal ? std::max(a.x, b.x) : std::max(a.y, b.y);
-        index.for_touching(horizontal, line, lo, hi, [&](std::int32_t node) {
-          if (node != nu && node != nv) {
-            emit("wire " + std::to_string(wi) + " touches foreign node " +
-                 std::to_string(node));
-            return;
-          }
-          // Own node: the intersection must be a single boundary point and
-          // must be this wire's endpoint at that node.
-          const Rect& r = lay.node_rect(node);
-          const Coord cl = std::max(lo, horizontal ? r.x0 : r.y0);
-          const Coord ch = std::min(hi, horizontal ? r.x1 : r.y1);
-          const bool line_inside =
-              horizontal ? (line >= r.y0 && line <= r.y1) : (line >= r.x0 && line <= r.x1);
-          if (!line_inside || cl > ch) return;  // no real intersection
-          if (cl != ch) {
-            emit("wire " + std::to_string(wi) + " runs along/through its node " +
-                 std::to_string(node));
-            return;
-          }
-          const Point touch = horizontal ? Point{cl, line} : Point{line, cl};
-          if (!(touch == w.front() || touch == w.back()))
-            emit("wire " + std::to_string(wi) + " passes over its own node " +
-                 std::to_string(node) + " at non-endpoint " + pt(touch));
-        });
-      }
+      check_wire_clearance(lay.wires()[wi], wi, g, index, lay.node_rects(), emit);
     });
   }
 

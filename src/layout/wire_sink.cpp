@@ -1,0 +1,17 @@
+#include "starlay/layout/wire_sink.hpp"
+
+namespace starlay::layout {
+
+void MaterializingSink::begin(const topology::Graph& g, std::vector<Rect>&& nodes) {
+  (void)g;
+  layout_ = Layout(static_cast<std::int32_t>(nodes.size()));
+  for (std::size_t v = 0; v < nodes.size(); ++v)
+    if (!nodes[v].empty()) layout_.set_node_rect(static_cast<std::int32_t>(v), nodes[v]);
+}
+
+void MaterializingSink::emit_bulk(std::int64_t count, std::int64_t grain,
+                                  const WireFill& fill) {
+  layout_.set_wires(WireStore::build_parallel(count, grain, fill));
+}
+
+}  // namespace starlay::layout

@@ -5,14 +5,15 @@
 
 namespace starlay::render {
 
-std::string to_ascii(const layout::Layout& lay) {
-  const layout::Rect bb = lay.bounding_box();
+std::string to_ascii(const layout::Layout& lay, const layout::Rect& window) {
+  const layout::Rect bb = window.empty() ? lay.bounding_box() : window;
   STARLAY_REQUIRE(bb.width() <= 400 && bb.height() <= 200,
                   "to_ascii: layout too large for ASCII rendering");
   const auto W = static_cast<std::size_t>(bb.width());
   const auto H = static_cast<std::size_t>(bb.height());
   std::vector<std::string> grid(H, std::string(W, ' '));
   const auto put = [&](layout::Coord x, layout::Coord y, char c) {
+    if (x < bb.x0 || x > bb.x1 || y < bb.y0 || y > bb.y1) return;
     auto& cell = grid[static_cast<std::size_t>(y - bb.y0)][static_cast<std::size_t>(x - bb.x0)];
     if (cell == ' ')
       cell = c;
@@ -23,18 +24,21 @@ std::string to_ascii(const layout::Layout& lay) {
     for (int i = 1; i < w.npts(); ++i) {
       const layout::Point a = w.pt(i - 1), b = w.pt(i);
       if (a.y == b.y) {
-        for (layout::Coord x = std::min(a.x, b.x); x <= std::max(a.x, b.x); ++x)
+        for (layout::Coord x = std::max(std::min(a.x, b.x), bb.x0);
+             x <= std::min(std::max(a.x, b.x), bb.x1); ++x)
           put(x, a.y, '-');
       } else {
-        for (layout::Coord y = std::min(a.y, b.y); y <= std::max(a.y, b.y); ++y)
+        for (layout::Coord y = std::max(std::min(a.y, b.y), bb.y0);
+             y <= std::min(std::max(a.y, b.y), bb.y1); ++y)
           put(a.x, y, '|');
       }
     }
   }
   for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
     const layout::Rect& r = lay.node_rect(v);
-    for (layout::Coord y = r.y0; y <= r.y1; ++y)
-      for (layout::Coord x = r.x0; x <= r.x1; ++x)
+    if (r.empty()) continue;
+    for (layout::Coord y = std::max(r.y0, bb.y0); y <= std::min(r.y1, bb.y1); ++y)
+      for (layout::Coord x = std::max(r.x0, bb.x0); x <= std::min(r.x1, bb.x1); ++x)
         grid[static_cast<std::size_t>(y - bb.y0)][static_cast<std::size_t>(x - bb.x0)] = '#';
   }
   // Top row of the layout is printed first (y grows upward).

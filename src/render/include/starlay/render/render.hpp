@@ -13,6 +13,9 @@ struct SvgOptions {
   double scale = 8.0;        ///< pixels per grid unit
   bool color_by_layer = true;
   bool show_node_labels = false;
+  /// Non-empty: render only this grid window (e.g. the retained tile of a
+  /// StreamingCertifier); geometry outside is skipped/clipped.
+  layout::Rect window;
 };
 
 /// Renders the layout as a standalone SVG document.
@@ -22,8 +25,9 @@ std::string to_svg(const layout::Layout& lay, const SvgOptions& opt = {});
 void write_svg(const layout::Layout& lay, const std::string& path, const SvgOptions& opt = {});
 
 /// ASCII-art rendering for small layouts (width x height up to ~200x100):
-/// '#' node cells, '-'/'|' wires, '+' crossings and bends.
-std::string to_ascii(const layout::Layout& lay);
+/// '#' node cells, '-'/'|' wires, '+' crossings and bends.  A non-empty
+/// \p window restricts the rendering to that grid region.
+std::string to_ascii(const layout::Layout& lay, const layout::Rect& window = {});
 
 /// Renders a graph as a circular-arrangement SVG (structure figures:
 /// the paper's Fig. 2/3 top views).

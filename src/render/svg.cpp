@@ -18,7 +18,10 @@ const char* layer_color(int layer) {
 }  // namespace
 
 std::string to_svg(const layout::Layout& lay, const SvgOptions& opt) {
-  const layout::Rect bb = lay.bounding_box();
+  const layout::Rect bb = opt.window.empty() ? lay.bounding_box() : opt.window;
+  const auto intersects = [&](const layout::Rect& r) {
+    return !r.empty() && r.x0 <= bb.x1 && bb.x0 <= r.x1 && r.y0 <= bb.y1 && bb.y0 <= r.y1;
+  };
   const double s = opt.scale;
   const double margin = 2 * s;
   const double W = static_cast<double>(bb.width()) * s + 2 * margin;
@@ -33,7 +36,7 @@ std::string to_svg(const layout::Layout& lay, const SvgOptions& opt) {
   os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
   for (std::int32_t v = 0; v < lay.num_nodes(); ++v) {
     const layout::Rect& r = lay.node_rect(v);
-    if (r.empty()) continue;
+    if (!intersects(r)) continue;
     os << "<rect x=\"" << X(r.x0) - 0.4 * s << "\" y=\"" << Y(r.y1) - 0.4 * s << "\" width=\""
        << static_cast<double>(r.width() - 1) * s + 0.8 * s << "\" height=\""
        << static_cast<double>(r.height() - 1) * s + 0.8 * s
@@ -44,6 +47,11 @@ std::string to_svg(const layout::Layout& lay, const SvgOptions& opt) {
     }
   }
   for (const layout::WireRef w : lay.wires()) {
+    if (!opt.window.empty()) {
+      layout::Rect wbb;
+      for (int i = 0; i < w.npts(); ++i) wbb.cover(w.pt(i));
+      if (!intersects(wbb)) continue;
+    }
     const int color_layer = opt.color_by_layer ? (w.h_layer() - 1) / 2 : 0;
     os << "<polyline fill=\"none\" stroke=\"" << layer_color(color_layer)
        << "\" stroke-width=\"1\" points=\"";

@@ -18,6 +18,7 @@ void Graph::add_edge(std::int32_t u, std::int32_t v, std::int32_t label) {
   if (u > v) std::swap(u, v);
   edges_.push_back({u, v, label});
   finalized_ = false;
+  degree_.clear();
 }
 
 void Graph::finalize() {
@@ -60,10 +61,25 @@ std::span<const std::int64_t> Graph::incident_edges(std::int32_t v) const {
 }
 
 std::int32_t Graph::degree(std::int32_t v) const {
-  STARLAY_REQUIRE(finalized_, "Graph: call finalize() before degree()");
   STARLAY_REQUIRE(v >= 0 && v < n_, "Graph::degree: vertex out of range");
+  if (!degree_.empty()) return degree_[static_cast<std::size_t>(v)];
+  STARLAY_REQUIRE(finalized_, "Graph: call finalize() before degree()");
   return static_cast<std::int32_t>(row_[static_cast<std::size_t>(v) + 1] -
                                    row_[static_cast<std::size_t>(v)]);
+}
+
+void Graph::release_adjacency() {
+  if (degree_.empty()) {
+    degree_.assign(static_cast<std::size_t>(n_), 0);
+    for (const Edge& e : edges_) {
+      ++degree_[static_cast<std::size_t>(e.u)];
+      ++degree_[static_cast<std::size_t>(e.v)];
+    }
+  }
+  std::vector<std::int64_t>().swap(row_);
+  std::vector<std::int32_t>().swap(adj_);
+  std::vector<std::int64_t>().swap(adj_edge_);
+  finalized_ = false;
 }
 
 std::int32_t Graph::max_degree() const {

@@ -46,10 +46,12 @@ class Graph {
   /// Indices into edges() of the edges incident to \p v. Requires finalize().
   std::span<const std::int64_t> incident_edges(std::int32_t v) const;
 
-  /// Degree counting multiplicity. Requires finalize().
+  /// Degree counting multiplicity. Requires finalize() or a degree cache
+  /// left behind by release_adjacency().
   std::int32_t degree(std::int32_t v) const;
 
-  /// Maximum degree over all vertices. Requires finalize().
+  /// Maximum degree over all vertices. Requires finalize() or the
+  /// release_adjacency() degree cache.
   std::int32_t max_degree() const;
 
   /// True when every vertex has the same degree. Requires finalize().
@@ -58,6 +60,14 @@ class Graph {
   /// True when the graph has no parallel edges.
   bool is_simple() const;
 
+  /// Frees the CSR adjacency (~20 bytes per edge endpoint) while keeping a
+  /// per-vertex degree cache computed from the edge list, so
+  /// degree()/max_degree() — all the streaming pipeline needs after
+  /// routing — keep working.  neighbors() and incident_edges() require a
+  /// new finalize() afterwards.  Works whether or not the graph is
+  /// finalized; idempotent.
+  void release_adjacency();
+
  private:
   std::int32_t n_;
   std::vector<Edge> edges_;
@@ -65,6 +75,7 @@ class Graph {
   std::vector<std::int64_t> row_;         // CSR offsets, size n_ + 1
   std::vector<std::int32_t> adj_;         // neighbor ids
   std::vector<std::int64_t> adj_edge_;    // edge index parallel to adj_
+  std::vector<std::int32_t> degree_;      // release_adjacency() cache
 };
 
 }  // namespace starlay::topology

@@ -1,0 +1,50 @@
+// Pins the paper's closed-form constants so no refactor of the comparators
+// (benches, EXPERIMENTS.md "claimed" columns) can silently drift them.
+
+#include <gtest/gtest.h>
+
+#include "starlay/core/formulas.hpp"
+
+namespace starlay::core {
+namespace {
+
+TEST(Formulas, StarAreaConstantIsOneSixteenth) {
+  EXPECT_DOUBLE_EQ(star_area(1.0), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(star_area(720.0), 720.0 * 720.0 / 16.0);
+  EXPECT_DOUBLE_EQ(hcn_area(1.0), 1.0 / 16.0);  // Lemma 2.4 shares the constant
+  EXPECT_DOUBLE_EQ(complete2d_area(1.0), 1.0 / 16.0);
+  EXPECT_DOUBLE_EQ(complete2d_directed_area(1.0), 1.0 / 4.0);
+}
+
+TEST(Formulas, MultilayerStarAreaIsNSquaredOver4LSquared) {
+  const double N = 5040.0;
+  for (int L : {2, 4, 8})
+    EXPECT_DOUBLE_EQ(multilayer_star_area(N, L), N * N / (4.0 * L * L));
+  // Odd L gains the paper's (L^2 - 1) refinement.
+  for (int L : {3, 5, 7})
+    EXPECT_DOUBLE_EQ(multilayer_star_area(N, L), N * N / (4.0 * (L * L - 1)));
+  // L = 2 degenerates to the single-construction N^2/16.
+  EXPECT_DOUBLE_EQ(multilayer_star_area(N, 2), star_area(N));
+}
+
+TEST(Formulas, HypercubeAreaConstantIsFourNinths) {
+  EXPECT_DOUBLE_EQ(hypercube_area(1.0), 4.0 / 9.0);
+  EXPECT_DOUBLE_EQ(hypercube_area(512.0), 4.0 * 512.0 * 512.0 / 9.0);
+}
+
+TEST(Formulas, HeadlineRatioIs64Ninths) {
+  EXPECT_DOUBLE_EQ(star_vs_hypercube_ratio(), 64.0 / 9.0);
+  // The ratio must be exactly hypercube constant over star constant.
+  EXPECT_DOUBLE_EQ(star_vs_hypercube_ratio(), hypercube_area(1.0) / star_area(1.0));
+  EXPECT_NEAR(star_vs_hypercube_ratio(), 7.111, 1e-3);
+}
+
+TEST(Formulas, ExactCombinatorialValues) {
+  EXPECT_EQ(collinear_complete_tracks(9), 20);   // floor(81/4)
+  EXPECT_EQ(complete_bisection(9), 20);
+  EXPECT_EQ(hypercube_bisection(512), 256);      // N/2
+  EXPECT_EQ(hcn_bisection(256), 64);             // N/4
+}
+
+}  // namespace
+}  // namespace starlay::core

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the concurrency- and streaming-critical suites.
+#
+#   tools/san_check.sh            # thread + address
+#   tools/san_check.sh thread     # just one sanitizer
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/) configured
+# with -DSTARLAY_SANITIZE=<san>.  TSan covers the parallel layout engine
+# (determinism suite + permutation enumerator at STARLAY_THREADS=8); ASan
+# additionally covers the streaming pipeline, whose sink replay / adjacency
+# release paths are the most pointer-lifetime-sensitive code in the tree.
+# A toolchain without a given sanitizer runtime skips it with a notice and
+# does not fail the sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SANITIZERS=("$@")
+if [ ${#SANITIZERS[@]} -eq 0 ]; then
+  SANITIZERS=(thread address)
+fi
+
+TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test)
+
+for SAN in "${SANITIZERS[@]}"; do
+  case "$SAN" in
+    thread)  BUILD=build-tsan ;;
+    address) BUILD=build-asan ;;
+    *) echo "san_check: unknown sanitizer '$SAN' (want thread|address)" >&2; exit 2 ;;
+  esac
+
+  cmake -B "$BUILD" -S . -DSTARLAY_SANITIZE="$SAN" -DSTARLAY_BUILD_BENCH=OFF \
+        -DSTARLAY_BUILD_EXAMPLES=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  if ! cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"; then
+    echo "san_check: build with -fsanitize=$SAN failed (toolchain without $SAN?); skipping" >&2
+    continue
+  fi
+
+  export STARLAY_THREADS=8
+  export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+  export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+  "$BUILD"/tests/parallel_determinism_test
+  "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
+  if [ "$SAN" = address ]; then
+    "$BUILD"/tests/stream_pipeline_test
+  fi
+  echo "san_check: $SAN clean"
+done
+echo "san_check: done"
