@@ -66,4 +66,4 @@ BENCHMARK(BM_UnorderedStar6)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "ablation_routing")

@@ -60,4 +60,4 @@ BENCHMARK(BM_ClusterCutHcn)->Arg(3)->Arg(5);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "bisection_hcn")

@@ -56,4 +56,4 @@ BENCHMARK(BM_KlBisectionStar5)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "bisection_star")

@@ -58,4 +58,4 @@ BENCHMARK(BM_ValidateCollinear)->Arg(64)->Arg(128);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "collinear_complete")

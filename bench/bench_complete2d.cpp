@@ -62,4 +62,4 @@ BENCHMARK(BM_Complete2DDirected)->Arg(16)->Arg(64);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "complete2d")

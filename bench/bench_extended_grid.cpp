@@ -96,4 +96,4 @@ BENCHMARK(BM_UnicastStar5)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "extended_grid")

@@ -54,4 +54,4 @@ BENCHMARK(BM_K9Ascii);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "fig1_k9")

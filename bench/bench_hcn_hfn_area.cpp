@@ -56,4 +56,4 @@ BENCHMARK(BM_HfnLayout)->Arg(3)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "hcn_hfn_area")

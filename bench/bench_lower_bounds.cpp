@@ -55,4 +55,4 @@ BENCHMARK(BM_StarBounds)->Arg(10)->Arg(20);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "lower_bounds")

@@ -90,4 +90,4 @@ BENCHMARK(BM_StarValidate)->Arg(6)->Arg(7)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "star_area")

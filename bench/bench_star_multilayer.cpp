@@ -47,4 +47,4 @@ BENCHMARK(BM_MultilayerStar)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMilliseco
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "star_multilayer")

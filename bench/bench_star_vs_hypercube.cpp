@@ -71,4 +71,4 @@ BENCHMARK(BM_HypercubeLayoutD10)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "star_vs_hypercube")

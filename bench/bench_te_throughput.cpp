@@ -74,4 +74,4 @@ BENCHMARK(BM_HypercubeTeSchedule)->Arg(6)->Arg(9)->Arg(11)->Unit(benchmark::kMil
 
 }  // namespace
 
-STARLAY_BENCH_MAIN(print_table)
+STARLAY_BENCH_MAIN(print_table, "te_throughput")

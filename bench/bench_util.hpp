@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "starlay/support/telemetry.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -118,12 +122,42 @@ inline void row_labels(const std::vector<std::string>& cols) {
 
 inline void cell(const char* fmt, double v) { std::printf(fmt, v); }
 
+/// Telemetry is on by default for the experiment tables (every bench ends
+/// with a per-phase breakdown); STARLAY_BENCH_TELEMETRY=0 disables it —
+/// that is how the overhead gate measures the instrumented-but-untraced
+/// fast path against an active trace.
+inline bool telemetry_enabled() {
+  const char* env = std::getenv("STARLAY_BENCH_TELEMETRY");
+  return env == nullptr || std::string_view(env) != "0";
+}
+
+inline void begin_bench_trace() {
+#if STARLAY_TELEMETRY
+  if (telemetry_enabled()) ::starlay::support::telemetry::start_trace();
+#endif
+}
+
+/// Ends the table-phase trace and prints the per-phase summary; \p bench
+/// labels the block so multi-bench logs stay attributable.
+inline void end_bench_trace(const char* bench) {
+#if STARLAY_TELEMETRY
+  if (!telemetry_enabled()) return;
+  const auto rep = ::starlay::support::telemetry::stop_trace();
+  std::printf("\nper-phase telemetry (%s):\n%s", bench, rep.summary_table().c_str());
+#else
+  (void)bench;
+#endif
+}
+
 /// Standard main: print the experiment table (followed by the process's
 /// peak RSS — at star dimension >= 9 memory, not time, is the binding
-/// constraint, so every experiment records it), then run timings.
-#define STARLAY_BENCH_MAIN(print_table_fn)                          \
+/// constraint, so every experiment records it) with a telemetry trace
+/// around it, then run timings (untraced: google-benchmark owns those).
+#define STARLAY_BENCH_MAIN(print_table_fn, bench_name)              \
   int main(int argc, char** argv) {                                 \
+    ::starlay::benchutil::begin_bench_trace();                      \
     print_table_fn();                                               \
+    ::starlay::benchutil::end_bench_trace(bench_name);              \
     std::printf("\npeak RSS after tables: %.1f MiB\n",              \
                 ::starlay::benchutil::peak_rss_mb());               \
     ::benchmark::Initialize(&argc, argv);                           \

@@ -4,15 +4,24 @@
 /// Builds any registered network family in either execution mode:
 ///
 ///   starlay_cli --list
-///   starlay_cli --family=star --n=8                      # materialize + validate
-///   starlay_cli --family=star --n=10 --mode=stream       # certify without storing
-///   starlay_cli --family=hcn --n=4 --svg=hcn4.svg
-///   starlay_cli --family=star --n=9 --mode=stream --window=0,0,200,120 --svg=tile.svg
+///   starlay_cli --family star --n 8                      # materialize + validate
+///   starlay_cli --family star --n 10 --mode stream       # certify without storing
+///   starlay_cli --family hcn --n 4 --svg hcn4.svg
+///   starlay_cli --family star --n 8 --mode stream --trace trace.json
+///   starlay_cli --family star --n 9 --mode stream --window 0,0,200,120 --svg tile.svg
 ///
-/// Stream mode routes the construction through a StreamingCertifier: the
-/// geometry is validated and measured tile-by-tile and discarded, so peak
-/// memory stays far below the materialized wire store (star n=10 certifies
-/// in ~16.3M wires without ever holding them).
+/// Flags accept both `--flag value` and `--flag=value`.  Stream mode routes
+/// the construction through a StreamingCertifier: the geometry is validated
+/// and measured tile-by-tile and discarded, so peak memory stays far below
+/// the materialized wire store.  --trace records a telemetry session around
+/// the build (per-phase span tree, counters, RSS profile), prints the
+/// per-phase summary table, and writes the JSON trace to the given path.
+///
+/// Every argument-value failure (unknown family, out-of-range n, a flag the
+/// family does not read, malformed integers) reports a structured builder
+/// error and exits 2 — no invariant abort is reachable from argument values.
+/// Exit codes: 0 valid layout, 1 validation failure, 2 bad arguments,
+/// 3 resource budget exceeded or internal error.
 
 #include <sys/resource.h>
 
@@ -20,15 +29,20 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "starlay/core/builder.hpp"
+#include "starlay/core/params_cli.hpp"
 #include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/render/render.hpp"
+#include "starlay/support/telemetry.hpp"
 
 namespace {
+
+namespace tel = starlay::support::telemetry;
 
 long peak_rss_mb() {
   struct rusage ru {};
@@ -37,13 +51,10 @@ long peak_rss_mb() {
 }
 
 struct Args {
-  std::string family;
+  starlay::core::ParsedBuildParams build;
   std::string mode = "materialize";
   std::string svg_path;
-  int n = 0;
-  int base_size = 3;
-  int layers = 2;
-  int multiplicity = 1;
+  std::string trace_path;
   bool list = false;
   bool have_window = false;
   starlay::layout::Rect window;
@@ -51,62 +62,63 @@ struct Args {
 
 [[noreturn]] void usage(int code) {
   std::fprintf(code == 0 ? stdout : stderr,
-               "usage: starlay_cli --family=NAME --n=INT [options]\n"
+               "usage: starlay_cli --family NAME --n INT [options]\n"
                "       starlay_cli --list\n"
-               "options:\n"
-               "  --mode=materialize|stream   execution mode (default materialize)\n"
-               "  --base-size=INT             star hierarchy base block size (default 3)\n"
-               "  --layers=INT                wiring layers for multilayer families (default 2)\n"
-               "  --multiplicity=INT          parallel links per pair (default 1)\n"
-               "  --window=X0,Y0,X1,Y1        retained/rendered grid window\n"
-               "  --svg=PATH                  write an SVG rendering (needs --window in stream mode)\n");
+               "options (--flag VALUE and --flag=VALUE both accepted):\n"
+               "  --mode materialize|stream   execution mode (default materialize)\n"
+               "  --base-size INT             star hierarchy base block size (default 3)\n"
+               "  --layers INT                wiring layers for multilayer families (default 2)\n"
+               "  --multiplicity INT          parallel links per pair (default 1)\n"
+               "  --trace PATH                record a telemetry trace; print the per-phase\n"
+               "                              table and write the JSON span tree to PATH\n"
+               "  --window X0,Y0,X1,Y1        retained/rendered grid window\n"
+               "  --svg PATH                  write an SVG rendering (needs --window in stream mode)\n");
   std::exit(code);
 }
 
-bool parse_flag(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '\0') {
-    *value = nullptr;
-    return true;
-  }
-  if (arg[len] != '=') return false;
-  *value = arg + len + 1;
-  return true;
+[[noreturn]] void arg_error(const std::string& message) {
+  std::fprintf(stderr, "starlay_cli: %s\n", message.c_str());
+  std::exit(2);
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
-    const char* v = nullptr;
-    if (parse_flag(argv[i], "--help", &v)) usage(0);
-    if (parse_flag(argv[i], "--list", &v)) {
-      a.list = true;
-    } else if (parse_flag(argv[i], "--family", &v) && v) {
-      a.family = v;
-    } else if (parse_flag(argv[i], "--mode", &v) && v) {
-      a.mode = v;
-    } else if (parse_flag(argv[i], "--svg", &v) && v) {
-      a.svg_path = v;
-    } else if (parse_flag(argv[i], "--n", &v) && v) {
-      a.n = std::atoi(v);
-    } else if (parse_flag(argv[i], "--base-size", &v) && v) {
-      a.base_size = std::atoi(v);
-    } else if (parse_flag(argv[i], "--layers", &v) && v) {
-      a.layers = std::atoi(v);
-    } else if (parse_flag(argv[i], "--multiplicity", &v) && v) {
-      a.multiplicity = std::atoi(v);
-    } else if (parse_flag(argv[i], "--window", &v) && v) {
-      long long x0, y0, x1, y1;
-      if (std::sscanf(v, "%lld,%lld,%lld,%lld", &x0, &y0, &x1, &y1) != 4) {
-        std::fprintf(stderr, "starlay_cli: bad --window '%s'\n", v);
-        usage(2);
+  std::vector<std::string> extra;
+  auto parsed = starlay::core::parse_build_params(argc, argv, &extra);
+  if (!parsed.ok()) arg_error(parsed.error().message);
+  a.build = parsed.value();
+
+  // Driver-specific flags, same two spellings as the shared parser.
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    const std::string_view arg = extra[i];
+    const auto value_of = [&](std::string_view flag, std::string* out) -> bool {
+      if (arg == flag) {
+        if (i + 1 >= extra.size()) arg_error("missing value after '" + std::string(flag) + "'");
+        *out = extra[++i];
+        return true;
       }
+      if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+          arg[flag.size()] == '=') {
+        *out = std::string(arg.substr(flag.size() + 1));
+        return true;
+      }
+      return false;
+    };
+    std::string v;
+    if (arg == "--help") usage(0);
+    if (arg == "--list") {
+      a.list = true;
+    } else if (value_of("--mode", &a.mode) || value_of("--svg", &a.svg_path) ||
+               value_of("--trace", &a.trace_path)) {
+      // stored by value_of
+    } else if (value_of("--window", &v)) {
+      long long x0, y0, x1, y1;
+      if (std::sscanf(v.c_str(), "%lld,%lld,%lld,%lld", &x0, &y0, &x1, &y1) != 4)
+        arg_error("bad --window '" + v + "' (want X0,Y0,X1,Y1)");
       a.window = {x0, y0, x1, y1};
       a.have_window = true;
     } else {
-      std::fprintf(stderr, "starlay_cli: unknown argument '%s'\n", argv[i]);
-      usage(2);
+      arg_error("unknown argument '" + std::string(arg) + "' (see --help)");
     }
   }
   return a;
@@ -127,24 +139,42 @@ int run_list() {
   return 0;
 }
 
+/// Maps a builder error to the documented exit code: argument-value errors
+/// exit 2, blown resource budgets exit 3.
+[[noreturn]] void build_error_exit(const starlay::core::BuildError& err) {
+  std::fprintf(stderr, "starlay_cli: [%s] %s\n",
+               starlay::core::build_error_code_name(err.code), err.message.c_str());
+  std::exit(err.code == starlay::core::BuildErrorCode::kBudgetExceeded ? 3 : 2);
+}
+
+/// Finishes an optional --trace session: prints the per-phase table and
+/// writes the JSON span tree.
+void finish_trace(const Args& a) {
+  if (a.trace_path.empty()) return;
+  const tel::TraceReport rep = tel::stop_trace();
+  std::printf("%s", rep.summary_table().c_str());
+  if (!tel::write_trace_json(rep, a.trace_path)) {
+    std::fprintf(stderr, "starlay_cli: cannot write trace to '%s'\n", a.trace_path.c_str());
+    std::exit(3);
+  }
+  print_kv("trace", a.trace_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (a.list) return run_list();
-  if (a.family.empty() || a.n == 0) usage(2);
 
-  const starlay::core::LayoutBuilder* builder = starlay::core::find_builder(a.family);
-  if (!builder) {
-    std::fprintf(stderr, "starlay_cli: unknown family '%s' (try --list)\n", a.family.c_str());
-    return 2;
-  }
-  starlay::core::BuildParams params;
-  params.n = a.n;
-  params.base_size = a.base_size;
-  params.layers = a.layers;
-  params.multiplicity = a.multiplicity;
+  auto resolved = starlay::core::resolve_builder(a.build);
+  if (!resolved.ok()) build_error_exit(resolved.error());
+  const starlay::core::LayoutBuilder* builder = resolved.value();
+  const starlay::core::BuildParams& params = a.build.params;
 
+  if (a.mode != "materialize" && a.mode != "stream")
+    arg_error("unknown mode '" + a.mode + "' (want materialize or stream)");
+
+  if (!a.trace_path.empty()) tel::start_trace();
   const auto t0 = std::chrono::steady_clock::now();
   try {
     if (a.mode == "stream") {
@@ -152,13 +182,15 @@ int main(int argc, char** argv) {
       if (a.have_window) sopt.retain_window = a.window;
       starlay::layout::StreamingCertifier sink(sopt);
       starlay::topology::Graph graph(0);
-      const starlay::layout::RouteStats stats =
-          builder->build_stream(params, sink, &graph);
+      auto streamed = builder->try_build_stream(params, sink, &graph);
+      if (!streamed.ok()) build_error_exit(streamed.error());
+      const starlay::layout::RouteStats& stats = streamed.value();
       const auto& rep = sink.report();
       const double secs =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      finish_trace(a);
 
-      print_kv("family", a.family);
+      print_kv("family", std::string(builder->name()));
       print_kv("mode", std::string("stream"));
       print_kv("vertices", static_cast<std::int64_t>(graph.num_vertices()));
       print_kv("edges", graph.num_edges());
@@ -186,18 +218,17 @@ int main(int argc, char** argv) {
       return rep.validation.ok ? 0 : 1;
     }
 
-    if (a.mode != "materialize") {
-      std::fprintf(stderr, "starlay_cli: unknown mode '%s'\n", a.mode.c_str());
-      return 2;
-    }
-    starlay::core::BuildResult result = builder->build(params);
+    auto built = builder->try_build(params);
+    if (!built.ok()) build_error_exit(built.error());
+    starlay::core::BuildResult& result = built.value();
     const starlay::layout::Layout& lay = result.routed.layout;
     const starlay::layout::ValidationReport rep =
         starlay::layout::validate_layout(result.graph, lay);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    finish_trace(a);
 
-    print_kv("family", a.family);
+    print_kv("family", std::string(builder->name()));
     print_kv("mode", std::string("materialize"));
     print_kv("vertices", static_cast<std::int64_t>(result.graph.num_vertices()));
     print_kv("edges", result.graph.num_edges());

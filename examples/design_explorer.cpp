@@ -23,14 +23,19 @@ namespace {
 
 void report(const std::string& family, int n) {
   using namespace starlay;
-  const core::LayoutBuilder* builder = core::find_builder(family);
-  if (!builder) {
-    std::printf("%-14s (not registered)\n", family.c_str());
+  auto found = core::try_find_builder(family);
+  if (!found.ok()) {
+    std::printf("%-14s (%s)\n", family.c_str(), found.error().message.c_str());
     return;
   }
   core::BuildParams params;
   params.n = n;
-  core::BuildResult r = builder->build(params);
+  auto built = found.value()->try_build(params);
+  if (!built.ok()) {
+    std::printf("%-14s (%s)\n", family.c_str(), built.error().message.c_str());
+    return;
+  }
+  core::BuildResult& r = built.value();
 
   const auto rep = layout::validate_layout(r.graph, r.routed.layout);
   const std::int32_t N = r.graph.num_vertices();

@@ -4,6 +4,7 @@
 
 #include "starlay/bisect/bisect.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::bisect {
@@ -15,6 +16,7 @@ constexpr std::int64_t kVertexGrain = 64;
 /// One KL pass: repeatedly swap the best (unlocked) pair across the cut,
 /// tracking the best prefix of the swap sequence.
 std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) {
+  support::telemetry::ScopedPhase phase("bisect.kl_pass");
   const std::int32_t n = g.num_vertices();
   // D-values: external - internal cost per vertex.  Expressed per vertex
   // over its own adjacency (instead of scattering over the edge list) so
@@ -88,6 +90,7 @@ std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) 
     swaps.push_back({ba, bb});
     gains.push_back(best_gain);
   }
+  support::telemetry::count("bisect.swaps", static_cast<std::int64_t>(swaps.size()));
   // Best prefix of cumulative gains.
   std::int64_t cum = 0, best_cum = 0;
   std::size_t best_k = 0;

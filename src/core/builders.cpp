@@ -1,6 +1,7 @@
 #include "starlay/core/builder.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <functional>
 #include <string>
 
@@ -12,11 +13,14 @@
 #include "starlay/core/multilayer_star.hpp"
 #include "starlay/core/star_layout.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/topology/networks.hpp"
 
 namespace starlay::core {
 
 namespace {
+
+namespace tel = starlay::support::telemetry;
 
 using BuildFn = std::function<BuildResult(const BuildParams&)>;
 using StreamFn =
@@ -25,25 +29,30 @@ using StreamFn =
 class FnBuilder final : public LayoutBuilder {
  public:
   FnBuilder(std::string name, std::string description, std::pair<int, int> n_range,
-            BuildFn build, StreamFn stream)
+            unsigned params_used, BuildFn build, StreamFn stream)
       : name_(std::move(name)),
         description_(std::move(description)),
+        trace_name_("build." + name_),
         n_range_(n_range),
+        params_used_(params_used),
         build_(std::move(build)),
         stream_(std::move(stream)) {}
 
   std::string_view name() const override { return name_; }
   std::string_view description() const override { return description_; }
   std::pair<int, int> n_range() const override { return n_range_; }
+  unsigned params_used() const override { return params_used_; }
 
   BuildResult build(const BuildParams& params) const override {
     check_range(params);
+    tel::ScopedPhase phase(trace_name_);
     return build_(params);
   }
 
   layout::RouteStats build_stream(const BuildParams& params, layout::WireSink& sink,
                                   topology::Graph* graph_out) const override {
     check_range(params);
+    tel::ScopedPhase phase(trace_name_);
     return stream_(params, sink, graph_out);
   }
 
@@ -55,7 +64,9 @@ class FnBuilder final : public LayoutBuilder {
 
   std::string name_;
   std::string description_;
+  std::string trace_name_;  ///< "build.<family>", precomputed so the hot hook allocates nothing
   std::pair<int, int> n_range_;
+  unsigned params_used_;
   BuildFn build_;
   StreamFn stream_;
 };
@@ -73,23 +84,26 @@ const std::vector<FnBuilder>& registry() {
   static const std::vector<FnBuilder> builders = [] {
     std::vector<FnBuilder> b;
     const auto add = [&](std::string name, std::string desc, std::pair<int, int> range,
-                         BuildFn build, StreamFn stream) {
-      b.emplace_back(std::move(name), std::move(desc), range, std::move(build),
+                         unsigned used, BuildFn build, StreamFn stream) {
+      b.emplace_back(std::move(name), std::move(desc), range, used, std::move(build),
                      std::move(stream));
     };
+    constexpr unsigned kUsesNone = 0;
 
     add("star", "n-star graph, optimal N^2/16 hierarchical layout (Lemma 2.2)", {2, 12},
+        kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return star_layout_stream(p.n, s, p.base_size, g);
         });
     add("star-compact", "n-star with four-sided attachments (Theorem 3.7 node window)",
-        {2, 12},
+        {2, 12}, kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout_compact(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return star_layout_compact_stream(p.n, s, p.base_size, g);
         });
     add("pancake", "n-pancake graph via the star hierarchy machinery", {2, 12},
+        kParamBaseSize,
         [](const BuildParams& p) {
           return from_star(permutation_layout(PermutationFamily::kPancake, p.n, p.base_size));
         },
@@ -97,6 +111,7 @@ const std::vector<FnBuilder>& registry() {
           return permutation_layout_stream(PermutationFamily::kPancake, p.n, s, p.base_size, g);
         });
     add("bubble-sort", "n-bubble-sort graph via the star hierarchy machinery", {2, 12},
+        kParamBaseSize,
         [](const BuildParams& p) {
           return from_star(
               permutation_layout(PermutationFamily::kBubbleSort, p.n, p.base_size));
@@ -106,11 +121,13 @@ const std::vector<FnBuilder>& registry() {
                                            g);
         });
     add("transposition", "complete transposition graph (Section 2.4 remark)", {2, 12},
+        kParamBaseSize,
         [](const BuildParams& p) { return from_star(transposition_layout(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return transposition_layout_stream(p.n, s, p.base_size, g);
         });
     add("multilayer-star", "L-layer X-Y star layout, area ~N^2/(4L^2) (Lemma 2.3)", {2, 12},
+        kParamBaseSize | kParamLayers,
         [](const BuildParams& p) {
           MultilayerStarResult r = multilayer_star_layout(p.n, p.layers, p.base_size);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -119,26 +136,28 @@ const std::vector<FnBuilder>& registry() {
           return multilayer_star_layout_stream(p.n, p.layers, s, p.base_size, g);
         });
     add("hcn", "hierarchical cubic network HCN(h, h), N = 2^(2h) (Lemma 2.4)", {1, 8},
-        [](const BuildParams& p) { return from_hcn(hcn_layout(p.n)); },
+        kUsesNone, [](const BuildParams& p) { return from_hcn(hcn_layout(p.n)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hcn_layout_stream(p.n, s, g);
         });
     add("hfn", "hierarchical folded-hypercube network HFN(h, h) (Lemma 2.4)", {1, 8},
-        [](const BuildParams& p) { return from_hcn(hfn_layout(p.n)); },
+        kUsesNone, [](const BuildParams& p) { return from_hcn(hfn_layout(p.n)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hfn_layout_stream(p.n, s, g);
         });
     add("multilayer-hcn", "L-layer X-Y HCN layout (Section 2.4 remark)", {1, 8},
+        kParamLayers,
         [](const BuildParams& p) { return from_hcn(multilayer_hcn_layout(p.n, p.layers)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return multilayer_hcn_layout_stream(p.n, p.layers, s, g);
         });
     add("multilayer-hfn", "L-layer X-Y HFN layout (Section 2.4 remark)", {1, 8},
+        kParamLayers,
         [](const BuildParams& p) { return from_hcn(multilayer_hfn_layout(p.n, p.layers)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return multilayer_hfn_layout_stream(p.n, p.layers, s, g);
         });
-    add("hypercube", "d-dimensional hypercube, bit-split placement", {1, 16},
+    add("hypercube", "d-dimensional hypercube, bit-split placement", {1, 16}, kUsesNone,
         [](const BuildParams& p) {
           HypercubeLayoutResult r = hypercube_layout(p.n);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -147,6 +166,7 @@ const std::vector<FnBuilder>& registry() {
           return hypercube_layout_stream(p.n, s, g);
         });
     add("folded-hypercube", "d-dimensional folded hypercube, bit-split placement", {1, 16},
+        kUsesNone,
         [](const BuildParams& p) {
           HypercubeLayoutResult r = folded_hypercube_layout(p.n);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -155,6 +175,7 @@ const std::vector<FnBuilder>& registry() {
           return folded_hypercube_layout_stream(p.n, s, g);
         });
     add("complete2d", "K_m on a near-square grid, area m^4/16 (Lemma 2.1)", {2, 4096},
+        kParamMultiplicity,
         [](const BuildParams& p) {
           Complete2DResult r = complete2d_layout(p.n, p.multiplicity);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -163,7 +184,7 @@ const std::vector<FnBuilder>& registry() {
           return complete2d_layout_stream(p.n, s, p.multiplicity, g);
         });
     add("complete2d-compact", "K_m with four-sided attachments (Lemma 2.1 node window)",
-        {2, 4096},
+        {2, 4096}, kParamMultiplicity,
         [](const BuildParams& p) {
           Complete2DResult r = complete2d_compact_layout(p.n, p.multiplicity);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -172,7 +193,7 @@ const std::vector<FnBuilder>& registry() {
           return complete2d_compact_layout_stream(p.n, s, p.multiplicity, g);
         });
     add("complete2d-directed", "directed K_m, both orientations routed, area m^4/4",
-        {2, 4096},
+        {2, 4096}, kUsesNone,
         [](const BuildParams& p) {
           Complete2DResult r = complete2d_directed_layout(p.n);
           return BuildResult{std::move(r.graph), std::move(r.routed)};
@@ -181,6 +202,7 @@ const std::vector<FnBuilder>& registry() {
           return complete2d_directed_layout_stream(p.n, s, g);
         });
     add("collinear", "collinear K_m, left-edge channel packing (Lemma 2.1)", {2, 4096},
+        kParamMultiplicity,
         [](const BuildParams& p) {
           CollinearResult r =
               collinear_complete_layout(p.n, TrackBackend::kLeftEdge, p.multiplicity);
@@ -191,7 +213,7 @@ const std::vector<FnBuilder>& registry() {
                                                   p.multiplicity, g);
         });
     add("collinear-paper", "collinear K_m, the paper's explicit track rule (Lemma 2.1)",
-        {2, 4096},
+        {2, 4096}, kParamMultiplicity,
         [](const BuildParams& p) {
           CollinearResult r =
               collinear_complete_layout(p.n, TrackBackend::kPaperRule, p.multiplicity);
@@ -202,7 +224,7 @@ const std::vector<FnBuilder>& registry() {
                                                   p.multiplicity, g);
         });
     add("baseline-naive", "n-star on one row, a private track per edge (E11 ablation)",
-        {2, 10},
+        {2, 10}, kUsesNone,
         [](const BuildParams& p) {
           topology::Graph g = baseline_subject(p.n);
           layout::RoutedLayout routed = naive_collinear_layout(g);
@@ -215,7 +237,7 @@ const std::vector<FnBuilder>& registry() {
           return stats;
         });
     add("baseline-unordered", "n-star with vertex-id row-major placement (E11 ablation)",
-        {2, 10},
+        {2, 10}, kUsesNone,
         [](const BuildParams& p) {
           topology::Graph g = baseline_subject(p.n);
           layout::RoutedLayout routed = unordered_grid_layout(g);
@@ -229,6 +251,7 @@ const std::vector<FnBuilder>& registry() {
         });
     add("baseline-unbalanced",
         "n-star, hierarchical placement but no bundle halving (E11 ablation)", {2, 10},
+        kParamBaseSize,
         [](const BuildParams& p) {
           const int base = std::min(p.base_size, p.n);
           const StarStructure s = star_structure(p.n, base);
@@ -252,12 +275,163 @@ const std::vector<FnBuilder>& registry() {
   return builders;
 }
 
+/// Canonical form for family lookup: surrounding whitespace stripped,
+/// ASCII-lowercased, '_' folded to '-'.
+std::string normalize_family_name(std::string_view raw) {
+  std::size_t lo = 0, hi = raw.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(raw[lo])) != 0) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(raw[hi - 1])) != 0) --hi;
+  std::string out;
+  out.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw[i])));
+    out.push_back(c == '_' ? '-' : c);
+  }
+  return out;
+}
+
+/// Plain O(|a|*|b|) edit distance; the registry has ~20 short names.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+/// The registered name closest to \p normalized (there is always one:
+/// the registry is never empty).
+std::string_view nearest_family_name(std::string_view normalized) {
+  std::string_view best;
+  std::size_t best_dist = 0;
+  for (const FnBuilder& b : registry()) {
+    const std::size_t d = edit_distance(normalized, b.name());
+    if (best.empty() || d < best_dist) {
+      best = b.name();
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+struct ParamFieldInfo {
+  unsigned bit;
+  const char* field;  ///< struct member name
+  const char* flag;   ///< driver flag spelling
+};
+constexpr ParamFieldInfo kParamFieldInfo[] = {
+    {kParamBaseSize, "base_size", "--base-size"},
+    {kParamLayers, "layers", "--layers"},
+    {kParamMultiplicity, "multiplicity", "--multiplicity"},
+};
+
 }  // namespace
+
+const char* build_error_code_name(BuildErrorCode code) {
+  switch (code) {
+    case BuildErrorCode::kUnknownFamily: return "unknown-family";
+    case BuildErrorCode::kUnknownParam: return "unknown-param";
+    case BuildErrorCode::kSizeOutOfRange: return "size-out-of-range";
+    case BuildErrorCode::kBudgetExceeded: return "budget-exceeded";
+    case BuildErrorCode::kInvalidArgument: return "invalid-argument";
+  }
+  return "invalid-argument";
+}
+
+unsigned BuildParams::nondefault_fields() const {
+  const BuildParams defaults;
+  unsigned bits = 0;
+  if (base_size != defaults.base_size) bits |= kParamBaseSize;
+  if (layers != defaults.layers) bits |= kParamLayers;
+  if (multiplicity != defaults.multiplicity) bits |= kParamMultiplicity;
+  return bits;
+}
+
+BuildStatus BuildParams::validate(const LayoutBuilder& builder, unsigned explicit_fields) const {
+  const auto [lo, hi] = builder.n_range();
+  if (n < lo || n > hi) {
+    BuildError err;
+    err.code = BuildErrorCode::kSizeOutOfRange;
+    err.n_lo = lo;
+    err.n_hi = hi;
+    err.message = "family '" + std::string(builder.name()) + "': n=" + std::to_string(n) +
+                  " outside the valid range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                  "]";
+    return err;
+  }
+  const unsigned checked = explicit_fields | nondefault_fields();
+  const unsigned stray = checked & ~builder.params_used();
+  if (stray != 0) {
+    // Report the first offending field; one diagnostic at a time keeps the
+    // driver message identical everywhere.
+    for (const ParamFieldInfo& f : kParamFieldInfo) {
+      if ((stray & f.bit) == 0) continue;
+      BuildError err;
+      err.code = BuildErrorCode::kUnknownParam;
+      err.message = std::string(f.flag) + " (" + f.field + ") does not apply to family '" +
+                    std::string(builder.name()) + "'";
+      return err;
+    }
+  }
+  return {};
+}
+
+BuildOutcome<BuildResult> LayoutBuilder::try_build(const BuildParams& params) const {
+  if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
+  try {
+    return build(params);
+  } catch (const InvariantError& e) {
+    // Params passed validation, so a tripped invariant is a blown resource
+    // budget (wire-id widths, coordinate widths, bookkeeping limits).
+    BuildError err;
+    err.code = BuildErrorCode::kBudgetExceeded;
+    err.message = "family '" + std::string(name()) + "': " + e.what();
+    return err;
+  }
+}
+
+BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildParams& params,
+                                                                 layout::WireSink& sink,
+                                                                 topology::Graph* graph_out) const {
+  if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
+  try {
+    return build_stream(params, sink, graph_out);
+  } catch (const InvariantError& e) {
+    BuildError err;
+    err.code = BuildErrorCode::kBudgetExceeded;
+    err.message = "family '" + std::string(name()) + "': " + e.what();
+    return err;
+  }
+}
 
 const LayoutBuilder* find_builder(std::string_view name) {
   for (const FnBuilder& b : registry())
     if (b.name() == name) return &b;
   return nullptr;
+}
+
+BuildOutcome<const LayoutBuilder*> try_find_builder(std::string_view name) {
+  const std::string canon = normalize_family_name(name);
+  if (canon.empty()) {
+    BuildError err;
+    err.code = BuildErrorCode::kInvalidArgument;
+    err.message = "empty family name";
+    return err;
+  }
+  if (const LayoutBuilder* b = find_builder(canon)) return b;
+  BuildError err;
+  err.code = BuildErrorCode::kUnknownFamily;
+  err.suggestion = std::string(nearest_family_name(canon));
+  err.message = "unknown family '" + std::string(name) + "'; did you mean '" + err.suggestion +
+                "'? (see --list for all families)";
+  return err;
 }
 
 std::vector<const LayoutBuilder*> all_builders() {

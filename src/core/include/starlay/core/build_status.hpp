@@ -1,0 +1,101 @@
+#pragma once
+/// \file build_status.hpp
+/// \brief Structured, expected-style error returns for the builder API.
+///
+/// The registry's original surface aborted (threw InvariantError) on any
+/// bad input, so callers could not tell "unknown family" from "n out of
+/// range" from "the construction blew a resource budget".  This header is
+/// the error vocabulary of the stable surface:
+///
+///   * BuildError      — code + human-readable message, plus the machine-
+///                       readable payload per code (valid n-range for
+///                       kSizeOutOfRange, nearest-name suggestion for
+///                       kUnknownFamily).
+///   * BuildStatus     — success or one BuildError (a void outcome).
+///   * BuildOutcome<T> — T or one BuildError (an expected-style value).
+///
+/// LayoutBuilder::try_build / try_build_stream and try_find_builder return
+/// these; the historical build()/build_stream()/find_builder() remain as
+/// thin asserting wrappers over the same checks.
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "starlay/support/check.hpp"
+
+namespace starlay::core {
+
+enum class BuildErrorCode {
+  kUnknownFamily,    ///< no registered builder by that name (see suggestion)
+  kUnknownParam,     ///< a param was set that this family does not read
+  kSizeOutOfRange,   ///< BuildParams::n outside n_range() (see n_lo/n_hi)
+  kBudgetExceeded,   ///< construction blew a resource budget (wire ids,
+                     ///< coordinates, bookkeeping widths)
+  kInvalidArgument,  ///< malformed driver input (unparsable integer, ...)
+};
+
+/// Short stable identifier for a code ("size-out-of-range", ...).
+const char* build_error_code_name(BuildErrorCode code);
+
+struct BuildError {
+  BuildErrorCode code = BuildErrorCode::kInvalidArgument;
+  std::string message;      ///< complete human-readable diagnostic
+  int n_lo = 0, n_hi = 0;   ///< valid range; set for kSizeOutOfRange
+  std::string suggestion;   ///< nearest registered name; kUnknownFamily only
+};
+
+/// Success, or exactly one structured error.
+class BuildStatus {
+ public:
+  BuildStatus() = default;  ///< success
+  BuildStatus(BuildError err) : err_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Requires !ok().
+  const BuildError& error() const {
+    STARLAY_REQUIRE(err_.has_value(), "BuildStatus: error() on a success status");
+    return *err_;
+  }
+
+ private:
+  std::optional<BuildError> err_;
+};
+
+/// A value of type T, or exactly one structured error.
+template <typename T>
+class BuildOutcome {
+ public:
+  BuildOutcome(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  BuildOutcome(BuildError err) : err_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Requires ok().
+  T& value() {
+    STARLAY_REQUIRE(value_.has_value(), "BuildOutcome: value() on an error outcome");
+    return *value_;
+  }
+  const T& value() const {
+    STARLAY_REQUIRE(value_.has_value(), "BuildOutcome: value() on an error outcome");
+    return *value_;
+  }
+
+  /// Requires !ok().
+  const BuildError& error() const {
+    STARLAY_REQUIRE(err_.has_value(), "BuildOutcome: error() on a success outcome");
+    return *err_;
+  }
+
+  /// The error as a void status (success status when ok()).
+  BuildStatus status() const { return ok() ? BuildStatus() : BuildStatus(*err_); }
+
+ private:
+  std::optional<T> value_;
+  std::optional<BuildError> err_;
+};
+
+}  // namespace starlay::core

@@ -5,30 +5,66 @@
 /// Each family (star, HCN, hypercube, complete-graph variants, baselines)
 /// registers one LayoutBuilder.  Every consumer that wants "a layout of
 /// family F at size n" — the CLI driver, the design explorer, tests that
-/// sweep families — goes through find_builder()/all_builders() instead of
-/// hard-coding the per-family entry points.  Both execution modes share
-/// one construction: build() materializes the geometry, build_stream()
-/// emits it into a WireSink (a StreamingCertifier validates and measures
-/// tile-by-tile without ever holding the full wire store).
+/// sweep families — goes through the registry instead of hard-coding the
+/// per-family entry points.  Both execution modes share one construction:
+/// build() materializes the geometry, build_stream() emits it into a
+/// WireSink (a StreamingCertifier validates and measures tile-by-tile
+/// without ever holding the full wire store).
+///
+/// Two API tiers:
+///
+///  * The *stable, error-returning* surface — try_find_builder(),
+///    try_build(), try_build_stream(), BuildParams::validate() — returns
+///    structured BuildStatus/BuildOutcome errors (unknown family with a
+///    nearest-name suggestion, n out of range with the valid range, a
+///    param the family does not read, a blown resource budget) and never
+///    throws on bad input.  Drivers (CLI, explorer, benches) use this tier.
+///  * The historical asserting surface — find_builder(), build(),
+///    build_stream() — is a thin wrapper over the same checks that throws
+///    InvariantError where the stable tier would return an error.  In-tree
+///    code whose params are correct by construction keeps using it.
 
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "starlay/core/build_status.hpp"
 #include "starlay/layout/router.hpp"
 #include "starlay/layout/wire_sink.hpp"
 #include "starlay/topology/graph.hpp"
 
 namespace starlay::core {
 
+class LayoutBuilder;
+
+/// Bit per BuildParams field (beyond n, which every family reads).
+/// LayoutBuilder::params_used() advertises which fields a family consumes;
+/// BuildParams::validate() rejects set-but-unread fields.
+enum ParamField : unsigned {
+  kParamBaseSize = 1u << 0,
+  kParamLayers = 1u << 1,
+  kParamMultiplicity = 1u << 2,
+  kParamAll = kParamBaseSize | kParamLayers | kParamMultiplicity,
+};
+
 /// Family-independent size knobs.  Builders read the fields that apply to
-/// them and ignore the rest (the star's base_size means nothing to a
-/// hypercube; multiplicity only matters to complete-graph variants).
+/// them (params_used()) and ignore the rest — validate() turns a set-but-
+/// ignored field into a structured error instead of a silent drop.
 struct BuildParams {
   int n = 0;             ///< primary size: star/transposition n, HCN h, hypercube d, K_m m
   int base_size = 3;     ///< star hierarchy base block size (the paper's l = O(1))
   int layers = 2;        ///< wiring layers for the multilayer X-Y variants
   int multiplicity = 1;  ///< parallel links per pair (complete-graph variants)
+
+  /// Bits of the fields whose values differ from the defaults above.
+  unsigned nondefault_fields() const;
+
+  /// Checks this param set against \p builder: n inside n_range()
+  /// (kSizeOutOfRange, range attached) and every checked field read by the
+  /// family (kUnknownParam).  \p explicit_fields names the fields a driver
+  /// saw set explicitly (ParamField bits); fields with non-default values
+  /// are always checked, so programmatic callers may pass 0.
+  BuildStatus validate(const LayoutBuilder& builder, unsigned explicit_fields = 0) const;
 };
 
 /// Materialized build: the subject graph plus its routed, stored layout.
@@ -48,7 +84,13 @@ class LayoutBuilder {
   /// Inclusive [min, max] range of BuildParams::n this family accepts.
   virtual std::pair<int, int> n_range() const = 0;
 
+  /// ParamField bits of the BuildParams fields this family reads (n is
+  /// implicit).  Defaults to "reads everything" so external subclasses are
+  /// never rejected by validate().
+  virtual unsigned params_used() const { return kParamAll; }
+
   /// Materializes the full layout (geometry stored in a WireStore).
+  /// Asserting tier: throws InvariantError on out-of-range params.
   virtual BuildResult build(const BuildParams& params) const = 0;
 
   /// Streams the same construction into \p sink.  With a
@@ -57,12 +99,29 @@ class LayoutBuilder {
   /// measured without being stored.  On return \p graph_out (if non-null)
   /// receives the subject graph, its CSR adjacency released where the
   /// family can afford to (degrees stay available).
+  /// Asserting tier: throws InvariantError on out-of-range params.
   virtual layout::RouteStats build_stream(const BuildParams& params, layout::WireSink& sink,
                                           topology::Graph* graph_out = nullptr) const = 0;
+
+  /// Stable tier: validates \p params (kSizeOutOfRange, kUnknownParam),
+  /// then builds; a resource-budget invariant tripped by the (validated)
+  /// construction surfaces as kBudgetExceeded instead of a throw.
+  BuildOutcome<BuildResult> try_build(const BuildParams& params) const;
+
+  /// Stable tier, streaming mode.  Same error contract as try_build().
+  BuildOutcome<layout::RouteStats> try_build_stream(const BuildParams& params,
+                                                    layout::WireSink& sink,
+                                                    topology::Graph* graph_out = nullptr) const;
 };
 
-/// Looks up a registered family by name; nullptr when unknown.
+/// Looks up a registered family by name; nullptr when unknown.  Exact
+/// match only — the asserting tier's lookup.
 const LayoutBuilder* find_builder(std::string_view name);
+
+/// Stable tier lookup: trims whitespace, matches case-insensitively with
+/// '_' treated as '-', and on a miss returns kUnknownFamily carrying the
+/// nearest registered name ("did you mean 'multilayer-star'?").
+BuildOutcome<const LayoutBuilder*> try_find_builder(std::string_view name);
 
 /// All registered families, sorted by name.
 std::vector<const LayoutBuilder*> all_builders();

@@ -1,0 +1,48 @@
+#pragma once
+/// \file params_cli.hpp
+/// \brief One command-line parser for the shared BuildParams flag family.
+///
+/// Every driver that builds "family F at size n" — starlay_cli, the bench
+/// harness, the examples — accepts the same five flags:
+///
+///   --family NAME   --n INT   --base-size INT   --layers INT   --multiplicity INT
+///
+/// in both `--flag value` and `--flag=value` spellings.  This header is the
+/// single implementation, so a bad integer, an unknown family (with its
+/// nearest-name suggestion), or a flag the family does not read (--layers
+/// on a hypercube) produces the *same* diagnostic from every driver.
+/// Errors come back as BuildOutcome values (build_status.hpp), never as
+/// exits or throws, so drivers own their usage text and exit codes.
+
+#include <string>
+#include <vector>
+
+#include "starlay/core/build_status.hpp"
+#include "starlay/core/builder.hpp"
+
+namespace starlay::core {
+
+/// BuildParams plus what the command line actually said, so validation can
+/// distinguish "explicitly passed --layers 2" from "left at the default".
+struct ParsedBuildParams {
+  std::string family;            ///< empty when --family was absent
+  BuildParams params;
+  unsigned explicit_fields = 0;  ///< ParamField bits of flags seen on the line
+  bool n_set = false;            ///< --n was present
+};
+
+/// Parses the shared builder flags out of argv[1..argc).  Arguments outside
+/// the shared family (a driver's own --mode, --svg, ...) are appended to
+/// \p extra in order when it is non-null, and reported as kInvalidArgument
+/// when it is null.  A malformed value (unparsable integer, missing value
+/// after a flag) is kInvalidArgument naming the offending argument.
+BuildOutcome<ParsedBuildParams> parse_build_params(int argc, const char* const* argv,
+                                                   std::vector<std::string>* extra = nullptr);
+
+/// Resolves a parsed line against the registry: requires --family and --n,
+/// looks the family up (kUnknownFamily with suggestion), and validates the
+/// params against it (kSizeOutOfRange with the valid range, kUnknownParam
+/// for an explicitly-set flag the family does not read).
+BuildOutcome<const LayoutBuilder*> resolve_builder(const ParsedBuildParams& parsed);
+
+}  // namespace starlay::core

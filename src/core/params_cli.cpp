@@ -1,0 +1,118 @@
+#include "starlay/core/params_cli.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace starlay::core {
+
+namespace {
+
+BuildError invalid_argument(std::string message) {
+  BuildError err;
+  err.code = BuildErrorCode::kInvalidArgument;
+  err.message = std::move(message);
+  return err;
+}
+
+/// Strict base-10 int parse: the whole token must be one in-range integer.
+bool parse_int(std::string_view text, int* out) {
+  if (text.empty()) return false;
+  // strtol needs NUL termination; tokens are short.
+  const std::string buf(text);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size() || v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+struct FlagSpec {
+  std::string_view flag;
+  unsigned field_bit;  ///< ParamField bit; 0 for --family / --n
+};
+constexpr FlagSpec kFlags[] = {
+    {"--family", 0},
+    {"--n", 0},
+    {"--base-size", kParamBaseSize},
+    {"--layers", kParamLayers},
+    {"--multiplicity", kParamMultiplicity},
+};
+
+}  // namespace
+
+BuildOutcome<ParsedBuildParams> parse_build_params(int argc, const char* const* argv,
+                                                   std::vector<std::string>* extra) {
+  ParsedBuildParams out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const FlagSpec* spec = nullptr;
+    std::string_view value;
+    bool have_value = false;
+    for (const FlagSpec& f : kFlags) {
+      if (arg == f.flag) {
+        spec = &f;
+        if (i + 1 < argc) {
+          value = argv[++i];
+          have_value = true;
+        }
+        break;
+      }
+      if (arg.size() > f.flag.size() && arg.substr(0, f.flag.size()) == f.flag &&
+          arg[f.flag.size()] == '=') {
+        spec = &f;
+        value = arg.substr(f.flag.size() + 1);
+        have_value = true;
+        break;
+      }
+    }
+    if (!spec) {
+      if (extra) {
+        extra->emplace_back(arg);
+        continue;
+      }
+      return invalid_argument("unknown argument '" + std::string(arg) + "'");
+    }
+    if (!have_value)
+      return invalid_argument("missing value after '" + std::string(spec->flag) + "'");
+
+    if (spec->flag == "--family") {
+      out.family = std::string(value);
+      continue;
+    }
+    int parsed = 0;
+    if (!parse_int(value, &parsed))
+      return invalid_argument("bad integer '" + std::string(value) + "' for '" +
+                              std::string(spec->flag) + "'");
+    if (spec->flag == "--n") {
+      out.params.n = parsed;
+      out.n_set = true;
+    } else if (spec->field_bit == kParamBaseSize) {
+      out.params.base_size = parsed;
+      out.explicit_fields |= kParamBaseSize;
+    } else if (spec->field_bit == kParamLayers) {
+      out.params.layers = parsed;
+      out.explicit_fields |= kParamLayers;
+    } else {
+      out.params.multiplicity = parsed;
+      out.explicit_fields |= kParamMultiplicity;
+    }
+  }
+  return out;
+}
+
+BuildOutcome<const LayoutBuilder*> resolve_builder(const ParsedBuildParams& parsed) {
+  if (parsed.family.empty()) return invalid_argument("missing --family NAME");
+  if (!parsed.n_set) return invalid_argument("missing --n INT");
+  BuildOutcome<const LayoutBuilder*> found = try_find_builder(parsed.family);
+  if (!found.ok()) return found;
+  const LayoutBuilder* builder = found.value();
+  if (BuildStatus st = parsed.params.validate(*builder, parsed.explicit_fields); !st.ok())
+    return st.error();
+  return builder;
+}
+
+}  // namespace starlay::core

@@ -5,11 +5,25 @@
 
 #include "starlay/support/check.hpp"
 #include "starlay/support/math.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 #include "starlay/topology/networks.hpp"
 #include "starlay/topology/permutation.hpp"
 
 namespace starlay::core {
+
+namespace {
+
+namespace tel = starlay::support::telemetry;
+
+/// Runs \p fn under a named telemetry span and returns its result.
+template <typename Fn>
+auto timed(std::string_view name, Fn&& fn) {
+  tel::ScopedPhase phase(name);
+  return fn();
+}
+
+}  // namespace
 
 StarStructure star_structure(int n, int base_size) {
   STARLAY_REQUIRE(n >= 2 && n <= 12, "star_structure: n must be in [2, 12]");
@@ -45,19 +59,23 @@ StarStructure star_structure(int n, int base_size) {
   // slice of the flat buffer — bit-identical for every thread count.
   const std::int64_t N = starlay::factorial(n);
   const std::int32_t stride = n - base_size + 1;
-  s.paths.stride = stride;
-  s.paths.flat.resize(static_cast<std::size_t>(N * stride));
-  std::int32_t* flat = s.paths.flat.data();
-  support::parallel_for(0, N, 4096, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
-    topology::StarPathEnumerator en(lo, n, base_size);
-    for (std::int64_t r = lo; r < hi; ++r) {
-      std::int32_t* out = flat + r * stride;
-      for (std::int32_t d = 0; d + 1 < stride; ++d) out[d] = en.digit(d);
-      out[stride - 1] = en.base_rank();
-      if (r + 1 < hi) en.advance();
-    }
-  });
-  s.placement = layout::hierarchical_placement(flat, stride, N, s.shapes);
+  {
+    tel::ScopedPhase phase("enumeration");
+    s.paths.stride = stride;
+    s.paths.flat.resize(static_cast<std::size_t>(N * stride));
+    std::int32_t* flat = s.paths.flat.data();
+    support::parallel_for(0, N, 4096, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      topology::StarPathEnumerator en(lo, n, base_size);
+      for (std::int64_t r = lo; r < hi; ++r) {
+        std::int32_t* out = flat + r * stride;
+        for (std::int32_t d = 0; d + 1 < stride; ++d) out[d] = en.digit(d);
+        out[stride - 1] = en.base_rank();
+        if (r + 1 < hi) en.advance();
+      }
+    });
+    tel::count("enum.paths", N);
+  }
+  s.placement = layout::hierarchical_placement(s.paths.flat.data(), stride, N, s.shapes);
   return s;
 }
 
@@ -96,6 +114,7 @@ layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStr
     const std::int32_t rv = s.placement.row_of(ed.v);
     return ru == rv || layout::parity_source_is_first(ru, rv);
   };
+  tel::ScopedPhase phase("route_spec");
   support::parallel_for(0, g.num_edges(), 8192,
                         [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
                           for (std::int64_t e = lo; e < hi; ++e)
@@ -107,6 +126,7 @@ layout::RouteSpec star_route_spec_levels(const topology::Graph& g, const StarStr
 namespace {
 
 topology::Graph family_graph(PermutationFamily family, int n) {
+  tel::ScopedPhase phase("topology");
   switch (family) {
     case PermutationFamily::kStar:
       return topology::star_graph(n);
@@ -152,7 +172,7 @@ StarLayoutResult star_layout(int n, int base_size) {
 StarLayoutResult transposition_layout(int n, int base_size) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
-  topology::Graph g = topology::transposition_graph(n);
+  topology::Graph g = timed("topology", [&] { return topology::transposition_graph(n); });
   const layout::RouteSpec spec = star_route_spec_levels(g, s, transposition_levels(g, n));
   layout::RoutedLayout routed = layout::route_grid(g, s.placement, spec);
   return {std::move(g), std::move(s), std::move(routed)};
@@ -161,7 +181,7 @@ StarLayoutResult transposition_layout(int n, int base_size) {
 StarLayoutResult star_layout_compact(int n, int base_size) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
-  topology::Graph g = topology::star_graph(n);
+  topology::Graph g = timed("topology", [&] { return topology::star_graph(n); });
   const layout::RouteSpec spec = star_route_spec(g, s);
   layout::RouterOptions opt;
   opt.four_sided = true;  // node_size auto-shrinks to the stub demand
@@ -202,7 +222,7 @@ layout::RouteStats star_layout_compact_stream(int n, layout::WireSink& sink, int
                                               topology::Graph* graph_out) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
-  topology::Graph g = topology::star_graph(n);
+  topology::Graph g = timed("topology", [&] { return topology::star_graph(n); });
   const layout::RouteSpec spec = star_route_spec(g, s);
   shed_for_streaming(s, g);
   layout::RouterOptions opt;
@@ -216,7 +236,7 @@ layout::RouteStats transposition_layout_stream(int n, layout::WireSink& sink, in
                                                topology::Graph* graph_out) {
   base_size = std::min(base_size, n);
   StarStructure s = star_structure(n, base_size);
-  topology::Graph g = topology::transposition_graph(n);
+  topology::Graph g = timed("topology", [&] { return topology::transposition_graph(n); });
   const layout::RouteSpec spec = star_route_spec_levels(g, s, transposition_levels(g, n));
   shed_for_streaming(s, g);
   layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "starlay/support/math.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
@@ -65,6 +66,7 @@ Placement hierarchical_placement(const std::vector<std::vector<std::int32_t>>& d
 
 Placement hierarchical_placement(const std::int32_t* digits, std::int32_t stride,
                                  std::int64_t count, const std::vector<LevelShape>& shapes) {
+  support::telemetry::ScopedPhase phase("placement");
   STARLAY_REQUIRE(!shapes.empty(), "hierarchical_placement: no level shapes");
   STARLAY_REQUIRE(stride == static_cast<std::int32_t>(shapes.size()),
                   "hierarchical_placement: stride must equal the level count");

@@ -4,14 +4,18 @@
 #include <array>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 
 #include "starlay/layout/channel.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
 
 namespace {
+
+namespace tel = starlay::support::telemetry;
 
 constexpr std::int64_t kEdgeGrain = 8192;  // per-edge loops
 constexpr std::int64_t kNodeGrain = 4096;  // per-node loops
@@ -136,8 +140,10 @@ bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
 RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
                              const RouteSpec& spec, const RouterOptions& opt,
                              WireSink& sink) {
+  tel::ScopedPhase routing_phase("routing");
   p.check(g.num_vertices());
   const std::int64_t E = g.num_edges();
+  tel::count("route.edges", E);
   STARLAY_REQUIRE(E <= std::numeric_limits<std::int32_t>::max(),
                   "route_grid: edge count exceeds 32-bit bookkeeping");
   if (!spec.source_is_u.empty())
@@ -162,8 +168,13 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
     vcol[static_cast<std::size_t>(v)] = p.col_of(v);
   }
 
+  // Sequential pipeline sections share one span slot: emplace ends the
+  // previous section's span and opens the next (all children of "routing").
+  std::optional<tel::ScopedPhase> section;
+
   // ---- Classify edges and pick L orientations -------------------------------
   // Per-edge independent: each iteration writes only plan[e].
+  section.emplace("classify");
   std::vector<EdgePlan> plan(static_cast<std::size_t>(E));
   std::vector<JogPlan> jogs(four ? static_cast<std::size_t>(E) : 0);
   support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
@@ -250,6 +261,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   }
 
   // ---- Channel selection ------------------------------------------------------
+  section.emplace("channel_select");
   support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
   for (std::int64_t e = lo; e < hi; ++e) {
     EdgePlan& ep = plan[static_cast<std::size_t>(e)];
@@ -291,6 +303,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   // side): count per slot, prefix-sum, then write in edge order — the same
   // per-slot sequences the former per-slot vectors held, without their 4V
   // heap blocks.
+  section.emplace("stub_assign");
   const std::size_t num_slots = static_cast<std::size_t>(V) * 4;
   std::vector<std::uint32_t> slot_start(num_slots + 1, 0);
   std::vector<StubEntry> stubs(static_cast<std::size_t>(E) * 2);
@@ -388,6 +401,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
 
   constexpr std::int64_t kMaxLayer = 64;
+  section.emplace("h_pack");
   std::vector<std::int32_t> h_chan_tracks(static_cast<std::size_t>(HC), 0);
   {
     std::vector<KeyedReq> hreqs;  // key = chan * kMaxLayer + layer
@@ -432,6 +446,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   }
 
   // ---- Vertical packing (V channels: main runs + source jogs) -----------------
+  section.emplace("v_pack");
   std::int32_t max_h_tracks = 0;
   for (std::int32_t t : h_chan_tracks) max_h_tracks = std::max(max_h_tracks, t);
   const std::int64_t ykey_width = w + max_h_tracks;
@@ -485,6 +500,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   }
 
   // ---- Geometry -----------------------------------------------------------------
+  section.emplace("geometry");
   std::vector<Coord> chan_x0(static_cast<std::size_t>(VC)), col_x0(static_cast<std::size_t>(C));
   {
     Coord pos = 0;
@@ -551,6 +567,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   // sinks may replay this fill any number of times (the materializing sink
   // runs it twice to size the SoA store, the streaming one once per tile
   // batch).
+  section.emplace("emit");
   sink.emit_bulk(E, kEdgeGrain, [&](std::int64_t e, Wire& wre) {
     const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
     wre.edge = e;
@@ -602,6 +619,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
     }
   });
   sink.end();
+  section.reset();
   return stats;
 }
 

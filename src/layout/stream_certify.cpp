@@ -9,11 +9,14 @@
 #include "starlay/layout/rect_index.hpp"
 #include "starlay/layout/wire_rules.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
 
 namespace {
+
+namespace tel = starlay::support::telemetry;
 
 /// Cross-wire records.  Coordinates are 32-bit (checked against the same
 /// range WireStore enforces on append), wire ids 32-bit (count checked);
@@ -169,6 +172,7 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
   const int max_errors = opt_.validation.max_errors;
   ValidationReport& rep = rep_.validation;
   rep_.num_wires = count;
+  tel::count("stream.wires", count);
   STARLAY_REQUIRE(count <= std::numeric_limits<std::uint32_t>::max(),
                   "stream: wire count exceeds 32-bit record ids");
   STARLAY_REQUIRE(grain > 0, "stream: grain must be positive");
@@ -233,6 +237,7 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
 
   // --- pass A: per-wire rules + accumulators ------------------------------
   {
+    tel::ScopedPhase phase("validation");
     const RectIndex rect_index(nodes_);
     struct ChunkStats {
       Rect bb;
@@ -306,7 +311,10 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
   rep_.bounding_box = bb;
   rep_.area = bb.area();
   rep.num_layers = rep_.num_layers;
-  if (count == 0) return;
+  if (count == 0) {
+    tel::count("stream.replays", rep_.num_replays);
+    return;
+  }
 
   // --- pass B: per-band record counts -------------------------------------
   // Horizontal space keyed by y, vertical and via spaces keyed by x.  bb
@@ -327,6 +335,8 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
   AtomicCounts hseg_n = make_counts(ybands), hprobe_n = make_counts(ybands);
   AtomicCounts vseg_n = make_counts(xbands), vprobe_n = make_counts(xbands);
   AtomicCounts via_n = make_counts(xbands);
+  {
+  tel::ScopedPhase band_count_phase("band_count");
   support::parallel_for(0, count, grain,
                         [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
     const auto bump = [](std::atomic<std::int64_t>& c) {
@@ -354,6 +364,7 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
           });
     }
   });
+  }
   rep_.num_replays = 2;
   const auto snapshot = [](const AtomicCounts& a, std::int64_t n) {
     std::vector<std::int64_t> v(static_cast<std::size_t>(n));
@@ -386,6 +397,7 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
                                       static_cast<std::int64_t>(sizeof(ProbeRec)),
                                       opt_.batch_budget_bytes)) {
       if (bt.nseg == 0 && bt.nprobe == 0) continue;
+      tel::ScopedPhase phase("band_replay");
       std::vector<SegRec> segs(static_cast<std::size_t>(bt.nseg));
       std::vector<ProbeRec> probes(static_cast<std::size_t>(bt.nprobe));
       std::atomic<std::int64_t> seg_cur{0}, probe_cur{0};
@@ -483,6 +495,7 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
        pack_bands(via_c, {}, static_cast<std::int64_t>(sizeof(ViaRec)), 0,
                   opt_.batch_budget_bytes)) {
     if (bt.nseg == 0) continue;
+    tel::ScopedPhase phase("band_replay");
     std::vector<ViaRec> vias(static_cast<std::size_t>(bt.nseg));
     std::atomic<std::int64_t> cur{0};
     support::parallel_for(0, count, grain,
@@ -522,6 +535,8 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
     ++rep_.num_batches;
     ++rep_.num_replays;
   }
+  tel::count("stream.batches", rep_.num_batches);
+  tel::count("stream.replays", rep_.num_replays);
 }
 
 }  // namespace starlay::layout

@@ -6,6 +6,7 @@
 #include "starlay/layout/rect_index.hpp"
 #include "starlay/layout/segment_index.hpp"
 #include "starlay/layout/wire_rules.hpp"
+#include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
 namespace starlay::layout {
@@ -27,6 +28,8 @@ struct ChunkErrors {
 
 ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
                                  const ValidationOptions& opt) {
+  support::telemetry::ScopedPhase phase("validation");
+  support::telemetry::count("validate.wires", lay.num_wires());
   ValidationReport rep;
   const auto fail = [&](const std::string& m) { rep.fail(m, opt.max_errors); };
 

@@ -1,0 +1,166 @@
+#pragma once
+/// \file telemetry.hpp
+/// \brief Low-overhead instrumentation: phase spans, counters, RSS samples.
+///
+/// The streaming certifier runs multi-minute jobs (star n=10: 16.3M wires)
+/// as one opaque call; this module makes the pipeline observable without
+/// perturbing it.  Three primitives:
+///
+///  * ScopedPhase — a named, nested wall-time span.  Spans aggregate: two
+///    ScopedPhase("band_replay") under the same parent merge into one node
+///    with calls=2.  Nesting is tracked per thread; instrumentation sites
+///    sit in *orchestration* code (between parallel_for calls, never inside
+///    their bodies), so the span tree is a pure function of the work — it
+///    is bit-identical for every STARLAY_THREADS setting and traces diff
+///    cleanly.
+///  * count(name, delta) — a monotonic counter attributed to the calling
+///    thread's innermost open span (the trace root when none is open).
+///    Hot loops must not call it per element: accumulate locally and add
+///    one delta after the join, which also keeps attribution deterministic.
+///  * An RSS sampler thread recording (seconds, resident bytes) every few
+///    tens of milliseconds while a trace is active, so a trace shows the
+///    memory *profile* of a run, not just the peak footer.
+///
+/// When no trace is active every primitive is one relaxed atomic load.
+/// Configuring with -DSTARLAY_TELEMETRY=OFF compiles the instrumentation
+/// out entirely (ScopedPhase/count become empty inlines); the report and
+/// serialization types below stay available so consumers always compile.
+///
+/// Usage:
+///   telemetry::start_trace();
+///   { telemetry::ScopedPhase p("routing"); ...; telemetry::count("edges", E); }
+///   telemetry::TraceReport rep = telemetry::stop_trace();
+///   rep.summary_table();            // human-readable per-phase table
+///   telemetry::write_trace_json(rep, "trace.json");
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef STARLAY_TELEMETRY
+#define STARLAY_TELEMETRY 1
+#endif
+
+namespace starlay::support::telemetry {
+
+/// One resident-set-size sample, relative to the trace start.
+struct RssSample {
+  double seconds = 0.0;
+  std::int64_t rss_bytes = 0;
+};
+
+/// Aggregated span node: wall time and counter deltas attributed to one
+/// phase, with children in first-open order.
+struct TraceSpan {
+  std::string name;
+  std::int64_t calls = 0;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, std::int64_t>> counters;  ///< sorted by name
+  std::vector<TraceSpan> children;
+};
+
+/// Snapshot of a finished trace.
+struct TraceReport {
+  TraceSpan root;                      ///< name "trace"; seconds == total_seconds
+  double total_seconds = 0.0;
+  int threads = 0;                     ///< pool size during the trace
+  std::vector<RssSample> rss_samples;  ///< empty when sampling was off
+  std::int64_t peak_rss_bytes = 0;     ///< max over samples (0 when off)
+
+  /// Counters summed over the whole tree, sorted by name.
+  std::vector<std::pair<std::string, std::int64_t>> total_counters() const;
+
+  /// JSON object: {"schema": "starlay-trace-v1", "threads", "total_seconds",
+  /// "peak_rss_mb", "counters", "rss_samples", "spans"}.
+  std::string to_json() const;
+
+  /// Human-readable per-phase table (indent = depth, wall ms, % of total,
+  /// counter deltas), followed by an RSS-profile footer.
+  std::string summary_table() const;
+
+  /// Structure-only digest (names, nesting, calls, counters — no timings):
+  /// what the determinism tests compare across thread counts.
+  std::string structure_digest() const;
+};
+
+/// Writes to_json() to \p path; false when the file cannot be opened.
+bool write_trace_json(const TraceReport& rep, const std::string& path);
+
+struct TraceOptions {
+  bool sample_rss = true;
+  int rss_interval_ms = 50;
+};
+
+#if STARLAY_TELEMETRY
+
+namespace detail {
+extern std::atomic<bool> g_active;
+/// Returns the node handle (nullptr when the trace stopped concurrently).
+void* span_begin(std::string_view name, std::uint64_t* epoch_out);
+void span_end(void* node, std::uint64_t epoch, double seconds);
+void counter_add(std::string_view name, std::int64_t delta);
+}  // namespace detail
+
+/// True while a trace is active.  One relaxed load — callers may use it to
+/// skip building span names dynamically.
+inline bool tracing() { return detail::g_active.load(std::memory_order_relaxed); }
+
+/// Starts a trace session (resets any previous tree).  Must not be called
+/// while instrumented spans are open.
+void start_trace(TraceOptions opt = {});
+
+/// Stops the session and returns its snapshot.  Safe to call when no trace
+/// is active (returns an empty report).
+TraceReport stop_trace();
+
+/// RAII phase span.  A no-op (one relaxed load) when no trace is active.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view name) {
+    if (tracing()) node_ = detail::span_begin(name, &epoch_);
+    if (node_) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedPhase() {
+    if (node_)
+      detail::span_end(node_, epoch_,
+                       std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0_)
+                           .count());
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  void* node_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Adds \p delta to counter \p name under the innermost open span of the
+/// calling thread (the trace root when none).  No-op when not tracing.
+inline void count(std::string_view name, std::int64_t delta) {
+  if (tracing()) detail::counter_add(name, delta);
+}
+
+#else  // STARLAY_TELEMETRY compiled out
+
+inline bool tracing() { return false; }
+inline void start_trace(TraceOptions = {}) {}
+inline TraceReport stop_trace() { return {}; }
+
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(std::string_view) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+};
+
+inline void count(std::string_view, std::int64_t) {}
+
+#endif  // STARLAY_TELEMETRY
+
+}  // namespace starlay::support::telemetry

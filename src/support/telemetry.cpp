@@ -1,0 +1,365 @@
+#include "starlay/support/telemetry.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace starlay::support::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_num(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+void span_to_json(const TraceSpan& s, std::string& out) {
+  out += "{\"name\": \"" + json_escape(s.name) + "\", \"calls\": " +
+         std::to_string(s.calls) + ", \"seconds\": ";
+  append_num(out, s.seconds);
+  out += ", \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out += "\"" + json_escape(s.counters[i].first) +
+           "\": " + std::to_string(s.counters[i].second);
+    if (i + 1 < s.counters.size()) out += ", ";
+  }
+  out += "}, \"children\": [";
+  for (std::size_t i = 0; i < s.children.size(); ++i) {
+    span_to_json(s.children[i], out);
+    if (i + 1 < s.children.size()) out += ", ";
+  }
+  out += "]}";
+}
+
+void accumulate_counters(const TraceSpan& s, std::map<std::string, std::int64_t>& into) {
+  for (const auto& [k, v] : s.counters) into[k] += v;
+  for (const TraceSpan& c : s.children) accumulate_counters(c, into);
+}
+
+void span_table_rows(const TraceSpan& s, int depth, double total_seconds,
+                     std::string& out) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const double pct = total_seconds > 0.0 ? 100.0 * s.seconds / total_seconds : 0.0;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%-40s %7lld %12.2f %6.1f  ",
+                (indent + s.name).c_str(), static_cast<long long>(s.calls),
+                s.seconds * 1e3, pct);
+  out += buf;
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out += s.counters[i].first + "=" + std::to_string(s.counters[i].second);
+    if (i + 1 < s.counters.size()) out += " ";
+  }
+  out += "\n";
+  for (const TraceSpan& c : s.children) span_table_rows(c, depth + 1, total_seconds, out);
+}
+
+void span_digest(const TraceSpan& s, int depth, std::string& out) {
+  out += std::string(static_cast<std::size_t>(depth) * 2, ' ') + s.name + " calls=" +
+         std::to_string(s.calls);
+  for (const auto& [k, v] : s.counters) out += " " + k + "=" + std::to_string(v);
+  out += "\n";
+  for (const TraceSpan& c : s.children) span_digest(c, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::int64_t>> TraceReport::total_counters() const {
+  std::map<std::string, std::int64_t> sums;
+  accumulate_counters(root, sums);
+  return {sums.begin(), sums.end()};
+}
+
+std::string TraceReport::to_json() const {
+  std::string out = "{\n  \"schema\": \"starlay-trace-v1\",\n  \"threads\": " +
+                    std::to_string(threads) + ",\n  \"total_seconds\": ";
+  append_num(out, total_seconds);
+  out += ",\n  \"peak_rss_mb\": ";
+  append_num(out, static_cast<double>(peak_rss_bytes) / (1024.0 * 1024.0));
+  out += ",\n  \"counters\": {";
+  const auto totals = total_counters();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    out += "\"" + json_escape(totals[i].first) + "\": " + std::to_string(totals[i].second);
+    if (i + 1 < totals.size()) out += ", ";
+  }
+  out += "},\n  \"rss_samples\": [";
+  for (std::size_t i = 0; i < rss_samples.size(); ++i) {
+    out += "{\"t\": ";
+    append_num(out, rss_samples[i].seconds);
+    out += ", \"rss_mb\": ";
+    append_num(out, static_cast<double>(rss_samples[i].rss_bytes) / (1024.0 * 1024.0));
+    out += "}";
+    if (i + 1 < rss_samples.size()) out += ", ";
+  }
+  out += "],\n  \"spans\": ";
+  span_to_json(root, out);
+  out += "\n}\n";
+  return out;
+}
+
+std::string TraceReport::summary_table() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-40s %7s %12s %6s  %s\n", "phase", "calls",
+                "wall-ms", "%", "counters");
+  out += buf;
+  out += std::string(40, '-') + " " + std::string(7, '-') + " " + std::string(12, '-') +
+         " " + std::string(6, '-') + "  " + std::string(24, '-') + "\n";
+  span_table_rows(root, 0, total_seconds, out);
+  if (!rss_samples.empty()) {
+    std::int64_t lo = rss_samples.front().rss_bytes, hi = 0;
+    for (const RssSample& s : rss_samples) {
+      lo = std::min(lo, s.rss_bytes);
+      hi = std::max(hi, s.rss_bytes);
+    }
+    std::snprintf(buf, sizeof buf,
+                  "rss: %zu samples, min %.1f MiB, max %.1f MiB (threads=%d)\n",
+                  rss_samples.size(), static_cast<double>(lo) / (1024.0 * 1024.0),
+                  static_cast<double>(hi) / (1024.0 * 1024.0), threads);
+    out += buf;
+  }
+  return out;
+}
+
+std::string TraceReport::structure_digest() const {
+  std::string out;
+  span_digest(root, 0, out);
+  return out;
+}
+
+bool write_trace_json(const TraceReport& rep, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << rep.to_json();
+  return static_cast<bool>(out);
+}
+
+#if STARLAY_TELEMETRY
+
+namespace detail {
+
+std::atomic<bool> g_active{false};
+
+namespace {
+
+/// Mutable span node while a trace is live.  Children in first-open order;
+/// repeated same-name children under one parent merge (calls++).
+struct SpanNode {
+  std::string name;
+  std::int64_t calls = 0;
+  double seconds = 0.0;
+  std::map<std::string, std::int64_t> counters;
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/// Per-thread open-span stack.  The epoch detects traces started after the
+/// stack was last used, so stale frames from a previous session never leak
+/// into a new tree.
+struct TlStack {
+  std::uint64_t epoch = 0;
+  std::vector<SpanNode*> stack;
+};
+thread_local TlStack tl_stack;
+
+std::int64_t read_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared ... (pages)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+struct Engine {
+  std::mutex mu;  ///< guards epoch, root, the tl stacks' shared tree
+  std::uint64_t epoch = 0;
+  std::unique_ptr<SpanNode> root;
+  std::chrono::steady_clock::time_point t0;
+  TraceOptions opt;
+
+  std::mutex sampler_mu;  ///< guards samples + stop flag
+  std::condition_variable sampler_cv;
+  std::thread sampler;
+  bool sampler_stop = false;
+  std::vector<RssSample> samples;
+
+  void sample_once() {
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    samples.push_back({t, read_rss_bytes()});
+  }
+};
+
+Engine& engine() {
+  static Engine* e = new Engine;  // leaked: outlives static destruction order
+  return *e;
+}
+
+void snapshot_span(const SpanNode& n, TraceSpan& out) {
+  out.name = n.name;
+  out.calls = n.calls;
+  out.seconds = n.seconds;
+  out.counters.assign(n.counters.begin(), n.counters.end());
+  out.children.resize(n.children.size());
+  for (std::size_t i = 0; i < n.children.size(); ++i)
+    snapshot_span(*n.children[i], out.children[i]);
+}
+
+}  // namespace
+
+void* span_begin(std::string_view name, std::uint64_t* epoch_out) {
+  Engine& e = engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  if (!g_active.load(std::memory_order_relaxed)) return nullptr;
+  TlStack& tl = tl_stack;
+  if (tl.epoch != e.epoch) {
+    tl.stack.clear();
+    tl.epoch = e.epoch;
+  }
+  SpanNode* parent = tl.stack.empty() ? e.root.get() : tl.stack.back();
+  SpanNode* node = nullptr;
+  for (const auto& c : parent->children)
+    if (c->name == name) {
+      node = c.get();
+      break;
+    }
+  if (!node) {
+    parent->children.push_back(std::make_unique<SpanNode>());
+    node = parent->children.back().get();
+    node->name = std::string(name);
+  }
+  ++node->calls;
+  tl.stack.push_back(node);
+  *epoch_out = e.epoch;
+  return node;
+}
+
+void span_end(void* handle, std::uint64_t epoch, double seconds) {
+  Engine& e = engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  // A trace stopped (or restarted) while this span was open: the node may
+  // no longer exist — drop the measurement rather than touch freed memory.
+  if (epoch != e.epoch) return;
+  auto* node = static_cast<SpanNode*>(handle);
+  node->seconds += seconds;
+  TlStack& tl = tl_stack;
+  if (tl.epoch == e.epoch && !tl.stack.empty() && tl.stack.back() == node)
+    tl.stack.pop_back();
+}
+
+void counter_add(std::string_view name, std::int64_t delta) {
+  Engine& e = engine();
+  std::lock_guard<std::mutex> lock(e.mu);
+  if (!g_active.load(std::memory_order_relaxed)) return;
+  TlStack& tl = tl_stack;
+  SpanNode* node =
+      (tl.epoch == e.epoch && !tl.stack.empty()) ? tl.stack.back() : e.root.get();
+  node->counters[std::string(name)] += delta;
+}
+
+}  // namespace detail
+
+void start_trace(TraceOptions opt) {
+  detail::Engine& e = detail::engine();
+  stop_trace();  // idempotent; joins a running sampler
+  std::lock_guard<std::mutex> lock(e.mu);
+  ++e.epoch;
+  e.root = std::make_unique<detail::SpanNode>();
+  e.root->name = "trace";
+  e.root->calls = 1;
+  e.t0 = std::chrono::steady_clock::now();
+  e.opt = opt;
+  {
+    std::lock_guard<std::mutex> slock(e.sampler_mu);
+    e.samples.clear();
+    e.sampler_stop = false;
+  }
+  detail::g_active.store(true, std::memory_order_relaxed);
+  if (opt.sample_rss) {
+    const auto interval = std::chrono::milliseconds(std::max(1, opt.rss_interval_ms));
+    e.sampler = std::thread([&e, interval] {
+      std::unique_lock<std::mutex> lk(e.sampler_mu);
+      e.sample_once();
+      while (!e.sampler_cv.wait_for(lk, interval, [&e] { return e.sampler_stop; }))
+        e.sample_once();
+      e.sample_once();
+    });
+  }
+}
+
+TraceReport stop_trace() {
+  detail::Engine& e = detail::engine();
+  detail::g_active.store(false, std::memory_order_relaxed);
+  if (e.sampler.joinable()) {
+    {
+      std::lock_guard<std::mutex> slock(e.sampler_mu);
+      e.sampler_stop = true;
+    }
+    e.sampler_cv.notify_all();
+    e.sampler.join();
+  }
+  TraceReport rep;
+  std::lock_guard<std::mutex> lock(e.mu);
+  if (!e.root) return rep;
+  rep.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - e.t0).count();
+  e.root->seconds = rep.total_seconds;
+  detail::snapshot_span(*e.root, rep.root);
+  rep.threads = ThreadPool::instance().num_threads();
+  {
+    std::lock_guard<std::mutex> slock(e.sampler_mu);
+    rep.rss_samples = std::move(e.samples);
+    e.samples.clear();
+  }
+  for (const RssSample& s : rep.rss_samples)
+    rep.peak_rss_bytes = std::max(rep.peak_rss_bytes, s.rss_bytes);
+  // Keep the tree alive (epoch-guarded) so spans still open in other
+  // threads can unwind without touching freed memory; the next start_trace
+  // replaces it.
+  return rep;
+}
+
+#endif  // STARLAY_TELEMETRY
+
+}  // namespace starlay::support::telemetry

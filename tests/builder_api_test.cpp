@@ -1,0 +1,245 @@
+// Tests for the stable, error-returning builder surface: the negative-path
+// sweep (no registered family may crash on an out-of-range n), name
+// normalization and nearest-name suggestions, param/field validation, and
+// the shared command-line parser all drivers go through.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "starlay/core/build_status.hpp"
+#include "starlay/core/builder.hpp"
+#include "starlay/core/params_cli.hpp"
+#include "starlay/layout/wire_sink.hpp"
+#include "starlay/support/check.hpp"
+
+namespace {
+
+using namespace starlay;
+using core::BuildErrorCode;
+
+core::BuildOutcome<core::ParsedBuildParams> parse(std::vector<const char*> argv,
+                                                  std::vector<std::string>* extra = nullptr) {
+  argv.insert(argv.begin(), "prog");
+  return core::parse_build_params(static_cast<int>(argv.size()), argv.data(), extra);
+}
+
+// --- negative-path sweep --------------------------------------------------
+
+// Every registered family must return a structured kSizeOutOfRange — never
+// crash or abort — for n just outside its advertised range, in both
+// execution modes.
+TEST(BuilderApi, EveryFamilyRejectsOutOfRangeSizes) {
+  const auto builders = core::all_builders();
+  ASSERT_FALSE(builders.empty());
+  for (const core::LayoutBuilder* b : builders) {
+    const auto [lo, hi] = b->n_range();
+    const std::string name(b->name());
+    for (int n : {lo - 1, hi + 1}) {
+      core::BuildParams params;
+      params.n = n;
+
+      auto built = b->try_build(params);
+      ASSERT_FALSE(built.ok()) << name << " n=" << n;
+      EXPECT_EQ(built.error().code, BuildErrorCode::kSizeOutOfRange) << name;
+      EXPECT_EQ(built.error().n_lo, lo) << name;
+      EXPECT_EQ(built.error().n_hi, hi) << name;
+      EXPECT_NE(built.error().message.find("'" + name + "'"), std::string::npos);
+
+      layout::MaterializingSink sink;
+      auto streamed = b->try_build_stream(params, sink, nullptr);
+      ASSERT_FALSE(streamed.ok()) << name << " n=" << n;
+      EXPECT_EQ(streamed.error().code, BuildErrorCode::kSizeOutOfRange) << name;
+      EXPECT_EQ(streamed.error().n_lo, lo) << name;
+      EXPECT_EQ(streamed.error().n_hi, hi) << name;
+    }
+  }
+}
+
+// The historical asserting tier keeps throwing on the same inputs.
+TEST(BuilderApi, AssertingTierStillThrows) {
+  const core::LayoutBuilder* star = core::find_builder("star");
+  ASSERT_NE(star, nullptr);
+  core::BuildParams params;
+  params.n = star->n_range().second + 1;
+  EXPECT_THROW(star->build(params), starlay::InvariantError);
+}
+
+// --- lookup: normalization + suggestion -----------------------------------
+
+TEST(BuilderApi, FindBuilderNormalizesNames) {
+  for (const char* spelling : {"star", "  star ", "STAR", "\tStar\n"}) {
+    auto found = core::try_find_builder(spelling);
+    ASSERT_TRUE(found.ok()) << "'" << spelling << "'";
+    EXPECT_EQ(found.value()->name(), "star");
+  }
+  auto underscored = core::try_find_builder("Multilayer_Star");
+  ASSERT_TRUE(underscored.ok());
+  EXPECT_EQ(underscored.value()->name(), "multilayer-star");
+  // The asserting-tier lookup stays exact-match.
+  EXPECT_EQ(core::find_builder("STAR"), nullptr);
+  EXPECT_NE(core::find_builder("star"), nullptr);
+}
+
+TEST(BuilderApi, UnknownFamilySuggestsNearestName) {
+  auto found = core::try_find_builder("strr");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.error().code, BuildErrorCode::kUnknownFamily);
+  EXPECT_EQ(found.error().suggestion, "star");
+  EXPECT_NE(found.error().message.find("did you mean 'star'?"), std::string::npos);
+
+  auto hyper = core::try_find_builder("hyper_cube");
+  ASSERT_FALSE(hyper.ok());
+  EXPECT_EQ(hyper.error().suggestion, "hypercube");
+
+  for (const char* empty : {"", "   "}) {
+    auto e = core::try_find_builder(empty);
+    ASSERT_FALSE(e.ok());
+    EXPECT_EQ(e.error().code, BuildErrorCode::kInvalidArgument);
+  }
+}
+
+// --- param-field validation -----------------------------------------------
+
+TEST(BuilderApi, ValidateRejectsUnreadFields) {
+  const core::LayoutBuilder* hypercube = core::find_builder("hypercube");
+  ASSERT_NE(hypercube, nullptr);
+  core::BuildParams params;
+  params.n = 4;
+  params.layers = 3;
+  const core::BuildStatus st = params.validate(*hypercube);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, BuildErrorCode::kUnknownParam);
+  EXPECT_EQ(st.error().message, "--layers (layers) does not apply to family 'hypercube'");
+
+  // An explicitly-passed flag is rejected even at its default value.
+  core::BuildParams defaults;
+  defaults.n = 4;
+  EXPECT_TRUE(defaults.validate(*hypercube).ok());
+  const core::BuildStatus explicit_st = defaults.validate(*hypercube, core::kParamLayers);
+  ASSERT_FALSE(explicit_st.ok());
+  EXPECT_EQ(explicit_st.error().code, BuildErrorCode::kUnknownParam);
+
+  const core::LayoutBuilder* star = core::find_builder("star");
+  ASSERT_NE(star, nullptr);
+  core::BuildParams star_params;
+  star_params.n = 4;
+  star_params.base_size = 4;  // star reads base_size ...
+  EXPECT_TRUE(star_params.validate(*star).ok());
+  star_params.multiplicity = 2;  // ... but not multiplicity
+  const core::BuildStatus star_st = star_params.validate(*star);
+  ASSERT_FALSE(star_st.ok());
+  EXPECT_EQ(star_st.error().code, BuildErrorCode::kUnknownParam);
+  EXPECT_EQ(star_st.error().message,
+            "--multiplicity (multiplicity) does not apply to family 'star'");
+}
+
+TEST(BuilderApi, NondefaultFieldsBits) {
+  core::BuildParams params;
+  EXPECT_EQ(params.nondefault_fields(), 0u);
+  params.base_size = 4;
+  EXPECT_EQ(params.nondefault_fields(), core::kParamBaseSize);
+  params.layers = 3;
+  params.multiplicity = 2;
+  EXPECT_EQ(params.nondefault_fields(),
+            core::kParamBaseSize | core::kParamLayers | core::kParamMultiplicity);
+}
+
+TEST(BuilderApi, ErrorCodeNames) {
+  EXPECT_STREQ(core::build_error_code_name(BuildErrorCode::kUnknownFamily), "unknown-family");
+  EXPECT_STREQ(core::build_error_code_name(BuildErrorCode::kUnknownParam), "unknown-param");
+  EXPECT_STREQ(core::build_error_code_name(BuildErrorCode::kSizeOutOfRange),
+               "size-out-of-range");
+  EXPECT_STREQ(core::build_error_code_name(BuildErrorCode::kBudgetExceeded),
+               "budget-exceeded");
+  EXPECT_STREQ(core::build_error_code_name(BuildErrorCode::kInvalidArgument),
+               "invalid-argument");
+}
+
+// --- shared command-line parser -------------------------------------------
+
+TEST(ParamsCli, ParsesBothFlagSpellings) {
+  auto parsed = parse({"--family", "star", "--n", "8"});
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().family, "star");
+  EXPECT_EQ(parsed.value().params.n, 8);
+  EXPECT_TRUE(parsed.value().n_set);
+  EXPECT_EQ(parsed.value().explicit_fields, 0u);
+
+  auto assigned = parse({"--family=hcn", "--n=3", "--base-size=4", "--layers", "3"});
+  ASSERT_TRUE(assigned.ok());
+  EXPECT_EQ(assigned.value().family, "hcn");
+  EXPECT_EQ(assigned.value().params.n, 3);
+  EXPECT_EQ(assigned.value().params.base_size, 4);
+  EXPECT_EQ(assigned.value().params.layers, 3);
+  EXPECT_EQ(assigned.value().explicit_fields, core::kParamBaseSize | core::kParamLayers);
+}
+
+TEST(ParamsCli, RejectsMalformedValues) {
+  auto bad_int = parse({"--family", "star", "--n", "8x"});
+  ASSERT_FALSE(bad_int.ok());
+  EXPECT_EQ(bad_int.error().code, BuildErrorCode::kInvalidArgument);
+  EXPECT_EQ(bad_int.error().message, "bad integer '8x' for '--n'");
+
+  auto missing = parse({"--family", "star", "--n"});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().message, "missing value after '--n'");
+
+  auto unknown = parse({"--frobnicate", "1"});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.error().message, "unknown argument '--frobnicate'");
+}
+
+TEST(ParamsCli, PassesDriverFlagsThroughExtra) {
+  std::vector<std::string> extra;
+  auto parsed = parse({"--mode", "stream", "--family", "star", "--n", "8", "--svg=x.svg"},
+                      &extra);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().family, "star");
+  ASSERT_EQ(extra.size(), 3u);
+  EXPECT_EQ(extra[0], "--mode");
+  EXPECT_EQ(extra[1], "stream");
+  EXPECT_EQ(extra[2], "--svg=x.svg");
+}
+
+TEST(ParamsCli, ResolveBuilderDiagnostics) {
+  {
+    auto r = core::resolve_builder(parse({"--n", "8"}).value());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().message, "missing --family NAME");
+  }
+  {
+    auto r = core::resolve_builder(parse({"--family", "star"}).value());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().message, "missing --n INT");
+  }
+  {
+    auto r = core::resolve_builder(parse({"--family", "strr", "--n", "8"}).value());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, BuildErrorCode::kUnknownFamily);
+    EXPECT_EQ(r.error().suggestion, "star");
+  }
+  {
+    auto r = core::resolve_builder(parse({"--family", "star", "--n", "99"}).value());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, BuildErrorCode::kSizeOutOfRange);
+  }
+  {
+    // Explicit --layers at its default value is still rejected for a family
+    // that never reads it: the flag was on the command line.
+    auto r = core::resolve_builder(
+        parse({"--family", "hypercube", "--n", "4", "--layers", "2"}).value());
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, BuildErrorCode::kUnknownParam);
+    EXPECT_EQ(r.error().message, "--layers (layers) does not apply to family 'hypercube'");
+  }
+  {
+    auto r = core::resolve_builder(
+        parse({"--family", " Star ", "--n", "5", "--base-size", "3"}).value());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value()->name(), "star");
+  }
+}
+
+}  // namespace

@@ -72,8 +72,11 @@ core::BuildParams params_for(const core::LayoutBuilder& b) {
     p.n = 7;
   else
     p.n = 4;
-  p.layers = 3;
-  p.multiplicity = name == "collinear" || name == "complete2d" ? 2 : 1;
+  // Only set fields the family reads: params_for must satisfy
+  // BuildParams::validate for every builder (the sweeps go through the
+  // error-returning try_build tier).
+  if (name.rfind("multilayer-", 0) == 0) p.layers = 3;
+  if (name == "collinear" || name == "complete2d") p.multiplicity = 2;
   return p;
 }
 
@@ -97,11 +100,13 @@ TEST(BuilderRegistry, FindAndEnumerate) {
 TEST(StreamPipeline, MaterializingSinkMatchesBuildForEveryFamily) {
   for (const core::LayoutBuilder* b : core::all_builders()) {
     const core::BuildParams p = params_for(*b);
-    const core::BuildResult built = b->build(p);
+    ASSERT_TRUE(p.validate(*b).ok()) << "family " << b->name();
+    auto built = b->try_build(p);
+    ASSERT_TRUE(built.ok()) << "family " << b->name();
     MaterializingSink sink;
-    b->build_stream(p, sink, nullptr);
+    ASSERT_TRUE(b->try_build_stream(p, sink, nullptr).ok()) << "family " << b->name();
     EXPECT_EQ(layout_fingerprint(sink.take_layout()),
-              layout_fingerprint(built.routed.layout))
+              layout_fingerprint(built.value().routed.layout))
         << "family " << b->name();
   }
 }
@@ -130,12 +135,13 @@ TEST(StreamPipeline, GraphOutMatchesBuild) {
 TEST(StreamPipeline, CertifierMatchesValidateForEveryFamily) {
   for (const core::LayoutBuilder* b : core::all_builders()) {
     const core::BuildParams p = params_for(*b);
-    const core::BuildResult built = b->build(p);
-    const Layout& lay = built.routed.layout;
-    const ValidationReport vrep = validate_layout(built.graph, lay);
+    auto built = b->try_build(p);
+    ASSERT_TRUE(built.ok()) << "family " << b->name();
+    const Layout& lay = built.value().routed.layout;
+    const ValidationReport vrep = validate_layout(built.value().graph, lay);
 
     StreamingCertifier sink;
-    b->build_stream(p, sink, nullptr);
+    ASSERT_TRUE(b->try_build_stream(p, sink, nullptr).ok()) << "family " << b->name();
     const StreamReport& srep = sink.report();
 
     EXPECT_EQ(srep.validation.ok, vrep.ok) << "family " << b->name();

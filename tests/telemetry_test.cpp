@@ -1,0 +1,266 @@
+// Tests for the telemetry subsystem: span nesting and merge semantics,
+// counter attribution, the JSON trace schema, and — the load-bearing
+// property — structure-digest determinism across thread-pool sizes when
+// tracing the real streaming pipeline.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "starlay/core/builder.hpp"
+#include "starlay/layout/stream_certify.hpp"
+#include "starlay/support/telemetry.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace tel = starlay::support::telemetry;
+
+namespace {
+
+tel::TraceReport sample_report() {
+  tel::TraceReport rep;
+  rep.root.name = "trace";
+  rep.root.calls = 1;
+  rep.root.seconds = 0.5;
+  rep.root.counters = {{"wires", 42}};
+  tel::TraceSpan child;
+  child.name = "routing";
+  child.calls = 2;
+  child.seconds = 0.25;
+  rep.root.children.push_back(child);
+  rep.total_seconds = 0.5;
+  rep.threads = 4;
+  rep.rss_samples = {{0.0, 1048576}, {0.1, 2097152}};
+  rep.peak_rss_bytes = 2097152;
+  return rep;
+}
+
+}  // namespace
+
+// The serialization layer compiles (and must stay stable) regardless of
+// whether the instrumentation itself is compiled in.
+
+TEST(TelemetryReport, JsonSchemaGolden) {
+  const tel::TraceReport rep = sample_report();
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"starlay-trace-v1\",\n"
+      "  \"threads\": 4,\n"
+      "  \"total_seconds\": 0.5,\n"
+      "  \"peak_rss_mb\": 2,\n"
+      "  \"counters\": {\"wires\": 42},\n"
+      "  \"rss_samples\": [{\"t\": 0, \"rss_mb\": 1}, {\"t\": 0.1, \"rss_mb\": 2}],\n"
+      "  \"spans\": {\"name\": \"trace\", \"calls\": 1, \"seconds\": 0.5, "
+      "\"counters\": {\"wires\": 42}, \"children\": "
+      "[{\"name\": \"routing\", \"calls\": 2, \"seconds\": 0.25, "
+      "\"counters\": {}, \"children\": []}]}\n"
+      "}\n";
+  EXPECT_EQ(rep.to_json(), expected);
+}
+
+TEST(TelemetryReport, SummaryTableShape) {
+  const std::string table = sample_report().summary_table();
+  EXPECT_NE(table.find("phase"), std::string::npos);
+  EXPECT_NE(table.find("wall-ms"), std::string::npos);
+  EXPECT_NE(table.find("wires=42"), std::string::npos);
+  // Children indent by two spaces per depth level.
+  EXPECT_NE(table.find("  routing"), std::string::npos);
+  // 500 ms at 100% for the root, 250 ms at 50% for the child.
+  EXPECT_NE(table.find("500.00"), std::string::npos);
+  EXPECT_NE(table.find("250.00"), std::string::npos);
+  EXPECT_NE(table.find("100.0"), std::string::npos);
+  // RSS footer covers the sample range.
+  EXPECT_NE(table.find("rss: 2 samples, min 1.0 MiB, max 2.0 MiB (threads=4)"),
+            std::string::npos);
+}
+
+TEST(TelemetryReport, StructureDigestOmitsTimings) {
+  tel::TraceReport a = sample_report();
+  tel::TraceReport b = sample_report();
+  b.root.seconds = 123.0;
+  b.root.children[0].seconds = 99.0;
+  b.total_seconds = 123.0;
+  EXPECT_EQ(a.structure_digest(), b.structure_digest());
+  EXPECT_EQ(a.structure_digest(),
+            "trace calls=1 wires=42\n"
+            "  routing calls=2\n");
+}
+
+TEST(TelemetryReport, TotalCountersSumTree) {
+  tel::TraceReport rep = sample_report();
+  rep.root.children[0].counters = {{"edges", 7}, {"wires", 8}};
+  const auto totals = rep.total_counters();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals[0].first, "edges");
+  EXPECT_EQ(totals[0].second, 7);
+  EXPECT_EQ(totals[1].first, "wires");
+  EXPECT_EQ(totals[1].second, 50);
+}
+
+TEST(TelemetryReport, WriteTraceJsonRoundTrip) {
+  const tel::TraceReport rep = sample_report();
+  const std::string path = ::testing::TempDir() + "telemetry_golden_trace.json";
+  ASSERT_TRUE(tel::write_trace_json(rep, path));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), rep.to_json());
+  std::remove(path.c_str());
+  EXPECT_FALSE(tel::write_trace_json(rep, "/nonexistent-dir/starlay/trace.json"));
+}
+
+#if STARLAY_TELEMETRY
+
+namespace {
+
+tel::TraceOptions no_rss() {
+  tel::TraceOptions opt;
+  opt.sample_rss = false;
+  return opt;
+}
+
+const tel::TraceSpan* find_child(const tel::TraceSpan& s, const std::string& name) {
+  for (const tel::TraceSpan& c : s.children)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+std::int64_t counter_of(const tel::TraceSpan& s, const std::string& name) {
+  for (const auto& [k, v] : s.counters)
+    if (k == name) return v;
+  return -1;
+}
+
+}  // namespace
+
+TEST(TelemetryEngine, SpanNestingAndMerge) {
+  tel::start_trace(no_rss());
+  {
+    tel::ScopedPhase alpha("alpha");
+    tel::count("c1", 5);
+    {
+      tel::ScopedPhase beta("beta");
+      tel::count("c2", 1);
+    }
+    {
+      tel::ScopedPhase beta("beta");  // merges with the span above
+      tel::count("c2", 2);
+    }
+  }
+  {
+    tel::ScopedPhase alpha("alpha");  // second call of the same phase
+  }
+  tel::count("at_root", 7);  // no open span: attributed to the trace root
+  const tel::TraceReport rep = tel::stop_trace();
+
+  EXPECT_EQ(rep.root.name, "trace");
+  EXPECT_EQ(rep.root.calls, 1);
+  EXPECT_EQ(counter_of(rep.root, "at_root"), 7);
+  ASSERT_EQ(rep.root.children.size(), 1u);
+
+  const tel::TraceSpan* alpha = find_child(rep.root, "alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->calls, 2);
+  EXPECT_EQ(counter_of(*alpha, "c1"), 5);
+  ASSERT_EQ(alpha->children.size(), 1u);
+
+  const tel::TraceSpan* beta = find_child(*alpha, "beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->calls, 2);
+  EXPECT_EQ(counter_of(*beta, "c2"), 3);
+  EXPECT_GE(beta->seconds, 0.0);
+  EXPECT_GE(rep.total_seconds, alpha->seconds);
+}
+
+TEST(TelemetryEngine, InactivePrimitivesAreNoOps) {
+  // Make sure no trace is running, then exercise every primitive.
+  tel::stop_trace();
+  EXPECT_FALSE(tel::tracing());
+  {
+    tel::ScopedPhase phase("ignored");
+    tel::count("ignored", 1);
+  }
+  tel::start_trace(no_rss());
+  EXPECT_TRUE(tel::tracing());
+  const tel::TraceReport rep = tel::stop_trace();
+  EXPECT_FALSE(tel::tracing());
+  // The pre-trace span and counter must not have leaked into the tree.
+  EXPECT_TRUE(rep.root.children.empty());
+  EXPECT_TRUE(rep.root.counters.empty());
+}
+
+TEST(TelemetryEngine, SpanOpenAcrossStopIsDropped) {
+  tel::start_trace(no_rss());
+  std::optional<tel::ScopedPhase> phase;
+  phase.emplace("straddler");
+  const tel::TraceReport first = tel::stop_trace();
+  ASSERT_NE(find_child(first.root, "straddler"), nullptr);
+  tel::start_trace(no_rss());
+  phase.reset();  // ends with a stale epoch: must not touch the new tree
+  tel::count("fresh", 1);
+  const tel::TraceReport second = tel::stop_trace();
+  EXPECT_EQ(find_child(second.root, "straddler"), nullptr);
+  EXPECT_EQ(counter_of(second.root, "fresh"), 1);
+}
+
+TEST(TelemetryEngine, RssSamplerRecordsProfile) {
+  tel::TraceOptions opt;
+  opt.sample_rss = true;
+  opt.rss_interval_ms = 5;
+  tel::start_trace(opt);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const tel::TraceReport rep = tel::stop_trace();
+  ASSERT_GE(rep.rss_samples.size(), 2u);
+  for (std::size_t i = 1; i < rep.rss_samples.size(); ++i)
+    EXPECT_LE(rep.rss_samples[i - 1].seconds, rep.rss_samples[i].seconds);
+#if defined(__linux__)
+  EXPECT_GT(rep.peak_rss_bytes, 0);
+#endif
+  EXPECT_NE(rep.to_json().find("\"rss_samples\": [{"), std::string::npos);
+}
+
+// The core contract: instrumentation sites live in orchestration code only,
+// so tracing the real pipeline yields a bit-identical structure digest for
+// every thread-pool size.
+TEST(TelemetryEngine, StructureDigestDeterministicAcrossThreadCounts) {
+  using namespace starlay;
+  auto& pool = support::ThreadPool::instance();
+  const int orig = pool.num_threads();
+
+  const core::LayoutBuilder* builder = core::find_builder("star");
+  ASSERT_NE(builder, nullptr);
+  core::BuildParams params;
+  params.n = 5;
+
+  std::vector<std::string> digests;
+  for (int threads : {1, 2, 4}) {
+    pool.set_num_threads(threads);
+    tel::start_trace(no_rss());
+    layout::StreamingCertifier sink;
+    auto streamed = builder->try_build_stream(params, sink, nullptr);
+    const tel::TraceReport rep = tel::stop_trace();
+    ASSERT_TRUE(streamed.ok());
+    EXPECT_TRUE(sink.report().validation.ok);
+    EXPECT_EQ(rep.threads, threads);
+    digests.push_back(rep.structure_digest());
+  }
+  pool.set_num_threads(orig);
+
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+  // The digest covers every instrumented layer of the stream pipeline.
+  for (const char* phase : {"build.star", "enumeration", "placement", "route_spec",
+                            "routing", "emit", "validation", "band_count"}) {
+    EXPECT_NE(digests[0].find(phase), std::string::npos) << "missing phase " << phase;
+  }
+  EXPECT_NE(digests[0].find("stream.wires="), std::string::npos);
+  EXPECT_NE(digests[0].find("enum.paths="), std::string::npos);
+}
+
+#endif  // STARLAY_TELEMETRY

@@ -8,11 +8,22 @@ phase regresses by more than the threshold at any size; small absolute
 times are exempted by a noise floor, since sub-millisecond phases on a
 shared machine jitter far beyond any realistic regression.
 
+A second mode gates the telemetry layer itself:
+
+    bench_regression.py --telemetry-overhead <bench-binary>
+
+runs the same table sweep with an active trace (STARLAY_BENCH_TELEMETRY=1)
+and with tracing disabled (=0), best-of several runs each, and fails when
+the traced sweep is more than OVERHEAD_THRESHOLD slower.  This is the
+"<2% overhead" contract of DESIGN.md's telemetry section.
+
 Usage: bench_regression.py <bench-binary> [baseline-json]
+       bench_regression.py --telemetry-overhead <bench-binary>
 Environment: STARLAY_THREADS is forced to the baseline's thread count so
 timings are compared like for like.
 
-Wired into CTest as `bench_star_regression` with LABEL perf:
+Wired into CTest as `bench_star_regression` and `bench_telemetry_overhead`
+with LABEL perf:
     ctest -L perf
 """
 
@@ -25,6 +36,8 @@ MAX_N = 7  # sizes above this are scaling runs, not gate material
 RUNS = 3  # best-of, to shed scheduler noise
 THRESHOLD = 0.15  # fail on >15% regression
 NOISE_FLOOR_MS = 2.0  # phases this fast are all jitter
+OVERHEAD_THRESHOLD = 0.02  # telemetry may cost at most 2% ...
+OVERHEAD_NOISE_FLOOR_MS = 10.0  # ... beyond scheduler jitter
 
 
 def run_bench(binary, env):
@@ -42,10 +55,46 @@ def run_bench(binary, env):
         return {row["n"]: row for row in json.load(f)}
 
 
+def telemetry_overhead(binary):
+    """Compares the table sweep traced vs untraced; fails on >2% overhead."""
+    base_env = dict(os.environ)
+    base_env["STARLAY_BENCH_MAX_N"] = str(MAX_N)
+
+    def sweep_ms(telemetry):
+        env = dict(base_env)
+        env["STARLAY_BENCH_TELEMETRY"] = "1" if telemetry else "0"
+        best = float("inf")
+        for _ in range(RUNS):
+            rows = run_bench(binary, env)
+            total = sum(r["construct_ms"] + r["validate_ms"] for r in rows.values())
+            best = min(best, total)
+        return best
+
+    off_ms = sweep_ms(False)
+    on_ms = sweep_ms(True)
+    overhead_ms = on_ms - off_ms
+    pct = 100.0 * overhead_ms / off_ms if off_ms > 0 else 0.0
+    print(f"table sweep (n <= {MAX_N}, best of {RUNS}):")
+    print(f"  telemetry off: {off_ms:8.2f}ms")
+    print(f"  telemetry on:  {on_ms:8.2f}ms  (overhead {overhead_ms:+.2f}ms, {pct:+.2f}%)")
+    if overhead_ms > off_ms * OVERHEAD_THRESHOLD and overhead_ms > OVERHEAD_NOISE_FLOOR_MS:
+        print(f"\nFAIL: telemetry overhead exceeds {OVERHEAD_THRESHOLD:.0%} "
+              f"(+{OVERHEAD_NOISE_FLOOR_MS}ms noise floor)")
+        return 1
+    print(f"\nPASS: telemetry overhead within {OVERHEAD_THRESHOLD:.0%} "
+          f"(+{OVERHEAD_NOISE_FLOOR_MS}ms noise floor)")
+    return 0
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__)
         return 2
+    if sys.argv[1] == "--telemetry-overhead":
+        if len(sys.argv) < 3:
+            print(__doc__)
+            return 2
+        return telemetry_overhead(os.path.abspath(sys.argv[2]))
     binary = os.path.abspath(sys.argv[1])
     baseline_path = (
         sys.argv[2]
@@ -61,6 +110,9 @@ def main():
 
     env = dict(os.environ)
     env["STARLAY_BENCH_MAX_N"] = str(MAX_N)
+    # The committed baseline predates the bench-table trace; compare with
+    # tracing off (the overhead gate covers the traced path separately).
+    env["STARLAY_BENCH_TELEMETRY"] = "0"
     threads = next(iter(baseline.values())).get("threads")
     if threads:
         env["STARLAY_THREADS"] = str(threads)

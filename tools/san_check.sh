@@ -6,7 +6,9 @@
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/) configured
 # with -DSTARLAY_SANITIZE=<san>.  TSan covers the parallel layout engine
-# (determinism suite + permutation enumerator at STARLAY_THREADS=8); ASan
+# (determinism suite + permutation enumerator at STARLAY_THREADS=8) and the
+# telemetry engine (spans, counters, and the RSS sampler thread race against
+# pool workers; STARLAY_TELEMETRY is forced ON in these trees); ASan
 # additionally covers the streaming pipeline, whose sink replay / adjacency
 # release paths are the most pointer-lifetime-sensitive code in the tree.
 # A toolchain without a given sanitizer runtime skips it with a notice and
@@ -19,7 +21,8 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
   SANITIZERS=(thread address)
 fi
 
-TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test)
+TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
+         telemetry_test builder_api_test)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -29,7 +32,8 @@ for SAN in "${SANITIZERS[@]}"; do
   esac
 
   cmake -B "$BUILD" -S . -DSTARLAY_SANITIZE="$SAN" -DSTARLAY_BUILD_BENCH=OFF \
-        -DSTARLAY_BUILD_EXAMPLES=OFF -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        -DSTARLAY_BUILD_EXAMPLES=OFF -DSTARLAY_TELEMETRY=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
   if ! cmake --build "$BUILD" -j "$(nproc)" --target "${TARGETS[@]}"; then
     echo "san_check: build with -fsanitize=$SAN failed (toolchain without $SAN?); skipping" >&2
     continue
@@ -40,6 +44,8 @@ for SAN in "${SANITIZERS[@]}"; do
   export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
   "$BUILD"/tests/parallel_determinism_test
   "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
+  "$BUILD"/tests/telemetry_test
+  "$BUILD"/tests/builder_api_test
   if [ "$SAN" = address ]; then
     "$BUILD"/tests/stream_pipeline_test
   fi
