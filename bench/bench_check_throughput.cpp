@@ -1,0 +1,143 @@
+/// \file bench_check_throughput.cpp
+/// \brief Verification-subsystem throughput (DESIGN 3.11; infrastructure).
+///
+/// The fuzz sweep's value is cases-per-budget: a 30 s ctest slot must get
+/// through enough (family, n, params, threads) tuples to make a seed-1 run
+/// a meaningful gate.  The table splits one check run per family into its
+/// build / oracle / metamorphic parts at the corpus-representative size, so
+/// a slowdown in any tier shows up attributed; the final row runs the real
+/// seeded sweep and reports cases/s and check-runs/s.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "bench_util.hpp"
+#include "starlay/check/fuzz.hpp"
+#include "starlay/check/metamorphic.hpp"
+#include "starlay/check/oracle.hpp"
+#include "starlay/core/builder.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Corpus-representative size per family (mirrors tests/starcheck_corpus.txt):
+/// big enough that the O(W^2) oracle pass dominates trivially small builds,
+/// small enough that the whole table stays in seconds.
+starlay::core::BuildParams rep_params(std::string_view family) {
+  starlay::core::BuildParams p;
+  p.n = 5;
+  if (family == "transposition" || family.substr(0, 8) == "baseline") p.n = 4;
+  if (family == "hcn" || family == "hfn") p.n = 3;
+  if (family == "hypercube") p.n = 6;
+  if (family == "complete2d" || family == "complete2d-compact") p.n = 8;
+  if (family == "complete2d-directed") p.n = 7;
+  if (family == "collinear" || family == "collinear-paper") p.n = 9;
+  if (family.substr(0, 10) == "multilayer") {
+    p.layers = 3;
+    if (family != "multilayer-star") p.n = 3;
+  }
+  return p;
+}
+
+void print_table() {
+  starlay::benchutil::header(
+      "check-throughput: oracle + metamorphic cost per family, fuzz rate",
+      "none (verification infrastructure; see DESIGN 3.11, EXPERIMENTS E17)");
+  std::printf("%-22s %4s %8s %10s %10s %12s\n", "family", "n", "wires", "build-ms",
+              "oracle-ms", "metamorph-ms");
+  starlay::benchutil::JsonReport json("bench_check_throughput.json");
+  for (const starlay::core::LayoutBuilder* b : starlay::core::all_builders()) {
+    const starlay::core::BuildParams p = rep_params(b->name());
+
+    auto t0 = Clock::now();
+    starlay::core::BuildOutcome<starlay::core::BuildResult> built = b->try_build(p);
+    const double build_ms = ms_since(t0);
+    if (!built.ok()) {
+      std::printf("%-22s %4d  build failed: %s\n", std::string(b->name()).c_str(), p.n,
+                  built.error().message.c_str());
+      continue;
+    }
+
+    t0 = Clock::now();
+    const starlay::check::OracleReport orep =
+        starlay::check::run_oracle(*b, p, built.value());
+    const double oracle_ms = ms_since(t0);
+
+    t0 = Clock::now();
+    const starlay::check::MetamorphicReport mrep =
+        starlay::check::run_metamorphic(*b, p);
+    const double meta_ms = ms_since(t0);
+
+    std::printf("%-22s %4d %8lld %10.2f %10.2f %12.2f%s\n",
+                std::string(b->name()).c_str(), p.n,
+                static_cast<long long>(built.value().routed.layout.num_wires()),
+                build_ms, oracle_ms, meta_ms,
+                orep.ok && mrep.ok ? "" : "  CHECK FAILED");
+    json.add_row()
+        .str("family", std::string(b->name()))
+        .integer("n", p.n)
+        .integer("wires", built.value().routed.layout.num_wires())
+        .num("build_ms", build_ms)
+        .num("oracle_ms", oracle_ms)
+        .num("metamorphic_ms", meta_ms)
+        .boolean("ok", orep.ok && mrep.ok);
+  }
+
+  // The real sweep, short budget: the number to watch is cases/s — the
+  // ctest gate's coverage is budget_seconds x this rate.
+  starlay::check::FuzzOptions fopt;
+  fopt.seed = 1;
+  fopt.budget_seconds = 5.0;
+  const auto t0 = Clock::now();
+  const starlay::check::FuzzReport frep = starlay::check::run_fuzz(fopt);
+  const double secs = ms_since(t0) / 1000.0;
+  std::printf("\nfuzz sweep (seed 1, %.0fs budget): %lld cases, %lld check runs"
+              " -> %.1f cases/s, %.1f checks/s%s\n",
+              fopt.budget_seconds, static_cast<long long>(frep.cases_run),
+              static_cast<long long>(frep.builds_run),
+              static_cast<double>(frep.cases_run) / secs,
+              static_cast<double>(frep.builds_run) / secs,
+              frep.ok ? "" : "  FAILURES FOUND");
+  json.add_row()
+      .str("family", "fuzz-sweep")
+      .num("seconds", secs)
+      .integer("cases", frep.cases_run)
+      .integer("check_runs", frep.builds_run)
+      .num("cases_per_s", static_cast<double>(frep.cases_run) / secs)
+      .boolean("ok", frep.ok);
+  json.write();
+}
+
+void BM_OracleStar(benchmark::State& state) {
+  const starlay::core::LayoutBuilder* b = starlay::core::find_builder("star");
+  starlay::core::BuildParams p;
+  p.n = static_cast<int>(state.range(0));
+  const auto built = b->try_build(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(starlay::check::run_oracle(*b, p, built.value()));
+  }
+}
+BENCHMARK(BM_OracleStar)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_MetamorphicStar(benchmark::State& state) {
+  const starlay::core::LayoutBuilder* b = starlay::core::find_builder("star");
+  starlay::core::BuildParams p;
+  p.n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(starlay::check::run_metamorphic(*b, p));
+  }
+}
+BENCHMARK(BM_MetamorphicStar)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table, "bench_check_throughput")

@@ -1,0 +1,262 @@
+/// \file starcheck.cpp
+/// \brief CLI driver over the verification subsystem (src/check).
+///
+///   starcheck --list                                # families + registered bounds
+///   starcheck --families all --seed 1 --budget 30s  # seeded fuzz run
+///   starcheck --families star,hcn --max-cases 40    # subset, case-capped
+///   starcheck --replay tests/starcheck_corpus.txt   # pin known shapes
+///   starcheck --line "family=star n=5 threads=2"    # one exact case
+///   starcheck --calibrate                           # measured-vs-claimed table
+///
+/// A fuzz case runs the invariant oracle (check/oracle.hpp) and the full
+/// metamorphic battery (check/metamorphic.hpp) at a seeded (family, n,
+/// params, threads) tuple; failures are shrunk to a minimal one-line repro
+/// that --line or a corpus file replays verbatim.
+///
+/// Exit codes: 0 everything passed, 1 violations found, 2 bad arguments.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "starlay/check/fuzz.hpp"
+#include "starlay/check/metamorphic.hpp"
+#include "starlay/check/oracle.hpp"
+#include "starlay/core/builder.hpp"
+
+namespace {
+
+using starlay::check::FuzzCase;
+using starlay::check::FuzzOptions;
+using starlay::check::FuzzReport;
+
+struct Args {
+  std::vector<std::string> families;  ///< empty = all
+  std::uint64_t seed = 1;
+  double budget_seconds = 30.0;
+  std::int64_t max_cases = -1;
+  std::string replay_path;
+  std::string line;
+  bool list = false;
+  bool calibrate = false;
+  bool shrink = true;
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: starcheck [--families all|A,B,...] [--seed U64] [--budget SECONDS[s]]\n"
+               "                 [--max-cases N] [--no-shrink]\n"
+               "       starcheck --replay PATH      replay a corpus of case lines\n"
+               "       starcheck --line \"family=F n=N [base=B layers=L mult=M threads=T]\"\n"
+               "       starcheck --calibrate        print measured bounds per family\n"
+               "       starcheck --list             list families and registered bounds\n");
+  std::exit(code);
+}
+
+[[noreturn]] void arg_error(const std::string& message) {
+  std::fprintf(stderr, "starcheck: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Accepts `--flag value` and `--flag=value`; advances *i past the value.
+bool match_flag(int argc, char** argv, int* i, std::string_view flag, std::string* value) {
+  const std::string_view arg = argv[*i];
+  if (arg == flag) {
+    if (*i + 1 >= argc) arg_error("missing value after " + std::string(flag));
+    *value = argv[++*i];
+    return true;
+  }
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    *value = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t parse_u64(const std::string& value, std::string_view flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0')
+    arg_error("bad integer for " + std::string(flag) + ": " + value);
+  return v;
+}
+
+double parse_seconds(const std::string& value) {
+  std::string v = value;
+  if (!v.empty() && (v.back() == 's' || v.back() == 'S')) v.pop_back();
+  char* end = nullptr;
+  const double secs = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0' || secs < 0)
+    arg_error("bad duration for --budget: " + value);
+  return secs;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") usage(0);
+    if (arg == "--list") { a.list = true; continue; }
+    if (arg == "--calibrate") { a.calibrate = true; continue; }
+    if (arg == "--no-shrink") { a.shrink = false; continue; }
+    if (match_flag(argc, argv, &i, "--families", &value)) {
+      if (value != "all") {
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          const std::size_t comma = value.find(',', start);
+          const std::string name =
+              value.substr(start, comma == std::string::npos ? comma : comma - start);
+          if (!name.empty()) a.families.push_back(name);
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+        if (a.families.empty()) arg_error("--families: no family names in '" + value + "'");
+      }
+      continue;
+    }
+    if (match_flag(argc, argv, &i, "--seed", &value)) { a.seed = parse_u64(value, "--seed"); continue; }
+    if (match_flag(argc, argv, &i, "--budget", &value)) { a.budget_seconds = parse_seconds(value); continue; }
+    if (match_flag(argc, argv, &i, "--max-cases", &value)) {
+      a.max_cases = static_cast<std::int64_t>(parse_u64(value, "--max-cases"));
+      continue;
+    }
+    if (match_flag(argc, argv, &i, "--replay", &value)) { a.replay_path = value; continue; }
+    if (match_flag(argc, argv, &i, "--line", &value)) { a.line = value; continue; }
+    arg_error("unknown argument '" + std::string(arg) + "' (see --help)");
+  }
+  return a;
+}
+
+int report_and_exit_code(const FuzzReport& rep, const char* what) {
+  std::printf("starcheck: %s: %lld case%s, %lld check runs, %.1fs\n", what,
+              static_cast<long long>(rep.cases_run), rep.cases_run == 1 ? "" : "s",
+              static_cast<long long>(rep.builds_run), rep.seconds);
+  if (rep.ok && rep.failures.empty()) {
+    std::printf("starcheck: all checks passed\n");
+    return 0;
+  }
+  for (const starlay::check::FuzzFailure& f : rep.failures) {
+    std::printf("FAIL %s\n", f.shrunk.line().c_str());
+    if (f.shrunk.line() != f.original.line())
+      std::printf("  (shrunk from %s)\n", f.original.line().c_str());
+    for (const std::string& v : f.violations) std::printf("  %s\n", v.c_str());
+  }
+  std::printf("starcheck: %zu failing case%s\n", rep.failures.size(),
+              rep.failures.size() == 1 ? "" : "s");
+  return 1;
+}
+
+int run_list() {
+  for (const starlay::core::LayoutBuilder* b : starlay::core::all_builders()) {
+    const auto [lo, hi] = b->n_range();
+    std::printf("%-22s n in [%d, %d]", std::string(b->name()).c_str(), lo, hi);
+    if (const starlay::core::BoundSpec* spec = b->bound_spec()) {
+      std::printf("  bounds:");
+      if (spec->area_leading)
+        std::printf(" area<=%.0fx(n>=%d)", spec->area_slack, spec->area_min_n);
+      if (spec->tracks_exact) std::printf(" tracks=exact");
+      if (spec->layers_exact) std::printf(" layers=exact");
+      std::printf("  [%s]", spec->claim);
+    } else {
+      std::printf("  (no registered bounds)");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+/// Builds every family at its fuzz-cap sizes and prints measured area vs
+/// the BoundSpec leading term — the table the slack factors are calibrated
+/// from.
+int run_calibrate(const std::vector<std::string>& families) {
+  std::printf("%-22s %4s %12s %16s %8s %7s %6s\n", "family", "n", "area", "leading",
+              "ratio", "tracks", "layers");
+  int rc = 0;
+  for (const starlay::core::LayoutBuilder* b : starlay::core::all_builders()) {
+    if (!families.empty()) {
+      bool wanted = false;
+      for (const std::string& f : families) wanted = wanted || f == b->name();
+      if (!wanted) continue;
+    }
+    const auto [lo, hi] = b->n_range();
+    for (int n = lo; n <= hi && n - lo < 24; ++n) {
+      FuzzCase probe;
+      probe.family = std::string(b->name());
+      probe.params.n = n;
+      starlay::core::BuildOutcome<starlay::core::BuildResult> built =
+          b->try_build(probe.params);
+      if (!built.ok()) {
+        std::printf("%-22s %4d  build failed: %s\n", probe.family.c_str(), n,
+                    built.error().message.c_str());
+        rc = 1;
+        break;
+      }
+      const starlay::check::MeasuredBounds m =
+          starlay::check::measure_bounds(*b, probe.params, built.value());
+      std::printf("%-22s %4d %12lld %16.1f %8s %7lld %6d\n", probe.family.c_str(), n,
+                  static_cast<long long>(m.area), m.area_leading,
+                  m.area_leading > 0
+                      ? std::to_string(static_cast<double>(m.area) / m.area_leading)
+                            .substr(0, 8)
+                            .c_str()
+                      : "-",
+                  static_cast<long long>(m.distinct_tracks), m.num_layers);
+      // Stop each family once builds get big; calibration needs the trend,
+      // not the tail.
+      if (built.value().routed.layout.num_wires() > 10000) break;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse_args(argc, argv);
+  if (a.list) return run_list();
+  if (a.calibrate) return run_calibrate(a.families);
+
+  FuzzOptions opt;
+  opt.seed = a.seed;
+  opt.budget_seconds = a.budget_seconds;
+  opt.max_cases = a.max_cases;
+  opt.families = a.families;
+  opt.shrink = a.shrink;
+
+  if (!a.line.empty()) {
+    FuzzCase c;
+    std::string err;
+    if (!FuzzCase::parse(a.line, &c, &err)) arg_error("--line: " + err);
+    const std::vector<std::string> violations =
+        starlay::check::check_case(c, opt.oracle, opt.metamorphic);
+    if (violations.empty()) {
+      std::printf("starcheck: %s: all checks passed\n", c.line().c_str());
+      return 0;
+    }
+    std::printf("FAIL %s\n", c.line().c_str());
+    for (const std::string& v : violations) std::printf("  %s\n", v.c_str());
+    return 1;
+  }
+
+  if (!a.replay_path.empty()) {
+    std::ifstream in(a.replay_path);
+    if (!in) arg_error("cannot open corpus file: " + a.replay_path);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    return report_and_exit_code(starlay::check::run_replay(lines, opt), "replay");
+  }
+
+  std::printf("starcheck: fuzzing %s, seed %llu, budget %.0fs%s\n",
+              a.families.empty() ? "all families" : "family subset",
+              static_cast<unsigned long long>(a.seed), a.budget_seconds,
+              a.max_cases >= 0 ? (", max " + std::to_string(a.max_cases) + " cases").c_str()
+                               : "");
+  return report_and_exit_code(starlay::check::run_fuzz(opt), "fuzz");
+}

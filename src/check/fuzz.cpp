@@ -1,0 +1,289 @@
+#include "starlay/check/fuzz.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::check {
+
+namespace {
+
+class PoolGuard {
+ public:
+  PoolGuard() : saved_(support::ThreadPool::instance().num_threads()) {}
+  ~PoolGuard() { support::ThreadPool::instance().set_num_threads(saved_); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Per-family cap on n keeping each case inside the oracle's brute-force
+/// caps (so every generated case gets the full quadratic passes) and the
+/// whole multi-build metamorphic battery under ~a second.
+int family_n_cap(std::string_view name, int lo, int hi) {
+  struct Cap {
+    std::string_view name;
+    int cap;
+  };
+  static constexpr Cap kCaps[] = {
+      {"star", 6},          {"star-compact", 6},      {"pancake", 6},
+      {"bubble-sort", 6},   {"transposition", 6},     {"multilayer-star", 6},
+      {"hcn", 4},           {"hfn", 4},               {"multilayer-hcn", 4},
+      {"multilayer-hfn", 4},{"hypercube", 8},         {"folded-hypercube", 8},
+      {"complete2d", 12},   {"complete2d-compact", 12},
+      {"complete2d-directed", 10},                    {"collinear", 16},
+      {"collinear-paper", 16},
+  };
+  for (const Cap& c : kCaps)
+    if (c.name == name) return std::min(hi, c.cap);
+  return std::min(hi, lo + 4);  // unknown / baseline families: stay tiny
+}
+
+/// Uniform pick in [lo, hi] from the splitmix stream.
+int pick(std::uint64_t& state, int lo, int hi) {
+  return lo + static_cast<int>(splitmix64(state) %
+                               static_cast<std::uint64_t>(hi - lo + 1));
+}
+
+FuzzCase generate_case(std::uint64_t& state,
+                       const std::vector<const core::LayoutBuilder*>& pool) {
+  const core::LayoutBuilder* b =
+      pool[static_cast<std::size_t>(splitmix64(state) % pool.size())];
+  FuzzCase c;
+  c.family = std::string(b->name());
+  const auto [lo, hi] = b->n_range();
+  c.params.n = pick(state, lo, family_n_cap(b->name(), lo, hi));
+  const unsigned used = b->params_used();
+  if (used & core::kParamBaseSize) c.params.base_size = pick(state, 2, 4);
+  if (used & core::kParamLayers) c.params.layers = pick(state, 2, 6);
+  if (used & core::kParamMultiplicity) c.params.multiplicity = pick(state, 1, 3);
+  static constexpr int kThreadChoices[] = {1, 2, 4};
+  c.threads = kThreadChoices[splitmix64(state) % 3];
+  return c;
+}
+
+bool still_fails(const FuzzCase& c, const FuzzOptions& opt, FuzzReport& rep) {
+  ++rep.builds_run;
+  return !check_case(c, opt.oracle, opt.metamorphic).empty();
+}
+
+/// Greedy shrink: threads to 1, param fields to defaults, then n downward;
+/// each reduction kept only while the case still fails.
+FuzzCase shrink_case(FuzzCase c, const FuzzOptions& opt, FuzzReport& rep) {
+  const core::BuildParams defaults;
+  int steps = 0;
+  bool changed = true;
+  while (changed && steps < 48) {
+    changed = false;
+    FuzzCase t = c;
+    if (c.threads != 1) {
+      t.threads = 1;
+      if (++steps, still_fails(t, opt, rep)) { c = t; changed = true; continue; }
+      t = c;
+    }
+    if (c.params.multiplicity != defaults.multiplicity) {
+      t.params.multiplicity = defaults.multiplicity;
+      if (++steps, still_fails(t, opt, rep)) { c = t; changed = true; continue; }
+      t = c;
+    }
+    if (c.params.layers != defaults.layers) {
+      t.params.layers = defaults.layers;
+      if (++steps, still_fails(t, opt, rep)) { c = t; changed = true; continue; }
+      t = c;
+    }
+    if (c.params.base_size != defaults.base_size) {
+      t.params.base_size = defaults.base_size;
+      if (++steps, still_fails(t, opt, rep)) { c = t; changed = true; continue; }
+      t = c;
+    }
+    const core::LayoutBuilder* b = core::find_builder(c.family);
+    if (b && c.params.n > b->n_range().first) {
+      t.params.n = c.params.n - 1;
+      if (++steps, still_fails(t, opt, rep)) { c = t; changed = true; continue; }
+    }
+  }
+  return c;
+}
+
+/// Resolves the fuzzed family subset; unknown names become failures.
+std::vector<const core::LayoutBuilder*> resolve_families(const FuzzOptions& opt,
+                                                         FuzzReport& rep) {
+  std::vector<const core::LayoutBuilder*> pool;
+  if (opt.families.empty()) return core::all_builders();
+  for (const std::string& name : opt.families) {
+    core::BuildOutcome<const core::LayoutBuilder*> found = core::try_find_builder(name);
+    if (found.ok()) {
+      pool.push_back(found.value());
+    } else {
+      rep.ok = false;
+      FuzzFailure f;
+      f.shrunk.family = f.original.family = name;
+      f.violations.push_back(found.error().message);
+      rep.failures.push_back(std::move(f));
+    }
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::string FuzzCase::line() const {
+  return "family=" + family + " n=" + std::to_string(params.n) + " base=" +
+         std::to_string(params.base_size) + " layers=" + std::to_string(params.layers) +
+         " mult=" + std::to_string(params.multiplicity) +
+         " threads=" + std::to_string(threads);
+}
+
+bool FuzzCase::parse(std::string_view text, FuzzCase* out, std::string* err) {
+  FuzzCase c;
+  bool have_family = false, have_n = false;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i >= text.size()) break;
+    std::size_t e = i;
+    while (e < text.size() && text[e] != ' ' && text[e] != '\t') ++e;
+    const std::string_view tok = text.substr(i, e - i);
+    i = e;
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= tok.size()) {
+      if (err) *err = "malformed token '" + std::string(tok) + "' (want key=value)";
+      return false;
+    }
+    const std::string_view key = tok.substr(0, eq);
+    const std::string_view val = tok.substr(eq + 1);
+    if (key == "family") {
+      c.family = std::string(val);
+      have_family = true;
+      continue;
+    }
+    int parsed = 0;
+    for (char ch : val) {
+      if (ch < '0' || ch > '9' || parsed > 99999) {
+        if (err) *err = "bad integer for '" + std::string(key) + "': " + std::string(val);
+        return false;
+      }
+      parsed = parsed * 10 + (ch - '0');
+    }
+    if (val.empty()) {
+      if (err) *err = "empty value for '" + std::string(key) + "'";
+      return false;
+    }
+    if (key == "n") {
+      c.params.n = parsed;
+      have_n = true;
+    } else if (key == "base") {
+      c.params.base_size = parsed;
+    } else if (key == "layers") {
+      c.params.layers = parsed;
+    } else if (key == "mult") {
+      c.params.multiplicity = parsed;
+    } else if (key == "threads") {
+      c.threads = parsed;
+    } else {
+      if (err) *err = "unknown key '" + std::string(key) + "'";
+      return false;
+    }
+  }
+  if (!have_family || !have_n) {
+    if (err) *err = "a case needs at least family= and n=";
+    return false;
+  }
+  *out = c;
+  return true;
+}
+
+std::vector<std::string> check_case(const FuzzCase& c, const OracleOptions& oracle_opt,
+                                    const MetamorphicOptions& meta_opt) {
+  std::vector<std::string> out;
+  core::BuildOutcome<const core::LayoutBuilder*> found = core::try_find_builder(c.family);
+  if (!found.ok()) {
+    out.push_back("lookup: " + found.error().message);
+    return out;
+  }
+  const core::LayoutBuilder& b = *found.value();
+  PoolGuard guard;
+  support::ThreadPool::instance().set_num_threads(std::max(1, c.threads));
+
+  core::BuildOutcome<core::BuildResult> built = b.try_build(c.params);
+  if (!built.ok()) {
+    out.push_back("build: " + built.error().message);
+    return out;
+  }
+  OracleReport orep = run_oracle(b, c.params, built.value(), oracle_opt);
+  for (const std::string& v : orep.violations) out.push_back("oracle: " + v);
+  MetamorphicReport mrep = run_metamorphic(b, c.params, meta_opt);
+  for (const std::string& v : mrep.violations) out.push_back("metamorphic: " + v);
+  return out;
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FuzzReport rep;
+  const std::vector<const core::LayoutBuilder*> pool = resolve_families(opt, rep);
+  if (pool.empty()) {
+    rep.ok = false;
+    return rep;
+  }
+  std::uint64_t state = opt.seed;
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+  while (elapsed() < opt.budget_seconds &&
+         (opt.max_cases < 0 || rep.cases_run < opt.max_cases)) {
+    const FuzzCase c = generate_case(state, pool);
+    ++rep.cases_run;
+    ++rep.builds_run;
+    const std::vector<std::string> violations =
+        check_case(c, opt.oracle, opt.metamorphic);
+    if (violations.empty()) continue;
+    rep.ok = false;
+    FuzzFailure f;
+    f.original = c;
+    f.shrunk = opt.shrink ? shrink_case(c, opt, rep) : c;
+    // Report the *shrunk* case's violations: that is the repro we print.
+    f.violations = opt.shrink ? check_case(f.shrunk, opt.oracle, opt.metamorphic)
+                              : violations;
+    if (f.violations.empty()) f.violations = violations;  // flaky shrink guard
+    rep.failures.push_back(std::move(f));
+  }
+  rep.seconds = elapsed();
+  return rep;
+}
+
+FuzzReport run_replay(const std::vector<std::string>& lines, const FuzzOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  FuzzReport rep;
+  for (const std::string& raw : lines) {
+    std::string_view line = raw;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    FuzzCase c;
+    std::string err;
+    ++rep.cases_run;
+    if (!FuzzCase::parse(line, &c, &err)) {
+      rep.ok = false;
+      FuzzFailure f;
+      f.original.family = f.shrunk.family = std::string(line);
+      f.violations.push_back("parse: " + err);
+      rep.failures.push_back(std::move(f));
+      continue;
+    }
+    ++rep.builds_run;
+    std::vector<std::string> violations = check_case(c, opt.oracle, opt.metamorphic);
+    if (violations.empty()) continue;
+    rep.ok = false;
+    FuzzFailure f;
+    f.original = f.shrunk = c;
+    f.violations = std::move(violations);
+    rep.failures.push_back(std::move(f));
+  }
+  rep.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return rep;
+}
+
+}  // namespace starlay::check

@@ -1,0 +1,96 @@
+#pragma once
+/// \file fuzz.hpp
+/// \brief Seeded fuzz driver over (family, n, params, threads) tuples.
+///
+/// The oracle and metamorphic layers check one configuration; the fuzz
+/// driver decides *which* configurations, deterministically:
+///
+///  * Cases come from a splitmix64 stream seeded by FuzzOptions::seed —
+///    the same seed enumerates the same cases on every machine, so a
+///    failure reported by CI is reproducible locally from the seed alone.
+///  * Parameter fields are only randomized where the family reads them
+///    (params_used()), inside known-valid ranges, with n capped per family
+///    so each case stays brute-force-oracle sized.
+///  * A failing case is *shrunk* greedily — threads to 1, each param field
+///    back to its default, then n downward — re-running the checks at each
+///    candidate and keeping the reduction only while the failure persists.
+///    The survivor is a minimal one-line repro (FuzzCase::line()).
+///  * A corpus of such lines (tests/starcheck_corpus.txt) is replayed by
+///    run_replay(), pinning previously-found shapes forever.
+///
+/// Case lines are plain `key=value` pairs:
+///     family=star n=5 base=3 layers=2 mult=1 threads=2
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "starlay/check/metamorphic.hpp"
+#include "starlay/check/oracle.hpp"
+#include "starlay/core/builder.hpp"
+
+namespace starlay::check {
+
+/// One fuzz configuration; round-trips through line()/parse().
+struct FuzzCase {
+  std::string family;
+  core::BuildParams params;
+  int threads = 1;
+
+  /// Canonical one-line repro form.
+  std::string line() const;
+
+  /// Parses a line() back; false (with \p err set) on malformed input.
+  /// '#' comments and blank lines are rejected here — callers filter them.
+  static bool parse(std::string_view text, FuzzCase* out, std::string* err);
+};
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  double budget_seconds = 30.0;   ///< wall-clock stop condition
+  std::int64_t max_cases = -1;    ///< additional case cap; -1 = budget only
+  std::vector<std::string> families;  ///< subset to fuzz; empty = all
+  bool shrink = true;             ///< shrink failures to minimal repro
+  OracleOptions oracle;
+  MetamorphicOptions metamorphic;
+};
+
+/// One failing configuration, after shrinking.
+struct FuzzFailure {
+  FuzzCase shrunk;                     ///< minimal failing case
+  FuzzCase original;                   ///< the case as first generated
+  std::vector<std::string> violations; ///< messages from the shrunk case
+};
+
+struct FuzzReport {
+  bool ok = true;
+  std::int64_t cases_run = 0;
+  std::int64_t builds_run = 0;  ///< builds including shrink candidates
+  double seconds = 0.0;
+  std::vector<FuzzFailure> failures;
+};
+
+/// Runs oracle + metamorphic checks for one configuration.  Sets the pool
+/// to c.threads for the duration (restored on return).  Returns all
+/// violation messages, prefixed by the layer that produced them; empty
+/// means the case passed.
+std::vector<std::string> check_case(const FuzzCase& c, const OracleOptions& oracle_opt = {},
+                                    const MetamorphicOptions& meta_opt = {});
+
+/// Seeded enumeration under a time budget, with shrinking.
+FuzzReport run_fuzz(const FuzzOptions& opt);
+
+/// Replays corpus lines ('#' comments and blanks skipped).  Failures are
+/// reported un-shrunk: the corpus line *is* the minimal repro.
+FuzzReport run_replay(const std::vector<std::string>& lines, const FuzzOptions& opt);
+
+/// The deterministic PRNG of the driver (public for tests).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace starlay::check

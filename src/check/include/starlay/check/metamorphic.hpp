@@ -1,0 +1,64 @@
+#pragma once
+/// \file metamorphic.hpp
+/// \brief Metamorphic / differential relations between execution modes.
+///
+/// A single build has no ground truth to compare against; two builds of the
+/// *same* family at the *same* params through *different* execution paths
+/// do.  The tree promises several such equivalences, and this layer turns
+/// each promise into a checked relation over the canonical wire
+/// fingerprint (layout/fingerprint.hpp):
+///
+///  * streaming == materialized — build_stream() into a FingerprintingSink
+///    yields the digest of the Layout build() materializes, and the node
+///    rectangles agree box-for-box.
+///  * thread-count invariance — the digest is identical at every pool size
+///    swept (the deterministic-parallelism contract of thread_pool.hpp).
+///  * telemetry neutrality — a build under an active trace produces the
+///    same digest as one without (instrumentation observes, never steers).
+///  * certifier == validator — StreamingCertifier's verdict, error count
+///    and measured quantities equal validate_layout() on the materialized
+///    layout.
+///  * API parity — try_build() succeeds exactly where the asserting build()
+///    does not throw, and both reject the out-of-range probes
+///    n_range().first - 1 and n_range().second + 1.
+///
+/// All relations restore global state (pool size, telemetry) on exit, so
+/// runs compose: the fuzz driver calls this per case in a loop.
+
+#include <string>
+#include <vector>
+
+#include "starlay/core/builder.hpp"
+
+namespace starlay::check {
+
+struct MetamorphicOptions {
+  /// Pool sizes swept for the thread-count relation (the current size is
+  /// restored afterwards).  Sizes are deduplicated against each other.
+  std::vector<int> thread_counts = {1, 2, 4};
+  bool check_telemetry = true;     ///< telemetry-on vs -off digest equality
+  bool check_certifier = true;     ///< StreamingCertifier vs validate_layout
+  bool check_api_parity = true;    ///< try_build vs build, out-of-range probes
+  /// Small band_shift exercises multi-band batching on small cases.
+  int certifier_band_shift = 12;
+};
+
+struct MetamorphicReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+  int num_relations_checked = 0;
+
+  void fail(std::string msg) {
+    ok = false;
+    violations.push_back(std::move(msg));
+  }
+};
+
+/// Runs every enabled relation for (builder, params).  The params must be
+/// valid for the family; an unexpected build failure is itself reported as
+/// a violation.
+MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
+                                  const core::BuildParams& params,
+                                  const MetamorphicOptions& opt = {});
+
+}  // namespace starlay::check

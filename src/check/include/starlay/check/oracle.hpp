@@ -1,0 +1,84 @@
+#pragma once
+/// \file oracle.hpp
+/// \brief The invariant oracle: re-validates a finished layout with
+///        algorithms *independent* of the production validator.
+///
+/// The production validator (layout/validate.hpp, stream_certify.hpp) is
+/// fast and index-based — and therefore shares failure modes with the code
+/// it checks: a sort-order bug, a band-boundary bug, or an interval
+/// convention slip can hide in both the construction and the check.  The
+/// oracle trades speed for independence:
+///
+///  * *Brute-force track exclusivity* — O(W^2) pairwise comparison of all
+///    same-layer segments, no sorting, no indexing, under a wire-count cap
+///    (oracle cases are small by design; above the cap the quadratic pass
+///    is skipped and reported as such).
+///  * *Port/endpoint consistency* — every wire's edge id is in range, every
+///    edge has exactly one wire, and each wire endpoint lies on the
+///    boundary (not interior) of its own endpoint's node rectangle, the
+///    two endpoints matching the edge's {u, v} in some order.
+///  * *Node disjointness* — node rectangles are pairwise disjoint (a rule
+///    the production validator never checks: it only relates wires to
+///    nodes).
+///  * *Paper-bound recomputation* — the family's BoundSpec (builder.hpp)
+///    closed forms are re-evaluated from BuildParams and compared against
+///    the layout's measured area, distinct-track count, and layer count.
+///
+/// A violation from the oracle on a validator-clean layout means one of
+/// the two is wrong — exactly the disagreement machine-generated checking
+/// exists to surface.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starlay/core/builder.hpp"
+
+namespace starlay::check {
+
+struct OracleOptions {
+  /// Skip the O(W^2) overlap pass (and the O(W * V) clearance pass) above
+  /// this wire count; the quadratic passes exist for small adversarial
+  /// cases, not for production sizes.
+  std::int64_t brute_force_wire_cap = 4000;
+  /// Skip the O(V^2) node-disjointness pass above this node count.
+  std::int64_t node_pair_cap = 4096;
+  /// Stop recording messages after this many (counting continues).
+  int max_violations = 25;
+};
+
+struct OracleReport {
+  bool ok = true;
+  std::vector<std::string> violations;  ///< first max_violations messages
+  std::int64_t num_violations_total = 0;
+  bool overlap_pass_ran = false;  ///< O(W^2) pass was inside the cap
+  bool node_pass_ran = false;     ///< O(V^2) pass was inside the cap
+  bool bounds_checked = false;    ///< the family registered a BoundSpec
+
+  void fail(std::string msg, int max_violations) {
+    ok = false;
+    ++num_violations_total;
+    if (static_cast<int>(violations.size()) < max_violations)
+      violations.push_back(std::move(msg));
+  }
+};
+
+/// Measured quantities the BoundSpec bounds are compared against; exposed
+/// for the calibration mode (`starcheck --calibrate`).
+struct MeasuredBounds {
+  std::int64_t area = 0;
+  double area_leading = 0.0;  ///< BoundSpec closed form; 0 when absent
+  std::int64_t distinct_tracks = 0;  ///< distinct horizontal wire lines
+  int num_layers = 0;
+};
+
+/// Recomputes the measured quantities of \p built for bound comparison.
+MeasuredBounds measure_bounds(const core::LayoutBuilder& builder,
+                              const core::BuildParams& params,
+                              const core::BuildResult& built);
+
+/// Runs every oracle pass over a materialized build.
+OracleReport run_oracle(const core::LayoutBuilder& builder, const core::BuildParams& params,
+                        const core::BuildResult& built, const OracleOptions& opt = {});
+
+}  // namespace starlay::check

@@ -1,0 +1,205 @@
+#include "starlay/check/metamorphic.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <string>
+
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/stream_certify.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::check {
+
+namespace {
+
+namespace tel = support::telemetry;
+
+/// Restores the global pool size on scope exit so relations compose.
+class PoolGuard {
+ public:
+  PoolGuard() : saved_(support::ThreadPool::instance().num_threads()) {}
+  ~PoolGuard() { support::ThreadPool::instance().set_num_threads(saved_); }
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+
+ private:
+  int saved_;
+};
+
+std::string rect_str(const layout::Rect& r) {
+  return "[" + std::to_string(r.x0) + "," + std::to_string(r.y0) + " .. " +
+         std::to_string(r.x1) + "," + std::to_string(r.y1) + "]";
+}
+
+/// One streaming fingerprint run through the stable API; reports a
+/// violation (and returns false) when the build itself fails.
+bool stream_digest(const core::LayoutBuilder& builder, const core::BuildParams& params,
+                   const char* label, MetamorphicReport& rep, std::uint64_t* digest,
+                   std::int64_t* wires = nullptr) {
+  layout::FingerprintingSink sink;
+  core::BuildOutcome<layout::RouteStats> out = builder.try_build_stream(params, sink);
+  if (!out.ok()) {
+    rep.fail(std::string(label) + ": try_build_stream failed: " + out.error().message);
+    return false;
+  }
+  *digest = sink.fingerprint();
+  if (wires) *wires = sink.num_wires();
+  return true;
+}
+
+}  // namespace
+
+MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
+                                  const core::BuildParams& params,
+                                  const MetamorphicOptions& opt) {
+  MetamorphicReport rep;
+
+  // --- reference build: materialized through the stable API ---------------
+  core::BuildOutcome<core::BuildResult> mat = builder.try_build(params);
+  if (!mat.ok()) {
+    rep.fail("materialized try_build failed: " + mat.error().message);
+    return rep;
+  }
+  const core::BuildResult& built = mat.value();
+  const layout::Layout& lay = built.routed.layout;
+  const std::uint64_t mat_digest = layout::wire_fingerprint(lay);
+
+  // --- streaming == materialized ------------------------------------------
+  {
+    ++rep.num_relations_checked;
+    layout::FingerprintingSink sink;
+    core::BuildOutcome<layout::RouteStats> out = builder.try_build_stream(params, sink);
+    if (!out.ok()) {
+      rep.fail("streaming try_build_stream failed: " + out.error().message);
+    } else {
+      if (sink.fingerprint() != mat_digest)
+        rep.fail("stream digest " + std::to_string(sink.fingerprint()) +
+                 " != materialized digest " + std::to_string(mat_digest));
+      if (sink.num_wires() != lay.num_wires())
+        rep.fail("stream wire count " + std::to_string(sink.num_wires()) +
+                 " != materialized " + std::to_string(lay.num_wires()));
+      const std::vector<layout::Rect>& rects = sink.node_rects();
+      if (static_cast<std::int64_t>(rects.size()) != lay.num_nodes()) {
+        rep.fail("stream node count " + std::to_string(rects.size()) +
+                 " != materialized " + std::to_string(lay.num_nodes()));
+      } else {
+        for (std::int32_t v = 0; v < lay.num_nodes(); ++v)
+          if (rects[static_cast<std::size_t>(v)] != lay.node_rect(v)) {
+            rep.fail("node " + std::to_string(v) + " rect differs: stream " +
+                     rect_str(rects[static_cast<std::size_t>(v)]) + " vs materialized " +
+                     rect_str(lay.node_rect(v)));
+            break;
+          }
+      }
+    }
+  }
+
+  // --- thread-count invariance --------------------------------------------
+  if (!opt.thread_counts.empty()) {
+    ++rep.num_relations_checked;
+    PoolGuard guard;
+    std::vector<int> counts = opt.thread_counts;
+    std::sort(counts.begin(), counts.end());
+    counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+    for (int t : counts) {
+      if (t < 1) continue;
+      support::ThreadPool::instance().set_num_threads(t);
+      std::uint64_t digest = 0;
+      const std::string label = "threads=" + std::to_string(t);
+      if (stream_digest(builder, params, label.c_str(), rep, &digest) &&
+          digest != mat_digest)
+        rep.fail(label + ": digest " + std::to_string(digest) +
+                 " != materialized digest " + std::to_string(mat_digest));
+    }
+  }
+
+  // --- telemetry neutrality ------------------------------------------------
+  if (opt.check_telemetry) {
+    ++rep.num_relations_checked;
+    tel::TraceOptions topt;
+    topt.sample_rss = false;  // keep the relation free of sampler-thread noise
+    tel::start_trace(topt);
+    std::uint64_t digest = 0;
+    const bool built_ok =
+        stream_digest(builder, params, "telemetry-on", rep, &digest);
+    tel::stop_trace();
+    if (built_ok && digest != mat_digest)
+      rep.fail("telemetry-on digest " + std::to_string(digest) +
+               " != telemetry-off digest " + std::to_string(mat_digest));
+  }
+
+  // --- certifier == validator ----------------------------------------------
+  if (opt.check_certifier) {
+    ++rep.num_relations_checked;
+    layout::StreamOptions sopt;
+    sopt.band_shift = opt.certifier_band_shift;
+    layout::StreamingCertifier cert(sopt);
+    core::BuildOutcome<layout::RouteStats> out = builder.try_build_stream(params, cert);
+    if (!out.ok()) {
+      rep.fail("certifier try_build_stream failed: " + out.error().message);
+    } else {
+      const layout::StreamReport& sr = cert.report();
+      const layout::ValidationReport vr = layout::validate_layout(built.graph, lay);
+      if (sr.validation.ok != vr.ok)
+        rep.fail(std::string("certifier verdict ") + (sr.validation.ok ? "ok" : "fail") +
+                 " != validator " + (vr.ok ? "ok" : "fail"));
+      if (sr.validation.num_errors_total != vr.num_errors_total)
+        rep.fail("certifier error count " + std::to_string(sr.validation.num_errors_total) +
+                 " != validator " + std::to_string(vr.num_errors_total));
+      if (sr.num_wires != lay.num_wires())
+        rep.fail("certifier wire count " + std::to_string(sr.num_wires) +
+                 " != materialized " + std::to_string(lay.num_wires()));
+      if (sr.num_layers != lay.num_layers())
+        rep.fail("certifier layer count " + std::to_string(sr.num_layers) +
+                 " != materialized " + std::to_string(lay.num_layers()));
+      if (sr.bounding_box != lay.bounding_box())
+        rep.fail("certifier bounding box " + rect_str(sr.bounding_box) +
+                 " != materialized " + rect_str(lay.bounding_box()));
+      if (sr.area != lay.area())
+        rep.fail("certifier area " + std::to_string(sr.area) + " != materialized " +
+                 std::to_string(lay.area()));
+    }
+  }
+
+  // --- API parity -----------------------------------------------------------
+  if (opt.check_api_parity) {
+    ++rep.num_relations_checked;
+    // In range: the stable tier succeeded above, so the asserting tier must
+    // not throw on the identical input.
+    try {
+      (void)builder.build(params);
+    } catch (const starlay::InvariantError& e) {
+      rep.fail(std::string("build() threw where try_build() succeeded: ") + e.what());
+    }
+    // Out of range on both sides: the stable tier must return
+    // kSizeOutOfRange and the asserting tier must throw.
+    const auto [lo, hi] = builder.n_range();
+    for (int probe : {lo > INT_MIN ? lo - 1 : lo, hi < INT_MAX ? hi + 1 : hi}) {
+      if (probe >= lo && probe <= hi) continue;
+      core::BuildParams p = params;
+      p.n = probe;
+      core::BuildOutcome<core::BuildResult> out = builder.try_build(p);
+      if (out.ok())
+        rep.fail("try_build accepted out-of-range n=" + std::to_string(probe));
+      else if (out.error().code != core::BuildErrorCode::kSizeOutOfRange)
+        rep.fail("try_build(n=" + std::to_string(probe) + ") returned code '" +
+                 core::build_error_code_name(out.error().code) +
+                 "', want size-out-of-range");
+      bool threw = false;
+      try {
+        (void)builder.build(p);
+      } catch (const starlay::InvariantError&) {
+        threw = true;
+      }
+      if (!threw)
+        rep.fail("build() accepted out-of-range n=" + std::to_string(probe));
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace starlay::check

@@ -1,0 +1,277 @@
+#include "starlay/check/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace starlay::check {
+
+namespace {
+
+using layout::Coord;
+using layout::Layout;
+using layout::Point;
+using layout::Rect;
+using layout::WireRef;
+
+/// Oracle-side oriented segment, extracted directly from the point list
+/// (deliberately NOT via Layout::segments(), which is production code).
+struct OSeg {
+  std::int16_t layer;
+  bool horizontal;
+  Coord line;     ///< y for horizontal, x for vertical
+  Coord lo, hi;   ///< closed span
+  std::int64_t wire;
+};
+
+std::string point_str(Point p) {
+  return "(" + std::to_string(p.x) + ", " + std::to_string(p.y) + ")";
+}
+
+bool on_boundary(const Rect& r, Point p) {
+  return !r.empty() && r.contains(p) && !r.strictly_contains(p);
+}
+
+/// Extracts every non-degenerate segment of every wire, checking
+/// rectilinearity on the way (a diagonal step is reported and skipped).
+std::vector<OSeg> extract_segments(const Layout& lay, OracleReport& rep, int max_v) {
+  std::vector<OSeg> segs;
+  for (const WireRef w : lay.wires()) {
+    for (int i = 1; i < w.npts(); ++i) {
+      const Point a = w.pt(i - 1);
+      const Point b = w.pt(i);
+      if (a == b) continue;
+      if (a.x != b.x && a.y != b.y) {
+        rep.fail("wire " + std::to_string(w.index()) + ": diagonal step " + point_str(a) +
+                     " -> " + point_str(b),
+                 max_v);
+        continue;
+      }
+      if (a.y == b.y)
+        segs.push_back({w.h_layer(), true, a.y, std::min(a.x, b.x), std::max(a.x, b.x),
+                        w.index()});
+      else
+        segs.push_back({w.v_layer(), false, a.x, std::min(a.y, b.y), std::max(a.y, b.y),
+                        w.index()});
+    }
+  }
+  return segs;
+}
+
+/// Closed intersection of a segment with a rectangle: returns false when
+/// empty, else [*lo, *hi] along the segment's axis.
+bool seg_rect_intersection(const OSeg& s, const Rect& r, Coord* lo, Coord* hi) {
+  if (r.empty()) return false;
+  if (s.horizontal) {
+    if (s.line < r.y0 || s.line > r.y1) return false;
+    *lo = std::max(s.lo, r.x0);
+    *hi = std::min(s.hi, r.x1);
+  } else {
+    if (s.line < r.x0 || s.line > r.x1) return false;
+    *lo = std::max(s.lo, r.y0);
+    *hi = std::min(s.hi, r.y1);
+  }
+  return *lo <= *hi;
+}
+
+Point seg_point(const OSeg& s, Coord along) {
+  return s.horizontal ? Point{along, s.line} : Point{s.line, along};
+}
+
+}  // namespace
+
+MeasuredBounds measure_bounds(const core::LayoutBuilder& builder,
+                              const core::BuildParams& params,
+                              const core::BuildResult& built) {
+  MeasuredBounds m;
+  const Layout& lay = built.routed.layout;
+  m.area = lay.area();
+  m.num_layers = lay.num_layers();
+  // Distinct horizontal grid lines carrying wire segments — the collinear
+  // model's track count, recomputed from raw geometry.
+  std::vector<Coord> lines;
+  for (const WireRef w : lay.wires())
+    for (int i = 1; i < w.npts(); ++i) {
+      const Point a = w.pt(i - 1);
+      const Point b = w.pt(i);
+      if (a.y == b.y && a.x != b.x) lines.push_back(a.y);
+    }
+  std::sort(lines.begin(), lines.end());
+  m.distinct_tracks =
+      std::unique(lines.begin(), lines.end()) - lines.begin();
+  if (const core::BoundSpec* spec = builder.bound_spec())
+    if (spec->area_leading) m.area_leading = spec->area_leading(params);
+  return m;
+}
+
+OracleReport run_oracle(const core::LayoutBuilder& builder, const core::BuildParams& params,
+                        const core::BuildResult& built, const OracleOptions& opt) {
+  OracleReport rep;
+  const int max_v = opt.max_violations;
+  const Layout& lay = built.routed.layout;
+  const topology::Graph& g = built.graph;
+  const std::int64_t W = lay.num_wires();
+  const std::int64_t E = g.num_edges();
+  const std::int32_t V = g.num_vertices();
+
+  // --- port/endpoint consistency + edge<->wire bijection ------------------
+  if (W != E)
+    rep.fail("wire count " + std::to_string(W) + " != edge count " + std::to_string(E),
+             max_v);
+  std::vector<std::int32_t> wires_per_edge(static_cast<std::size_t>(E), 0);
+  for (const WireRef w : lay.wires()) {
+    const std::int64_t i = w.index();
+    if (w.edge() < 0 || w.edge() >= E) {
+      rep.fail("wire " + std::to_string(i) + ": edge id " + std::to_string(w.edge()) +
+                   " out of range",
+               max_v);
+      continue;
+    }
+    ++wires_per_edge[static_cast<std::size_t>(w.edge())];
+    if (w.npts() < 2) {
+      rep.fail("wire " + std::to_string(i) + ": fewer than 2 points", max_v);
+      continue;
+    }
+    if (std::abs(w.h_layer() - w.v_layer()) != 1 || w.h_layer() % 2 != 1)
+      rep.fail("wire " + std::to_string(i) + ": bad layer pair (h=" +
+                   std::to_string(w.h_layer()) + ", v=" + std::to_string(w.v_layer()) + ")",
+               max_v);
+    const topology::Edge& e = g.edge(w.edge());
+    const Rect& ru = lay.node_rect(e.u);
+    const Rect& rv = lay.node_rect(e.v);
+    const Point a = w.front();
+    const Point b = w.back();
+    const bool uv = on_boundary(ru, a) && on_boundary(rv, b);
+    const bool vu = on_boundary(rv, a) && on_boundary(ru, b);
+    if (!uv && !vu)
+      rep.fail("wire " + std::to_string(i) + " (edge " + std::to_string(w.edge()) +
+                   "): endpoints " + point_str(a) + ", " + point_str(b) +
+                   " not on the boundaries of nodes " + std::to_string(e.u) + "/" +
+                   std::to_string(e.v),
+               max_v);
+  }
+  for (std::int64_t e = 0; e < E; ++e)
+    if (wires_per_edge[static_cast<std::size_t>(e)] != 1)
+      rep.fail("edge " + std::to_string(e) + " has " +
+                   std::to_string(wires_per_edge[static_cast<std::size_t>(e)]) +
+                   " wires (want 1)",
+               max_v);
+
+  // --- node disjointness (never checked by the production validator) ------
+  if (V <= opt.node_pair_cap) {
+    rep.node_pass_ran = true;
+    for (std::int32_t u = 0; u < V; ++u) {
+      const Rect& ru = lay.node_rect(u);
+      if (ru.empty()) continue;
+      for (std::int32_t v = u + 1; v < V; ++v) {
+        const Rect& rv = lay.node_rect(v);
+        if (rv.empty()) continue;
+        if (ru.x0 <= rv.x1 && rv.x0 <= ru.x1 && ru.y0 <= rv.y1 && rv.y0 <= ru.y1)
+          rep.fail("node rects " + std::to_string(u) + " and " + std::to_string(v) +
+                       " intersect",
+                   max_v);
+      }
+    }
+  }
+
+  // --- brute-force cross-wire + clearance passes ---------------------------
+  const std::vector<OSeg> segs = extract_segments(lay, rep, max_v);
+  if (W <= opt.brute_force_wire_cap) {
+    rep.overlap_pass_ran = true;
+    // Track exclusivity, quadratically: every pair of same-layer segments.
+    // Same orientation + same line: closed spans must be disjoint.  Mixed
+    // orientation on one layer: any crossing is illegal (the layer
+    // discipline says a layer carries one orientation only).
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      const OSeg& a = segs[i];
+      for (std::size_t j = i + 1; j < segs.size(); ++j) {
+        const OSeg& b = segs[j];
+        if (a.layer != b.layer) continue;
+        if (a.horizontal == b.horizontal) {
+          if (a.line == b.line && a.lo <= b.hi && b.lo <= a.hi)
+            rep.fail("overlap on layer " + std::to_string(a.layer) +
+                         (a.horizontal ? " y=" : " x=") + std::to_string(a.line) +
+                         ": wires " + std::to_string(a.wire) + " and " +
+                         std::to_string(b.wire),
+                     max_v);
+        } else if (b.lo <= a.line && a.line <= b.hi && a.lo <= b.line && b.line <= a.hi) {
+          rep.fail("perpendicular segments share layer " + std::to_string(a.layer) +
+                       " at " + point_str(seg_point(a, b.line)) + ": wires " +
+                       std::to_string(a.wire) + " and " + std::to_string(b.wire),
+                   max_v);
+        }
+      }
+    }
+    // Node clearance, quadratically: a segment may meet a node rectangle
+    // only at a single boundary point that is one of its wire's endpoints,
+    // and only on the wire's own two nodes.
+    for (const OSeg& s : segs) {
+      const WireRef w = lay.wires()[s.wire];
+      const bool edge_ok = w.edge() >= 0 && w.edge() < E;
+      const std::int32_t eu = edge_ok ? g.edge(w.edge()).u : -1;
+      const std::int32_t ev = edge_ok ? g.edge(w.edge()).v : -1;
+      for (std::int32_t v = 0; v < V; ++v) {
+        Coord lo, hi;
+        if (!seg_rect_intersection(s, lay.node_rect(v), &lo, &hi)) continue;
+        if (v != eu && v != ev) {
+          rep.fail("wire " + std::to_string(s.wire) + " enters foreign node " +
+                       std::to_string(v) + " at " + point_str(seg_point(s, lo)),
+                   max_v);
+          continue;
+        }
+        const Point p = seg_point(s, lo);
+        if (lo != hi || !(p == w.front() || p == w.back()))
+          rep.fail("wire " + std::to_string(s.wire) + " overlaps its own node " +
+                       std::to_string(v) + " beyond the attachment point at " +
+                       point_str(p),
+                   max_v);
+      }
+    }
+  }
+
+  // --- paper-bound recomputation ------------------------------------------
+  if (const core::BoundSpec* spec = builder.bound_spec()) {
+    rep.bounds_checked = true;
+    const MeasuredBounds m = measure_bounds(builder, params, built);
+    if (spec->area_leading && params.n >= spec->area_min_n) {
+      const double bound = spec->area_slack * m.area_leading;
+      if (static_cast<double>(m.area) > bound)
+        rep.fail("area " + std::to_string(m.area) + " exceeds " +
+                     std::to_string(spec->area_slack) + " x leading term " +
+                     std::to_string(m.area_leading) + " (" + spec->claim + ")",
+                 max_v);
+    }
+    if (spec->tracks_exact) {
+      const std::int64_t want = spec->tracks_exact(params);
+      if (m.distinct_tracks != want)
+        rep.fail("distinct horizontal tracks " + std::to_string(m.distinct_tracks) +
+                     " != " + std::to_string(want) + " (" + spec->claim + ")",
+                 max_v);
+    }
+    if (spec->layers_exact && W > 0) {
+      // Exact once there are enough wires for the round-robin layer
+      // assigner to have touched every pair; below that, an upper bound.
+      const int want = spec->layers_exact(params);
+      if (W >= 2 * static_cast<std::int64_t>(want) ? m.num_layers != want
+                                                   : m.num_layers > want)
+        rep.fail("layer count " + std::to_string(m.num_layers) + " != " +
+                     std::to_string(want) + " (" + spec->claim + ")",
+                 max_v);
+    }
+  }
+
+  // Universal lower bound: with pairwise-disjoint nodes inside the bounding
+  // box, the grid-point count cannot be below the nodes' combined footprint.
+  if (rep.node_pass_ran && rep.ok) {
+    std::int64_t node_area = 0;
+    for (std::int32_t v = 0; v < V; ++v) node_area += lay.node_rect(v).area();
+    if (lay.area() < node_area)
+      rep.fail("area " + std::to_string(lay.area()) + " below combined node footprint " +
+                   std::to_string(node_area),
+               max_v);
+  }
+
+  return rep;
+}
+
+}  // namespace starlay::check

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "starlay/core/baseline.hpp"
@@ -11,6 +13,7 @@
 #include "starlay/core/hcn_layout.hpp"
 #include "starlay/core/hypercube_layout.hpp"
 #include "starlay/core/multilayer_star.hpp"
+#include "starlay/core/formulas.hpp"
 #include "starlay/core/star_layout.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/telemetry.hpp"
@@ -29,19 +32,22 @@ using StreamFn =
 class FnBuilder final : public LayoutBuilder {
  public:
   FnBuilder(std::string name, std::string description, std::pair<int, int> n_range,
-            unsigned params_used, BuildFn build, StreamFn stream)
+            unsigned params_used, BuildFn build, StreamFn stream,
+            std::optional<BoundSpec> bounds = std::nullopt)
       : name_(std::move(name)),
         description_(std::move(description)),
         trace_name_("build." + name_),
         n_range_(n_range),
         params_used_(params_used),
         build_(std::move(build)),
-        stream_(std::move(stream)) {}
+        stream_(std::move(stream)),
+        bounds_(std::move(bounds)) {}
 
   std::string_view name() const override { return name_; }
   std::string_view description() const override { return description_; }
   std::pair<int, int> n_range() const override { return n_range_; }
   unsigned params_used() const override { return params_used_; }
+  const BoundSpec* bound_spec() const override { return bounds_ ? &*bounds_ : nullptr; }
 
   BuildResult build(const BuildParams& params) const override {
     check_range(params);
@@ -69,6 +75,7 @@ class FnBuilder final : public LayoutBuilder {
   unsigned params_used_;
   BuildFn build_;
   StreamFn stream_;
+  std::optional<BoundSpec> bounds_;
 };
 
 BuildResult from_star(StarLayoutResult r) { return {std::move(r.graph), std::move(r.routed)}; }
@@ -78,30 +85,62 @@ BuildResult from_hcn(HcnLayoutResult r) { return {std::move(r.graph), std::move(
 /// ablation subject (EXPERIMENTS.md, E11).
 topology::Graph baseline_subject(int n) { return topology::star_graph(n); }
 
+double fact(int n) {
+  double f = 1.0;
+  for (int i = 2; i <= n; ++i) f *= i;
+  return f;
+}
+
+double two_pow(int e) { return std::ldexp(1.0, e); }
+
+/// Exact layer count of an X-Y multilayer layout: xy_layer_pairs(L) hands
+/// out (h, v) pairs whose maximum member is L for even L (top pair
+/// (L-1, L)) and also L for odd L (the extra horizontal layer L is shared
+/// by the last pair), so a build with enough wires touches layer L.
+int multilayer_layers(int layers) { return layers; }
+
+/// Collinear channel height (Lemma 2.1a): floor(m^2/4) tracks, scaled by
+/// edge multiplicity (the cut density scales linearly with it).
+std::int64_t collinear_tracks(const BuildParams& p) {
+  return p.multiplicity * collinear_complete_tracks(p.n);
+}
+
 const std::vector<FnBuilder>& registry() {
   // Function-local so registration cannot be dropped by the linker and
   // needs no static-init ordering.
   static const std::vector<FnBuilder> builders = [] {
     std::vector<FnBuilder> b;
     const auto add = [&](std::string name, std::string desc, std::pair<int, int> range,
-                         unsigned used, BuildFn build, StreamFn stream) {
+                         unsigned used, BuildFn build, StreamFn stream,
+                         std::optional<BoundSpec> bounds = std::nullopt) {
       b.emplace_back(std::move(name), std::move(desc), range, used, std::move(build),
-                     std::move(stream));
+                     std::move(stream), std::move(bounds));
     };
     constexpr unsigned kUsesNone = 0;
+
+    // Shared BoundSpec pieces.  Slack factors are calibrated with
+    // `starcheck --calibrate` (the measured worst ratio over the fuzzable
+    // size range, rounded up); tightening them is a feature, loosening one
+    // means the constant factor of a construction regressed.
+    const auto two_layers = [](const BuildParams&) { return 2; };
+    const auto ml_layers = [](const BuildParams& p) { return multilayer_layers(p.layers); };
 
     add("star", "n-star graph, optimal N^2/16 hierarchical layout (Lemma 2.2)", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return star_layout_stream(p.n, s, p.base_size, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
+                  two_layers, "Lemma 2.2 / Theorem 3.7: area N^2/16 + o(N^2)"});
     add("star-compact", "n-star with four-sided attachments (Theorem 3.7 node window)",
         {2, 12}, kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout_compact(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return star_layout_compact_stream(p.n, s, p.base_size, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
+                  two_layers, "Lemma 2.2 / Theorem 3.7 (extended-grid nodes)"});
     add("pancake", "n-pancake graph via the star hierarchy machinery", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) {
@@ -109,7 +148,9 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return permutation_layout_stream(PermutationFamily::kPancake, p.n, s, p.base_size, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
+                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"});
     add("bubble-sort", "n-bubble-sort graph via the star hierarchy machinery", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) {
@@ -119,13 +160,17 @@ const std::vector<FnBuilder>& registry() {
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return permutation_layout_stream(PermutationFamily::kBubbleSort, p.n, s, p.base_size,
                                            g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
+                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"});
     add("transposition", "complete transposition graph (Section 2.4 remark)", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) { return from_star(transposition_layout(p.n, p.base_size)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return transposition_layout_stream(p.n, s, p.base_size, g);
-        });
+        },
+        // No area claim: degree Theta(n^2) puts it outside Lemma 2.2's form.
+        BoundSpec{nullptr, 0.0, 0, nullptr, two_layers, "Section 2.4 remark"});
     add("multilayer-star", "L-layer X-Y star layout, area ~N^2/(4L^2) (Lemma 2.3)", {2, 12},
         kParamBaseSize | kParamLayers,
         [](const BuildParams& p) {
@@ -134,29 +179,45 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return multilayer_star_layout_stream(p.n, p.layers, s, p.base_size, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return multilayer_star_area(fact(p.n), 2); },
+                  32.0, 5, nullptr, ml_layers,
+                  "Lemma 2.3 / Theorem 3.8: area N^2/(4L^2); the 1/L^2 factor is "
+                  "asymptotic, finite sizes are bounded by the 2-layer leading term"});
     add("hcn", "hierarchical cubic network HCN(h, h), N = 2^(2h) (Lemma 2.4)", {1, 8},
         kUsesNone, [](const BuildParams& p) { return from_hcn(hcn_layout(p.n)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hcn_layout_stream(p.n, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return hcn_area(two_pow(2 * p.n)); }, 36.0, 3,
+                  nullptr, two_layers, "Lemma 2.4 / Theorem 3.10: area N^2/16 + o(N^2)"});
     add("hfn", "hierarchical folded-hypercube network HFN(h, h) (Lemma 2.4)", {1, 8},
         kUsesNone, [](const BuildParams& p) { return from_hcn(hfn_layout(p.n)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hfn_layout_stream(p.n, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return hcn_area(two_pow(2 * p.n)); }, 56.0, 3,
+                  nullptr, two_layers, "Lemma 2.4 / Theorem 3.10: area N^2/16 + o(N^2)"});
     add("multilayer-hcn", "L-layer X-Y HCN layout (Section 2.4 remark)", {1, 8},
         kParamLayers,
         [](const BuildParams& p) { return from_hcn(multilayer_hcn_layout(p.n, p.layers)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return multilayer_hcn_layout_stream(p.n, p.layers, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return multilayer_star_area(two_pow(2 * p.n), 2); },
+                  36.0, 3, nullptr, ml_layers,
+                  "Section 2.4 remark: X-Y HCN, area N^2/(4L^2); finite sizes bounded "
+                  "by the 2-layer leading term"});
     add("multilayer-hfn", "L-layer X-Y HFN layout (Section 2.4 remark)", {1, 8},
         kParamLayers,
         [](const BuildParams& p) { return from_hcn(multilayer_hfn_layout(p.n, p.layers)); },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return multilayer_hfn_layout_stream(p.n, p.layers, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return multilayer_star_area(two_pow(2 * p.n), 2); },
+                  56.0, 3, nullptr, ml_layers,
+                  "Section 2.4 remark: X-Y HFN, area N^2/(4L^2); finite sizes bounded "
+                  "by the 2-layer leading term"});
     add("hypercube", "d-dimensional hypercube, bit-split placement", {1, 16}, kUsesNone,
         [](const BuildParams& p) {
           HypercubeLayoutResult r = hypercube_layout(p.n);
@@ -164,7 +225,9 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hypercube_layout_stream(p.n, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return hypercube_area(two_pow(p.n)); }, 12.0, 4,
+                  nullptr, two_layers, "Yeh-Varvarigos-Parhami [28]: area (4/9)N^2"});
     add("folded-hypercube", "d-dimensional folded hypercube, bit-split placement", {1, 16},
         kUsesNone,
         [](const BuildParams& p) {
@@ -173,7 +236,10 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return folded_hypercube_layout_stream(p.n, s, g);
-        });
+        },
+        // Doubled link count roughly quadruples the area of [28]'s bound.
+        BoundSpec{[](const BuildParams& p) { return 4.0 * hypercube_area(two_pow(p.n)); },
+                  8.0, 4, nullptr, two_layers, "[28] baseline, folded variant"});
     add("complete2d", "K_m on a near-square grid, area m^4/16 (Lemma 2.1)", {2, 4096},
         kParamMultiplicity,
         [](const BuildParams& p) {
@@ -182,7 +248,11 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return complete2d_layout_stream(p.n, s, p.multiplicity, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) {
+                    return p.multiplicity * p.multiplicity * complete2d_area(p.n);
+                  },
+                  12.0, 6, nullptr, two_layers, "Lemma 2.1b: area m^4/16 + o(m^4)"});
     add("complete2d-compact", "K_m with four-sided attachments (Lemma 2.1 node window)",
         {2, 4096}, kParamMultiplicity,
         [](const BuildParams& p) {
@@ -191,7 +261,11 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return complete2d_compact_layout_stream(p.n, s, p.multiplicity, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) {
+                    return p.multiplicity * p.multiplicity * complete2d_area(p.n);
+                  },
+                  12.0, 6, nullptr, two_layers, "Lemma 2.1b (extended-grid nodes)"});
     add("complete2d-directed", "directed K_m, both orientations routed, area m^4/4",
         {2, 4096}, kUsesNone,
         [](const BuildParams& p) {
@@ -200,7 +274,9 @@ const std::vector<FnBuilder>& registry() {
         },
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return complete2d_directed_layout_stream(p.n, s, g);
-        });
+        },
+        BoundSpec{[](const BuildParams& p) { return complete2d_directed_area(p.n); }, 12.0, 6,
+                  nullptr, two_layers, "Lemma 2.1b, directed variant: area m^4/4"});
     add("collinear", "collinear K_m, left-edge channel packing (Lemma 2.1)", {2, 4096},
         kParamMultiplicity,
         [](const BuildParams& p) {
@@ -211,7 +287,9 @@ const std::vector<FnBuilder>& registry() {
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return collinear_complete_layout_stream(p.n, s, TrackBackend::kLeftEdge,
                                                   p.multiplicity, g);
-        });
+        },
+        BoundSpec{nullptr, 0.0, 0, collinear_tracks, two_layers,
+                  "Lemma 2.1a / Theorem 3.5: floor(m^2/4) tracks, strictly optimal"});
     add("collinear-paper", "collinear K_m, the paper's explicit track rule (Lemma 2.1)",
         {2, 4096}, kParamMultiplicity,
         [](const BuildParams& p) {
@@ -222,7 +300,9 @@ const std::vector<FnBuilder>& registry() {
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return collinear_complete_layout_stream(p.n, s, TrackBackend::kPaperRule,
                                                   p.multiplicity, g);
-        });
+        },
+        BoundSpec{nullptr, 0.0, 0, collinear_tracks, two_layers,
+                  "Lemma 2.1a / Theorem 3.5: floor(m^2/4) tracks, strictly optimal"});
     add("baseline-naive", "n-star on one row, a private track per edge (E11 ablation)",
         {2, 10}, kUsesNone,
         [](const BuildParams& p) {
@@ -307,13 +387,16 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
 }
 
 /// The registered name closest to \p normalized (there is always one:
-/// the registry is never empty).
+/// the registry is never empty).  Ties break to the lexicographically
+/// smallest name — explicitly, not via registry iteration order — so the
+/// suggestion (and every test pinning it) is identical across standard
+/// libraries and any future registry reordering.
 std::string_view nearest_family_name(std::string_view normalized) {
   std::string_view best;
   std::size_t best_dist = 0;
   for (const FnBuilder& b : registry()) {
     const std::size_t d = edit_distance(normalized, b.name());
-    if (best.empty() || d < best_dist) {
+    if (best.empty() || d < best_dist || (d == best_dist && b.name() < best)) {
       best = b.name();
       best_dist = d;
     }

@@ -24,6 +24,8 @@
 ///    InvariantError where the stable tier would return an error.  In-tree
 ///    code whose params are correct by construction keeps using it.
 
+#include <cstdint>
+#include <functional>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -73,6 +75,39 @@ struct BuildResult {
   layout::RoutedLayout routed;
 };
 
+/// The paper-derived, machine-checkable bounds of one family.  The
+/// verification subsystem (src/check) re-derives what a finished layout's
+/// measured quantities must satisfy from the closed forms of formulas.hpp
+/// — independently of the construction that produced the layout — so a
+/// constant-factor regression (a doubled channel, a dropped bundle
+/// halving) trips a bound even though the layout stays validator-clean.
+///
+/// Finite-size semantics: the paper's area claims are leading terms with
+/// o(.) slack, so `area_leading` is checked as
+///     layout.area() <= area_slack * area_leading(params)
+/// and only once params.n >= area_min_n (below that the lower-order terms
+/// dominate and the leading term says nothing).  Slack factors are
+/// calibrated against the tree's actual constructions and recorded here so
+/// any future growth of the constant factor is caught.
+struct BoundSpec {
+  /// Leading-term layout area the paper claims (formulas.hpp closed form);
+  /// absent = no area claim for this family.
+  std::function<double(const BuildParams&)> area_leading;
+  double area_slack = 0.0;  ///< calibrated finite-size factor (see above)
+  int area_min_n = 0;       ///< smallest n at which the area bound is checked
+
+  /// Exact collinear track count (Lemma 2.1): the number of distinct
+  /// horizontal grid lines carrying wire segments.  Absent for 2-D layouts.
+  std::function<std::int64_t(const BuildParams&)> tracks_exact;
+
+  /// Exact wiring layer count (Layout::num_layers()) once the build has at
+  /// least 2x that many wires; an upper bound below that (tiny builds may
+  /// not touch every layer).  Absent = unchecked.
+  std::function<int(const BuildParams&)> layers_exact;
+
+  const char* claim = "";  ///< the lemma/theorem the bounds come from
+};
+
 /// One network family's entry point, in both execution modes.
 class LayoutBuilder {
  public:
@@ -88,6 +123,10 @@ class LayoutBuilder {
   /// implicit).  Defaults to "reads everything" so external subclasses are
   /// never rejected by validate().
   virtual unsigned params_used() const { return kParamAll; }
+
+  /// The family's paper-derived bounds, or nullptr when none are
+  /// registered.  The pointer stays valid for the builder's lifetime.
+  virtual const BoundSpec* bound_spec() const { return nullptr; }
 
   /// Materializes the full layout (geometry stored in a WireStore).
   /// Asserting tier: throws InvariantError on out-of-range params.

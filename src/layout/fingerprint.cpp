@@ -1,0 +1,108 @@
+#include "starlay/layout/fingerprint.hpp"
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::layout {
+
+namespace {
+
+/// Folds per-wire hashes [0, count) through the canonical chunk scheme:
+/// chunk digests computed independently (parallel-safe), folded serially in
+/// chunk order.  \p wire_hash must be a pure function of the index.
+template <typename HashF>
+std::uint64_t fold_chunked(std::int64_t count, const HashF& wire_hash) {
+  const std::int64_t chunks = support::num_chunks(0, count, kFingerprintGrain);
+  std::vector<std::uint64_t> partial(static_cast<std::size_t>(chunks), kFingerprintSeed);
+  support::parallel_for(0, count, kFingerprintGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::uint64_t h = kFingerprintSeed;
+    for (std::int64_t i = lo; i < hi; ++i)
+      h = fingerprint_mix(h, static_cast<std::int64_t>(wire_hash(i)));
+    partial[static_cast<std::size_t>(chunk)] = h;
+  });
+  std::uint64_t h = kFingerprintSeed;
+  h = fingerprint_mix(h, count);
+  for (std::uint64_t p : partial) h = fingerprint_mix(h, static_cast<std::int64_t>(p));
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t wire_content_hash(const Wire& w) {
+  std::uint64_t h = kFingerprintSeed;
+  h = fingerprint_mix(h, w.edge);
+  h = fingerprint_mix(h, w.h_layer);
+  h = fingerprint_mix(h, w.v_layer);
+  h = fingerprint_mix(h, w.npts);
+  for (int i = 0; i < w.npts; ++i) {
+    h = fingerprint_mix(h, w.pts[static_cast<std::size_t>(i)].x);
+    h = fingerprint_mix(h, w.pts[static_cast<std::size_t>(i)].y);
+  }
+  return h;
+}
+
+std::uint64_t wire_fingerprint(const Layout& lay) {
+  const WireStore& wires = lay.wires();
+  return fold_chunked(wires.size(), [&](std::int64_t i) {
+    // Hash through the SoA view directly — identical bytes to hashing the
+    // extracted Wire, without the copy.
+    const WireRef w = wires[i];
+    std::uint64_t h = kFingerprintSeed;
+    h = fingerprint_mix(h, w.edge());
+    h = fingerprint_mix(h, w.h_layer());
+    h = fingerprint_mix(h, w.v_layer());
+    h = fingerprint_mix(h, w.npts());
+    for (int p = 0; p < w.npts(); ++p) {
+      h = fingerprint_mix(h, w.pt(p).x);
+      h = fingerprint_mix(h, w.pt(p).y);
+    }
+    return h;
+  });
+}
+
+void FingerprintingSink::begin(const topology::Graph& g, std::vector<Rect>&& nodes) {
+  (void)g;
+  nodes_ = std::move(nodes);
+  buffered_.clear();
+  fingerprint_ = kFingerprintSeed;
+  num_wires_ = 0;
+  bulk_done_ = false;
+}
+
+void FingerprintingSink::emit(const Wire& w) {
+  STARLAY_REQUIRE(!bulk_done_, "fingerprint: emit() after emit_bulk()");
+  buffered_.push_back(wire_content_hash(w));
+}
+
+void FingerprintingSink::emit_bulk(std::int64_t count, std::int64_t grain,
+                                   const WireFill& fill) {
+  STARLAY_REQUIRE(!bulk_done_ && buffered_.empty(),
+                  "fingerprint: emit_bulk() mixed with emit() or called twice");
+  // The caller's grain controls its own emission batching; the canonical
+  // digest always folds with kFingerprintGrain so every execution mode
+  // (and thread count) produces the same value.  fill is pure by the
+  // WireSink contract, so replaying it here at a different grain is fine.
+  (void)grain;
+  fingerprint_ = fold_chunked(count, [&](std::int64_t i) {
+    Wire w;
+    fill(i, w);
+    return wire_content_hash(w);
+  });
+  num_wires_ = count;
+  bulk_done_ = true;
+}
+
+void FingerprintingSink::end() {
+  if (bulk_done_) return;
+  const auto n = static_cast<std::int64_t>(buffered_.size());
+  fingerprint_ = fold_chunked(n, [&](std::int64_t i) {
+    return buffered_[static_cast<std::size_t>(i)];
+  });
+  num_wires_ = n;
+  buffered_.clear();
+  buffered_.shrink_to_fit();
+  bulk_done_ = true;
+}
+
+}  // namespace starlay::layout

@@ -1,0 +1,79 @@
+#pragma once
+/// \file fingerprint.hpp
+/// \brief Canonical wire fingerprints: the bit-equality currency of the
+///        verification subsystem (src/check) and the golden tests.
+///
+/// Every differential claim in the tree — "streaming reproduces the
+/// materialized geometry", "the result is identical at 1/2/4/8 threads",
+/// "telemetry does not perturb the build" — reduces to comparing two wire
+/// sequences for bit-equality.  This header defines ONE canonical hash so
+/// the claims are comparable across execution modes:
+///
+///  * wire_content_hash(w) — FNV-1a over a wire's edge id, layer pair,
+///    point count, and points.  Pure per-wire; no ordering involved.
+///  * wire_fingerprint(layout) / FingerprintingSink — fold the per-wire
+///    hashes in wire-index order, chunked by kFingerprintGrain exactly like
+///    support::parallel_for, with each chunk folded serially and the chunk
+///    digests folded serially in chunk order.  Chunk geometry is a pure
+///    function of the wire count, so the digest is identical for every
+///    thread count, and the materialized and streaming computations agree
+///    by construction.
+///
+/// FingerprintingSink is the streaming side of the hook: it consumes a
+/// builder's build_stream() emission without materializing anything (O(1)
+/// memory on the emit_bulk path) and yields the same digest
+/// wire_fingerprint() computes over the equivalent materialized Layout.
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/wire_sink.hpp"
+
+namespace starlay::layout {
+
+/// Chunk size of the canonical fold (also the parallel grain).
+inline constexpr std::int64_t kFingerprintGrain = 8192;
+
+/// FNV-1a fold of one 64-bit value into a running hash.
+inline std::uint64_t fingerprint_mix(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v);
+  h *= 1099511628211ull;
+  return h;
+}
+
+inline constexpr std::uint64_t kFingerprintSeed = 14695981039346656037ull;
+
+/// Content hash of one wire: edge, layers, point count, points.
+std::uint64_t wire_content_hash(const Wire& w);
+
+/// Canonical digest of a materialized layout's wire sequence (wires only —
+/// node rectangles and derived measures are compared separately).
+std::uint64_t wire_fingerprint(const Layout& lay);
+
+/// WireSink computing the canonical digest of an emission stream without
+/// storing geometry.  Usable with any builder's build_stream(); after
+/// end(), fingerprint() equals wire_fingerprint() of the Layout the same
+/// emission would have materialized.
+class FingerprintingSink final : public WireSink {
+ public:
+  void begin(const topology::Graph& g, std::vector<Rect>&& nodes) override;
+  void emit(const Wire& w) override;
+  void emit_bulk(std::int64_t count, std::int64_t grain, const WireFill& fill) override;
+  void end() override;
+
+  /// Canonical wire digest; valid after end().
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  std::int64_t num_wires() const { return num_wires_; }
+  /// Node rectangles captured at begin() (builders emit them up front).
+  const std::vector<Rect>& node_rects() const { return nodes_; }
+
+ private:
+  std::vector<std::uint64_t> buffered_;  ///< emit() path; folded at end()
+  std::vector<Rect> nodes_;
+  std::uint64_t fingerprint_ = kFingerprintSeed;
+  std::int64_t num_wires_ = 0;
+  bool bulk_done_ = false;
+};
+
+}  // namespace starlay::layout

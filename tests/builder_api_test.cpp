@@ -11,6 +11,7 @@
 #include "starlay/core/build_status.hpp"
 #include "starlay/core/builder.hpp"
 #include "starlay/core/params_cli.hpp"
+#include "starlay/layout/fingerprint.hpp"
 #include "starlay/layout/wire_sink.hpp"
 #include "starlay/support/check.hpp"
 
@@ -100,6 +101,18 @@ TEST(BuilderApi, UnknownFamilySuggestsNearestName) {
   }
 }
 
+// A suggestion tie is broken by name order, not registration order: "hn"
+// is edit distance 1 from both "hcn" and "hfn", and must always suggest
+// the lexicographically smaller one.
+TEST(BuilderApi, SuggestionTieBreaksByName) {
+  for (int i = 0; i < 3; ++i) {
+    auto found = core::try_find_builder("hn");
+    ASSERT_FALSE(found.ok());
+    EXPECT_EQ(found.error().code, BuildErrorCode::kUnknownFamily);
+    EXPECT_EQ(found.error().suggestion, "hcn");
+  }
+}
+
 // --- param-field validation -----------------------------------------------
 
 TEST(BuilderApi, ValidateRejectsUnreadFields) {
@@ -133,6 +146,62 @@ TEST(BuilderApi, ValidateRejectsUnreadFields) {
   EXPECT_EQ(star_st.error().code, BuildErrorCode::kUnknownParam);
   EXPECT_EQ(star_st.error().message,
             "--multiplicity (multiplicity) does not apply to family 'star'");
+}
+
+// Exhaustive mask audit: every field a family *advertises* via
+// params_used() must actually steer the construction (changing it changes
+// the emitted geometry), and every field it does not advertise must be
+// rejected by the stable tier when set.  An over-advertised mask silently
+// accepts a flag that does nothing; an under-advertised one rejects a flag
+// the family reads — both are caught here, family by family, field by
+// field.
+TEST(BuilderApi, EveryAdvertisedParamFieldIsRead) {
+  struct Field {
+    unsigned bit;
+    const char* name;
+    void (*set)(core::BuildParams&);
+  };
+  static constexpr Field kFields[] = {
+      {core::kParamBaseSize, "base_size", [](core::BuildParams& p) { p.base_size = 2; }},
+      {core::kParamLayers, "layers", [](core::BuildParams& p) { p.layers = 4; }},
+      {core::kParamMultiplicity, "multiplicity",
+       [](core::BuildParams& p) { p.multiplicity = 2; }},
+  };
+  for (const core::LayoutBuilder* b : core::all_builders()) {
+    const std::string name(b->name());
+    core::BuildParams base;
+    // Sizes where every varied field has room to matter (base_size is
+    // clamped to n, so n must exceed the probe value).
+    if (name == "hcn" || name == "hfn" || name.rfind("multilayer-h", 0) == 0)
+      base.n = 2;
+    else if (name == "hypercube" || name == "folded-hypercube")
+      base.n = 4;
+    else if (name.rfind("complete2d", 0) == 0 || name.rfind("collinear", 0) == 0)
+      base.n = 6;
+    else
+      base.n = 5;
+    const auto digest = [&](const core::BuildParams& p) {
+      layout::FingerprintingSink sink;
+      auto out = b->try_build_stream(p, sink);
+      EXPECT_TRUE(out.ok()) << name << ": " << (out.ok() ? "" : out.error().message);
+      return sink.fingerprint();
+    };
+    const std::uint64_t base_digest = digest(base);
+    for (const Field& f : kFields) {
+      core::BuildParams varied = base;
+      f.set(varied);
+      if (b->params_used() & f.bit) {
+        EXPECT_TRUE(varied.validate(*b).ok()) << name << " rejects " << f.name;
+        EXPECT_NE(digest(varied), base_digest)
+            << name << " advertises " << f.name << " but ignores it";
+      } else {
+        layout::FingerprintingSink sink;
+        auto out = b->try_build_stream(varied, sink);
+        ASSERT_FALSE(out.ok()) << name << " accepts unadvertised " << f.name;
+        EXPECT_EQ(out.error().code, BuildErrorCode::kUnknownParam) << name << " " << f.name;
+      }
+    }
+  }
 }
 
 TEST(BuilderApi, NondefaultFieldsBits) {

@@ -1,0 +1,230 @@
+// Harness tests for the verification subsystem (src/check): the oracle
+// must accept every clean build and reject deliberately corrupted ones,
+// the metamorphic battery must hold for every registered family, and the
+// fuzz driver must be deterministic, budget-bounded, and able to replay a
+// corpus with comments and malformed lines.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starlay/check/fuzz.hpp"
+#include "starlay/check/metamorphic.hpp"
+#include "starlay/check/oracle.hpp"
+#include "starlay/core/builder.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::check {
+namespace {
+
+/// Small valid params per family (mirrors stream_pipeline_test's helper).
+core::BuildParams small_params(const core::LayoutBuilder& b) {
+  core::BuildParams p;
+  const std::string name(b.name());
+  if (name == "hcn" || name == "hfn" || name == "multilayer-hcn" || name == "multilayer-hfn")
+    p.n = 2;
+  else if (name == "hypercube" || name == "folded-hypercube")
+    p.n = 5;
+  else if (name.rfind("complete2d", 0) == 0 || name.rfind("collinear", 0) == 0)
+    p.n = 7;
+  else
+    p.n = 4;
+  if (name.rfind("multilayer-", 0) == 0) p.layers = 3;
+  if (name == "collinear" || name == "complete2d") p.multiplicity = 2;
+  return p;
+}
+
+core::BuildResult must_build(const std::string& family, const core::BuildParams& p) {
+  const core::LayoutBuilder* b = core::find_builder(family);
+  EXPECT_NE(b, nullptr) << family;
+  auto out = b->try_build(p);
+  EXPECT_TRUE(out.ok()) << family;
+  return std::move(out.value());
+}
+
+TEST(FuzzCase, LineRoundTrip) {
+  FuzzCase c;
+  c.family = "multilayer-star";
+  c.params.n = 5;
+  c.params.base_size = 2;
+  c.params.layers = 4;
+  c.params.multiplicity = 1;
+  c.threads = 2;
+  EXPECT_EQ(c.line(), "family=multilayer-star n=5 base=2 layers=4 mult=1 threads=2");
+  FuzzCase back;
+  std::string err;
+  ASSERT_TRUE(FuzzCase::parse(c.line(), &back, &err)) << err;
+  EXPECT_EQ(back.line(), c.line());
+}
+
+TEST(FuzzCase, ParseDefaultsAndErrors) {
+  FuzzCase c;
+  std::string err;
+  ASSERT_TRUE(FuzzCase::parse("family=star n=4", &c, &err)) << err;
+  EXPECT_EQ(c.family, "star");
+  EXPECT_EQ(c.params.n, 4);
+  EXPECT_EQ(c.params.base_size, core::BuildParams{}.base_size);
+  EXPECT_EQ(c.threads, 1);
+
+  EXPECT_FALSE(FuzzCase::parse("n=4", &c, &err));          // no family
+  EXPECT_FALSE(FuzzCase::parse("family=star", &c, &err));  // no n
+  EXPECT_FALSE(FuzzCase::parse("family=star n=x", &c, &err));
+  EXPECT_FALSE(FuzzCase::parse("family=star n=4 bogus=1", &c, &err));
+  EXPECT_FALSE(FuzzCase::parse("family=star n=4 naked-token", &c, &err));
+}
+
+TEST(Splitmix, DeterministicStream) {
+  std::uint64_t a = 42, b = 42, c = 43;
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(splitmix64(a), splitmix64(b));
+  std::uint64_t d = 42;
+  EXPECT_NE(splitmix64(c), splitmix64(d));
+}
+
+TEST(Oracle, CleanOnEveryFamily) {
+  for (const core::LayoutBuilder* b : core::all_builders()) {
+    const core::BuildParams p = small_params(*b);
+    auto built = b->try_build(p);
+    ASSERT_TRUE(built.ok()) << b->name();
+    const OracleReport rep = run_oracle(*b, p, built.value());
+    EXPECT_TRUE(rep.ok) << b->name() << ": "
+                        << (rep.violations.empty() ? "?" : rep.violations.front());
+    EXPECT_TRUE(rep.overlap_pass_ran) << b->name();
+    EXPECT_TRUE(rep.node_pass_ran) << b->name();
+  }
+}
+
+TEST(Oracle, BoundsCheckedWhenSpecRegistered) {
+  const core::LayoutBuilder* star = core::find_builder("star");
+  ASSERT_NE(star, nullptr);
+  ASSERT_NE(star->bound_spec(), nullptr);
+  core::BuildParams p;
+  p.n = 5;  // >= area_min_n, so the area bound is live
+  auto built = star->try_build(p);
+  ASSERT_TRUE(built.ok());
+  const OracleReport rep = run_oracle(*star, p, built.value());
+  EXPECT_TRUE(rep.ok);
+  EXPECT_TRUE(rep.bounds_checked);
+  const MeasuredBounds m = measure_bounds(*star, p, built.value());
+  EXPECT_GT(m.area_leading, 0.0);
+  EXPECT_EQ(m.num_layers, 2);
+  EXPECT_LE(static_cast<double>(m.area), star->bound_spec()->area_slack * m.area_leading);
+}
+
+TEST(Oracle, CatchesDuplicatedWirePath) {
+  core::BuildParams p;
+  p.n = 4;
+  core::BuildResult built = must_build("star", p);
+  // Give wire 1 the exact geometry of wire 0 (keeping its own edge id):
+  // identical same-layer spans must trip the brute-force overlap pass.
+  layout::Wire clone = built.routed.layout.wire(0);
+  clone.edge = built.routed.layout.wire(1).edge;
+  built.routed.layout.replace_wire(1, clone);
+  const OracleReport rep =
+      run_oracle(*core::find_builder("star"), p, built);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GT(rep.num_violations_total, 0);
+}
+
+TEST(Oracle, CatchesShiftedEndpoint) {
+  core::BuildParams p;
+  p.n = 4;
+  core::BuildResult built = must_build("star", p);
+  // Shift one whole wire a row up: endpoints leave their node boundaries.
+  layout::Wire w = built.routed.layout.wire(0);
+  for (int i = 0; i < w.npts; ++i) w.pts[static_cast<std::size_t>(i)].y += 1000;
+  built.routed.layout.replace_wire(0, w);
+  const OracleReport rep = run_oracle(*core::find_builder("star"), p, built);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Oracle, CatchesOverlappingNodeRects) {
+  core::BuildParams p;
+  p.n = 4;
+  core::BuildResult built = must_build("star", p);
+  built.routed.layout.set_node_rect(1, built.routed.layout.node_rect(0));
+  const OracleReport rep = run_oracle(*core::find_builder("star"), p, built);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_TRUE(rep.node_pass_ran);
+}
+
+TEST(Metamorphic, HoldsForEveryFamily) {
+  for (const core::LayoutBuilder* b : core::all_builders()) {
+    const core::BuildParams p = small_params(*b);
+    MetamorphicOptions opt;
+    opt.thread_counts = {1, 2};  // keep the battery fast; starcheck sweeps wider
+    const MetamorphicReport rep = run_metamorphic(*b, p, opt);
+    EXPECT_TRUE(rep.ok) << b->name() << ": "
+                        << (rep.violations.empty() ? "?" : rep.violations.front());
+    EXPECT_GE(rep.num_relations_checked, 5);
+  }
+}
+
+TEST(Metamorphic, FingerprintSeesMutations) {
+  core::BuildParams p;
+  p.n = 4;
+  core::BuildResult built = must_build("star", p);
+  const std::uint64_t before = layout::wire_fingerprint(built.routed.layout);
+  layout::Wire w = built.routed.layout.wire(0);
+  w.pts[0].x += 1;
+  built.routed.layout.replace_wire(0, w);
+  EXPECT_NE(layout::wire_fingerprint(built.routed.layout), before);
+}
+
+TEST(CheckCase, PassesAndRestoresPoolSize) {
+  const int before = support::ThreadPool::instance().num_threads();
+  FuzzCase c;
+  std::string err;
+  ASSERT_TRUE(FuzzCase::parse("family=star n=4 threads=2", &c, &err)) << err;
+  EXPECT_TRUE(check_case(c).empty());
+  EXPECT_EQ(support::ThreadPool::instance().num_threads(), before);
+}
+
+TEST(CheckCase, ReportsUnknownFamily) {
+  FuzzCase c;
+  c.family = "no-such-family";
+  c.params.n = 4;
+  const std::vector<std::string> v = check_case(c);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.front().find("lookup:"), std::string::npos);
+}
+
+TEST(Replay, SkipsCommentsRejectsGarbage) {
+  FuzzOptions opt;
+  const FuzzReport rep = run_replay(
+      {"# a comment", "", "family=star n=4 threads=1", "family=star n=notanumber"}, opt);
+  EXPECT_EQ(rep.cases_run, 2);
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  EXPECT_NE(rep.failures[0].violations.front().find("parse:"), std::string::npos);
+}
+
+TEST(Fuzz, DeterministicUnderSeedAndCaseCap) {
+  FuzzOptions opt;
+  opt.seed = 7;
+  opt.max_cases = 4;
+  opt.budget_seconds = 600.0;  // the case cap is the binding stop condition
+  const FuzzReport a = run_fuzz(opt);
+  const FuzzReport b = run_fuzz(opt);
+  EXPECT_EQ(a.cases_run, 4);
+  EXPECT_EQ(b.cases_run, 4);
+  EXPECT_TRUE(a.ok) << (a.failures.empty() ? "?" : a.failures[0].shrunk.line());
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(a.builds_run, b.builds_run);
+}
+
+TEST(Fuzz, UnknownRequestedFamilyIsAFailure) {
+  FuzzOptions opt;
+  opt.families = {"starr"};
+  opt.max_cases = 1;
+  const FuzzReport rep = run_fuzz(opt);
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(rep.failures.size(), 1u);
+  // The lookup error carries the nearest-name suggestion.
+  EXPECT_NE(rep.failures[0].violations.front().find("star"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace starlay::check

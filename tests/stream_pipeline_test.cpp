@@ -177,6 +177,97 @@ TEST(StreamPipeline, TinyBatchBudgetIsEquivalent) {
   EXPECT_EQ(tiny.report().bounding_box, def.report().bounding_box);
 }
 
+// Band boundaries: a wire whose records straddle two bands (its two
+// endpoint probes land in different bands, with an empty band in between)
+// must certify exactly like the materialized validator — the adjacent-pair
+// scans only group records by (layer, line), never across bands.
+TEST(StreamPipeline, WireSpanningTwoBandsCertifiesLikeValidator) {
+  topology::Graph g(2);
+  g.add_edge(0, 1, 0);
+  g.finalize();
+
+  Layout lay(2);
+  // band_shift = 2 => bands of 4 grid lines.  Node 0 sits in y-band 0,
+  // node 1 in y-band 2; the wire runs up column x=0 and bends onto row
+  // y=8, so its vertical record lands in x-band 0, its horizontal record
+  // in y-band 2, and y-band 1 (lines 4..7) holds no records at all — an
+  // empty interior band the packer must skip cleanly.
+  lay.set_node_rect(0, {0, 0, 1, 1});
+  lay.set_node_rect(1, {4, 8, 5, 9});
+  Wire w;
+  w.edge = 0;
+  w.push({0, 1});
+  w.push({0, 8});
+  w.push({4, 8});
+  lay.add_wire(w);
+
+  const ValidationReport vrep = validate_layout(g, lay);
+  EXPECT_TRUE(vrep.ok) << (vrep.errors.empty() ? "?" : vrep.errors.front());
+
+  StreamOptions opt;
+  opt.band_shift = 2;
+  opt.batch_budget_bytes = 1;  // one band per batch: the wire spans batches
+  StreamingCertifier sink(opt);
+  sink.begin(g, std::vector<Rect>(lay.node_rects()));
+  sink.emit(lay.wire(0));
+  sink.end();
+  EXPECT_EQ(sink.report().validation.ok, vrep.ok);
+  EXPECT_EQ(sink.report().validation.num_errors_total, vrep.num_errors_total);
+  EXPECT_EQ(sink.report().bounding_box, lay.bounding_box());
+  EXPECT_EQ(sink.report().area, lay.area());
+  EXPECT_GT(sink.report().num_batches, 1);
+
+  // The same geometry with a cross-band violation: a second wire reusing
+  // the same vertical line overlaps in band 0 and band 2 alike; certifier
+  // and validator must agree on the error count too.
+  topology::Graph g2(2);
+  g2.add_edge(0, 1, 0);
+  g2.add_edge(0, 1, 1);
+  g2.finalize();
+  Layout bad(2);
+  bad.set_node_rect(0, {0, 0, 1, 1});
+  bad.set_node_rect(1, {0, 9, 1, 10});
+  for (std::int64_t e = 0; e < 2; ++e) {
+    Wire dup;
+    dup.edge = e;
+    dup.push({0, 1});
+    dup.push({0, 9});
+    bad.add_wire(dup);
+  }
+  const ValidationReport bad_vrep = validate_layout(g2, bad);
+  ASSERT_FALSE(bad_vrep.ok);
+  StreamingCertifier bad_sink(opt);
+  bad_sink.begin(g2, std::vector<Rect>(bad.node_rects()));
+  for (std::int64_t i = 0; i < bad.num_wires(); ++i) bad_sink.emit(bad.wire(i));
+  bad_sink.end();
+  EXPECT_FALSE(bad_sink.report().validation.ok);
+  EXPECT_EQ(bad_sink.report().validation.num_errors_total, bad_vrep.num_errors_total);
+}
+
+// An emission whose last spatial band holds nothing (geometry ends well
+// below the top of the band range after batching) must not produce phantom
+// batches or skew the measured quantities.
+TEST(StreamPipeline, EmptyTrailingBandIsHarmless) {
+  StreamOptions coarse;
+  coarse.band_shift = 14;  // one huge band: everything lands in batch 1
+  StreamingCertifier one(coarse);
+  core::star_layout_stream(4, one);
+
+  StreamOptions fine;
+  fine.band_shift = 0;  // one grid line per band: many bands, some empty
+  fine.batch_budget_bytes = 1 << 10;
+  StreamingCertifier many(fine);
+  core::star_layout_stream(4, many);
+
+  EXPECT_TRUE(one.report().validation.ok);
+  EXPECT_TRUE(many.report().validation.ok);
+  EXPECT_EQ(one.report().area, many.report().area);
+  EXPECT_EQ(one.report().bounding_box, many.report().bounding_box);
+  EXPECT_EQ(one.report().total_wire_length, many.report().total_wire_length);
+  EXPECT_EQ(one.report().num_wires, many.report().num_wires);
+  EXPECT_GT(many.report().num_batches, one.report().num_batches);
+}
+
 // Error layouts: the certifier must reject exactly what the validator
 // rejects, with the same total count.  Feed hand-built wires through the
 // serial emit() path (buffered, certified at end()).

@@ -242,5 +242,37 @@ TEST(Layout, BoundingBoxCacheInvalidates) {
   EXPECT_EQ(lay.width(), 21);
 }
 
+// Regression: installing a rebuilt WireStore wholesale (the bulk-build
+// path route_grid uses) must invalidate the cached bounding box like every
+// per-wire mutator does — a stale cache here would poison every downstream
+// area/bisection measurement while the layout itself stays valid.
+TEST(Layout, BoundingBoxCacheInvalidatesOnWireStoreRebuild) {
+  Layout lay(1);
+  lay.set_node_rect(0, {0, 0, 2, 2});
+  Wire w;
+  w.push({2, 1});
+  w.push({10, 1});
+  lay.add_wire(w);
+  EXPECT_EQ(lay.width(), 11);  // cache the wide box
+
+  WireStore rebuilt;
+  Wire shrunk;
+  shrunk.push({2, 1});
+  shrunk.push({4, 1});
+  rebuilt.push_back(shrunk);
+  lay.set_wires(std::move(rebuilt));
+  EXPECT_EQ(lay.width(), 5);  // shrinks: the stale 11 must not survive
+  EXPECT_EQ(lay.bounding_box(), (Rect{0, 0, 4, 2}));
+
+  // And a rebuild that grows the box, after the shrunk one was cached.
+  WireStore grown;
+  Wire wide;
+  wide.push({2, 1});
+  wide.push({30, 1});
+  grown.push_back(wide);
+  lay.set_wires(std::move(grown));
+  EXPECT_EQ(lay.width(), 31);
+}
+
 }  // namespace
 }  // namespace starlay::layout

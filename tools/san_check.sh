@@ -11,6 +11,8 @@
 # pool workers; STARLAY_TELEMETRY is forced ON in these trees); ASan
 # additionally covers the streaming pipeline, whose sink replay / adjacency
 # release paths are the most pointer-lifetime-sensitive code in the tree.
+# Both sweeps replay the starcheck corpus so every pinned family shape runs
+# its oracle + metamorphic battery under the sanitizer.
 # A toolchain without a given sanitizer runtime skips it with a notice and
 # does not fail the sweep.
 set -euo pipefail
@@ -22,7 +24,7 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
 fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
-         telemetry_test builder_api_test)
+         telemetry_test builder_api_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -46,6 +48,10 @@ for SAN in "${SANITIZERS[@]}"; do
   "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
   "$BUILD"/tests/telemetry_test
   "$BUILD"/tests/builder_api_test
+  # Corpus replay: every pinned shape runs the full oracle + metamorphic
+  # battery (thread sweep included), which exercises the builders, the
+  # streaming certifier, and the pool under the sanitizer in one pass.
+  "$BUILD"/cli/starcheck --replay tests/starcheck_corpus.txt
   if [ "$SAN" = address ]; then
     "$BUILD"/tests/stream_pipeline_test
   fi
