@@ -1,0 +1,222 @@
+/// \file bench_certify_kernels.cpp
+/// \brief Certification-kernel throughput: scalar vs SSE4 vs AVX2 (E18).
+///
+/// The SIMD layer's claim is per-sweep, not end-to-end: each kernel in the
+/// dispatch table should process segments faster at every vector width, and
+/// the win must survive small buckets (the SegmentIndex's per-(layer, line)
+/// buckets are usually tens of segments, not thousands).  The table sweeps
+/// bucket sizes 8..4096 over a fixed ~4M-segment workload and reports
+/// segments/s per kernel per compiled level, so a regression in any one
+/// variant is attributed to that variant.  Levels the CPU cannot run are
+/// skipped (the table prints what was measured; the JSON only contains
+/// measured rows).
+///
+/// Emits BENCH_certify_kernels.json; the peak-RSS footer comes from
+/// STARLAY_BENCH_MAIN like every other bench.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
+
+namespace {
+
+namespace kr = starlay::layout::kernels;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::int64_t kTotalSegs = 1 << 22;  // ~4M records per measurement
+constexpr int kReps = 3;                      // best-of, sheds scheduler noise
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::uint64_t next_u64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One synthetic workload shared by every (kernel, level) measurement so
+/// the comparison is like for like: canonical-order buckets with ~1%
+/// adjacent conflicts, the mix the validator sees on a clean layout.
+struct Workload {
+  std::vector<std::int32_t> line, lo, hi;     // seg-conflict inputs
+  std::vector<std::int32_t> x, y, zlo, zhi;   // via-conflict inputs
+  std::vector<std::uint32_t> wire;
+  std::vector<std::int32_t> packed;           // deinterleave4 input (AoS)
+  std::vector<std::uint64_t> hashes;          // fold_hashes4 input
+
+  explicit Workload(std::int64_t bucket) {
+    line.resize(kTotalSegs);
+    lo.resize(kTotalSegs);
+    hi.resize(kTotalSegs);
+    x.resize(kTotalSegs);
+    y.resize(kTotalSegs);
+    zlo.resize(kTotalSegs);
+    zhi.resize(kTotalSegs);
+    wire.resize(kTotalSegs);
+    packed.resize(4 * kTotalSegs);
+    hashes.resize(kTotalSegs);
+    std::uint64_t state = 0xbe7c + static_cast<std::uint64_t>(bucket);
+    for (std::int64_t i = 0; i < kTotalSegs; ++i) {
+      const std::int64_t in_bucket = i % bucket;
+      line[i] = static_cast<std::int32_t>(in_bucket / 8);  // runs of 8 per line
+      // lo ascends within a line run; ~1% of spans reach into the next one.
+      lo[i] = static_cast<std::int32_t>(in_bucket * 16);
+      hi[i] = lo[i] + 8 + static_cast<std::int32_t>(next_u64(state) % 100 == 0 ? 12 : 0);
+      x[i] = static_cast<std::int32_t>(in_bucket / 4);
+      y[i] = 0;
+      zlo[i] = static_cast<std::int32_t>(in_bucket % 4) * 4;
+      zhi[i] = zlo[i] + (next_u64(state) % 100 == 0 ? 6 : 2);
+      wire[i] = static_cast<std::uint32_t>(next_u64(state) % 1024);
+      packed[4 * i + 0] = line[i];
+      packed[4 * i + 1] = lo[i];
+      packed[4 * i + 2] = hi[i];
+      packed[4 * i + 3] = static_cast<std::int32_t>(wire[i]);
+      hashes[i] = next_u64(state);
+    }
+  }
+};
+
+/// Best-of-kReps wall time of fn(), in ms.
+template <typename Fn>
+double best_ms(const Fn& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = Clock::now();
+    fn();
+    const double ms = ms_since(t0);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+void print_table() {
+  starlay::benchutil::header(
+      "certify-kernels: per-kernel segments/s, scalar vs SSE4 vs AVX2",
+      "none (infrastructure; DESIGN 3.12, EXPERIMENTS E18 — validate as fast as construct)");
+
+  std::vector<kr::SimdLevel> levels;
+  for (kr::SimdLevel level :
+       {kr::SimdLevel::kScalar, kr::SimdLevel::kSSE4, kr::SimdLevel::kAVX2})
+    if (kr::level_supported(level)) levels.push_back(level);
+
+  std::printf("workload: %lld segments per measurement, best of %d\n",
+              static_cast<long long>(kTotalSegs), kReps);
+  std::printf("%-14s %7s", "kernel", "bucket");
+  for (kr::SimdLevel level : levels) std::printf(" %14s", kr::level_name(level));
+  std::printf("   (Mseg/s)\n");
+
+  starlay::benchutil::JsonReport json("BENCH_certify_kernels.json");
+  volatile std::int64_t sink = 0;  // keep the counting loops observable
+
+  for (const std::int64_t bucket : {8, 32, 128, 512, 2048, 4096}) {
+    const Workload w(bucket);
+    const std::int64_t nbuckets = kTotalSegs / bucket;
+
+    struct KernelRun {
+      const char* name;
+      double (*run)(const kr::KernelTable&, const Workload&, std::int64_t, std::int64_t,
+                    volatile std::int64_t&);
+    };
+    static constexpr KernelRun kRuns[] = {
+        {"seg-overlap",
+         [](const kr::KernelTable& K, const Workload& wl, std::int64_t bsz,
+            std::int64_t nb, volatile std::int64_t& out) {
+           return best_ms([&] {
+             std::int64_t total = 0;
+             for (std::int64_t b = 0; b < nb; ++b)
+               total += K.count_seg_conflicts(wl.line.data() + b * bsz,
+                                              wl.lo.data() + b * bsz,
+                                              wl.hi.data() + b * bsz, bsz);
+             out = total;
+           });
+         }},
+        {"via-conflict",
+         [](const kr::KernelTable& K, const Workload& wl, std::int64_t bsz,
+            std::int64_t nb, volatile std::int64_t& out) {
+           return best_ms([&] {
+             std::int64_t total = 0;
+             for (std::int64_t b = 0; b < nb; ++b)
+               total += K.count_via_conflicts(
+                   wl.x.data() + b * bsz, wl.y.data() + b * bsz,
+                   wl.zlo.data() + b * bsz, wl.zhi.data() + b * bsz,
+                   wl.wire.data() + b * bsz, bsz);
+             out = total;
+           });
+         }},
+        {"deinterleave4",
+         [](const kr::KernelTable& K, const Workload& wl, std::int64_t bsz,
+            std::int64_t nb, volatile std::int64_t& out) {
+           static std::vector<std::int32_t> a, b2, c, d;
+           a.resize(kTotalSegs);
+           b2.resize(kTotalSegs);
+           c.resize(kTotalSegs);
+           d.resize(kTotalSegs);
+           return best_ms([&] {
+             for (std::int64_t b = 0; b < nb; ++b)
+               K.deinterleave4(wl.packed.data() + 4 * b * bsz, bsz, a.data() + b * bsz,
+                               b2.data() + b * bsz, c.data() + b * bsz,
+                               d.data() + b * bsz);
+             out = a[0] + d[kTotalSegs - 1];
+           });
+         }},
+        {"fold-hashes4",
+         [](const kr::KernelTable& K, const Workload& wl, std::int64_t bsz,
+            std::int64_t nb, volatile std::int64_t& out) {
+           return best_ms([&] {
+             std::uint64_t lanes[4] = {1, 2, 3, 4};
+             for (std::int64_t b = 0; b < nb; ++b)
+               K.fold_hashes4(wl.hashes.data() + b * bsz, bsz, lanes);
+             out = static_cast<std::int64_t>(lanes[0] ^ lanes[1] ^ lanes[2] ^ lanes[3]);
+           });
+         }},
+    };
+
+    for (const KernelRun& run : kRuns) {
+      std::printf("%-14s %7lld", run.name, static_cast<long long>(bucket));
+      for (kr::SimdLevel level : levels) {
+        const double ms = run.run(kr::table(level), w, bucket, nbuckets, sink);
+        const double mseg_s = static_cast<double>(kTotalSegs) / 1e6 / (ms / 1e3);
+        std::printf(" %14.1f", mseg_s);
+        json.add_row()
+            .str("kernel", run.name)
+            .integer("bucket", static_cast<long long>(bucket))
+            .str("simd", kr::level_name(level))
+            .num("ms", ms)
+            .num("segments_per_s", mseg_s * 1e6);
+      }
+      std::printf("\n");
+    }
+  }
+  json.add_row().str("kernel", "footer").num("peak_rss_mb", starlay::benchutil::peak_rss_mb());
+  json.write();
+}
+
+void BM_SegConflicts(benchmark::State& state) {
+  const Workload w(state.range(0));
+  const std::int64_t bucket = state.range(0);
+  const kr::KernelTable& K = kr::active();
+  for (auto _ : state) {
+    std::int64_t total = 0;
+    for (std::int64_t b = 0; b + 1 <= kTotalSegs / bucket; ++b)
+      total += K.count_seg_conflicts(w.line.data() + b * bucket, w.lo.data() + b * bucket,
+                                     w.hi.data() + b * bucket, bucket);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * kTotalSegs);
+}
+BENCHMARK(BM_SegConflicts)->Arg(64)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table, "bench_certify_kernels")

@@ -29,12 +29,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "starlay/core/builder.hpp"
 #include "starlay/core/params_cli.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/render/render.hpp"
@@ -55,6 +57,7 @@ struct Args {
   std::string mode = "materialize";
   std::string svg_path;
   std::string trace_path;
+  std::string simd;  ///< requested kernel level ("" = auto-detect)
   bool list = false;
   bool have_window = false;
   starlay::layout::Rect window;
@@ -71,6 +74,10 @@ struct Args {
                "  --multiplicity INT          parallel links per pair (default 1)\n"
                "  --trace PATH                record a telemetry trace; print the per-phase\n"
                "                              table and write the JSON span tree to PATH\n"
+               "  --simd scalar|sse4|avx2     force the certification kernel level (clamps\n"
+               "                              down to what the CPU/build supports; the\n"
+               "                              effective level is echoed in the output and,\n"
+               "                              with --trace, as a trace counter)\n"
                "  --window X0,Y0,X1,Y1        retained/rendered grid window\n"
                "  --svg PATH                  write an SVG rendering (needs --window in stream mode)\n");
   std::exit(code);
@@ -109,7 +116,7 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--list") {
       a.list = true;
     } else if (value_of("--mode", &a.mode) || value_of("--svg", &a.svg_path) ||
-               value_of("--trace", &a.trace_path)) {
+               value_of("--trace", &a.trace_path) || value_of("--simd", &a.simd)) {
       // stored by value_of
     } else if (value_of("--window", &v)) {
       long long x0, y0, x1, y1;
@@ -163,6 +170,7 @@ void finish_trace(const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace kr = starlay::layout::kernels;
   const Args a = parse_args(argc, argv);
   if (a.list) return run_list();
 
@@ -174,7 +182,29 @@ int main(int argc, char** argv) {
   if (a.mode != "materialize" && a.mode != "stream")
     arg_error("unknown mode '" + a.mode + "' (want materialize or stream)");
 
-  if (!a.trace_path.empty()) tel::start_trace();
+  // --simd mirrors the STARLAY_SIMD env contract: an unsupported request
+  // clamps down, never errors.  Held for the whole run so every phase (and
+  // the trace) sees one consistent level.
+  std::optional<kr::ScopedForcedLevel> forced;
+  if (!a.simd.empty()) {
+    if (a.simd == "scalar")
+      forced.emplace(kr::SimdLevel::kScalar);
+    else if (a.simd == "sse4")
+      forced.emplace(kr::SimdLevel::kSSE4);
+    else if (a.simd == "avx2")
+      forced.emplace(kr::SimdLevel::kAVX2);
+    else
+      arg_error("unknown --simd level '" + a.simd + "' (want scalar, sse4, or avx2)");
+  }
+  const char* simd_name = kr::level_name(kr::active_level());
+
+  if (!a.trace_path.empty()) {
+    tel::start_trace();
+    // Echo the kernel level into the trace: a one-shot counter keyed by the
+    // effective level, so traces from different machines/overrides stay
+    // distinguishable after the fact.
+    tel::count(std::string("simd.") + simd_name, 1);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   try {
     if (a.mode == "stream") {
@@ -204,6 +234,7 @@ int main(int argc, char** argv) {
       print_kv("max_wire_length", rep.max_wire_length);
       print_kv("batches", rep.num_batches);
       print_kv("replays", rep.num_replays);
+      print_kv("simd", std::string(simd_name));
       print_kv("verdict", rep.validation.summary());
       print_kv("peak_rss_mb", static_cast<std::int64_t>(peak_rss_mb()));
       print_kv("seconds", std::to_string(secs));
@@ -240,6 +271,7 @@ int main(int argc, char** argv) {
     print_kv("node_size", result.routed.node_size);
     print_kv("wire_length", lay.total_wire_length());
     print_kv("max_wire_length", lay.max_wire_length());
+    print_kv("simd", std::string(simd_name));
     print_kv("verdict", rep.summary());
     print_kv("peak_rss_mb", static_cast<std::int64_t>(peak_rss_mb()));
     print_kv("seconds", std::to_string(secs));

@@ -15,6 +15,10 @@
 ///    swept (the deterministic-parallelism contract of thread_pool.hpp).
 ///  * telemetry neutrality — a build under an active trace produces the
 ///    same digest as one without (instrumentation observes, never steers).
+///  * SIMD-level invariance — the digest and the full validation report
+///    (verdict, error total, messages) are identical under every compiled
+///    and CPU-supported kernel level (scalar, SSE4.2, AVX2), forced via
+///    kernels::ScopedForcedLevel.
 ///  * certifier == validator — StreamingCertifier's verdict, error count
 ///    and measured quantities equal validate_layout() on the materialized
 ///    layout.
@@ -37,6 +41,7 @@ struct MetamorphicOptions {
   /// restored afterwards).  Sizes are deduplicated against each other.
   std::vector<int> thread_counts = {1, 2, 4};
   bool check_telemetry = true;     ///< telemetry-on vs -off digest equality
+  bool check_simd_levels = true;   ///< scalar vs SSE4.2 vs AVX2 equality
   bool check_certifier = true;     ///< StreamingCertifier vs validate_layout
   bool check_api_parity = true;    ///< try_build vs build, out-of-range probes
   /// Small band_shift exercises multi-band batching on small cases.

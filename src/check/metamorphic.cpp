@@ -5,6 +5,7 @@
 #include <string>
 
 #include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/support/check.hpp"
@@ -129,6 +130,35 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
     if (built_ok && digest != mat_digest)
       rep.fail("telemetry-on digest " + std::to_string(digest) +
                " != telemetry-off digest " + std::to_string(mat_digest));
+  }
+
+  // --- SIMD-level invariance -----------------------------------------------
+  if (opt.check_simd_levels) {
+    ++rep.num_relations_checked;
+    namespace kr = layout::kernels;
+    // Reference validation at the ambient level; every forced level must
+    // reproduce it message-for-message (the count pass is exact and the
+    // materialization re-scan is scalar, so even the retained strings agree).
+    const layout::ValidationReport ref = layout::validate_layout(built.graph, lay);
+    for (kr::SimdLevel level :
+         {kr::SimdLevel::kScalar, kr::SimdLevel::kSSE4, kr::SimdLevel::kAVX2}) {
+      if (!kr::level_supported(level)) continue;
+      kr::ScopedForcedLevel forced(level);
+      const std::string label = std::string("simd=") + kr::level_name(level);
+      if (layout::wire_fingerprint(lay) != mat_digest)
+        rep.fail(label + ": materialized digest differs from ambient level");
+      std::uint64_t digest = 0;
+      if (stream_digest(builder, params, label.c_str(), rep, &digest) &&
+          digest != mat_digest)
+        rep.fail(label + ": stream digest " + std::to_string(digest) +
+                 " != ambient-level digest " + std::to_string(mat_digest));
+      const layout::ValidationReport vr = layout::validate_layout(built.graph, lay);
+      if (vr.ok != ref.ok || vr.num_errors_total != ref.num_errors_total)
+        rep.fail(label + ": validator verdict " + std::to_string(vr.num_errors_total) +
+                 " error(s) != ambient level " + std::to_string(ref.num_errors_total));
+      if (vr.errors != ref.errors)
+        rep.fail(label + ": retained validator messages differ from ambient level");
+    }
   }
 
   // --- certifier == validator ----------------------------------------------

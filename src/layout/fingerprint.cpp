@@ -1,5 +1,6 @@
 #include "starlay/layout/fingerprint.hpp"
 
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/thread_pool.hpp"
 
@@ -9,16 +10,35 @@ namespace {
 
 /// Folds per-wire hashes [0, count) through the canonical chunk scheme:
 /// chunk digests computed independently (parallel-safe), folded serially in
-/// chunk order.  \p wire_hash must be a pure function of the index.
+/// chunk order.  Within a chunk the hashes feed the 4-lane FNV-1a kernel in
+/// kBlock-sized blocks — kBlock is a multiple of 4, so every block leaves
+/// the round-robin lane phase intact and the digest is a pure function of
+/// the hash sequence: identical at every thread count and SIMD level (all
+/// fold_hashes4 variants are bit-identical by contract).  \p wire_hash must
+/// be a pure function of the index.
 template <typename HashF>
 std::uint64_t fold_chunked(std::int64_t count, const HashF& wire_hash) {
+  const kernels::KernelTable& K = kernels::active();
   const std::int64_t chunks = support::num_chunks(0, count, kFingerprintGrain);
   std::vector<std::uint64_t> partial(static_cast<std::size_t>(chunks), kFingerprintSeed);
   support::parallel_for(0, count, kFingerprintGrain,
                         [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    constexpr std::int64_t kBlock = 1024;
+    std::uint64_t block[kBlock];
+    std::uint64_t lanes[4] = {kFingerprintSeed, kFingerprintSeed, kFingerprintSeed,
+                              kFingerprintSeed};
+    std::int64_t nb = 0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      block[nb++] = wire_hash(i);
+      if (nb == kBlock) {
+        K.fold_hashes4(block, nb, lanes);
+        nb = 0;
+      }
+    }
+    if (nb > 0) K.fold_hashes4(block, nb, lanes);
     std::uint64_t h = kFingerprintSeed;
-    for (std::int64_t i = lo; i < hi; ++i)
-      h = fingerprint_mix(h, static_cast<std::int64_t>(wire_hash(i)));
+    for (const std::uint64_t lane : lanes)
+      h = fingerprint_mix(h, static_cast<std::int64_t>(lane));
     partial[static_cast<std::size_t>(chunk)] = h;
   });
   std::uint64_t h = kFingerprintSeed;

@@ -13,11 +13,14 @@
 ///    point count, and points.  Pure per-wire; no ordering involved.
 ///  * wire_fingerprint(layout) / FingerprintingSink — fold the per-wire
 ///    hashes in wire-index order, chunked by kFingerprintGrain exactly like
-///    support::parallel_for, with each chunk folded serially and the chunk
-///    digests folded serially in chunk order.  Chunk geometry is a pure
-///    function of the wire count, so the digest is identical for every
-///    thread count, and the materialized and streaming computations agree
-///    by construction.
+///    support::parallel_for.  Each chunk folds its hashes through four
+///    independent FNV-1a lanes (the fold_hashes4 certification kernel, fed
+///    in blocks whose size is a multiple of 4 so the round-robin lane
+///    phase is preserved), then folds the lanes serially; chunk digests
+///    fold serially in chunk order.  Chunk geometry is a pure function of
+///    the wire count and every kernel variant is bit-identical, so the
+///    digest is the same for every thread count and SIMD level, and the
+///    materialized and streaming computations agree by construction.
 ///
 /// FingerprintingSink is the streaming side of the hook: it consumes a
 /// builder's build_stream() emission without materializing anything (O(1)

@@ -8,12 +8,23 @@
 /// index stays correct otherwise but degrades to scanning.  Shared by the
 /// materialized validator (validate.cpp) and the streaming certifier
 /// (stream_certify.cpp), which must agree on clearance semantics exactly.
+///
+/// Queries dominate validation (one per wire segment), so the entries are
+/// packed into int32 SoA arrays scanned by the branchless rect-overlap
+/// kernel, and the group lookup goes through a dense y -> group table (one
+/// load instead of a binary search) when the y-range is modest.  Layouts
+/// whose node coordinates exceed int32 — impossible for routed wires, which
+/// WireStore clamps, but legal for bare node rects — keep the original
+/// wide-entry scan path.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "starlay/layout/geometry.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
 
 namespace starlay::layout {
 
@@ -23,10 +34,13 @@ class RectIndex {
     // Sort-then-group over one flat vector: one allocation and a single
     // sort instead of a node-count's worth of std::map rebalancing.
     entries_.reserve(rects.size());
+    bool fits32 = true;
     for (std::size_t i = 0; i < rects.size(); ++i) {
       if (rects[i].empty()) continue;
       entries_.push_back({rects[i].y0, rects[i].y1, rects[i].x0, rects[i].x1,
                           static_cast<std::int32_t>(i)});
+      fits32 = fits32 && fits_int32(rects[i].x0) && fits_int32(rects[i].x1) &&
+               fits_int32(rects[i].y0) && fits_int32(rects[i].y1);
     }
     std::sort(entries_.begin(), entries_.end());
     max_band_height_ = 0;
@@ -40,6 +54,111 @@ class RectIndex {
       i = j;
     }
     // groups_ is sorted by y0 (sort order).
+    if (fits32 && !entries_.empty()) {
+      packed_ = true;
+      x0_.reserve(entries_.size());
+      x1_.reserve(entries_.size());
+      node_.reserve(entries_.size());
+      for (const Entry& e : entries_) {
+        x0_.push_back(static_cast<std::int32_t>(e.x0));
+        x1_.push_back(static_cast<std::int32_t>(e.x1));
+        node_.push_back(e.node);
+      }
+      entries_.clear();  // packed queries never touch the wide entries
+      entries_.shrink_to_fit();
+      // Dense y -> first-group-with-y0>=y table, capped so a pathological
+      // coordinate range cannot blow up memory (falls back to the binary
+      // search on groups_ beyond the cap).
+      const Coord ymin = groups_.front().y0;
+      const Coord ymax = groups_.back().y0;
+      const Coord range = ymax - ymin + 1;
+      if (range <= (Coord{1} << 22)) {
+        ymin_ = ymin;
+        ymax_ = ymax;
+        ytab_.assign(static_cast<std::size_t>(range), 0);
+        std::size_t g = groups_.size();
+        for (Coord y = ymax; y >= ymin; --y) {
+          while (g > 0 && groups_[g - 1].y0 >= y) --g;
+          ytab_[static_cast<std::size_t>(y - ymin)] = static_cast<std::uint32_t>(g);
+        }
+      }
+      // Column-occupancy bitmap: bit g of column x is set iff some rect in
+      // group g covers column x.  Vertical clearance queries — one fixed
+      // column, potentially crossing every row band — then probe only the
+      // groups that can match instead of binary-searching each band they
+      // cross.  Capped (64 MB of words) so a wide layout cannot blow up
+      // memory; queries beyond the cap fall back to the band walk.
+      std::int32_t xmin = std::numeric_limits<std::int32_t>::max();
+      std::int32_t xmax = std::numeric_limits<std::int32_t>::min();
+      for (std::size_t i = 0; i < x0_.size(); ++i) {
+        xmin = std::min(xmin, x0_[i]);
+        xmax = std::max(xmax, x1_[i]);
+      }
+      const std::int64_t ncols = static_cast<std::int64_t>(xmax) - xmin + 1;
+      const std::int64_t words = (static_cast<std::int64_t>(groups_.size()) + 63) / 64;
+      if (ncols > 0 && ncols * words <= (std::int64_t{1} << 23)) {
+        xmin_ = xmin;
+        xmax_ = xmax;
+        col_words_ = static_cast<std::size_t>(words);
+        colmap_.assign(static_cast<std::size_t>(ncols * words), 0);
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+          const std::uint64_t bit = std::uint64_t{1} << (g % 64);
+          const std::size_t word = g / 64;
+          for (std::size_t i = groups_[g].begin; i < groups_[g].end; ++i)
+            for (std::int64_t x = x0_[i]; x <= x1_[i]; ++x)
+              colmap_[static_cast<std::size_t>(x - xmin) * col_words_ + word] |= bit;
+        }
+        // One-bit-per-column summary: most vertical segments run in
+        // routing channels no rect covers, so one cache-resident bit test
+        // rejects them before the per-column word scan.
+        colcov_.assign(static_cast<std::size_t>((ncols + 63) / 64), 0);
+        for (std::int64_t c = 0; c < ncols; ++c) {
+          const std::uint64_t* w = colmap_.data() + static_cast<std::size_t>(c) * col_words_;
+          for (std::size_t k = 0; k < col_words_; ++k)
+            if (w[k] != 0) {
+              colcov_[static_cast<std::size_t>(c / 64)] |= std::uint64_t{1} << (c % 64);
+              break;
+            }
+        }
+      }
+      // Row summary, same idea for horizontal segments: bit y set iff some
+      // band covers row y.  Independent of the colmap cap, but bounded so
+      // a pathological y-range cannot blow up memory.
+      {
+        const Coord rymin = groups_.front().y0;
+        Coord rymax = groups_.front().y1;
+        for (const Group& grp : groups_) rymax = std::max(rymax, grp.y1);
+        const Coord rows = rymax - rymin + 1;
+        if (rows > 0 && rows <= (Coord{1} << 25)) {
+          rymin_ = rymin;
+          rymax_ = rymax;
+          rowcov_.assign(static_cast<std::size_t>((rows + 63) / 64), 0);
+          for (const Group& grp : groups_)
+            for (Coord y = grp.y0; y <= grp.y1; ++y)
+              rowcov_[static_cast<std::size_t>((y - rymin) / 64)] |=
+                  std::uint64_t{1} << ((y - rymin) % 64);
+        }
+      }
+    }
+  }
+
+  /// One-bit summary test: false when no rect covers the query line (the
+  /// row for horizontal segments, the column for vertical ones), in which
+  /// case no segment on that line can touch any rect and a whole same-line
+  /// run can be skipped without probing.  Conservatively true when the
+  /// summary tables are unavailable (wide-coordinate path or capped out).
+  bool line_may_touch(bool horizontal, Coord line) const {
+    if (!packed_) return true;
+    if (horizontal) {
+      if (rowcov_.empty()) return true;
+      if (line < rymin_ || line > rymax_) return false;
+      const Coord r = line - rymin_;
+      return ((rowcov_[static_cast<std::size_t>(r / 64)] >> (r % 64)) & 1) != 0;
+    }
+    if (colcov_.empty()) return true;
+    if (line < xmin_ || line > xmax_) return false;
+    const std::int64_t c = line - xmin_;
+    return ((colcov_[static_cast<std::size_t>(c / 64)] >> (c % 64)) & 1) != 0;
   }
 
   /// Invokes \p f(node) for every rect whose closed area intersects the
@@ -50,20 +169,235 @@ class RectIndex {
     const Coord yhi = horizontal ? line : hi;
     const Coord xlo = horizontal ? lo : line;
     const Coord xhi = horizontal ? hi : line;
-    // Any group intersecting [ylo, yhi] has y0 >= ylo - (max height - 1).
-    auto git = std::lower_bound(groups_.begin(), groups_.end(),
-                                ylo - (max_band_height_ - 1),
-                                [](const Group& g, Coord y) { return g.y0 < y; });
-    for (; git != groups_.end() && git->y0 <= yhi; ++git) {
-      if (git->y1 < ylo) continue;
-      const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(git->begin);
-      const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(git->end);
-      auto it = std::lower_bound(first, last, xlo,
-                                 [](const Entry& e, Coord x) { return e.x1 < x; });
-      // Entries are sorted by (x0, x1); x1 is monotone in x0 for
-      // disjoint same-row rects, so linear scan from `it` is exact.
-      for (; it != last && it->x0 <= xhi; ++it) f(it->node);
+    // First group that can intersect [ylo, yhi]: any such group has
+    // y0 >= ylo - (max height - 1).  Deferred behind the one-bit rejects on
+    // the packed path, which drop most channel-running segments without
+    // ever touching the y table.
+    const auto first_group = [&]() -> std::size_t {
+      const Coord want = ylo - (max_band_height_ - 1);
+      if (!ytab_.empty()) {
+        if (want <= ymin_) return 0;
+        if (want > ymax_) return groups_.size();
+        return ytab_[static_cast<std::size_t>(want - ymin_)];
+      }
+      return static_cast<std::size_t>(
+          std::lower_bound(groups_.begin(), groups_.end(), want,
+                           [](const Group& grp, Coord y) { return grp.y0 < y; }) -
+          groups_.begin());
+    };
+    if (!packed_) {
+      std::size_t g = first_group();
+      for (; g < groups_.size() && groups_[g].y0 <= yhi; ++g) {
+        const Group& grp = groups_[g];
+        if (grp.y1 < ylo) continue;
+        const auto first = entries_.begin() + static_cast<std::ptrdiff_t>(grp.begin);
+        const auto last = entries_.begin() + static_cast<std::ptrdiff_t>(grp.end);
+        auto it = std::lower_bound(first, last, xlo,
+                                   [](const Entry& e, Coord x) { return e.x1 < x; });
+        // Entries are sorted by (x0, x1); x1 is monotone in x0 for
+        // disjoint same-row rects, so linear scan from `it` is exact.
+        for (; it != last && it->x0 <= xhi; ++it) f(it->node);
+      }
+      return;
     }
+    // Packed path: entry coordinates all fit int32, so a query window
+    // clamped to int32 preserves every closed-intersection verdict.
+    if (xhi < xlo || yhi < ylo) return;
+    // Cache-resident one-bit rejects: a horizontal segment can only touch
+    // a rect whose band covers its row; a vertical one, a rect covering
+    // its column.  Most segments run in channels and fail these tests.
+    if (horizontal) {
+      if (!rowcov_.empty()) {
+        if (line < rymin_ || line > rymax_) return;
+        const Coord r = line - rymin_;
+        if (((rowcov_[static_cast<std::size_t>(r / 64)] >> (r % 64)) & 1) == 0) return;
+      }
+    } else if (!colcov_.empty()) {
+      if (line < xmin_ || line > xmax_) return;
+      const std::int64_t c = line - xmin_;
+      if (((colcov_[static_cast<std::size_t>(c / 64)] >> (c % 64)) & 1) == 0) return;
+    }
+    const std::int32_t qxlo = clamp32(xlo);
+    const std::int32_t qxhi = clamp32(xhi);
+    std::size_t g = first_group();
+    const kernels::KernelTable& K = kernels::active();
+    const auto probe_group = [&](const Group& grp) {
+      const std::int64_t e = static_cast<std::int64_t>(grp.end);
+      // First candidate by x1 (monotone in x0 for disjoint same-row
+      // rects); the kernel re-checks x1 >= xlo per entry, so rows that
+      // break the monotonicity assumption only cost extra scanning.
+      std::int64_t it = std::lower_bound(x1_.begin() + static_cast<std::ptrdiff_t>(grp.begin),
+                                         x1_.begin() + static_cast<std::ptrdiff_t>(grp.end),
+                                         qxlo) -
+                        x1_.begin();
+      while ((it = K.find_rect_overlap(x0_.data(), x1_.data(), e, it, qxlo, qxhi)) >= 0) {
+        f(node_[static_cast<std::size_t>(it)]);
+        ++it;
+      }
+    };
+    if (!horizontal && !colmap_.empty()) {
+      // Vertical fast path: walk only the set bits of this column's
+      // occupancy word run, clamped to the groups that can reach [ylo,
+      // yhi].  Bits come out in ascending group order, so the callback
+      // order matches the band walk exactly.
+      if (line < xmin_ || line > xmax_) return;
+      std::size_t gend;  // first group with y0 > yhi
+      if (yhi >= groups_.back().y0) {
+        gend = groups_.size();
+      } else if (!ytab_.empty()) {
+        // yhi < back().y0 == ymax_, so yhi + 1 neither overflows nor
+        // leaves the table.
+        gend = yhi + 1 <= ymin_ ? 0 : ytab_[static_cast<std::size_t>(yhi + 1 - ymin_)];
+      } else {
+        gend = static_cast<std::size_t>(
+            std::lower_bound(groups_.begin(), groups_.end(), yhi,
+                             [](const Group& grp, Coord y) { return grp.y0 <= y; }) -
+            groups_.begin());
+      }
+      if (gend <= g) return;
+      const std::uint64_t* col =
+          colmap_.data() + static_cast<std::size_t>(line - xmin_) * col_words_;
+      std::size_t w = g / 64;
+      const std::size_t wlast = (gend - 1) / 64;
+      std::uint64_t bits = col[w] & (~std::uint64_t{0} << (g % 64));
+      for (;;) {
+        if (w == wlast && (gend % 64) != 0)
+          bits &= ~std::uint64_t{0} >> (64 - gend % 64);
+        while (bits != 0) {
+          const std::size_t gg = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+          bits &= bits - 1;
+          const Group& grp = groups_[gg];
+          if (grp.y1 < ylo) continue;
+          probe_group(grp);
+        }
+        if (w == wlast) return;
+        bits = col[++w];
+      }
+    }
+    for (; g < groups_.size() && groups_[g].y0 <= yhi; ++g) {
+      if (groups_[g].y1 < ylo) continue;
+      probe_group(groups_[g]);
+    }
+  }
+
+  /// Sum of for_touching() counts over a same-line run of segments sorted
+  /// ascending by \p lo — the shape the clearance count pass hands in (one
+  /// SegmentIndex line run at a time).  Exactly equal to calling
+  /// for_touching per segment and counting callbacks, but the per-segment
+  /// first-candidate binary search collapses into a merge cursor that only
+  /// moves forward as lo ascends, and on the vertical path each row band's
+  /// per-column rect count is taken once per run instead of once per
+  /// segment crossing it.
+  std::int64_t count_touching_run(bool horizontal, Coord line, const std::int32_t* lo,
+                                  const std::int32_t* hi, std::int64_t n) const {
+    if (n <= 0) return 0;
+    if (!line_may_touch(horizontal, line)) return 0;
+    if (!packed_ || (!horizontal && colmap_.empty())) {
+      std::int64_t c = 0;
+      for (std::int64_t i = 0; i < n; ++i)
+        for_touching(horizontal, line, lo[i], hi[i], [&](std::int32_t) { ++c; });
+      return c;
+    }
+    std::int64_t total = 0;
+    const auto group_lb = [&](Coord want) -> std::size_t {
+      if (!ytab_.empty()) {
+        if (want <= ymin_) return 0;
+        if (want > ymax_) return groups_.size();
+        return ytab_[static_cast<std::size_t>(want - ymin_)];
+      }
+      return static_cast<std::size_t>(
+          std::lower_bound(groups_.begin(), groups_.end(), want,
+                           [](const Group& grp, Coord y) { return grp.y0 < y; }) -
+          groups_.begin());
+    };
+    if (horizontal) {
+      // The groups covering this row are the same for every segment in the
+      // run; merge each one against the run with a forward-only cursor.
+      for (std::size_t g = group_lb(line - (max_band_height_ - 1));
+           g < groups_.size() && groups_[g].y0 <= line; ++g) {
+        if (groups_[g].y1 < line) continue;
+        const Group& grp = groups_[g];
+        std::size_t it = static_cast<std::size_t>(
+            std::lower_bound(x1_.begin() + static_cast<std::ptrdiff_t>(grp.begin),
+                             x1_.begin() + static_cast<std::ptrdiff_t>(grp.end), lo[0]) -
+            x1_.begin());
+        for (std::int64_t i = 0; i < n; ++i) {
+          // Entries with x1 < lo[i] can never match a later segment either
+          // (lo ascends), so discarding them here is permanent and safe.
+          while (it < grp.end && x1_[it] < lo[i]) ++it;
+          for (std::size_t j = it; j < grp.end && x0_[j] <= hi[i]; ++j)
+            if (x1_[j] >= lo[i]) ++total;
+        }
+      }
+      return total;
+    }
+    // Vertical: every entry of a group shares one y-interval, so a segment
+    // touches either every rect of the group that covers its column or none
+    // of them.  Count the column's rects once per covered band (the column
+    // bitmap names the candidate bands), then sum per segment by band
+    // overlap with a forward-only cursor.
+    if (line < xmin_ || line > xmax_) return 0;
+    Coord yhi_max = hi[0];
+    for (std::int64_t i = 1; i < n; ++i) yhi_max = std::max<Coord>(yhi_max, hi[i]);
+    const std::size_t gfirst = group_lb(lo[0] - (max_band_height_ - 1));
+    const std::size_t gend =
+        yhi_max >= groups_.back().y0 ? groups_.size() : group_lb(yhi_max + 1);
+    if (gend <= gfirst) return 0;
+    const std::uint64_t* col =
+        colmap_.data() + static_cast<std::size_t>(line - xmin_) * col_words_;
+    // Covered bands live on the stack: a run's y-window rarely crosses more
+    // than a few node rows.  A window wider than the cap (a segment spanning
+    // most of the chip) falls back to the per-segment path.
+    constexpr std::size_t kMaxBands = 96;
+    Coord by0[kMaxBands], by1[kMaxBands];
+    std::int64_t bcnt[kMaxBands];
+    std::size_t nb = 0;
+    const kernels::KernelTable& K = kernels::active();
+    const std::int32_t q = static_cast<std::int32_t>(line);
+    std::size_t w = gfirst / 64;
+    const std::size_t wlast = (gend - 1) / 64;
+    std::uint64_t bits = col[w] & (~std::uint64_t{0} << (gfirst % 64));
+    for (;;) {
+      if (w == wlast && (gend % 64) != 0)
+        bits &= ~std::uint64_t{0} >> (64 - gend % 64);
+      while (bits != 0) {
+        const std::size_t gg = w * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const Group& grp = groups_[gg];
+        std::int64_t cnt = 0;
+        std::int64_t it = std::lower_bound(
+                              x1_.begin() + static_cast<std::ptrdiff_t>(grp.begin),
+                              x1_.begin() + static_cast<std::ptrdiff_t>(grp.end), q) -
+                          x1_.begin();
+        while ((it = K.find_rect_overlap(x0_.data(), x1_.data(),
+                                         static_cast<std::int64_t>(grp.end), it, q, q)) >=
+               0) {
+          ++cnt;
+          ++it;
+        }
+        if (cnt > 0) {
+          if (nb == kMaxBands) {
+            std::int64_t c = 0;
+            for (std::int64_t i = 0; i < n; ++i)
+              for_touching(false, line, lo[i], hi[i], [&](std::int32_t) { ++c; });
+            return c;
+          }
+          by0[nb] = grp.y0;
+          by1[nb] = grp.y1;
+          bcnt[nb] = cnt;
+          ++nb;
+        }
+      }
+      if (w == wlast) break;
+      bits = col[++w];
+    }
+    std::size_t cur = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      while (cur < nb && by1[cur] < lo[i]) ++cur;  // dead for all later segments too
+      for (std::size_t k = cur; k < nb && by0[k] <= hi[i]; ++k)
+        if (by1[k] >= lo[i]) total += bcnt[k];
+    }
+    return total;
   }
 
  private:
@@ -81,9 +415,35 @@ class RectIndex {
     Coord y0, y1;
     std::size_t begin, end;  ///< half-open range into entries_
   };
+
+  static bool fits_int32(Coord v) {
+    return v >= std::numeric_limits<std::int32_t>::min() &&
+           v <= std::numeric_limits<std::int32_t>::max();
+  }
+  static std::int32_t clamp32(Coord v) {
+    return static_cast<std::int32_t>(
+        std::clamp<Coord>(v, std::numeric_limits<std::int32_t>::min(),
+                          std::numeric_limits<std::int32_t>::max()));
+  }
+
   std::vector<Entry> entries_;
   std::vector<Group> groups_;
   Coord max_band_height_ = 0;
+  // Packed query path (all entry coordinates fit int32).
+  bool packed_ = false;
+  std::vector<std::int32_t> x0_, x1_;
+  std::vector<std::int32_t> node_;
+  std::vector<std::uint32_t> ytab_;  ///< y - ymin_ -> first group with y0 >= y
+  Coord ymin_ = 0, ymax_ = -1;
+  // Column-occupancy bitmap: col_words_ words per column, bit g set iff
+  // group g has a rect covering that column (vertical-query fast path).
+  std::vector<std::uint64_t> colmap_;
+  std::size_t col_words_ = 0;
+  std::int32_t xmin_ = 0, xmax_ = -1;
+  // One-bit summaries: column/row covered by any rect at all.
+  std::vector<std::uint64_t> colcov_;
+  std::vector<std::uint64_t> rowcov_;
+  Coord rymin_ = 0, rymax_ = -1;
 };
 
 }  // namespace starlay::layout

@@ -1,6 +1,6 @@
 #pragma once
 /// \file segment_index.hpp
-/// \brief Bucketed, line-sorted view of a layout's wire segments.
+/// \brief Bucketed, line-sorted, packed-SoA view of a layout's wire segments.
 ///
 /// The validator's track-exclusivity and via-pierce passes need segments
 /// grouped per (layer, orientation) and sorted by grid line.  Materializing
@@ -8,22 +8,31 @@
 /// validation cost at star dimension n >= 8, so SegmentIndex instead:
 ///
 ///   1. counts segments per (layer, orientation) bucket chunk-parallel,
-///   2. places each segment into its bucket via a serial prefix sum over
-///      the per-chunk counts (thread-count independent),
-///   3. counting-sorts each bucket by line (lines are bounded by the
-///      layout's bounding box, so the histogram is one array per bucket),
-///   4. sorts each line's handful of segments by (span.lo, span.hi, wire),
-///      chunk-parallel over lines.
+///   2. builds a per-line histogram for each dense bucket straight from the
+///      wires (relaxed atomic adds commute, so counts are thread-count
+///      independent),
+///   3. scatters each segment directly into its line's slice of one packed
+///      scratch, claiming positions with relaxed fetch_add,
+///   4. sorts each line's handful of segments by (lo, hi, wire),
+///      chunk-parallel over lines — which also erases the scatter order,
+///      since records tying on (lo, hi, wire) are byte-identical.
 ///
 /// The resulting global order — (layer, vertical-before-horizontal, line,
 /// span.lo, span.hi, wire) — refines the order the old std::sort pass
 /// produced, so the adjacent-overlap scan runs over it unchanged, and
-/// line_range() gives the via-pierce check O(1) access to one line's
+/// line_span() gives the via-pierce check O(1) access to one line's
 /// segments.  Degenerate layouts whose coordinate range dwarfs the segment
-/// count fall back to a comparison sort per bucket (line_range then binary
+/// count fall back to a comparison sort per bucket (line_span then binary
 /// searches); the order is identical either way.
+///
+/// Storage is four parallel int32/uint32 arrays (16 B per segment, down
+/// from the 40 B LayerSegment) — WireStore guarantees every coordinate fits
+/// int32 — so the SIMD certification kernels (kernels/kernels.hpp) stream
+/// whole buckets branchlessly.  The layer and orientation are implicit in
+/// the bucket, not stored per segment.
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -34,32 +43,101 @@ namespace starlay::layout {
 
 class SegmentIndex {
  public:
+  /// One build record: everything per-segment except the bucket-implicit
+  /// layer/orientation.  16 bytes; the constructor sorts these, then splits
+  /// them into the SoA arrays the kernels consume.
+  struct PackedSeg {
+    std::int32_t line;
+    std::int32_t lo;
+    std::int32_t hi;
+    std::uint32_t wire;
+  };
+
   explicit SegmentIndex(const Layout& lay);
 
-  std::int64_t size() const { return static_cast<std::int64_t>(segs_.size()); }
+  std::int64_t size() const { return size_; }
 
-  /// All segments in (layer, orientation, line, span.lo, span.hi, wire)
-  /// order; vertical precedes horizontal within a layer (matching the
-  /// validator's historical comparator).
-  const std::vector<LayerSegment>& segments() const { return segs_; }
+  /// SoA views over all segments in canonical (layer, vertical-before-
+  /// horizontal, line, lo, hi, wire) order.  Indices from bucket()/
+  /// line_span() address these arrays directly.
+  const std::int32_t* lines() const { return line_.get(); }
+  const std::int32_t* span_lo() const { return lo_.get(); }
+  const std::int32_t* span_hi() const { return hi_.get(); }
+  const std::uint32_t* wires() const { return wire_.get(); }
 
-  /// Half-open range of the segments on grid line \p line of the given
-  /// layer/orientation, sorted by span.lo.  Empty when there are none.
-  std::pair<const LayerSegment*, const LayerSegment*> line_range(std::int16_t layer,
-                                                                 bool horizontal,
-                                                                 Coord line) const;
+  struct BucketView {
+    std::int16_t layer;
+    bool horizontal;
+    std::int64_t begin;  ///< half-open range into the SoA arrays
+    std::int64_t end;
+  };
+
+  std::int64_t num_buckets() const { return static_cast<std::int64_t>(buckets_.size()); }
+  BucketView bucket(std::int64_t b) const {
+    const Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+    return {static_cast<std::int16_t>(min_layer_ + b / 2), (b % 2) == 1, bk.begin, bk.end};
+  }
+
+  /// Half-open index range of the segments on grid line \p line of the
+  /// given layer/orientation, sorted by lo.  Empty when there are none.
+  std::pair<std::int64_t, std::int64_t> line_span(std::int16_t layer, bool horizontal,
+                                                  Coord line) const;
+
+  /// Dense per-line run table of one bucket: line base + l holds segments
+  /// [start[l], start[l+1]) of the SoA arrays.  Lets per-line passes (the
+  /// clearance count) jump straight between runs instead of re-deriving the
+  /// boundaries by scanning lines().  nlines == 0 on the sparse fallback,
+  /// where no dense table exists — callers scan the bucket instead.
+  struct LineRunsView {
+    Coord base = 0;
+    const std::int64_t* start = nullptr;  ///< nlines + 1 absolute offsets
+    std::int64_t nlines = 0;
+  };
+  LineRunsView line_runs(std::int64_t b) const {
+    const Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+    if (bk.line_start.empty()) return {};
+    return {bk.base, bk.line_start.data(),
+            static_cast<std::int64_t>(bk.line_start.size()) - 1};
+  }
+
+  /// Prefetch hint: pulls the offset-table entry a later line_span() call
+  /// with the same arguments will load.  Callers issuing many independent
+  /// probes (the via-pierce pass) batch these ahead of the line_span calls
+  /// so the table misses overlap instead of serializing.  No-op for
+  /// out-of-range lines and sparse buckets.
+  void prefetch_line(std::int16_t layer, bool horizontal, Coord line) const {
+    if (layer < min_layer_ || layer > max_layer_) return;
+    const Bucket& bk = buckets_[static_cast<std::size_t>(
+        (static_cast<std::int64_t>(layer) - min_layer_) * 2 + (horizontal ? 1 : 0))];
+    if (bk.line_start.empty()) return;
+    const std::int64_t l = line - bk.base;
+    if (l < 0 || l + 1 >= static_cast<std::int64_t>(bk.line_start.size())) return;
+    __builtin_prefetch(bk.line_start.data() + l);
+  }
+
+  /// Widened single-segment view for error messages and tests; the hot
+  /// paths use the SoA arrays instead.
+  LayerSegment segment(std::int64_t i) const;
+
+  /// All segments as LayerSegments, for tests and tools.
+  std::vector<LayerSegment> materialize() const;
 
  private:
   struct Bucket {
-    std::int64_t begin = 0;  ///< range into segs_
+    std::int64_t begin = 0;  ///< range into the SoA arrays
     std::int64_t end = 0;
     Coord base = 0;  ///< smallest line covered by line_start
-    /// Dense per-line offsets into segs_ (size = line count + 1); empty in
-    /// the sparse fallback, where line_range binary-searches instead.
+    /// Dense per-line offsets (size = line count + 1); empty in the sparse
+    /// fallback, where line_span binary-searches instead.
     std::vector<std::int64_t> line_start;
   };
 
-  std::vector<LayerSegment> segs_;
+  /// Uninitialized on allocation (every slot is written exactly once by
+  /// the scatter/split passes); a std::vector's zero-fill would cost a
+  /// full memory sweep per array at star n >= 9.
+  std::int64_t size_ = 0;
+  std::unique_ptr<std::int32_t[]> line_, lo_, hi_;
+  std::unique_ptr<std::uint32_t[]> wire_;
   std::vector<Bucket> buckets_;  ///< index: (layer - min_layer_) * 2 + horizontal
   std::int16_t min_layer_ = 0;
   std::int16_t max_layer_ = -1;

@@ -20,10 +20,15 @@
 ///    (line >> band_shift) and consecutive bands are greedily packed into
 ///    batches whose record bytes fit batch_budget_bytes.  For each batch
 ///    the fill is replayed, only the records falling in the batch's bands
-///    are collected, sorted, scanned exactly like the materialized
-///    validator, and freed.  A (layer, orientation, line) group always
-///    falls entirely inside one batch, so the adjacent-pair scans see the
-///    same pairs the global sort would have produced.
+///    are collected, sorted, and scanned with the same SIMD certification
+///    kernels (kernels/kernels.hpp) the materialized validator streams:
+///    a tiled vectorized count pass first, then a scalar re-scan that
+///    builds error strings only for batches reporting conflicts.  A
+///    (layer, orientation, line) group always falls entirely inside one
+///    batch, so the adjacent-pair scans see the same pairs the global sort
+///    would have produced, and the pierce probes inspect the same
+///    kernels::kCoverWindow candidates — verdict and error totals match
+///    validate_layout at every SIMD level.
 ///
 /// The verdict (ok), the total error count and the measured quantities are
 /// identical to running validate_layout on the materialized layout; only

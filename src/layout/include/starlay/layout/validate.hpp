@@ -44,6 +44,18 @@ struct ValidationOptions {
   int max_errors = 20;
 };
 
+/// Wall-clock breakdown of one validate_layout call, in milliseconds.
+/// Mirrored into BENCH_star_area.json rows so the bench regression gate can
+/// show *which* phase moved, not just the validate total.
+struct ValidatePhases {
+  double index_ms = 0;      ///< SegmentIndex build (count/place/sort/split)
+  double rules_ms = 0;      ///< per-wire path rules + node sizes + bijection
+  double overlap_ms = 0;    ///< track-exclusivity count + materialization
+  double via_ms = 0;        ///< via collection, sort, via-via conflicts
+  double crossing_ms = 0;   ///< via-pierce probes against the segment index
+  double clearance_ms = 0;  ///< node-clearance rect queries
+};
+
 struct ValidationReport {
   bool ok = true;
   std::vector<std::string> errors;  ///< first max_errors messages only
@@ -53,6 +65,7 @@ struct ValidationReport {
   std::int64_t num_errors_total = 0;
   std::int64_t num_segments = 0;
   int num_layers = 0;
+  ValidatePhases phases;
 
   void fail(std::string msg, int max_errors) {
     ok = false;

@@ -59,19 +59,21 @@ class WireValueView {
 template <typename W, typename Emit>
 void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
                      const std::vector<Rect>& rects, const Emit& emit) {
-  const std::string tag = "wire " + std::to_string(wi);
+  // Built lazily: clean wires (the overwhelming majority) must not pay for
+  // a heap string each.
+  const auto tag = [wi] { return "wire " + std::to_string(wi); };
   if (w.npts() < 2) {
-    emit(tag + ": fewer than 2 points");
+    emit(tag() + ": fewer than 2 points");
     return;
   }
-  if (w.h_layer() < 1 || w.h_layer() % 2 != 1) emit(tag + ": h_layer must be odd >= 1");
-  if (w.v_layer() < 2 || w.v_layer() % 2 != 0) emit(tag + ": v_layer must be even >= 2");
-  if (std::abs(w.h_layer() - w.v_layer()) != 1) emit(tag + ": layers not adjacent");
+  if (w.h_layer() < 1 || w.h_layer() % 2 != 1) emit(tag() + ": h_layer must be odd >= 1");
+  if (w.v_layer() < 2 || w.v_layer() % 2 != 0) emit(tag() + ": v_layer must be even >= 2");
+  if (std::abs(w.h_layer() - w.v_layer()) != 1) emit(tag() + ": layers not adjacent");
   for (int i = 1; i < w.npts(); ++i) {
     const Point a = w.pt(i - 1), b = w.pt(i);
     const bool dx = a.x != b.x, dy = a.y != b.y;
     if (dx == dy) {  // both (diagonal) or neither (repeated point)
-      emit(tag + ": segment " + format_point(a) + "->" + format_point(b) +
+      emit(tag() + ": segment " + format_point(a) + "->" + format_point(b) +
            " not a proper orthogonal step");
       break;
     }
@@ -79,7 +81,7 @@ void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
       const Point z = w.pt(i - 2);
       const bool prev_horizontal = z.y == a.y;
       if (prev_horizontal == (a.y == b.y)) {
-        emit(tag + ": consecutive collinear segments (merge them)");
+        emit(tag() + ": consecutive collinear segments (merge them)");
         break;
       }
     }
@@ -93,7 +95,7 @@ void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
     const bool ok_uv = on_node_boundary(ru, a) && on_node_boundary(rv, b);
     const bool ok_vu = on_node_boundary(rv, a) && on_node_boundary(ru, b);
     if (!(ok_uv || ok_vu))
-      emit(tag + ": endpoints " + format_point(a) + "," + format_point(b) +
+      emit(tag() + ": endpoints " + format_point(a) + "," + format_point(b) +
            " not on its nodes' boundaries");
   }
 }

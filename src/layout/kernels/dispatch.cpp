@@ -1,0 +1,124 @@
+// Runtime kernel dispatch.  The startup level is resolved once (CPUID
+// capped by what the build compiled in, then capped by STARLAY_SIMD); tests
+// override it thread-safely through ScopedForcedLevel.
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels_internal.hpp"
+#include "starlay/support/check.hpp"
+
+namespace starlay::layout::kernels {
+namespace {
+
+SimdLevel best_cpu_level() {
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(STARLAY_KERNELS_AVX2)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+#endif
+#if defined(STARLAY_KERNELS_SSE4)
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSSE4;
+#endif
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel parse_level(const char* s, SimdLevel fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  if (std::strcmp(s, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(s, "sse4") == 0 || std::strcmp(s, "sse4.2") == 0) return SimdLevel::kSSE4;
+  if (std::strcmp(s, "avx2") == 0) return SimdLevel::kAVX2;
+  return fallback;  // unknown spelling: keep the auto-detected level
+}
+
+SimdLevel clamp_supported(SimdLevel want) {
+  const SimdLevel best = best_cpu_level();
+  return static_cast<int>(want) <= static_cast<int>(best) ? want : best;
+}
+
+SimdLevel startup_level() {
+  static const SimdLevel level =
+      clamp_supported(parse_level(std::getenv("STARLAY_SIMD"), best_cpu_level()));
+  return level;
+}
+
+// -1 = no override; otherwise the forced SimdLevel.  Plain atomic rather
+// than thread_local: a forced level must bind the pool workers spawned by
+// parallel_for too, and tests force levels only around single-threaded
+// validation calls.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSSE4: return "sse4";
+    case SimdLevel::kAVX2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool level_compiled(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kSSE4:
+#if defined(STARLAY_KERNELS_SSE4)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAVX2:
+#if defined(STARLAY_KERNELS_AVX2)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool level_supported(SimdLevel level) {
+  return level_compiled(level) &&
+         static_cast<int>(level) <= static_cast<int>(best_cpu_level());
+}
+
+SimdLevel active_level() {
+  const int forced = g_forced.load(std::memory_order_acquire);
+  if (forced >= 0) return static_cast<SimdLevel>(forced);
+  return startup_level();
+}
+
+const KernelTable& table(SimdLevel level) {
+  STARLAY_REQUIRE(level_supported(level), "kernel level not supported on this host/build");
+  switch (level) {
+    case SimdLevel::kScalar:
+      return kScalarTable;
+    case SimdLevel::kSSE4:
+#if defined(STARLAY_KERNELS_SSE4)
+      return kSse4Table;
+#else
+      break;
+#endif
+    case SimdLevel::kAVX2:
+#if defined(STARLAY_KERNELS_AVX2)
+      return kAvx2Table;
+#else
+      break;
+#endif
+  }
+  return kScalarTable;
+}
+
+const KernelTable& active() { return table(active_level()); }
+
+ScopedForcedLevel::ScopedForcedLevel(SimdLevel level)
+    : prev_(g_forced.load(std::memory_order_acquire)), effective_(clamp_supported(level)) {
+  g_forced.store(static_cast<int>(effective_), std::memory_order_release);
+}
+
+ScopedForcedLevel::~ScopedForcedLevel() { g_forced.store(prev_, std::memory_order_release); }
+
+}  // namespace starlay::layout::kernels

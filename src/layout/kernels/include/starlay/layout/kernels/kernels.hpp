@@ -1,0 +1,126 @@
+// Vectorized certification kernels with runtime CPU dispatch.
+//
+// The certifier's hot loops (adjacent-overlap scans over counting-sorted
+// segment buckets, via conflict scans, pierce probes, rect-index scans, and
+// the fingerprint fold) all reduce to branchless sweeps over packed int32
+// SoA arrays.  This layer provides one scalar and up to two x86 variants
+// (SSE4.2, AVX2) of each sweep behind a function-pointer table.  The level
+// is picked once at startup from CPUID, overridable with
+//
+//   STARLAY_SIMD=scalar|sse4|avx2
+//
+// (requests above what the CPU or build supports clamp down, so forcing
+// avx2 on a non-x86 host degrades gracefully to scalar).  Every variant of
+// every kernel computes bit-identical results; the equivalence is enforced
+// by tests/kernels_test.cpp and by the scalar-vs-SIMD metamorphic relation.
+//
+// Kernels only *count* or *locate* — they never build error strings.  The
+// callers run a vectorized count pass first and materialize messages with a
+// scalar re-scan only over the rare buckets that reported conflicts, so the
+// clean-layout fast path allocates nothing.
+
+#pragma once
+
+#include <cstdint>
+
+namespace starlay::layout::kernels {
+
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSSE4 = 1,
+  kAVX2 = 2,
+};
+
+/// Pierce-probe window: callers binary-search the lo-ascending line run for
+/// the first segment with lo > pos, then hand find_covering only the last
+/// kCoverWindow candidates before that point.  Track exclusivity bounds how
+/// many same-line spans can reach any single grid point, so the window is
+/// exact on layouts the rest of the validator accepts; both the materialized
+/// validator and the streaming certifier must use this same constant or
+/// their verdicts drift on pathological inputs.
+inline constexpr std::int64_t kCoverWindow = 16;
+
+/// "scalar" | "sse4" | "avx2".
+const char* level_name(SimdLevel level);
+
+/// One implementation of every kernel.  All variants are bit-identical.
+struct KernelTable {
+  /// Counts adjacent conflicting pairs (i, i+1) for i in [0, n-1):
+  /// line[i] == line[i+1] && lo[i+1] <= hi[i].  Arrays hold one bucket of
+  /// the SegmentIndex in canonical (line, lo, hi, wire) order, so a
+  /// conflict between *any* two same-line segments always shows up on an
+  /// adjacent pair.
+  std::int64_t (*count_seg_conflicts)(const std::int32_t* line, const std::int32_t* lo,
+                                      const std::int32_t* hi, std::int64_t n);
+
+  /// Counts adjacent via pairs (i, i+1) in (x, y, zlo, zhi, wire) order that
+  /// collide: same column, different wire, intersecting z-intervals.
+  std::int64_t (*count_via_conflicts)(const std::int32_t* x, const std::int32_t* y,
+                                      const std::int32_t* zlo, const std::int32_t* zhi,
+                                      const std::uint32_t* wire, std::int64_t n);
+
+  /// Pierce probe: index of the LAST segment in a line run (lo ascending)
+  /// with lo[i] <= pos <= hi[i] && wire[i] != self, or -1.  "Last" matches
+  /// the materialized message of the pre-kernel validator, which reported
+  /// the covering segment with the greatest span start.
+  std::int64_t (*find_covering)(const std::int32_t* lo, const std::int32_t* hi,
+                                const std::uint32_t* wire, std::int64_t n, std::int32_t pos,
+                                std::uint32_t self);
+
+  /// Rect-index scan: first i >= start with x0[i] <= xhi && x1[i] >= xlo,
+  /// or -1.  x0 is ascending, so the scan stops at the first x0 > xhi.
+  std::int64_t (*find_rect_overlap)(const std::int32_t* x0, const std::int32_t* x1,
+                                    std::int64_t n, std::int64_t start, std::int32_t xlo,
+                                    std::int32_t xhi);
+
+  /// FNV-1a fold of n 64-bit hashes into 4 independent lanes, round-robin:
+  /// lanes[i % 4] = (lanes[i % 4] ^ h[i]) * kFnvPrime.  Lanes are in/out so
+  /// large streams fold in blocks (keep block sizes a multiple of 4 to
+  /// preserve the lane phase).
+  void (*fold_hashes4)(const std::uint64_t* h, std::int64_t n, std::uint64_t lanes[4]);
+
+  /// Stride-4 AoS -> SoA transpose: for each record i in [0, n),
+  /// a[i] = in[4i], b[i] = in[4i+1], c[i] = in[4i+2], d[i] = in[4i+3].
+  /// The SegmentIndex's 16-byte PackedSeg records split into the four SoA
+  /// arrays the other kernels consume; the destinations must not alias the
+  /// source.
+  void (*deinterleave4)(const std::int32_t* in, std::int64_t n, std::int32_t* a,
+                        std::int32_t* b, std::int32_t* c, std::int32_t* d);
+};
+
+/// True when the variant was compiled into this binary (x86 + STARLAY_SIMD).
+bool level_compiled(SimdLevel level);
+
+/// True when the variant is compiled in *and* the CPU can run it.
+bool level_supported(SimdLevel level);
+
+/// The level in effect: forced override if set, else STARLAY_SIMD env (read
+/// once), else the best CPU-supported compiled level.
+SimdLevel active_level();
+
+/// Table for an explicit level; REQUIREs level_supported(level).  Lets the
+/// equivalence tests and the kernel bench drive every variant in-process.
+const KernelTable& table(SimdLevel level);
+
+/// Table for active_level().
+const KernelTable& active();
+
+/// RAII override of active_level() for tests/metamorphic relations.  The
+/// requested level clamps down to the best supported one, mirroring the env
+/// variable's graceful-fallback contract.
+class ScopedForcedLevel {
+ public:
+  explicit ScopedForcedLevel(SimdLevel level);
+  ~ScopedForcedLevel();
+  ScopedForcedLevel(const ScopedForcedLevel&) = delete;
+  ScopedForcedLevel& operator=(const ScopedForcedLevel&) = delete;
+
+  /// The level actually in effect after clamping.
+  SimdLevel effective() const { return effective_; }
+
+ private:
+  int prev_;
+  SimdLevel effective_;
+};
+
+}  // namespace starlay::layout::kernels

@@ -1,0 +1,212 @@
+// AVX2 kernels: 8 int32 comparisons per instruction on the packed SoA
+// arrays, 4x64-bit FNV lanes for the fingerprint fold.  Compiled with
+// -mavx2 on this TU only; dispatch.cpp never calls in here unless CPUID
+// reported AVX2, so no other TU needs the ISA flag.
+
+#include "kernels_internal.hpp"
+
+#if defined(STARLAY_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace starlay::layout::kernels {
+namespace {
+
+constexpr std::int64_t kPrefetchAhead = 16;  // 2 vectors ahead, in elements
+
+inline std::uint32_t mask_ps(__m256i m) {
+  return static_cast<std::uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(m)));
+}
+
+std::int64_t count_seg_conflicts_avx2(const std::int32_t* line, const std::int32_t* lo,
+                                      const std::int32_t* hi, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  std::int64_t i = 0;
+  for (; i + 9 <= n; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(line + i + kPrefetchAhead), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(lo + i + kPrefetchAhead), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(hi + i + kPrefetchAhead), _MM_HINT_T0);
+    const __m256i la = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line + i));
+    const __m256i lb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(line + i + 1));
+    const __m256i ha = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    const __m256i ob = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i + 1));
+    // conflict = (line equal) && !(next.lo > cur.hi)
+    const __m256i same_line = _mm256_cmpeq_epi32(la, lb);
+    const __m256i disjoint = _mm256_cmpgt_epi32(ob, ha);
+    const __m256i conflict = _mm256_andnot_si256(disjoint, same_line);
+    conflicts += __builtin_popcount(mask_ps(conflict));
+  }
+  for (; i + 1 < n; ++i) {
+    conflicts += static_cast<std::int64_t>(line[i] == line[i + 1] && lo[i + 1] <= hi[i]);
+  }
+  return conflicts;
+}
+
+std::int64_t count_via_conflicts_avx2(const std::int32_t* x, const std::int32_t* y,
+                                      const std::int32_t* zlo, const std::int32_t* zhi,
+                                      const std::uint32_t* wire, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  std::int64_t i = 0;
+  for (; i + 9 <= n; i += 8) {
+    const __m256i xa = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i xb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i + 1));
+    const __m256i ya = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    const __m256i yb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i + 1));
+    const __m256i za = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(zlo + i));
+    const __m256i zb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(zlo + i + 1));
+    const __m256i ta = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(zhi + i));
+    const __m256i tb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(zhi + i + 1));
+    const __m256i wa =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wire + i));
+    const __m256i wb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wire + i + 1));
+    const __m256i same_col =
+        _mm256_and_si256(_mm256_cmpeq_epi32(xa, xb), _mm256_cmpeq_epi32(ya, yb));
+    // z-intervals meet: !(zlo[i] > zhi[i+1]) && !(zlo[i+1] > zhi[i])
+    const __m256i z_apart =
+        _mm256_or_si256(_mm256_cmpgt_epi32(za, tb), _mm256_cmpgt_epi32(zb, ta));
+    const __m256i same_wire = _mm256_cmpeq_epi32(wa, wb);
+    const __m256i conflict =
+        _mm256_andnot_si256(same_wire, _mm256_andnot_si256(z_apart, same_col));
+    conflicts += __builtin_popcount(mask_ps(conflict));
+  }
+  for (; i + 1 < n; ++i) {
+    const bool same_column = x[i] == x[i + 1] && y[i] == y[i + 1];
+    const bool z_meet = zlo[i] <= zhi[i + 1] && zlo[i + 1] <= zhi[i];
+    conflicts += static_cast<std::int64_t>(same_column && z_meet && wire[i] != wire[i + 1]);
+  }
+  return conflicts;
+}
+
+std::int64_t find_covering_avx2(const std::int32_t* lo, const std::int32_t* hi,
+                                const std::uint32_t* wire, std::int64_t n, std::int32_t pos,
+                                std::uint32_t self) {
+  const __m256i vpos = _mm256_set1_epi32(pos);
+  const __m256i vself = _mm256_set1_epi32(static_cast<std::int32_t>(self));
+  std::int64_t last = -1;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vlo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lo + i));
+    const __m256i vhi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hi + i));
+    const __m256i vw = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wire + i));
+    const __m256i lo_gt = _mm256_cmpgt_epi32(vlo, vpos);     // lane starts past pos
+    const __m256i pos_gt = _mm256_cmpgt_epi32(vpos, vhi);    // lane ends before pos
+    const __m256i is_self = _mm256_cmpeq_epi32(vw, vself);
+    __m256i cover = _mm256_andnot_si256(lo_gt, _mm256_andnot_si256(pos_gt, _mm256_set1_epi32(-1)));
+    cover = _mm256_andnot_si256(is_self, cover);
+    const std::uint32_t bits = mask_ps(cover);
+    if (bits != 0) last = i + (31 - __builtin_clz(bits));
+    // lo is ascending: once any lane starts past pos, later blocks cannot
+    // cover it (and within this block those lanes were already masked off).
+    if (mask_ps(lo_gt) != 0) return last;
+  }
+  for (; i < n; ++i) {
+    if (lo[i] > pos) break;
+    if (pos <= hi[i] && wire[i] != self) last = i;
+  }
+  return last;
+}
+
+std::int64_t find_rect_overlap_avx2(const std::int32_t* x0, const std::int32_t* x1,
+                                    std::int64_t n, std::int64_t start, std::int32_t xlo,
+                                    std::int32_t xhi) {
+  const __m256i vxlo = _mm256_set1_epi32(xlo);
+  const __m256i vxhi = _mm256_set1_epi32(xhi);
+  std::int64_t i = start;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x0 + i));
+    const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x1 + i));
+    const __m256i past = _mm256_cmpgt_epi32(v0, vxhi);   // x0 > xhi: stop lane
+    const __m256i miss = _mm256_cmpgt_epi32(vxlo, v1);   // x1 < xlo: skip lane
+    const __m256i hit = _mm256_andnot_si256(past, _mm256_andnot_si256(miss, _mm256_set1_epi32(-1)));
+    const std::uint32_t hit_bits = mask_ps(hit);
+    const std::uint32_t past_bits = mask_ps(past);
+    if (hit_bits != 0) {
+      const std::int64_t idx = i + __builtin_ctz(hit_bits);
+      // A hit counts only if it precedes the first stopped lane.
+      if (past_bits == 0 || __builtin_ctz(hit_bits) < __builtin_ctz(past_bits)) return idx;
+    }
+    if (past_bits != 0) return -1;
+  }
+  for (; i < n; ++i) {
+    if (x0[i] > xhi) return -1;
+    if (x1[i] >= xlo) return i;
+  }
+  return -1;
+}
+
+/// 64-bit a * kFnvPrime per lane via 32x32 cross products (AVX2 has no
+/// vpmullq): lo = aL*pL, cross = (aH*pL + aL*pH) << 32.
+inline __m256i mul_fnv_prime(__m256i a) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;  // 0x100000001B3
+  const __m256i p = _mm256_set1_epi64x(static_cast<long long>(kPrime));
+  const __m256i p_hi = _mm256_srli_epi64(p, 32);
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i lo = _mm256_mul_epu32(a, p);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, p), _mm256_mul_epu32(a, p_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+void fold_hashes4_avx2(const std::uint64_t* h, std::int64_t n, std::uint64_t lanes[4]) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_prefetch(reinterpret_cast<const char*>(h + i + 16), _MM_HINT_T0);
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + i));
+    acc = mul_fnv_prime(_mm256_xor_si256(acc, v));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  for (int j = 0; i < n; ++i, ++j) lanes[j] = (lanes[j] ^ h[i]) * kPrime;
+}
+
+void deinterleave4_avx2(const std::int32_t* in, std::int64_t n, std::int32_t* a,
+                        std::int32_t* b, std::int32_t* c, std::int32_t* d) {
+  const __m256i gather = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(in + 4 * i + 64), _MM_HINT_T0);
+    // Each 256-bit load holds two whole records, one per 128-bit lane.
+    const __m256i r01 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4 * i));
+    const __m256i r23 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4 * i + 8));
+    const __m256i r45 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4 * i + 16));
+    const __m256i r67 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + 4 * i + 24));
+    // Per-lane 32-bit unpacks pair fields of records 2 apart...
+    const __m256i t0 = _mm256_unpacklo_epi32(r01, r23);  // a0 a2 b0 b2 | a1 a3 b1 b3
+    const __m256i t1 = _mm256_unpackhi_epi32(r01, r23);  // c0 c2 d0 d2 | c1 c3 d1 d3
+    const __m256i t2 = _mm256_unpacklo_epi32(r45, r67);  // a4 a6 b4 b6 | a5 a7 b5 b7
+    const __m256i t3 = _mm256_unpackhi_epi32(r45, r67);  // c4 c6 d4 d6 | c5 c7 d5 d7
+    // ...64-bit unpacks gather one field per vector, stride-2 interleaved...
+    const __m256i av = _mm256_unpacklo_epi64(t0, t2);  // a0 a2 a4 a6 | a1 a3 a5 a7
+    const __m256i bv = _mm256_unpackhi_epi64(t0, t2);
+    const __m256i cv = _mm256_unpacklo_epi64(t1, t3);
+    const __m256i dv = _mm256_unpackhi_epi64(t1, t3);
+    // ...and a cross-lane permute restores record order.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + i),
+                        _mm256_permutevar8x32_epi32(av, gather));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(b + i),
+                        _mm256_permutevar8x32_epi32(bv, gather));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + i),
+                        _mm256_permutevar8x32_epi32(cv, gather));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(d + i),
+                        _mm256_permutevar8x32_epi32(dv, gather));
+  }
+  for (; i < n; ++i) {
+    a[i] = in[4 * i + 0];
+    b[i] = in[4 * i + 1];
+    c[i] = in[4 * i + 2];
+    d[i] = in[4 * i + 3];
+  }
+}
+
+}  // namespace
+
+const KernelTable kAvx2Table = {
+    &count_seg_conflicts_avx2, &count_via_conflicts_avx2, &find_covering_avx2,
+    &find_rect_overlap_avx2,   &fold_hashes4_avx2,        &deinterleave4_avx2,
+};
+
+}  // namespace starlay::layout::kernels
+
+#endif  // STARLAY_KERNELS_AVX2

@@ -1,0 +1,19 @@
+// Internal glue between the per-ISA translation units and the dispatcher.
+// Each variant TU defines one table; dispatch.cpp links whichever ones the
+// build compiled in (STARLAY_KERNELS_SSE4 / STARLAY_KERNELS_AVX2).
+
+#pragma once
+
+#include "starlay/layout/kernels/kernels.hpp"
+
+namespace starlay::layout::kernels {
+
+extern const KernelTable kScalarTable;
+#if defined(STARLAY_KERNELS_SSE4)
+extern const KernelTable kSse4Table;
+#endif
+#if defined(STARLAY_KERNELS_AVX2)
+extern const KernelTable kAvx2Table;
+#endif
+
+}  // namespace starlay::layout::kernels

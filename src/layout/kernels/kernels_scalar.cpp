@@ -1,0 +1,82 @@
+// Scalar reference kernels.  Every SIMD variant must match these bit for
+// bit; tests/kernels_test.cpp enforces it exhaustively on small buckets.
+// The loops are written branch-light (mask arithmetic, no early stores) so
+// the scalar fallback is itself respectable on non-x86 hosts.
+
+#include "kernels_internal.hpp"
+
+namespace starlay::layout::kernels {
+namespace {
+
+std::int64_t count_seg_conflicts_scalar(const std::int32_t* line, const std::int32_t* lo,
+                                        const std::int32_t* hi, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  for (std::int64_t i = 0; i + 1 < n; ++i) {
+    conflicts += static_cast<std::int64_t>(line[i] == line[i + 1] && lo[i + 1] <= hi[i]);
+  }
+  return conflicts;
+}
+
+std::int64_t count_via_conflicts_scalar(const std::int32_t* x, const std::int32_t* y,
+                                        const std::int32_t* zlo, const std::int32_t* zhi,
+                                        const std::uint32_t* wire, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  for (std::int64_t i = 0; i + 1 < n; ++i) {
+    const bool same_column = x[i] == x[i + 1] && y[i] == y[i + 1];
+    const bool z_meet = zlo[i] <= zhi[i + 1] && zlo[i + 1] <= zhi[i];
+    conflicts += static_cast<std::int64_t>(same_column && z_meet && wire[i] != wire[i + 1]);
+  }
+  return conflicts;
+}
+
+std::int64_t find_covering_scalar(const std::int32_t* lo, const std::int32_t* hi,
+                                  const std::uint32_t* wire, std::int64_t n, std::int32_t pos,
+                                  std::uint32_t self) {
+  std::int64_t last = -1;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (lo[i] > pos) break;  // lo ascending: nothing further can cover pos
+    if (pos <= hi[i] && wire[i] != self) last = i;
+  }
+  return last;
+}
+
+std::int64_t find_rect_overlap_scalar(const std::int32_t* x0, const std::int32_t* x1,
+                                      std::int64_t n, std::int64_t start, std::int32_t xlo,
+                                      std::int32_t xhi) {
+  for (std::int64_t i = start; i < n; ++i) {
+    if (x0[i] > xhi) return -1;  // x0 ascending: past the query window
+    if (x1[i] >= xlo) return i;
+  }
+  return -1;
+}
+
+void fold_hashes4_scalar(const std::uint64_t* h, std::int64_t n, std::uint64_t lanes[4]) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lanes[0] = (lanes[0] ^ h[i + 0]) * kPrime;
+    lanes[1] = (lanes[1] ^ h[i + 1]) * kPrime;
+    lanes[2] = (lanes[2] ^ h[i + 2]) * kPrime;
+    lanes[3] = (lanes[3] ^ h[i + 3]) * kPrime;
+  }
+  for (int j = 0; i < n; ++i, ++j) lanes[j] = (lanes[j] ^ h[i]) * kPrime;
+}
+
+void deinterleave4_scalar(const std::int32_t* in, std::int64_t n, std::int32_t* a,
+                          std::int32_t* b, std::int32_t* c, std::int32_t* d) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    a[i] = in[4 * i + 0];
+    b[i] = in[4 * i + 1];
+    c[i] = in[4 * i + 2];
+    d[i] = in[4 * i + 3];
+  }
+}
+
+}  // namespace
+
+const KernelTable kScalarTable = {
+    &count_seg_conflicts_scalar, &count_via_conflicts_scalar, &find_covering_scalar,
+    &find_rect_overlap_scalar,   &fold_hashes4_scalar,        &deinterleave4_scalar,
+};
+
+}  // namespace starlay::layout::kernels

@@ -1,0 +1,184 @@
+// SSE4.2 kernels: 4 int32 lanes per instruction.  Same math as the AVX2
+// variant at half width; exists so pre-AVX2 x86 still gets a vector path
+// and so the dispatch ladder has a middle rung to test clamping against.
+
+#include "kernels_internal.hpp"
+
+#if defined(STARLAY_KERNELS_SSE4)
+
+#include <nmmintrin.h>
+
+namespace starlay::layout::kernels {
+namespace {
+
+inline std::uint32_t mask_ps(__m128i m) {
+  return static_cast<std::uint32_t>(_mm_movemask_ps(_mm_castsi128_ps(m)));
+}
+
+std::int64_t count_seg_conflicts_sse4(const std::int32_t* line, const std::int32_t* lo,
+                                      const std::int32_t* hi, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  std::int64_t i = 0;
+  for (; i + 5 <= n; i += 4) {
+    const __m128i la = _mm_loadu_si128(reinterpret_cast<const __m128i*>(line + i));
+    const __m128i lb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(line + i + 1));
+    const __m128i ha = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    const __m128i ob = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i + 1));
+    const __m128i same_line = _mm_cmpeq_epi32(la, lb);
+    const __m128i disjoint = _mm_cmpgt_epi32(ob, ha);
+    conflicts += __builtin_popcount(mask_ps(_mm_andnot_si128(disjoint, same_line)));
+  }
+  for (; i + 1 < n; ++i) {
+    conflicts += static_cast<std::int64_t>(line[i] == line[i + 1] && lo[i + 1] <= hi[i]);
+  }
+  return conflicts;
+}
+
+std::int64_t count_via_conflicts_sse4(const std::int32_t* x, const std::int32_t* y,
+                                      const std::int32_t* zlo, const std::int32_t* zhi,
+                                      const std::uint32_t* wire, std::int64_t n) {
+  std::int64_t conflicts = 0;
+  std::int64_t i = 0;
+  for (; i + 5 <= n; i += 4) {
+    const __m128i xa = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i xb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i + 1));
+    const __m128i ya = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    const __m128i yb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i + 1));
+    const __m128i za = _mm_loadu_si128(reinterpret_cast<const __m128i*>(zlo + i));
+    const __m128i zb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(zlo + i + 1));
+    const __m128i ta = _mm_loadu_si128(reinterpret_cast<const __m128i*>(zhi + i));
+    const __m128i tb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(zhi + i + 1));
+    const __m128i wa = _mm_loadu_si128(reinterpret_cast<const __m128i*>(wire + i));
+    const __m128i wb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(wire + i + 1));
+    const __m128i same_col = _mm_and_si128(_mm_cmpeq_epi32(xa, xb), _mm_cmpeq_epi32(ya, yb));
+    const __m128i z_apart = _mm_or_si128(_mm_cmpgt_epi32(za, tb), _mm_cmpgt_epi32(zb, ta));
+    const __m128i same_wire = _mm_cmpeq_epi32(wa, wb);
+    const __m128i conflict =
+        _mm_andnot_si128(same_wire, _mm_andnot_si128(z_apart, same_col));
+    conflicts += __builtin_popcount(mask_ps(conflict));
+  }
+  for (; i + 1 < n; ++i) {
+    const bool same_column = x[i] == x[i + 1] && y[i] == y[i + 1];
+    const bool z_meet = zlo[i] <= zhi[i + 1] && zlo[i + 1] <= zhi[i];
+    conflicts += static_cast<std::int64_t>(same_column && z_meet && wire[i] != wire[i + 1]);
+  }
+  return conflicts;
+}
+
+std::int64_t find_covering_sse4(const std::int32_t* lo, const std::int32_t* hi,
+                                const std::uint32_t* wire, std::int64_t n, std::int32_t pos,
+                                std::uint32_t self) {
+  const __m128i vpos = _mm_set1_epi32(pos);
+  const __m128i vself = _mm_set1_epi32(static_cast<std::int32_t>(self));
+  std::int64_t last = -1;
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vlo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lo + i));
+    const __m128i vhi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(hi + i));
+    const __m128i vw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(wire + i));
+    const __m128i lo_gt = _mm_cmpgt_epi32(vlo, vpos);
+    const __m128i pos_gt = _mm_cmpgt_epi32(vpos, vhi);
+    const __m128i is_self = _mm_cmpeq_epi32(vw, vself);
+    __m128i cover = _mm_andnot_si128(lo_gt, _mm_andnot_si128(pos_gt, _mm_set1_epi32(-1)));
+    cover = _mm_andnot_si128(is_self, cover);
+    const std::uint32_t bits = mask_ps(cover);
+    if (bits != 0) last = i + (31 - __builtin_clz(bits));
+    if (mask_ps(lo_gt) != 0) return last;
+  }
+  for (; i < n; ++i) {
+    if (lo[i] > pos) break;
+    if (pos <= hi[i] && wire[i] != self) last = i;
+  }
+  return last;
+}
+
+std::int64_t find_rect_overlap_sse4(const std::int32_t* x0, const std::int32_t* x1,
+                                    std::int64_t n, std::int64_t start, std::int32_t xlo,
+                                    std::int32_t xhi) {
+  const __m128i vxlo = _mm_set1_epi32(xlo);
+  const __m128i vxhi = _mm_set1_epi32(xhi);
+  std::int64_t i = start;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x0 + i));
+    const __m128i v1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(x1 + i));
+    const __m128i past = _mm_cmpgt_epi32(v0, vxhi);
+    const __m128i miss = _mm_cmpgt_epi32(vxlo, v1);
+    const __m128i hit = _mm_andnot_si128(past, _mm_andnot_si128(miss, _mm_set1_epi32(-1)));
+    const std::uint32_t hit_bits = mask_ps(hit);
+    const std::uint32_t past_bits = mask_ps(past);
+    if (hit_bits != 0) {
+      if (past_bits == 0 || __builtin_ctz(hit_bits) < __builtin_ctz(past_bits)) {
+        return i + __builtin_ctz(hit_bits);
+      }
+    }
+    if (past_bits != 0) return -1;
+  }
+  for (; i < n; ++i) {
+    if (x0[i] > xhi) return -1;
+    if (x1[i] >= xlo) return i;
+  }
+  return -1;
+}
+
+inline __m128i mul_fnv_prime(__m128i a) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;  // 0x100000001B3
+  const __m128i p = _mm_set1_epi64x(static_cast<long long>(kPrime));
+  const __m128i p_hi = _mm_srli_epi64(p, 32);
+  const __m128i a_hi = _mm_srli_epi64(a, 32);
+  const __m128i lo = _mm_mul_epu32(a, p);
+  const __m128i cross = _mm_add_epi64(_mm_mul_epu32(a_hi, p), _mm_mul_epu32(a, p_hi));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+void fold_hashes4_sse4(const std::uint64_t* h, std::int64_t n, std::uint64_t lanes[4]) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  __m128i acc01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  __m128i acc23 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 2));
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i v01 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i));
+    const __m128i v23 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + i + 2));
+    acc01 = mul_fnv_prime(_mm_xor_si128(acc01, v01));
+    acc23 = mul_fnv_prime(_mm_xor_si128(acc23, v23));
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc01);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes + 2), acc23);
+  for (int j = 0; i < n; ++i, ++j) lanes[j] = (lanes[j] ^ h[i]) * kPrime;
+}
+
+void deinterleave4_sse4(const std::int32_t* in, std::int64_t n, std::int32_t* a,
+                        std::int32_t* b, std::int32_t* c, std::int32_t* d) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // Classic 4x4 int32 transpose: 4 records -> one vector per field.
+    const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * i));
+    const __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * i + 4));
+    const __m128i r2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * i + 8));
+    const __m128i r3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 4 * i + 12));
+    const __m128i t0 = _mm_unpacklo_epi32(r0, r1);  // a0 a1 b0 b1
+    const __m128i t1 = _mm_unpackhi_epi32(r0, r1);  // c0 c1 d0 d1
+    const __m128i t2 = _mm_unpacklo_epi32(r2, r3);  // a2 a3 b2 b3
+    const __m128i t3 = _mm_unpackhi_epi32(r2, r3);  // c2 c3 d2 d3
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(a + i), _mm_unpacklo_epi64(t0, t2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b + i), _mm_unpackhi_epi64(t0, t2));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(c + i), _mm_unpacklo_epi64(t1, t3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(d + i), _mm_unpackhi_epi64(t1, t3));
+  }
+  for (; i < n; ++i) {
+    a[i] = in[4 * i + 0];
+    b[i] = in[4 * i + 1];
+    c[i] = in[4 * i + 2];
+    d[i] = in[4 * i + 3];
+  }
+}
+
+}  // namespace
+
+const KernelTable kSse4Table = {
+    &count_seg_conflicts_sse4, &count_via_conflicts_sse4, &find_covering_sse4,
+    &find_rect_overlap_sse4,   &fold_hashes4_sse4,        &deinterleave4_sse4,
+};
+
+}  // namespace starlay::layout::kernels
+
+#endif  // STARLAY_KERNELS_SSE4

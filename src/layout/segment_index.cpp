@@ -1,8 +1,10 @@
 #include "starlay/layout/segment_index.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/thread_pool.hpp"
 
@@ -10,11 +12,14 @@ namespace starlay::layout {
 
 namespace {
 
-constexpr std::int64_t kWireGrain = 8192;  // per-wire counting / filling
+constexpr std::int64_t kWireGrain = 8192;  // per-wire counting / scatter
 constexpr std::int64_t kLineGrain = 1024;  // per-line sorting
+constexpr std::int64_t kSplitGrain = 1 << 16;  // AoS -> SoA split
+constexpr std::size_t kBatch = 2048;  // segments buffered per prefetch batch
 
 /// Invokes f(layer, horizontal, line, lo, hi) for every non-degenerate
-/// segment of wire w, in point order.
+/// segment of wire w, in point order.  Coordinates stay int32: WireStore
+/// rejects anything wider on append.
 template <typename F>
 void for_wire_segments(const Point32* pts, const std::uint32_t* off,
                        const WireStore::Meta& m, std::int64_t w, F&& f) {
@@ -23,18 +28,102 @@ void for_wire_segments(const Point32* pts, const std::uint32_t* off,
     const Point32 b = pts[i];
     if (a == b) continue;
     if (a.y == b.y)
-      f(m.h_layer, true, static_cast<Coord>(a.y), static_cast<Coord>(std::min(a.x, b.x)),
-        static_cast<Coord>(std::max(a.x, b.x)));
+      f(m.h_layer, true, a.y, std::min(a.x, b.x), std::max(a.x, b.x));
     else
-      f(m.v_layer, false, static_cast<Coord>(a.x), static_cast<Coord>(std::min(a.y, b.y)),
-        static_cast<Coord>(std::max(a.y, b.y)));
+      f(m.v_layer, false, a.x, std::min(a.y, b.y), std::max(a.y, b.y));
   }
 }
 
-bool span_less(const LayerSegment& a, const LayerSegment& b) {
-  if (a.span.lo != b.span.lo) return a.span.lo < b.span.lo;
-  if (a.span.hi != b.span.hi) return a.span.hi < b.span.hi;
+bool span_less(const SegmentIndex::PackedSeg& a, const SegmentIndex::PackedSeg& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  if (a.hi != b.hi) return a.hi < b.hi;
   return a.wire < b.wire;
+}
+
+/// (lo, hi) folded into one unsigned word whose integer order equals the
+/// signed lexicographic order span_less uses — one compare instead of two
+/// data-dependent branches in the insertion sort's hot loop.
+std::uint64_t span_key(const SegmentIndex::PackedSeg& s) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.lo) ^ 0x80000000u)
+          << 32) |
+         (static_cast<std::uint32_t>(s.hi) ^ 0x80000000u);
+}
+
+/// 128-bit sort word: (span_key | via_key, wire/tie-break) — one branchless
+/// compare instead of a branchy multi-field comparator.
+__extension__ typedef unsigned __int128 SortWord;
+
+/// Comparison-free run sort: within a run the line is constant, so a record
+/// is exactly (span_key, wire) — fold it into one SortWord, sort plain
+/// integers, and decode in place.  The encode/decode is bijective, so no
+/// permutation bookkeeping is needed, and ties produce byte-identical
+/// records either way — scatter order still never shows in the result.
+void sort_run_encoded(SegmentIndex::PackedSeg* first, std::ptrdiff_t n) {
+  thread_local std::vector<SortWord> buf;
+  buf.resize(static_cast<std::size_t>(n));
+  for (std::ptrdiff_t i = 0; i < n; ++i)
+    buf[static_cast<std::size_t>(i)] =
+        (static_cast<SortWord>(span_key(first[i])) << 64) | first[i].wire;
+  std::sort(buf.begin(), buf.end());
+  const std::int32_t line = first[0].line;
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::uint64_t k = static_cast<std::uint64_t>(buf[static_cast<std::size_t>(i)] >> 64);
+    first[i] = {line,
+                static_cast<std::int32_t>(static_cast<std::uint32_t>(k >> 32) ^
+                                          0x80000000u),
+                static_cast<std::int32_t>(static_cast<std::uint32_t>(k) ^ 0x80000000u),
+                static_cast<std::uint32_t>(buf[static_cast<std::size_t>(i)])};
+  }
+}
+
+/// Sorts one line's run by (lo, hi, wire).  The scatter delivers each run
+/// in wire order, whose distance from span order varies wildly with scale:
+/// small stars leave most runs already sorted, while at star n = 9 over
+/// half the segments sit in runs that are thoroughly shuffled (an insertion
+/// sort there burns its whole shift budget and falls back anyway — measured
+/// 18M wasted shifts per build).  A key-compare pre-scan classifies the run
+/// first: already sorted returns immediately, near-sorted runs take the
+/// insertion path from the first out-of-place record, and everything else
+/// goes straight to the encoded integer sort.  The shift budget stays as
+/// the adversarial guard (few inversions but long shift distances).
+void sort_run(SegmentIndex::PackedSeg* first, SegmentIndex::PackedSeg* last) {
+  const std::ptrdiff_t n = last - first;
+  if (n <= 1) return;
+  std::ptrdiff_t oop = 0;    ///< adjacent pairs out of order
+  std::ptrdiff_t start = 0;  ///< first out-of-place index
+  for (std::ptrdiff_t i = 1; i < n; ++i) {
+    const std::uint64_t ki = span_key(first[i]);
+    const std::uint64_t kp = span_key(first[i - 1]);
+    if (ki < kp || (ki == kp && first[i].wire < first[i - 1].wire)) {
+      if (oop == 0) start = i;
+      ++oop;
+    }
+  }
+  if (oop == 0) return;
+  if (oop > n / 8) {
+    sort_run_encoded(first, n);
+    return;
+  }
+  std::ptrdiff_t budget = 4 * n + 64;
+  for (std::ptrdiff_t i = start; i < n; ++i) {
+    const std::uint64_t ki = span_key(first[i]);
+    const std::uint64_t kp = span_key(first[i - 1]);
+    if (ki > kp || (ki == kp && first[i].wire >= first[i - 1].wire)) continue;
+    const SegmentIndex::PackedSeg v = first[i];
+    std::ptrdiff_t j = i;
+    while (j > 0) {
+      const std::uint64_t kj = span_key(first[j - 1]);
+      if (ki > kj || (ki == kj && v.wire >= first[j - 1].wire)) break;
+      first[j] = first[j - 1];
+      --j;
+      if (--budget < 0) {
+        first[j] = v;
+        sort_run_encoded(first, n);
+        return;
+      }
+    }
+    first[j] = v;
+  }
 }
 
 }  // namespace
@@ -48,25 +137,33 @@ SegmentIndex::SegmentIndex(const Layout& lay) {
   if (W == 0) return;
 
   // Layer range (over wire metadata; buckets for layers that carry no
-  // segments simply stay empty).
+  // segments simply stay empty), plus an upper bound on the segment count
+  // (every point pair, degenerate ones included) from the offsets alone.
   const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+  std::int64_t pairs_ub = 0;
   {
-    std::vector<std::pair<std::int16_t, std::int16_t>> partial(
-        static_cast<std::size_t>(chunks), {std::numeric_limits<std::int16_t>::max(),
-                                           std::numeric_limits<std::int16_t>::min()});
+    struct Partial {
+      std::int16_t mn = std::numeric_limits<std::int16_t>::max();
+      std::int16_t mx = std::numeric_limits<std::int16_t>::min();
+      std::int64_t pairs = 0;
+    };
+    std::vector<Partial> partial(static_cast<std::size_t>(chunks));
     support::parallel_for(0, W, kWireGrain,
                           [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
-      auto& [mn, mx] = partial[static_cast<std::size_t>(chunk)];
+      Partial& p = partial[static_cast<std::size_t>(chunk)];
       for (std::int64_t i = lo; i < hi; ++i) {
-        mn = std::min({mn, meta[i].h_layer, meta[i].v_layer});
-        mx = std::max({mx, meta[i].h_layer, meta[i].v_layer});
+        p.mn = std::min({p.mn, meta[i].h_layer, meta[i].v_layer});
+        p.mx = std::max({p.mx, meta[i].h_layer, meta[i].v_layer});
+        const std::int64_t npts = static_cast<std::int64_t>(off[i + 1]) - off[i];
+        p.pairs += std::max<std::int64_t>(0, npts - 1);
       }
     });
     min_layer_ = std::numeric_limits<std::int16_t>::max();
     max_layer_ = std::numeric_limits<std::int16_t>::min();
-    for (const auto& [mn, mx] : partial) {
-      min_layer_ = std::min(min_layer_, mn);
-      max_layer_ = std::max(max_layer_, mx);
+    for (const Partial& p : partial) {
+      min_layer_ = std::min(min_layer_, p.mn);
+      max_layer_ = std::max(max_layer_, p.mx);
+      pairs_ub += p.pairs;
     }
   }
   const std::int64_t B = (static_cast<std::int64_t>(max_layer_) - min_layer_ + 1) * 2;
@@ -74,127 +171,276 @@ SegmentIndex::SegmentIndex(const Layout& lay) {
     return (static_cast<std::int64_t>(layer) - min_layer_) * 2 + (horizontal ? 1 : 0);
   };
 
-  // Pass 1: per-chunk, per-bucket segment counts.
-  std::vector<std::int64_t> counts(static_cast<std::size_t>(chunks * B), 0);
-  support::parallel_for(0, W, kWireGrain,
-                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
-    std::int64_t* c = counts.data() + chunk * B;
-    for (std::int64_t w = lo; w < hi; ++w)
-      for_wire_segments(pts, off, meta[w], w,
-                        [&](std::int16_t layer, bool horizontal, Coord, Coord, Coord) {
-                          ++c[bucket_of(layer, horizontal)];
-                        });
-  });
-
-  // Serial prefix sum in (bucket, chunk) order: bucket-major placement that
-  // preserves wire order within a bucket and is thread-count independent.
+  // When every bucket's dense per-line table fits the histogram budget (the
+  // same 4x-the-segments bound the per-bucket pick uses, applied to the
+  // upper bound), the counting pass is redundant: allocate every table up
+  // front, run the histogram sweep alone, and read the bucket counts off
+  // the histogram sums — one sweep over the wires instead of two.
+  const Rect& bb = lay.bounding_box();
+  const std::int64_t dense_cells = (B / 2) * (bb.width() + bb.height());
+  const bool fused = pairs_ub > 0 && dense_cells <= 4 * pairs_ub + 4096;
   buckets_.resize(static_cast<std::size_t>(B));
-  std::vector<std::int64_t> cursor(static_cast<std::size_t>(chunks * B), 0);
-  std::int64_t run = 0;
-  for (std::int64_t b = 0; b < B; ++b) {
-    buckets_[static_cast<std::size_t>(b)].begin = run;
-    for (std::int64_t c = 0; c < chunks; ++c) {
-      cursor[static_cast<std::size_t>(c * B + b)] = run;
-      run += counts[static_cast<std::size_t>(c * B + b)];
+  std::int64_t run = 0;  ///< total (non-degenerate) segment count
+  if (fused) {
+    for (std::int64_t b = 0; b < B; ++b) {
+      Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+      const bool horizontal = (b % 2) == 1;
+      const std::int64_t nlines = horizontal ? bb.height() : bb.width();
+      bk.base = horizontal ? bb.y0 : bb.x0;
+      bk.line_start.assign(static_cast<std::size_t>(nlines) + 1, 0);
     }
-    buckets_[static_cast<std::size_t>(b)].end = run;
+  } else {
+    // Pass 1: per-chunk, per-bucket segment counts -> bucket begin/end.
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(chunks * B), 0);
+    support::parallel_for(0, W, kWireGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      std::int64_t* c = counts.data() + chunk * B;
+      for (std::int64_t w = lo; w < hi; ++w)
+        for_wire_segments(pts, off, meta[w], w,
+                          [&](std::int16_t layer, bool horizontal, std::int32_t,
+                              std::int32_t, std::int32_t) { ++c[bucket_of(layer, horizontal)]; });
+    });
+    for (std::int64_t b = 0; b < B; ++b) {
+      buckets_[static_cast<std::size_t>(b)].begin = run;
+      for (std::int64_t c = 0; c < chunks; ++c)
+        run += counts[static_cast<std::size_t>(c * B + b)];
+      buckets_[static_cast<std::size_t>(b)].end = run;
+    }
+
+    // Pick each bucket's representation up front.  Dense coordinate ranges
+    // get a per-line histogram (counting sort); degenerate layouts whose
+    // range dwarfs the segment count fall back to one comparison sort per
+    // bucket.
+    for (std::int64_t b = 0; b < B; ++b) {
+      Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+      const std::int64_t count = bk.end - bk.begin;
+      if (count == 0) continue;
+      const bool horizontal = (b % 2) == 1;
+      const std::int64_t nlines = horizontal ? bb.height() : bb.width();
+      if (nlines > 4 * count + 1024) continue;  // sparse: line_start stays empty
+      bk.base = horizontal ? bb.y0 : bb.x0;
+      bk.line_start.assign(static_cast<std::size_t>(nlines) + 1, 0);
+    }
   }
 
-  // Pass 2: place each segment into its bucket slice.
-  segs_.resize(static_cast<std::size_t>(run));
+  // Pass 2: per-(bucket, line) histogram straight from the wires.  Relaxed
+  // atomic adds commute, so the counts are thread-count independent.  The
+  // cell addresses are staged through a small batch so the random histogram
+  // misses overlap under a lookahead prefetch instead of serializing.  A
+  // 1-thread pool runs chunks inline on the calling thread, so the lock
+  // prefix (and its ~20-cycle toll per increment) can be skipped outright.
+  const bool serial = support::ThreadPool::instance().num_threads() == 1;
+  std::vector<std::uint8_t> bad(static_cast<std::size_t>(chunks), 0);
   support::parallel_for(0, W, kWireGrain,
                         [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
-    std::int64_t* cur = cursor.data() + chunk * B;
+    std::vector<std::int64_t*> cells;
+    cells.reserve(kBatch);
+    const auto flush = [&] {
+      const std::size_t nb = cells.size();
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (j + 16 < nb) __builtin_prefetch(cells[j + 16], 1);
+        if (serial)
+          ++*cells[j];
+        else
+          std::atomic_ref<std::int64_t>(*cells[j]).fetch_add(1, std::memory_order_relaxed);
+      }
+      cells.clear();
+    };
     for (std::int64_t w = lo; w < hi; ++w)
       for_wire_segments(pts, off, meta[w], w,
-                        [&](std::int16_t layer, bool horizontal, Coord line, Coord slo,
-                            Coord shi) {
-                          segs_[static_cast<std::size_t>(
-                              cur[bucket_of(layer, horizontal)]++)] =
-                              {layer, horizontal, line, {slo, shi}, w};
+                        [&](std::int16_t layer, bool horizontal, std::int32_t line,
+                            std::int32_t, std::int32_t) {
+                          Bucket& bk = buckets_[static_cast<std::size_t>(
+                              bucket_of(layer, horizontal))];
+                          if (bk.line_start.empty()) return;
+                          const std::int64_t l = line - bk.base;
+                          if (l < 0 || l + 1 >= static_cast<std::int64_t>(bk.line_start.size())) {
+                            bad[static_cast<std::size_t>(chunk)] = 1;
+                            return;
+                          }
+                          cells.push_back(bk.line_start.data() + l + 1);
+                          if (cells.size() == kBatch) flush();
                         });
+    flush();
   });
+  for (const std::uint8_t f : bad)
+    STARLAY_REQUIRE(!f, "SegmentIndex: segment outside bounding box");
 
-  // Pass 3: order each bucket by (line, span.lo, span.hi, wire).
-  const Rect& bb = lay.bounding_box();
-  std::vector<LayerSegment> scratch;
+  // Prefix sums -> absolute per-line offsets, plus scatter cursors (one per
+  // line for histogram buckets, one per bucket for sparse ones).  In the
+  // fused build the bucket ranges come straight off the histogram totals.
+  std::vector<std::vector<std::int64_t>> curs(static_cast<std::size_t>(B));
+  std::vector<std::int64_t> sparse_cur(static_cast<std::size_t>(B), 0);
   for (std::int64_t b = 0; b < B; ++b) {
     Bucket& bk = buckets_[static_cast<std::size_t>(b)];
-    const std::int64_t count = bk.end - bk.begin;
-    if (count == 0) continue;
-    const bool horizontal = (b % 2) == 1;
-    const Coord base = horizontal ? bb.y0 : bb.x0;
-    const std::int64_t nlines = horizontal ? bb.height() : bb.width();
-    if (nlines > 4 * count + 1024) {
-      // Sparse coordinate range: a comparison sort beats the histogram.
-      std::sort(segs_.begin() + static_cast<std::ptrdiff_t>(bk.begin),
-                segs_.begin() + static_cast<std::ptrdiff_t>(bk.end),
-                [](const LayerSegment& a, const LayerSegment& c) {
-                  if (a.line != c.line) return a.line < c.line;
-                  return span_less(a, c);
-                });
+    if (bk.line_start.empty()) {
+      sparse_cur[static_cast<std::size_t>(b)] = bk.begin;
       continue;
-    }
-    // Counting sort by line.  Every segment lies inside the bounding box,
-    // so line - base indexes the histogram directly.
-    bk.base = base;
-    bk.line_start.assign(static_cast<std::size_t>(nlines) + 1, 0);
-    for (std::int64_t i = bk.begin; i < bk.end; ++i) {
-      const std::int64_t l = segs_[static_cast<std::size_t>(i)].line - base;
-      STARLAY_REQUIRE(l >= 0 && l < nlines, "SegmentIndex: segment outside bounding box");
-      ++bk.line_start[static_cast<std::size_t>(l) + 1];
     }
     for (std::size_t l = 1; l < bk.line_start.size(); ++l)
       bk.line_start[l] += bk.line_start[l - 1];
-    for (auto& s : bk.line_start) s += bk.begin;  // absolute offsets into segs_
-    scratch.resize(static_cast<std::size_t>(count));
-    {
-      std::vector<std::int64_t> cur(bk.line_start.begin(), bk.line_start.end() - 1);
-      for (std::int64_t i = bk.begin; i < bk.end; ++i) {
-        const LayerSegment& s = segs_[static_cast<std::size_t>(i)];
-        scratch[static_cast<std::size_t>(cur[static_cast<std::size_t>(s.line - base)]++ -
-                                         bk.begin)] = s;
-      }
+    if (fused) {
+      bk.begin = run;
+      run += bk.line_start.back();
+      bk.end = run;
     }
-    std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(count),
-              segs_.begin() + static_cast<std::ptrdiff_t>(bk.begin));
-    // Per-line sorts touch disjoint ranges: deterministic under any thread
-    // count.
+    for (auto& s : bk.line_start) s += bk.begin;
+    curs[static_cast<std::size_t>(b)].assign(bk.line_start.begin(), bk.line_start.end() - 1);
+  }
+
+  // Pass 3: scatter each segment straight into its line's slice of one AoS
+  // scratch, claiming positions with relaxed fetch_add.  The per-line sort
+  // below canonicalizes order by (lo, hi, wire) — and records that tie on
+  // all of those are byte-identical — so the scatter order (thread
+  // interleaving included) never shows in the final arrays.  (Scattering
+  // directly into the SoA arrays was tried and is slower: one segment then
+  // touches four random cache lines instead of one.)  Segments are staged
+  // through a batch per chunk so two lookahead prefetches (cursor cell,
+  // then the write target the cursor points at — off by at most the few
+  // same-line records in between, i.e. usually the same cache line) keep
+  // the store misses overlapped.
+  const std::unique_ptr<PackedSeg[]> scratch_owner =
+      std::make_unique_for_overwrite<PackedSeg[]>(static_cast<std::size_t>(run));
+  PackedSeg* const scratch = scratch_owner.get();
+  support::parallel_for(0, W, kWireGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+    struct Pending {
+      PackedSeg s;
+      std::int32_t bucket;
+    };
+    std::vector<Pending> batch;
+    batch.reserve(kBatch);
+    const auto cell_of = [&](const Pending& p) -> std::int64_t* {
+      std::vector<std::int64_t>& cv = curs[static_cast<std::size_t>(p.bucket)];
+      if (cv.empty()) return sparse_cur.data() + p.bucket;
+      return cv.data() + (p.s.line - buckets_[static_cast<std::size_t>(p.bucket)].base);
+    };
+    const auto flush = [&] {
+      const std::size_t nb = batch.size();
+      for (std::size_t j = 0; j < nb; ++j) __builtin_prefetch(cell_of(batch[j]));
+      for (std::size_t j = 0; j < nb; ++j) {
+        if (j + 12 < nb)
+          __builtin_prefetch(
+              scratch + std::atomic_ref<std::int64_t>(*cell_of(batch[j + 12]))
+                                   .load(std::memory_order_relaxed),
+              1);
+        std::int64_t* c = cell_of(batch[j]);
+        const std::int64_t pos =
+            serial ? (*c)++
+                   : std::atomic_ref<std::int64_t>(*c).fetch_add(1, std::memory_order_relaxed);
+        scratch[static_cast<std::size_t>(pos)] = batch[j].s;
+      }
+      batch.clear();
+    };
+    for (std::int64_t w = lo; w < hi; ++w)
+      for_wire_segments(pts, off, meta[w], w,
+                        [&](std::int16_t layer, bool horizontal, std::int32_t line,
+                            std::int32_t slo, std::int32_t shi) {
+                          batch.push_back({{line, slo, shi, static_cast<std::uint32_t>(w)},
+                                           static_cast<std::int32_t>(
+                                               bucket_of(layer, horizontal))});
+                          if (batch.size() == kBatch) flush();
+                        });
+    flush();
+  });
+
+  // Pass 4: order within each line (histogram buckets; disjoint ranges, so
+  // deterministic under any thread count) or within the whole bucket
+  // (sparse fallback), splitting each chunk's final order straight into the
+  // SoA arrays with the deinterleave4 kernel while its records are still
+  // cache-hot.
+  size_ = run;
+  line_ = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(run));
+  lo_ = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(run));
+  hi_ = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(run));
+  wire_ = std::make_unique_for_overwrite<std::uint32_t[]>(static_cast<std::size_t>(run));
+  static_assert(sizeof(PackedSeg) == 4 * sizeof(std::int32_t),
+                "deinterleave4 views PackedSeg as four packed int32 fields");
+  const kernels::KernelTable& K = kernels::active();
+  const auto split_out = [&](std::int64_t begin, std::int64_t end) {
+    K.deinterleave4(reinterpret_cast<const std::int32_t*>(scratch + begin), end - begin,
+                    line_.get() + begin, lo_.get() + begin, hi_.get() + begin,
+                    reinterpret_cast<std::int32_t*>(wire_.get() + begin));
+  };
+  for (std::int64_t b = 0; b < B; ++b) {
+    Bucket& bk = buckets_[static_cast<std::size_t>(b)];
+    if (bk.end == bk.begin) continue;
+    if (bk.line_start.empty()) {
+      std::sort(scratch + bk.begin, scratch + bk.end,
+                [](const PackedSeg& a, const PackedSeg& c) {
+                  if (a.line != c.line) return a.line < c.line;
+                  return span_less(a, c);
+                });
+      support::parallel_for(bk.begin, bk.end, kSplitGrain,
+                            [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+        split_out(lo, hi);
+      });
+      continue;
+    }
+    const std::int64_t nlines = static_cast<std::int64_t>(bk.line_start.size()) - 1;
     support::parallel_for(0, nlines, kLineGrain,
                           [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
       for (std::int64_t l = lo; l < hi; ++l) {
         const std::int64_t s = bk.line_start[static_cast<std::size_t>(l)];
         const std::int64_t e = bk.line_start[static_cast<std::size_t>(l) + 1];
-        if (e - s > 1)
-          std::sort(segs_.begin() + static_cast<std::ptrdiff_t>(s),
-                    segs_.begin() + static_cast<std::ptrdiff_t>(e), span_less);
+        sort_run(scratch + s, scratch + e);
       }
+      split_out(bk.line_start[static_cast<std::size_t>(lo)],
+                bk.line_start[static_cast<std::size_t>(hi)]);
     });
   }
 }
 
-std::pair<const LayerSegment*, const LayerSegment*> SegmentIndex::line_range(
-    std::int16_t layer, bool horizontal, Coord line) const {
-  static constexpr std::pair<const LayerSegment*, const LayerSegment*> kEmpty{nullptr,
-                                                                              nullptr};
-  if (layer < min_layer_ || layer > max_layer_) return kEmpty;
+std::pair<std::int64_t, std::int64_t> SegmentIndex::line_span(std::int16_t layer,
+                                                              bool horizontal,
+                                                              Coord line) const {
+  if (layer < min_layer_ || layer > max_layer_) return {0, 0};
   const Bucket& bk = buckets_[static_cast<std::size_t>(
       (static_cast<std::int64_t>(layer) - min_layer_) * 2 + (horizontal ? 1 : 0))];
-  if (bk.begin == bk.end) return kEmpty;
+  if (bk.begin == bk.end) return {0, 0};
   if (!bk.line_start.empty()) {
     const std::int64_t l = line - bk.base;
-    if (l < 0 || l + 1 >= static_cast<std::int64_t>(bk.line_start.size())) return kEmpty;
-    return {segs_.data() + bk.line_start[static_cast<std::size_t>(l)],
-            segs_.data() + bk.line_start[static_cast<std::size_t>(l) + 1]};
+    if (l < 0 || l + 1 >= static_cast<std::int64_t>(bk.line_start.size())) return {0, 0};
+    return {bk.line_start[static_cast<std::size_t>(l)],
+            bk.line_start[static_cast<std::size_t>(l) + 1]};
   }
-  // Sparse bucket: binary search the line's range.
-  const LayerSegment* first = segs_.data() + bk.begin;
-  const LayerSegment* last = segs_.data() + bk.end;
-  const LayerSegment* lo = std::lower_bound(
-      first, last, line, [](const LayerSegment& s, Coord ln) { return s.line < ln; });
-  const LayerSegment* hi = std::upper_bound(
-      lo, last, line, [](Coord ln, const LayerSegment& s) { return ln < s.line; });
-  return {lo, hi};
+  // Sparse bucket: binary search the line's range in the SoA line array.
+  if (line < std::numeric_limits<std::int32_t>::min() ||
+      line > std::numeric_limits<std::int32_t>::max())
+    return {0, 0};
+  const std::int32_t l32 = static_cast<std::int32_t>(line);
+  const std::int32_t* first = line_.get() + bk.begin;
+  const std::int32_t* last = line_.get() + bk.end;
+  const std::int32_t* lo = std::lower_bound(first, last, l32);
+  const std::int32_t* hi = std::upper_bound(lo, last, l32);
+  return {lo - line_.get(), hi - line_.get()};
+}
+
+LayerSegment SegmentIndex::segment(std::int64_t i) const {
+  for (std::int64_t b = 0; b < num_buckets(); ++b) {
+    const BucketView bv = bucket(b);
+    if (i >= bv.begin && i < bv.end) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      return {bv.layer, bv.horizontal, line_[s], {lo_[s], hi_[s]},
+              static_cast<std::int64_t>(wire_[s])};
+    }
+  }
+  STARLAY_REQUIRE(false, "SegmentIndex::segment: index out of range");
+  return {};
+}
+
+std::vector<LayerSegment> SegmentIndex::materialize() const {
+  std::vector<LayerSegment> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (std::int64_t b = 0; b < num_buckets(); ++b) {
+    const BucketView bv = bucket(b);
+    for (std::int64_t i = bv.begin; i < bv.end; ++i) {
+      const std::size_t s = static_cast<std::size_t>(i);
+      out.push_back({bv.layer, bv.horizontal, line_[s], {lo_[s], hi_[s]},
+                     static_cast<std::int64_t>(wire_[s])});
+    }
+  }
+  return out;
 }
 
 }  // namespace starlay::layout

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/rect_index.hpp"
 #include "starlay/layout/wire_rules.hpp"
 #include "starlay/support/check.hpp"
@@ -17,6 +18,24 @@ namespace starlay::layout {
 namespace {
 
 namespace tel = starlay::support::telemetry;
+
+constexpr std::int64_t kTileGrain = 1 << 15;  ///< records per kernel tile
+
+/// Runs tile(lo, hi) over [0, n) on the thread pool and sums the per-tile
+/// counts in chunk order — a deterministic total for any thread count.
+template <typename F>
+std::int64_t tiled_count(std::int64_t n, const F& tile) {
+  if (n <= 0) return 0;
+  const std::int64_t chunks = support::num_chunks(0, n, kTileGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, n, kTileGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    partial[static_cast<std::size_t>(chunk)] = tile(lo, hi);
+  });
+  std::int64_t total = 0;
+  for (const std::int64_t p : partial) total += p;
+  return total;
+}
 
 /// Cross-wire records.  Coordinates are 32-bit (checked against the same
 /// range WireStore enforces on append), wire ids 32-bit (count checked);
@@ -446,42 +465,131 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
         if (a.pos != b.pos) return a.pos < b.pos;
         return a.wire < b.wire;
       });
-      for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
-        const SegRec& a = segs[i];
-        const SegRec& b = segs[i + 1];
-        if (a.layer == b.layer && a.line == b.line && b.lo <= a.hi)
-          rep.fail("overlap on layer " + std::to_string(a.layer) +
-                       (horizontal ? " y=" : " x=") + std::to_string(a.line) +
-                       ": wires " + std::to_string(a.wire) + " and " +
-                       std::to_string(b.wire),
-                   max_errors);
+      // The batch's records feed the same SIMD kernels the materialized
+      // validator streams, but the SoA splits live in per-tile thread-local
+      // scratch, never whole-batch arrays: the band packer budgets memory
+      // by record size alone, and a batch-wide split would grow the peak
+      // RSS by nearly the batch budget again at star n = 10.  Counts are
+      // exact; error strings materialize in a scalar re-scan only when a
+      // count is non-zero, so clean batches allocate nothing beyond the
+      // tile scratch and stop building messages once max_errors are
+      // recorded.
+      const kernels::KernelTable& K = kernels::active();
+      const std::int64_t ns = bt.nseg;
+      // Track exclusivity per layer run (the adjacent-pair kernel compares
+      // lines, so runs of different layers must not be concatenated).
+      std::int64_t overlap_total = 0;
+      for (std::int64_t r0 = 0; r0 < ns;) {
+        const std::int16_t L = segs[static_cast<std::size_t>(r0)].layer;
+        const std::int64_t r1 =
+            std::upper_bound(segs.begin() + static_cast<std::ptrdiff_t>(r0), segs.end(), L,
+                             [](std::int16_t l, const SegRec& s) { return l < s.layer; }) -
+            segs.begin();
+        overlap_total += tiled_count(r1 - r0 - 1, [&](std::int64_t lo, std::int64_t hi) {
+          thread_local std::vector<std::int32_t> tline, tlo, thi;
+          const std::int64_t m = hi - lo + 1;
+          tline.resize(static_cast<std::size_t>(m));
+          tlo.resize(static_cast<std::size_t>(m));
+          thi.resize(static_cast<std::size_t>(m));
+          for (std::int64_t i = 0; i < m; ++i) {
+            const SegRec& s = segs[static_cast<std::size_t>(r0 + lo + i)];
+            tline[static_cast<std::size_t>(i)] = s.line;
+            tlo[static_cast<std::size_t>(i)] = s.lo;
+            thi[static_cast<std::size_t>(i)] = s.hi;
+          }
+          return K.count_seg_conflicts(tline.data(), tlo.data(), thi.data(), m);
+        });
+        r0 = r1;
       }
-      for (const ProbeRec& pr : probes) {
-        // Run of segments on (layer, line), sorted by span.lo — the same
-        // window SegmentIndex::line_range hands the materialized check.
-        const auto ll_less = [](const SegRec& s, const ProbeRec& p) {
-          if (s.layer != p.layer) return s.layer < p.layer;
-          return s.line < p.line;
-        };
-        const auto first = std::lower_bound(segs.begin(), segs.end(), pr, ll_less);
-        auto it = std::upper_bound(
-            segs.begin(), segs.end(), pr, [](const ProbeRec& p, const SegRec& s) {
-              if (p.layer != s.layer) return p.layer < s.layer;
-              if (p.line != s.line) return p.line < s.line;
-              return p.pos < s.lo;
-            });
-        for (int back = 0; back < 3 && it != first; ++back) {
-          --it;
-          if (it->lo <= pr.pos && pr.pos <= it->hi && it->wire != pr.wire) {
-            const Point p = horizontal ? Point{pr.pos, pr.line} : Point{pr.line, pr.pos};
-            rep.fail("via of wire " + std::to_string(pr.wire) + " at " +
-                         format_point(p) + " pierced by wire " +
-                         std::to_string(it->wire) + " on layer " +
-                         std::to_string(pr.layer),
+      if (overlap_total > 0) {
+        rep.ok = false;
+        std::int64_t emitted = 0;
+        for (std::size_t i = 0;
+             i + 1 < segs.size() && static_cast<int>(rep.errors.size()) < max_errors; ++i) {
+          const SegRec& a = segs[i];
+          const SegRec& b = segs[i + 1];
+          if (a.layer == b.layer && a.line == b.line && b.lo <= a.hi) {
+            rep.fail("overlap on layer " + std::to_string(a.layer) +
+                         (horizontal ? " y=" : " x=") + std::to_string(a.line) +
+                         ": wires " + std::to_string(a.wire) + " and " +
+                         std::to_string(b.wire),
                      max_errors);
-            break;
+            ++emitted;
           }
         }
+        rep.num_errors_total += overlap_total - emitted;
+      }
+      // Via-pierce probes share the validator's merge-cursor design: probes
+      // on one (layer, line) arrive pos-ascending, so each tile re-derives
+      // its segment run once per line change and slides an upper bound
+      // forward, handing the covering kernel the same kCoverWindow
+      // candidates the materialized check inspects — the shared constant
+      // keeps the two certifiers' verdicts aligned.
+      struct LineCursor {
+        std::int16_t layer = 0;
+        std::int32_t line = 0;
+        bool valid = false;
+        std::int64_t s = 0, e = 0, ub = 0;
+      };
+      const auto probe_hit = [&](LineCursor& cur, const ProbeRec& pr) -> std::int64_t {
+        if (!cur.valid || pr.layer != cur.layer || pr.line != cur.line) {
+          const auto first = std::lower_bound(
+              segs.begin(), segs.end(), pr, [](const SegRec& s, const ProbeRec& p) {
+                if (s.layer != p.layer) return s.layer < p.layer;
+                return s.line < p.line;
+              });
+          const auto last = std::upper_bound(
+              first, segs.end(), pr, [](const ProbeRec& p, const SegRec& s) {
+                if (p.layer != s.layer) return p.layer < s.layer;
+                return p.line < s.line;
+              });
+          cur = {pr.layer, pr.line, true, first - segs.begin(), last - segs.begin(),
+                 first - segs.begin()};
+        }
+        while (cur.ub < cur.e && segs[static_cast<std::size_t>(cur.ub)].lo <= pr.pos)
+          ++cur.ub;
+        // Gather the window's <= kCoverWindow candidates from the AoS
+        // records; the kernel sees exactly the slice a batch-wide SoA
+        // split would have handed it.
+        const std::int64_t w0 = std::max(cur.s, cur.ub - kernels::kCoverWindow);
+        const std::int64_t m = cur.ub - w0;
+        std::int32_t wlo[kernels::kCoverWindow], whi[kernels::kCoverWindow];
+        std::uint32_t wwire[kernels::kCoverWindow];
+        for (std::int64_t i = 0; i < m; ++i) {
+          const SegRec& s = segs[static_cast<std::size_t>(w0 + i)];
+          wlo[i] = s.lo;
+          whi[i] = s.hi;
+          wwire[i] = s.wire;
+        }
+        const std::int64_t idx = K.find_covering(wlo, whi, wwire, m, pr.pos, pr.wire);
+        return idx < 0 ? -1 : w0 + idx;
+      };
+      const std::int64_t pierce_total =
+          tiled_count(bt.nprobe, [&](std::int64_t lo, std::int64_t hi) {
+            LineCursor cur;
+            std::int64_t n = 0;
+            for (std::int64_t k = lo; k < hi; ++k)
+              n += probe_hit(cur, probes[static_cast<std::size_t>(k)]) >= 0;
+            return n;
+          });
+      if (pierce_total > 0) {
+        rep.ok = false;
+        std::int64_t emitted = 0;
+        LineCursor cur;
+        for (std::size_t k = 0;
+             k < probes.size() && static_cast<int>(rep.errors.size()) < max_errors; ++k) {
+          const ProbeRec& pr = probes[k];
+          const std::int64_t hit = probe_hit(cur, pr);
+          if (hit < 0) continue;
+          const Point p = horizontal ? Point{pr.pos, pr.line} : Point{pr.line, pr.pos};
+          rep.fail("via of wire " + std::to_string(pr.wire) + " at " + format_point(p) +
+                       " pierced by wire " +
+                       std::to_string(segs[static_cast<std::size_t>(hit)].wire) +
+                       " on layer " + std::to_string(pr.layer),
+                   max_errors);
+          ++emitted;
+        }
+        rep.num_errors_total += pierce_total - emitted;
       }
       ++rep_.num_batches;
       ++rep_.num_replays;
@@ -523,14 +631,49 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
       if (a.zhi != b.zhi) return a.zhi < b.zhi;
       return a.wire < b.wire;
     });
-    for (std::size_t i = 0; i + 1 < vias.size(); ++i) {
-      const ViaRec& a = vias[i];
-      const ViaRec& b = vias[i + 1];
-      if (a.x == b.x && a.y == b.y && a.wire != b.wire && a.zlo <= b.zhi &&
-          b.zlo <= a.zhi)
-        rep.fail("via conflict at " + format_point({a.x, a.y}) + ": wires " +
-                     std::to_string(a.wire) + " and " + std::to_string(b.wire),
-                 max_errors);
+    // Same two-pass shape as the segment spaces: tiled vectorized count
+    // over per-tile SoA scratch (z widened to int32 for the kernel; no
+    // batch-wide split, which would inflate the packer's RSS budget),
+    // scalar materialization only for broken batches.
+    const kernels::KernelTable& K = kernels::active();
+    const std::int64_t nv = bt.nseg;
+    const std::int64_t via_total =
+        tiled_count(nv - 1, [&](std::int64_t lo, std::int64_t hi) {
+          thread_local std::vector<std::int32_t> tx, ty, tzlo, tzhi;
+          thread_local std::vector<std::uint32_t> twire;
+          const std::int64_t m = hi - lo + 1;
+          tx.resize(static_cast<std::size_t>(m));
+          ty.resize(static_cast<std::size_t>(m));
+          tzlo.resize(static_cast<std::size_t>(m));
+          tzhi.resize(static_cast<std::size_t>(m));
+          twire.resize(static_cast<std::size_t>(m));
+          for (std::int64_t i = 0; i < m; ++i) {
+            const ViaRec& v = vias[static_cast<std::size_t>(lo + i)];
+            tx[static_cast<std::size_t>(i)] = v.x;
+            ty[static_cast<std::size_t>(i)] = v.y;
+            tzlo[static_cast<std::size_t>(i)] = v.zlo;
+            tzhi[static_cast<std::size_t>(i)] = v.zhi;
+            twire[static_cast<std::size_t>(i)] = v.wire;
+          }
+          return K.count_via_conflicts(tx.data(), ty.data(), tzlo.data(), tzhi.data(),
+                                       twire.data(), m);
+        });
+    if (via_total > 0) {
+      rep.ok = false;
+      std::int64_t emitted = 0;
+      for (std::size_t i = 0;
+           i + 1 < vias.size() && static_cast<int>(rep.errors.size()) < max_errors; ++i) {
+        const ViaRec& a = vias[i];
+        const ViaRec& b = vias[i + 1];
+        if (a.x == b.x && a.y == b.y && a.wire != b.wire && a.zlo <= b.zhi &&
+            b.zlo <= a.zhi) {
+          rep.fail("via conflict at " + format_point({a.x, a.y}) + ": wires " +
+                       std::to_string(a.wire) + " and " + std::to_string(b.wire),
+                   max_errors);
+          ++emitted;
+        }
+      }
+      rep.num_errors_total += via_total - emitted;
     }
     ++rep_.num_batches;
     ++rep_.num_replays;

@@ -1,8 +1,13 @@
 #include "starlay/layout/validate.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/rect_index.hpp"
 #include "starlay/layout/segment_index.hpp"
 #include "starlay/layout/wire_rules.hpp"
@@ -14,6 +19,8 @@ namespace starlay::layout {
 namespace {
 
 constexpr std::int64_t kWireGrain = 4096;
+constexpr std::int64_t kTileGrain = 1 << 15;  ///< segments per kernel tile
+constexpr std::size_t kScatterBatch = 2048;  ///< records staged per prefetch batch
 
 /// Per-chunk error buffer for parallel validation passes.  Each chunk
 /// records its first max_errors messages plus the total count; buffers are
@@ -24,6 +31,58 @@ struct ChunkErrors {
   std::int64_t total = 0;
 };
 
+/// Accumulates wall-clock into a ValidatePhases field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double& out) : out_(out), t0_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    out_ += std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0_)
+                .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double& out_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Bend points with their z-ranges, packed for the via kernels: 16 bytes,
+/// all-int32 coordinates (WireStore guarantees the fit).
+struct PackedVia {
+  std::int32_t x, y;
+  std::int16_t zlo, zhi;
+  std::uint32_t wire;
+};
+
+/// Sorts a run that the scatter delivered in wire order, which on real
+/// layouts is already nearly sorted: insertion sort with a shift budget
+/// that bails to std::sort once a run proves adversarial (same scheme as
+/// the SegmentIndex per-line sort).
+template <typename T, typename Less>
+void sort_near_sorted(T* first, T* last, Less less) {
+  const std::ptrdiff_t n = last - first;
+  if (n <= 1) return;
+  std::ptrdiff_t budget = 4 * n + 64;
+  for (std::ptrdiff_t i = 1; i < n; ++i) {
+    // Roughly half the records arrive already in place; skip the copy and
+    // the write-back for those instead of shifting by zero.
+    if (!less(first[i], first[i - 1])) continue;
+    const T v = first[i];
+    std::ptrdiff_t j = i;
+    while (j > 0 && less(v, first[j - 1])) {
+      first[j] = first[j - 1];
+      --j;
+      if (--budget < 0) {
+        first[j] = v;
+        std::sort(first, last, less);
+        return;
+      }
+    }
+    first[j] = v;
+  }
+}
+
 }  // namespace
 
 ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
@@ -32,6 +91,7 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   support::telemetry::count("validate.wires", lay.num_wires());
   ValidationReport rep;
   const auto fail = [&](const std::string& m) { rep.fail(m, opt.max_errors); };
+  const kernels::KernelTable& K = kernels::active();
 
   // Runs body(i, emit) for i in [0, count) on the thread pool, collecting
   // emitted errors deterministically (see ChunkErrors).  Negative counts
@@ -48,7 +108,7 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
         if (static_cast<int>(local.msgs.size()) < opt.max_errors)
           local.msgs.push_back(std::move(m));
       };
-      for (std::int64_t i = lo; i < hi; ++i) body(i, emit);
+      for (std::int64_t i = lo; i < hi; ++i) body(i, emit, chunk);
     });
     for (ChunkErrors& ce : errs) {
       const auto recorded = static_cast<std::int64_t>(ce.msgs.size());
@@ -59,190 +119,717 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
     }
   };
 
-  // --- wire <-> edge bijection ------------------------------------------
-  if (lay.num_wires() != g.num_edges())
-    fail("wire count " + std::to_string(lay.num_wires()) + " != edge count " +
-         std::to_string(g.num_edges()));
+  // Sums per-tile kernel counts over [0, n_pairs) adjacent-pair indices.
+  // Tiles overlap by one element so every pair is counted exactly once;
+  // sums are order-independent, hence thread-count independent.
+  const auto tiled_count = [&](std::int64_t n_pairs, const auto& body) -> std::int64_t {
+    if (n_pairs <= 0) return 0;
+    const std::int64_t chunks = support::num_chunks(0, n_pairs, kTileGrain);
+    std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+    support::parallel_for(0, n_pairs, kTileGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+      partial[static_cast<std::size_t>(chunk)] = body(lo, hi);
+    });
+    std::int64_t total = 0;
+    for (const std::int64_t p : partial) total += p;
+    return total;
+  };
+
+  const auto msg_budget_left = [&] {
+    return static_cast<int>(rep.errors.size()) < opt.max_errors;
+  };
+  // Folds a counted-pass result into the report: the count pass already
+  // established the exact total (no strings); materialize() re-scans and
+  // appends at most the remaining message budget, and is skipped outright
+  // once earlier phases have filled it (max_errors short-circuit: a broken
+  // layout pays for at most max_errors message constructions, while
+  // num_errors_total stays exact — the counts come from the kernels, never
+  // from the materialization walk).
+  const auto apply_counted = [&](std::int64_t total, const auto& materialize) {
+    if (total <= 0) return;
+    if (msg_budget_left()) materialize();
+    rep.ok = false;
+    rep.num_errors_total += total;
+  };
+
+  // Clearance bookkeeping filled during the rules wire sweep (see below):
+  // per-chunk allowed-touch counts and the rare degenerate steps, indexed by
+  // the same chunk geometry parallel_check uses for the wire passes.
+  struct DegenStep {
+    Point32 a, front, back;
+    std::int32_t nu, nv;
+  };
+  const std::size_t wire_chunks = static_cast<std::size_t>(
+      support::num_chunks(0, std::max<std::int64_t>(0, lay.num_wires()), kWireGrain));
+  std::vector<std::int64_t> clearance_allowed(wire_chunks, 0);
+  std::vector<std::vector<DegenStep>> degen_steps(wire_chunks);
+
   {
-    const WireStore::Meta* meta = lay.wires().raw_meta();
-    std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.num_edges()), 0);
-    for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
-      const std::int64_t edge = meta[wi].edge;
-      if (edge < 0 || edge >= g.num_edges()) {
-        fail("wire references invalid edge " + std::to_string(edge));
-        continue;
+    const PhaseTimer t(rep.phases.rules_ms);
+    support::telemetry::ScopedPhase sub("validate.rules");
+
+    // --- wire <-> edge bijection ----------------------------------------
+    if (lay.num_wires() != g.num_edges())
+      fail("wire count " + std::to_string(lay.num_wires()) + " != edge count " +
+           std::to_string(g.num_edges()));
+    {
+      const WireStore::Meta* meta = lay.wires().raw_meta();
+      std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.num_edges()), 0);
+      for (std::int64_t wi = 0; wi < lay.num_wires(); ++wi) {
+        const std::int64_t edge = meta[wi].edge;
+        if (edge < 0 || edge >= g.num_edges()) {
+          fail("wire references invalid edge " + std::to_string(edge));
+          continue;
+        }
+        if (seen[static_cast<std::size_t>(edge)]++)
+          fail("edge " + std::to_string(edge) + " has multiple wires");
       }
-      if (seen[static_cast<std::size_t>(edge)]++)
-        fail("edge " + std::to_string(edge) + " has multiple wires");
+    }
+
+    // --- node sizes -------------------------------------------------------
+    parallel_check(lay.num_nodes(), [&](std::int64_t vi, const auto& emit, std::int64_t) {
+      const auto v = static_cast<std::int32_t>(vi);
+      const Rect& r = lay.node_rect(v);
+      const std::int32_t deg = !r.empty() && opt.thompson_node_size ? g.degree(v) : 0;
+      check_node_rect(v, r, deg, opt.min_node_side, opt.max_node_side,
+                      opt.thompson_node_size, emit);
+    });
+
+    // --- per-wire path rules (+ clearance allowed-touch accounting) -------
+    // The clearance pass (below) counts errors as
+    // candidates - allowed + degenerate-step errors; `allowed` — own-node
+    // touches at a single boundary point that is the wire's endpoint — only
+    // needs this wire's nodes and endpoints, all of which check_wire_path
+    // just pulled into cache, so it is tallied here instead of re-sweeping
+    // every wire in the clearance phase.  Degenerate (repeated-point) steps
+    // need the rect index, which does not exist yet; they are rare, so they
+    // are queued for the clearance pass.
+    {
+      const Point32* pts = lay.wires().raw_points();
+      const std::uint32_t* off = lay.wires().raw_offsets();
+      const WireStore::Meta* meta = lay.wires().raw_meta();
+      const std::vector<Rect>& rects = lay.node_rects();
+      parallel_check(lay.num_wires(),
+                     [&](std::int64_t wi, const auto& emit, std::int64_t chunk) {
+        check_wire_path(lay.wires()[wi], wi, g, lay.node_rects(), emit);
+        std::int32_t nu = -1, nv = -1;
+        const std::int64_t edge = meta[wi].edge;
+        if (edge >= 0 && edge < g.num_edges()) {
+          nu = g.edge(edge).u;
+          nv = g.edge(edge).v;
+        }
+        const std::uint32_t b = off[wi], e = off[wi + 1];
+        const Point32 front = b < e ? pts[b] : Point32{};
+        const Point32 back = b < e ? pts[e - 1] : Point32{};
+        std::int64_t allowed = 0;
+        // Mirrors check_wire_clearance's own-node branch: the touch must be
+        // a single boundary point (cl == ch on an inside line) that is the
+        // wire's endpoint.  Wider or non-endpoint own touches stay errors
+        // and are left to the candidates count.
+        const auto own_touch = [&](bool horizontal, std::int32_t line, std::int32_t seg_lo,
+                                   std::int32_t seg_hi, std::int32_t node) {
+          const Rect& r = rects[static_cast<std::size_t>(node)];
+          const Coord cl = std::max<Coord>(seg_lo, horizontal ? r.x0 : r.y0);
+          const Coord ch = std::min<Coord>(seg_hi, horizontal ? r.x1 : r.y1);
+          const bool line_inside = horizontal ? (line >= r.y0 && line <= r.y1)
+                                              : (line >= r.x0 && line <= r.x1);
+          if (!line_inside || cl != ch) return;
+          const Point32 touch = horizontal ? Point32{static_cast<std::int32_t>(cl), line}
+                                           : Point32{line, static_cast<std::int32_t>(cl)};
+          if (touch == front || touch == back) ++allowed;
+        };
+        for (std::uint32_t p = b + 1; p < e; ++p) {
+          const Point32 pa = pts[p - 1], pb = pts[p];
+          if (pa == pb) {
+            degen_steps[static_cast<std::size_t>(chunk)].push_back(
+                {pa, front, back, nu, nv});
+            continue;
+          }
+          const bool horizontal = pa.y == pb.y;
+          const std::int32_t line = horizontal ? pa.y : pa.x;
+          const std::int32_t seg_lo =
+              horizontal ? std::min(pa.x, pb.x) : std::min(pa.y, pb.y);
+          const std::int32_t seg_hi =
+              horizontal ? std::max(pa.x, pb.x) : std::max(pa.y, pb.y);
+          if (nu >= 0) own_touch(horizontal, line, seg_lo, seg_hi, nu);
+          if (nv >= 0 && nv != nu) own_touch(horizontal, line, seg_lo, seg_hi, nv);
+        }
+        clearance_allowed[static_cast<std::size_t>(chunk)] += allowed;
+      });
     }
   }
 
-  // --- node sizes ---------------------------------------------------------
-  parallel_check(lay.num_nodes(), [&](std::int64_t vi, const auto& emit) {
-    const auto v = static_cast<std::int32_t>(vi);
-    const Rect& r = lay.node_rect(v);
-    const std::int32_t deg = !r.empty() && opt.thompson_node_size ? g.degree(v) : 0;
-    check_node_rect(v, r, deg, opt.min_node_side, opt.max_node_side,
-                    opt.thompson_node_size, emit);
-  });
-
-  // --- per-wire path rules --------------------------------------------------
-  parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-    check_wire_path(lay.wires()[wi], wi, g, lay.node_rects(), emit);
-  });
-
-  // --- track exclusivity ------------------------------------------------
-  // Segments arrive bucketed per (layer, orientation) and sorted by
-  // (line, span.lo), so a single adjacent-pair scan finds every overlap.
-  const SegmentIndex sidx(lay);
-  const std::vector<LayerSegment>& segs = sidx.segments();
+  // --- track exclusivity ----------------------------------------------------
+  // Segments arrive bucketed per (layer, orientation), sorted by (line,
+  // lo), and packed into int32 SoA arrays, so one branchless adjacent-pair
+  // kernel sweep per bucket counts every overlap; messages are materialized
+  // by a scalar re-scan only over buckets that reported conflicts.
+  std::optional<SegmentIndex> sidx_storage;
+  {
+    const PhaseTimer t(rep.phases.index_ms);
+    support::telemetry::ScopedPhase sub("validate.index");
+    sidx_storage.emplace(lay);
+  }
+  const SegmentIndex& sidx = *sidx_storage;
   rep.num_segments = sidx.size();
   rep.num_layers = lay.num_layers();
-  parallel_check(sidx.size() - 1, [&](std::int64_t i, const auto& emit) {
-    const LayerSegment& a = segs[static_cast<std::size_t>(i)];
-    const LayerSegment& b = segs[static_cast<std::size_t>(i) + 1];
-    if (a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
-        b.span.lo <= a.span.hi)
-      emit("overlap on layer " + std::to_string(a.layer) +
-           (a.horizontal ? " y=" : " x=") + std::to_string(a.line) + ": wires " +
-           std::to_string(a.wire) + " and " + std::to_string(b.wire));
-  });
+  const std::int32_t* sline = sidx.lines();
+  const std::int32_t* slo = sidx.span_lo();
+  const std::int32_t* shi = sidx.span_hi();
+  const std::uint32_t* swire = sidx.wires();
+  std::int64_t overlap_conflicts = 0;
+  {
+    const PhaseTimer t(rep.phases.overlap_ms);
+    support::telemetry::ScopedPhase sub("validate.overlap");
+    const std::int64_t B = sidx.num_buckets();
+    std::vector<std::int64_t> bucket_conflicts(static_cast<std::size_t>(B), 0);
+    std::int64_t total = 0;
+    for (std::int64_t b = 0; b < B; ++b) {
+      const SegmentIndex::BucketView bv = sidx.bucket(b);
+      const std::int64_t n = bv.end - bv.begin;
+      const std::int64_t c = tiled_count(n - 1, [&](std::int64_t lo, std::int64_t hi) {
+        return K.count_seg_conflicts(sline + bv.begin + lo, slo + bv.begin + lo,
+                                     shi + bv.begin + lo, hi - lo + 1);
+      });
+      bucket_conflicts[static_cast<std::size_t>(b)] = c;
+      total += c;
+    }
+    overlap_conflicts = total;
+    apply_counted(total, [&] {
+      // Scalar materialization, in canonical order: buckets (and their
+      // remainders) are skipped outright once the message cap is hit, so a
+      // badly broken layout never pays for strings it will not show.
+      for (std::int64_t b = 0; b < B && msg_budget_left(); ++b) {
+        if (bucket_conflicts[static_cast<std::size_t>(b)] == 0) continue;
+        const SegmentIndex::BucketView bv = sidx.bucket(b);
+        for (std::int64_t i = bv.begin; i + 1 < bv.end && msg_budget_left(); ++i) {
+          const std::size_t s = static_cast<std::size_t>(i);
+          if (sline[s] == sline[s + 1] && slo[s + 1] <= shi[s])
+            rep.errors.push_back("overlap on layer " + std::to_string(bv.layer) +
+                                 (bv.horizontal ? " y=" : " x=") + std::to_string(sline[s]) +
+                                 ": wires " + std::to_string(swire[s]) + " and " +
+                                 std::to_string(swire[s + 1]));
+        }
+      }
+    });
+  }
 
-  // --- via audit ----------------------------------------------------------
+  // --- via audit ------------------------------------------------------------
   // Bend points with their z-ranges; conflicts between vias, and between a
   // via and a segment crossing a spanned layer at that exact point.
-  struct Via {
-    Point p;
-    std::int16_t zlo, zhi;
-    std::int64_t wire;
-  };
-  std::vector<Via> vias;
+  // Uninitialized on allocation: the scatter below writes every slot
+  // exactly once, and a zero-fill would cost a full memory sweep.
+  std::unique_ptr<PackedVia[]> vias_owner;
+  PackedVia* vias = nullptr;
+  std::int64_t nvias = 0;
   {
-    // Two-phase parallel collection into wire-major order.
-    const Point32* pts = lay.wires().raw_points();
-    const std::uint32_t* off = lay.wires().raw_offsets();
-    const WireStore::Meta* meta = lay.wires().raw_meta();
-    const std::int64_t W = lay.num_wires();
-    const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
-    std::vector<std::int64_t> start(static_cast<std::size_t>(chunks) + 1, 0);
-    support::parallel_for(0, W, kWireGrain,
-                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
-      std::int64_t n = 0;
-      for (std::int64_t w = lo; w < hi; ++w) {
+    const PhaseTimer t(rep.phases.via_ms);
+    support::telemetry::ScopedPhase sub("validate.via");
+    // SoA copies for the adjacent-pair kernel (z widened to int32);
+    // uninitialized, split from the sorted vias exactly once — fused into
+    // the per-column sort when that path runs (the run is still cache-hot
+    // there), as one tiled sweep otherwise.
+    std::unique_ptr<std::int32_t[]> vx, vy, vzlo, vzhi;
+    std::unique_ptr<std::uint32_t[]> vwire;
+    bool split_done = false;
+    std::int64_t counted_total = 0;
+    {
+      // Collection fused with the x counting sort: count vias per column
+      // straight from the wire points, then scatter each via directly into
+      // its column's slice.  Positions are claimed with relaxed fetch_add
+      // (plain increments when the 1-thread pool runs chunks inline); the
+      // per-column sort below canonicalizes order, and vias tying on
+      // (y, zlo, zhi, wire) within a column are byte-identical, so the
+      // scatter order never shows in the result.
+      const Point32* pts = lay.wires().raw_points();
+      const std::uint32_t* off = lay.wires().raw_offsets();
+      const WireStore::Meta* meta = lay.wires().raw_meta();
+      const std::int64_t W = lay.num_wires();
+      const std::int64_t chunks = support::num_chunks(0, W, kWireGrain);
+      const bool serial = support::ThreadPool::instance().num_threads() == 1;
+      for (std::int64_t w = 0; w < W; ++w) {
         const std::int64_t npts = static_cast<std::int64_t>(off[w + 1]) - off[w];
-        n += std::max<std::int64_t>(0, npts - 2);
+        nvias += std::max<std::int64_t>(0, npts - 2);
       }
-      start[static_cast<std::size_t>(chunk) + 1] = n;
-    });
-    for (std::size_t c = 1; c < start.size(); ++c) start[c] += start[c - 1];
-    vias.resize(static_cast<std::size_t>(start.back()));
-    support::parallel_for(0, W, kWireGrain,
-                          [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
-      std::int64_t cur = start[static_cast<std::size_t>(chunk)];
-      for (std::int64_t w = lo; w < hi; ++w) {
-        const std::int16_t zlo = std::min(meta[w].h_layer, meta[w].v_layer);
-        const std::int16_t zhi = std::max(meta[w].h_layer, meta[w].v_layer);
-        for (std::uint32_t i = off[w] + 1; i + 1 < off[w + 1]; ++i)
-          vias[static_cast<std::size_t>(cur++)] = {
-              {pts[i].x, pts[i].y}, zlo, zhi, w};
-      }
-    });
-  }
-  {
-    // Order by (x, y, zlo, zhi, wire) so same-point vias are adjacent:
-    // counting sort by x (vias lie inside the bounding box), then sort each
-    // x-column — deterministic for every thread count.
-    const auto rest_less = [](const Via& a, const Via& b) {
-      if (a.p.y != b.p.y) return a.p.y < b.p.y;
-      if (a.zlo != b.zlo) return a.zlo < b.zlo;
-      if (a.zhi != b.zhi) return a.zhi < b.zhi;
-      return a.wire < b.wire;
-    };
-    const Rect& bb = lay.bounding_box();
-    const std::int64_t n = static_cast<std::int64_t>(vias.size());
-    if (n > 0 && bb.width() <= 4 * n + 1024) {
-      const Coord base = bb.x0;
-      const std::int64_t ncols = bb.width();
-      std::vector<std::int64_t> col_start(static_cast<std::size_t>(ncols) + 1, 0);
-      for (const Via& v : vias) {
-        const std::int64_t c = v.p.x - base;
-        STARLAY_REQUIRE(c >= 0 && c < ncols, "validate: via outside bounding box");
-        ++col_start[static_cast<std::size_t>(c) + 1];
-      }
-      for (std::size_t c = 1; c < col_start.size(); ++c) col_start[c] += col_start[c - 1];
-      std::vector<Via> sorted(vias.size());
-      {
+      vx = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(nvias));
+      vy = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(nvias));
+      vzlo = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(nvias));
+      vzhi = std::make_unique_for_overwrite<std::int32_t[]>(static_cast<std::size_t>(nvias));
+      vwire =
+          std::make_unique_for_overwrite<std::uint32_t[]>(static_cast<std::size_t>(nvias));
+      const auto split_run = [&](std::int64_t s, std::int64_t e) {
+        for (std::int64_t i = s; i < e; ++i) {
+          const PackedVia& v = vias[static_cast<std::size_t>(i)];
+          vx[static_cast<std::size_t>(i)] = v.x;
+          vy[static_cast<std::size_t>(i)] = v.y;
+          vzlo[static_cast<std::size_t>(i)] = v.zlo;
+          vzhi[static_cast<std::size_t>(i)] = v.zhi;
+          vwire[static_cast<std::size_t>(i)] = v.wire;
+        }
+      };
+      // (y, zlo, zhi) folded into one unsigned word whose integer order
+      // equals the signed lexicographic order — one compare instead of
+      // three data-dependent branches in the per-column insertion sort.
+      const auto via_key = [](const PackedVia& v) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(v.y) ^ 0x80000000u)
+                << 32) |
+               (static_cast<std::uint64_t>(
+                    static_cast<std::uint16_t>(static_cast<std::uint16_t>(v.zlo) ^ 0x8000u))
+                << 16) |
+               static_cast<std::uint16_t>(static_cast<std::uint16_t>(v.zhi) ^ 0x8000u);
+      };
+      const auto rest_less = [&](const PackedVia& a, const PackedVia& b) {
+        const std::uint64_t ka = via_key(a);
+        const std::uint64_t kb = via_key(b);
+        if (ka != kb) return ka < kb;
+        return a.wire < b.wire;
+      };
+      // Pre-scan + encoded sort, same scheme as the SegmentIndex per-line
+      // sort: columns that arrive nearly sorted keep the insertion path,
+      // shuffled ones go straight to a plain-integer sort of
+      // (via_key, wire) pairs — x is column-constant, so the encode is
+      // bijective (no permutation bookkeeping) and ties decode to
+      // byte-identical records either way.
+      const auto sort_via_run = [&](PackedVia* first, std::ptrdiff_t n) {
+        std::ptrdiff_t oop = 0;
+        for (std::ptrdiff_t i = 1; i < n; ++i)
+          oop += rest_less(first[i], first[i - 1]) ? 1 : 0;
+        if (oop == 0) return;
+        if (oop <= n / 8) {
+          sort_near_sorted(first, first + n, rest_less);
+          return;
+        }
+        __extension__ typedef unsigned __int128 SortWord;
+        thread_local std::vector<SortWord> buf;
+        buf.resize(static_cast<std::size_t>(n));
+        for (std::ptrdiff_t i = 0; i < n; ++i)
+          buf[static_cast<std::size_t>(i)] =
+              (static_cast<SortWord>(via_key(first[i])) << 64) | first[i].wire;
+        std::sort(buf.begin(), buf.end());
+        const std::int32_t x = first[0].x;
+        for (std::ptrdiff_t i = 0; i < n; ++i) {
+          const std::uint64_t k =
+              static_cast<std::uint64_t>(buf[static_cast<std::size_t>(i)] >> 64);
+          first[i] = {
+              x,
+              static_cast<std::int32_t>(static_cast<std::uint32_t>(k >> 32) ^
+                                        0x80000000u),
+              static_cast<std::int16_t>(
+                  static_cast<std::uint16_t>(static_cast<std::uint16_t>(k >> 16) ^
+                                             0x8000u)),
+              static_cast<std::int16_t>(
+                  static_cast<std::uint16_t>(static_cast<std::uint16_t>(k) ^ 0x8000u)),
+              static_cast<std::uint32_t>(buf[static_cast<std::size_t>(i)])};
+        }
+      };
+      const Rect& bb = lay.bounding_box();
+      if (nvias > 0 && bb.width() <= 4 * nvias + 1024) {
+        const Coord base = bb.x0;
+        const std::int64_t ncols = bb.width();
+        std::vector<std::int64_t> col_start(static_cast<std::size_t>(ncols) + 1, 0);
+        std::vector<std::uint8_t> bad(static_cast<std::size_t>(chunks), 0);
+        support::parallel_for(0, W, kWireGrain,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+          std::vector<std::int64_t*> cells;
+          cells.reserve(kScatterBatch);
+          const auto flush = [&] {
+            const std::size_t nb = cells.size();
+            for (std::size_t j = 0; j < nb; ++j) {
+              if (j + 16 < nb) __builtin_prefetch(cells[j + 16], 1);
+              if (serial)
+                ++*cells[j];
+              else
+                std::atomic_ref<std::int64_t>(*cells[j]).fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            cells.clear();
+          };
+          for (std::int64_t w = lo; w < hi; ++w)
+            for (std::uint32_t i = off[w] + 1; i + 1 < off[w + 1]; ++i) {
+              const std::int64_t c = pts[i].x - base;
+              if (c < 0 || c >= ncols) {
+                bad[static_cast<std::size_t>(chunk)] = 1;
+                continue;
+              }
+              cells.push_back(col_start.data() + c + 1);
+              if (cells.size() == kScatterBatch) flush();
+            }
+          flush();
+        });
+        for (const std::uint8_t f : bad)
+          STARLAY_REQUIRE(!f, "validate: via outside bounding box");
+        for (std::size_t c = 1; c < col_start.size(); ++c) col_start[c] += col_start[c - 1];
+        vias_owner = std::make_unique_for_overwrite<PackedVia[]>(
+            static_cast<std::size_t>(nvias));
+        vias = vias_owner.get();
         std::vector<std::int64_t> cur(col_start.begin(), col_start.end() - 1);
-        for (const Via& v : vias)
-          sorted[static_cast<std::size_t>(cur[static_cast<std::size_t>(v.p.x - base)]++)] =
-              v;
+        support::parallel_for(0, W, kWireGrain,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+          std::vector<PackedVia> batch;
+          batch.reserve(kScatterBatch);
+          const auto flush = [&] {
+            const std::size_t nb = batch.size();
+            for (std::size_t j = 0; j < nb; ++j)
+              __builtin_prefetch(cur.data() + (batch[j].x - base));
+            for (std::size_t j = 0; j < nb; ++j) {
+              if (j + 12 < nb)
+                __builtin_prefetch(
+                    vias +
+                        std::atomic_ref<std::int64_t>(
+                            cur[static_cast<std::size_t>(batch[j + 12].x - base)])
+                            .load(std::memory_order_relaxed),
+                    1);
+              std::int64_t* c = cur.data() + (batch[j].x - base);
+              const std::int64_t pos =
+                  serial ? (*c)++
+                         : std::atomic_ref<std::int64_t>(*c).fetch_add(
+                               1, std::memory_order_relaxed);
+              vias[static_cast<std::size_t>(pos)] = batch[j];
+            }
+            batch.clear();
+          };
+          for (std::int64_t w = lo; w < hi; ++w) {
+            const std::int16_t zlo = std::min(meta[w].h_layer, meta[w].v_layer);
+            const std::int16_t zhi = std::max(meta[w].h_layer, meta[w].v_layer);
+            for (std::uint32_t i = off[w] + 1; i + 1 < off[w + 1]; ++i) {
+              batch.push_back({pts[i].x, pts[i].y, zlo, zhi, static_cast<std::uint32_t>(w)});
+              if (batch.size() == kScatterBatch) flush();
+            }
+          }
+          flush();
+        });
+        // Sort, split, and count each column in one pass while its records
+        // are cache-hot.  Adjacent pairs spanning two columns differ in x,
+        // so they can never conflict and per-column kernel counts sum to
+        // exactly the global adjacent-pair count.
+        const std::int64_t col_chunks = support::num_chunks(0, ncols, 1024);
+        std::vector<std::int64_t> col_conflicts(static_cast<std::size_t>(col_chunks), 0);
+        support::parallel_for(0, ncols, 1024,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+          std::int64_t n = 0;
+          for (std::int64_t c = lo; c < hi; ++c) {
+            const std::int64_t s = col_start[static_cast<std::size_t>(c)];
+            const std::int64_t e = col_start[static_cast<std::size_t>(c) + 1];
+            if (e - s > 1) sort_via_run(vias + s, e - s);
+            split_run(s, e);
+            if (e - s > 1)
+              n += K.count_via_conflicts(vx.get() + s, vy.get() + s, vzlo.get() + s,
+                                         vzhi.get() + s, vwire.get() + s, e - s);
+          }
+          col_conflicts[static_cast<std::size_t>(chunk)] = n;
+        });
+        for (const std::int64_t n : col_conflicts) counted_total += n;
+        split_done = true;
+      } else {
+        // Degenerate coordinate range: wire-major collection (per-chunk
+        // prefix keeps it deterministic), then one comparison sort.
+        std::vector<std::int64_t> start(static_cast<std::size_t>(chunks) + 1, 0);
+        support::parallel_for(0, W, kWireGrain,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+          std::int64_t n = 0;
+          for (std::int64_t w = lo; w < hi; ++w) {
+            const std::int64_t npts = static_cast<std::int64_t>(off[w + 1]) - off[w];
+            n += std::max<std::int64_t>(0, npts - 2);
+          }
+          start[static_cast<std::size_t>(chunk) + 1] = n;
+        });
+        for (std::size_t c = 1; c < start.size(); ++c) start[c] += start[c - 1];
+        vias_owner = std::make_unique_for_overwrite<PackedVia[]>(
+            static_cast<std::size_t>(start.back()));
+        vias = vias_owner.get();
+        support::parallel_for(0, W, kWireGrain,
+                              [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+          std::int64_t cur = start[static_cast<std::size_t>(chunk)];
+          for (std::int64_t w = lo; w < hi; ++w) {
+            const std::int16_t zlo = std::min(meta[w].h_layer, meta[w].v_layer);
+            const std::int16_t zhi = std::max(meta[w].h_layer, meta[w].v_layer);
+            for (std::uint32_t i = off[w] + 1; i + 1 < off[w + 1]; ++i)
+              vias[static_cast<std::size_t>(cur++)] = {pts[i].x, pts[i].y, zlo, zhi,
+                                                       static_cast<std::uint32_t>(w)};
+          }
+        });
+        std::sort(vias, vias + nvias, [&](const PackedVia& a, const PackedVia& b) {
+          if (a.x != b.x) return a.x < b.x;
+          return rest_less(a, b);
+        });
       }
-      vias.swap(sorted);
-      support::parallel_for(0, ncols, 1024,
+    }
+    if (!split_done) {
+      support::parallel_for(0, nvias, kTileGrain,
                             [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
-        for (std::int64_t c = lo; c < hi; ++c) {
-          const std::int64_t s = col_start[static_cast<std::size_t>(c)];
-          const std::int64_t e = col_start[static_cast<std::size_t>(c) + 1];
-          if (e - s > 1)
-            std::sort(vias.begin() + static_cast<std::ptrdiff_t>(s),
-                      vias.begin() + static_cast<std::ptrdiff_t>(e), rest_less);
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const PackedVia& v = vias[static_cast<std::size_t>(i)];
+          vx[static_cast<std::size_t>(i)] = v.x;
+          vy[static_cast<std::size_t>(i)] = v.y;
+          vzlo[static_cast<std::size_t>(i)] = v.zlo;
+          vzhi[static_cast<std::size_t>(i)] = v.zhi;
+          vwire[static_cast<std::size_t>(i)] = v.wire;
         }
       });
-    } else {
-      std::sort(vias.begin(), vias.end(), [&](const Via& a, const Via& b) {
-        if (a.p.x != b.p.x) return a.p.x < b.p.x;
-        return rest_less(a, b);
+      counted_total = tiled_count(nvias - 1, [&](std::int64_t lo, std::int64_t hi) {
+        return K.count_via_conflicts(vx.get() + lo, vy.get() + lo, vzlo.get() + lo,
+                                     vzhi.get() + lo, vwire.get() + lo, hi - lo + 1);
       });
     }
+    const std::int64_t total = counted_total;
+    apply_counted(total, [&] {
+      for (std::int64_t i = 0; i + 1 < nvias && msg_budget_left(); ++i) {
+        const PackedVia& a = vias[static_cast<std::size_t>(i)];
+        const PackedVia& b = vias[static_cast<std::size_t>(i) + 1];
+        if (a.x == b.x && a.y == b.y && a.wire != b.wire && a.zlo <= b.zhi &&
+            b.zlo <= a.zhi)
+          rep.errors.push_back("via conflict at " + format_point({a.x, a.y}) + ": wires " +
+                               std::to_string(a.wire) + " and " + std::to_string(b.wire));
+      }
+    });
   }
-  parallel_check(static_cast<std::int64_t>(vias.size()) - 1,
-                 [&](std::int64_t i, const auto& emit) {
-    const Via& a = vias[static_cast<std::size_t>(i)];
-    const Via& b = vias[static_cast<std::size_t>(i) + 1];
-    if (a.p == b.p && a.wire != b.wire && a.zlo <= b.zhi && b.zlo <= a.zhi)
-      emit("via conflict at " + format_point(a.p) + ": wires " + std::to_string(a.wire) +
-           " and " + std::to_string(b.wire));
-  });
   {
     // Segment passing through a via point on a spanned layer.  The index
-    // hands back exactly the segments on (layer, line); segments on a line
-    // are disjoint (or already reported), so at most a couple of
-    // candidates around `pos` need checking.
-    auto covering = [&](std::int16_t layer, bool horizontal, Coord line,
-                        Coord pos, std::int64_t self) -> std::int64_t {
-      const auto [first, last] = sidx.line_range(layer, horizontal, line);
-      const LayerSegment* it = std::upper_bound(
-          first, last, pos,
-          [](Coord p, const LayerSegment& s) { return p < s.span.lo; });
-      for (int back = 0; back < 3 && it != first; ++back) {
-        --it;
-        if (it->span.lo <= pos && pos <= it->span.hi && it->wire != self) return it->wire;
-      }
-      return -1;
+    // hands back exactly the segments on (layer, line) as one SoA run;
+    // a binary search finds the first span starting past the probe point,
+    // and the covering kernel scans only the kCoverWindow candidates before
+    // it (lo ascending; spans further back cannot reach pos on any layout
+    // that passes track exclusivity).  It reports the last covering foreign
+    // segment, matching the pre-kernel probe's choice.
+    const PhaseTimer t(rep.phases.crossing_ms);
+    support::telemetry::ScopedPhase sub("validate.crossing");
+    const auto covering = [&](const PackedVia& v, std::int16_t z) -> std::int64_t {
+      const bool horizontal = z % 2 == 1;
+      const std::int32_t line = horizontal ? v.y : v.x;
+      const std::int32_t pos = horizontal ? v.x : v.y;
+      const auto [s, e] = sidx.line_span(z, horizontal, line);
+      if (s >= e) return -1;
+      const std::int64_t ub = std::upper_bound(slo + s, slo + e, pos) - slo;
+      const std::int64_t w0 = std::max(s, ub - kernels::kCoverWindow);
+      if (ub <= w0) return -1;
+      const std::int64_t idx =
+          K.find_covering(slo + w0, shi + w0, swire + w0, ub - w0, pos, v.wire);
+      return idx < 0 ? -1 : static_cast<std::int64_t>(swire[w0 + idx]);
     };
-    parallel_check(static_cast<std::int64_t>(vias.size()),
-                   [&](std::int64_t vi, const auto& emit) {
-      const Via& v = vias[static_cast<std::size_t>(vi)];
-      for (std::int16_t z = v.zlo; z <= v.zhi; ++z) {
-        const bool horizontal = z % 2 == 1;
-        const Coord line = horizontal ? v.p.y : v.p.x;
-        const Coord pos = horizontal ? v.p.x : v.p.y;
-        const std::int64_t other = covering(z, horizontal, line, pos, v.wire);
-        if (other >= 0)
-          emit("via of wire " + std::to_string(v.wire) + " at " + format_point(v.p) +
-               " pierced by wire " + std::to_string(other) + " on layer " +
-               std::to_string(z));
+    // The count pass exploits probe order instead of binary-searching per
+    // probe.  Within one grid line, probes with ascending pos advance a
+    // merge cursor over the line run (first index with lo > pos is
+    // monotone in pos), turning ~7M random binary searches into a few
+    // sequential sweeps:
+    //
+    //  - vertical probes (even z, line = x, pos = y): vias are already
+    //    sorted by (x, y), so same-column probes are adjacent with y
+    //    ascending;
+    //  - horizontal probes (odd z, line = y, pos = x): a *stable* counting
+    //    sort of via indices by y keeps x ascending within each row.
+    //
+    // Each pass keeps one cursor per layer; tiles re-derive the cursor at
+    // their first probe, so the per-tile sums are order-independent and
+    // the total is thread-count independent.
+    const std::int16_t zmin = lay.num_layers() > 0 ? std::int16_t{1} : std::int16_t{0};
+    const std::int16_t zmax = static_cast<std::int16_t>(lay.num_layers());
+    struct LineCursor {
+      std::int32_t line = std::numeric_limits<std::int32_t>::min();
+      bool valid = false;
+      std::int64_t s = 0, e = 0, ub = 0;
+    };
+    // Counts one probe against the merge cursor for layer z; the window
+    // semantics (kCoverWindow candidates before the first lo > pos) match
+    // the `covering` lambda exactly.
+    // With zero overlap conflicts every line's spans are pairwise disjoint,
+    // so at most one segment can reach any probe point: the last one with
+    // lo <= pos.  One scalar check replaces the kernel window scan; layouts
+    // that failed track exclusivity keep the exact kCoverWindow semantics.
+    const bool disjoint = overlap_conflicts == 0;
+    const auto probe_merged = [&](LineCursor& cur, std::int16_t z, bool horizontal,
+                                  std::int32_t line, std::int32_t pos,
+                                  std::uint32_t wire) -> std::int64_t {
+      if (!cur.valid || cur.line != line) {
+        const auto [s, e] = sidx.line_span(z, horizontal, line);
+        cur = {line, true, s, e, s};
+      }
+      while (cur.ub < cur.e && slo[cur.ub] <= pos) ++cur.ub;
+      if (disjoint) {
+        const std::int64_t i = cur.ub - 1;
+        return static_cast<std::int64_t>(i >= cur.s && shi[i] >= pos && swire[i] != wire);
+      }
+      const std::int64_t w0 = std::max(cur.s, cur.ub - kernels::kCoverWindow);
+      if (cur.ub <= w0) return 0;
+      return static_cast<std::int64_t>(
+          K.find_covering(slo + w0, shi + w0, swire + w0, cur.ub - w0, pos, wire) >= 0);
+    };
+    std::int64_t total = 0;
+    // Vertical probes, in stored (x, y) via order.
+    total += tiled_count(nvias, [&](std::int64_t lo, std::int64_t hi) {
+      std::vector<LineCursor> cursors(static_cast<std::size_t>(zmax - zmin + 1));
+      std::int64_t n = 0;
+      for (std::int64_t i = lo; i < hi; ++i) {
+        const PackedVia& v = vias[static_cast<std::size_t>(i)];
+        for (std::int16_t z = v.zlo; z <= v.zhi; ++z) {
+          if (z % 2 != 0) continue;
+          LineCursor plain;
+          LineCursor& cur = z >= zmin && z <= zmax
+                                ? cursors[static_cast<std::size_t>(z - zmin)]
+                                : plain;
+          n += probe_merged(cur, z, false, v.x, v.y, v.wire);
+        }
+      }
+      return n;
+    });
+    // Horizontal probes, via a stable by-row permutation of the via order.
+    {
+      std::unique_ptr<std::uint32_t[]> by_row;  // written once per slot below
+      bool have_rows = false;
+      const Rect& bb = lay.bounding_box();
+      if (nvias > 0 && bb.height() <= 4 * nvias + 1024) {
+        by_row = std::make_unique_for_overwrite<std::uint32_t[]>(
+            static_cast<std::size_t>(nvias));
+        const Coord base = bb.y0;
+        const std::int64_t nrows = bb.height();
+        std::vector<std::int64_t> row_start(static_cast<std::size_t>(nrows) + 1, 0);
+        for (std::int64_t i = 0; i < nvias; ++i)
+          ++row_start[static_cast<std::size_t>(vias[static_cast<std::size_t>(i)].y - base) +
+                      1];
+        for (std::size_t r = 1; r < row_start.size(); ++r) row_start[r] += row_start[r - 1];
+        constexpr std::int64_t kPfCur = 24, kPfDst = 12;
+        for (std::int64_t i = 0; i < nvias; ++i) {
+          if (i + kPfCur < nvias)
+            __builtin_prefetch(
+                row_start.data() + (vias[static_cast<std::size_t>(i + kPfCur)].y - base));
+          if (i + kPfDst < nvias)
+            __builtin_prefetch(
+                by_row.get() + row_start[static_cast<std::size_t>(
+                                    vias[static_cast<std::size_t>(i + kPfDst)].y - base)],
+                1);
+          by_row[static_cast<std::size_t>(
+              row_start[static_cast<std::size_t>(vias[static_cast<std::size_t>(i)].y -
+                                                 base)]++)] = static_cast<std::uint32_t>(i);
+        }
+        have_rows = true;
+      }
+      total += tiled_count(nvias, [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<LineCursor> cursors(static_cast<std::size_t>(zmax - zmin + 1));
+        std::int64_t n = 0;
+        for (std::int64_t k = lo; k < hi; ++k) {
+          if (have_rows && k + 8 < hi)
+            __builtin_prefetch(vias + by_row[static_cast<std::size_t>(k + 8)]);
+          const PackedVia& v =
+              vias[have_rows ? by_row[static_cast<std::size_t>(k)]
+                             : static_cast<std::size_t>(k)];
+          for (std::int16_t z = v.zlo; z <= v.zhi; ++z) {
+            if (z % 2 != 1) continue;
+            LineCursor plain;
+            LineCursor& cur = z >= zmin && z <= zmax
+                                  ? cursors[static_cast<std::size_t>(z - zmin)]
+                                  : plain;
+            n += probe_merged(cur, z, true, v.y, v.x, v.wire);
+          }
+        }
+        return n;
+      });
+    }
+    apply_counted(total, [&] {
+      for (std::int64_t i = 0; i < nvias && msg_budget_left(); ++i) {
+        const PackedVia& v = vias[static_cast<std::size_t>(i)];
+        for (std::int16_t z = v.zlo; z <= v.zhi && msg_budget_left(); ++z) {
+          const std::int64_t other = covering(v, z);
+          if (other >= 0)
+            rep.errors.push_back("via of wire " + std::to_string(v.wire) + " at " +
+                                 format_point({v.x, v.y}) + " pierced by wire " +
+                                 std::to_string(other) + " on layer " + std::to_string(z));
+        }
       }
     });
   }
-
   // --- node clearance -------------------------------------------------------
+  // Two-pass like the other passes, but the count never evaluates a
+  // candidate against per-wire state.  Every candidate the rect index
+  // reports for an indexed segment geometrically touches its rect (the
+  // index is exact), and check_wire_clearance emits one error for each such
+  // pair UNLESS it is an allowed touch: the segment's own node, met at a
+  // single boundary point that is the wire's endpoint.  Hence
+  //
+  //   errors = candidates - allowed + degenerate-step errors
+  //
+  // where `candidates` is a plain per-bucket count through the index
+  // (lines ascend, so its row/column tables stay cache-resident), `allowed`
+  // was tallied during the rules wire sweep, and the queued degenerate
+  // (repeated-point) steps — dropped by the SegmentIndex but still queried
+  // by check_wire_clearance — are evaluated here against the index with the
+  // full foreign/own predicate.  Only a broken layout ever pays for the
+  // message-building walk.
   {
-    const RectIndex index(lay.node_rects());
-    parallel_check(lay.num_wires(), [&](std::int64_t wi, const auto& emit) {
-      check_wire_clearance(lay.wires()[wi], wi, g, index, lay.node_rects(), emit);
+    const PhaseTimer t(rep.phases.clearance_ms);
+    support::telemetry::ScopedPhase sub("validate.clearance");
+    const std::vector<Rect>& rects = lay.node_rects();
+    const RectIndex index(rects);
+    const std::int64_t W = lay.num_wires();
+
+    std::int64_t total = 0;
+    for (std::int64_t b = 0; b < sidx.num_buckets(); ++b) {
+      const SegmentIndex::BucketView bv = sidx.bucket(b);
+      // Segments come in same-line runs; one summary-bit test skips a
+      // whole run on an uncovered line (most lines are routing channels),
+      // and a covered run is counted in one merge pass over the index
+      // instead of one binary search per segment.  The dense run table
+      // jumps between runs directly — an uncovered line costs two offset
+      // loads, never a walk over its segments.
+      const SegmentIndex::LineRunsView runs = sidx.line_runs(b);
+      if (runs.nlines > 0) {
+        total += tiled_count(runs.nlines, [&](std::int64_t l0, std::int64_t l1) {
+          std::int64_t n = 0;
+          for (std::int64_t l = l0; l < l1; ++l) {
+            const std::int64_t s = runs.start[l];
+            const std::int64_t e = runs.start[l + 1];
+            if (s == e) continue;
+            n += index.count_touching_run(bv.horizontal,
+                                          runs.base + static_cast<Coord>(l), slo + s,
+                                          shi + s, e - s);
+          }
+          return n;
+        });
+        continue;
+      }
+      total += tiled_count(bv.end - bv.begin, [&](std::int64_t lo, std::int64_t hi) {
+        std::int64_t n = 0;
+        std::int64_t i = bv.begin + lo;
+        const std::int64_t e = bv.begin + hi;
+        while (i < e) {
+          const std::int32_t line = sline[i];
+          std::int64_t r = i;
+          do ++r;
+          while (r < e && sline[r] == line);
+          n += index.count_touching_run(bv.horizontal, line, slo + i, shi + i, r - i);
+          i = r;
+        }
+        return n;
+      });
+    }
+    for (const std::int64_t a : clearance_allowed) total -= a;
+    for (const std::vector<DegenStep>& steps : degen_steps)
+      for (const DegenStep& d : steps)
+        // A zero-length step probes as a horizontal single-point segment,
+        // exactly as check_wire_clearance's loop sees it (a.y == b.y).
+        index.for_touching(true, d.a.y, d.a.x, d.a.x, [&](std::int32_t node) {
+          if (node != d.nu && node != d.nv) {
+            ++total;  // foreign touch
+            return;
+          }
+          const Rect& r = rects[static_cast<std::size_t>(node)];
+          const Coord cl = std::max<Coord>(d.a.x, r.x0);
+          const Coord ch = std::min<Coord>(d.a.x, r.x1);
+          if (d.a.y < r.y0 || d.a.y > r.y1 || cl > ch) return;
+          if (cl != ch) {
+            ++total;  // "runs along/through its node"
+            return;
+          }
+          const Point32 touch{static_cast<std::int32_t>(cl), d.a.y};
+          if (!(touch == d.front || touch == d.back)) ++total;  // non-endpoint pass-over
+        });
+
+    apply_counted(total, [&] {
+      for (std::int64_t wi = 0; wi < W && msg_budget_left(); ++wi)
+        check_wire_clearance(lay.wires()[wi], wi, g, index, rects, [&](std::string m) {
+          if (msg_budget_left()) rep.errors.push_back(std::move(m));
+        });
     });
   }
+  sidx_storage.reset();
 
   return rep;
 }

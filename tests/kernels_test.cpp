@@ -1,0 +1,389 @@
+// Scalar-vs-SIMD equivalence for the certification kernels.  Every variant
+// in the dispatch table must be bit-identical to the scalar reference —
+// that equivalence is what lets the validator, the streaming certifier,
+// and the fingerprint fold pick a level at runtime without changing any
+// observable result.  The buckets below lean on the nasty cases: touching
+// endpoints (lo[i+1] == hi[i] IS a conflict), zero-length spans, and
+// INT32_MIN/INT32_MAX coordinates where a naive `hi - lo` would overflow.
+//
+// Layer-level invariance (identical conflict sets, identical fingerprints
+// per level) is checked here on small layouts; the metamorphic battery and
+// the `starcheck_corpus_avx2` ctest entry extend it to every registered
+// family under a forced level.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::layout::kernels {
+namespace {
+
+constexpr std::int32_t kMin = std::numeric_limits<std::int32_t>::min();
+constexpr std::int32_t kMax = std::numeric_limits<std::int32_t>::max();
+
+/// Deterministic PRNG (same recurrence as the fuzz driver's).
+std::uint64_t next_u64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::int32_t rand_coord(std::uint64_t& state) {
+  // Mostly small coordinates (adjacent values collide often), occasionally
+  // an extreme so the vector compares see the full int32 range.
+  const std::uint64_t r = next_u64(state);
+  switch (r % 16) {
+    case 0: return kMin;
+    case 1: return kMax;
+    case 2: return kMin + 1;
+    case 3: return kMax - 1;
+    default: return static_cast<std::int32_t>(r % 23) - 11;
+  }
+}
+
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> out;
+  for (SimdLevel level : {SimdLevel::kScalar, SimdLevel::kSSE4, SimdLevel::kAVX2})
+    if (level_supported(level)) out.push_back(level);
+  return out;
+}
+
+TEST(Kernels, DispatchPlumbing) {
+  EXPECT_STREQ(level_name(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(level_name(SimdLevel::kSSE4), "sse4");
+  EXPECT_STREQ(level_name(SimdLevel::kAVX2), "avx2");
+  ASSERT_TRUE(level_supported(SimdLevel::kScalar));
+  EXPECT_EQ(&active(), &table(active_level()));
+  {
+    ScopedForcedLevel forced(SimdLevel::kScalar);
+    EXPECT_EQ(forced.effective(), SimdLevel::kScalar);
+    EXPECT_EQ(active_level(), SimdLevel::kScalar);
+  }
+  {
+    // Requests clamp down to a supported level, never error.
+    ScopedForcedLevel forced(SimdLevel::kAVX2);
+    EXPECT_TRUE(level_supported(forced.effective()));
+    EXPECT_EQ(active_level(), forced.effective());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// count_seg_conflicts: exhaustive over every span pair from an adversarial
+// coordinate alphabet, in 2-segment buckets and replicated 16-segment
+// buckets (full vector width at every level).
+
+/// Independent reference, written differently from the kernel on purpose.
+std::int64_t ref_seg_conflicts(const std::vector<std::int32_t>& line,
+                               const std::vector<std::int32_t>& lo,
+                               const std::vector<std::int32_t>& hi) {
+  std::int64_t c = 0;
+  for (std::size_t i = 1; i < line.size(); ++i)
+    if (line[i - 1] == line[i] && !(lo[i] > hi[i - 1])) ++c;
+  return c;
+}
+
+TEST(Kernels, SegConflictsExhaustivePairs) {
+  const std::vector<std::int32_t> coords = {kMin, kMin + 1, -3, -1, 0, 1, 2, 7, kMax - 1, kMax};
+  std::vector<std::array<std::int32_t, 2>> spans;
+  for (std::int32_t a : coords)
+    for (std::int32_t b : coords)
+      if (a <= b) spans.push_back({a, b});  // includes zero-length a == b
+
+  const auto levels = supported_levels();
+  for (const auto& s1 : spans) {
+    for (const auto& s2 : spans) {
+      for (const bool same_line : {true, false}) {
+        // The 2-segment bucket itself...
+        std::vector<std::int32_t> line = {0, same_line ? 0 : 1};
+        std::vector<std::int32_t> lo = {s1[0], s2[0]};
+        std::vector<std::int32_t> hi = {s1[1], s2[1]};
+        // ...and the same pair replicated to 16 segments on disjoint lines,
+        // so the expected count is exactly 8x the pair's.
+        std::vector<std::int32_t> line16, lo16, hi16;
+        for (std::int32_t k = 0; k < 8; ++k) {
+          line16.push_back(same_line ? 3 * k : 3 * k);
+          line16.push_back(same_line ? 3 * k : 3 * k + 1);
+          lo16.insert(lo16.end(), {s1[0], s2[0]});
+          hi16.insert(hi16.end(), {s1[1], s2[1]});
+        }
+        const std::int64_t want = ref_seg_conflicts(line, lo, hi);
+        for (SimdLevel level : levels) {
+          const KernelTable& K = table(level);
+          ASSERT_EQ(K.count_seg_conflicts(line.data(), lo.data(), hi.data(), 2), want)
+              << level_name(level) << " [" << s1[0] << "," << s1[1] << "] vs [" << s2[0] << ","
+              << s2[1] << "] same_line=" << same_line;
+          ASSERT_EQ(K.count_seg_conflicts(line16.data(), lo16.data(), hi16.data(), 16),
+                    ref_seg_conflicts(line16, lo16, hi16))
+              << level_name(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, SegConflictsRandomBuckets) {
+  std::uint64_t state = 0x5eed5eed;
+  const auto levels = supported_levels();
+  for (int round = 0; round < 400; ++round) {
+    const std::int64_t n = static_cast<std::int64_t>(next_u64(state) % 70);
+    std::vector<std::int32_t> line(n), lo(n), hi(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      line[i] = static_cast<std::int32_t>(next_u64(state) % 4);
+      const std::int32_t a = rand_coord(state), b = rand_coord(state);
+      lo[i] = std::min(a, b);
+      hi[i] = std::max(a, b);
+    }
+    const std::int64_t want = ref_seg_conflicts(line, lo, hi);
+    for (SimdLevel level : levels)
+      ASSERT_EQ(table(level).count_seg_conflicts(line.data(), lo.data(), hi.data(), n), want)
+          << level_name(level) << " round=" << round << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// count_via_conflicts
+
+std::int64_t ref_via_conflicts(const std::vector<std::int32_t>& x,
+                               const std::vector<std::int32_t>& y,
+                               const std::vector<std::int32_t>& zlo,
+                               const std::vector<std::int32_t>& zhi,
+                               const std::vector<std::uint32_t>& wire) {
+  std::int64_t c = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i - 1] == x[i] && y[i - 1] == y[i] && wire[i - 1] != wire[i] &&
+        zlo[i - 1] <= zhi[i] && zlo[i] <= zhi[i - 1])
+      ++c;
+  return c;
+}
+
+TEST(Kernels, ViaConflictsExhaustivePairs) {
+  const std::vector<std::int32_t> zs = {kMin, -1, 0, 1, kMax};
+  std::vector<std::array<std::int32_t, 2>> spans;
+  for (std::int32_t a : zs)
+    for (std::int32_t b : zs)
+      if (a <= b) spans.push_back({a, b});
+
+  const auto levels = supported_levels();
+  for (const auto& s1 : spans) {
+    for (const auto& s2 : spans) {
+      for (const bool same_col : {true, false}) {
+        for (const bool same_wire : {true, false}) {
+          std::vector<std::int32_t> x = {5, same_col ? 5 : 6};
+          std::vector<std::int32_t> y = {-5, -5};
+          std::vector<std::int32_t> zlo = {s1[0], s2[0]};
+          std::vector<std::int32_t> zhi = {s1[1], s2[1]};
+          std::vector<std::uint32_t> wire = {9u, same_wire ? 9u : 10u};
+          const std::int64_t want = ref_via_conflicts(x, y, zlo, zhi, wire);
+          for (SimdLevel level : levels)
+            ASSERT_EQ(table(level).count_via_conflicts(x.data(), y.data(), zlo.data(),
+                                                       zhi.data(), wire.data(), 2),
+                      want)
+                << level_name(level);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, ViaConflictsRandomColumns) {
+  std::uint64_t state = 0x71a5;
+  const auto levels = supported_levels();
+  for (int round = 0; round < 400; ++round) {
+    const std::int64_t n = static_cast<std::int64_t>(next_u64(state) % 70);
+    std::vector<std::int32_t> x(n), y(n), zlo(n), zhi(n);
+    std::vector<std::uint32_t> wire(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[i] = static_cast<std::int32_t>(next_u64(state) % 3);  // few columns -> many collisions
+      y[i] = static_cast<std::int32_t>(next_u64(state) % 3);
+      const std::int32_t a = rand_coord(state), b = rand_coord(state);
+      zlo[i] = std::min(a, b);
+      zhi[i] = std::max(a, b);
+      wire[i] = static_cast<std::uint32_t>(next_u64(state) % 4);
+    }
+    const std::int64_t want = ref_via_conflicts(x, y, zlo, zhi, wire);
+    for (SimdLevel level : levels)
+      ASSERT_EQ(table(level).count_via_conflicts(x.data(), y.data(), zlo.data(), zhi.data(),
+                                                 wire.data(), n),
+                want)
+          << level_name(level) << " round=" << round << " n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// find_covering / find_rect_overlap
+
+TEST(Kernels, FindCoveringRandomRuns) {
+  std::uint64_t state = 0xc0ffee;
+  const auto levels = supported_levels();
+  for (int round = 0; round < 600; ++round) {
+    const std::int64_t n = static_cast<std::int64_t>(next_u64(state) % (kCoverWindow + 1));
+    std::vector<std::int32_t> lo(n), hi(n);
+    std::vector<std::uint32_t> wire(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      lo[i] = static_cast<std::int32_t>(next_u64(state) % 17) - 8;
+      hi[i] = lo[i] + static_cast<std::int32_t>(next_u64(state) % 7);
+      if (next_u64(state) % 31 == 0) hi[i] = kMax;  // unbounded-looking span
+      wire[i] = static_cast<std::uint32_t>(next_u64(state) % 5);
+    }
+    std::sort(lo.begin(), lo.end());  // contract: lo ascending
+    for (std::int64_t i = 0; i < n; ++i) hi[i] = std::max(hi[i], lo[i]);
+    const std::int32_t pos = (next_u64(state) % 13 == 0)
+                                 ? (next_u64(state) % 2 ? kMax : kMin)
+                                 : static_cast<std::int32_t>(next_u64(state) % 21) - 10;
+    const std::uint32_t self = static_cast<std::uint32_t>(next_u64(state) % 6);
+    const std::int64_t want =
+        table(SimdLevel::kScalar).find_covering(lo.data(), hi.data(), wire.data(), n, pos, self);
+    for (SimdLevel level : levels)
+      ASSERT_EQ(table(level).find_covering(lo.data(), hi.data(), wire.data(), n, pos, self), want)
+          << level_name(level) << " round=" << round;
+  }
+}
+
+TEST(Kernels, FindRectOverlapRandomRuns) {
+  std::uint64_t state = 0xab1e;
+  const auto levels = supported_levels();
+  for (int round = 0; round < 600; ++round) {
+    const std::int64_t n = static_cast<std::int64_t>(next_u64(state) % 70);
+    std::vector<std::int32_t> x0(n), x1(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      x0[i] = static_cast<std::int32_t>(next_u64(state) % 41) - 20;
+      x1[i] = x0[i] + static_cast<std::int32_t>(next_u64(state) % 9);
+    }
+    std::sort(x0.begin(), x0.end());  // contract: x0 ascending
+    for (std::int64_t i = 0; i < n; ++i) x1[i] = std::max(x1[i], x0[i]);
+    const std::int64_t start = n == 0 ? 0 : static_cast<std::int64_t>(next_u64(state) % (n + 1));
+    std::int32_t qa = static_cast<std::int32_t>(next_u64(state) % 45) - 22;
+    std::int32_t qb = static_cast<std::int32_t>(next_u64(state) % 45) - 22;
+    if (qa > qb) std::swap(qa, qb);
+    const std::int64_t want =
+        table(SimdLevel::kScalar).find_rect_overlap(x0.data(), x1.data(), n, start, qa, qb);
+    for (SimdLevel level : levels)
+      ASSERT_EQ(table(level).find_rect_overlap(x0.data(), x1.data(), n, start, qa, qb), want)
+          << level_name(level) << " round=" << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fold_hashes4 / deinterleave4
+
+TEST(Kernels, FoldHashes4MatchesScalarAndBlocks) {
+  std::uint64_t state = 0xf01d;
+  const auto levels = supported_levels();
+  for (std::int64_t n = 0; n <= 67; ++n) {
+    std::vector<std::uint64_t> h(n);
+    for (auto& v : h) v = next_u64(state);
+    std::uint64_t want[4] = {1, 2, 3, 4};
+    table(SimdLevel::kScalar).fold_hashes4(h.data(), n, want);
+    for (SimdLevel level : levels) {
+      std::uint64_t lanes[4] = {1, 2, 3, 4};
+      table(level).fold_hashes4(h.data(), n, lanes);
+      for (int j = 0; j < 4; ++j)
+        ASSERT_EQ(lanes[j], want[j]) << level_name(level) << " n=" << n << " lane=" << j;
+      // Folding in blocks whose sizes are multiples of 4 preserves the
+      // round-robin lane phase, so the result must be unchanged.
+      const std::int64_t cut = (n / 2) & ~std::int64_t{3};
+      std::uint64_t blocked[4] = {1, 2, 3, 4};
+      table(level).fold_hashes4(h.data(), cut, blocked);
+      table(level).fold_hashes4(h.data() + cut, n - cut, blocked);
+      for (int j = 0; j < 4; ++j)
+        ASSERT_EQ(blocked[j], want[j]) << level_name(level) << " blocked n=" << n;
+    }
+  }
+}
+
+TEST(Kernels, Deinterleave4MatchesScalar) {
+  std::uint64_t state = 0xdea1;
+  const auto levels = supported_levels();
+  constexpr std::int32_t kCanary = 0x7abc1234;
+  for (std::int64_t n = 0; n <= 67; ++n) {
+    std::vector<std::int32_t> in(4 * n);
+    for (auto& v : in) v = rand_coord(state);
+    std::vector<std::int32_t> a(n + 4, kCanary), b(n + 4, kCanary), c(n + 4, kCanary),
+        d(n + 4, kCanary);
+    for (SimdLevel level : levels) {
+      std::fill(a.begin(), a.end(), kCanary);
+      std::fill(b.begin(), b.end(), kCanary);
+      std::fill(c.begin(), c.end(), kCanary);
+      std::fill(d.begin(), d.end(), kCanary);
+      table(level).deinterleave4(in.data(), n, a.data(), b.data(), c.data(), d.data());
+      for (std::int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(a[i], in[4 * i + 0]) << level_name(level) << " n=" << n << " i=" << i;
+        ASSERT_EQ(b[i], in[4 * i + 1]) << level_name(level);
+        ASSERT_EQ(c[i], in[4 * i + 2]) << level_name(level);
+        ASSERT_EQ(d[i], in[4 * i + 3]) << level_name(level);
+      }
+      // The kernels may never write past n records.
+      for (std::int64_t i = n; i < n + 4; ++i) {
+        ASSERT_EQ(a[i], kCanary) << level_name(level) << " n=" << n;
+        ASSERT_EQ(b[i], kCanary);
+        ASSERT_EQ(c[i], kCanary);
+        ASSERT_EQ(d[i], kCanary);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer-level invariance: same conflict sets, same fingerprints.
+
+Wire straight_wire(std::int64_t edge, Point a, Point b) {
+  Wire w;
+  w.edge = edge;
+  w.push(a);
+  w.push(b);
+  return w;
+}
+
+TEST(Kernels, ConflictSetsIdenticalAcrossLevels) {
+  // A layout with several distinct violation classes (overlap, pierced
+  // endpoint, missing wire) well below the message cap: every level must
+  // produce the same verdict, the same total, and the same message list.
+  topology::Graph g(6);
+  for (int i = 0; i + 1 < 6; i += 2) g.add_edge(i, i + 1);
+  g.finalize();
+  Layout lay(6);
+  for (int i = 0; i < 6; ++i) lay.set_node_rect(i, {20 * i, 0, 20 * i, 0});
+  lay.add_wire(straight_wire(0, {0, 0}, {20, 0}));
+  lay.add_wire(straight_wire(1, {10, 0}, {60, 0}));  // overlaps edge 0's span
+  // edge 2 has no wire at all.
+  const auto ref = validate_layout(g, lay);
+  ASSERT_FALSE(ref.ok);
+  ASSERT_FALSE(ref.errors.empty());
+  for (SimdLevel level : supported_levels()) {
+    ScopedForcedLevel forced(level);
+    const auto r = validate_layout(g, lay);
+    EXPECT_EQ(r.ok, ref.ok) << level_name(level);
+    EXPECT_EQ(r.num_errors_total, ref.num_errors_total) << level_name(level);
+    EXPECT_EQ(r.errors, ref.errors) << level_name(level);
+  }
+}
+
+TEST(Kernels, FingerprintsIdenticalAcrossLevels) {
+  // The canonical wire digest of a real construction must not depend on the
+  // kernel level (the fold is chunked identically everywhere).  Scalar is
+  // the reference; any compiled SIMD variant must reproduce it bit for bit.
+  std::uint64_t want = 0;
+  {
+    ScopedForcedLevel forced(SimdLevel::kScalar);
+    want = wire_fingerprint(core::star_layout(4).routed.layout);
+  }
+  EXPECT_NE(want, 0u);
+  for (SimdLevel level : supported_levels()) {
+    ScopedForcedLevel forced(level);
+    EXPECT_EQ(wire_fingerprint(core::star_layout(4).routed.layout), want) << level_name(level);
+  }
+}
+
+}  // namespace
+}  // namespace starlay::layout::kernels

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/topology/graph.hpp"
 
@@ -295,6 +296,37 @@ TEST(Validate, ErrorCapRespected) {
   const auto rep = validate_layout(g, lay, opt);
   EXPECT_FALSE(rep.ok);
   EXPECT_LE(rep.errors.size(), 5u);
+}
+
+TEST(Validate, ErrorCapDeterministicAcrossSimdLevels) {
+  // 60 coincident wires produce conflicts far beyond the cap.  The count
+  // pass must still report the exact pre-truncation total while the
+  // materialization short-circuits at max_errors messages, and both the
+  // total and the retained messages must be byte-identical on every run at
+  // every compiled kernel level.
+  topology::Graph g(2);
+  for (int i = 0; i < 60; ++i) g.add_edge(0, 1, i);
+  g.finalize();
+  Layout lay(2);
+  lay.set_node_rect(0, {0, 0, 0, 0});
+  lay.set_node_rect(1, {10, 0, 10, 0});
+  for (int i = 0; i < 60; ++i) lay.add_wire(straight_wire(i, {0, 0}, {10, 0}));
+  ValidationOptions opt;
+  opt.max_errors = 5;
+  const auto ref = validate_layout(g, lay, opt);
+  ASSERT_FALSE(ref.ok);
+  EXPECT_EQ(ref.errors.size(), 5u);
+  EXPECT_GT(ref.num_errors_total, 5);
+  for (kernels::SimdLevel level : {kernels::SimdLevel::kScalar, kernels::SimdLevel::kSSE4,
+                                   kernels::SimdLevel::kAVX2}) {
+    if (!kernels::level_supported(level)) continue;
+    kernels::ScopedForcedLevel forced(level);
+    for (int run = 0; run < 3; ++run) {
+      const auto r = validate_layout(g, lay, opt);
+      EXPECT_EQ(r.num_errors_total, ref.num_errors_total) << kernels::level_name(level);
+      EXPECT_EQ(r.errors, ref.errors) << kernels::level_name(level);
+    }
+  }
 }
 
 }  // namespace

@@ -94,28 +94,42 @@ TEST(SegmentIndex, MatchesGlobalSortOrder) {
   });
   const SegmentIndex idx(lay);
   ASSERT_EQ(idx.size(), static_cast<std::int64_t>(expect.size()));
+  const std::vector<LayerSegment> got = idx.materialize();
+  ASSERT_EQ(got.size(), expect.size());
   for (std::size_t i = 0; i < expect.size(); ++i) {
-    const LayerSegment& a = idx.segments()[i];
+    const LayerSegment& a = got[i];
     const LayerSegment& b = expect[i];
     ASSERT_TRUE(a.layer == b.layer && a.horizontal == b.horizontal && a.line == b.line &&
                 a.span == b.span && a.wire == b.wire)
         << "segment " << i << " diverges";
+    // The per-segment accessor and the SoA views must agree with the
+    // materialized vector element-for-element.
+    const LayerSegment c = idx.segment(static_cast<std::int64_t>(i));
+    ASSERT_TRUE(c.layer == b.layer && c.horizontal == b.horizontal && c.line == b.line &&
+                c.span == b.span && c.wire == b.wire)
+        << "segment() " << i << " diverges";
+    ASSERT_EQ(idx.lines()[i], b.line);
+    ASSERT_EQ(idx.span_lo()[i], b.span.lo);
+    ASSERT_EQ(idx.span_hi()[i], b.span.hi);
+    ASSERT_EQ(static_cast<std::int64_t>(idx.wires()[i]), b.wire);
   }
 }
 
-TEST(SegmentIndex, LineRangeFindsEverySegment) {
+TEST(SegmentIndex, LineSpanFindsEverySegment) {
   const auto r = core::star_layout(4);
   const SegmentIndex idx(r.routed.layout);
-  for (const LayerSegment& s : idx.segments()) {
-    const auto [first, last] = idx.line_range(s.layer, s.horizontal, s.line);
+  for (const LayerSegment& s : idx.materialize()) {
+    const auto [first, last] = idx.line_span(s.layer, s.horizontal, s.line);
     bool found = false;
-    for (const LayerSegment* it = first; it != last; ++it) {
-      EXPECT_EQ(it->line, s.line);
-      if (it->span == s.span && it->wire == s.wire) found = true;
+    for (std::int64_t i = first; i < last; ++i) {
+      EXPECT_EQ(idx.lines()[i], s.line);
+      if (idx.span_lo()[i] == s.span.lo && idx.span_hi()[i] == s.span.hi &&
+          static_cast<std::int64_t>(idx.wires()[i]) == s.wire)
+        found = true;
     }
     EXPECT_TRUE(found);
   }
-  EXPECT_EQ(idx.line_range(99, true, 0).first, idx.line_range(99, true, 0).second);
+  EXPECT_EQ(idx.line_span(99, true, 0).first, idx.line_span(99, true, 0).second);
 }
 
 TEST(WireStore, PushBackExtractRoundTrip) {

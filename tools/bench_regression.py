@@ -17,13 +17,18 @@ and with tracing disabled (=0), best-of several runs each, and fails when
 the traced sweep is more than OVERHEAD_THRESHOLD slower.  This is the
 "<2% overhead" contract of DESIGN.md's telemetry section.
 
-Usage: bench_regression.py <bench-binary> [baseline-json]
+Usage: bench_regression.py [--phase construct|validate] <bench-binary> [baseline-json]
        bench_regression.py --telemetry-overhead <bench-binary>
 Environment: STARLAY_THREADS is forced to the baseline's thread count so
 timings are compared like for like.
 
-Wired into CTest as `bench_star_regression` and `bench_telemetry_overhead`
-with LABEL perf:
+--phase restricts the gate to one phase's timings: the `bench_star_regression`
+ctest entry gates construct_ms and `bench_validate_regression` gates
+validate_ms, so a regression report names the phase that moved in the test
+name itself.  Without --phase both are gated (the manual invocation).
+
+Wired into CTest as `bench_star_regression`, `bench_validate_regression`,
+and `bench_telemetry_overhead` with LABEL perf:
     ctest -L perf
 """
 
@@ -87,18 +92,26 @@ def telemetry_overhead(binary):
 
 
 def main():
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 2
-    if sys.argv[1] == "--telemetry-overhead":
-        if len(sys.argv) < 3:
+    args = sys.argv[1:]
+    phases = ("construct_ms", "validate_ms")
+    if args and args[0] == "--phase":
+        if len(args) < 2 or args[1] not in ("construct", "validate"):
             print(__doc__)
             return 2
-        return telemetry_overhead(os.path.abspath(sys.argv[2]))
-    binary = os.path.abspath(sys.argv[1])
+        phases = (args[1] + "_ms",)
+        args = args[2:]
+    if not args:
+        print(__doc__)
+        return 2
+    if args[0] == "--telemetry-overhead":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        return telemetry_overhead(os.path.abspath(args[1]))
+    binary = os.path.abspath(args[0])
     baseline_path = (
-        sys.argv[2]
-        if len(sys.argv) > 2
+        args[1]
+        if len(args) > 1
         else os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                           "BENCH_star_area.json")
     )
@@ -122,14 +135,13 @@ def main():
         for n, row in run_bench(binary, env).items():
             if n not in baseline:
                 continue
-            cur = best.setdefault(n, {"construct_ms": float("inf"),
-                                      "validate_ms": float("inf")})
+            cur = best.setdefault(n, {key: float("inf") for key in phases})
             for key in cur:
                 cur[key] = min(cur[key], row[key])
 
     failures = []
     for n, row in sorted(best.items()):
-        for key in ("construct_ms", "validate_ms"):
+        for key in phases:
             now, ref = row[key], baseline[n][key]
             verdict = "ok"
             if now > ref * (1 + THRESHOLD) and now - ref > NOISE_FLOOR_MS:

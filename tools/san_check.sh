@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Sanitizer sweep over the concurrency- and streaming-critical suites.
 #
-#   tools/san_check.sh            # thread + address
-#   tools/san_check.sh thread     # just one sanitizer
+#   tools/san_check.sh                    # thread + address+undefined
+#   tools/san_check.sh thread             # just one sanitizer
+#   tools/san_check.sh address+undefined
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/) configured
 # with -DSTARLAY_SANITIZE=<san>.  TSan covers the parallel layout engine
 # (determinism suite + permutation enumerator at STARLAY_THREADS=8) and the
 # telemetry engine (spans, counters, and the RSS sampler thread race against
-# pool workers; STARLAY_TELEMETRY is forced ON in these trees); ASan
+# pool workers; STARLAY_TELEMETRY is forced ON in these trees); ASan+UBSan
 # additionally covers the streaming pipeline, whose sink replay / adjacency
-# release paths are the most pointer-lifetime-sensitive code in the tree.
+# release paths are the most pointer-lifetime-sensitive code in the tree, and
+# sweeps the SIMD kernel suites once per forced level (STARLAY_SIMD=scalar,
+# sse4, avx2) so every compiled vector variant's loads, tails, and masked
+# compares run instrumented — not just the level this machine auto-selects.
 # Both sweeps replay the starcheck corpus so every pinned family shape runs
 # its oracle + metamorphic battery under the sanitizer.
 # A toolchain without a given sanitizer runtime skips it with a notice and
@@ -20,17 +24,18 @@ cd "$(dirname "$0")/.."
 
 SANITIZERS=("$@")
 if [ ${#SANITIZERS[@]} -eq 0 ]; then
-  SANITIZERS=(thread address)
+  SANITIZERS=(thread address+undefined)
 fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
-         telemetry_test builder_api_test starcheck)
+         telemetry_test builder_api_test kernels_test validate_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
-    thread)  BUILD=build-tsan ;;
-    address) BUILD=build-asan ;;
-    *) echo "san_check: unknown sanitizer '$SAN' (want thread|address)" >&2; exit 2 ;;
+    thread)                    BUILD=build-tsan ;;
+    address|address+undefined) BUILD=build-asan ;;
+    undefined)                 BUILD=build-ubsan ;;
+    *) echo "san_check: unknown sanitizer '$SAN' (want thread|address|undefined|address+undefined)" >&2; exit 2 ;;
   esac
 
   cmake -B "$BUILD" -S . -DSTARLAY_SANITIZE="$SAN" -DSTARLAY_BUILD_BENCH=OFF \
@@ -44,6 +49,7 @@ for SAN in "${SANITIZERS[@]}"; do
   export STARLAY_THREADS=8
   export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
   export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
   "$BUILD"/tests/parallel_determinism_test
   "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
   "$BUILD"/tests/telemetry_test
@@ -52,8 +58,17 @@ for SAN in "${SANITIZERS[@]}"; do
   # battery (thread sweep included), which exercises the builders, the
   # streaming certifier, and the pool under the sanitizer in one pass.
   "$BUILD"/cli/starcheck --replay tests/starcheck_corpus.txt
-  if [ "$SAN" = address ]; then
+  if [ "$SAN" != thread ]; then
     "$BUILD"/tests/stream_pipeline_test
+    # Kernel sweep at every forced level.  Unsupported requests clamp down
+    # (never error), so the sweep is runnable on any host; on full AVX2
+    # hardware each level's vector loads, scalar tails, and the dispatch
+    # plumbing all run instrumented.
+    for LEVEL in scalar sse4 avx2; do
+      echo "san_check: $SAN kernels at STARLAY_SIMD=$LEVEL"
+      STARLAY_SIMD=$LEVEL "$BUILD"/tests/kernels_test
+      STARLAY_SIMD=$LEVEL "$BUILD"/tests/validate_test
+    done
   fi
   echo "san_check: $SAN clean"
 done
