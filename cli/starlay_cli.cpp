@@ -6,6 +6,7 @@
 ///   starlay_cli --list
 ///   starlay_cli --family star --n 8                      # materialize + validate
 ///   starlay_cli --family star --n 10 --mode stream       # certify without storing
+///   starlay_cli --family star --n 11 --mode sharded --workers 4   # out of core
 ///   starlay_cli --family hcn --n 4 --svg hcn4.svg
 ///   starlay_cli --family star --n 8 --mode stream --trace trace.json
 ///   starlay_cli --family star --n 9 --mode stream --window 0,0,200,120 --svg tile.svg
@@ -17,11 +18,18 @@
 /// the build (per-phase span tree, counters, RSS profile), prints the
 /// per-phase summary table, and writes the JSON trace to the given path.
 ///
+/// Sharded mode (star family only) runs the out-of-core engine: rank-range
+/// shards executed by forked worker processes over mmap-backed spill files,
+/// bit-identical to stream mode's report and fingerprint.  --workers
+/// defaults to the STARLAY_WORKERS environment variable (1 when unset).
+///
 /// Every argument-value failure (unknown family, out-of-range n, a flag the
 /// family does not read, malformed integers) reports a structured builder
 /// error and exits 2 — no invariant abort is reachable from argument values.
 /// Exit codes: 0 valid layout, 1 validation failure, 2 bad arguments,
-/// 3 resource budget exceeded or internal error.
+/// 3 resource budget exceeded or internal error, 4 spill I/O failure
+/// (unwritable spill dir, disk full; the failing path and errno are
+/// reported).
 
 #include <sys/resource.h>
 
@@ -36,10 +44,12 @@
 
 #include "starlay/core/builder.hpp"
 #include "starlay/core/params_cli.hpp"
+#include "starlay/core/star_shard.hpp"
 #include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/render/render.hpp"
+#include "starlay/support/math.hpp"
 #include "starlay/support/telemetry.hpp"
 
 namespace {
@@ -58,6 +68,9 @@ struct Args {
   std::string svg_path;
   std::string trace_path;
   std::string simd;  ///< requested kernel level ("" = auto-detect)
+  std::string spill_dir;
+  int shards = 0;   ///< sharded mode: rank-range shards (0 = auto)
+  int workers = 1;  ///< sharded mode: forked processes (STARLAY_WORKERS default)
   bool list = false;
   bool have_window = false;
   starlay::layout::Rect window;
@@ -68,7 +81,13 @@ struct Args {
                "usage: starlay_cli --family NAME --n INT [options]\n"
                "       starlay_cli --list\n"
                "options (--flag VALUE and --flag=VALUE both accepted):\n"
-               "  --mode materialize|stream   execution mode (default materialize)\n"
+               "  --mode materialize|stream|sharded\n"
+               "                              execution mode (default materialize; sharded\n"
+               "                              is the star family's out-of-core engine)\n"
+               "  --shards INT                sharded mode: rank-range shards (default auto)\n"
+               "  --workers INT               sharded mode: forked worker processes\n"
+               "                              (default $STARLAY_WORKERS, else 1)\n"
+               "  --spill-dir PATH            sharded mode: spill root (default starlay_spill)\n"
                "  --base-size INT             star hierarchy base block size (default 3)\n"
                "  --layers INT                wiring layers for multilayer families (default 2)\n"
                "  --multiplicity INT          parallel links per pair (default 1)\n"
@@ -88,8 +107,18 @@ struct Args {
   std::exit(2);
 }
 
+int parse_int_flag(const std::string& flag, const std::string& v) {
+  char* end = nullptr;
+  const long parsed = std::strtol(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || parsed < 0 || parsed > 1000000)
+    arg_error("bad " + flag + " '" + v + "' (want a small non-negative integer)");
+  return static_cast<int>(parsed);
+}
+
 Args parse_args(int argc, char** argv) {
   Args a;
+  if (const char* env = std::getenv("STARLAY_WORKERS"); env != nullptr && *env != '\0')
+    a.workers = parse_int_flag("STARLAY_WORKERS", env);
   std::vector<std::string> extra;
   auto parsed = starlay::core::parse_build_params(argc, argv, &extra);
   if (!parsed.ok()) arg_error(parsed.error().message);
@@ -116,8 +145,13 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--list") {
       a.list = true;
     } else if (value_of("--mode", &a.mode) || value_of("--svg", &a.svg_path) ||
-               value_of("--trace", &a.trace_path) || value_of("--simd", &a.simd)) {
+               value_of("--trace", &a.trace_path) || value_of("--simd", &a.simd) ||
+               value_of("--spill-dir", &a.spill_dir)) {
       // stored by value_of
+    } else if (value_of("--shards", &v)) {
+      a.shards = parse_int_flag("--shards", v);
+    } else if (value_of("--workers", &v)) {
+      a.workers = parse_int_flag("--workers", v);
     } else if (value_of("--window", &v)) {
       long long x0, y0, x1, y1;
       if (std::sscanf(v.c_str(), "%lld,%lld,%lld,%lld", &x0, &y0, &x1, &y1) != 4)
@@ -147,11 +181,21 @@ int run_list() {
 }
 
 /// Maps a builder error to the documented exit code: argument-value errors
-/// exit 2, blown resource budgets exit 3.
+/// exit 2, blown resource budgets exit 3, spill I/O failures exit 4.
 [[noreturn]] void build_error_exit(const starlay::core::BuildError& err) {
   std::fprintf(stderr, "starlay_cli: [%s] %s\n",
                starlay::core::build_error_code_name(err.code), err.message.c_str());
-  std::exit(err.code == starlay::core::BuildErrorCode::kBudgetExceeded ? 3 : 2);
+  if (err.code == starlay::core::BuildErrorCode::kIoError)
+    std::fprintf(stderr, "starlay_cli: failing path '%s' (errno %d)\n",
+                 err.io_path.c_str(), err.io_errno);
+  switch (err.code) {
+    case starlay::core::BuildErrorCode::kBudgetExceeded:
+      std::exit(3);
+    case starlay::core::BuildErrorCode::kIoError:
+      std::exit(4);
+    default:
+      std::exit(2);
+  }
 }
 
 /// Finishes an optional --trace session: prints the per-phase table and
@@ -179,8 +223,11 @@ int main(int argc, char** argv) {
   const starlay::core::LayoutBuilder* builder = resolved.value();
   const starlay::core::BuildParams& params = a.build.params;
 
-  if (a.mode != "materialize" && a.mode != "stream")
-    arg_error("unknown mode '" + a.mode + "' (want materialize or stream)");
+  if (a.mode != "materialize" && a.mode != "stream" && a.mode != "sharded")
+    arg_error("unknown mode '" + a.mode + "' (want materialize, stream, or sharded)");
+  if (a.mode == "sharded" && builder->name() != std::string_view("star"))
+    arg_error("mode 'sharded' supports only --family star (got '" +
+              std::string(builder->name()) + "')");
 
   // --simd mirrors the STARLAY_SIMD env contract: an unsupported request
   // clamps down, never errors.  Held for the whole run so every phase (and
@@ -207,6 +254,46 @@ int main(int argc, char** argv) {
   }
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    if (a.mode == "sharded") {
+      starlay::core::ShardOptions sopt;
+      sopt.base_size = params.base_size;
+      sopt.num_shards = a.shards;
+      sopt.workers = a.workers;
+      sopt.spill_dir = a.spill_dir;
+      auto sharded = starlay::core::star_certify_sharded(params.n, sopt);
+      if (!sharded.ok()) build_error_exit(sharded.error());
+      const starlay::core::ShardReport& srep = sharded.value();
+      const auto& rep = srep.stream;
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      finish_trace(a);
+
+      print_kv("family", std::string(builder->name()));
+      print_kv("mode", std::string("sharded"));
+      print_kv("vertices", starlay::factorial(params.n));
+      print_kv("edges", rep.num_wires);
+      print_kv("wires", rep.num_wires);
+      print_kv("layers", static_cast<std::int64_t>(rep.num_layers));
+      print_kv("width", rep.bounding_box.width());
+      print_kv("height", rep.bounding_box.height());
+      print_kv("area", rep.area);
+      print_kv("node_size", srep.route.node_size);
+      print_kv("wire_length", rep.total_wire_length);
+      print_kv("max_wire_length", rep.max_wire_length);
+      print_kv("batches", rep.num_batches);
+      print_kv("replays", rep.num_replays);
+      print_kv("fingerprint", std::to_string(srep.wire_fingerprint));
+      print_kv("shards", static_cast<std::int64_t>(srep.num_shards));
+      print_kv("workers", static_cast<std::int64_t>(srep.num_workers));
+      print_kv("spill_mb", srep.spill_bytes_written >> 20);
+      print_kv("worker_rss_mb", srep.worker_peak_rss_bytes >> 20);
+      print_kv("simd", std::string(simd_name));
+      print_kv("verdict", rep.validation.summary());
+      print_kv("peak_rss_mb", static_cast<std::int64_t>(peak_rss_mb()));
+      print_kv("seconds", std::to_string(secs));
+      for (const auto& msg : rep.validation.errors) std::printf("error: %s\n", msg.c_str());
+      return rep.validation.ok ? 0 : 1;
+    }
     if (a.mode == "stream") {
       starlay::layout::StreamOptions sopt;
       if (a.have_window) sopt.retain_window = a.window;

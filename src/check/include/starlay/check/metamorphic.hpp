@@ -22,6 +22,10 @@
 ///  * certifier == validator — StreamingCertifier's verdict, error count
 ///    and measured quantities equal validate_layout() on the materialized
 ///    layout.
+///  * sharded == single-process (star family) — the out-of-core engine
+///    (core/star_shard.hpp) reproduces the materialized wire fingerprint,
+///    verdict, error total, and measured quantities at several shard
+///    counts, sequentially in-process.
 ///  * API parity — try_build() succeeds exactly where the asserting build()
 ///    does not throw, and both reject the out-of-range probes
 ///    n_range().first - 1 and n_range().second + 1.
@@ -43,7 +47,10 @@ struct MetamorphicOptions {
   bool check_telemetry = true;     ///< telemetry-on vs -off digest equality
   bool check_simd_levels = true;   ///< scalar vs SSE4.2 vs AVX2 equality
   bool check_certifier = true;     ///< StreamingCertifier vs validate_layout
+  bool check_sharded = true;       ///< out-of-core engine vs materialized (star)
   bool check_api_parity = true;    ///< try_build vs build, out-of-range probes
+  /// Shard counts swept for the sharded relation (star family only).
+  std::vector<int> shard_counts = {1, 2, 4};
   /// Small band_shift exercises multi-band batching on small cases.
   int certifier_band_shift = 12;
 };

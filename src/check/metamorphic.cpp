@@ -1,14 +1,18 @@
 #include "starlay/check/metamorphic.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <climits>
 #include <string>
 
+#include "starlay/core/star_shard.hpp"
 #include "starlay/layout/fingerprint.hpp"
 #include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/mapped_file.hpp"
 #include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 
@@ -192,6 +196,58 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
         rep.fail("certifier area " + std::to_string(sr.area) + " != materialized " +
                  std::to_string(lay.area()));
     }
+  }
+
+  // --- sharded == single-process (star family) ------------------------------
+  if (opt.check_sharded && !opt.shard_counts.empty() &&
+      builder.name() == std::string_view("star")) {
+    ++rep.num_relations_checked;
+    const layout::ValidationReport vr = layout::validate_layout(built.graph, lay);
+    // Per-process spill root: ctest runs many check cases concurrently
+    // from one working directory, and the engine truncates + removes its
+    // own star_n<n> subtree, so concurrent cases must not share one.
+    const std::string spill_root =
+        "starlay_spill_check_" + std::to_string(::getpid());
+    for (int shards : opt.shard_counts) {
+      if (shards < 1) continue;
+      const std::string label = "sharded k=" + std::to_string(shards);
+      core::ShardOptions sho;
+      sho.base_size = params.base_size;
+      sho.num_shards = shards;
+      sho.spill_dir = spill_root;
+      core::BuildOutcome<core::ShardReport> out =
+          core::star_certify_sharded(params.n, sho);
+      if (!out.ok()) {
+        rep.fail(label + ": star_certify_sharded failed: " + out.error().message);
+        continue;
+      }
+      const core::ShardReport& sr = out.value();
+      if (sr.wire_fingerprint != mat_digest)
+        rep.fail(label + ": digest " + std::to_string(sr.wire_fingerprint) +
+                 " != materialized digest " + std::to_string(mat_digest));
+      if (sr.stream.validation.ok != vr.ok)
+        rep.fail(label + std::string(": verdict ") +
+                 (sr.stream.validation.ok ? "ok" : "fail") + " != validator " +
+                 (vr.ok ? "ok" : "fail"));
+      if (sr.stream.validation.num_errors_total != vr.num_errors_total)
+        rep.fail(label + ": error count " +
+                 std::to_string(sr.stream.validation.num_errors_total) +
+                 " != validator " + std::to_string(vr.num_errors_total));
+      if (sr.stream.num_wires != lay.num_wires())
+        rep.fail(label + ": wire count " + std::to_string(sr.stream.num_wires) +
+                 " != materialized " + std::to_string(lay.num_wires()));
+      if (sr.stream.bounding_box != lay.bounding_box())
+        rep.fail(label + ": bounding box " + rect_str(sr.stream.bounding_box) +
+                 " != materialized " + rect_str(lay.bounding_box()));
+      if (sr.stream.area != lay.area())
+        rep.fail(label + ": area " + std::to_string(sr.stream.area) +
+                 " != materialized " + std::to_string(lay.area()));
+      if (sr.stream.total_wire_length != lay.total_wire_length())
+        rep.fail(label + ": wire length " +
+                 std::to_string(sr.stream.total_wire_length) + " != materialized " +
+                 std::to_string(lay.total_wire_length()));
+    }
+    support::remove_tree(spill_root);  // the engine only removes star_n<n>
   }
 
   // --- API parity -----------------------------------------------------------

@@ -424,6 +424,7 @@ const char* build_error_code_name(BuildErrorCode code) {
     case BuildErrorCode::kSizeOutOfRange: return "size-out-of-range";
     case BuildErrorCode::kBudgetExceeded: return "budget-exceeded";
     case BuildErrorCode::kInvalidArgument: return "invalid-argument";
+    case BuildErrorCode::kIoError: return "io-error";
   }
   return "invalid-argument";
 }

@@ -33,6 +33,8 @@ enum class BuildErrorCode {
   kBudgetExceeded,   ///< construction blew a resource budget (wire ids,
                      ///< coordinates, bookkeeping widths)
   kInvalidArgument,  ///< malformed driver input (unparsable integer, ...)
+  kIoError,          ///< a spill-file operation failed (unwritable spill
+                     ///< dir, disk full, ...); see io_path/io_errno
 };
 
 /// Short stable identifier for a code ("size-out-of-range", ...).
@@ -43,6 +45,8 @@ struct BuildError {
   std::string message;      ///< complete human-readable diagnostic
   int n_lo = 0, n_hi = 0;   ///< valid range; set for kSizeOutOfRange
   std::string suggestion;   ///< nearest registered name; kUnknownFamily only
+  std::string io_path;      ///< failing filesystem path; kIoError only
+  int io_errno = 0;         ///< errno of the failed operation; kIoError only
 };
 
 /// Success, or exactly one structured error.

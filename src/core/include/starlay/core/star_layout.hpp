@@ -55,6 +55,13 @@ struct StarStructure {
   layout::Placement placement;
 };
 
+/// The per-level block-grid shapes of the recursive placement (outermost
+/// level first, base-block grid last), balanced-orientation rule included.
+/// This is the part of star_structure the sharded out-of-core engine needs
+/// — the shapes pin down every slot coordinate analytically, without the
+/// O(n! * levels) digit-path buffer.  Requires 2 <= base_size <= n <= 12.
+std::vector<layout::LevelShape> star_level_shapes(int n, int base_size);
+
 /// Builds the recursive block placement for the n-dimensional family
 /// member.  base_size is the paper's l = O(1): blocks of base_size! nodes
 /// are laid out directly.  Requires 2 <= base_size <= n.

@@ -1,0 +1,117 @@
+#pragma once
+/// \file star_shard.hpp
+/// \brief Sharded out-of-core certification of the star-graph layout.
+///
+/// The streaming pipeline (star_layout_stream + StreamingCertifier) already
+/// avoids materializing geometry, but it still holds the router's O(N + E)
+/// plan tables — placement digits, stub offsets, interval keys, track
+/// assignments — in anonymous memory, and it re-runs the router's fill once
+/// per certification batch.  At star n = 11 (N = 39,916,800 vertices,
+/// E = 199,584,000 edges) those tables alone exceed any sane RSS budget.
+///
+/// star_certify_sharded replaces the in-memory tables with mmap-backed
+/// spill files and splits every O(N)/O(E) pass into independent range
+/// tasks executed by forked worker processes (support/process_pool.hpp);
+/// STARLAY_WORKERS=1 runs the same tasks as sequential passes in-process.
+/// The phases mirror the router's plan/assign/emit stages exactly:
+///
+///   1. plan     — enumerate rank shards, classify + orient each edge
+///                 (row / column / L), spill wire preplans and stub records;
+///   2. stubs    — per slot band, sort stub records and assign the router's
+///                 per-side stub offsets;
+///   3-6. pack   — per channel band, left-edge pack the horizontal then
+///                 vertical interval keys (identical track assignment to the
+///                 router: packing is a pure function of the interval set);
+///   7. scan     — per edge band, rebuild each wire from its preplan and run
+///                 the per-wire rules, accumulators, fingerprint chunks and
+///                 band record counts;
+///   8. records  — scatter cross-wire certification records into per-batch
+///                 spill buckets;
+///   9. batches  — sort + certify each batch with the shared kernels
+///                 (layout/stream_records.hpp).
+///
+/// The coordinator merges per-task results in task order, reproducing the
+/// StreamingCertifier's chunk-ordered merge: the final report, error
+/// message sequence, and canonical wire fingerprint are bit-identical to
+/// the single-process streaming run at every shard and worker count.
+///
+/// Peak RSS per process is bounded by one band's working set (the spill
+/// data itself lives in the page cache), which is what makes n = 11
+/// certifiable end-to-end in a ~2 GB-per-process envelope.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "starlay/core/build_status.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/stream_certify.hpp"
+
+namespace starlay::core {
+
+/// Analytic view of the star placement's slot grid: per-level block shapes,
+/// strides, and digit counts, derived from star_level_shapes without the
+/// O(N * levels) digit-path buffer.  Exposed for tests: occupied() and
+/// rank_of_slot() must agree with star_structure's materialized placement.
+struct StarSlotGrid {
+  int n = 0;
+  int base_size = 0;
+  int levels = 0;
+  std::vector<layout::LevelShape> shapes;   ///< outermost level first
+  std::vector<std::int64_t> rstride;        ///< per level, rows of inner levels
+  std::vector<std::int64_t> cstride;
+  std::vector<std::int32_t> digit_count;    ///< valid digits per level
+  std::int32_t rows = 0, cols = 0;          ///< full grid extent
+
+  /// Requires 2 <= base_size <= n <= 12 (star_level_shapes' domain).
+  static StarSlotGrid make(int n, int base_size);
+
+  /// Grid row/column of a digit path (one digit per level, outermost first,
+  /// base-block rank last) — matches hierarchical_placement.
+  std::int32_t row_of_digits(const std::int32_t* d) const;
+  std::int32_t col_of_digits(const std::int32_t* d) const;
+
+  /// True when the slot holds a vertex.  Factoradic independence makes this
+  /// exact: slot (r, c) decomposes uniquely into per-level digits, and the
+  /// slot is occupied iff every digit is below its level's count.
+  bool occupied(std::int64_t slot) const;
+
+  /// Rank (= vertex id) of the permutation at an occupied slot.
+  std::int64_t rank_of_slot(std::int64_t slot) const;
+};
+
+struct ShardOptions {
+  int base_size = 3;        ///< the paper's l = O(1) base-block size
+  int num_shards = 0;       ///< rank-range shards; 0 = auto (4 per worker)
+  int workers = 1;          ///< forked processes; <= 1 = sequential in-process
+  std::string spill_dir;    ///< spill root (empty = "starlay_spill" in the
+                            ///< CWD); the engine owns only its own
+                            ///< "<root>/star_n<n>" subtree
+  bool keep_spill = false;  ///< keep the spill tree for post-mortems
+  layout::ValidationOptions validation;
+  std::int64_t batch_budget_bytes = std::int64_t{384} << 20;
+  int band_shift = 12;      ///< grid lines per certification band (log2)
+};
+
+struct ShardReport {
+  /// Field-identical to the StreamingCertifier's report for the same n
+  /// (num_replays counts logical passes over the edge space).
+  layout::StreamReport stream;
+  /// Canonical wire digest — equals FingerprintingSink over the same build.
+  std::uint64_t wire_fingerprint = 0;
+  layout::RouteStats route;
+  int num_shards = 0;
+  int num_workers = 0;
+  std::int64_t spill_bytes_written = 0;       ///< total bytes spilled to disk
+  std::int64_t coordinator_peak_rss_bytes = 0;
+  std::int64_t worker_peak_rss_bytes = 0;     ///< max child ru_maxrss (0 inline)
+};
+
+/// Certifies the optimal star layout of dimension \p n out of core.
+/// Errors: n outside [2, 12] -> kSizeOutOfRange; spill I/O failures ->
+/// kIoError (io_path/io_errno filled); internal budget violations ->
+/// kBudgetExceeded.
+BuildOutcome<ShardReport> star_certify_sharded(int n, const ShardOptions& opt = {});
+
+}  // namespace starlay::core

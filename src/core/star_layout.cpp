@@ -25,19 +25,16 @@ auto timed(std::string_view name, Fn&& fn) {
 
 }  // namespace
 
-StarStructure star_structure(int n, int base_size) {
+std::vector<layout::LevelShape> star_level_shapes(int n, int base_size) {
   STARLAY_REQUIRE(n >= 2 && n <= 12, "star_structure: n must be in [2, 12]");
   STARLAY_REQUIRE(base_size >= 2 && base_size <= n, "star_structure: base_size in [2, n]");
-  StarStructure s;
-  s.n = n;
-  s.base_size = base_size;
-
   // Level shapes: the level-j block grid is ceil(sqrt(j)) x ceil(j / rows)
   // for j = n .. base_size+1, then the base blocks' own near-square grid.
   // Each level may be transposed: grid_factors always returns rows >= cols,
   // and stacking several such levels would skew the global slot grid (and
   // with it the H/V channel balance) far from square.  Greedily orient each
   // level to keep the running row/column products balanced.
+  std::vector<layout::LevelShape> shapes;
   double log_rows = 0.0, log_cols = 0.0;
   const auto push_balanced = [&](starlay::GridFactors f) {
     const double lr = std::log(static_cast<double>(f.rows));
@@ -47,10 +44,18 @@ StarStructure star_structure(int n, int base_size) {
     if (swap < keep) std::swap(f.rows, f.cols);
     log_rows += std::log(static_cast<double>(f.rows));
     log_cols += std::log(static_cast<double>(f.cols));
-    s.shapes.push_back({f.rows, f.cols});
+    shapes.push_back({f.rows, f.cols});
   };
   for (int j = n; j > base_size; --j) push_balanced(starlay::grid_factors(j));
   push_balanced(starlay::grid_factors(static_cast<int>(starlay::factorial(base_size))));
+  return shapes;
+}
+
+StarStructure star_structure(int n, int base_size) {
+  StarStructure s;
+  s.n = n;
+  s.base_size = base_size;
+  s.shapes = star_level_shapes(n, base_size);
 
   // Digit paths for all n! vertices: substar digits (outermost first) plus
   // the base-block rank as the final, finest-level digit.  Vertex rank

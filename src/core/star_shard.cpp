@@ -1,0 +1,1594 @@
+#include "starlay/core/star_shard.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/channel.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
+#include "starlay/layout/stream_records.hpp"
+#include "starlay/layout/wire_rules.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/mapped_file.hpp"
+#include "starlay/support/math.hpp"
+#include "starlay/support/process_pool.hpp"
+#include "starlay/support/telemetry.hpp"
+#include "starlay/support/thread_pool.hpp"
+#include "starlay/topology/permutation.hpp"
+
+namespace starlay::core {
+
+namespace lay = starlay::layout;
+namespace sup = starlay::support;
+namespace topo = starlay::topology;
+namespace tel = starlay::support::telemetry;
+
+using std::int16_t;
+using std::int32_t;
+using std::int64_t;
+using std::uint32_t;
+using std::uint64_t;
+using std::uint8_t;
+
+// ---------------------------------------------------------------------------
+// StarSlotGrid
+// ---------------------------------------------------------------------------
+
+StarSlotGrid StarSlotGrid::make(int n, int base_size) {
+  StarSlotGrid g;
+  g.n = n;
+  g.base_size = base_size;
+  g.shapes = star_level_shapes(n, base_size);  // REQUIREs the domain
+  g.levels = static_cast<int>(g.shapes.size());
+  g.digit_count.resize(static_cast<std::size_t>(g.levels));
+  for (int j = 0; j + 1 < g.levels; ++j)
+    g.digit_count[static_cast<std::size_t>(j)] = n - j;
+  g.digit_count[static_cast<std::size_t>(g.levels - 1)] =
+      static_cast<int32_t>(starlay::factorial(base_size));
+  g.rstride.assign(static_cast<std::size_t>(g.levels), 1);
+  g.cstride.assign(static_cast<std::size_t>(g.levels), 1);
+  for (int j = g.levels - 2; j >= 0; --j) {
+    g.rstride[static_cast<std::size_t>(j)] =
+        g.rstride[static_cast<std::size_t>(j + 1)] * g.shapes[static_cast<std::size_t>(j + 1)].rows;
+    g.cstride[static_cast<std::size_t>(j)] =
+        g.cstride[static_cast<std::size_t>(j + 1)] * g.shapes[static_cast<std::size_t>(j + 1)].cols;
+  }
+  const int64_t rows = g.rstride[0] * g.shapes[0].rows;
+  const int64_t cols = g.cstride[0] * g.shapes[0].cols;
+  STARLAY_REQUIRE(rows * cols <= std::numeric_limits<int32_t>::max(),
+                  "star slot grid: slot ids exceed 32-bit range");
+  g.rows = static_cast<int32_t>(rows);
+  g.cols = static_cast<int32_t>(cols);
+  return g;
+}
+
+int32_t StarSlotGrid::row_of_digits(const int32_t* d) const {
+  int64_t r = 0;
+  for (int j = 0; j < levels; ++j)
+    r += (d[j] / shapes[static_cast<std::size_t>(j)].cols) *
+         rstride[static_cast<std::size_t>(j)];
+  return static_cast<int32_t>(r);
+}
+
+int32_t StarSlotGrid::col_of_digits(const int32_t* d) const {
+  int64_t c = 0;
+  for (int j = 0; j < levels; ++j)
+    c += (d[j] % shapes[static_cast<std::size_t>(j)].cols) *
+         cstride[static_cast<std::size_t>(j)];
+  return static_cast<int32_t>(c);
+}
+
+namespace {
+
+/// Decomposes a slot into its per-level digits; returns false when some
+/// level's digit is out of range (the slot is an over-provisioned hole).
+bool decode_slot_digits(const StarSlotGrid& g, int64_t slot, int32_t* out) {
+  int64_t r = slot / g.cols;
+  int64_t c = slot % g.cols;
+  for (int j = 0; j < g.levels; ++j) {
+    const lay::LevelShape sh = g.shapes[static_cast<std::size_t>(j)];
+    const int64_t dr = r / g.rstride[static_cast<std::size_t>(j)];
+    const int64_t dc = c / g.cstride[static_cast<std::size_t>(j)];
+    r %= g.rstride[static_cast<std::size_t>(j)];
+    c %= g.cstride[static_cast<std::size_t>(j)];
+    const int64_t digit = dr * sh.cols + dc;
+    if (digit >= g.digit_count[static_cast<std::size_t>(j)]) return false;
+    out[j] = static_cast<int32_t>(digit);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StarSlotGrid::occupied(int64_t slot) const {
+  std::array<int32_t, 16> d{};
+  return decode_slot_digits(*this, slot, d.data());
+}
+
+int64_t StarSlotGrid::rank_of_slot(int64_t slot) const {
+  std::array<int32_t, 16> d{};
+  STARLAY_REQUIRE(decode_slot_digits(*this, slot, d.data()),
+                  "star slot grid: rank_of_slot on an empty slot");
+  // Rebuild the permutation: positions n-1 down to base_size pick the
+  // (digit+1)-th smallest remaining symbol; the base prefix unranks the
+  // base-block rank factoradically over what is left.
+  std::vector<uint8_t> avail;
+  avail.reserve(static_cast<std::size_t>(n));
+  for (int s = 1; s <= n; ++s) avail.push_back(static_cast<uint8_t>(s));
+  topo::Perm p(static_cast<std::size_t>(n));
+  for (int j = 0; j + 1 < levels; ++j) {
+    const int pos = n - 1 - j;
+    const int32_t digit = d[static_cast<std::size_t>(j)];
+    p[static_cast<std::size_t>(pos)] = avail[static_cast<std::size_t>(digit)];
+    avail.erase(avail.begin() + digit);
+  }
+  int64_t fact = 1;
+  for (int k = 2; k < base_size; ++k) fact *= k;  // (base_size-1)!
+  int64_t br = d[static_cast<std::size_t>(levels - 1)];
+  for (int k = 0; k < base_size; ++k) {
+    const int64_t idx = fact > 0 ? br / fact : 0;
+    br = fact > 0 ? br % fact : 0;
+    p[static_cast<std::size_t>(k)] = avail[static_cast<std::size_t>(idx)];
+    avail.erase(avail.begin() + idx);
+    if (base_size - 1 - k > 0) fact /= (base_size - 1 - k);
+  }
+  return topo::perm_rank(p);
+}
+
+// ---------------------------------------------------------------------------
+// Spill record types + helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum : uint8_t { kRowWire = 0, kColWire = 1, kLWire = 2 };
+
+/// Per-edge routing plan, accreted across the phases (offsets in phase 2,
+/// the horizontal track in phase 4, the vertical track in phase 6).
+struct PrePlanRec {
+  int32_t src_slot = 0, dst_slot = 0;
+  int32_t h_track = -1, v_track = -1;
+  uint8_t src_off = 0, dst_off = 0;
+  uint8_t cls = 0;
+  uint8_t pad = 0;
+};
+static_assert(sizeof(PrePlanRec) == 20, "PrePlanRec layout drifted");
+
+/// One endpoint's stub-ordering key.  (shard, local) because global edge
+/// ids are only known after the per-shard plan counts are concatenated.
+struct StubRec {
+  int32_t slot = 0;
+  int32_t primary = 0, secondary = 0;
+  uint32_t local = 0;
+  std::uint16_t shard = 0;
+  uint8_t side = 0;  ///< router Side: 0 = top, 2 = right
+  uint8_t is_src = 0;
+};
+static_assert(sizeof(StubRec) == 20, "StubRec layout drifted");
+
+struct OffRec {
+  uint32_t eid = 0;
+  uint8_t off = 0, is_src = 0;
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(OffRec) == 8, "OffRec layout drifted");
+
+struct HIntRec {
+  int32_t lo = 0, hi = 0;
+  uint32_t eid = 0;
+  int32_t chan = 0;
+};
+static_assert(sizeof(HIntRec) == 16, "HIntRec layout drifted");
+
+struct VIntRec {
+  int64_t lo = 0, hi = 0;
+  uint32_t eid = 0;
+  int32_t chan = 0;
+};
+static_assert(sizeof(VIntRec) == 24, "VIntRec layout drifted");
+
+struct TrkRec {
+  uint32_t eid = 0;
+  int32_t track = 0;
+};
+static_assert(sizeof(TrkRec) == 8, "TrkRec layout drifted");
+
+/// Header of one scan task's result file: task-aggregated wire stats, the
+/// per-chunk fingerprint digests, the per-band record counts and the first
+/// max_errors error messages (chunk order), serialized behind it.
+struct ScanHeader {
+  int64_t nchunks = 0;
+  int64_t len = 0, len_max = 0, nsegs = 0;
+  int64_t err_total = 0, nmsgs = 0;
+  int32_t max_layer = 0, pad = 0;
+  int64_t bx0 = 0, by0 = 0, bx1 = -1, by1 = -1;
+};
+
+struct CertHeader {
+  int64_t total = 0;   ///< conflicts found by the batch (pre-truncation)
+  int64_t nmsgs = 0;   ///< serialized messages (first max_errors)
+};
+
+template <typename T>
+std::vector<T> load_records(const std::string& path) {
+  std::vector<T> v;
+  if (!sup::path_exists(path) || sup::file_size(path) == 0) return v;
+  sup::MappedFile m = sup::MappedFile::open(path, false);
+  STARLAY_REQUIRE(m.size() % static_cast<int64_t>(sizeof(T)) == 0,
+                  "sharded: spill record size mismatch");
+  v.resize(static_cast<std::size_t>(m.size() / static_cast<int64_t>(sizeof(T))));
+  if (m.size() > 0) std::memcpy(v.data(), m.data(), static_cast<std::size_t>(m.size()));
+  m.close();
+  return v;
+}
+
+/// Lazily-created per-bucket append writers (a bucket with no records
+/// never creates a file; load_records treats that as zero records).
+class BucketWriters {
+ public:
+  BucketWriters(int64_t nbuckets, std::function<std::string(int64_t)> path,
+                std::size_t buf_bytes = 1u << 20)
+      : path_(std::move(path)), buf_bytes_(buf_bytes) {
+    writers_.resize(static_cast<std::size_t>(nbuckets));
+  }
+
+  sup::AppendWriter& at(int64_t b) {
+    auto& w = writers_[static_cast<std::size_t>(b)];
+    if (!w) w = std::make_unique<sup::AppendWriter>(path_(b), buf_bytes_);
+    return *w;
+  }
+
+  void close_all() {
+    for (auto& w : writers_)
+      if (w) w->close();
+  }
+
+ private:
+  std::function<std::string(int64_t)> path_;
+  std::size_t buf_bytes_;
+  std::vector<std::unique_ptr<sup::AppendWriter>> writers_;
+};
+
+void append_msgs(sup::AppendWriter& w, const std::vector<std::string>& msgs) {
+  for (const std::string& m : msgs) {
+    const auto len = static_cast<uint32_t>(m.size());
+    w.append_record(len);
+    w.append(m.data(), m.size());
+  }
+}
+
+struct Cursor {
+  const unsigned char* p = nullptr;
+  int64_t left = 0;
+
+  void read(void* dst, int64_t n) {
+    STARLAY_REQUIRE(left >= n, "sharded: truncated spill file");
+    std::memcpy(dst, p, static_cast<std::size_t>(n));
+    p += n;
+    left -= n;
+  }
+  template <typename T>
+  T get() {
+    T t;
+    read(&t, static_cast<int64_t>(sizeof(T)));
+    return t;
+  }
+  std::string get_str() {
+    const auto len = get<uint32_t>();
+    std::string s(len, '\0');
+    if (len > 0) read(s.data(), len);
+    return s;
+  }
+};
+
+/// Mirrors layout::parity_source_is_first (paper rule: walk from the
+/// first row toward the second in |delta|-sized hops; even hop count from
+/// row 0 makes the first endpoint the source).
+bool parity_source_is_first(int32_t a, int32_t b) {
+  STARLAY_REQUIRE(a != b, "parity_source_is_first: rows must differ");
+  const int32_t k = std::abs(a - b);
+  return (a / k) % 2 == 0;
+}
+
+/// Restores the caller's thread-pool width after the forked phases.
+class PoolShrinkGuard {
+ public:
+  explicit PoolShrinkGuard(bool active) {
+    if (active) {
+      saved_ = sup::ThreadPool::instance().num_threads();
+      sup::ThreadPool::instance().set_num_threads(1);
+    }
+  }
+  ~PoolShrinkGuard() {
+    if (saved_ > 0) sup::ThreadPool::instance().set_num_threads(saved_);
+  }
+  PoolShrinkGuard(const PoolShrinkGuard&) = delete;
+  PoolShrinkGuard& operator=(const PoolShrinkGuard&) = delete;
+
+ private:
+  int saved_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+class ShardEngine {
+ public:
+  ShardEngine(int n, const ShardOptions& opt) : n_(n), opt_(opt) {}
+
+  ShardReport run();
+
+ private:
+  // --- setup -------------------------------------------------------------
+  void setup();
+  void run_tasks(const char* phase, int64_t ntasks,
+                 const std::function<void(int64_t, int)>& fn);
+  std::string tfile(const char* kind, int64_t t) const {
+    return dir_ + "/" + kind + "_t" + std::to_string(t) + ".bin";
+  }
+  std::string bfile(const char* kind, int64_t t, int64_t b) const {
+    return dir_ + "/" + kind + "_t" + std::to_string(t) + "_b" + std::to_string(b) + ".bin";
+  }
+  void rm(const std::string& path) const {
+    if (!opt_.keep_spill && sup::path_exists(path)) sup::remove_file(path);
+  }
+  void account(const std::string& path) {
+    if (sup::path_exists(path)) spill_bytes_ += sup::file_size(path);
+  }
+
+  // --- phases ------------------------------------------------------------
+  void phase1_plan();
+  void phase1b_concat();
+  void phase2_stubs();
+  void phase3_hintervals();
+  void phase4_hpack();
+  void phase5_vintervals();
+  void phase6_vpack();
+  void geometry();
+  void phase7_scan();
+  void merge_scans();
+  void phase8_records();
+  void phase9_batches();
+  void finalize(ShardReport& out);
+
+  // --- analytic router geometry ------------------------------------------
+  int64_t xkey_cell(int32_t col, int32_t off) const {
+    return static_cast<int64_t>(col) * (w_ + 1) + 1 + off;
+  }
+  int64_t xkey_chan(int32_t chan) const { return static_cast<int64_t>(chan) * (w_ + 1); }
+  int64_t ykey_cell(int32_t row, int32_t off) const {
+    return static_cast<int64_t>(row) * yw_ + max_h_tracks_ + off;
+  }
+  int64_t ykey_track(int32_t chan, int32_t track) const {
+    return static_cast<int64_t>(chan) * yw_ + track;
+  }
+
+  lay::Wire make_wire(int64_t e, const PrePlanRec& r) const;
+
+  /// Analytic rect index: node bands are disjoint in both axes, so a query
+  /// segment meets a contiguous run of row and column bands.  Emission
+  /// order matches RectIndex::for_touching: row bands ascending, columns
+  /// ascending within each band, occupied slots only.
+  struct IndexView {
+    const ShardEngine* eng;
+    template <typename F>
+    void for_touching(bool horizontal, lay::Coord line, lay::Coord lo, lay::Coord hi,
+                      F&& f) const {
+      const lay::Coord ylo = horizontal ? line : lo;
+      const lay::Coord yhi = horizontal ? line : hi;
+      const lay::Coord xlo = horizontal ? lo : line;
+      const lay::Coord xhi = horizontal ? hi : line;
+      const auto& rows = eng->row_y0_;
+      const auto& cols = eng->col_x0_;
+      const lay::Coord w = eng->w_;
+      auto rit = std::lower_bound(rows.begin(), rows.end(), ylo - (w - 1));
+      for (; rit != rows.end() && *rit <= yhi; ++rit) {
+        const auto row = static_cast<int64_t>(rit - rows.begin());
+        auto cit = std::lower_bound(cols.begin(), cols.end(), xlo - (w - 1));
+        for (; cit != cols.end() && *cit <= xhi; ++cit) {
+          const auto col = static_cast<int64_t>(cit - cols.begin());
+          const int64_t slot = row * eng->C_ + col;
+          if (eng->grid_.occupied(slot)) f(static_cast<int32_t>(slot));
+        }
+      }
+    }
+  };
+
+  lay::Rect slot_rect(int64_t slot) const {
+    const auto row = static_cast<int32_t>(slot / C_);
+    const auto col = static_cast<int32_t>(slot % C_);
+    return {col_x0_[static_cast<std::size_t>(col)], row_y0_[static_cast<std::size_t>(row)],
+            col_x0_[static_cast<std::size_t>(col)] + w_ - 1,
+            row_y0_[static_cast<std::size_t>(row)] + w_ - 1};
+  }
+
+  int64_t yband(lay::Coord y) const { return y >> shift_; }
+  int64_t xband(lay::Coord x) const { return x >> shift_; }
+
+  // --- members ------------------------------------------------------------
+  int n_ = 0;
+  ShardOptions opt_;
+  int base_ = 0;
+  StarSlotGrid grid_;
+  std::array<int64_t, 16> fact_{};
+  int64_t N_ = 0, E_ = 0;
+  int workers_ = 1;
+  int64_t num_shards_ = 1;
+  std::vector<int64_t> shard_lo_;  ///< num_shards_+1 rank boundaries
+  std::string dir_;
+  int32_t R_ = 0, C_ = 0, HC_ = 0, VC_ = 0;
+  lay::Coord w_ = 1;
+
+  int64_t nstub_bands_ = 1, band_slots_ = 1;
+  int64_t nedge_bands_ = 1, band_edges_ = 1;
+  int64_t nh_bands_ = 1, hband_ = 1;
+  int64_t nv_bands_ = 1, vband_ = 1;
+
+  std::vector<int64_t> edge_start_;  ///< per shard, global eid of its first edge
+
+  std::vector<int32_t> h_tracks_, v_tracks_;  ///< per channel track counts
+  int64_t max_h_tracks_ = 0;
+  int64_t yw_ = 0;  ///< vertical ordinal-key row width (w_ + max_h_tracks_)
+
+  std::vector<lay::Coord> chan_x0_, col_x0_, chan_y0_, row_y0_;
+  int64_t max_row_ = 0, max_col_ = 0;
+  lay::Rect bb_;
+  int64_t ybands_ = 0, xbands_ = 0;
+  int shift_ = 12;
+
+  std::vector<int64_t> hseg_c_, hprobe_c_, vseg_c_, vprobe_c_, via_c_;
+
+  struct BatchTask {
+    int space = 0;  ///< 0 = horizontal segs, 1 = vertical segs, 2 = vias
+    lay::BandBatch bt;
+  };
+  std::vector<BatchTask> batch_tasks_;
+  std::vector<int64_t> ybatch_of_, xbatch_of_, viabatch_of_;  ///< band -> task, -1 = none
+
+  lay::StreamReport rep_;
+  uint64_t fingerprint_ = 0;
+  std::vector<uint64_t> chunk_digests_;  ///< global chunk order
+
+  int64_t spill_bytes_ = 0;
+  int64_t worker_rss_ = 0;
+};
+
+void ShardEngine::setup() {
+  base_ = std::min(opt_.base_size, n_);
+  grid_ = StarSlotGrid::make(n_, base_);
+  fact_[0] = 1;
+  for (int k = 1; k < 16; ++k)
+    fact_[static_cast<std::size_t>(k)] =
+        fact_[static_cast<std::size_t>(k - 1)] * (k <= n_ ? k : 1);
+  N_ = starlay::factorial(n_);
+  E_ = N_ * (n_ - 1) / 2;
+  STARLAY_REQUIRE(E_ <= std::numeric_limits<uint32_t>::max(),
+                  "sharded: edge count exceeds 32-bit record ids");
+  R_ = grid_.rows;
+  C_ = grid_.cols;
+  HC_ = R_ + 1;
+  VC_ = C_ + 1;
+  w_ = std::max<lay::Coord>(1, n_ - 1);
+  shift_ = opt_.band_shift;
+
+  workers_ = std::max(1, opt_.workers);
+  num_shards_ = opt_.num_shards > 0 ? opt_.num_shards
+                                    : static_cast<int64_t>(workers_) * 4;
+  num_shards_ = std::clamp<int64_t>(num_shards_, 1, std::min<int64_t>(N_, 60000));
+  shard_lo_.resize(static_cast<std::size_t>(num_shards_) + 1);
+  for (int64_t s = 0; s <= num_shards_; ++s)
+    shard_lo_[static_cast<std::size_t>(s)] = N_ * s / num_shards_;
+
+  const std::string root = opt_.spill_dir.empty() ? "starlay_spill" : opt_.spill_dir;
+  dir_ = root + "/star_n" + std::to_string(n_);
+  sup::remove_tree(dir_);  // engine-owned subdir: stale runs only
+  sup::make_dirs(dir_);
+
+  const int64_t num_slots = static_cast<int64_t>(R_) * C_;
+  nstub_bands_ = std::clamp<int64_t>(num_slots >> 21, 1, 48);
+  band_slots_ = starlay::ceil_div(num_slots, nstub_bands_);
+  nstub_bands_ = starlay::ceil_div(num_slots, band_slots_);
+
+  // Edge bands are multiples of the fingerprint grain so every task's
+  // chunk boundaries coincide with the canonical global chunk grid.
+  int64_t tgt = std::clamp<int64_t>(E_ >> 22, 1, 48);
+  band_edges_ = starlay::ceil_div(starlay::ceil_div(E_, tgt), lay::kFingerprintGrain) *
+                lay::kFingerprintGrain;
+  nedge_bands_ = starlay::ceil_div(E_, band_edges_);
+
+  int64_t nh = std::min<int64_t>(HC_, 48);
+  hband_ = starlay::ceil_div(HC_, nh);
+  nh_bands_ = starlay::ceil_div(HC_, hband_);
+  int64_t nv = std::min<int64_t>(VC_, 48);
+  vband_ = starlay::ceil_div(VC_, nv);
+  nv_bands_ = starlay::ceil_div(VC_, vband_);
+}
+
+void ShardEngine::run_tasks(const char* phase, int64_t ntasks,
+                            const std::function<void(int64_t, int)>& fn) {
+  tel::ScopedPhase p(phase);
+  const sup::ProcessPoolResult res = sup::run_process_tasks(workers_, ntasks, dir_, fn);
+  worker_rss_ = std::max(worker_rss_, res.max_peak_rss_bytes());
+}
+
+// --- phase 1: enumerate + classify + orient --------------------------------
+
+void ShardEngine::phase1_plan() {
+  const int n = n_;
+  const int base = base_;
+  const int L = grid_.levels;
+  const StarSlotGrid grid = grid_;
+  const std::array<int64_t, 16> fact = fact_;
+  const int64_t band_slots = band_slots_;
+  const int64_t nstub_bands = nstub_bands_;
+  const auto shard_lo = shard_lo_;
+
+  run_tasks("shard_plan", num_shards_, [&, this](int64_t s, int) {
+    const int64_t lo = shard_lo[static_cast<std::size_t>(s)];
+    const int64_t hi = shard_lo[static_cast<std::size_t>(s) + 1];
+    sup::AppendWriter plan(tfile("plan", s));
+    BucketWriters stubs(nstub_bands, [&](int64_t b) { return bfile("stub", s, b); });
+
+    topo::StarPathEnumerator en(lo, n, base);
+    std::array<int32_t, 16> udig{}, vdig{};
+    std::array<int32_t, 16> cnt{};  ///< cnt[m] = |{1<=k<=m : p[k] < p[0]}|
+    uint32_t local = 0;
+
+    for (int64_t r = lo; r < hi; ++r) {
+      const topo::Perm& p = en.perm();
+      for (int d = 0; d + 1 < L; ++d) udig[static_cast<std::size_t>(d)] = en.digit(d);
+      udig[static_cast<std::size_t>(L - 1)] = en.base_rank();
+      const int32_t ur = grid.row_of_digits(udig.data());
+      const int32_t uc = grid.col_of_digits(udig.data());
+      const int x = p[0];
+      cnt[0] = 0;
+      for (int m = 1; m < n; ++m)
+        cnt[static_cast<std::size_t>(m)] =
+            cnt[static_cast<std::size_t>(m - 1)] + (p[static_cast<std::size_t>(m)] < x ? 1 : 0);
+
+      for (int i = 2; i <= n; ++i) {
+        const int jswap = i - 1;
+        const int64_t q = topo::rank_after_swap(p.data(), n, r, 0, jswap, fact.data());
+        if (r >= q) continue;  // builder keeps each edge from its lower rank
+        const int y = p[static_cast<std::size_t>(jswap)];
+
+        // v = u with positions 0 and jswap swapped: only digits at
+        // positions in [base, jswap] and the base rank can change.
+        vdig = udig;
+        if (jswap >= base) {
+          vdig[static_cast<std::size_t>(n - i)] =
+              (y < x ? 1 : 0) + cnt[static_cast<std::size_t>(jswap - 1)];
+          for (int j = base; j < jswap; ++j) {
+            const int pj = p[static_cast<std::size_t>(j)];
+            vdig[static_cast<std::size_t>(n - 1 - j)] +=
+                (y < pj ? 1 : 0) - (x < pj ? 1 : 0);
+          }
+        }
+        std::array<int, 12> vp{};
+        vp[0] = y;  // position 0 always receives p[jswap]
+        for (int k = 1; k < base; ++k) vp[static_cast<std::size_t>(k)] = p[static_cast<std::size_t>(k)];
+        if (jswap < base) vp[static_cast<std::size_t>(jswap)] = x;
+        int64_t br = 0;
+        for (int k = 0; k < base; ++k) {
+          int c = 0;
+          for (int m = k + 1; m < base; ++m)
+            if (vp[static_cast<std::size_t>(m)] < vp[static_cast<std::size_t>(k)]) ++c;
+          br += c * fact[static_cast<std::size_t>(base - 1 - k)];
+        }
+        vdig[static_cast<std::size_t>(L - 1)] = static_cast<int32_t>(br);
+        const int32_t vr = grid.row_of_digits(vdig.data());
+        const int32_t vc = grid.col_of_digits(vdig.data());
+
+        // Classification + orientation, mirroring route_grid / star_route_spec.
+        uint8_t cls;
+        bool u_src;
+        if (ur == vr) {
+          cls = kRowWire;
+          u_src = uc <= vc;
+        } else if (uc == vc) {
+          cls = kColWire;
+          u_src = ur <= vr;
+        } else {
+          cls = kLWire;
+          if (i > base) {
+            const int depth = n - i;
+            const int32_t du = udig[static_cast<std::size_t>(depth)];
+            const int32_t dv = vdig[static_cast<std::size_t>(depth)];
+            const int32_t cols = grid.shapes[static_cast<std::size_t>(depth)].cols;
+            const int32_t bru = du / cols, brv = dv / cols;
+            if (bru != brv) {
+              u_src = parity_source_is_first(bru, brv);
+            } else {
+              const int32_t bcu = du % cols, bcv = dv % cols;
+              STARLAY_REQUIRE(bcu != bcv, "star_route_spec: identical block digits");
+              u_src = parity_source_is_first(bcu, bcv);
+            }
+          } else {
+            u_src = parity_source_is_first(ur, vr);
+          }
+        }
+
+        const int32_t sr = u_src ? ur : vr, sc = u_src ? uc : vc;
+        const int32_t dr = u_src ? vr : ur, dc = u_src ? vc : uc;
+        PrePlanRec rec;
+        rec.src_slot = sr * C_ + sc;
+        rec.dst_slot = dr * C_ + dc;
+        rec.cls = cls;
+        plan.append_record(rec);
+
+        // Stub records: row wires attach both ends on top, column wires on
+        // the right, L wires source-top / dest-right (two-sided routing).
+        StubRec ss, ds;
+        ss.local = ds.local = local;
+        ss.shard = ds.shard = static_cast<std::uint16_t>(s);
+        ss.is_src = 1;
+        ds.is_src = 0;
+        ss.slot = rec.src_slot;
+        ds.slot = rec.dst_slot;
+        if (cls == kColWire) {
+          ss.side = ds.side = 2;  // right: primary = far row, secondary = far col
+          ss.primary = dr;
+          ss.secondary = dc;
+          ds.primary = sr;
+          ds.secondary = sc;
+        } else {
+          ss.side = 0;  // top: primary = far col, secondary = far row
+          ss.primary = dc;
+          ss.secondary = dr;
+          if (cls == kRowWire) {
+            ds.side = 0;
+            ds.primary = sc;
+            ds.secondary = sr;
+          } else {
+            ds.side = 2;
+            ds.primary = sr;
+            ds.secondary = sc;
+          }
+        }
+        stubs.at(ss.slot / band_slots).append_record(ss);
+        stubs.at(ds.slot / band_slots).append_record(ds);
+        ++local;
+      }
+      if (r + 1 < hi) en.advance();
+    }
+    plan.close();
+    stubs.close_all();
+  });
+}
+
+// --- phase 1b: concatenate per-shard plans into one eid-ordered file -------
+
+void ShardEngine::phase1b_concat() {
+  tel::ScopedPhase phase("shard_concat");
+  edge_start_.assign(static_cast<std::size_t>(num_shards_) + 1, 0);
+  for (int64_t s = 0; s < num_shards_; ++s) {
+    const int64_t bytes = sup::file_size(tfile("plan", s));
+    STARLAY_REQUIRE(bytes % static_cast<int64_t>(sizeof(PrePlanRec)) == 0,
+                    "sharded: plan file size mismatch");
+    edge_start_[static_cast<std::size_t>(s) + 1] =
+        edge_start_[static_cast<std::size_t>(s)] +
+        bytes / static_cast<int64_t>(sizeof(PrePlanRec));
+  }
+  STARLAY_REQUIRE(edge_start_[static_cast<std::size_t>(num_shards_)] == E_,
+                  "sharded: planned edge count != n! * (n-1) / 2");
+  for (int64_t s = 0; s < num_shards_; ++s) account(tfile("plan", s));
+  for (int64_t s = 0; s < num_shards_; ++s)
+    for (int64_t b = 0; b < nstub_bands_; ++b) account(bfile("stub", s, b));
+
+  sup::AppendWriter out(dir_ + "/preplan.bin", 8u << 20);
+  constexpr int64_t kCopyChunk = 8 << 20;
+  for (int64_t s = 0; s < num_shards_; ++s) {
+    const std::string path = tfile("plan", s);
+    if (sup::file_size(path) > 0) {
+      sup::MappedFile m = sup::MappedFile::open(path, false);
+      for (int64_t off = 0; off < m.size(); off += kCopyChunk) {
+        const int64_t len = std::min<int64_t>(kCopyChunk, m.size() - off);
+        out.append(static_cast<const unsigned char*>(m.data()) + off,
+                   static_cast<std::size_t>(len));
+        m.drop_resident(off, len);
+      }
+      m.close();
+    }
+    rm(path);
+  }
+  out.close();
+  spill_bytes_ += E_ * static_cast<int64_t>(sizeof(PrePlanRec));
+}
+
+// --- phase 2: per-slot-band stub sort -> per-side offsets ------------------
+
+void ShardEngine::phase2_stubs() {
+  const auto edge_start = edge_start_;
+  run_tasks("shard_stubs", nstub_bands_, [&, this](int64_t b, int) {
+    std::vector<StubRec> all;
+    for (int64_t s = 0; s < num_shards_; ++s) {
+      std::vector<StubRec> part = load_records<StubRec>(bfile("stub", s, b));
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    std::sort(all.begin(), all.end(), [](const StubRec& a, const StubRec& c) {
+      if (a.slot != c.slot) return a.slot < c.slot;
+      if (a.side != c.side) return a.side < c.side;
+      if (a.primary != c.primary) return a.primary < c.primary;
+      return a.secondary < c.secondary;
+    });
+    BucketWriters off(nedge_bands_, [&](int64_t eb) { return bfile("off", b, eb); });
+    int32_t demand = 0;
+    for (std::size_t i = 0; i < all.size();) {
+      std::size_t j = i;
+      while (j < all.size() && all[j].slot == all[i].slot && all[j].side == all[i].side)
+        ++j;
+      demand = std::max(demand, static_cast<int32_t>(j - i));
+      for (std::size_t k = i; k < j; ++k) {
+        const int64_t eid =
+            edge_start[all[k].shard] + static_cast<int64_t>(all[k].local);
+        OffRec o;
+        o.eid = static_cast<uint32_t>(eid);
+        o.off = static_cast<uint8_t>(k - i);
+        o.is_src = all[k].is_src;
+        off.at(eid / band_edges_).append_record(o);
+      }
+      i = j;
+    }
+    off.close_all();
+    sup::AppendWriter dw(tfile("demand", b));
+    dw.append_record(demand);
+    dw.close();
+    for (int64_t s = 0; s < num_shards_; ++s) rm(bfile("stub", s, b));
+  });
+
+  int32_t w_needed = 1;
+  for (int64_t b = 0; b < nstub_bands_; ++b) {
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) account(bfile("off", b, eb));
+    account(tfile("demand", b));
+    const std::vector<int32_t> d = load_records<int32_t>(tfile("demand", b));
+    for (const int32_t v : d) w_needed = std::max(w_needed, v);
+    rm(tfile("demand", b));
+  }
+  STARLAY_REQUIRE(w_ >= w_needed, "sharded: stub demand exceeds the Thompson node size");
+}
+
+// --- phase 3: horizontal interval keys -------------------------------------
+
+void ShardEngine::phase3_hintervals() {
+  run_tasks("shard_hint", nedge_bands_, [&, this](int64_t eb, int) {
+    const int64_t elo = eb * band_edges_;
+    const int64_t ehi = std::min(E_, elo + band_edges_);
+    sup::MappedFile pre = sup::MappedFile::open(dir_ + "/preplan.bin", true);
+    auto* recs = pre.as<PrePlanRec>() + elo;
+    int64_t applied = 0;
+    for (int64_t sb = 0; sb < nstub_bands_; ++sb) {
+      const std::vector<OffRec> offs = load_records<OffRec>(bfile("off", sb, eb));
+      for (const OffRec& o : offs) {
+        const int64_t eid = o.eid;
+        STARLAY_REQUIRE(eid >= elo && eid < ehi, "sharded: stub offset out of band");
+        PrePlanRec& r = recs[eid - elo];
+        if (o.is_src)
+          r.src_off = o.off;
+        else
+          r.dst_off = o.off;
+      }
+      applied += static_cast<int64_t>(offs.size());
+    }
+    STARLAY_REQUIRE(applied == 2 * (ehi - elo), "sharded: stub offset application incomplete");
+
+    BucketWriters hint(nh_bands_, [&](int64_t cb) { return bfile("hint", eb, cb); });
+    for (int64_t e = elo; e < ehi; ++e) {
+      const PrePlanRec& r = recs[e - elo];
+      if (r.cls == kColWire) continue;
+      const int32_t srow = r.src_slot / C_, scol = r.src_slot % C_;
+      const int32_t dcol = r.dst_slot % C_;
+      const int32_t chan = srow + 1;
+      int64_t lo = xkey_cell(scol, r.src_off);
+      int64_t hi = r.cls == kRowWire ? xkey_cell(dcol, r.dst_off) : xkey_chan(dcol + 1);
+      if (lo > hi) std::swap(lo, hi);
+      HIntRec h;
+      h.lo = static_cast<int32_t>(lo);
+      h.hi = static_cast<int32_t>(hi);
+      h.eid = static_cast<uint32_t>(e);
+      h.chan = chan;
+      hint.at(chan / hband_).append_record(h);
+    }
+    hint.close_all();
+    pre.drop_resident(elo * static_cast<int64_t>(sizeof(PrePlanRec)),
+                      (ehi - elo) * static_cast<int64_t>(sizeof(PrePlanRec)));
+    pre.close();
+    for (int64_t sb = 0; sb < nstub_bands_; ++sb) rm(bfile("off", sb, eb));
+  });
+  for (int64_t eb = 0; eb < nedge_bands_; ++eb)
+    for (int64_t cb = 0; cb < nh_bands_; ++cb) account(bfile("hint", eb, cb));
+}
+
+// --- phases 4 + 6: left-edge channel packing -------------------------------
+
+namespace {
+
+/// Packs one channel band's intervals: sorted by (chan, lo, hi), each
+/// channel run fed to the router's pure left-edge packer.  Emits per-edge
+/// track records into edge-band buckets and returns per-channel counts.
+template <typename IntRec>
+std::vector<int32_t> pack_channel_band(std::vector<IntRec>& ints, int64_t chan_lo,
+                                       int64_t chan_hi, BucketWriters& trk,
+                                       int64_t band_edges) {
+  std::sort(ints.begin(), ints.end(), [](const IntRec& a, const IntRec& b) {
+    if (a.chan != b.chan) return a.chan < b.chan;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  });
+  std::vector<int32_t> counts(static_cast<std::size_t>(chan_hi - chan_lo), 0);
+  std::vector<lay::PackRequest> reqs;
+  for (std::size_t i = 0; i < ints.size();) {
+    std::size_t j = i;
+    while (j < ints.size() && ints[j].chan == ints[i].chan) ++j;
+    reqs.clear();
+    reqs.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k)
+      reqs.push_back({static_cast<int64_t>(ints[k].lo), static_cast<int64_t>(ints[k].hi)});
+    const lay::PackResult pr = lay::pack_intervals_left_edge(reqs);
+    for (std::size_t k = i; k < j; ++k) {
+      TrkRec t;
+      t.eid = ints[k].eid;
+      t.track = pr.track[k - i];
+      trk.at(static_cast<int64_t>(t.eid) / band_edges).append_record(t);
+    }
+    counts[static_cast<std::size_t>(ints[i].chan - chan_lo)] = pr.num_tracks;
+    i = j;
+  }
+  return counts;
+}
+
+}  // namespace
+
+void ShardEngine::phase4_hpack() {
+  run_tasks("shard_hpack", nh_bands_, [&, this](int64_t cb, int) {
+    std::vector<HIntRec> ints;
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+      std::vector<HIntRec> part = load_records<HIntRec>(bfile("hint", eb, cb));
+      ints.insert(ints.end(), part.begin(), part.end());
+    }
+    const int64_t chan_lo = cb * hband_;
+    const int64_t chan_hi = std::min<int64_t>(HC_, chan_lo + hband_);
+    BucketWriters trk(nedge_bands_, [&](int64_t eb) { return bfile("htrk", cb, eb); });
+    const std::vector<int32_t> counts =
+        pack_channel_band(ints, chan_lo, chan_hi, trk, band_edges_);
+    trk.close_all();
+    sup::AppendWriter cw(tfile("hcnt", cb));
+    cw.append(counts.data(), counts.size() * sizeof(int32_t));
+    cw.close();
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) rm(bfile("hint", eb, cb));
+  });
+
+  h_tracks_.assign(static_cast<std::size_t>(HC_), 0);
+  for (int64_t cb = 0; cb < nh_bands_; ++cb) {
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) account(bfile("htrk", cb, eb));
+    account(tfile("hcnt", cb));
+    const std::vector<int32_t> counts = load_records<int32_t>(tfile("hcnt", cb));
+    const int64_t chan_lo = cb * hband_;
+    for (std::size_t k = 0; k < counts.size(); ++k)
+      h_tracks_[static_cast<std::size_t>(chan_lo) + k] = counts[k];
+    rm(tfile("hcnt", cb));
+  }
+  max_h_tracks_ = 0;
+  for (const int32_t t : h_tracks_) max_h_tracks_ = std::max<int64_t>(max_h_tracks_, t);
+  yw_ = w_ + max_h_tracks_;
+}
+
+// --- phase 5: vertical interval keys ---------------------------------------
+
+void ShardEngine::phase5_vintervals() {
+  run_tasks("shard_vint", nedge_bands_, [&, this](int64_t eb, int) {
+    const int64_t elo = eb * band_edges_;
+    const int64_t ehi = std::min(E_, elo + band_edges_);
+    sup::MappedFile pre = sup::MappedFile::open(dir_ + "/preplan.bin", true);
+    auto* recs = pre.as<PrePlanRec>() + elo;
+    for (int64_t cb = 0; cb < nh_bands_; ++cb) {
+      const std::vector<TrkRec> trks = load_records<TrkRec>(bfile("htrk", cb, eb));
+      for (const TrkRec& t : trks) {
+        const int64_t eid = t.eid;
+        STARLAY_REQUIRE(eid >= elo && eid < ehi, "sharded: h track out of band");
+        PrePlanRec& r = recs[eid - elo];
+        STARLAY_REQUIRE(r.cls != kColWire, "sharded: h track for a column wire");
+        r.h_track = t.track;
+      }
+    }
+    BucketWriters vint(nv_bands_, [&](int64_t cb) { return bfile("vint", eb, cb); });
+    for (int64_t e = elo; e < ehi; ++e) {
+      const PrePlanRec& r = recs[e - elo];
+      if (r.cls != kColWire)
+        STARLAY_REQUIRE(r.h_track >= 0, "sharded: missing horizontal track");
+      if (r.cls == kRowWire) continue;
+      const int32_t srow = r.src_slot / C_, scol = r.src_slot % C_;
+      const int32_t drow = r.dst_slot / C_, dcol = r.dst_slot % C_;
+      const int32_t chan = r.cls == kColWire ? scol + 1 : dcol + 1;
+      int64_t lo = r.cls == kColWire ? ykey_cell(srow, r.src_off)
+                                     : ykey_track(srow + 1, r.h_track);
+      int64_t hi = ykey_cell(drow, r.dst_off);
+      if (lo > hi) std::swap(lo, hi);
+      VIntRec v;
+      v.lo = lo;
+      v.hi = hi;
+      v.eid = static_cast<uint32_t>(e);
+      v.chan = chan;
+      vint.at(chan / vband_).append_record(v);
+    }
+    vint.close_all();
+    pre.drop_resident(elo * static_cast<int64_t>(sizeof(PrePlanRec)),
+                      (ehi - elo) * static_cast<int64_t>(sizeof(PrePlanRec)));
+    pre.close();
+    for (int64_t cb = 0; cb < nh_bands_; ++cb) rm(bfile("htrk", cb, eb));
+  });
+  for (int64_t eb = 0; eb < nedge_bands_; ++eb)
+    for (int64_t cb = 0; cb < nv_bands_; ++cb) account(bfile("vint", eb, cb));
+}
+
+// --- phase 6: vertical packing ---------------------------------------------
+
+void ShardEngine::phase6_vpack() {
+  run_tasks("shard_vpack", nv_bands_, [&, this](int64_t cb, int) {
+    std::vector<VIntRec> ints;
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+      std::vector<VIntRec> part = load_records<VIntRec>(bfile("vint", eb, cb));
+      ints.insert(ints.end(), part.begin(), part.end());
+    }
+    const int64_t chan_lo = cb * vband_;
+    const int64_t chan_hi = std::min<int64_t>(VC_, chan_lo + vband_);
+    BucketWriters trk(nedge_bands_, [&](int64_t eb) { return bfile("vtrk", cb, eb); });
+    const std::vector<int32_t> counts =
+        pack_channel_band(ints, chan_lo, chan_hi, trk, band_edges_);
+    trk.close_all();
+    sup::AppendWriter cw(tfile("vcnt", cb));
+    cw.append(counts.data(), counts.size() * sizeof(int32_t));
+    cw.close();
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) rm(bfile("vint", eb, cb));
+  });
+
+  v_tracks_.assign(static_cast<std::size_t>(VC_), 0);
+  for (int64_t cb = 0; cb < nv_bands_; ++cb) {
+    for (int64_t eb = 0; eb < nedge_bands_; ++eb) account(bfile("vtrk", cb, eb));
+    account(tfile("vcnt", cb));
+    const std::vector<int32_t> counts = load_records<int32_t>(tfile("vcnt", cb));
+    const int64_t chan_lo = cb * vband_;
+    for (std::size_t k = 0; k < counts.size(); ++k)
+      v_tracks_[static_cast<std::size_t>(chan_lo) + k] = counts[k];
+    rm(tfile("vcnt", cb));
+  }
+}
+
+// --- geometry: channel prefix positions + analytic bounding box ------------
+
+void ShardEngine::geometry() {
+  STARLAY_REQUIRE(h_tracks_[0] == 0 && v_tracks_[0] == 0,
+                  "sharded: two-sided routing must leave channel 0 empty");
+  chan_x0_.assign(static_cast<std::size_t>(VC_), 0);
+  col_x0_.assign(static_cast<std::size_t>(C_), 0);
+  chan_y0_.assign(static_cast<std::size_t>(HC_), 0);
+  row_y0_.assign(static_cast<std::size_t>(R_), 0);
+  lay::Coord pos = 0;
+  for (int32_t k = 0; k <= C_; ++k) {
+    chan_x0_[static_cast<std::size_t>(k)] = pos;
+    pos += v_tracks_[static_cast<std::size_t>(k)];
+    if (k < C_) {
+      col_x0_[static_cast<std::size_t>(k)] = pos;
+      pos += w_;
+    }
+  }
+  pos = 0;
+  for (int32_t k = 0; k <= R_; ++k) {
+    chan_y0_[static_cast<std::size_t>(k)] = pos;
+    pos += h_tracks_[static_cast<std::size_t>(k)];
+    if (k < R_) {
+      row_y0_[static_cast<std::size_t>(k)] = pos;
+      pos += w_;
+    }
+  }
+
+  // Occupied extremes: grid_factors over-provisions, so the top block rows
+  // and right block columns of each level may be entirely empty.
+  max_row_ = 0;
+  max_col_ = 0;
+  for (int j = 0; j < grid_.levels; ++j) {
+    const lay::LevelShape sh = grid_.shapes[static_cast<std::size_t>(j)];
+    const int32_t count = grid_.digit_count[static_cast<std::size_t>(j)];
+    max_row_ += ((count - 1) / sh.cols) * grid_.rstride[static_cast<std::size_t>(j)];
+    const int32_t maxc = count >= sh.cols ? sh.cols - 1 : count - 1;
+    max_col_ += maxc * grid_.cstride[static_cast<std::size_t>(j)];
+  }
+
+  lay::Coord y1 = row_y0_[static_cast<std::size_t>(max_row_)] + w_ - 1;
+  for (int32_t k = 0; k <= R_; ++k)
+    if (h_tracks_[static_cast<std::size_t>(k)] > 0)
+      y1 = std::max(y1, chan_y0_[static_cast<std::size_t>(k)] +
+                            h_tracks_[static_cast<std::size_t>(k)] - 1);
+  lay::Coord x1 = col_x0_[static_cast<std::size_t>(max_col_)] + w_ - 1;
+  for (int32_t k = 0; k <= C_; ++k)
+    if (v_tracks_[static_cast<std::size_t>(k)] > 0)
+      x1 = std::max(x1, chan_x0_[static_cast<std::size_t>(k)] +
+                            v_tracks_[static_cast<std::size_t>(k)] - 1);
+  bb_ = {0, 0, x1, y1};
+  ybands_ = (y1 >> shift_) + 1;
+  xbands_ = (x1 >> shift_) + 1;
+}
+
+// --- wire reconstruction (mirrors the router's two-sided emit) -------------
+
+lay::Wire ShardEngine::make_wire(int64_t e, const PrePlanRec& r) const {
+  const int32_t srow = r.src_slot / C_, scol = r.src_slot % C_;
+  const int32_t drow = r.dst_slot / C_, dcol = r.dst_slot % C_;
+  lay::Wire w;
+  w.edge = e;
+  const auto top = [&](int32_t row, int32_t col, int32_t off) -> lay::Point {
+    return {col_x0_[static_cast<std::size_t>(col)] + off,
+            row_y0_[static_cast<std::size_t>(row)] + w_ - 1};
+  };
+  const auto right = [&](int32_t row, int32_t col, int32_t off) -> lay::Point {
+    return {col_x0_[static_cast<std::size_t>(col)] + w_ - 1,
+            row_y0_[static_cast<std::size_t>(row)] + off};
+  };
+  switch (r.cls) {
+    case kRowWire: {
+      const lay::Point sp = top(srow, scol, r.src_off);
+      const lay::Point dp = top(drow, dcol, r.dst_off);
+      const lay::Coord ty = chan_y0_[static_cast<std::size_t>(srow) + 1] + r.h_track;
+      w.push(sp);
+      w.push({sp.x, ty});
+      w.push({dp.x, ty});
+      w.push(dp);
+      break;
+    }
+    case kColWire: {
+      const lay::Point sp = right(srow, scol, r.src_off);
+      const lay::Point dp = right(drow, dcol, r.dst_off);
+      const lay::Coord tx = chan_x0_[static_cast<std::size_t>(scol) + 1] + r.v_track;
+      w.push(sp);
+      w.push({tx, sp.y});
+      w.push({tx, dp.y});
+      w.push(dp);
+      break;
+    }
+    default: {
+      const lay::Point sp = top(srow, scol, r.src_off);
+      const lay::Point dp = right(drow, dcol, r.dst_off);
+      const lay::Coord ty = chan_y0_[static_cast<std::size_t>(srow) + 1] + r.h_track;
+      const lay::Coord tx = chan_x0_[static_cast<std::size_t>(dcol) + 1] + r.v_track;
+      w.push(sp);
+      w.push({sp.x, ty});
+      w.push({tx, ty});
+      w.push({tx, dp.y});
+      w.push(dp);
+      break;
+    }
+  }
+  return w;
+}
+
+namespace {
+
+/// Analytic stand-ins for the graph / node-rect containers the wire rules
+/// take.  edge(e).u/.v are *slot ids* (not vertex ranks): endpoint checks
+/// are symmetric in u/v, clearance only tests membership, and rank-visible
+/// error messages go through the slot-to-rank Name decoder instead.
+struct ShardEdge {
+  int32_t u, v;
+};
+
+}  // namespace
+
+// --- phase 7: per-wire scan -------------------------------------------------
+
+void ShardEngine::phase7_scan() {
+  const lay::kernels::KernelTable& K = lay::kernels::active();
+  const int max_errors = opt_.validation.max_errors;
+
+  run_tasks("shard_scan", nedge_bands_, [&, this](int64_t eb, int) {
+    const int64_t elo = eb * band_edges_;
+    const int64_t ehi = std::min(E_, elo + band_edges_);
+    sup::MappedFile pre = sup::MappedFile::open(dir_ + "/preplan.bin", true);
+    auto* recs = pre.as<PrePlanRec>() + elo;
+    for (int64_t cb = 0; cb < nv_bands_; ++cb) {
+      const std::vector<TrkRec> trks = load_records<TrkRec>(bfile("vtrk", cb, eb));
+      for (const TrkRec& t : trks) {
+        const int64_t eid = t.eid;
+        STARLAY_REQUIRE(eid >= elo && eid < ehi, "sharded: v track out of band");
+        PrePlanRec& r = recs[eid - elo];
+        STARLAY_REQUIRE(r.cls != kRowWire, "sharded: v track for a row wire");
+        r.v_track = t.track;
+      }
+    }
+
+    struct GraphView {
+      const PrePlanRec* recs;
+      int64_t elo, E;
+      int64_t num_edges() const { return E; }
+      ShardEdge edge(int64_t e) const {
+        const PrePlanRec& r = recs[e - elo];
+        return {r.src_slot, r.dst_slot};
+      }
+    };
+    const GraphView gview{recs, elo, E_};
+
+    struct RectsView {
+      const ShardEngine* eng;
+      lay::Rect operator[](std::size_t slot) const {
+        return eng->slot_rect(static_cast<int64_t>(slot));
+      }
+    };
+    const RectsView rects{this};
+
+    const IndexView index{this};
+    const auto name = [this](int32_t slot) {
+      return std::to_string(grid_.rank_of_slot(slot));
+    };
+
+    ScanHeader hdr;
+    lay::Rect task_bb;
+    std::vector<uint64_t> digests;
+    std::vector<int64_t> hseg(static_cast<std::size_t>(ybands_), 0);
+    std::vector<int64_t> hprobe(static_cast<std::size_t>(ybands_), 0);
+    std::vector<int64_t> vseg(static_cast<std::size_t>(xbands_), 0);
+    std::vector<int64_t> vprobe(static_cast<std::size_t>(xbands_), 0);
+    std::vector<int64_t> via(static_cast<std::size_t>(xbands_), 0);
+    std::vector<std::string> msgs;
+
+    for (int64_t c0 = elo; c0 < ehi; c0 += lay::kFingerprintGrain) {
+      const int64_t c1 = std::min(ehi, c0 + lay::kFingerprintGrain);
+      // Per-chunk error cap, mirroring the certifier's chunk_emit.
+      std::vector<std::string> chunk_msgs;
+      int64_t chunk_total = 0;
+      const auto emit = [&](std::string m) {
+        ++chunk_total;
+        if (static_cast<int>(chunk_msgs.size()) < max_errors)
+          chunk_msgs.push_back(std::move(m));
+      };
+      // Canonical chunk fold (fingerprint.cpp's fold_chunked inner loop).
+      constexpr int64_t kBlock = 1024;
+      uint64_t block[kBlock];
+      uint64_t lanes[4] = {lay::kFingerprintSeed, lay::kFingerprintSeed,
+                           lay::kFingerprintSeed, lay::kFingerprintSeed};
+      int64_t nb = 0;
+
+      for (int64_t e = c0; e < c1; ++e) {
+        const PrePlanRec& r = recs[e - elo];
+        if (r.cls != kRowWire)
+          STARLAY_REQUIRE(r.v_track >= 0, "sharded: missing vertical track");
+        const lay::Wire w = make_wire(e, r);
+        block[nb++] = lay::wire_content_hash(w);
+        if (nb == kBlock) {
+          K.fold_hashes4(block, nb, lanes);
+          nb = 0;
+        }
+        const lay::WireValueView view(w);
+        lay::check_wire_path(view, e, gview, rects, emit);
+        lay::check_wire_clearance(view, e, gview, index, rects, emit, name);
+        lay::Rect wbb;
+        int64_t len = 0;
+        for (int p = 0; p < w.npts; ++p) {
+          const lay::Point pt = w.pts[static_cast<std::size_t>(p)];
+          (void)lay::stream_to32(pt.x);
+          (void)lay::stream_to32(pt.y);
+          wbb.cover(pt);
+          if (p > 0) {
+            const lay::Point prev = w.pts[static_cast<std::size_t>(p) - 1];
+            len += std::abs(pt.x - prev.x) + std::abs(pt.y - prev.y);
+            if (!(pt == prev)) ++hdr.nsegs;
+          }
+        }
+        task_bb.cover(wbb);
+        hdr.len += len;
+        hdr.len_max = std::max(hdr.len_max, len);
+        hdr.max_layer = std::max({hdr.max_layer, static_cast<int32_t>(w.h_layer),
+                                  static_cast<int32_t>(w.v_layer)});
+        lay::scan_wire(
+            w,
+            [&](bool horizontal, int16_t, lay::Coord line, lay::Coord, lay::Coord) {
+              if (horizontal)
+                ++hseg[static_cast<std::size_t>(yband(line))];
+              else
+                ++vseg[static_cast<std::size_t>(xband(line))];
+            },
+            [&](lay::Point p, int16_t zlo, int16_t zhi) {
+              ++via[static_cast<std::size_t>(xband(p.x))];
+              for (int16_t z = zlo; z <= zhi; ++z) {
+                if (z % 2 == 1)
+                  ++hprobe[static_cast<std::size_t>(yband(p.y))];
+                else
+                  ++vprobe[static_cast<std::size_t>(xband(p.x))];
+              }
+            });
+      }
+      if (nb > 0) K.fold_hashes4(block, nb, lanes);
+      uint64_t h = lay::kFingerprintSeed;
+      for (const uint64_t lane : lanes)
+        h = lay::fingerprint_mix(h, static_cast<int64_t>(lane));
+      digests.push_back(h);
+      hdr.err_total += chunk_total;
+      for (std::string& m : chunk_msgs) {
+        if (static_cast<int>(msgs.size()) < max_errors) msgs.push_back(std::move(m));
+      }
+    }
+
+    hdr.nchunks = static_cast<int64_t>(digests.size());
+    hdr.nmsgs = static_cast<int64_t>(msgs.size());
+    hdr.bx0 = task_bb.x0;
+    hdr.by0 = task_bb.y0;
+    hdr.bx1 = task_bb.x1;
+    hdr.by1 = task_bb.y1;
+    sup::AppendWriter out(tfile("scan", eb));
+    out.append_record(hdr);
+    out.append(digests.data(), digests.size() * sizeof(uint64_t));
+    out.append(hseg.data(), hseg.size() * sizeof(int64_t));
+    out.append(hprobe.data(), hprobe.size() * sizeof(int64_t));
+    out.append(vseg.data(), vseg.size() * sizeof(int64_t));
+    out.append(vprobe.data(), vprobe.size() * sizeof(int64_t));
+    out.append(via.data(), via.size() * sizeof(int64_t));
+    append_msgs(out, msgs);
+    out.close();
+    pre.drop_resident(elo * static_cast<int64_t>(sizeof(PrePlanRec)),
+                      (ehi - elo) * static_cast<int64_t>(sizeof(PrePlanRec)));
+    pre.close();
+    for (int64_t cb = 0; cb < nv_bands_; ++cb) rm(bfile("vtrk", cb, eb));
+  });
+  for (int64_t eb = 0; eb < nedge_bands_; ++eb) account(tfile("scan", eb));
+}
+
+// --- merge: reproduce StreamingCertifier::process()'s serial merge ----------
+
+void ShardEngine::merge_scans() {
+  tel::ScopedPhase phase("shard_merge");
+  const int max_errors = opt_.validation.max_errors;
+  lay::ValidationReport& rep = rep_.validation;
+  rep_.num_wires = E_;
+
+  // Node pass: every node is a w_ x w_ rect with degree n-1, so one probe
+  // vertex tells whether the check emits anything; if so, replicate per
+  // vertex in ascending order up to the message cap (mirrors the 4096-
+  // grained chunked pass bit-for-bit: same messages, same totals).
+  {
+    const lay::Rect probe{0, 0, w_ - 1, w_ - 1};
+    const int32_t deg = opt_.validation.thompson_node_size ? n_ - 1 : 0;
+    std::vector<std::string> probe_msgs;
+    lay::check_node_rect(0, probe, deg, opt_.validation.min_node_side,
+                         opt_.validation.max_node_side,
+                         opt_.validation.thompson_node_size,
+                         [&](std::string m) { probe_msgs.push_back(std::move(m)); });
+    if (!probe_msgs.empty()) {
+      const auto k = static_cast<int64_t>(probe_msgs.size());
+      int64_t recorded = 0;
+      for (int64_t v = 0; v < N_ && static_cast<int>(rep.errors.size()) < max_errors;
+           ++v) {
+        lay::check_node_rect(static_cast<int32_t>(v), probe, deg,
+                             opt_.validation.min_node_side, opt_.validation.max_node_side,
+                             opt_.validation.thompson_node_size, [&](std::string m) {
+                               if (static_cast<int>(rep.errors.size()) < max_errors) {
+                                 rep.fail(std::move(m), max_errors);
+                                 ++recorded;
+                               }
+                             });
+      }
+      rep.num_errors_total += N_ * k - recorded;
+      rep.ok = false;
+    }
+  }
+
+  lay::Rect bb;
+  bb.cover(lay::Point{0, 0});
+  bb.cover(lay::Point{col_x0_[static_cast<std::size_t>(max_col_)] + w_ - 1,
+                      row_y0_[static_cast<std::size_t>(max_row_)] + w_ - 1});
+
+  // Pass A merge: all task stats first, then every task's error prefix in
+  // task (= chunk) order — exactly the certifier's two merge loops.
+  hseg_c_.assign(static_cast<std::size_t>(ybands_), 0);
+  hprobe_c_.assign(static_cast<std::size_t>(ybands_), 0);
+  vseg_c_.assign(static_cast<std::size_t>(xbands_), 0);
+  vprobe_c_.assign(static_cast<std::size_t>(xbands_), 0);
+  via_c_.assign(static_cast<std::size_t>(xbands_), 0);
+  chunk_digests_.clear();
+  struct TaskErrors {
+    std::vector<std::string> msgs;
+    int64_t total = 0;
+  };
+  std::vector<TaskErrors> task_errs(static_cast<std::size_t>(nedge_bands_));
+
+  for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+    sup::MappedFile m = sup::MappedFile::open(tfile("scan", eb), false);
+    Cursor cur{static_cast<const unsigned char*>(m.data()), m.size()};
+    const auto hdr = cur.get<ScanHeader>();
+    const lay::Rect tbb{hdr.bx0, hdr.by0, hdr.bx1, hdr.by1};
+    bb.cover(tbb);
+    rep_.total_wire_length += hdr.len;
+    rep_.max_wire_length = std::max(rep_.max_wire_length, hdr.len_max);
+    rep_.num_layers = std::max(rep_.num_layers, static_cast<int>(hdr.max_layer));
+    rep.num_segments += hdr.nsegs;
+    std::vector<uint64_t> digests(static_cast<std::size_t>(hdr.nchunks));
+    cur.read(digests.data(), hdr.nchunks * static_cast<int64_t>(sizeof(uint64_t)));
+    chunk_digests_.insert(chunk_digests_.end(), digests.begin(), digests.end());
+    const auto add_band = [&](std::vector<int64_t>& acc, int64_t nbands) {
+      std::vector<int64_t> part(static_cast<std::size_t>(nbands));
+      cur.read(part.data(), nbands * static_cast<int64_t>(sizeof(int64_t)));
+      for (int64_t b = 0; b < nbands; ++b)
+        acc[static_cast<std::size_t>(b)] += part[static_cast<std::size_t>(b)];
+    };
+    add_band(hseg_c_, ybands_);
+    add_band(hprobe_c_, ybands_);
+    add_band(vseg_c_, xbands_);
+    add_band(vprobe_c_, xbands_);
+    add_band(via_c_, xbands_);
+    TaskErrors& te = task_errs[static_cast<std::size_t>(eb)];
+    te.total = hdr.err_total;
+    te.msgs.reserve(static_cast<std::size_t>(hdr.nmsgs));
+    for (int64_t i = 0; i < hdr.nmsgs; ++i) te.msgs.push_back(cur.get_str());
+    m.close();
+    rm(tfile("scan", eb));
+  }
+  for (TaskErrors& te : task_errs) {
+    const auto recorded = static_cast<int64_t>(te.msgs.size());
+    for (std::string& m : te.msgs) rep.fail(std::move(m), max_errors);
+    rep.num_errors_total += te.total - recorded;
+    if (te.total > 0) rep.ok = false;
+  }
+  rep_.num_replays = 1;
+
+  // Edge/wire bijection holds by construction (eid == wire index), so the
+  // duplicate-wire pass contributes nothing.
+  rep_.bounding_box = bb;
+  STARLAY_REQUIRE(bb == bb_, "sharded: analytic bounding box mismatch");
+  rep_.area = bb.area();
+  rep.num_layers = rep_.num_layers;
+  if (E_ == 0) return;
+  rep_.num_replays = 2;
+
+  // Batch plan: the certifier's pack_bands over the same counts, in the
+  // same order (horizontal space, vertical space, vias), empties skipped.
+  batch_tasks_.clear();
+  ybatch_of_.assign(static_cast<std::size_t>(ybands_), -1);
+  xbatch_of_.assign(static_cast<std::size_t>(xbands_), -1);
+  viabatch_of_.assign(static_cast<std::size_t>(xbands_), -1);
+  const auto plan_space = [&](int space, const std::vector<int64_t>& seg_c,
+                              const std::vector<int64_t>& probe_c,
+                              int64_t seg_bytes, int64_t probe_bytes,
+                              std::vector<int64_t>& batch_of) {
+    for (const lay::BandBatch& bt :
+         lay::pack_bands(seg_c, probe_c, seg_bytes, probe_bytes,
+                         opt_.batch_budget_bytes)) {
+      if (space == 2 ? bt.nseg == 0 : (bt.nseg == 0 && bt.nprobe == 0)) continue;
+      const auto t = static_cast<int64_t>(batch_tasks_.size());
+      for (int64_t b = bt.band_lo; b < bt.band_hi; ++b)
+        batch_of[static_cast<std::size_t>(b)] = t;
+      batch_tasks_.push_back({space, bt});
+    }
+  };
+  plan_space(0, hseg_c_, hprobe_c_, static_cast<int64_t>(sizeof(lay::SegRec)),
+             static_cast<int64_t>(sizeof(lay::ProbeRec)), ybatch_of_);
+  plan_space(1, vseg_c_, vprobe_c_, static_cast<int64_t>(sizeof(lay::SegRec)),
+             static_cast<int64_t>(sizeof(lay::ProbeRec)), xbatch_of_);
+  plan_space(2, via_c_, {}, static_cast<int64_t>(sizeof(lay::ViaRec)), 0, viabatch_of_);
+}
+
+// --- phase 8: scatter certification records into per-batch buckets ----------
+
+void ShardEngine::phase8_records() {
+  if (E_ == 0) return;
+  const auto nbatches = static_cast<int64_t>(batch_tasks_.size());
+  run_tasks("shard_records", nedge_bands_, [&, this](int64_t eb, int) {
+    const int64_t elo = eb * band_edges_;
+    const int64_t ehi = std::min(E_, elo + band_edges_);
+    sup::MappedFile pre = sup::MappedFile::open(dir_ + "/preplan.bin", false);
+    const auto* recs = pre.as<PrePlanRec>() + elo;
+    constexpr std::size_t kScatterBuf = 256u << 10;
+    BucketWriters segh(nbatches, [&](int64_t t) { return bfile("segh", eb, t); }, kScatterBuf);
+    BucketWriters prbh(nbatches, [&](int64_t t) { return bfile("prbh", eb, t); }, kScatterBuf);
+    BucketWriters segv(nbatches, [&](int64_t t) { return bfile("segv", eb, t); }, kScatterBuf);
+    BucketWriters prbv(nbatches, [&](int64_t t) { return bfile("prbv", eb, t); }, kScatterBuf);
+    BucketWriters viaw(nbatches, [&](int64_t t) { return bfile("via", eb, t); }, kScatterBuf);
+
+    for (int64_t e = elo; e < ehi; ++e) {
+      const lay::Wire w = make_wire(e, recs[e - elo]);
+      lay::scan_wire(
+          w,
+          [&](bool horizontal, int16_t layer, lay::Coord line, lay::Coord slo,
+              lay::Coord shi) {
+            const int64_t t = horizontal
+                                  ? ybatch_of_[static_cast<std::size_t>(yband(line))]
+                                  : xbatch_of_[static_cast<std::size_t>(xband(line))];
+            if (t < 0) return;
+            lay::SegRec s{lay::stream_to32(line), lay::stream_to32(slo),
+                          lay::stream_to32(shi), static_cast<uint32_t>(e), layer};
+            (horizontal ? segh : segv).at(t).append_record(s);
+          },
+          [&](lay::Point p, int16_t zlo, int16_t zhi) {
+            const int64_t tv = viabatch_of_[static_cast<std::size_t>(xband(p.x))];
+            if (tv >= 0) {
+              lay::ViaRec vr{lay::stream_to32(p.x), lay::stream_to32(p.y),
+                             static_cast<uint32_t>(e), zlo, zhi};
+              viaw.at(tv).append_record(vr);
+            }
+            for (int16_t z = zlo; z <= zhi; ++z) {
+              const bool horizontal = z % 2 == 1;
+              const int64_t t = horizontal
+                                    ? ybatch_of_[static_cast<std::size_t>(yband(p.y))]
+                                    : xbatch_of_[static_cast<std::size_t>(xband(p.x))];
+              if (t < 0) continue;
+              lay::ProbeRec pr{lay::stream_to32(horizontal ? p.y : p.x),
+                               lay::stream_to32(horizontal ? p.x : p.y),
+                               static_cast<uint32_t>(e), z};
+              (horizontal ? prbh : prbv).at(t).append_record(pr);
+            }
+          });
+    }
+    segh.close_all();
+    prbh.close_all();
+    segv.close_all();
+    prbv.close_all();
+    viaw.close_all();
+    pre.drop_resident(elo * static_cast<int64_t>(sizeof(PrePlanRec)),
+                      (ehi - elo) * static_cast<int64_t>(sizeof(PrePlanRec)));
+    pre.close();
+  });
+  for (int64_t eb = 0; eb < nedge_bands_; ++eb)
+    for (int64_t t = 0; t < nbatches; ++t)
+      for (const char* kind : {"segh", "prbh", "segv", "prbv", "via"})
+        account(bfile(kind, eb, t));
+}
+
+// --- phase 9: sort + certify each batch -------------------------------------
+
+void ShardEngine::phase9_batches() {
+  if (E_ == 0) return;
+  const int max_errors = opt_.validation.max_errors;
+  const auto batch_tasks = batch_tasks_;
+  run_tasks("shard_batch", static_cast<int64_t>(batch_tasks.size()),
+            [&, this](int64_t t, int) {
+    const BatchTask& bt = batch_tasks[static_cast<std::size_t>(t)];
+    lay::ValidationReport local;
+    if (bt.space == 2) {
+      std::vector<lay::ViaRec> vias;
+      for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+        std::vector<lay::ViaRec> part = load_records<lay::ViaRec>(bfile("via", eb, t));
+        vias.insert(vias.end(), part.begin(), part.end());
+      }
+      STARLAY_REQUIRE(static_cast<int64_t>(vias.size()) == bt.bt.nseg,
+                      "sharded: batch record counts drifted");
+      lay::sort_via_records(vias);
+      lay::certify_via_batch(vias, max_errors, local);
+      for (int64_t eb = 0; eb < nedge_bands_; ++eb) rm(bfile("via", eb, t));
+    } else {
+      const char* seg_kind = bt.space == 0 ? "segh" : "segv";
+      const char* prb_kind = bt.space == 0 ? "prbh" : "prbv";
+      std::vector<lay::SegRec> segs;
+      std::vector<lay::ProbeRec> probes;
+      for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+        std::vector<lay::SegRec> sp = load_records<lay::SegRec>(bfile(seg_kind, eb, t));
+        segs.insert(segs.end(), sp.begin(), sp.end());
+        std::vector<lay::ProbeRec> pp =
+            load_records<lay::ProbeRec>(bfile(prb_kind, eb, t));
+        probes.insert(probes.end(), pp.begin(), pp.end());
+      }
+      STARLAY_REQUIRE(static_cast<int64_t>(segs.size()) == bt.bt.nseg &&
+                          static_cast<int64_t>(probes.size()) == bt.bt.nprobe,
+                      "sharded: batch record counts drifted");
+      lay::sort_seg_records(segs);
+      lay::sort_probe_records(probes);
+      lay::certify_seg_batch(segs, probes, bt.space == 0, max_errors, local);
+      for (int64_t eb = 0; eb < nedge_bands_; ++eb) {
+        rm(bfile(seg_kind, eb, t));
+        rm(bfile(prb_kind, eb, t));
+      }
+    }
+    sup::AppendWriter out(tfile("cert", t));
+    CertHeader ch;
+    ch.total = local.num_errors_total;
+    ch.nmsgs = static_cast<int64_t>(local.errors.size());
+    out.append_record(ch);
+    append_msgs(out, local.errors);
+    out.close();
+  });
+
+  // Coordinator merge, in canonical batch order: each batch's conflicts
+  // prefix-truncate into the shared report exactly as the in-process
+  // certifier's cumulative rep would have.
+  lay::ValidationReport& rep = rep_.validation;
+  for (int64_t t = 0; t < static_cast<int64_t>(batch_tasks_.size()); ++t) {
+    account(tfile("cert", t));
+    sup::MappedFile m = sup::MappedFile::open(tfile("cert", t), false);
+    Cursor cur{static_cast<const unsigned char*>(m.data()), m.size()};
+    const auto ch = cur.get<CertHeader>();
+    int64_t recorded = 0;
+    for (int64_t i = 0; i < ch.nmsgs; ++i) {
+      std::string msg = cur.get_str();
+      if (static_cast<int>(rep.errors.size()) < max_errors) {
+        rep.fail(std::move(msg), max_errors);
+        ++recorded;
+      }
+    }
+    rep.num_errors_total += ch.total - recorded;
+    if (ch.total > 0) rep.ok = false;
+    m.close();
+    rm(tfile("cert", t));
+    ++rep_.num_batches;
+    ++rep_.num_replays;
+  }
+}
+
+// --- finalize ---------------------------------------------------------------
+
+void ShardEngine::finalize(ShardReport& out) {
+  uint64_t h = lay::kFingerprintSeed;
+  h = lay::fingerprint_mix(h, E_);
+  for (const uint64_t d : chunk_digests_)
+    h = lay::fingerprint_mix(h, static_cast<int64_t>(d));
+  fingerprint_ = h;
+
+  out.stream = rep_;
+  out.wire_fingerprint = fingerprint_;
+  out.route.node_size = w_;
+  out.route.row_channel_tracks.assign(h_tracks_.begin() + 1, h_tracks_.end());
+  out.route.col_channel_tracks.assign(v_tracks_.begin() + 1, v_tracks_.end());
+  out.num_shards = static_cast<int>(num_shards_);
+  out.num_workers = workers_;
+  out.spill_bytes_written = spill_bytes_;
+  out.worker_peak_rss_bytes = worker_rss_;
+  out.coordinator_peak_rss_bytes = sup::peak_rss_bytes();
+  if (!opt_.keep_spill) sup::remove_tree(dir_);
+}
+
+ShardReport ShardEngine::run() {
+  setup();
+  PoolShrinkGuard pool_guard(workers_ > 1);
+  phase1_plan();
+  phase1b_concat();
+  phase2_stubs();
+  phase3_hintervals();
+  phase4_hpack();
+  phase5_vintervals();
+  phase6_vpack();
+  geometry();
+  phase7_scan();
+  merge_scans();
+  phase8_records();
+  phase9_batches();
+  ShardReport out;
+  finalize(out);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public wrapper
+// ---------------------------------------------------------------------------
+
+BuildOutcome<ShardReport> star_certify_sharded(int n, const ShardOptions& opt) {
+  if (n < 2 || n > 12) {
+    BuildError err;
+    err.code = BuildErrorCode::kSizeOutOfRange;
+    err.message = "star_certify_sharded: n must be in [2, 12], got " + std::to_string(n);
+    err.n_lo = 2;
+    err.n_hi = 12;
+    return err;
+  }
+  try {
+    ShardEngine engine(n, opt);
+    return engine.run();
+  } catch (const sup::IoError& e) {
+    BuildError err;
+    err.code = BuildErrorCode::kIoError;
+    err.message = e.what();
+    err.io_path = e.path();
+    err.io_errno = e.error_code();
+    return err;
+  } catch (const starlay::InvariantError& e) {
+    BuildError err;
+    err.code = BuildErrorCode::kBudgetExceeded;
+    err.message = e.what();
+    return err;
+  }
+}
+
+}  // namespace starlay::core

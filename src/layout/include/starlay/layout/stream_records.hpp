@@ -1,0 +1,349 @@
+#pragma once
+/// \file stream_records.hpp
+/// \brief Banded certification records and batch passes shared by the
+///        in-process streaming certifier and the sharded out-of-core engine.
+///
+/// The StreamingCertifier (stream_certify.cpp) and the sharded coordinator
+/// (core/star_shard.cpp) must reach bit-identical verdicts: same record
+/// encodings, same band packing, same sort orders, same kernel passes, and
+/// the same error strings in the same sequence.  Everything that defines
+/// that contract lives here; the two pipelines differ only in how records
+/// reach a batch (replayed fills vs mmap-backed spill files).
+///
+/// The batch passes assume their inputs are fully sorted by the canonical
+/// orders below.  Record keys are unique on layouts the rest of the stack
+/// produces ((layer, line, lo, hi) repeats would themselves be overlap
+/// errors), so the sorted arrays — and therefore every downstream verdict
+/// and message — are independent of the order records were collected in.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "starlay/layout/kernels/kernels.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/layout/wire.hpp"
+#include "starlay/layout/wire_rules.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::layout {
+
+inline constexpr std::int64_t kStreamTileGrain = 1 << 15;  ///< records per kernel tile
+
+/// Runs tile(lo, hi) over [0, n) on the thread pool and sums the per-tile
+/// counts in chunk order — a deterministic total for any thread count.
+template <typename F>
+std::int64_t stream_tiled_count(std::int64_t n, const F& tile) {
+  if (n <= 0) return 0;
+  const std::int64_t chunks = support::num_chunks(0, n, kStreamTileGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, n, kStreamTileGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    partial[static_cast<std::size_t>(chunk)] = tile(lo, hi);
+  });
+  std::int64_t total = 0;
+  for (const std::int64_t p : partial) total += p;
+  return total;
+}
+
+/// Cross-wire records.  Coordinates are 32-bit (checked against the same
+/// range WireStore enforces on append), wire ids 32-bit (count checked);
+/// record size is what bounds a batch's memory, so these stay compact.
+struct SegRec {
+  std::int32_t line, lo, hi;
+  std::uint32_t wire;
+  std::int16_t layer;
+};
+
+struct ProbeRec {
+  std::int32_t line, pos;
+  std::uint32_t wire;
+  std::int16_t layer;
+};
+
+struct ViaRec {
+  std::int32_t x, y;
+  std::uint32_t wire;
+  std::int16_t zlo, zhi;
+};
+
+/// One greedily-packed run of consecutive bands.
+struct BandBatch {
+  std::int64_t band_lo = 0, band_hi = 0;  ///< half-open band range
+  std::int64_t nseg = 0, nprobe = 0;
+};
+
+inline std::int32_t stream_to32(Coord c) {
+  STARLAY_REQUIRE(c >= std::numeric_limits<std::int32_t>::min() &&
+                      c <= std::numeric_limits<std::int32_t>::max(),
+                  "stream: wire coordinate exceeds 32-bit range");
+  return static_cast<std::int32_t>(c);
+}
+
+/// Walks one wire's oriented segments exactly like Layout::segments()
+/// (zero-length steps dropped, horizontal on h_layer keyed by y, the rest
+/// on v_layer keyed by x) and its interior bend points like the
+/// materialized via collection.
+template <typename SegF, typename ViaF>
+void scan_wire(const Wire& w, const SegF& on_seg, const ViaF& on_via) {
+  for (int i = 1; i < w.npts; ++i) {
+    const Point a = w.pts[static_cast<std::size_t>(i) - 1];
+    const Point b = w.pts[static_cast<std::size_t>(i)];
+    if (a == b) continue;
+    if (a.y == b.y)
+      on_seg(true, w.h_layer, a.y, std::min(a.x, b.x), std::max(a.x, b.x));
+    else
+      on_seg(false, w.v_layer, a.x, std::min(a.y, b.y), std::max(a.y, b.y));
+  }
+  const auto zlo = std::min(w.h_layer, w.v_layer);
+  const auto zhi = std::max(w.h_layer, w.v_layer);
+  for (int i = 1; i + 1 < w.npts; ++i)
+    on_via(w.pts[static_cast<std::size_t>(i)], zlo, zhi);
+}
+
+/// Packs consecutive bands into batches of at most `budget` record bytes
+/// (a single band may exceed it — bands are indivisible).
+inline std::vector<BandBatch> pack_bands(const std::vector<std::int64_t>& seg_counts,
+                                         const std::vector<std::int64_t>& probe_counts,
+                                         std::int64_t seg_bytes, std::int64_t probe_bytes,
+                                         std::int64_t budget) {
+  std::vector<BandBatch> batches;
+  BandBatch cur;
+  std::int64_t cur_bytes = 0;
+  const auto bands = static_cast<std::int64_t>(seg_counts.size());
+  for (std::int64_t b = 0; b < bands; ++b) {
+    const std::int64_t nseg = seg_counts[static_cast<std::size_t>(b)];
+    const std::int64_t nprobe =
+        probe_counts.empty() ? 0 : probe_counts[static_cast<std::size_t>(b)];
+    const std::int64_t bytes = nseg * seg_bytes + nprobe * probe_bytes;
+    if (cur.band_hi > cur.band_lo && cur_bytes + bytes > budget) {
+      batches.push_back(cur);
+      cur = {b, b, 0, 0};
+      cur_bytes = 0;
+    }
+    if (cur.band_hi == cur.band_lo) cur.band_lo = b;
+    cur.band_hi = b + 1;
+    cur.nseg += nseg;
+    cur.nprobe += nprobe;
+    cur_bytes += bytes;
+  }
+  if (cur.band_hi > cur.band_lo) batches.push_back(cur);
+  return batches;
+}
+
+/// Canonical sort orders.  Keys are unique on sane inputs (duplicates would
+/// be overlap errors in their own right), so the sorted sequences do not
+/// depend on the collection order.
+inline void sort_seg_records(std::vector<SegRec>& segs) {
+  std::sort(segs.begin(), segs.end(), [](const SegRec& a, const SegRec& b) {
+    if (a.layer != b.layer) return a.layer < b.layer;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.lo != b.lo) return a.lo < b.lo;
+    if (a.hi != b.hi) return a.hi < b.hi;
+    return a.wire < b.wire;
+  });
+}
+
+inline void sort_probe_records(std::vector<ProbeRec>& probes) {
+  std::sort(probes.begin(), probes.end(), [](const ProbeRec& a, const ProbeRec& b) {
+    if (a.layer != b.layer) return a.layer < b.layer;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.wire < b.wire;
+  });
+}
+
+inline void sort_via_records(std::vector<ViaRec>& vias) {
+  std::sort(vias.begin(), vias.end(), [](const ViaRec& a, const ViaRec& b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    if (a.zlo != b.zlo) return a.zlo < b.zlo;
+    if (a.zhi != b.zhi) return a.zhi < b.zhi;
+    return a.wire < b.wire;
+  });
+}
+
+/// Track-exclusivity + via-pierce pass over one batch's sorted records.
+/// The records feed the same SIMD kernels the materialized validator
+/// streams, but the SoA splits live in per-tile thread-local scratch,
+/// never whole-batch arrays: the band packer budgets memory by record size
+/// alone, and a batch-wide split would grow the peak RSS by nearly the
+/// batch budget again at star n = 10.  Counts are exact; error strings
+/// materialize in a scalar re-scan only when a count is non-zero, so clean
+/// batches allocate nothing beyond the tile scratch and stop building
+/// messages once max_errors are recorded.
+inline void certify_seg_batch(const std::vector<SegRec>& segs,
+                              const std::vector<ProbeRec>& probes, bool horizontal,
+                              int max_errors, ValidationReport& rep) {
+  const kernels::KernelTable& K = kernels::active();
+  const auto ns = static_cast<std::int64_t>(segs.size());
+  // Track exclusivity per layer run (the adjacent-pair kernel compares
+  // lines, so runs of different layers must not be concatenated).
+  std::int64_t overlap_total = 0;
+  for (std::int64_t r0 = 0; r0 < ns;) {
+    const std::int16_t L = segs[static_cast<std::size_t>(r0)].layer;
+    const std::int64_t r1 =
+        std::upper_bound(segs.begin() + static_cast<std::ptrdiff_t>(r0), segs.end(), L,
+                         [](std::int16_t l, const SegRec& s) { return l < s.layer; }) -
+        segs.begin();
+    overlap_total += stream_tiled_count(r1 - r0 - 1, [&](std::int64_t lo, std::int64_t hi) {
+      thread_local std::vector<std::int32_t> tline, tlo, thi;
+      const std::int64_t m = hi - lo + 1;
+      tline.resize(static_cast<std::size_t>(m));
+      tlo.resize(static_cast<std::size_t>(m));
+      thi.resize(static_cast<std::size_t>(m));
+      for (std::int64_t i = 0; i < m; ++i) {
+        const SegRec& s = segs[static_cast<std::size_t>(r0 + lo + i)];
+        tline[static_cast<std::size_t>(i)] = s.line;
+        tlo[static_cast<std::size_t>(i)] = s.lo;
+        thi[static_cast<std::size_t>(i)] = s.hi;
+      }
+      return K.count_seg_conflicts(tline.data(), tlo.data(), thi.data(), m);
+    });
+    r0 = r1;
+  }
+  if (overlap_total > 0) {
+    rep.ok = false;
+    std::int64_t emitted = 0;
+    for (std::size_t i = 0;
+         i + 1 < segs.size() && static_cast<int>(rep.errors.size()) < max_errors; ++i) {
+      const SegRec& a = segs[i];
+      const SegRec& b = segs[i + 1];
+      if (a.layer == b.layer && a.line == b.line && b.lo <= a.hi) {
+        rep.fail("overlap on layer " + std::to_string(a.layer) +
+                     (horizontal ? " y=" : " x=") + std::to_string(a.line) + ": wires " +
+                     std::to_string(a.wire) + " and " + std::to_string(b.wire),
+                 max_errors);
+        ++emitted;
+      }
+    }
+    rep.num_errors_total += overlap_total - emitted;
+  }
+  // Via-pierce probes share the validator's merge-cursor design: probes
+  // on one (layer, line) arrive pos-ascending, so each tile re-derives
+  // its segment run once per line change and slides an upper bound
+  // forward, handing the covering kernel the same kCoverWindow
+  // candidates the materialized check inspects — the shared constant
+  // keeps the two certifiers' verdicts aligned.
+  struct LineCursor {
+    std::int16_t layer = 0;
+    std::int32_t line = 0;
+    bool valid = false;
+    std::int64_t s = 0, e = 0, ub = 0;
+  };
+  const auto probe_hit = [&](LineCursor& cur, const ProbeRec& pr) -> std::int64_t {
+    if (!cur.valid || pr.layer != cur.layer || pr.line != cur.line) {
+      const auto first = std::lower_bound(
+          segs.begin(), segs.end(), pr, [](const SegRec& s, const ProbeRec& p) {
+            if (s.layer != p.layer) return s.layer < p.layer;
+            return s.line < p.line;
+          });
+      const auto last = std::upper_bound(
+          first, segs.end(), pr, [](const ProbeRec& p, const SegRec& s) {
+            if (p.layer != s.layer) return p.layer < s.layer;
+            return p.line < s.line;
+          });
+      cur = {pr.layer, pr.line, true, first - segs.begin(), last - segs.begin(),
+             first - segs.begin()};
+    }
+    while (cur.ub < cur.e && segs[static_cast<std::size_t>(cur.ub)].lo <= pr.pos)
+      ++cur.ub;
+    // Gather the window's <= kCoverWindow candidates from the AoS
+    // records; the kernel sees exactly the slice a batch-wide SoA
+    // split would have handed it.
+    const std::int64_t w0 = std::max(cur.s, cur.ub - kernels::kCoverWindow);
+    const std::int64_t m = cur.ub - w0;
+    std::int32_t wlo[kernels::kCoverWindow], whi[kernels::kCoverWindow];
+    std::uint32_t wwire[kernels::kCoverWindow];
+    for (std::int64_t i = 0; i < m; ++i) {
+      const SegRec& s = segs[static_cast<std::size_t>(w0 + i)];
+      wlo[i] = s.lo;
+      whi[i] = s.hi;
+      wwire[i] = s.wire;
+    }
+    const std::int64_t idx = K.find_covering(wlo, whi, wwire, m, pr.pos, pr.wire);
+    return idx < 0 ? -1 : w0 + idx;
+  };
+  const std::int64_t pierce_total = stream_tiled_count(
+      static_cast<std::int64_t>(probes.size()), [&](std::int64_t lo, std::int64_t hi) {
+        LineCursor cur;
+        std::int64_t n = 0;
+        for (std::int64_t k = lo; k < hi; ++k)
+          n += probe_hit(cur, probes[static_cast<std::size_t>(k)]) >= 0;
+        return n;
+      });
+  if (pierce_total > 0) {
+    rep.ok = false;
+    std::int64_t emitted = 0;
+    LineCursor cur;
+    for (std::size_t k = 0;
+         k < probes.size() && static_cast<int>(rep.errors.size()) < max_errors; ++k) {
+      const ProbeRec& pr = probes[k];
+      const std::int64_t hit = probe_hit(cur, pr);
+      if (hit < 0) continue;
+      const Point p = horizontal ? Point{pr.pos, pr.line} : Point{pr.line, pr.pos};
+      rep.fail("via of wire " + std::to_string(pr.wire) + " at " + format_point(p) +
+                   " pierced by wire " +
+                   std::to_string(segs[static_cast<std::size_t>(hit)].wire) +
+                   " on layer " + std::to_string(pr.layer),
+               max_errors);
+      ++emitted;
+    }
+    rep.num_errors_total += pierce_total - emitted;
+  }
+}
+
+/// Via-via conflict pass over one batch's sorted via records.  Same
+/// two-pass shape as the segment spaces: tiled vectorized count over
+/// per-tile SoA scratch (z widened to int32 for the kernel; no batch-wide
+/// split, which would inflate the packer's RSS budget), scalar
+/// materialization only for broken batches.
+inline void certify_via_batch(const std::vector<ViaRec>& vias, int max_errors,
+                              ValidationReport& rep) {
+  const kernels::KernelTable& K = kernels::active();
+  const auto nv = static_cast<std::int64_t>(vias.size());
+  const std::int64_t via_total =
+      stream_tiled_count(nv - 1, [&](std::int64_t lo, std::int64_t hi) {
+        thread_local std::vector<std::int32_t> tx, ty, tzlo, tzhi;
+        thread_local std::vector<std::uint32_t> twire;
+        const std::int64_t m = hi - lo + 1;
+        tx.resize(static_cast<std::size_t>(m));
+        ty.resize(static_cast<std::size_t>(m));
+        tzlo.resize(static_cast<std::size_t>(m));
+        tzhi.resize(static_cast<std::size_t>(m));
+        twire.resize(static_cast<std::size_t>(m));
+        for (std::int64_t i = 0; i < m; ++i) {
+          const ViaRec& v = vias[static_cast<std::size_t>(lo + i)];
+          tx[static_cast<std::size_t>(i)] = v.x;
+          ty[static_cast<std::size_t>(i)] = v.y;
+          tzlo[static_cast<std::size_t>(i)] = v.zlo;
+          tzhi[static_cast<std::size_t>(i)] = v.zhi;
+          twire[static_cast<std::size_t>(i)] = v.wire;
+        }
+        return K.count_via_conflicts(tx.data(), ty.data(), tzlo.data(), tzhi.data(),
+                                     twire.data(), m);
+      });
+  if (via_total > 0) {
+    rep.ok = false;
+    std::int64_t emitted = 0;
+    for (std::size_t i = 0;
+         i + 1 < vias.size() && static_cast<int>(rep.errors.size()) < max_errors; ++i) {
+      const ViaRec& a = vias[i];
+      const ViaRec& b = vias[i + 1];
+      if (a.x == b.x && a.y == b.y && a.wire != b.wire && a.zlo <= b.zhi &&
+          b.zlo <= a.zhi) {
+        rep.fail("via conflict at " + format_point({a.x, a.y}) + ": wires " +
+                     std::to_string(a.wire) + " and " + std::to_string(b.wire),
+                 max_errors);
+        ++emitted;
+      }
+    }
+    rep.num_errors_total += via_total - emitted;
+  }
+}
+
+}  // namespace starlay::layout

@@ -56,9 +56,16 @@ class WireValueView {
 /// endpoint attachment for one wire.  \p wi is the wire's index (used only
 /// in messages), \p rects the per-vertex node rectangles.  Emits zero or
 /// more error strings via \p emit.
-template <typename W, typename Emit>
-void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
-                     const std::vector<Rect>& rects, const Emit& emit) {
+///
+/// The graph and rect parameters are templates so the sharded out-of-core
+/// engine can substitute analytic views (edge endpoints and node rects
+/// computed on the fly from grid coordinates, never materialized): \p g
+/// needs num_edges() and edge(e) with .u/.v members, \p rects an
+/// operator[] yielding a Rect (by value or reference).  topology::Graph
+/// and std::vector<Rect> keep the materialized pipeline unchanged.
+template <typename W, typename G, typename Rects, typename Emit>
+void check_wire_path(const W& w, std::int64_t wi, const G& g, const Rects& rects,
+                     const Emit& emit) {
   // Built lazily: clean wires (the overwhelming majority) must not pay for
   // a heap string each.
   const auto tag = [wi] { return "wire " + std::to_string(wi); };
@@ -102,10 +109,17 @@ void check_wire_path(const W& w, std::int64_t wi, const topology::Graph& g,
 
 /// Node clearance for one wire: it may touch only its own two endpoint
 /// nodes, at exactly one boundary point each (its endpoints).
-template <typename W, typename Emit>
-void check_wire_clearance(const W& w, std::int64_t wi, const topology::Graph& g,
-                          const RectIndex& index, const std::vector<Rect>& rects,
-                          const Emit& emit) {
+///
+/// Like check_wire_path, templated over the graph view, the rect index
+/// (needs for_touching(horizontal, line, lo, hi, f) calling f with node
+/// ids) and the rect lookup.  \p name renders a node id for error messages
+/// — the sharded engine addresses nodes by placement slot internally but
+/// must report the same vertex ids the in-process certifier prints, so it
+/// passes a slot-to-rank decoder here.
+template <typename W, typename G, typename Index, typename Rects, typename Emit,
+          typename Name>
+void check_wire_clearance(const W& w, std::int64_t wi, const G& g, const Index& index,
+                          const Rects& rects, const Emit& emit, const Name& name) {
   std::int32_t nu = -1, nv = -1;
   if (w.edge() >= 0 && w.edge() < g.num_edges()) {
     nu = g.edge(w.edge()).u;
@@ -119,7 +133,7 @@ void check_wire_clearance(const W& w, std::int64_t wi, const topology::Graph& g,
     const Coord hi = horizontal ? std::max(a.x, b.x) : std::max(a.y, b.y);
     index.for_touching(horizontal, line, lo, hi, [&](std::int32_t node) {
       if (node != nu && node != nv) {
-        emit("wire " + std::to_string(wi) + " touches foreign node " + std::to_string(node));
+        emit("wire " + std::to_string(wi) + " touches foreign node " + name(node));
         return;
       }
       // Own node: the intersection must be a single boundary point and
@@ -131,16 +145,24 @@ void check_wire_clearance(const W& w, std::int64_t wi, const topology::Graph& g,
           horizontal ? (line >= r.y0 && line <= r.y1) : (line >= r.x0 && line <= r.x1);
       if (!line_inside || cl > ch) return;  // no real intersection
       if (cl != ch) {
-        emit("wire " + std::to_string(wi) + " runs along/through its node " +
-             std::to_string(node));
+        emit("wire " + std::to_string(wi) + " runs along/through its node " + name(node));
         return;
       }
       const Point touch = horizontal ? Point{cl, line} : Point{line, cl};
       if (!(touch == w.front() || touch == w.back()))
-        emit("wire " + std::to_string(wi) + " passes over its own node " +
-             std::to_string(node) + " at non-endpoint " + format_point(touch));
+        emit("wire " + std::to_string(wi) + " passes over its own node " + name(node) +
+             " at non-endpoint " + format_point(touch));
     });
   }
+}
+
+/// Default-name overload: node ids render as their decimal vertex ids (the
+/// materialized validator and the in-process certifier).
+template <typename W, typename G, typename Index, typename Rects, typename Emit>
+void check_wire_clearance(const W& w, std::int64_t wi, const G& g, const Index& index,
+                          const Rects& rects, const Emit& emit) {
+  check_wire_clearance(w, wi, g, index, rects, emit,
+                       [](std::int32_t node) { return std::to_string(node); });
 }
 
 /// Node-size window checks for one node (Thompson / extended grid).

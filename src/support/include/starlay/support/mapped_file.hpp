@@ -1,0 +1,140 @@
+#pragma once
+/// \file mapped_file.hpp
+/// \brief mmap-backed spill files for the out-of-core sharded engine.
+///
+/// The sharded layout engine (core/star_shard.cpp) keeps every O(E) table —
+/// wire preplans, per-band certification records, channel-packing intervals
+/// — in files under a spill directory instead of anonymous memory, so the
+/// resident set of each process is bounded by the working window rather
+/// than the table sizes.  Three primitives cover its access patterns:
+///
+///  * MappedFile — MAP_SHARED mapping of a created or existing file.
+///    Sequential scans ride the page cache; drop_resident() releases the
+///    pages behind a cursor (MADV_DONTNEED) so a full-table pass never
+///    accumulates a full-table RSS.  The data stays in the page cache /
+///    on disk — re-faults are cheap minor faults, not correctness events.
+///  * AppendWriter — buffered sequential appends for record spill streams
+///    (one open bucket file per band/batch per worker).
+///  * file/directory helpers with errno-carrying failures.
+///
+/// Every failure throws IoError with the operation, path, and errno; the
+/// core layer maps that onto BuildStatus::kIoError so CLI users see a
+/// stable error instead of a crash when a spill directory is unwritable
+/// or a disk fills mid-run.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace starlay::support {
+
+/// A filesystem operation failed.  what() renders "op path: strerror".
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& op, const std::string& path, int err);
+
+  const std::string& op() const { return op_; }
+  const std::string& path() const { return path_; }
+  int error_code() const { return err_; }
+
+ private:
+  std::string op_;
+  std::string path_;
+  int err_;
+};
+
+/// Move-only MAP_SHARED file mapping.  All entry points throw IoError.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Creates (or truncates) \p path at \p bytes and maps it read-write.
+  /// bytes == 0 yields a valid object with a null mapping.
+  static MappedFile create(const std::string& path, std::int64_t bytes);
+
+  /// Maps an existing file read-write (writable = true) or read-only.
+  static MappedFile open(const std::string& path, bool writable);
+
+  bool valid() const { return fd_ >= 0; }
+  void* data() const { return base_; }
+  std::int64_t size() const { return size_; }
+
+  template <typename T>
+  T* as() const {
+    return static_cast<T*>(base_);
+  }
+
+  /// Releases the resident pages of [off, off+len) back to the kernel
+  /// (MADV_DONTNEED on the containing page range; dirty MAP_SHARED pages
+  /// are written through first by the kernel).  A no-op on empty ranges.
+  void drop_resident(std::int64_t off, std::int64_t len) const;
+
+  /// Unmaps and closes.  Idempotent; also run by the destructor.
+  void close();
+
+ private:
+  void* base_ = nullptr;
+  std::int64_t size_ = 0;
+  int fd_ = -1;
+};
+
+/// Buffered sequential appender; one exclusive writer per file.  Creates /
+/// truncates on construction.  All failures throw IoError.
+class AppendWriter {
+ public:
+  AppendWriter() = default;
+  explicit AppendWriter(const std::string& path, std::size_t buf_bytes = 1u << 20);
+  AppendWriter(AppendWriter&& o) noexcept;
+  AppendWriter& operator=(AppendWriter&& o) noexcept;
+  AppendWriter(const AppendWriter&) = delete;
+  AppendWriter& operator=(const AppendWriter&) = delete;
+  ~AppendWriter();  ///< best-effort close; call close() to observe failures
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  std::int64_t bytes_written() const { return written_; }
+
+  void append(const void* p, std::size_t n);
+
+  template <typename T>
+  void append_record(const T& rec) {
+    append(&rec, sizeof(T));
+  }
+
+  void flush();
+  void close();  ///< flush + close, reporting failures
+
+ private:
+  std::string path_;
+  std::vector<unsigned char> buf_;
+  std::size_t used_ = 0;
+  std::int64_t written_ = 0;
+  int fd_ = -1;
+};
+
+/// Size of \p path in bytes; throws IoError when it cannot be stat'ed.
+std::int64_t file_size(const std::string& path);
+
+/// True when \p path exists (any type).
+bool path_exists(const std::string& path);
+
+/// Unlinks \p path; missing files are not an error.
+void remove_file(const std::string& path);
+
+/// mkdir -p.  Throws IoError when a component cannot be created.
+void make_dirs(const std::string& path);
+
+/// Recursively removes \p path if it exists (best-effort; errors ignored —
+/// spill cleanup must never mask the real result of a run).
+void remove_tree(const std::string& path);
+
+/// The process's peak resident set size in bytes (ru_maxrss).
+std::int64_t peak_rss_bytes();
+
+}  // namespace starlay::support

@@ -1,0 +1,67 @@
+#pragma once
+/// \file process_pool.hpp
+/// \brief Forked worker-process pool for the sharded out-of-core engine.
+///
+/// The counterpart of ThreadPool one isolation level up: run_process_tasks
+/// executes tasks 0..num_tasks-1 in `workers` forked child processes, each
+/// claiming task ids from a shared atomic counter in a MAP_SHARED page
+/// (dynamic load balancing — shard costs are skewed, so static striping
+/// would leave workers idle).  Children communicate results through the
+/// spill files the tasks write; the only protocol back to the coordinator
+/// is each child's exit status, its rusage (peak RSS, reported per worker),
+/// and — on failure — a small error file describing the first exception.
+///
+/// workers <= 1 runs every task inline on the calling thread: sequential
+/// passes, no fork, exceptions propagate directly.  This is the
+/// STARLAY_WORKERS=1 mode, and what the in-process metamorphic relation
+/// and the sanitizer suites drive (forked children would escape TSan/ASan
+/// reporting).
+///
+/// Forking with live pool threads is a classic deadlock trap (a thread
+/// holding the allocator lock at fork time leaves the child wedged), so
+/// run_process_tasks REQUIREs the ThreadPool to be at one thread (zero
+/// spawned workers) whenever it forks.  Callers shrink the pool for the
+/// duration — the sharded engine gets its parallelism from processes, not
+/// threads.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace starlay::support {
+
+/// One forked worker's outcome.
+struct WorkerStatus {
+  int exit_code = 0;                ///< 0 = all claimed tasks succeeded
+  std::int64_t peak_rss_bytes = 0;  ///< child ru_maxrss (inline mode: 0)
+};
+
+struct ProcessPoolResult {
+  std::vector<WorkerStatus> workers;  ///< one entry per forked child; empty inline
+
+  std::int64_t max_peak_rss_bytes() const {
+    std::int64_t m = 0;
+    for (const WorkerStatus& w : workers) m = std::max(m, w.peak_rss_bytes);
+    return m;
+  }
+};
+
+/// Runs fn(task, worker) for every task in [0, num_tasks).  `worker` is the
+/// index of the executing child in [0, min(workers, num_tasks)) — tasks use
+/// it to name per-worker spill files so no two processes ever share a
+/// writer (inline mode passes 0).
+///
+/// workers <= 1: inline sequential execution; exceptions propagate.
+/// workers >= 2: forks min(workers, num_tasks) children; each loops
+/// claiming the next task id until the counter runs out, then _exit(0)s.
+/// A child that catches an exception writes err_dir/worker_<idx>.err and
+/// exits nonzero; after all children are reaped the first reported error
+/// is rethrown in the parent (support::IoError for I/O failures, the
+/// original message otherwise), so callers see one failure mode for both
+/// execution styles.
+ProcessPoolResult run_process_tasks(int workers, std::int64_t num_tasks,
+                                    const std::string& err_dir,
+                                    const std::function<void(std::int64_t, int)>& fn);
+
+}  // namespace starlay::support

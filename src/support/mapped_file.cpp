@@ -1,0 +1,221 @@
+#include "starlay/support/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace starlay::support {
+
+namespace {
+
+std::string describe(const std::string& op, const std::string& path, int err) {
+  return op + " " + path + ": " + std::strerror(err);
+}
+
+[[noreturn]] void throw_io(const std::string& op, const std::string& path) {
+  throw IoError(op, path, errno);
+}
+
+}  // namespace
+
+IoError::IoError(const std::string& op, const std::string& path, int err)
+    : std::runtime_error(describe(op, path, err)), op_(op), path_(path), err_(err) {}
+
+MappedFile::MappedFile(MappedFile&& o) noexcept
+    : base_(std::exchange(o.base_, nullptr)),
+      size_(std::exchange(o.size_, 0)),
+      fd_(std::exchange(o.fd_, -1)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    close();
+    base_ = std::exchange(o.base_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { close(); }
+
+MappedFile MappedFile::create(const std::string& path, std::int64_t bytes) {
+  MappedFile f;
+  f.fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (f.fd_ < 0) throw_io("create", path);
+  if (bytes > 0) {
+    if (::ftruncate(f.fd_, static_cast<off_t>(bytes)) != 0) {
+      const int err = errno;
+      ::close(f.fd_);
+      f.fd_ = -1;
+      throw IoError("resize", path, err);
+    }
+    f.base_ = ::mmap(nullptr, static_cast<std::size_t>(bytes), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, f.fd_, 0);
+    if (f.base_ == MAP_FAILED) {
+      const int err = errno;
+      f.base_ = nullptr;
+      ::close(f.fd_);
+      f.fd_ = -1;
+      throw IoError("mmap", path, err);
+    }
+  }
+  f.size_ = bytes;
+  return f;
+}
+
+MappedFile MappedFile::open(const std::string& path, bool writable) {
+  MappedFile f;
+  f.fd_ = ::open(path.c_str(), writable ? O_RDWR : O_RDONLY);
+  if (f.fd_ < 0) throw_io("open", path);
+  struct stat st{};
+  if (::fstat(f.fd_, &st) != 0) {
+    const int err = errno;
+    ::close(f.fd_);
+    f.fd_ = -1;
+    throw IoError("stat", path, err);
+  }
+  f.size_ = static_cast<std::int64_t>(st.st_size);
+  if (f.size_ > 0) {
+    f.base_ = ::mmap(nullptr, static_cast<std::size_t>(f.size_),
+                     writable ? (PROT_READ | PROT_WRITE) : PROT_READ, MAP_SHARED, f.fd_, 0);
+    if (f.base_ == MAP_FAILED) {
+      const int err = errno;
+      f.base_ = nullptr;
+      ::close(f.fd_);
+      f.fd_ = -1;
+      throw IoError("mmap", path, err);
+    }
+  }
+  return f;
+}
+
+void MappedFile::drop_resident(std::int64_t off, std::int64_t len) const {
+  if (base_ == nullptr || len <= 0) return;
+  const std::int64_t page = static_cast<std::int64_t>(::sysconf(_SC_PAGESIZE));
+  std::int64_t lo = (off / page) * page;
+  std::int64_t hi = std::min(size_, ((off + len + page - 1) / page) * page);
+  if (hi <= lo) return;
+  // Best-effort: a failed advise costs memory, not correctness.
+  (void)::madvise(static_cast<char*>(base_) + lo, static_cast<std::size_t>(hi - lo),
+                  MADV_DONTNEED);
+}
+
+void MappedFile::close() {
+  if (base_ != nullptr) {
+    ::munmap(base_, static_cast<std::size_t>(size_));
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  size_ = 0;
+}
+
+AppendWriter::AppendWriter(const std::string& path, std::size_t buf_bytes)
+    : path_(path), buf_(buf_bytes == 0 ? 1 : buf_bytes) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) throw_io("create", path);
+}
+
+AppendWriter::AppendWriter(AppendWriter&& o) noexcept
+    : path_(std::move(o.path_)),
+      buf_(std::move(o.buf_)),
+      used_(std::exchange(o.used_, 0)),
+      written_(std::exchange(o.written_, 0)),
+      fd_(std::exchange(o.fd_, -1)) {}
+
+AppendWriter& AppendWriter::operator=(AppendWriter&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(o.path_);
+    buf_ = std::move(o.buf_);
+    used_ = std::exchange(o.used_, 0);
+    written_ = std::exchange(o.written_, 0);
+    fd_ = std::exchange(o.fd_, -1);
+  }
+  return *this;
+}
+
+AppendWriter::~AppendWriter() {
+  if (fd_ >= 0) ::close(fd_);  // unflushed data is lost; close() observes errors
+}
+
+void AppendWriter::append(const void* p, std::size_t n) {
+  // written_ counts logical bytes (buffered included) so spill accounting
+  // does not depend on flush timing.
+  written_ += static_cast<std::int64_t>(n);
+  const auto* src = static_cast<const unsigned char*>(p);
+  while (n > 0) {
+    if (used_ == buf_.size()) flush();
+    const std::size_t take = std::min(n, buf_.size() - used_);
+    std::memcpy(buf_.data() + used_, src, take);
+    used_ += take;
+    src += take;
+    n -= take;
+  }
+}
+
+void AppendWriter::flush() {
+  std::size_t done = 0;
+  while (done < used_) {
+    const ssize_t k = ::write(fd_, buf_.data() + done, used_ - done);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write", path_);
+    }
+    done += static_cast<std::size_t>(k);
+  }
+  used_ = 0;
+}
+
+void AppendWriter::close() {
+  if (fd_ < 0) return;
+  flush();
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    throw_io("close", path_);
+  }
+  fd_ = -1;
+}
+
+std::int64_t file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) throw_io("stat", path);
+  return static_cast<std::int64_t>(st.st_size);
+}
+
+bool path_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) throw_io("unlink", path);
+}
+
+void make_dirs(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) throw IoError("mkdir", path, ec.value());
+}
+
+void remove_tree(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove_all(path, ec);  // best-effort by contract
+}
+
+std::int64_t peak_rss_bytes() {
+  struct rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+}
+
+}  // namespace starlay::support

@@ -1,0 +1,146 @@
+#include "starlay/support/process_pool.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <sys/mman.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "starlay/support/check.hpp"
+#include "starlay/support/mapped_file.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::support {
+
+namespace {
+
+std::string err_path(const std::string& err_dir, int worker) {
+  return err_dir + "/worker_" + std::to_string(worker) + ".err";
+}
+
+/// Serializes the failure a child saw so the parent can rethrow its kind.
+void write_error_file(const std::string& path, const IoError* io, const char* what) {
+  std::ofstream f(path, std::ios::trunc);
+  if (io != nullptr)
+    f << "io\n" << io->op() << "\n" << io->path() << "\n" << io->error_code() << "\n";
+  else
+    f << "ex\n";
+  f << (what != nullptr ? what : "unknown error") << "\n";
+}
+
+[[noreturn]] void rethrow_error_file(const std::string& path, int worker, int exit_code) {
+  std::ifstream f(path);
+  std::string kind;
+  if (std::getline(f, kind)) {
+    if (kind == "io") {
+      std::string op, fpath, errline;
+      if (std::getline(f, op) && std::getline(f, fpath) && std::getline(f, errline))
+        throw IoError(op, fpath, std::atoi(errline.c_str()));
+    } else {
+      std::stringstream rest;
+      rest << f.rdbuf();
+      std::string msg = rest.str();
+      while (!msg.empty() && msg.back() == '\n') msg.pop_back();
+      if (!msg.empty()) throw InvariantError(msg);
+    }
+  }
+  throw InvariantError("shard worker " + std::to_string(worker) +
+                       " failed (exit code " + std::to_string(exit_code) +
+                       ", no error report)");
+}
+
+}  // namespace
+
+ProcessPoolResult run_process_tasks(int workers, std::int64_t num_tasks,
+                                    const std::string& err_dir,
+                                    const std::function<void(std::int64_t, int)>& fn) {
+  ProcessPoolResult result;
+  if (num_tasks <= 0) return result;
+  if (workers <= 1) {
+    for (std::int64_t t = 0; t < num_tasks; ++t) fn(t, 0);
+    return result;
+  }
+  STARLAY_REQUIRE(ThreadPool::instance().num_threads() == 1,
+                  "process pool: shrink the thread pool to 1 before forking");
+
+  // Task counter in a shared anonymous page: children claim ids with a
+  // plain fetch_add — lock-free, so no lock can be mid-held at fork time.
+  void* page = ::mmap(nullptr, sizeof(std::atomic<std::int64_t>),
+                      PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  STARLAY_REQUIRE(page != MAP_FAILED, "process pool: shared counter mmap failed");
+  auto* next_task = new (page) std::atomic<std::int64_t>(0);
+
+  const int nworkers = static_cast<int>(
+      std::min<std::int64_t>(workers, num_tasks));
+  std::vector<pid_t> pids;
+  pids.reserve(static_cast<std::size_t>(nworkers));
+  for (int wi = 0; wi < nworkers; ++wi) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Out of processes: reap what we started, then report.
+      const int err = errno;
+      for (const pid_t p : pids) {
+        int st = 0;
+        ::waitpid(p, &st, 0);
+      }
+      ::munmap(page, sizeof(std::atomic<std::int64_t>));
+      throw IoError("fork", err_dir, err);
+    }
+    if (pid == 0) {
+      // Child: claim and run tasks; report the first failure via an error
+      // file and a nonzero exit.  _exit (not exit) — no atexit handlers,
+      // no double-flushed inherited stdio.
+      int code = 0;
+      try {
+        for (;;) {
+          const std::int64_t t = next_task->fetch_add(1, std::memory_order_relaxed);
+          if (t >= num_tasks) break;
+          fn(t, wi);
+        }
+      } catch (const IoError& e) {
+        write_error_file(err_path(err_dir, wi), &e, e.what());
+        code = 75;
+      } catch (const std::exception& e) {
+        write_error_file(err_path(err_dir, wi), nullptr, e.what());
+        code = 70;
+      } catch (...) {
+        write_error_file(err_path(err_dir, wi), nullptr, nullptr);
+        code = 70;
+      }
+      ::_exit(code);
+    }
+    pids.push_back(pid);
+  }
+
+  result.workers.resize(static_cast<std::size_t>(nworkers));
+  int first_failed = -1;
+  int first_failed_code = 0;
+  for (int wi = 0; wi < nworkers; ++wi) {
+    int status = 0;
+    struct rusage ru{};
+    if (::wait4(pids[static_cast<std::size_t>(wi)], &status, 0, &ru) < 0) {
+      result.workers[static_cast<std::size_t>(wi)].exit_code = -1;
+      if (first_failed < 0) first_failed = wi;
+      continue;
+    }
+    WorkerStatus& ws = result.workers[static_cast<std::size_t>(wi)];
+    ws.peak_rss_bytes = static_cast<std::int64_t>(ru.ru_maxrss) * 1024;
+    ws.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128;
+    if (ws.exit_code != 0 && first_failed < 0) {
+      first_failed = wi;
+      first_failed_code = ws.exit_code;
+    }
+  }
+  ::munmap(page, sizeof(std::atomic<std::int64_t>));
+  if (first_failed >= 0)
+    rethrow_error_file(err_path(err_dir, first_failed), first_failed, first_failed_code);
+  return result;
+}
+
+}  // namespace starlay::support

@@ -189,6 +189,54 @@ TEST(Enumerator, SeededMidRangeMatchesAdvancedFromZero) {
   }
 }
 
+TEST(Enumerator, ShardRangeBoundaries) {
+  // The out-of-core engine partitions [0, n!) into rank-range shards
+  // lo = n! * s / k; each shard walks its range with a freshly seeded
+  // enumerator and must never advance past its last rank.  Exercise the
+  // boundary shapes that matter: the rank-0 shard, a single-rank shard,
+  // a last partial shard, and concatenated shards covering the full range.
+  const int n = 5, base = 3;
+  const std::int64_t N = factorial(n);
+
+  // Rank 0 and the final rank are seedable; advancing at N-1 is rejected.
+  StarPathEnumerator first(0, n, base);
+  EXPECT_EQ(first.rank(), 0);
+  EXPECT_EQ(first.perm(), identity_perm(n));
+  StarPathEnumerator last(N - 1, n, base);
+  EXPECT_EQ(last.rank(), N - 1);
+  EXPECT_THROW(last.advance(), starlay::InvariantError);
+
+  // A single-rank shard [r, r+1) uses its seed state and never advances.
+  for (const std::int64_t r : {std::int64_t{0}, N / 2, N - 1}) {
+    const StarPathEnumerator solo(r, n, base);
+    EXPECT_EQ(solo.perm(), perm_unrank(r, n)) << "rank " << r;
+  }
+
+  // Uneven shard counts (including k > N and a ragged last shard):
+  // concatenating every shard's walk reproduces the unsharded sweep.
+  for (const std::int64_t k : {std::int64_t{1}, std::int64_t{7}, N - 1, N, 3 * N}) {
+    std::int64_t covered = 0;
+    StarPathEnumerator whole(0, n, base);
+    for (std::int64_t s = 0; s < k; ++s) {
+      const std::int64_t lo = N * s / k;
+      const std::int64_t hi = N * (s + 1) / k;
+      if (lo == hi) continue;  // empty shard: k > N
+      StarPathEnumerator en(lo, n, base);
+      for (std::int64_t r = lo; r < hi; ++r) {
+        ASSERT_EQ(en.rank(), r) << "k=" << k << " shard " << s;
+        ASSERT_EQ(en.perm(), whole.perm()) << "k=" << k << " rank " << r;
+        for (int d = 0; d < en.num_digits(); ++d)
+          ASSERT_EQ(en.digit(d), whole.digit(d)) << "k=" << k << " rank " << r;
+        ASSERT_EQ(en.base_rank(), whole.base_rank()) << "k=" << k << " rank " << r;
+        if (r + 1 < hi) en.advance();
+        if (r + 1 < N) whole.advance();
+        ++covered;
+      }
+    }
+    EXPECT_EQ(covered, N) << "k=" << k;
+  }
+}
+
 TEST(RankAfterSwap, MatchesMaterializedRankExhaustively) {
   // The graph builders replace perm_rank(swap(p, i, j)) with a Lehmer-delta
   // computation; sweep every permutation and every position pair.

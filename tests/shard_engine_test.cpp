@@ -1,0 +1,219 @@
+// The sharded out-of-core engine must be *observably identical* to the
+// in-process streaming pipeline: for every shard and worker count, the
+// certification report, the canonical wire fingerprint, and the route
+// statistics equal a StreamingCertifier + FingerprintingSink run over
+// star_layout_stream on the same parameters — including the error-message
+// prefix and exact error totals when validation fails.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "starlay/core/star_layout.hpp"
+#include "starlay/core/star_shard.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/stream_certify.hpp"
+#include "starlay/support/mapped_file.hpp"
+#include "starlay/support/math.hpp"
+
+namespace starlay::core {
+namespace {
+
+struct Reference {
+  layout::StreamReport report;
+  std::uint64_t fingerprint = 0;
+  layout::RouteStats route;
+};
+
+Reference reference_run(int n, int base_size, const layout::ValidationOptions& vopt) {
+  Reference ref;
+  layout::StreamOptions sopt;
+  sopt.validation = vopt;
+  layout::StreamingCertifier cert(sopt);
+  ref.route = star_layout_stream(n, cert, base_size);
+  ref.report = cert.report();
+  layout::FingerprintingSink fp;
+  star_layout_stream(n, fp, base_size);
+  ref.fingerprint = fp.fingerprint();
+  return ref;
+}
+
+void expect_matches(const ShardReport& got, const Reference& ref,
+                    const std::string& ctx) {
+  const layout::StreamReport& s = got.stream;
+  const layout::StreamReport& r = ref.report;
+  EXPECT_EQ(s.validation.ok, r.validation.ok) << ctx;
+  EXPECT_EQ(s.validation.num_errors_total, r.validation.num_errors_total) << ctx;
+  EXPECT_EQ(s.validation.errors, r.validation.errors) << ctx;
+  EXPECT_EQ(s.validation.num_segments, r.validation.num_segments) << ctx;
+  EXPECT_EQ(s.num_wires, r.num_wires) << ctx;
+  EXPECT_EQ(s.num_layers, r.num_layers) << ctx;
+  EXPECT_EQ(s.bounding_box, r.bounding_box) << ctx;
+  EXPECT_EQ(s.area, r.area) << ctx;
+  EXPECT_EQ(s.total_wire_length, r.total_wire_length) << ctx;
+  EXPECT_EQ(s.max_wire_length, r.max_wire_length) << ctx;
+  EXPECT_EQ(got.wire_fingerprint, ref.fingerprint) << ctx;
+  EXPECT_EQ(got.route.node_size, ref.route.node_size) << ctx;
+  EXPECT_EQ(got.route.row_channel_tracks, ref.route.row_channel_tracks) << ctx;
+  EXPECT_EQ(got.route.col_channel_tracks, ref.route.col_channel_tracks) << ctx;
+}
+
+std::string spill_root() {
+  return ::testing::TempDir() + "/starlay_shard_test";
+}
+
+// Bit-identity against the in-process pipeline at every shard count, both
+// sequential and forked.
+TEST(ShardEngine, MatchesStreamingCertifierAcrossShardCounts) {
+  for (const int n : {5, 6, 7}) {
+    const Reference ref = reference_run(n, 3, {});
+    for (const int shards : {1, 2, 3, 5}) {
+      ShardOptions opt;
+      opt.num_shards = shards;
+      opt.spill_dir = spill_root();
+      auto out = star_certify_sharded(n, opt);
+      ASSERT_TRUE(out.ok()) << "n=" << n << " shards=" << shards;
+      EXPECT_EQ(out.value().num_shards, shards);
+      EXPECT_TRUE(out.value().stream.validation.ok) << "n=" << n;
+      expect_matches(out.value(), ref,
+                     "n=" + std::to_string(n) + " shards=" + std::to_string(shards));
+    }
+  }
+}
+
+TEST(ShardEngine, ForkedWorkersMatchSequential) {
+  const Reference ref = reference_run(6, 3, {});
+  for (const int workers : {1, 2}) {
+    ShardOptions opt;
+    opt.num_shards = 4;
+    opt.workers = workers;
+    opt.spill_dir = spill_root();
+    auto out = star_certify_sharded(6, opt);
+    ASSERT_TRUE(out.ok()) << "workers=" << workers;
+    EXPECT_EQ(out.value().num_workers, workers);
+    expect_matches(out.value(), ref, "workers=" + std::to_string(workers));
+    if (workers > 1) {
+      EXPECT_GT(out.value().worker_peak_rss_bytes, 0);
+    }
+  }
+}
+
+// Thompson-mode node sizing and a forced validation failure: the merged
+// error messages and exact totals must reproduce the certifier's chunked
+// node pass (N failing nodes, message prefix in vertex order).
+TEST(ShardEngine, FailingValidationReproducesErrorStream) {
+  layout::ValidationOptions vopt;
+  vopt.thompson_node_size = true;
+  const Reference ok_ref = reference_run(5, 3, vopt);
+  ShardOptions opt;
+  opt.num_shards = 3;
+  opt.spill_dir = spill_root();
+  opt.validation = vopt;
+  auto ok_out = star_certify_sharded(5, opt);
+  ASSERT_TRUE(ok_out.ok());
+  EXPECT_TRUE(ok_out.value().stream.validation.ok);
+  expect_matches(ok_out.value(), ok_ref, "thompson ok");
+
+  vopt.min_node_side = 100;  // every node is (n-1) x (n-1): all N fail
+  const Reference bad_ref = reference_run(5, 3, vopt);
+  opt.validation = vopt;
+  auto bad_out = star_certify_sharded(5, opt);
+  ASSERT_TRUE(bad_out.ok());
+  EXPECT_FALSE(bad_out.value().stream.validation.ok);
+  EXPECT_EQ(bad_out.value().stream.validation.num_errors_total,
+            starlay::factorial(5));
+  expect_matches(bad_out.value(), bad_ref, "thompson failing");
+}
+
+// Base-size variation exercises non-default level shapes.
+TEST(ShardEngine, AlternateBaseSizeMatches) {
+  for (const int base : {2, 4}) {
+    const Reference ref = reference_run(6, base, {});
+    ShardOptions opt;
+    opt.base_size = base;
+    opt.num_shards = 2;
+    opt.spill_dir = spill_root();
+    auto out = star_certify_sharded(6, opt);
+    ASSERT_TRUE(out.ok()) << "base=" << base;
+    expect_matches(out.value(), ref, "base=" + std::to_string(base));
+  }
+}
+
+// The slot-grid view must agree with the materialized placement: same
+// grid extent, same vertex slots, exact occupancy, and rank round-trips.
+TEST(StarSlotGrid, MatchesMaterializedPlacement) {
+  for (const int n : {4, 5, 6}) {
+    for (const int base : {2, 3}) {
+      const StarStructure st = star_structure(n, base);
+      const StarSlotGrid grid = StarSlotGrid::make(n, base);
+      ASSERT_EQ(grid.rows, st.placement.rows) << "n=" << n << " base=" << base;
+      ASSERT_EQ(grid.cols, st.placement.cols) << "n=" << n << " base=" << base;
+      std::vector<std::int64_t> slot_of_rank(st.placement.slot.begin(),
+                                             st.placement.slot.end());
+      std::vector<bool> used(static_cast<std::size_t>(grid.rows) * grid.cols, false);
+      for (std::int64_t v = 0; v < static_cast<std::int64_t>(slot_of_rank.size()); ++v) {
+        const std::int64_t s = slot_of_rank[static_cast<std::size_t>(v)];
+        used[static_cast<std::size_t>(s)] = true;
+        EXPECT_TRUE(grid.occupied(s)) << "n=" << n << " v=" << v;
+        EXPECT_EQ(grid.rank_of_slot(s), v) << "n=" << n << " slot=" << s;
+      }
+      for (std::int64_t s = 0; s < static_cast<std::int64_t>(used.size()); ++s)
+        EXPECT_EQ(grid.occupied(s), static_cast<bool>(used[static_cast<std::size_t>(s)]))
+            << "n=" << n << " base=" << base << " slot=" << s;
+    }
+  }
+}
+
+TEST(ShardEngine, SizeOutOfRangeIsStructured) {
+  auto out = star_certify_sharded(13, {});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, BuildErrorCode::kSizeOutOfRange);
+  EXPECT_EQ(out.error().n_lo, 2);
+  EXPECT_EQ(out.error().n_hi, 12);
+  auto low = star_certify_sharded(1, {});
+  ASSERT_FALSE(low.ok());
+  EXPECT_EQ(low.error().code, BuildErrorCode::kSizeOutOfRange);
+}
+
+// An unusable spill root (a path component that is a regular file) must
+// surface as a structured kIoError with the failing path and errno, not
+// as a crash or an assertion.
+TEST(ShardEngine, UnwritableSpillDirReportsIoError) {
+  const std::string blocker = ::testing::TempDir() + "/starlay_shard_blocker";
+  {
+    std::ofstream f(blocker, std::ios::trunc);
+    f << "not a directory\n";
+  }
+  ShardOptions opt;
+  opt.spill_dir = blocker + "/sub";
+  auto out = star_certify_sharded(5, opt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, BuildErrorCode::kIoError);
+  EXPECT_FALSE(out.error().io_path.empty());
+  EXPECT_NE(out.error().io_errno, 0);
+  support::remove_file(blocker);
+}
+
+// keep_spill leaves the spill tree on disk for post-mortems; the default
+// removes it.
+TEST(ShardEngine, SpillLifecycleFollowsKeepSpill) {
+  const std::string root = spill_root() + "_lifecycle";
+  ShardOptions opt;
+  opt.num_shards = 2;
+  opt.spill_dir = root;
+  opt.keep_spill = true;
+  auto kept = star_certify_sharded(5, opt);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_GT(kept.value().spill_bytes_written, 0);
+  EXPECT_TRUE(support::path_exists(root + "/star_n5"));
+  opt.keep_spill = false;
+  auto removed = star_certify_sharded(5, opt);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_FALSE(support::path_exists(root + "/star_n5"));
+}
+
+}  // namespace
+}  // namespace starlay::core

@@ -17,8 +17,20 @@ and with tracing disabled (=0), best-of several runs each, and fails when
 the traced sweep is more than OVERHEAD_THRESHOLD slower.  This is the
 "<2% overhead" contract of DESIGN.md's telemetry section.
 
+A third mode gates the out-of-core engine's memory contract:
+
+    bench_regression.py --shard-rss <bench_shard_certify-binary>
+
+runs one sharded star n = SHARD_GATE_N certification (the bench collapses
+to a single auto-sharded row at n >= 9) and fails when any process — any
+forked worker or the coordinator — peaks above SHARD_RSS_CEILING_MB, when
+the run is invalid, or when the fingerprint cross-check fails.  This is
+DESIGN.md's bounded-RSS promise for core/star_shard.hpp: the working set
+is the band, not n!.
+
 Usage: bench_regression.py [--phase construct|validate] <bench-binary> [baseline-json]
        bench_regression.py --telemetry-overhead <bench-binary>
+       bench_regression.py --shard-rss <bench_shard_certify-binary>
 Environment: STARLAY_THREADS is forced to the baseline's thread count so
 timings are compared like for like.
 
@@ -28,7 +40,7 @@ validate_ms, so a regression report names the phase that moved in the test
 name itself.  Without --phase both are gated (the manual invocation).
 
 Wired into CTest as `bench_star_regression`, `bench_validate_regression`,
-and `bench_telemetry_overhead` with LABEL perf:
+`bench_telemetry_overhead`, and `bench_shard_rss` with LABEL perf:
     ctest -L perf
 """
 
@@ -43,6 +55,9 @@ THRESHOLD = 0.15  # fail on >15% regression
 NOISE_FLOOR_MS = 2.0  # phases this fast are all jitter
 OVERHEAD_THRESHOLD = 0.02  # telemetry may cost at most 2% ...
 OVERHEAD_NOISE_FLOOR_MS = 10.0  # ... beyond scheduler jitter
+SHARD_GATE_N = 10  # 3.63M vertices, 16.3M edges: big enough to bind
+SHARD_RSS_CEILING_MB = 2048  # per-process peak RSS ceiling (workers too)
+SHARD_GATE_WORKERS = 2  # forked, so worker RSS is measured separately
 
 
 def run_bench(binary, env):
@@ -91,6 +106,56 @@ def telemetry_overhead(binary):
     return 0
 
 
+def shard_rss(binary):
+    """Runs one sharded n=SHARD_GATE_N certification; gates per-process RSS."""
+    env = dict(os.environ)
+    env["STARLAY_BENCH_SHARD_N"] = str(SHARD_GATE_N)
+    env["STARLAY_BENCH_SHARD_WORKERS"] = str(SHARD_GATE_WORKERS)
+    # A sharded n = 10 run takes minutes; one run is the gate (RSS is a
+    # hard ceiling, not a timing, so best-of repetition buys nothing).
+    subprocess.run(
+        [binary, "--benchmark_filter=NONE"],
+        cwd=os.path.dirname(binary) or ".",
+        env=env,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    out = os.path.join(os.path.dirname(binary) or ".", "BENCH_shard_certify.json")
+    with open(out, encoding="utf-8") as f:
+        rows = json.load(f)
+    if not rows:
+        print(f"no rows in {out}")
+        return 2
+
+    failures = []
+    for row in rows:
+        peak_mb = max(row["coordinator_rss_mb"], row["worker_rss_mb"])
+        verdict = "ok"
+        if peak_mb > SHARD_RSS_CEILING_MB:
+            verdict = "OVER CEILING"
+            failures.append(
+                f"n={row['n']} shards={row['shards']} workers={row['workers']}: "
+                f"peak {peak_mb:.0f}MiB > ceiling {SHARD_RSS_CEILING_MB}MiB")
+        if not row["valid"]:
+            verdict = "INVALID"
+            failures.append(f"n={row['n']}: certification reported invalid")
+        if not row["fp_match"]:
+            verdict = "FP MISMATCH"
+            failures.append(f"n={row['n']}: fingerprint cross-check failed")
+        print(f"n={row['n']} shards={row['shards']} workers={row['workers']}: "
+              f"wall {row['wall_s']:.1f}s  coordinator {row['coordinator_rss_mb']:.0f}MiB  "
+              f"worker {row['worker_rss_mb']:.0f}MiB  spill {row['spill_mb']:.0f}MiB  "
+              f"[{verdict}]")
+
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\nPASS: sharded n={SHARD_GATE_N} certify valid and under "
+          f"{SHARD_RSS_CEILING_MB}MiB peak RSS in every process")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     phases = ("construct_ms", "validate_ms")
@@ -108,6 +173,11 @@ def main():
             print(__doc__)
             return 2
         return telemetry_overhead(os.path.abspath(args[1]))
+    if args[0] == "--shard-rss":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        return shard_rss(os.path.abspath(args[1]))
     binary = os.path.abspath(args[0])
     baseline_path = (
         args[1]

@@ -28,7 +28,8 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
 fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
-         telemetry_test builder_api_test kernels_test validate_test starcheck)
+         shard_engine_test telemetry_test builder_api_test kernels_test
+         validate_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -60,6 +61,12 @@ for SAN in "${SANITIZERS[@]}"; do
   "$BUILD"/cli/starcheck --replay tests/starcheck_corpus.txt
   if [ "$SAN" != thread ]; then
     "$BUILD"/tests/stream_pipeline_test
+    # Out-of-core sharding (ctest label `shard`): mmap'd spill records,
+    # fork/wait worker lifecycles, and the coordinator merges are exactly
+    # the pointer-lifetime-sensitive paths the address sweep exists for.
+    # Skipped under tsan: the engine pins the pool to one thread around
+    # fork(), so there is no cross-thread interleaving to observe.
+    "$BUILD"/tests/shard_engine_test
     # Kernel sweep at every forced level.  Unsupported requests clamp down
     # (never error), so the sweep is runnable on any host; on full AVX2
     # hardware each level's vector loads, scalar tails, and the dispatch
