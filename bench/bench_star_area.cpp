@@ -7,7 +7,12 @@
 // BENCH_star_area.json with per-n construction/validation timings (best of
 // 3 runs per phase), the validate per-phase breakdown (index build, rules,
 // overlap, via, crossing, clearance), the active SIMD kernel level, area
-// ratios, and the process peak RSS after each size.
+// ratios, wirelengths, and the process peak RSS after each size.  Each size
+// also streams once through the optimized pass pipeline (--passes
+// refine,compact) into a certifier, emitting area_compacted /
+// wire_length_compacted / area_over_claim_compacted / compact_valid;
+// STARLAY_BENCH_PASSES=0 skips that run (the timing gates do, to keep
+// their best-of sweeps lean).
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +25,7 @@
 #include "starlay/core/star_layout.hpp"
 #include "starlay/core/star_model.hpp"
 #include "starlay/layout/kernels/kernels.hpp"
+#include "starlay/layout/stream_certify.hpp"
 #include "starlay/layout/validate.hpp"
 #include "starlay/support/math.hpp"
 #include "starlay/support/thread_pool.hpp"
@@ -39,6 +45,8 @@ void print_table() {
     const int max_n = std::atoi(cap);
     while (sizes.size() > 1 && sizes.back() > max_n) sizes.pop_back();
   }
+  bool run_passes = true;
+  if (const char* p = std::getenv("STARLAY_BENCH_PASSES")) run_passes = std::atoi(p) != 0;
   benchutil::JsonReport report("BENCH_star_area.json");
   for (int n : sizes) {
     // Best-of-3 per phase: construct and validate each repeat and keep the
@@ -65,6 +73,26 @@ void print_table() {
       }
       valid = vr.ok;
     }
+    // Optimized pipeline: one streamed pass through refine+compact (the
+    // full --passes ladder), certified on the fly.  Deterministic, so one
+    // run is the measurement.
+    double optimize_ms = 0;
+    std::int64_t area_compacted = -1, wire_length_compacted = -1;
+    bool compact_valid = false;
+    if (run_passes) {
+      core::PassList passes;
+      passes.refine = true;
+      passes.compact = true;
+      const auto t0 = clock::now();
+      layout::StreamingCertifier cert;
+      core::star_layout_stream_passes(n, passes, cert);
+      optimize_ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+      const layout::StreamReport& sr = cert.report();
+      area_compacted = sr.area;
+      wire_length_compacted = sr.total_wire_length;
+      compact_valid = sr.validation.ok;
+    }
+
     const double N = static_cast<double>(factorial(n));
     const double area = static_cast<double>(r->routed.layout.area());
     const double model = core::star_area_model(n).area;
@@ -73,12 +101,14 @@ void print_table() {
                 core::star_area(N), area / core::star_area(N), area / model,
                 area / core::sykora_vrto_star_area(N), construct_ms, rss_mb,
                 valid ? "yes" : "NO");
-    report.add_row()
-        .integer("n", n)
+    benchutil::JsonReport::Row& row = report.add_row();
+    row.integer("n", n)
         .integer("N", static_cast<long long>(N))
         .num("area", area)
         .num("claim_n2_over_16", core::star_area(N))
         .num("area_over_claim", area / core::star_area(N))
+        .integer("wire_length", static_cast<long long>(r->routed.layout.total_wire_length()))
+        .integer("max_wire_length", static_cast<long long>(r->routed.layout.max_wire_length()))
         .num("construct_ms", construct_ms)
         .num("validate_ms", validate_ms)
         .num("validate_index_ms", phases.index_ms)
@@ -91,6 +121,14 @@ void print_table() {
         .num("peak_rss_mb", rss_mb)
         .integer("threads", support::ThreadPool::instance().num_threads())
         .boolean("valid", valid);
+    if (run_passes) {
+      row.num("area_compacted", static_cast<double>(area_compacted))
+          .integer("wire_length_compacted", static_cast<long long>(wire_length_compacted))
+          .num("area_over_claim_compacted",
+               static_cast<double>(area_compacted) / core::star_area(N))
+          .num("optimize_ms", optimize_ms)
+          .boolean("compact_valid", compact_valid);
+    }
   }
   if (report.write()) std::printf("\nwrote BENCH_star_area.json\n");
   std::printf("\n(n >= 9: the ratio continues toward 1; the per-level channel tail\n"

@@ -10,6 +10,7 @@
 ///   starlay_cli --family hcn --n 4 --svg hcn4.svg
 ///   starlay_cli --family star --n 8 --mode stream --trace trace.json
 ///   starlay_cli --family star --n 9 --mode stream --window 0,0,200,120 --svg tile.svg
+///   starlay_cli --family star --n 8 --passes compact,refine   # optimization passes
 ///
 /// Flags accept both `--flag value` and `--flag=value`.  Stream mode routes
 /// the construction through a StreamingCertifier: the geometry is validated
@@ -23,10 +24,19 @@
 /// bit-identical to stream mode's report and fingerprint.  --workers
 /// defaults to the STARLAY_WORKERS environment variable (1 when unset).
 ///
+/// --passes splices optimization passes into the layout pipeline
+/// (core/pass.hpp): `refine` runs the KL-seeded placement refiner before
+/// routing, `compact` re-packs the planned channel tracks after routing.
+/// Only the star hierarchy machinery families (star, star-compact, pancake,
+/// bubble-sort, transposition) thread passes; the optimized layout is
+/// validated/certified exactly like the unoptimized one.
+///
 /// Every argument-value failure (unknown family, out-of-range n, a flag the
-/// family does not read, malformed integers) reports a structured builder
-/// error and exits 2 — no invariant abort is reachable from argument values.
-/// Exit codes: 0 valid layout, 1 validation failure, 2 bad arguments,
+/// family does not read, an unknown --passes entry, malformed integers)
+/// reports a structured builder error and exits 2 — no invariant abort is
+/// reachable from argument values.
+/// Exit codes: 0 valid layout, 1 validation failure, 2 bad arguments
+/// (including an unknown --passes entry, with a nearest-name suggestion),
 /// 3 resource budget exceeded or internal error, 4 spill I/O failure
 /// (unwritable spill dir, disk full; the failing path and errno are
 /// reported).
@@ -65,6 +75,7 @@ long peak_rss_mb() {
 struct Args {
   starlay::core::ParsedBuildParams build;
   std::string mode = "materialize";
+  std::string passes_csv;
   std::string svg_path;
   std::string trace_path;
   std::string simd;  ///< requested kernel level ("" = auto-detect)
@@ -88,6 +99,12 @@ struct Args {
                "  --workers INT               sharded mode: forked worker processes\n"
                "                              (default $STARLAY_WORKERS, else 1)\n"
                "  --spill-dir PATH            sharded mode: spill root (default starlay_spill)\n"
+               "  --passes LIST               comma-separated optimization passes spliced\n"
+               "                              into the layout pipeline: 'compact' (channel\n"
+               "                              track re-packing after routing), 'refine'\n"
+               "                              (KL-seeded placement refinement before\n"
+               "                              routing).  Star-machinery families only;\n"
+               "                              an unknown name exits 2 with a suggestion\n"
                "  --base-size INT             star hierarchy base block size (default 3)\n"
                "  --layers INT                wiring layers for multilayer families (default 2)\n"
                "  --multiplicity INT          parallel links per pair (default 1)\n"
@@ -98,7 +115,10 @@ struct Args {
                "                              effective level is echoed in the output and,\n"
                "                              with --trace, as a trace counter)\n"
                "  --window X0,Y0,X1,Y1        retained/rendered grid window\n"
-               "  --svg PATH                  write an SVG rendering (needs --window in stream mode)\n");
+               "  --svg PATH                  write an SVG rendering (needs --window in stream mode)\n"
+               "exit codes: 0 valid layout, 1 validation failure, 2 bad arguments\n"
+               "(including an unknown --passes entry), 3 resource budget exceeded or\n"
+               "internal error, 4 spill I/O failure\n");
   std::exit(code);
 }
 
@@ -144,9 +164,9 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--help") usage(0);
     if (arg == "--list") {
       a.list = true;
-    } else if (value_of("--mode", &a.mode) || value_of("--svg", &a.svg_path) ||
-               value_of("--trace", &a.trace_path) || value_of("--simd", &a.simd) ||
-               value_of("--spill-dir", &a.spill_dir)) {
+    } else if (value_of("--mode", &a.mode) || value_of("--passes", &a.passes_csv) ||
+               value_of("--svg", &a.svg_path) || value_of("--trace", &a.trace_path) ||
+               value_of("--simd", &a.simd) || value_of("--spill-dir", &a.spill_dir)) {
       // stored by value_of
     } else if (value_of("--shards", &v)) {
       a.shards = parse_int_flag("--shards", v);
@@ -170,6 +190,14 @@ void print_kv(const char* key, const std::string& value) {
 }
 
 void print_kv(const char* key, std::int64_t value) { print_kv(key, std::to_string(value)); }
+
+/// Pass names in pipeline order, for the `passes` report line.
+std::string pass_names(const starlay::core::PassList& p) {
+  std::string s;
+  if (p.refine) s += "refine";
+  if (p.compact) s += s.empty() ? "compact" : ",compact";
+  return s;
+}
 
 int run_list() {
   for (const auto* b : starlay::core::all_builders()) {
@@ -228,6 +256,15 @@ int main(int argc, char** argv) {
   if (a.mode == "sharded" && builder->name() != std::string_view("star"))
     arg_error("mode 'sharded' supports only --family star (got '" +
               std::string(builder->name()) + "')");
+
+  starlay::core::PassList passes;
+  if (!a.passes_csv.empty()) {
+    auto parsed_passes = starlay::core::parse_pass_list(a.passes_csv);
+    if (!parsed_passes.ok()) build_error_exit(parsed_passes.error());
+    passes = parsed_passes.value();
+  }
+  if (a.mode == "sharded" && !passes.empty())
+    arg_error("mode 'sharded' does not support --passes (use --mode stream)");
 
   // --simd mirrors the STARLAY_SIMD env contract: an unsupported request
   // clamps down, never errors.  Held for the whole run so every phase (and
@@ -299,7 +336,7 @@ int main(int argc, char** argv) {
       if (a.have_window) sopt.retain_window = a.window;
       starlay::layout::StreamingCertifier sink(sopt);
       starlay::topology::Graph graph(0);
-      auto streamed = builder->try_build_stream(params, sink, &graph);
+      auto streamed = builder->try_build_stream_passes(params, passes, sink, &graph);
       if (!streamed.ok()) build_error_exit(streamed.error());
       const starlay::layout::RouteStats& stats = streamed.value();
       const auto& rep = sink.report();
@@ -309,6 +346,7 @@ int main(int argc, char** argv) {
 
       print_kv("family", std::string(builder->name()));
       print_kv("mode", std::string("stream"));
+      if (!passes.empty()) print_kv("passes", pass_names(passes));
       print_kv("vertices", static_cast<std::int64_t>(graph.num_vertices()));
       print_kv("edges", graph.num_edges());
       print_kv("wires", rep.num_wires);
@@ -336,26 +374,41 @@ int main(int argc, char** argv) {
       return rep.validation.ok ? 0 : 1;
     }
 
-    auto built = builder->try_build(params);
-    if (!built.ok()) build_error_exit(built.error());
-    starlay::core::BuildResult& result = built.value();
-    const starlay::layout::Layout& lay = result.routed.layout;
-    const starlay::layout::ValidationReport rep =
-        starlay::layout::validate_layout(result.graph, lay);
+    starlay::topology::Graph graph(0);
+    starlay::layout::Layout lay{0};
+    std::int64_t node_size = 0;
+    if (passes.empty()) {
+      auto built = builder->try_build(params);
+      if (!built.ok()) build_error_exit(built.error());
+      starlay::core::BuildResult& result = built.value();
+      graph = std::move(result.graph);
+      node_size = result.routed.node_size;
+      lay = std::move(result.routed.layout);
+    } else {
+      // The optimized construction only exists in pipeline (streaming) form;
+      // materialize it through a sink and validate like any stored layout.
+      starlay::layout::MaterializingSink msink;
+      auto streamed = builder->try_build_stream_passes(params, passes, msink, &graph);
+      if (!streamed.ok()) build_error_exit(streamed.error());
+      node_size = streamed.value().node_size;
+      lay = msink.take_layout();
+    }
+    const starlay::layout::ValidationReport rep = starlay::layout::validate_layout(graph, lay);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     finish_trace(a);
 
     print_kv("family", std::string(builder->name()));
     print_kv("mode", std::string("materialize"));
-    print_kv("vertices", static_cast<std::int64_t>(result.graph.num_vertices()));
-    print_kv("edges", result.graph.num_edges());
+    if (!passes.empty()) print_kv("passes", pass_names(passes));
+    print_kv("vertices", static_cast<std::int64_t>(graph.num_vertices()));
+    print_kv("edges", graph.num_edges());
     print_kv("wires", lay.num_wires());
     print_kv("layers", static_cast<std::int64_t>(lay.num_layers()));
     print_kv("width", lay.width());
     print_kv("height", lay.height());
     print_kv("area", lay.area());
-    print_kv("node_size", result.routed.node_size);
+    print_kv("node_size", node_size);
     print_kv("wire_length", lay.total_wire_length());
     print_kv("max_wire_length", lay.max_wire_length());
     print_kv("simd", std::string(simd_name));

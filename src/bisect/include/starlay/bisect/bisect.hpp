@@ -35,6 +35,19 @@ BisectionResult exact_bisection(const topology::Graph& g);
 /// Kernighan-Lin with \p restarts random starts (deterministic seeds).
 BisectionResult kernighan_lin_bisection(const topology::Graph& g, int restarts = 8);
 
+/// One Kernighan-Lin improvement pass over an existing partition: repeatedly
+/// swap the best unlocked pair across the cut, then keep the best prefix of
+/// the swap sequence.  Mutates \p side in place and returns the cut-size
+/// reduction achieved (>= 0).  This is the reusable refinement oracle behind
+/// kernighan_lin_bisection and the placement refiner (refine.hpp); it is
+/// deterministic for any STARLAY_THREADS.  Requires g's adjacency.
+std::int64_t kl_refine_pass(const topology::Graph& g, std::vector<std::uint8_t>& side);
+
+/// Runs kl_refine_pass until it stops improving, at most \p max_passes
+/// times; returns the total cut reduction.
+std::int64_t kl_refine(const topology::Graph& g, std::vector<std::uint8_t>& side,
+                       int max_passes = 8);
+
 /// Cut size of a given 0/1 partition (must be balanced to be a bisection).
 std::int64_t partition_cut(const topology::Graph& g, const std::vector<std::uint8_t>& side);
 

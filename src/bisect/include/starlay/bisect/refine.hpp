@@ -1,0 +1,69 @@
+#pragma once
+/// \file refine.hpp
+/// \brief Iterative placement refiner: swap-based wirelength-energy
+///        minimization over a slot grid, seeded from the KL bisection
+///        oracle (kl_refine_pass) when the graph is small enough.
+///
+/// The energy is the half-perimeter wirelength of the placement,
+/// sum over edges of |col_u - col_v| + |row_u - row_v| — the standard
+/// proxy the density-constrained placement literature minimizes, and a
+/// direct driver of channel congestion in the grid router.
+///
+/// Two mechanisms, both deterministic for any STARLAY_THREADS:
+///  * KL seeding (V <= kl_max_vertices): slice the placement at its median
+///    column, improve the cut with Kernighan-Lin passes, then realize the
+///    improved partition by swapping the slots of matched flipped-vertex
+///    pairs.  Fewer edges across the median means shorter horizontal runs.
+///    Kept only if the energy actually drops.
+///  * Odd-even sweeps (any size): alternately consider every disjoint pair
+///    of adjacent columns (then rows) and swap the pair's contents when the
+///    energy gain — computed against the phase-start placement, in parallel
+///    over pairs — is positive.  Cross-pair interactions can make the
+///    realized energy differ from the predicted sum, so each phase is
+///    re-measured and the best placement seen is what refine_placement
+///    finally leaves in place.
+///
+/// The refiner never changes the set of occupied slot columns/rows (it
+/// permutes whole columns/rows and slot pairs), so any placement invariant
+/// of the form "the grid is rows x cols" is preserved; orientation metadata
+/// derived from rows (RouteSpec) must be recomputed afterward — the pass
+/// pipeline does this in its respec hook.
+
+#include <cstdint>
+
+#include "starlay/layout/placement.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::bisect {
+
+struct RefineOptions {
+  /// Full odd-even sweep rounds (each = 4 phases: even/odd column pairs,
+  /// even/odd row pairs).  A sweep that applies no swap ends the loop early.
+  int max_sweeps = 3;
+
+  /// KL seeding is attempted only when num_vertices <= this; the oracle's
+  /// gain scan is quadratic per swap round, so it prices out quickly.
+  std::int32_t kl_max_vertices = 512;
+
+  /// KL improvement passes over the median-column slice.
+  int kl_passes = 2;
+};
+
+struct RefineStats {
+  std::int64_t energy_before = 0;
+  std::int64_t energy_after = 0;
+  std::int64_t swaps_applied = 0;  ///< column/row pair swaps + KL slot swaps
+  bool kl_seeded = false;          ///< a KL-improved partition was kept
+};
+
+/// Half-perimeter wirelength of \p p over the edges of \p g.
+/// Requires a finalized graph (edge list) and p.check(g.num_vertices()).
+std::int64_t placement_energy(const topology::Graph& g, const layout::Placement& p);
+
+/// Refines \p p in place toward lower placement_energy; never worsens it
+/// (the best placement seen is restored at exit).  Requires g's adjacency
+/// (neighbor queries drive the sweep gains).
+RefineStats refine_placement(const topology::Graph& g, layout::Placement& p,
+                             const RefineOptions& opt = {});
+
+}  // namespace starlay::bisect

@@ -13,9 +13,11 @@ namespace {
 
 constexpr std::int64_t kVertexGrain = 64;
 
+}  // namespace
+
 /// One KL pass: repeatedly swap the best (unlocked) pair across the cut,
 /// tracking the best prefix of the swap sequence.
-std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) {
+std::int64_t kl_refine_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) {
   support::telemetry::ScopedPhase phase("bisect.kl_pass");
   const std::int32_t n = g.num_vertices();
   // D-values: external - internal cost per vertex.  Expressed per vertex
@@ -109,7 +111,17 @@ std::int64_t kl_pass(const topology::Graph& g, std::vector<std::uint8_t>& side) 
   return best_cum;
 }
 
-}  // namespace
+std::int64_t kl_refine(const topology::Graph& g, std::vector<std::uint8_t>& side,
+                       int max_passes) {
+  STARLAY_REQUIRE(max_passes >= 1, "kl_refine: max_passes >= 1");
+  std::int64_t total = 0;
+  for (int p = 0; p < max_passes; ++p) {
+    const std::int64_t gain = kl_refine_pass(g, side);
+    if (gain <= 0) break;
+    total += gain;
+  }
+  return total;
+}
 
 BisectionResult kernighan_lin_bisection(const topology::Graph& g, int restarts) {
   const std::int32_t n = g.num_vertices();
@@ -127,7 +139,7 @@ BisectionResult kernighan_lin_bisection(const topology::Graph& g, int restarts) 
     for (std::int32_t i = n / 2; i < n; ++i)
       side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
 
-    while (kl_pass(g, side) > 0) {
+    while (kl_refine_pass(g, side) > 0) {
     }
     const std::int64_t cut = partition_cut(g, side);
     if (cut < best.width) {

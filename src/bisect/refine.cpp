@@ -1,0 +1,202 @@
+#include "starlay/bisect/refine.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/support/telemetry.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::bisect {
+
+namespace {
+
+namespace tel = starlay::support::telemetry;
+
+constexpr std::int64_t kEdgeGrain = 8192;
+constexpr std::int64_t kPairGrain = 1;  // each pair scans two whole columns
+
+std::int64_t energy_of(const topology::Graph& g, const std::vector<std::int32_t>& vrow,
+                       const std::vector<std::int32_t>& vcol) {
+  const std::int64_t E = g.num_edges();
+  const std::int64_t chunks = support::num_chunks(0, E, kEdgeGrain);
+  std::vector<std::int64_t> partial(static_cast<std::size_t>(chunks), 0);
+  support::parallel_for(0, E, kEdgeGrain,
+                        [&](std::int64_t lo, std::int64_t hi, std::int64_t chunk) {
+    std::int64_t sum = 0;
+    for (std::int64_t e = lo; e < hi; ++e) {
+      const auto& ed = g.edge(e);
+      sum += std::abs(vcol[static_cast<std::size_t>(ed.u)] - vcol[static_cast<std::size_t>(ed.v)]);
+      sum += std::abs(vrow[static_cast<std::size_t>(ed.u)] - vrow[static_cast<std::size_t>(ed.v)]);
+    }
+    partial[static_cast<std::size_t>(chunk)] = sum;
+  });
+  std::int64_t total = 0;
+  for (std::int64_t s : partial) total += s;
+  return total;
+}
+
+void refresh_coords(const layout::Placement& p, std::vector<std::int32_t>& vrow,
+                    std::vector<std::int32_t>& vcol) {
+  for (std::size_t v = 0; v < p.slot.size(); ++v) {
+    vrow[v] = p.row_of(static_cast<std::int32_t>(v));
+    vcol[v] = p.col_of(static_cast<std::int32_t>(v));
+  }
+}
+
+/// Vertices grouped by \p coord (column or row index), vertex-id order
+/// within each group — a counting sort, rebuilt per phase.
+struct Groups {
+  std::vector<std::int32_t> start;  // group -> first index in order
+  std::vector<std::int32_t> order;  // concatenated group members
+
+  void build(const std::vector<std::int32_t>& coord, std::int32_t num_groups) {
+    start.assign(static_cast<std::size_t>(num_groups) + 1, 0);
+    order.resize(coord.size());
+    for (std::int32_t c : coord) ++start[static_cast<std::size_t>(c) + 1];
+    for (std::size_t i = 1; i < start.size(); ++i) start[i] += start[i - 1];
+    std::vector<std::int32_t> cursor(start.begin(), start.end() - 1);
+    for (std::size_t v = 0; v < coord.size(); ++v)
+      order[static_cast<std::size_t>(cursor[static_cast<std::size_t>(coord[v])]++)] =
+          static_cast<std::int32_t>(v);
+  }
+};
+
+}  // namespace
+
+std::int64_t placement_energy(const topology::Graph& g, const layout::Placement& p) {
+  p.check(g.num_vertices());
+  const std::int32_t V = g.num_vertices();
+  std::vector<std::int32_t> vrow(static_cast<std::size_t>(V)), vcol(static_cast<std::size_t>(V));
+  refresh_coords(p, vrow, vcol);
+  return energy_of(g, vrow, vcol);
+}
+
+RefineStats refine_placement(const topology::Graph& g, layout::Placement& p,
+                             const RefineOptions& opt) {
+  tel::ScopedPhase phase("bisect.refine");
+  p.check(g.num_vertices());
+  const std::int32_t V = g.num_vertices();
+  RefineStats st;
+  if (V == 0 || g.num_edges() == 0) return st;
+
+  std::vector<std::int32_t> vrow(static_cast<std::size_t>(V)), vcol(static_cast<std::size_t>(V));
+  refresh_coords(p, vrow, vcol);
+  std::int64_t energy = energy_of(g, vrow, vcol);
+  st.energy_before = energy;
+
+  // ---- KL seeding -----------------------------------------------------------
+  // Slice the placement at its median column, let the KL oracle improve the
+  // cut, and realize the improved partition by swapping the slots of the
+  // matched flipped pairs (KL swaps across the cut, so the two flip sets
+  // have equal size).  Kept only if the realized energy drops: a smaller
+  // median cut usually, but not always, means shorter horizontal runs.
+  if (V >= 4 && V <= opt.kl_max_vertices && opt.kl_passes >= 1) {
+    const BisectionResult slice = layout_slice_bisection(g, p);
+    std::vector<std::uint8_t> side = slice.side;
+    kl_refine(g, side, opt.kl_passes);
+    std::vector<std::int32_t> flip0, flip1;  // 0 -> 1, 1 -> 0, ascending ids
+    for (std::int32_t v = 0; v < V; ++v) {
+      if (slice.side[static_cast<std::size_t>(v)] == side[static_cast<std::size_t>(v)]) continue;
+      (slice.side[static_cast<std::size_t>(v)] == 0 ? flip0 : flip1).push_back(v);
+    }
+    if (!flip0.empty() && flip0.size() == flip1.size()) {
+      std::vector<std::int64_t> saved = p.slot;
+      for (std::size_t i = 0; i < flip0.size(); ++i)
+        std::swap(p.slot[static_cast<std::size_t>(flip0[i])],
+                  p.slot[static_cast<std::size_t>(flip1[i])]);
+      refresh_coords(p, vrow, vcol);
+      const std::int64_t seeded = energy_of(g, vrow, vcol);
+      if (seeded < energy) {
+        energy = seeded;
+        st.kl_seeded = true;
+        st.swaps_applied += static_cast<std::int64_t>(flip0.size());
+      } else {
+        p.slot = std::move(saved);
+        refresh_coords(p, vrow, vcol);
+      }
+    }
+  }
+
+  // ---- Odd-even adjacent column/row sweeps -----------------------------------
+  // Disjoint pairs, so per-pair gains (measured against the phase-start
+  // placement) can be computed concurrently and applied serially in pair
+  // order for a deterministic result.  Interactions between applied pairs
+  // mean the realized energy is re-measured after each phase; the best
+  // placement seen wins at the end.
+  std::vector<std::int64_t> best_slots = p.slot;
+  std::int64_t best_energy = energy;
+
+  Groups groups;
+  // \p by_col: pair adjacent columns (slot delta +-1) else rows (+-cols).
+  const auto run_phase = [&](bool by_col, std::int32_t offset) -> std::int64_t {
+    const std::int32_t extent = by_col ? p.cols : p.rows;
+    const std::vector<std::int32_t>& coord = by_col ? vcol : vrow;
+    if (extent < 2 || offset >= extent - 1) return 0;
+    groups.build(coord, extent);
+    const std::int64_t npairs = (extent - 1 - offset + 1) / 2;
+    std::vector<std::int64_t> gain(static_cast<std::size_t>(npairs), 0);
+    support::parallel_for(0, npairs, kPairGrain,
+                          [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
+      for (std::int64_t pi = lo; pi < hi; ++pi) {
+        const std::int32_t c = offset + static_cast<std::int32_t>(pi) * 2;
+        std::int64_t gsum = 0;
+        for (std::int32_t half = 0; half < 2; ++half) {
+          const std::int32_t from = c + half;
+          const std::int32_t to = c + 1 - half;
+          for (std::int32_t i = groups.start[static_cast<std::size_t>(from)];
+               i < groups.start[static_cast<std::size_t>(from) + 1]; ++i) {
+            const std::int32_t v = groups.order[static_cast<std::size_t>(i)];
+            for (std::int32_t w : g.neighbors(v)) {
+              const std::int32_t b = coord[static_cast<std::size_t>(w)];
+              if (b == c || b == c + 1) continue;  // intra-pair: distance unchanged
+              gsum += std::abs(from - b) - std::abs(to - b);
+            }
+          }
+        }
+        gain[static_cast<std::size_t>(pi)] = gsum;
+      }
+    });
+    std::int64_t applied = 0;
+    for (std::int64_t pi = 0; pi < npairs; ++pi) {
+      if (gain[static_cast<std::size_t>(pi)] <= 0) continue;
+      const std::int32_t c = offset + static_cast<std::int32_t>(pi) * 2;
+      const std::int64_t delta = by_col ? 1 : p.cols;
+      for (std::int32_t i = groups.start[static_cast<std::size_t>(c)];
+           i < groups.start[static_cast<std::size_t>(c) + 1]; ++i)
+        p.slot[static_cast<std::size_t>(groups.order[static_cast<std::size_t>(i)])] += delta;
+      for (std::int32_t i = groups.start[static_cast<std::size_t>(c) + 1];
+           i < groups.start[static_cast<std::size_t>(c) + 2]; ++i)
+        p.slot[static_cast<std::size_t>(groups.order[static_cast<std::size_t>(i)])] -= delta;
+      ++applied;
+    }
+    if (applied > 0) {
+      refresh_coords(p, vrow, vcol);
+      energy = energy_of(g, vrow, vcol);
+      if (energy < best_energy) {
+        best_energy = energy;
+        best_slots = p.slot;
+      }
+    }
+    return applied;
+  };
+
+  for (int sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    std::int64_t applied = 0;
+    applied += run_phase(/*by_col=*/true, 0);
+    applied += run_phase(/*by_col=*/true, 1);
+    applied += run_phase(/*by_col=*/false, 0);
+    applied += run_phase(/*by_col=*/false, 1);
+    st.swaps_applied += applied;
+    if (applied == 0) break;
+  }
+
+  if (energy != best_energy) p.slot = std::move(best_slots);
+  st.energy_after = best_energy;
+  tel::count("refine.energy_saved", st.energy_before - st.energy_after);
+  return st;
+}
+
+}  // namespace starlay::bisect

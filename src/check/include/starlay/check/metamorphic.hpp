@@ -29,6 +29,11 @@
 ///  * API parity — try_build() succeeds exactly where the asserting build()
 ///    does not throw, and both reject the out-of-range probes
 ///    n_range().first - 1 and n_range().second + 1.
+///  * optimized == certified, never larger — for families that thread
+///    optimization passes (supports_passes()), every pass combination
+///    ({compact}, {refine}, {refine, compact}) streams through a
+///    StreamingCertifier to a clean verdict with area no larger than the
+///    unoptimized layout's.
 ///
 /// All relations restore global state (pool size, telemetry) on exit, so
 /// runs compose: the fuzz driver calls this per case in a loop.
@@ -49,6 +54,7 @@ struct MetamorphicOptions {
   bool check_certifier = true;     ///< StreamingCertifier vs validate_layout
   bool check_sharded = true;       ///< out-of-core engine vs materialized (star)
   bool check_api_parity = true;    ///< try_build vs build, out-of-range probes
+  bool check_optimized = true;     ///< pass combos certify clean, area <= baseline
   /// Shard counts swept for the sharded relation (star family only).
   std::vector<int> shard_counts = {1, 2, 4};
   /// Small band_shift exercises multi-band batching on small cases.

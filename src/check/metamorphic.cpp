@@ -250,6 +250,33 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
     support::remove_tree(spill_root);  // the engine only removes star_n<n>
   }
 
+  // --- optimized certifies clean, area never grows --------------------------
+  if (opt.check_optimized && builder.supports_passes()) {
+    ++rep.num_relations_checked;
+    const core::PassList combos[] = {{/*refine=*/false, /*compact=*/true},
+                                     {/*refine=*/true, /*compact=*/false},
+                                     {/*refine=*/true, /*compact=*/true}};
+    for (const core::PassList& passes : combos) {
+      std::string label = "passes=";
+      if (passes.refine) label += "refine";
+      if (passes.compact) label += passes.refine ? ",compact" : "compact";
+      layout::StreamingCertifier cert;
+      core::BuildOutcome<layout::RouteStats> out =
+          builder.try_build_stream_passes(params, passes, cert);
+      if (!out.ok()) {
+        rep.fail(label + ": try_build_stream_passes failed: " + out.error().message);
+        continue;
+      }
+      const layout::StreamReport& sr = cert.report();
+      if (!sr.validation.ok)
+        rep.fail(label + ": optimized layout fails certification: " +
+                 sr.validation.summary());
+      if (sr.area > lay.area())
+        rep.fail(label + ": optimized area " + std::to_string(sr.area) +
+                 " > unoptimized area " + std::to_string(lay.area()));
+    }
+  }
+
   // --- API parity -----------------------------------------------------------
   if (opt.check_api_parity) {
     ++rep.num_relations_checked;

@@ -28,12 +28,14 @@ namespace tel = starlay::support::telemetry;
 using BuildFn = std::function<BuildResult(const BuildParams&)>;
 using StreamFn =
     std::function<layout::RouteStats(const BuildParams&, layout::WireSink&, topology::Graph*)>;
+using PassStreamFn = std::function<layout::RouteStats(const BuildParams&, const PassList&,
+                                                      layout::WireSink&, topology::Graph*)>;
 
 class FnBuilder final : public LayoutBuilder {
  public:
   FnBuilder(std::string name, std::string description, std::pair<int, int> n_range,
             unsigned params_used, BuildFn build, StreamFn stream,
-            std::optional<BoundSpec> bounds = std::nullopt)
+            std::optional<BoundSpec> bounds = std::nullopt, PassStreamFn pass_stream = {})
       : name_(std::move(name)),
         description_(std::move(description)),
         trace_name_("build." + name_),
@@ -41,6 +43,7 @@ class FnBuilder final : public LayoutBuilder {
         params_used_(params_used),
         build_(std::move(build)),
         stream_(std::move(stream)),
+        pass_stream_(std::move(pass_stream)),
         bounds_(std::move(bounds)) {}
 
   std::string_view name() const override { return name_; }
@@ -62,6 +65,18 @@ class FnBuilder final : public LayoutBuilder {
     return stream_(params, sink, graph_out);
   }
 
+  bool supports_passes() const override { return static_cast<bool>(pass_stream_); }
+
+  layout::RouteStats build_stream_passes(const BuildParams& params, const PassList& passes,
+                                         layout::WireSink& sink,
+                                         topology::Graph* graph_out) const override {
+    if (!pass_stream_)
+      return LayoutBuilder::build_stream_passes(params, passes, sink, graph_out);
+    check_range(params);
+    tel::ScopedPhase phase(trace_name_);
+    return pass_stream_(params, passes, sink, graph_out);
+  }
+
  private:
   void check_range(const BuildParams& params) const {
     STARLAY_REQUIRE(params.n >= n_range_.first && params.n <= n_range_.second,
@@ -75,6 +90,7 @@ class FnBuilder final : public LayoutBuilder {
   unsigned params_used_;
   BuildFn build_;
   StreamFn stream_;
+  PassStreamFn pass_stream_;  ///< empty = identity pipeline only
   std::optional<BoundSpec> bounds_;
 };
 
@@ -112,9 +128,10 @@ const std::vector<FnBuilder>& registry() {
     std::vector<FnBuilder> b;
     const auto add = [&](std::string name, std::string desc, std::pair<int, int> range,
                          unsigned used, BuildFn build, StreamFn stream,
-                         std::optional<BoundSpec> bounds = std::nullopt) {
+                         std::optional<BoundSpec> bounds = std::nullopt,
+                         PassStreamFn pass_stream = {}) {
       b.emplace_back(std::move(name), std::move(desc), range, used, std::move(build),
-                     std::move(stream), std::move(bounds));
+                     std::move(stream), std::move(bounds), std::move(pass_stream));
     };
     constexpr unsigned kUsesNone = 0;
 
@@ -132,7 +149,11 @@ const std::vector<FnBuilder>& registry() {
           return star_layout_stream(p.n, s, p.base_size, g);
         },
         BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
-                  two_layers, "Lemma 2.2 / Theorem 3.7: area N^2/16 + o(N^2)"});
+                  two_layers, "Lemma 2.2 / Theorem 3.7: area N^2/16 + o(N^2)"},
+        [](const BuildParams& p, const PassList& passes, layout::WireSink& s,
+           topology::Graph* g) {
+          return star_layout_stream_passes(p.n, passes, s, p.base_size, g);
+        });
     add("star-compact", "n-star with four-sided attachments (Theorem 3.7 node window)",
         {2, 12}, kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout_compact(p.n, p.base_size)); },
@@ -140,7 +161,11 @@ const std::vector<FnBuilder>& registry() {
           return star_layout_compact_stream(p.n, s, p.base_size, g);
         },
         BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
-                  two_layers, "Lemma 2.2 / Theorem 3.7 (extended-grid nodes)"});
+                  two_layers, "Lemma 2.2 / Theorem 3.7 (extended-grid nodes)"},
+        [](const BuildParams& p, const PassList& passes, layout::WireSink& s,
+           topology::Graph* g) {
+          return star_layout_compact_stream_passes(p.n, passes, s, p.base_size, g);
+        });
     add("pancake", "n-pancake graph via the star hierarchy machinery", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) {
@@ -150,7 +175,12 @@ const std::vector<FnBuilder>& registry() {
           return permutation_layout_stream(PermutationFamily::kPancake, p.n, s, p.base_size, g);
         },
         BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
-                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"});
+                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"},
+        [](const BuildParams& p, const PassList& passes, layout::WireSink& s,
+           topology::Graph* g) {
+          return permutation_layout_stream_passes(PermutationFamily::kPancake, p.n, passes, s,
+                                                  p.base_size, g);
+        });
     add("bubble-sort", "n-bubble-sort graph via the star hierarchy machinery", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) {
@@ -162,7 +192,12 @@ const std::vector<FnBuilder>& registry() {
                                            g);
         },
         BoundSpec{[](const BuildParams& p) { return star_area(fact(p.n)); }, 32.0, 5, nullptr,
-                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"});
+                  two_layers, "Lemma 2.2 machinery (degree-(n-1) permutation graph)"},
+        [](const BuildParams& p, const PassList& passes, layout::WireSink& s,
+           topology::Graph* g) {
+          return permutation_layout_stream_passes(PermutationFamily::kBubbleSort, p.n, passes,
+                                                  s, p.base_size, g);
+        });
     add("transposition", "complete transposition graph (Section 2.4 remark)", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) { return from_star(transposition_layout(p.n, p.base_size)); },
@@ -170,7 +205,11 @@ const std::vector<FnBuilder>& registry() {
           return transposition_layout_stream(p.n, s, p.base_size, g);
         },
         // No area claim: degree Theta(n^2) puts it outside Lemma 2.2's form.
-        BoundSpec{nullptr, 0.0, 0, nullptr, two_layers, "Section 2.4 remark"});
+        BoundSpec{nullptr, 0.0, 0, nullptr, two_layers, "Section 2.4 remark"},
+        [](const BuildParams& p, const PassList& passes, layout::WireSink& s,
+           topology::Graph* g) {
+          return transposition_layout_stream_passes(p.n, passes, s, p.base_size, g);
+        });
     add("multilayer-star", "L-layer X-Y star layout, area ~N^2/(4L^2) (Lemma 2.3)", {2, 12},
         kParamBaseSize | kParamLayers,
         [](const BuildParams& p) {
@@ -467,6 +506,15 @@ BuildStatus BuildParams::validate(const LayoutBuilder& builder, unsigned explici
   return {};
 }
 
+layout::RouteStats LayoutBuilder::build_stream_passes(const BuildParams& params,
+                                                      const PassList& passes,
+                                                      layout::WireSink& sink,
+                                                      topology::Graph* graph_out) const {
+  STARLAY_REQUIRE(passes.empty(),
+                  "builder: family does not support optimization passes");
+  return build_stream(params, sink, graph_out);
+}
+
 BuildOutcome<BuildResult> LayoutBuilder::try_build(const BuildParams& params) const {
   if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
   try {
@@ -487,6 +535,27 @@ BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildPara
   if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
   try {
     return build_stream(params, sink, graph_out);
+  } catch (const InvariantError& e) {
+    BuildError err;
+    err.code = BuildErrorCode::kBudgetExceeded;
+    err.message = "family '" + std::string(name()) + "': " + e.what();
+    return err;
+  }
+}
+
+BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream_passes(
+    const BuildParams& params, const PassList& passes, layout::WireSink& sink,
+    topology::Graph* graph_out) const {
+  if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
+  if (!passes.empty() && !supports_passes()) {
+    BuildError err;
+    err.code = BuildErrorCode::kUnknownParam;
+    err.message = "--passes does not apply to family '" + std::string(name()) +
+                  "' (only the star hierarchy machinery threads optimization passes)";
+    return err;
+  }
+  try {
+    return build_stream_passes(params, passes, sink, graph_out);
   } catch (const InvariantError& e) {
     BuildError err;
     err.code = BuildErrorCode::kBudgetExceeded;

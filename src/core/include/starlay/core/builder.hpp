@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "starlay/core/build_status.hpp"
+#include "starlay/core/pass.hpp"
 #include "starlay/layout/router.hpp"
 #include "starlay/layout/wire_sink.hpp"
 #include "starlay/topology/graph.hpp"
@@ -142,6 +143,20 @@ class LayoutBuilder {
   virtual layout::RouteStats build_stream(const BuildParams& params, layout::WireSink& sink,
                                           topology::Graph* graph_out = nullptr) const = 0;
 
+  /// True when the family can splice optimization passes (--passes,
+  /// pass.hpp) into its construction pipeline.  Families built on the star
+  /// hierarchy machinery opt in; the rest default to identity-only.
+  virtual bool supports_passes() const { return false; }
+
+  /// Streams the construction with the given optimization passes spliced
+  /// into the layout pipeline (run_layout_pipeline).  With passes.empty()
+  /// this is bit-identical to build_stream().  The default implementation
+  /// rejects any non-empty pass list (asserting tier); opting-in families
+  /// override it alongside supports_passes().
+  virtual layout::RouteStats build_stream_passes(const BuildParams& params,
+                                                 const PassList& passes, layout::WireSink& sink,
+                                                 topology::Graph* graph_out = nullptr) const;
+
   /// Stable tier: validates \p params (kSizeOutOfRange, kUnknownParam),
   /// then builds; a resource-budget invariant tripped by the (validated)
   /// construction surfaces as kBudgetExceeded instead of a throw.
@@ -151,6 +166,13 @@ class LayoutBuilder {
   BuildOutcome<layout::RouteStats> try_build_stream(const BuildParams& params,
                                                     layout::WireSink& sink,
                                                     topology::Graph* graph_out = nullptr) const;
+
+  /// Stable tier for build_stream_passes(): a non-empty pass list on a
+  /// family with supports_passes() == false returns kUnknownParam (the CLI
+  /// surfaces it as exit code 2); otherwise the try_build_stream contract.
+  BuildOutcome<layout::RouteStats> try_build_stream_passes(
+      const BuildParams& params, const PassList& passes, layout::WireSink& sink,
+      topology::Graph* graph_out = nullptr) const;
 };
 
 /// Looks up a registered family by name; nullptr when unknown.  Exact

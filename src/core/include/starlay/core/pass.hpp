@@ -1,0 +1,163 @@
+#pragma once
+/// \file pass.hpp
+/// \brief The layout pass pipeline: the build path (enumerate -> place ->
+///        route -> emit) as an explicit sequence of LayoutPass stages over
+///        a shared PassContext, with optional optimization passes spliced
+///        in between.
+///
+/// Structure of every pipeline (run_layout_pipeline):
+///
+///     front -> [refine] -> route -> [compact] -> emit
+///
+///  * front    — family hook: enumerate the network, build the Graph, the
+///               Placement, and the RouteSpec into the context.
+///  * refine   — optional: swap-based placement-energy minimization seeded
+///               from the KL bisection oracle (bisect/refine.hpp), followed
+///               by the family's respec hook (orientation metadata derived
+///               from node rows must track the moved placement).  Energy is
+///               a wirelength proxy, not the area objective, so the refined
+///               placement is a *candidate*: the pipeline routes both it and
+///               the original placement, measures the emitted extents, and
+///               keeps the refined plan only on a strict area improvement
+///               (the optimized build is monotone in area by construction).
+///  * route    — family shed hook (streaming builds drop enumeration
+///               scaffolding here), then plan_route: classification,
+///               channel selection, stub assignment, track packing.
+///  * compact  — optional: track-refined channel re-packing
+///               (layout::compact_route), keeping the best grid extent.
+///  * emit     — geometry emission into the context's WireSink.
+///
+/// The identity pipeline (no optimization passes) is bit-identical to the
+/// historical monolithic build path: the hooks run in the same order, the
+/// router stages execute the same loops, and the telemetry span structure
+/// is unchanged ("routing" spans route..emit with the same child sections).
+///
+/// Only optimization passes are nameable from the outside (--passes=
+/// compact,refine); the structural stages are always present and in fixed
+/// order, so a pass list is a set, not a program.  parse_pass_list turns
+/// user input into a PassList with kUnknownParam + nearest-name suggestion
+/// on a miss.
+///
+/// Authoring a new optimization pass: subclass LayoutPass, mutate only the
+/// context (placement before route, route_plan after), keep run() a
+/// deterministic pure function of the context for any STARLAY_THREADS, and
+/// register it in pass.cpp's registry so parse_pass_list and --help see it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "starlay/bisect/refine.hpp"
+#include "starlay/core/build_status.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/wire_sink.hpp"
+#include "starlay/support/telemetry.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+/// Which optimization passes a pipeline runs.  The structural stages are
+/// implicit; order is fixed (refine before route, compact after), so this
+/// is a set of switches rather than a sequence.
+struct PassList {
+  bool refine = false;
+  bool compact = false;
+
+  bool empty() const { return !refine && !compact; }
+};
+
+/// Measured effect of the optimization passes, for reports and benches.
+struct PassMetrics {
+  std::int64_t planned_area_before = -1;  ///< grid extent after plan_route
+  std::int64_t planned_area_after = -1;   ///< grid extent going into emit
+  layout::CompactionStats compaction;     ///< populated by the compact pass
+  bisect::RefineStats refine;             ///< populated by the refine pass
+  bool compacted = false;
+  bool refined = false;
+  /// True when the refined placement strictly reduced the emitted extent
+  /// and was kept; false when the pipeline fell back to the original
+  /// placement (the refine pass never grows area).
+  bool refine_kept = false;
+};
+
+/// Everything the passes share.  Family hooks fill the front of it (graph,
+/// placement, spec); the router passes fill the back (route_plan, stats).
+/// The placement pointer aims into family-owned state (family_state keeps
+/// it alive), so the refine pass mutates the same tables the route pass
+/// consumes.
+struct PassContext {
+  topology::Graph graph{0};
+  layout::Placement* placement = nullptr;
+  layout::RouteSpec spec;
+  layout::RouterOptions router_options;
+  layout::RoutePlan route_plan;
+  layout::WireSink* sink = nullptr;
+  layout::RouteStats stats;
+
+  /// Family hooks (see run_layout_pipeline's stage list above).  front is
+  /// required; respec runs after a placement-mutating pass and must rebuild
+  /// ctx.spec from the current placement; shed (optional) frees enumeration
+  /// scaffolding before routing allocates.
+  std::function<void(PassContext&)> front;
+  std::function<void(PassContext&)> respec;
+  std::function<void(PassContext&)> shed;
+
+  /// Keeps family-owned state (e.g. a StarStructure the placement pointer
+  /// aims into) alive across passes and retrievable afterward.
+  std::shared_ptr<void> family_state;
+
+  /// The "routing" telemetry span, held open from the route pass through
+  /// emit so the optimization passes' spans nest under it exactly like the
+  /// monolithic router's sections did.
+  std::optional<support::telemetry::ScopedPhase> routing_span;
+
+  PassMetrics metrics;
+
+  /// Tuning knobs for the optimization passes.
+  layout::CompactionOptions compaction_options;
+  bisect::RefineOptions refine_options;
+};
+
+/// One pipeline stage.  Instances are stateless singletons (the registry
+/// owns them); all state lives in the PassContext.
+class LayoutPass {
+ public:
+  virtual ~LayoutPass() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view description() const = 0;
+  virtual void run(PassContext& ctx) const = 0;
+};
+
+/// A declared sequence of passes over one shared context.
+class PassManager {
+ public:
+  PassManager& add(const LayoutPass* pass);
+  const std::vector<const LayoutPass*>& sequence() const { return seq_; }
+  void run(PassContext& ctx) const;
+
+ private:
+  std::vector<const LayoutPass*> seq_;
+};
+
+/// Nameable optimization passes ("compact", "refine"); nullptr on a miss.
+/// Lookup is normalized like family names (trim, case-fold, '_' == '-').
+const LayoutPass* find_pass(std::string_view name);
+
+/// All nameable optimization passes, sorted by name (for --help and docs).
+std::vector<const LayoutPass*> all_passes();
+
+/// Parses a comma-separated pass list ("compact,refine"; empty = identity).
+/// Unknown names return kUnknownParam with a nearest-name suggestion in the
+/// message — the CLI surfaces this as exit code 2.
+BuildOutcome<PassList> parse_pass_list(std::string_view csv);
+
+/// Assembles front -> [refine] -> route -> [compact] -> emit per \p passes
+/// and runs it over \p ctx.  Requires ctx.front and ctx.sink; returns
+/// ctx.stats.  With passes.empty() this is the identity pipeline.
+layout::RouteStats run_layout_pipeline(PassContext& ctx, const PassList& passes);
+
+}  // namespace starlay::core

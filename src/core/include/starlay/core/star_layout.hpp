@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "starlay/core/pass.hpp"
 #include "starlay/layout/placement.hpp"
 #include "starlay/layout/router.hpp"
 #include "starlay/topology/graph.hpp"
@@ -116,5 +117,29 @@ layout::RouteStats star_layout_compact_stream(int n, layout::WireSink& sink, int
                                               topology::Graph* graph_out = nullptr);
 layout::RouteStats transposition_layout_stream(int n, layout::WireSink& sink, int base_size = 3,
                                                topology::Graph* graph_out = nullptr);
+
+/// Pipeline variants: the same streaming construction with the requested
+/// optimization passes (pass.hpp) spliced in — refine mutates the
+/// hierarchical placement (the route spec is re-derived), compact re-packs
+/// the planned channel tracks.  With passes.empty() these are bit-identical
+/// to the plain *_stream entry points above (which are thin wrappers over
+/// them).  \p metrics_out (optional) receives the measured pass effect.
+layout::RouteStats permutation_layout_stream_passes(PermutationFamily family, int n,
+                                                    const PassList& passes,
+                                                    layout::WireSink& sink, int base_size = 3,
+                                                    topology::Graph* graph_out = nullptr,
+                                                    PassMetrics* metrics_out = nullptr);
+layout::RouteStats star_layout_stream_passes(int n, const PassList& passes,
+                                             layout::WireSink& sink, int base_size = 3,
+                                             topology::Graph* graph_out = nullptr,
+                                             PassMetrics* metrics_out = nullptr);
+layout::RouteStats star_layout_compact_stream_passes(int n, const PassList& passes,
+                                                     layout::WireSink& sink, int base_size = 3,
+                                                     topology::Graph* graph_out = nullptr,
+                                                     PassMetrics* metrics_out = nullptr);
+layout::RouteStats transposition_layout_stream_passes(int n, const PassList& passes,
+                                                      layout::WireSink& sink, int base_size = 3,
+                                                      topology::Graph* graph_out = nullptr,
+                                                      PassMetrics* metrics_out = nullptr);
 
 }  // namespace starlay::core

@@ -168,6 +168,38 @@ void shed_for_streaming(StarStructure& s, topology::Graph& g) {
   g.release_adjacency();
 }
 
+/// Shared pipeline assembly for every star-machinery family.  The front
+/// hook enumerates the hierarchy and derives graph + route spec (in the
+/// same order, under the same spans, as the historical monolithic path);
+/// respec re-derives orientations after a placement-mutating pass while
+/// the digit paths are still alive; shed frees enumeration scaffolding
+/// right before routing allocates.
+layout::RouteStats run_star_pipeline(
+    int n, int base_size, const PassList& passes, layout::WireSink& sink,
+    topology::Graph* graph_out, PassMetrics* metrics_out, layout::RouterOptions router_options,
+    const std::function<topology::Graph()>& make_graph,
+    const std::function<layout::RouteSpec(const topology::Graph&, const StarStructure&)>&
+        make_spec) {
+  base_size = std::min(base_size, n);
+  auto state = std::make_shared<StarStructure>();
+  PassContext ctx;
+  ctx.family_state = state;
+  ctx.sink = &sink;
+  ctx.router_options = router_options;
+  ctx.front = [&, base_size](PassContext& c) {
+    *state = star_structure(n, base_size);
+    c.graph = make_graph();
+    c.placement = &state->placement;
+    c.spec = make_spec(c.graph, *state);
+  };
+  ctx.respec = [&](PassContext& c) { c.spec = make_spec(c.graph, *state); };
+  ctx.shed = [state](PassContext& c) { shed_for_streaming(*state, c.graph); };
+  layout::RouteStats stats = run_layout_pipeline(ctx, passes);
+  if (graph_out) *graph_out = std::move(ctx.graph);
+  if (metrics_out) *metrics_out = ctx.metrics;
+  return stats;
+}
+
 }  // namespace
 
 StarLayoutResult star_layout(int n, int base_size) {
@@ -207,15 +239,7 @@ StarLayoutResult permutation_layout(PermutationFamily family, int n, int base_si
 layout::RouteStats permutation_layout_stream(PermutationFamily family, int n,
                                              layout::WireSink& sink, int base_size,
                                              topology::Graph* graph_out) {
-  base_size = std::min(base_size, n);
-  StarStructure s = star_structure(n, base_size);
-  topology::Graph g = family_graph(family, n);
-  const int level_shift = family == PermutationFamily::kBubbleSort ? 1 : 0;
-  const layout::RouteSpec spec = star_route_spec(g, s, level_shift);
-  shed_for_streaming(s, g);
-  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);
-  if (graph_out) *graph_out = std::move(g);
-  return stats;
+  return permutation_layout_stream_passes(family, n, {}, sink, base_size, graph_out);
 }
 
 layout::RouteStats star_layout_stream(int n, layout::WireSink& sink, int base_size,
@@ -225,28 +249,58 @@ layout::RouteStats star_layout_stream(int n, layout::WireSink& sink, int base_si
 
 layout::RouteStats star_layout_compact_stream(int n, layout::WireSink& sink, int base_size,
                                               topology::Graph* graph_out) {
-  base_size = std::min(base_size, n);
-  StarStructure s = star_structure(n, base_size);
-  topology::Graph g = timed("topology", [&] { return topology::star_graph(n); });
-  const layout::RouteSpec spec = star_route_spec(g, s);
-  shed_for_streaming(s, g);
-  layout::RouterOptions opt;
-  opt.four_sided = true;
-  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, opt, sink);
-  if (graph_out) *graph_out = std::move(g);
-  return stats;
+  return star_layout_compact_stream_passes(n, {}, sink, base_size, graph_out);
 }
 
 layout::RouteStats transposition_layout_stream(int n, layout::WireSink& sink, int base_size,
                                                topology::Graph* graph_out) {
-  base_size = std::min(base_size, n);
-  StarStructure s = star_structure(n, base_size);
-  topology::Graph g = timed("topology", [&] { return topology::transposition_graph(n); });
-  const layout::RouteSpec spec = star_route_spec_levels(g, s, transposition_levels(g, n));
-  shed_for_streaming(s, g);
-  layout::RouteStats stats = layout::route_grid_stream(g, s.placement, spec, {}, sink);
-  if (graph_out) *graph_out = std::move(g);
-  return stats;
+  return transposition_layout_stream_passes(n, {}, sink, base_size, graph_out);
+}
+
+layout::RouteStats permutation_layout_stream_passes(PermutationFamily family, int n,
+                                                    const PassList& passes,
+                                                    layout::WireSink& sink, int base_size,
+                                                    topology::Graph* graph_out,
+                                                    PassMetrics* metrics_out) {
+  const int level_shift = family == PermutationFamily::kBubbleSort ? 1 : 0;
+  return run_star_pipeline(
+      n, base_size, passes, sink, graph_out, metrics_out, {},
+      [&] { return family_graph(family, n); },
+      [&](const topology::Graph& g, const StarStructure& s) {
+        return star_route_spec(g, s, level_shift);
+      });
+}
+
+layout::RouteStats star_layout_stream_passes(int n, const PassList& passes,
+                                             layout::WireSink& sink, int base_size,
+                                             topology::Graph* graph_out,
+                                             PassMetrics* metrics_out) {
+  return permutation_layout_stream_passes(PermutationFamily::kStar, n, passes, sink, base_size,
+                                          graph_out, metrics_out);
+}
+
+layout::RouteStats star_layout_compact_stream_passes(int n, const PassList& passes,
+                                                     layout::WireSink& sink, int base_size,
+                                                     topology::Graph* graph_out,
+                                                     PassMetrics* metrics_out) {
+  layout::RouterOptions opt;
+  opt.four_sided = true;  // node_size auto-shrinks to the stub demand
+  return run_star_pipeline(
+      n, base_size, passes, sink, graph_out, metrics_out, opt,
+      [&] { return family_graph(PermutationFamily::kStar, n); },
+      [](const topology::Graph& g, const StarStructure& s) { return star_route_spec(g, s); });
+}
+
+layout::RouteStats transposition_layout_stream_passes(int n, const PassList& passes,
+                                                      layout::WireSink& sink, int base_size,
+                                                      topology::Graph* graph_out,
+                                                      PassMetrics* metrics_out) {
+  return run_star_pipeline(
+      n, base_size, passes, sink, graph_out, metrics_out, {},
+      [&] { return timed("topology", [&] { return topology::transposition_graph(n); }); },
+      [n](const topology::Graph& g, const StarStructure& s) {
+        return star_route_spec_levels(g, s, transposition_levels(g, n));
+      });
 }
 
 }  // namespace starlay::core

@@ -23,8 +23,21 @@
 /// (h_layer, v_layer) pair with h odd, v even, |h - v| = 1.  Tracks on
 /// different layers share physical positions, which is where the paper's
 /// N^2/(4 L^2) area gain comes from.
+///
+/// The route is staged: plan_route() classifies edges, assigns channels and
+/// stubs, and packs tracks (everything except geometry emission) into a
+/// RoutePlan; emit_route() turns a plan into wire geometry through a
+/// WireSink.  Between the two, compact_route() may re-pack the plan's
+/// channel tracks with track-refined interval keys (the initial horizontal
+/// pack must treat a whole vertical channel as one x position because the
+/// vertical tracks are not assigned yet; once they are, the true turn
+/// coordinates are known and the channel cliques can only shrink), keeping
+/// the best grid extent over a bounded number of rounds.  route_grid_stream
+/// remains the single-call plan+emit path and is bit-identical to the
+/// pre-staged router.
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -78,14 +91,73 @@ struct RoutedLayout {
   Coord node_size = 0;
 };
 
+/// The routed-but-not-yet-emitted state of a grid route: per-edge channel
+/// and track assignments, stub offsets, and per-channel track counts.
+/// Produced by plan_route, optionally transformed by compact_route, and
+/// consumed (read-only) by emit_route.  Movable, not copyable; the
+/// representation is private to router.cpp.
+struct RoutePlanData;
+struct RoutePlan {
+  RoutePlan();
+  RoutePlan(RoutePlan&&) noexcept;
+  RoutePlan& operator=(RoutePlan&&) noexcept;
+  ~RoutePlan();
+  bool empty() const { return d == nullptr; }
+  std::unique_ptr<RoutePlanData> d;
+};
+
+/// Bounded-iteration knobs for compact_route.
+struct CompactionOptions {
+  /// Maximum track-refined repack rounds (each round re-packs horizontal
+  /// channels against the previous round's vertical tracks, then re-packs
+  /// vertical channels).  The best round by grid extent is kept, so more
+  /// rounds can only help; the loop exits early on a fixed point.
+  int max_rounds = 4;
+};
+
+/// What compact_route did: grid extents before/after and which round won
+/// (0 = the coarse baseline packing was already best).
+struct CompactionStats {
+  int rounds = 0;
+  int best_round = 0;
+  std::int64_t area_before = 0;
+  std::int64_t area_after = 0;
+};
+
+/// Classifies, channel-selects, stub-assigns, and track-packs every edge of
+/// \p g on the slot grid of \p p.  The returned plan is emit-ready.
+/// Preconditions: g finalized or carrying the release_adjacency() degree
+/// cache (only degrees are consulted), p.check(g.num_vertices()) passes,
+/// g.num_edges() < 2^31 (wire ids and stub bookkeeping are 32-bit).
+RoutePlan plan_route(const topology::Graph& g, const Placement& p,
+                     const RouteSpec& spec = {}, const RouterOptions& opt = {});
+
+/// Re-packs \p rp's channel tracks in place using track-refined interval
+/// keys, keeping the round with the smallest grid extent (ties prefer the
+/// earliest round, so an unimproved plan is restored bit-identically to its
+/// coarse packing).  Deterministic and idempotent: the rounds are a pure
+/// function of the plan's structure, so compact(compact(p)) == compact(p)
+/// bit-for-bit.  Requires a non-empty plan.
+CompactionStats compact_route(RoutePlan& rp, const CompactionOptions& opt = {});
+
+/// The grid extent of a plan — (total vertical tracks + cols * node_size)
+/// * (total horizontal tracks + rows * node_size) — i.e. the area of the
+/// full routing grid.  This is what compact_route minimizes; the measured
+/// layout bounding box can only be tighter.  Requires a non-empty plan.
+std::int64_t planned_area(const RoutePlan& rp);
+
+/// Emits the node rectangles and wire geometry of \p rp into \p sink
+/// (begin / emit_bulk / end) and returns the channel statistics.  Pure
+/// reader of the plan: may be called repeatedly, e.g. once per sink.
+RouteStats emit_route(const RoutePlan& rp, const topology::Graph& g,
+                      WireSink& sink);
+
 /// Routes every edge of \p g on the slot grid of \p p, emitting node
 /// rectangles and wire geometry into \p sink (begin / emit_bulk / end).
+/// Exactly plan_route + emit_route under one "routing" telemetry span.
 /// With a MaterializingSink this reproduces route_grid bit-for-bit; with a
 /// StreamingCertifier the geometry is validated and measured without ever
-/// being stored.  Preconditions: g finalized or carrying the
-/// release_adjacency() degree cache (only degrees are consulted),
-/// p.check(g.num_vertices()) passes, g.num_edges() < 2^31 (wire ids and
-/// stub bookkeeping are 32-bit, matching WireStore's 32-bit point offsets).
+/// being stored.
 RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
                              const RouteSpec& spec, const RouterOptions& opt,
                              WireSink& sink);

@@ -13,12 +13,7 @@
 
 namespace starlay::layout {
 
-namespace {
-
-namespace tel = starlay::support::telemetry;
-
-constexpr std::int64_t kEdgeGrain = 8192;  // per-edge loops
-constexpr std::int64_t kNodeGrain = 4096;  // per-node loops
+namespace detail {
 
 enum class EdgeClass : std::uint8_t { kRow, kCol, kL };
 
@@ -60,6 +55,42 @@ struct JogPlan {
   std::int32_t dst_htrack = -1;
 };
 
+}  // namespace detail
+
+// The full routed-but-unemitted state.  Everything emit_route (and the
+// compactor) needs, nothing it does not: the Graph and Placement are not
+// retained — derived arrays are.
+struct RoutePlanData {
+  std::int32_t V = 0;
+  std::int32_t R = 0;
+  std::int32_t C = 0;
+  std::int32_t HC = 0;  // horizontal channels (R + 1)
+  std::int32_t VC = 0;  // vertical channels (C + 1)
+  std::int64_t E = 0;
+  bool four = false;
+  Coord w = 0;
+  std::vector<std::int32_t> vrow, vcol;
+  std::vector<detail::EdgePlan> plan;
+  std::vector<detail::JogPlan> jogs;
+  std::vector<std::int32_t> src_off, dst_off;
+  std::vector<std::int32_t> h_chan_tracks, v_chan_tracks;
+};
+
+namespace {
+
+namespace tel = starlay::support::telemetry;
+using detail::EdgeClass;
+using detail::EdgePlan;
+using detail::JogPlan;
+using detail::kBottom;
+using detail::kLeft;
+using detail::kRight;
+using detail::kTop;
+using detail::vertical_side;
+
+constexpr std::int64_t kEdgeGrain = 8192;  // per-edge loops
+constexpr std::int64_t kNodeGrain = 4096;  // per-node loops
+
 // One stub (edge endpoint attachment) on a node side.  Stored in a single
 // flat array, slot-major (slot = node * 4 + side), built by counting sort —
 // the former vector-of-vectors cost a heap block per (node, side).
@@ -85,6 +116,8 @@ struct KeyedReq {
   bool is_jog;
 };
 static_assert(sizeof(KeyedReq) <= 32, "KeyedReq grew past its memory budget");
+
+constexpr std::int64_t kMaxLayer = 64;
 
 /// Left-edge packs every (channel * kMaxLayer + layer) group of \p reqs.
 /// Groups are independent interval sets, so they run concurrently on the
@@ -129,7 +162,251 @@ void free_vector(std::vector<T>& v) {
   std::vector<T>().swap(v);
 }
 
+/// Horizontal track packing (H channels: main runs + destination jogs).
+///
+/// Coarse keys (the only option before the vertical pack): fine x-keys,
+/// interleaved [v-chan 0][col 0][v-chan 1][col 1]...[v-chan C], with each
+/// vertical channel collapsed to a single key — every L turn in a channel
+/// is treated as the same x position because its track is not known yet.
+///
+/// Refined keys (\p refined, valid once v tracks are assigned): each
+/// vertical channel widens to one key per track, so turn endpoints carry
+/// their true relative x order.  Refined keys are order-isomorphic to the
+/// final geometry, and every refined overlap is also a coarse overlap, so
+/// per-channel cliques — and with them left-edge track counts — can only
+/// shrink.
+void pack_h_tracks(RoutePlanData& d, bool refined) {
+  const Coord w = d.w;
+  const std::vector<std::int32_t>& vcol = d.vcol;
+  std::vector<EdgePlan>& plan = d.plan;
+  std::vector<JogPlan>& jogs = d.jogs;
+
+  // Coarse key space: channel k at k * (w + 1), cells offset by 1.
+  const std::int64_t xkey_width = w + 1;
+  auto xkey_cell = [&](std::int32_t c, Coord off) {
+    return static_cast<std::int64_t>(c) * xkey_width + 1 + off;
+  };
+  auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
+
+  // Refined key space: channel k spans [k * (maxV + w), +tracks), cells
+  // follow at + maxV — the same interleaving with real track resolution.
+  std::int32_t max_v_tracks = 0;
+  for (std::int32_t t : d.v_chan_tracks) max_v_tracks = std::max(max_v_tracks, t);
+  const std::int64_t x2_width = w + std::max<std::int64_t>(1, max_v_tracks);
+  const std::int64_t x2_cell_base = std::max<std::int64_t>(1, max_v_tracks);
+  auto x2key_cell = [&](std::int32_t c, Coord off) {
+    return static_cast<std::int64_t>(c) * x2_width + x2_cell_base + off;
+  };
+  auto x2key_track = [&](std::int32_t k, std::int32_t track) {
+    return static_cast<std::int64_t>(k) * x2_width + track;
+  };
+
+  d.h_chan_tracks.assign(static_cast<std::size_t>(d.HC), 0);
+  std::vector<KeyedReq> hreqs;  // key = chan * kMaxLayer + layer
+  for (std::int64_t e = 0; e < d.E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
+    if (ep.cls == EdgeClass::kCol) continue;
+    // Main H run.
+    std::int64_t lo, hi;
+    if (ep.cls == EdgeClass::kRow) {
+      lo = refined ? x2key_cell(vcol[static_cast<std::size_t>(ep.src)],
+                                d.src_off[static_cast<std::size_t>(e)])
+                   : xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
+                               d.src_off[static_cast<std::size_t>(e)]);
+      hi = refined ? x2key_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                                d.dst_off[static_cast<std::size_t>(e)])
+                   : xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                               d.dst_off[static_cast<std::size_t>(e)]);
+    } else {
+      const JogPlan* jp = d.four ? &jogs[static_cast<std::size_t>(e)] : nullptr;
+      if (vertical_side(ep.src_side)) {
+        lo = refined ? x2key_cell(vcol[static_cast<std::size_t>(ep.src)],
+                                  d.src_off[static_cast<std::size_t>(e)])
+                     : xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
+                                 d.src_off[static_cast<std::size_t>(e)]);
+      } else {
+        lo = refined ? x2key_track(jp->src_vchan, jp->src_vtrack)
+                     : xkey_chan(jp->src_vchan);
+      }
+      hi = refined ? x2key_track(ep.v_chan, ep.v_track) : xkey_chan(ep.v_chan);
+    }
+    if (lo > hi) std::swap(lo, hi);
+    hreqs.push_back({static_cast<std::int64_t>(ep.h_chan) * kMaxLayer + ep.h_layer, lo, hi,
+                     static_cast<std::int32_t>(e), false});
+    // Destination jog (L edges attached top/bottom).
+    if (ep.cls == EdgeClass::kL && vertical_side(ep.dst_side)) {
+      std::int64_t jlo = refined ? x2key_track(ep.v_chan, ep.v_track) : xkey_chan(ep.v_chan);
+      std::int64_t jhi = refined ? x2key_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                                              d.dst_off[static_cast<std::size_t>(e)])
+                                 : xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
+                                             d.dst_off[static_cast<std::size_t>(e)]);
+      if (jlo > jhi) std::swap(jlo, jhi);
+      hreqs.push_back(
+          {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].dst_hchan) * kMaxLayer +
+               ep.h_layer,
+           jlo, jhi, static_cast<std::int32_t>(e), true});
+    }
+  }
+  pack_groups(hreqs, kMaxLayer, d.h_chan_tracks,
+              [&](std::int32_t e, bool is_jog, std::int32_t track) {
+                if (is_jog)
+                  jogs[static_cast<std::size_t>(e)].dst_htrack = track;
+                else
+                  plan[static_cast<std::size_t>(e)].h_track = track;
+              });
+}
+
+/// Vertical track packing (V channels: main runs + source jogs).
+///
+/// Refined y-keys (\p refined — the construction default): each horizontal
+/// channel contributes one key per assigned h track, so turn endpoints
+/// carry their true relative y order.  Valid only while the h tracks the
+/// keys were derived from stay the final ones.
+///
+/// Coarse y-keys: each horizontal channel collapses to a single key, so any
+/// two runs turning in the same channel conflict and can never share a
+/// track — conservative for *any* later h track assignment (the mirror of
+/// pack_h_tracks' coarse mode, used by the compactor's transposed corner).
+void pack_v_tracks(RoutePlanData& d, bool refined) {
+  const Coord w = d.w;
+  const std::vector<std::int32_t>& vrow = d.vrow;
+  std::vector<EdgePlan>& plan = d.plan;
+  std::vector<JogPlan>& jogs = d.jogs;
+
+  std::int32_t max_h_tracks = 0;
+  for (std::int32_t t : d.h_chan_tracks) max_h_tracks = std::max(max_h_tracks, t);
+  const std::int64_t y2_width = w + max_h_tracks;
+  auto y2key_cell = [&](std::int32_t r, Coord off) {
+    return static_cast<std::int64_t>(r) * y2_width + max_h_tracks + off;
+  };
+  auto y2key_track = [&](std::int32_t chan, std::int32_t track) {
+    return static_cast<std::int64_t>(chan) * y2_width + track;
+  };
+
+  // Coarse key space: channel j at j * (w + 1), cells offset by 1.
+  const std::int64_t ykey_width = w + 1;
+  auto ykey_cell = [&](std::int32_t r, Coord off) {
+    return static_cast<std::int64_t>(r) * ykey_width + 1 + off;
+  };
+  auto ykey_chan = [&](std::int32_t j) { return static_cast<std::int64_t>(j) * ykey_width; };
+
+  d.v_chan_tracks.assign(static_cast<std::size_t>(d.VC), 0);
+  std::vector<KeyedReq> vreqs;
+  for (std::int64_t e = 0; e < d.E; ++e) {
+    const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
+    if (ep.cls == EdgeClass::kRow) continue;
+    std::int64_t lo, hi;
+    if (ep.cls == EdgeClass::kCol) {
+      lo = refined ? y2key_cell(vrow[static_cast<std::size_t>(ep.src)],
+                                d.src_off[static_cast<std::size_t>(e)])
+                   : ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
+                               d.src_off[static_cast<std::size_t>(e)]);
+      hi = refined ? y2key_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                                d.dst_off[static_cast<std::size_t>(e)])
+                   : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                               d.dst_off[static_cast<std::size_t>(e)]);
+    } else {
+      lo = refined ? y2key_track(ep.h_chan, ep.h_track) : ykey_chan(ep.h_chan);
+      hi = vertical_side(ep.dst_side)
+               ? (refined ? y2key_track(jogs[static_cast<std::size_t>(e)].dst_hchan,
+                                        jogs[static_cast<std::size_t>(e)].dst_htrack)
+                          : ykey_chan(jogs[static_cast<std::size_t>(e)].dst_hchan))
+               : (refined ? y2key_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                                       d.dst_off[static_cast<std::size_t>(e)])
+                          : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
+                                      d.dst_off[static_cast<std::size_t>(e)]));
+    }
+    if (lo > hi) std::swap(lo, hi);
+    vreqs.push_back({static_cast<std::int64_t>(ep.v_chan) * kMaxLayer + ep.v_layer, lo, hi,
+                     static_cast<std::int32_t>(e), false});
+    // Source jog (L edges attached right/left).
+    if (ep.cls == EdgeClass::kL && !vertical_side(ep.src_side)) {
+      std::int64_t jlo = refined ? y2key_cell(vrow[static_cast<std::size_t>(ep.src)],
+                                              d.src_off[static_cast<std::size_t>(e)])
+                                 : ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
+                                             d.src_off[static_cast<std::size_t>(e)]);
+      std::int64_t jhi = refined ? y2key_track(ep.h_chan, ep.h_track) : ykey_chan(ep.h_chan);
+      if (jlo > jhi) std::swap(jlo, jhi);
+      vreqs.push_back(
+          {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].src_vchan) * kMaxLayer +
+               ep.v_layer,
+           jlo, jhi, static_cast<std::int32_t>(e), true});
+    }
+  }
+  pack_groups(vreqs, kMaxLayer, d.v_chan_tracks,
+              [&](std::int32_t e, bool is_jog, std::int32_t track) {
+                if (is_jog)
+                  jogs[static_cast<std::size_t>(e)].src_vtrack = track;
+                else
+                  plan[static_cast<std::size_t>(e)].v_track = track;
+              });
+}
+
+std::int64_t grid_extent_area(const RoutePlanData& d) {
+  std::int64_t width = static_cast<std::int64_t>(d.C) * d.w;
+  for (std::int32_t t : d.v_chan_tracks) width += t;
+  std::int64_t height = static_cast<std::int64_t>(d.R) * d.w;
+  for (std::int32_t t : d.h_chan_tracks) height += t;
+  return width * height;
+}
+
+// The mutable slice of a plan that a repack round rewrites: per-request
+// track assignments plus per-channel track counts.  Snapshots let the
+// compactor keep the best round and restore it losslessly.
+struct TrackSnapshot {
+  std::vector<std::int32_t> h_track, v_track, src_vtrack, dst_htrack;
+  std::vector<std::int32_t> h_chan_tracks, v_chan_tracks;
+
+  static TrackSnapshot capture(const RoutePlanData& d) {
+    TrackSnapshot s;
+    s.h_track.resize(static_cast<std::size_t>(d.E));
+    s.v_track.resize(static_cast<std::size_t>(d.E));
+    for (std::int64_t e = 0; e < d.E; ++e) {
+      s.h_track[static_cast<std::size_t>(e)] = d.plan[static_cast<std::size_t>(e)].h_track;
+      s.v_track[static_cast<std::size_t>(e)] = d.plan[static_cast<std::size_t>(e)].v_track;
+    }
+    if (d.four) {
+      s.src_vtrack.resize(static_cast<std::size_t>(d.E));
+      s.dst_htrack.resize(static_cast<std::size_t>(d.E));
+      for (std::int64_t e = 0; e < d.E; ++e) {
+        s.src_vtrack[static_cast<std::size_t>(e)] = d.jogs[static_cast<std::size_t>(e)].src_vtrack;
+        s.dst_htrack[static_cast<std::size_t>(e)] = d.jogs[static_cast<std::size_t>(e)].dst_htrack;
+      }
+    }
+    s.h_chan_tracks = d.h_chan_tracks;
+    s.v_chan_tracks = d.v_chan_tracks;
+    return s;
+  }
+
+  void restore(RoutePlanData& d) const {
+    for (std::int64_t e = 0; e < d.E; ++e) {
+      d.plan[static_cast<std::size_t>(e)].h_track = h_track[static_cast<std::size_t>(e)];
+      d.plan[static_cast<std::size_t>(e)].v_track = v_track[static_cast<std::size_t>(e)];
+    }
+    if (d.four) {
+      for (std::int64_t e = 0; e < d.E; ++e) {
+        d.jogs[static_cast<std::size_t>(e)].src_vtrack = src_vtrack[static_cast<std::size_t>(e)];
+        d.jogs[static_cast<std::size_t>(e)].dst_htrack = dst_htrack[static_cast<std::size_t>(e)];
+      }
+    }
+    d.h_chan_tracks = h_chan_tracks;
+    d.v_chan_tracks = v_chan_tracks;
+  }
+
+  bool operator==(const TrackSnapshot& o) const {
+    return h_track == o.h_track && v_track == o.v_track && src_vtrack == o.src_vtrack &&
+           dst_htrack == o.dst_htrack && h_chan_tracks == o.h_chan_tracks &&
+           v_chan_tracks == o.v_chan_tracks;
+  }
+};
+
 }  // namespace
+
+RoutePlan::RoutePlan() = default;
+RoutePlan::RoutePlan(RoutePlan&&) noexcept = default;
+RoutePlan& RoutePlan::operator=(RoutePlan&&) noexcept = default;
+RoutePlan::~RoutePlan() = default;
 
 bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
   STARLAY_REQUIRE(row_u != row_v, "parity_source_is_first: rows must differ");
@@ -137,10 +414,8 @@ bool parity_source_is_first(std::int32_t row_u, std::int32_t row_v) {
   return (row_u / k) % 2 == 0;
 }
 
-RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
-                             const RouteSpec& spec, const RouterOptions& opt,
-                             WireSink& sink) {
-  tel::ScopedPhase routing_phase("routing");
+RoutePlan plan_route(const topology::Graph& g, const Placement& p,
+                     const RouteSpec& spec, const RouterOptions& opt) {
   p.check(g.num_vertices());
   const std::int64_t E = g.num_edges();
   tel::count("route.edges", E);
@@ -153,30 +428,42 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
     STARLAY_REQUIRE(static_cast<std::int64_t>(spec.layers.size()) == E,
                     "route_grid: layers size mismatch");
 
-  const std::int32_t V = g.num_vertices();
-  const std::int32_t R = p.rows;
-  const std::int32_t C = p.cols;
-  const bool four = opt.four_sided;
+  RoutePlan rp;
+  rp.d = std::make_unique<RoutePlanData>();
+  RoutePlanData& d = *rp.d;
+  d.V = g.num_vertices();
+  d.R = p.rows;
+  d.C = p.cols;
+  d.E = E;
+  d.four = opt.four_sided;
   // Channel k sits below row k / left of column k; channels R and C close
   // the top/right side.  Two-sided mode only uses channels 1..R / 1..C.
-  const std::int32_t HC = R + 1;
-  const std::int32_t VC = C + 1;
+  d.HC = d.R + 1;
+  d.VC = d.C + 1;
+  const std::int32_t V = d.V;
+  const bool four = d.four;
 
-  std::vector<std::int32_t> vrow(static_cast<std::size_t>(V)), vcol(static_cast<std::size_t>(V));
+  d.vrow.resize(static_cast<std::size_t>(V));
+  d.vcol.resize(static_cast<std::size_t>(V));
+  std::vector<std::int32_t>& vrow = d.vrow;
+  std::vector<std::int32_t>& vcol = d.vcol;
   for (std::int32_t v = 0; v < V; ++v) {
     vrow[static_cast<std::size_t>(v)] = p.row_of(v);
     vcol[static_cast<std::size_t>(v)] = p.col_of(v);
   }
 
   // Sequential pipeline sections share one span slot: emplace ends the
-  // previous section's span and opens the next (all children of "routing").
+  // previous section's span and opens the next (all children of the
+  // caller's "routing" span).
   std::optional<tel::ScopedPhase> section;
 
   // ---- Classify edges and pick L orientations -------------------------------
   // Per-edge independent: each iteration writes only plan[e].
   section.emplace("classify");
-  std::vector<EdgePlan> plan(static_cast<std::size_t>(E));
-  std::vector<JogPlan> jogs(four ? static_cast<std::size_t>(E) : 0);
+  d.plan.resize(static_cast<std::size_t>(E));
+  d.jogs.resize(four ? static_cast<std::size_t>(E) : 0);
+  std::vector<EdgePlan>& plan = d.plan;
+  std::vector<JogPlan>& jogs = d.jogs;
   support::parallel_for(0, E, kEdgeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
   for (std::int64_t e = lo; e < hi; ++e) {
     const auto& ed = g.edge(e);
@@ -371,8 +658,12 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   STARLAY_REQUIRE(w >= w_needed,
                   "route_grid: node_size too small for stub demand; "
                   "increase RouterOptions::node_size");
+  d.w = w;
   // In-cell stub offsets fit 32 bits (bounded by 2 * degree + 1).
-  std::vector<std::int32_t> src_off(static_cast<std::size_t>(E)), dst_off(static_cast<std::size_t>(E));
+  d.src_off.resize(static_cast<std::size_t>(E));
+  d.dst_off.resize(static_cast<std::size_t>(E));
+  std::vector<std::int32_t>& src_off = d.src_off;
+  std::vector<std::int32_t>& dst_off = d.dst_off;
   support::parallel_for(0, V, kNodeGrain, [&](std::int64_t lo, std::int64_t hi, std::int64_t) {
     for (std::int64_t v = lo; v < hi; ++v) {
       for (int side = 0; side < 4; ++side) {
@@ -393,115 +684,112 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   free_vector(slot_start);
 
   // ---- Horizontal packing (H channels: main runs + destination jogs) ---------
-  // Fine x-keys, interleaved: [v-chan 0][col 0][v-chan 1][col 1]...[v-chan C].
-  const std::int64_t xkey_width = w + 1;
-  auto xkey_cell = [&](std::int32_t c, Coord off) {
-    return static_cast<std::int64_t>(c) * xkey_width + 1 + off;
-  };
-  auto xkey_chan = [&](std::int32_t k) { return static_cast<std::int64_t>(k) * xkey_width; };
-
-  constexpr std::int64_t kMaxLayer = 64;
   section.emplace("h_pack");
-  std::vector<std::int32_t> h_chan_tracks(static_cast<std::size_t>(HC), 0);
-  {
-    std::vector<KeyedReq> hreqs;  // key = chan * kMaxLayer + layer
-    for (std::int64_t e = 0; e < E; ++e) {
-      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-      STARLAY_REQUIRE(ep.h_layer < kMaxLayer, "route_grid: layer index too large");
-      if (ep.cls == EdgeClass::kCol) continue;
-      // Main H run.
-      std::int64_t lo, hi;
-      if (ep.cls == EdgeClass::kRow) {
-        lo = xkey_cell(vcol[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
-        hi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
-      } else {
-        lo = vertical_side(ep.src_side)
-                 ? xkey_cell(vcol[static_cast<std::size_t>(ep.src)],
-                             src_off[static_cast<std::size_t>(e)])
-                 : xkey_chan(jogs[static_cast<std::size_t>(e)].src_vchan);
-        hi = xkey_chan(ep.v_chan);
-      }
-      if (lo > hi) std::swap(lo, hi);
-      hreqs.push_back({static_cast<std::int64_t>(ep.h_chan) * kMaxLayer + ep.h_layer, lo, hi,
-                       static_cast<std::int32_t>(e), false});
-      // Destination jog (L edges attached top/bottom).
-      if (ep.cls == EdgeClass::kL && vertical_side(ep.dst_side)) {
-        std::int64_t jlo = xkey_chan(ep.v_chan);
-        std::int64_t jhi = xkey_cell(vcol[static_cast<std::size_t>(ep.dst)],
-                                     dst_off[static_cast<std::size_t>(e)]);
-        if (jlo > jhi) std::swap(jlo, jhi);
-        hreqs.push_back(
-            {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].dst_hchan) * kMaxLayer +
-                 ep.h_layer,
-             jlo, jhi, static_cast<std::int32_t>(e), true});
-      }
-    }
-    pack_groups(hreqs, kMaxLayer, h_chan_tracks,
-                [&](std::int32_t e, bool is_jog, std::int32_t track) {
-                  if (is_jog)
-                    jogs[static_cast<std::size_t>(e)].dst_htrack = track;
-                  else
-                    plan[static_cast<std::size_t>(e)].h_track = track;
-                });
-  }
+  pack_h_tracks(d, /*refined=*/false);
 
   // ---- Vertical packing (V channels: main runs + source jogs) -----------------
   section.emplace("v_pack");
-  std::int32_t max_h_tracks = 0;
-  for (std::int32_t t : h_chan_tracks) max_h_tracks = std::max(max_h_tracks, t);
-  const std::int64_t ykey_width = w + max_h_tracks;
-  auto ykey_cell = [&](std::int32_t r, Coord off) {
-    return static_cast<std::int64_t>(r) * ykey_width + max_h_tracks + off;
-  };
-  auto ykey_track = [&](std::int32_t chan, std::int32_t track) {
-    return static_cast<std::int64_t>(chan) * ykey_width + track;
-  };
+  pack_v_tracks(d, /*refined=*/true);
 
-  std::vector<std::int32_t> v_chan_tracks(static_cast<std::size_t>(VC), 0);
-  {
-    std::vector<KeyedReq> vreqs;
-    for (std::int64_t e = 0; e < E; ++e) {
-      const EdgePlan& ep = plan[static_cast<std::size_t>(e)];
-      if (ep.cls == EdgeClass::kRow) continue;
-      std::int64_t lo, hi;
-      if (ep.cls == EdgeClass::kCol) {
-        lo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)], src_off[static_cast<std::size_t>(e)]);
-        hi = ykey_cell(vrow[static_cast<std::size_t>(ep.dst)], dst_off[static_cast<std::size_t>(e)]);
-      } else {
-        lo = ykey_track(ep.h_chan, ep.h_track);
-        hi = vertical_side(ep.dst_side)
-                 ? ykey_track(jogs[static_cast<std::size_t>(e)].dst_hchan,
-                              jogs[static_cast<std::size_t>(e)].dst_htrack)
-                 : ykey_cell(vrow[static_cast<std::size_t>(ep.dst)],
-                             dst_off[static_cast<std::size_t>(e)]);
-      }
-      if (lo > hi) std::swap(lo, hi);
-      vreqs.push_back({static_cast<std::int64_t>(ep.v_chan) * kMaxLayer + ep.v_layer, lo, hi,
-                       static_cast<std::int32_t>(e), false});
-      // Source jog (L edges attached right/left).
-      if (ep.cls == EdgeClass::kL && !vertical_side(ep.src_side)) {
-        std::int64_t jlo = ykey_cell(vrow[static_cast<std::size_t>(ep.src)],
-                                     src_off[static_cast<std::size_t>(e)]);
-        std::int64_t jhi = ykey_track(ep.h_chan, ep.h_track);
-        if (jlo > jhi) std::swap(jlo, jhi);
-        vreqs.push_back(
-            {static_cast<std::int64_t>(jogs[static_cast<std::size_t>(e)].src_vchan) * kMaxLayer +
-                 ep.v_layer,
-             jlo, jhi, static_cast<std::int32_t>(e), true});
-      }
+  section.reset();
+  return rp;
+}
+
+CompactionStats compact_route(RoutePlan& rp, const CompactionOptions& opt) {
+  STARLAY_REQUIRE(!rp.empty(), "compact_route: empty plan");
+  tel::ScopedPhase phase("compact");
+  RoutePlanData& d = *rp.d;
+
+  CompactionStats st;
+  // A packed state is *emit-safe* only when each orientation's intervals
+  // were keyed by exactly the opposite orientation's final tracks (refined
+  // keys) or by keys conservative for any assignment (coarse keys): the
+  // emitted turn coordinate is chan_x0[chan] + track, so re-packing one
+  // orientation invalidates refined intervals previously computed against
+  // it.  Three kinds of candidates qualify:
+  //
+  //   round 0 — the construction corner: h coarse, v refined against the
+  //             final h tracks (what plan_route emitted historically);
+  //   round 1 — the transposed corner: v coarse, h refined against the
+  //             final v tracks;
+  //   rounds 2+ — alternate refined repacks; a state is a candidate only
+  //             at a mutual fixed point (re-packing changes nothing, so
+  //             each side's keys used the other's final tracks).
+  //
+  // Every pack recomputes from the plan's structure alone — incoming track
+  // state matters only through the documented key inputs — so the whole
+  // procedure is a pure function of the plan and bit-exactly idempotent.
+  pack_h_tracks(d, /*refined=*/false);
+  pack_v_tracks(d, /*refined=*/true);
+  TrackSnapshot best = TrackSnapshot::capture(d);
+  std::int64_t best_area = grid_extent_area(d);
+  st.area_before = best_area;
+  st.best_round = 0;
+
+  if (opt.max_rounds >= 1) {
+    pack_v_tracks(d, /*refined=*/false);
+    pack_h_tracks(d, /*refined=*/true);
+    st.rounds = 1;
+    const std::int64_t area = grid_extent_area(d);
+    if (area < best_area) {
+      best_area = area;
+      best = TrackSnapshot::capture(d);
+      st.best_round = 1;
     }
-    pack_groups(vreqs, kMaxLayer, v_chan_tracks,
-                [&](std::int32_t e, bool is_jog, std::int32_t track) {
-                  if (is_jog)
-                    jogs[static_cast<std::size_t>(e)].src_vtrack = track;
-                  else
-                    plan[static_cast<std::size_t>(e)].v_track = track;
-                });
   }
+
+  TrackSnapshot prev = TrackSnapshot::capture(d);
+  for (int round = 2; round <= opt.max_rounds; ++round) {
+    pack_v_tracks(d, /*refined=*/true);
+    pack_h_tracks(d, /*refined=*/true);
+    st.rounds = round;
+    TrackSnapshot cur = TrackSnapshot::capture(d);
+    const bool fixed_point = cur == prev;
+    prev = std::move(cur);
+    if (!fixed_point) continue;
+    const std::int64_t area = grid_extent_area(d);
+    if (area < best_area) {
+      best_area = area;
+      best = std::move(prev);
+      st.best_round = round;
+    }
+    break;  // further rounds repeat the fixed point
+  }
+
+  best.restore(d);
+  st.area_after = best_area;
+  tel::count("compact.area_saved", st.area_before - st.area_after);
+  return st;
+}
+
+std::int64_t planned_area(const RoutePlan& rp) {
+  STARLAY_REQUIRE(!rp.empty(), "planned_area: empty plan");
+  return grid_extent_area(*rp.d);
+}
+
+RouteStats emit_route(const RoutePlan& rp, const topology::Graph& g, WireSink& sink) {
+  STARLAY_REQUIRE(!rp.empty(), "emit_route: empty plan");
+  const RoutePlanData& d = *rp.d;
+  const std::int32_t V = d.V;
+  const std::int32_t R = d.R;
+  const std::int32_t C = d.C;
+  const std::int64_t E = d.E;
+  const Coord w = d.w;
+  const bool four = d.four;
+  const std::vector<std::int32_t>& vrow = d.vrow;
+  const std::vector<std::int32_t>& vcol = d.vcol;
+  const std::vector<EdgePlan>& plan = d.plan;
+  const std::vector<JogPlan>& jogs = d.jogs;
+  const std::vector<std::int32_t>& src_off = d.src_off;
+  const std::vector<std::int32_t>& dst_off = d.dst_off;
+  const std::vector<std::int32_t>& h_chan_tracks = d.h_chan_tracks;
+  const std::vector<std::int32_t>& v_chan_tracks = d.v_chan_tracks;
+
+  std::optional<tel::ScopedPhase> section;
 
   // ---- Geometry -----------------------------------------------------------------
   section.emplace("geometry");
-  std::vector<Coord> chan_x0(static_cast<std::size_t>(VC)), col_x0(static_cast<std::size_t>(C));
+  std::vector<Coord> chan_x0(static_cast<std::size_t>(d.VC)), col_x0(static_cast<std::size_t>(C));
   {
     Coord pos = 0;
     for (std::int32_t k = 0; k <= C; ++k) {
@@ -513,7 +801,7 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
       }
     }
   }
-  std::vector<Coord> chan_y0(static_cast<std::size_t>(HC)), row_y0(static_cast<std::size_t>(R));
+  std::vector<Coord> chan_y0(static_cast<std::size_t>(d.HC)), row_y0(static_cast<std::size_t>(R));
   {
     Coord pos = 0;
     for (std::int32_t k = 0; k <= R; ++k) {
@@ -621,6 +909,14 @@ RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
   sink.end();
   section.reset();
   return stats;
+}
+
+RouteStats route_grid_stream(const topology::Graph& g, const Placement& p,
+                             const RouteSpec& spec, const RouterOptions& opt,
+                             WireSink& sink) {
+  tel::ScopedPhase routing_phase("routing");
+  RoutePlan rp = plan_route(g, p, spec, opt);
+  return emit_route(rp, g, sink);
 }
 
 RoutedLayout route_grid(const topology::Graph& g, const Placement& p,

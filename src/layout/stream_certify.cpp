@@ -228,6 +228,8 @@ void StreamingCertifier::process(std::int64_t count, std::int64_t grain,
   rep_.bounding_box = bb;
   rep_.area = bb.area();
   rep.num_layers = rep_.num_layers;
+  rep.total_wire_length = rep_.total_wire_length;
+  rep.max_wire_length = rep_.max_wire_length;
   if (count == 0) {
     tel::count("stream.replays", rep_.num_replays);
     return;

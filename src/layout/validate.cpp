@@ -273,6 +273,8 @@ ValidationReport validate_layout(const topology::Graph& g, const Layout& lay,
   const SegmentIndex& sidx = *sidx_storage;
   rep.num_segments = sidx.size();
   rep.num_layers = lay.num_layers();
+  rep.total_wire_length = lay.total_wire_length();
+  rep.max_wire_length = lay.max_wire_length();
   const std::int32_t* sline = sidx.lines();
   const std::int32_t* slo = sidx.span_lo();
   const std::int32_t* shi = sidx.span_hi();

@@ -1,0 +1,277 @@
+// The pass pipeline's two contracts, pinned:
+//
+//  1. Identity — an empty pass list routes bit-identically to the
+//     historical monolithic path.  The golden FNV-1a fingerprints below
+//     are the same constants wire_store_test.cpp pins for the materialized
+//     builds; reproducing them through the *_stream_passes entries proves
+//     the pipeline rewiring changed nothing it wasn't asked to change.
+//  2. Monotone optimization — every nameable pass combination certifies
+//     clean and never grows the emitted area: compaction keeps the best of
+//     emit-safe candidate packings, and the refine guard falls back to the
+//     unrefined placement unless routing the refined one strictly helps.
+//
+// Plus the surface around them: compact_route is idempotent on its own
+// fixed point, parse_pass_list rejects unknown names with a nearest-name
+// suggestion, and families outside the star machinery refuse pass lists
+// with kUnknownParam rather than silently ignoring them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "starlay/core/builder.hpp"
+#include "starlay/core/pass.hpp"
+#include "starlay/core/star_layout.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/stream_certify.hpp"
+#include "starlay/layout/wire_sink.hpp"
+#include "starlay/support/thread_pool.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+namespace {
+
+std::uint64_t fnv(std::uint64_t h, std::int64_t v) {
+  h ^= static_cast<std::uint64_t>(v);
+  h *= 1099511628211ull;
+  return h;
+}
+
+/// Same observable-quantity fingerprint wire_store_test.cpp pins its
+/// goldens with (wires, segments, bounding box, derived lengths).
+std::uint64_t layout_fingerprint(const layout::Layout& lay) {
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv(h, lay.num_wires());
+  for (const layout::WireRef w : lay.wires()) {
+    h = fnv(h, w.edge());
+    h = fnv(h, w.h_layer());
+    h = fnv(h, w.v_layer());
+    h = fnv(h, w.npts());
+    for (int i = 0; i < w.npts(); ++i) {
+      h = fnv(h, w.pt(i).x);
+      h = fnv(h, w.pt(i).y);
+    }
+  }
+  for (const layout::LayerSegment& s : lay.segments()) {
+    h = fnv(h, s.layer);
+    h = fnv(h, s.horizontal ? 1 : 0);
+    h = fnv(h, s.line);
+    h = fnv(h, s.span.lo);
+    h = fnv(h, s.span.hi);
+    h = fnv(h, s.wire);
+  }
+  const layout::Rect& bb = lay.bounding_box();
+  h = fnv(h, bb.x0);
+  h = fnv(h, bb.y0);
+  h = fnv(h, bb.x1);
+  h = fnv(h, bb.y1);
+  h = fnv(h, lay.num_layers());
+  h = fnv(h, lay.total_wire_length());
+  h = fnv(h, lay.max_wire_length());
+  return h;
+}
+
+// ---- 1. Identity: empty pass list reproduces the pinned goldens ----------
+
+TEST(PassPipelineIdentity, StarMachineryReproducesGoldens) {
+  const PassList identity;
+  {
+    layout::MaterializingSink sink;
+    star_layout_stream_passes(6, identity, sink);
+    EXPECT_EQ(layout_fingerprint(sink.take_layout()), 10461399955388810600ull);
+  }
+  {
+    layout::MaterializingSink sink;
+    star_layout_compact_stream_passes(5, identity, sink);
+    EXPECT_EQ(layout_fingerprint(sink.take_layout()), 8595571350256437763ull);
+  }
+  {
+    layout::MaterializingSink sink;
+    transposition_layout_stream_passes(4, identity, sink);
+    EXPECT_EQ(layout_fingerprint(sink.take_layout()), 3861059960937322183ull);
+  }
+}
+
+TEST(PassPipelineIdentity, NonPipelineFamiliesReproduceGoldens) {
+  // hcn/hfn do not thread passes; try_build_stream_passes with an empty
+  // list must still fall through to the plain streaming build.
+  const struct {
+    const char* family;
+    std::uint64_t golden;
+  } cases[] = {{"hcn", 16386271916943833031ull}, {"hfn", 12231418494752869806ull}};
+  for (const auto& c : cases) {
+    const LayoutBuilder* builder = find_builder(c.family);
+    ASSERT_NE(builder, nullptr) << c.family;
+    BuildParams params;
+    params.n = 2;
+    layout::MaterializingSink sink;
+    const auto out = builder->try_build_stream_passes(params, PassList{}, sink);
+    ASSERT_TRUE(out.ok()) << c.family;
+    EXPECT_EQ(layout_fingerprint(sink.take_layout()), c.golden) << c.family;
+  }
+}
+
+// ---- 2. Monotone optimization: clean verdicts, area never grows ----------
+
+std::vector<PassList> optimization_combos() {
+  return {{/*refine=*/false, /*compact=*/true},
+          {/*refine=*/true, /*compact=*/false},
+          {/*refine=*/true, /*compact=*/true}};
+}
+
+/// Streams (family, n) through a StreamingCertifier with \p passes and
+/// returns the certified report.
+layout::StreamReport certify(const char* family, int n, const PassList& passes) {
+  const LayoutBuilder* builder = find_builder(family);
+  EXPECT_NE(builder, nullptr) << family;
+  BuildParams params;
+  params.n = n;
+  layout::StreamingCertifier cert;
+  const auto out = builder->try_build_stream_passes(params, passes, cert);
+  EXPECT_TRUE(out.ok()) << family << " n=" << n << ": "
+                        << (out.ok() ? "" : out.error().message);
+  return cert.report();
+}
+
+TEST(PassPipelineOptimized, EveryComboCertifiesCleanAndNeverGrows) {
+  const struct {
+    const char* family;
+    int n;
+  } cases[] = {{"star", 6}, {"star-compact", 5}, {"pancake", 5},
+               {"bubble-sort", 5}, {"transposition", 4}};
+  for (const auto& c : cases) {
+    const layout::StreamReport base = certify(c.family, c.n, PassList{});
+    ASSERT_TRUE(base.validation.ok) << c.family;
+    for (const PassList& passes : optimization_combos()) {
+      const layout::StreamReport opt = certify(c.family, c.n, passes);
+      EXPECT_TRUE(opt.validation.ok)
+          << c.family << " refine=" << passes.refine << " compact=" << passes.compact
+          << ": " << opt.validation.summary();
+      EXPECT_LE(opt.area, base.area)
+          << c.family << " refine=" << passes.refine << " compact=" << passes.compact;
+    }
+  }
+}
+
+TEST(PassPipelineOptimized, FullPipelineStrictlyShrinksStar) {
+  const layout::StreamReport base = certify("star", 6, PassList{});
+  const layout::StreamReport opt =
+      certify("star", 6, PassList{/*refine=*/true, /*compact=*/true});
+  ASSERT_TRUE(opt.validation.ok) << opt.validation.summary();
+  EXPECT_LT(opt.area, base.area);
+  EXPECT_LE(opt.total_wire_length, base.total_wire_length);
+}
+
+TEST(PassPipelineOptimized, DeterministicAcrossThreadCounts) {
+  const int saved = support::ThreadPool::instance().num_threads();
+  const PassList both{/*refine=*/true, /*compact=*/true};
+  std::uint64_t first_digest = 0;
+  for (const int t : {1, 2, 4}) {
+    support::ThreadPool::instance().set_num_threads(t);
+    layout::FingerprintingSink sink;
+    star_layout_stream_passes(5, both, sink);
+    if (t == 1)
+      first_digest = sink.fingerprint();
+    else
+      EXPECT_EQ(sink.fingerprint(), first_digest) << "threads=" << t;
+  }
+  support::ThreadPool::instance().set_num_threads(saved);
+}
+
+// ---- 3. Compaction idempotence: compact . compact == compact -------------
+
+std::uint64_t plan_digest(const layout::RoutePlan& plan, const topology::Graph& g) {
+  layout::FingerprintingSink sink;
+  layout::emit_route(plan, g, sink);
+  return sink.fingerprint();
+}
+
+TEST(PassPipelineCompaction, CompactIsIdempotent) {
+  topology::Graph g = topology::star_graph(5);
+  const layout::Placement p = layout::row_major_placement(g.num_vertices());
+  layout::RoutePlan plan = layout::plan_route(g, p, {});
+  const layout::CompactionStats first = layout::compact_route(plan);
+  EXPECT_LE(first.area_after, first.area_before);
+  const std::uint64_t once = plan_digest(plan, g);
+
+  const layout::CompactionStats second = layout::compact_route(plan);
+  EXPECT_EQ(second.area_after, first.area_after);
+  EXPECT_EQ(plan_digest(plan, g), once);
+}
+
+TEST(PassPipelineCompaction, CompactIsIdempotentOnCompleteGraph) {
+  topology::Graph g = topology::complete_graph(8);
+  const layout::Placement p = layout::grid_placement(8, 2, 4);
+  layout::RoutePlan plan = layout::plan_route(g, p, {});
+  layout::compact_route(plan);
+  const std::uint64_t once = plan_digest(plan, g);
+  layout::compact_route(plan);
+  EXPECT_EQ(plan_digest(plan, g), once);
+}
+
+// ---- 4. Pass-list parsing and family gating ------------------------------
+
+TEST(PassListParse, AcceptsKnownNamesAndNormalizes) {
+  const auto both = parse_pass_list(" Compact ,Refine");
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both.value().compact);
+  EXPECT_TRUE(both.value().refine);
+
+  const auto tolerant = parse_pass_list(",compact,,");
+  ASSERT_TRUE(tolerant.ok());
+  EXPECT_TRUE(tolerant.value().compact);
+  EXPECT_FALSE(tolerant.value().refine);
+
+  const auto empty = parse_pass_list("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(PassListParse, UnknownNameSuggestsNearest) {
+  const auto typo = parse_pass_list("compcat");
+  ASSERT_FALSE(typo.ok());
+  EXPECT_EQ(typo.error().code, BuildErrorCode::kUnknownParam);
+  EXPECT_EQ(typo.error().suggestion, "compact");
+  EXPECT_NE(typo.error().message.find("did you mean 'compact'"), std::string::npos);
+
+  const auto refin = parse_pass_list("refine,refien");
+  ASSERT_FALSE(refin.ok());
+  EXPECT_EQ(refin.error().suggestion, "refine");
+}
+
+TEST(PassListParse, RegistryExposesBothPasses) {
+  ASSERT_NE(find_pass("compact"), nullptr);
+  ASSERT_NE(find_pass("refine"), nullptr);
+  EXPECT_EQ(find_pass("route"), nullptr);  // structural stages are not nameable
+  EXPECT_EQ(all_passes().size(), 2u);
+}
+
+TEST(PassPipelineGating, NonSupportingFamilyRejectsPasses) {
+  const LayoutBuilder* builder = find_builder("hcn");
+  ASSERT_NE(builder, nullptr);
+  EXPECT_FALSE(builder->supports_passes());
+  BuildParams params;
+  params.n = 2;
+  layout::FingerprintingSink sink;
+  const auto out =
+      builder->try_build_stream_passes(params, PassList{/*refine=*/false, /*compact=*/true}, sink);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, BuildErrorCode::kUnknownParam);
+  EXPECT_NE(out.error().message.find("--passes"), std::string::npos);
+}
+
+TEST(PassPipelineGating, StarMachinerySupportsPasses) {
+  for (const char* family : {"star", "star-compact", "pancake", "bubble-sort",
+                             "transposition"}) {
+    const LayoutBuilder* builder = find_builder(family);
+    ASSERT_NE(builder, nullptr) << family;
+    EXPECT_TRUE(builder->supports_passes()) << family;
+  }
+}
+
+}  // namespace
+}  // namespace starlay::core

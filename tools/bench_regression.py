@@ -28,9 +28,23 @@ the run is invalid, or when the fingerprint cross-check fails.  This is
 DESIGN.md's bounded-RSS promise for core/star_shard.hpp: the working set
 is the band, not n!.
 
+A fourth mode gates the optimization passes' payoff:
+
+    bench_regression.py --area-improvement <bench-binary> [baseline-json]
+
+runs one bench sweep capped at n <= AREA_GATE_N with the optimized pass
+pipeline enabled (the bench streams each size through --passes
+refine,compact into a certifier) and fails unless, at every gated size,
+the optimized layout certifies clean and its area is strictly below the
+unoptimized area at n >= AREA_GATE_STRICT_N (tiny sizes have nothing to
+compact away, so they only need area <= unoptimized).  The committed
+baseline's area_over_claim_compacted also must not drift up: layouts are
+deterministic, so any growth is a real optimization regression, not noise.
+
 Usage: bench_regression.py [--phase construct|validate] <bench-binary> [baseline-json]
        bench_regression.py --telemetry-overhead <bench-binary>
        bench_regression.py --shard-rss <bench_shard_certify-binary>
+       bench_regression.py --area-improvement <bench-binary> [baseline-json]
 Environment: STARLAY_THREADS is forced to the baseline's thread count so
 timings are compared like for like.
 
@@ -58,6 +72,9 @@ OVERHEAD_NOISE_FLOOR_MS = 10.0  # ... beyond scheduler jitter
 SHARD_GATE_N = 10  # 3.63M vertices, 16.3M edges: big enough to bind
 SHARD_RSS_CEILING_MB = 2048  # per-process peak RSS ceiling (workers too)
 SHARD_GATE_WORKERS = 2  # forked, so worker RSS is measured separately
+AREA_GATE_N = 8  # optimization-payoff sweep cap (40320 nodes, 141K wires)
+AREA_GATE_STRICT_N = 6  # sizes from here up must *strictly* improve
+AREA_DRIFT = 0.001  # deterministic areas: any real drift exceeds this
 
 
 def run_bench(binary, env):
@@ -83,6 +100,7 @@ def telemetry_overhead(binary):
     def sweep_ms(telemetry):
         env = dict(base_env)
         env["STARLAY_BENCH_TELEMETRY"] = "1" if telemetry else "0"
+        env["STARLAY_BENCH_PASSES"] = "0"  # timing sweep; skip the optimized run
         best = float("inf")
         for _ in range(RUNS):
             rows = run_bench(binary, env)
@@ -156,6 +174,58 @@ def shard_rss(binary):
     return 0
 
 
+def area_improvement(binary, baseline_path):
+    """Gates the optimized pass pipeline's area payoff against the baseline."""
+    env = dict(os.environ)
+    env["STARLAY_BENCH_MAX_N"] = str(AREA_GATE_N)
+    env["STARLAY_BENCH_TELEMETRY"] = "0"
+    env["STARLAY_BENCH_PASSES"] = "1"
+    # One run: layouts (and therefore areas) are deterministic, so best-of
+    # repetition buys nothing here.
+    rows = run_bench(binary, env)
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = {row["n"]: row for row in json.load(f)}
+
+    failures = []
+    for n, row in sorted(rows.items()):
+        if "area_compacted" not in row:
+            failures.append(f"n={n}: bench emitted no optimized-pipeline columns")
+            continue
+        area, opt = row["area"], row["area_compacted"]
+        saved_pct = 100.0 * (area - opt) / area if area > 0 else 0.0
+        verdict = "ok"
+        if not row["compact_valid"]:
+            verdict = "INVALID"
+            failures.append(f"n={n}: optimized layout failed certification")
+        elif n >= AREA_GATE_STRICT_N and opt >= area:
+            verdict = "NO GAIN"
+            failures.append(
+                f"n={n}: optimized area {opt:.0f} not strictly below "
+                f"unoptimized {area:.0f}")
+        elif opt > area:
+            verdict = "GREW"
+            failures.append(
+                f"n={n}: optimized area {opt:.0f} above unoptimized {area:.0f}")
+        ref = baseline.get(n, {}).get("area_over_claim_compacted")
+        if ref is not None and row["area_over_claim_compacted"] > ref * (1 + AREA_DRIFT):
+            verdict = "DRIFTED"
+            failures.append(
+                f"n={n}: area_over_claim_compacted "
+                f"{row['area_over_claim_compacted']:.4f} above baseline {ref:.4f}")
+        print(f"n={n}: area {area:12.0f}  optimized {opt:12.0f}  "
+              f"saved {saved_pct:5.2f}%  [{verdict}]")
+
+    gate = rows.get(AREA_GATE_N)
+    if gate is None:
+        failures.append(f"bench emitted no n={AREA_GATE_N} row")
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\nPASS: optimized pipeline certifies clean and strictly shrinks "
+          f"star areas at {AREA_GATE_STRICT_N} <= n <= {AREA_GATE_N}")
+    return 0
+
+
 def main():
     args = sys.argv[1:]
     phases = ("construct_ms", "validate_ms")
@@ -178,6 +248,17 @@ def main():
             print(__doc__)
             return 2
         return shard_rss(os.path.abspath(args[1]))
+    if args[0] == "--area-improvement":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        baseline_path = (
+            args[2]
+            if len(args) > 2
+            else os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                              "BENCH_star_area.json")
+        )
+        return area_improvement(os.path.abspath(args[1]), baseline_path)
     binary = os.path.abspath(args[0])
     baseline_path = (
         args[1]
@@ -196,6 +277,9 @@ def main():
     # The committed baseline predates the bench-table trace; compare with
     # tracing off (the overhead gate covers the traced path separately).
     env["STARLAY_BENCH_TELEMETRY"] = "0"
+    # Timing gate: the optimized-pipeline run is gated by --area-improvement
+    # on its own schedule, so skip it here to keep best-of sweeps lean.
+    env["STARLAY_BENCH_PASSES"] = "0"
     threads = next(iter(baseline.values())).get("threads")
     if threads:
         env["STARLAY_THREADS"] = str(threads)

@@ -28,8 +28,8 @@ if [ ${#SANITIZERS[@]} -eq 0 ]; then
 fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
-         shard_engine_test telemetry_test builder_api_test kernels_test
-         validate_test starcheck)
+         pass_pipeline_test shard_engine_test telemetry_test builder_api_test
+         kernels_test validate_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -55,6 +55,10 @@ for SAN in "${SANITIZERS[@]}"; do
   "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
   "$BUILD"/tests/telemetry_test
   "$BUILD"/tests/builder_api_test
+  # Pass pipeline: the refine guard's double-route and compaction's
+  # snapshot/restore cycles run the router's parallel stages twice per
+  # build — prime territory for both sweeps.
+  "$BUILD"/tests/pass_pipeline_test
   # Corpus replay: every pinned shape runs the full oracle + metamorphic
   # battery (thread sweep included), which exercises the builders, the
   # streaming certifier, and the pool under the sanitizer in one pass.
