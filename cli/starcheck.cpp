@@ -54,7 +54,9 @@ struct Args {
                "       starcheck --replay PATH      replay a corpus of case lines\n"
                "       starcheck --line \"family=F n=N [base=B layers=L mult=M threads=T]\"\n"
                "       starcheck --calibrate        print measured bounds per family\n"
-               "       starcheck --list             list families and registered bounds\n");
+               "       starcheck --list             list families and registered bounds\n"
+               "exit codes: 0 all cases passed, 1 failures found, 2 bad arguments,\n"
+               "4 I/O error (corpus file unreadable)\n");
   std::exit(code);
 }
 
@@ -247,7 +249,12 @@ int main(int argc, char** argv) {
 
   if (!a.replay_path.empty()) {
     std::ifstream in(a.replay_path);
-    if (!in) arg_error("cannot open corpus file: " + a.replay_path);
+    if (!in) {
+      // I/O failure, not an argument-spelling problem: exit 4, the same
+      // code starlay_cli and starlayd use for unreadable paths.
+      std::fprintf(stderr, "starcheck: cannot open corpus file: %s\n", a.replay_path.c_str());
+      return 4;
+    }
     std::vector<std::string> lines;
     for (std::string line; std::getline(in, line);) lines.push_back(line);
     return report_and_exit_code(starlay::check::run_replay(lines, opt), "replay");

@@ -73,15 +73,10 @@ long peak_rss_mb() {
 }
 
 struct Args {
-  starlay::core::ParsedBuildParams build;
+  starlay::core::ParsedBuildRequest build;  ///< family/params/passes/runtime options
   std::string mode = "materialize";
-  std::string passes_csv;
   std::string svg_path;
   std::string trace_path;
-  std::string simd;  ///< requested kernel level ("" = auto-detect)
-  std::string spill_dir;
-  int shards = 0;   ///< sharded mode: rank-range shards (0 = auto)
-  int workers = 1;  ///< sharded mode: forked processes (STARLAY_WORKERS default)
   bool list = false;
   bool have_window = false;
   starlay::layout::Rect window;
@@ -108,6 +103,9 @@ struct Args {
                "  --base-size INT             star hierarchy base block size (default 3)\n"
                "  --layers INT                wiring layers for multilayer families (default 2)\n"
                "  --multiplicity INT          parallel links per pair (default 1)\n"
+               "  --threads INT               worker pool size for this run\n"
+               "                              (default $STARLAY_THREADS, else all cores;\n"
+               "                              results are bit-identical at every setting)\n"
                "  --trace PATH                record a telemetry trace; print the per-phase\n"
                "                              table and write the JSON span tree to PATH\n"
                "  --simd scalar|sse4|avx2     force the certification kernel level (clamps\n"
@@ -127,20 +125,13 @@ struct Args {
   std::exit(2);
 }
 
-int parse_int_flag(const std::string& flag, const std::string& v) {
-  char* end = nullptr;
-  const long parsed = std::strtol(v.c_str(), &end, 10);
-  if (end == v.c_str() || *end != '\0' || parsed < 0 || parsed > 1000000)
-    arg_error("bad " + flag + " '" + v + "' (want a small non-negative integer)");
-  return static_cast<int>(parsed);
-}
-
 Args parse_args(int argc, char** argv) {
   Args a;
-  if (const char* env = std::getenv("STARLAY_WORKERS"); env != nullptr && *env != '\0')
-    a.workers = parse_int_flag("STARLAY_WORKERS", env);
+  // The shared request parser owns every flag that shapes the build itself
+  // (family, sizes, passes, threads/simd/workers/shards/spill-dir, with
+  // STARLAY_* environment defaults); only driver concerns stay here.
   std::vector<std::string> extra;
-  auto parsed = starlay::core::parse_build_params(argc, argv, &extra);
+  auto parsed = starlay::core::parse_build_request(argc, argv, &extra);
   if (!parsed.ok()) arg_error(parsed.error().message);
   a.build = parsed.value();
 
@@ -164,14 +155,9 @@ Args parse_args(int argc, char** argv) {
     if (arg == "--help") usage(0);
     if (arg == "--list") {
       a.list = true;
-    } else if (value_of("--mode", &a.mode) || value_of("--passes", &a.passes_csv) ||
-               value_of("--svg", &a.svg_path) || value_of("--trace", &a.trace_path) ||
-               value_of("--simd", &a.simd) || value_of("--spill-dir", &a.spill_dir)) {
+    } else if (value_of("--mode", &a.mode) || value_of("--svg", &a.svg_path) ||
+               value_of("--trace", &a.trace_path)) {
       // stored by value_of
-    } else if (value_of("--shards", &v)) {
-      a.shards = parse_int_flag("--shards", v);
-    } else if (value_of("--workers", &v)) {
-      a.workers = parse_int_flag("--workers", v);
     } else if (value_of("--window", &v)) {
       long long x0, y0, x1, y1;
       if (std::sscanf(v.c_str(), "%lld,%lld,%lld,%lld", &x0, &y0, &x1, &y1) != 4)
@@ -246,41 +232,28 @@ int main(int argc, char** argv) {
   const Args a = parse_args(argc, argv);
   if (a.list) return run_list();
 
-  auto resolved = starlay::core::resolve_builder(a.build);
+  auto resolved = starlay::core::resolve_request(a.build);
   if (!resolved.ok()) build_error_exit(resolved.error());
   const starlay::core::LayoutBuilder* builder = resolved.value();
-  const starlay::core::BuildParams& params = a.build.params;
+  const starlay::core::BuildRequest& request = a.build.request;
+  const starlay::core::BuildParams& params = request.params;
+  const starlay::core::PassList& passes = request.passes;
 
   if (a.mode != "materialize" && a.mode != "stream" && a.mode != "sharded")
     arg_error("unknown mode '" + a.mode + "' (want materialize, stream, or sharded)");
   if (a.mode == "sharded" && builder->name() != std::string_view("star"))
     arg_error("mode 'sharded' supports only --family star (got '" +
               std::string(builder->name()) + "')");
-
-  starlay::core::PassList passes;
-  if (!a.passes_csv.empty()) {
-    auto parsed_passes = starlay::core::parse_pass_list(a.passes_csv);
-    if (!parsed_passes.ok()) build_error_exit(parsed_passes.error());
-    passes = parsed_passes.value();
-  }
   if (a.mode == "sharded" && !passes.empty())
     arg_error("mode 'sharded' does not support --passes (use --mode stream)");
 
-  // --simd mirrors the STARLAY_SIMD env contract: an unsupported request
-  // clamps down, never errors.  Held for the whole run so every phase (and
-  // the trace) sees one consistent level.
-  std::optional<kr::ScopedForcedLevel> forced;
-  if (!a.simd.empty()) {
-    if (a.simd == "scalar")
-      forced.emplace(kr::SimdLevel::kScalar);
-    else if (a.simd == "sse4")
-      forced.emplace(kr::SimdLevel::kSSE4);
-    else if (a.simd == "avx2")
-      forced.emplace(kr::SimdLevel::kAVX2);
-    else
-      arg_error("unknown --simd level '" + a.simd + "' (want scalar, sse4, or avx2)");
-  }
-  const char* simd_name = kr::level_name(kr::active_level());
+  // Apply the request's runtime options for the whole run: the forced
+  // kernel level mirrors the STARLAY_SIMD clamp-down contract (the parser
+  // already rejected unknown spellings), and --threads resizes the pool
+  // before any job starts, so every phase (and the trace) sees one
+  // consistent level and pool size.
+  const starlay::core::ScopedRequestRuntime runtime(request.options);
+  const char* simd_name = kr::level_name(runtime.active_level());
 
   if (!a.trace_path.empty()) {
     tel::start_trace();
@@ -294,9 +267,9 @@ int main(int argc, char** argv) {
     if (a.mode == "sharded") {
       starlay::core::ShardOptions sopt;
       sopt.base_size = params.base_size;
-      sopt.num_shards = a.shards;
-      sopt.workers = a.workers;
-      sopt.spill_dir = a.spill_dir;
+      sopt.num_shards = request.options.shards;
+      sopt.workers = request.options.workers;
+      sopt.spill_dir = request.options.spill_dir;
       auto sharded = starlay::core::star_certify_sharded(params.n, sopt);
       if (!sharded.ok()) build_error_exit(sharded.error());
       const starlay::core::ShardReport& srep = sharded.value();
@@ -336,7 +309,7 @@ int main(int argc, char** argv) {
       if (a.have_window) sopt.retain_window = a.window;
       starlay::layout::StreamingCertifier sink(sopt);
       starlay::topology::Graph graph(0);
-      auto streamed = builder->try_build_stream_passes(params, passes, sink, &graph);
+      auto streamed = builder->try_build_stream(request, sink, &graph);
       if (!streamed.ok()) build_error_exit(streamed.error());
       const starlay::layout::RouteStats& stats = streamed.value();
       const auto& rep = sink.report();
@@ -388,7 +361,7 @@ int main(int argc, char** argv) {
       // The optimized construction only exists in pipeline (streaming) form;
       // materialize it through a sink and validate like any stored layout.
       starlay::layout::MaterializingSink msink;
-      auto streamed = builder->try_build_stream_passes(params, passes, msink, &graph);
+      auto streamed = builder->try_build_stream(request, msink, &graph);
       if (!streamed.ok()) build_error_exit(streamed.error());
       node_size = streamed.value().node_size;
       lay = msink.take_layout();

@@ -1,0 +1,397 @@
+/// \file starlay_load.cpp
+/// \brief Load generator and saturation bench for starlayd.
+///
+///   starlay_load --daemon ./starlayd                # spawn + drive + stop
+///   starlay_load --socket /tmp/starlay.sock         # drive a running daemon
+///   starlay_load --port 4815 --clients 8 --requests 4000
+///
+/// The workload models a design-exploration session: one hot request
+/// (star n=7 by default, ~95% of traffic) plus a small rotating cold set,
+/// issued by --clients concurrent connections.  Every response carries the
+/// service's cache verdict ("hit" / "miss" / "join"), so latencies are
+/// classified at the source rather than guessed from timing.  Reported:
+///
+///   rps, p50/p99 over all requests, hit rate, p99 over cache hits, and
+///   the cold build latency of the hot request (first miss on a fresh
+///   daemon) -- written as a one-row JSON array to --out (BENCH_serve.json)
+///   in the same flat-object format as the other BENCH_*.json files.
+///
+/// Exit codes: 0 success, 2 bad arguments, 3 protocol/internal error,
+/// 4 I/O error (spawn, connect, or --out write failure).
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "starlay/serve/json.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using starlay::serve::Json;
+
+struct Args {
+  std::string daemon_path;  ///< spawn this starlayd on a temp unix socket
+  std::string socket_path;  ///< or connect to an existing unix socket
+  int port = -1;            ///< or connect to an existing TCP daemon
+  int clients = 4;
+  int requests = 2000;
+  std::string family = "star";
+  int n = 7;
+  std::string passes = "compact,refine";  ///< hot request passes ("" = none)
+  std::string out = "BENCH_serve.json";
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: starlay_load (--daemon STARLAYD | --socket PATH | --port INT)\n"
+               "                    [--clients INT] [--requests INT]\n"
+               "                    [--family NAME] [--n INT] [--out PATH]\n"
+               "  --daemon PATH    spawn PATH on a private unix socket, drive it,\n"
+               "                   send shutdown, and reap it\n"
+               "  --socket PATH    drive an already-running unix-socket daemon\n"
+               "  --port INT       drive an already-running TCP daemon (127.0.0.1)\n"
+               "  --clients INT    concurrent connections (default 4)\n"
+               "  --requests INT   total requests across all clients (default 2000)\n"
+               "  --family NAME    hot request family (default star)\n"
+               "  --n INT          hot request size (default 7)\n"
+               "  --passes LIST    hot request pass list (default compact,refine;\n"
+               "                   pass '' for a bare build)\n"
+               "  --out PATH       bench report path (default BENCH_serve.json)\n"
+               "exit codes: 0 success, 2 bad arguments, 3 protocol error, 4 I/O error\n");
+  std::exit(code);
+}
+
+[[noreturn]] void arg_error(const std::string& message) {
+  std::fprintf(stderr, "starlay_load: %s\n", message.c_str());
+  std::exit(2);
+}
+
+[[noreturn]] void io_error(const std::string& message) {
+  std::fprintf(stderr, "starlay_load: %s (errno %d: %s)\n", message.c_str(), errno,
+               std::strerror(errno));
+  std::exit(4);
+}
+
+int parse_int(const std::string& flag, const char* v, int lo, int hi) {
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < lo || parsed > hi)
+    arg_error("bad value '" + std::string(v) + "' for " + flag);
+  return static_cast<int>(parsed);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) arg_error("missing value after '" + std::string(flag) + "'");
+      return argv[++i];
+    };
+    if (arg == "--help") usage(0);
+    if (arg == "--daemon") a.daemon_path = value("--daemon");
+    else if (arg == "--socket") a.socket_path = value("--socket");
+    else if (arg == "--port") a.port = parse_int("--port", value("--port"), 0, 65535);
+    else if (arg == "--clients") a.clients = parse_int("--clients", value("--clients"), 1, 256);
+    else if (arg == "--requests")
+      a.requests = parse_int("--requests", value("--requests"), 1, 10'000'000);
+    else if (arg == "--family") a.family = value("--family");
+    else if (arg == "--n") a.n = parse_int("--n", value("--n"), 1, 64);
+    else if (arg == "--passes") a.passes = value("--passes");
+    else if (arg == "--out") a.out = value("--out");
+    else arg_error("unknown argument '" + arg + "' (see --help)");
+  }
+  const int endpoints = (!a.daemon_path.empty() ? 1 : 0) + (!a.socket_path.empty() ? 1 : 0) +
+                        (a.port >= 0 ? 1 : 0);
+  if (endpoints != 1) arg_error("need exactly one of --daemon, --socket, --port");
+  return a;
+}
+
+/// One blocking line-protocol connection.
+class Connection {
+ public:
+  Connection(const std::string& unix_path, int port) {
+    if (!unix_path.empty()) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) io_error("socket()");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", unix_path.c_str());
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    } else {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) io_error("socket()");
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    }
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+
+  /// Sends one request line and blocks for the response line.
+  /// Empty result = connection failure.
+  std::string round_trip(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t k = ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (k < 0) {
+        if (errno == EINTR) continue;
+        return "";
+      }
+      sent += static_cast<std::size_t>(k);
+    }
+    for (;;) {
+      if (const std::size_t nl = buf_.find('\n'); nl != std::string::npos) {
+        std::string reply = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t k = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (k < 0 && errno == EINTR) continue;
+      if (k <= 0) return "";
+      buf_.append(chunk, static_cast<std::size_t>(k));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string make_request(std::int64_t id, const std::string& family, int n,
+                         const std::string& passes = "") {
+  Json req = Json::object();
+  req.set("id", Json(id));
+  req.set("method", Json("measure"));
+  req.set("family", Json(family));
+  req.set("n", Json(n));
+  if (!passes.empty()) req.set("passes", Json(passes));
+  return req.dump();
+}
+
+bool response_ok(const std::string& reply) {
+  const std::optional<Json> rsp = Json::parse(reply);
+  if (!rsp || !rsp->is_object()) return false;
+  const Json* ok = rsp->find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// "hit" / "miss" / "join" from a layout-method response; "" when the
+/// response is missing, not ok, or carries no cache verdict.
+std::string cache_verdict(const std::string& reply) {
+  if (!response_ok(reply)) return "";
+  const std::optional<Json> rsp = Json::parse(reply);
+  const Json* cache = rsp->find("cache");
+  return (cache != nullptr && cache->is_string()) ? cache->as_string() : "";
+}
+
+struct Sample {
+  double ms;
+  char verdict;  ///< 'h' hit, 'm' miss, 'j' join
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a = parse_args(argc, argv);
+
+  // Spawn mode: private socket path, fork/exec, retry-connect below.
+  pid_t daemon_pid = -1;
+  if (!a.daemon_path.empty()) {
+    a.socket_path = "/tmp/starlay_load." + std::to_string(::getpid()) + ".sock";
+    daemon_pid = ::fork();
+    if (daemon_pid < 0) io_error("fork()");
+    if (daemon_pid == 0) {
+      ::execl(a.daemon_path.c_str(), "starlayd", "--socket", a.socket_path.c_str(),
+              static_cast<char*>(nullptr));
+      std::fprintf(stderr, "starlay_load: exec '%s' failed (errno %d: %s)\n",
+                   a.daemon_path.c_str(), errno, std::strerror(errno));
+      ::_exit(127);
+    }
+  }
+
+  // Connect (retrying while a spawned daemon binds its socket).
+  auto connect_once = [&] { return std::make_unique<Connection>(a.socket_path, a.port); };
+  std::unique_ptr<Connection> probe;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    probe = connect_once();
+    if (probe->ok()) break;
+    if (daemon_pid < 0) break;  // existing daemon: no point retrying
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (!probe->ok()) io_error("cannot connect to daemon");
+  if (!response_ok(probe->round_trip(R"({"id": 0, "method": "ping"})"))) {
+    std::fprintf(stderr, "starlay_load: daemon did not answer ping\n");
+    return 3;
+  }
+
+  // Cold build of the hot request: the baseline the cache is measured
+  // against.  On a fresh daemon this is a miss; on a warm one we take the
+  // reported latency anyway and say so in the verdict counters.
+  const std::string hot = make_request(1, a.family, a.n, a.passes);
+  const Clock::time_point cold_t0 = Clock::now();
+  const std::string cold_reply = probe->round_trip(hot);
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - cold_t0).count();
+  const std::string cold_verdict = cache_verdict(cold_reply);
+  if (cold_verdict.empty()) {
+    std::fprintf(stderr, "starlay_load: hot request failed: %s\n", cold_reply.c_str());
+    return 3;
+  }
+
+  // The cold set: small sizes that rotate through ~5% of traffic.  After
+  // first touch they are cache hits too, which is the point -- the bench
+  // measures a repeated-request mix, not a cache-busting adversary.
+  std::vector<std::string> cold_set;
+  for (int n = 4; n <= 6; ++n) cold_set.push_back(make_request(100 + n, "star", n));
+  cold_set.push_back(make_request(200, "hcn", 3));
+  cold_set.push_back(make_request(201, "hypercube", 6));
+
+  const int per_client = (a.requests + a.clients - 1) / a.clients;
+  std::vector<std::vector<Sample>> samples(static_cast<std::size_t>(a.clients));
+  std::vector<std::thread> threads;
+  std::mutex fail_mu;
+  std::string failure;
+
+  const Clock::time_point t0 = Clock::now();
+  for (int c = 0; c < a.clients; ++c) {
+    threads.emplace_back([&, c] {
+      Connection conn(a.socket_path, a.port);
+      if (!conn.ok()) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        failure = "client connect failed";
+        return;
+      }
+      auto& out = samples[static_cast<std::size_t>(c)];
+      out.reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        // Every 20th request draws from the cold set -> 95% hot traffic.
+        const bool is_cold = (i % 20) == 19;
+        const std::string& req =
+            is_cold ? cold_set[static_cast<std::size_t>((c + i / 20)) % cold_set.size()] : hot;
+        const Clock::time_point s0 = Clock::now();
+        const std::string reply = conn.round_trip(req);
+        const double ms = std::chrono::duration<double, std::milli>(Clock::now() - s0).count();
+        const std::string verdict = cache_verdict(reply);
+        if (verdict.empty()) {
+          std::lock_guard<std::mutex> lock(fail_mu);
+          failure = "request failed: " + (reply.empty() ? "(connection closed)" : reply);
+          return;
+        }
+        out.push_back(Sample{ms, verdict[0]});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  // Stop a spawned daemon before reporting, so a report always means the
+  // daemon also shut down cleanly.
+  if (daemon_pid >= 0) {
+    probe->round_trip(R"({"id": 99, "method": "shutdown"})");
+    int status = 0;
+    ::waitpid(daemon_pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "starlay_load: daemon exited abnormally (status %d)\n", status);
+      return 3;
+    }
+  }
+  if (!failure.empty()) {
+    std::fprintf(stderr, "starlay_load: %s\n", failure.c_str());
+    return 3;
+  }
+
+  std::vector<double> all_ms, hit_ms;
+  std::int64_t hits = 0, misses = 0, joins = 0;
+  for (const auto& per : samples)
+    for (const Sample& s : per) {
+      all_ms.push_back(s.ms);
+      if (s.verdict == 'h') {
+        hit_ms.push_back(s.ms);
+        ++hits;
+      } else if (s.verdict == 'm') {
+        ++misses;
+      } else {
+        ++joins;
+      }
+    }
+  std::sort(all_ms.begin(), all_ms.end());
+  std::sort(hit_ms.begin(), hit_ms.end());
+  const std::int64_t total = static_cast<std::int64_t>(all_ms.size());
+  const double hit_rate = total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+  const double rps = wall_s > 0 ? static_cast<double>(total) / wall_s : 0;
+  const double p50 = percentile(all_ms, 0.50);
+  const double p99 = percentile(all_ms, 0.99);
+  const double hit_p99 = percentile(hit_ms, 0.99);
+
+  std::FILE* f = std::fopen(a.out.c_str(), "w");
+  if (f == nullptr) io_error("cannot open '" + a.out + "' for writing");
+  std::fprintf(f,
+               "[\n"
+               "  {\"family\": \"%s\", \"n\": %d, \"passes\": \"%s\", \"clients\": %d, "
+               "\"requests\": %lld,\n"
+               "   \"wall_s\": %.3f, \"rps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f,\n"
+               "   \"hit_rate\": %.4f, \"hit_p99_ms\": %.4f, \"cold_ms\": %.3f,\n"
+               "   \"cold_verdict\": \"%s\", \"hits\": %lld, \"misses\": %lld, \"joins\": %lld}\n"
+               "]\n",
+               a.family.c_str(), a.n, a.passes.c_str(), a.clients,
+               static_cast<long long>(total), wall_s, rps,
+               p50, p99, hit_rate, hit_p99, cold_ms, cold_verdict.c_str(),
+               static_cast<long long>(hits), static_cast<long long>(misses),
+               static_cast<long long>(joins));
+  std::fclose(f);
+
+  std::printf("starlay_load: %lld requests, %d clients, %.2fs wall\n",
+              static_cast<long long>(total), a.clients, wall_s);
+  std::printf("  rps        %.1f\n", rps);
+  std::printf("  p50 / p99  %.4f / %.4f ms\n", p50, p99);
+  std::printf("  hit rate   %.2f%%  (hits %lld, misses %lld, joins %lld)\n", 100.0 * hit_rate,
+              static_cast<long long>(hits), static_cast<long long>(misses),
+              static_cast<long long>(joins));
+  std::printf("  hit p99    %.4f ms   cold build %.3f ms (%s)\n", hit_p99, cold_ms,
+              cold_verdict.c_str());
+  std::printf("  report     %s\n", a.out.c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+/// \file starlayd.cpp
+/// \brief The starlay layout daemon: build once, answer forever.
+///
+/// Serves the line-delimited JSON protocol (serve/protocol.hpp) over a
+/// Unix-domain or loopback-TCP socket:
+///
+///   starlayd --socket /tmp/starlay.sock
+///   starlayd --port 0                 # kernel-chosen port, echoed on stdout
+///   starlayd --socket s.sock --cache-mb 64
+///
+/// Requests (build / measure / certify / bisect / render-window) resolve to
+/// a canonical BuildRequest key; identical concurrent requests share one
+/// in-flight build (single-flight) and completed layouts are cached as
+/// immutable snapshots under an LRU byte budget (--cache-mb).  ping /
+/// stats / shutdown are control methods; {"method": "shutdown"} stops the
+/// daemon cleanly.
+///
+/// On a successful bind the daemon prints exactly one readiness line:
+///
+///   listening unix PATH        or        listening tcp PORT
+///
+/// and serves until shutdown.  Exit codes (shared table with starlay_cli
+/// and starcheck): 0 clean shutdown, 2 bad arguments, 3 internal error,
+/// 4 I/O error (cannot bind or listen; the failing path and errno are
+/// reported).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "starlay/serve/server.hpp"
+#include "starlay/serve/service.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: starlayd --socket PATH | --port INT [--cache-mb INT]\n"
+               "  --socket PATH    serve a Unix-domain socket at PATH\n"
+               "  --port INT       serve TCP on 127.0.0.1 (0 = kernel-chosen,\n"
+               "                   echoed in the readiness line)\n"
+               "  --cache-mb INT   layout snapshot cache budget (default 256)\n"
+               "prints 'listening unix PATH' or 'listening tcp PORT' once ready.\n"
+               "exit codes: 0 clean shutdown, 2 bad arguments, 3 internal error,\n"
+               "4 I/O error (cannot bind or listen)\n");
+  std::exit(code);
+}
+
+[[noreturn]] void arg_error(const std::string& message) {
+  std::fprintf(stderr, "starlayd: %s\n", message.c_str());
+  std::exit(2);
+}
+
+int parse_int(const std::string& flag, const char* v, int lo, int hi) {
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < lo || parsed > hi)
+    arg_error("bad value '" + std::string(v) + "' for " + flag);
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  starlay::serve::Server::Options sopt;
+  starlay::serve::LayoutService::Options lopt;
+  bool have_endpoint = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) arg_error("missing value after '" + std::string(flag) + "'");
+      return argv[++i];
+    };
+    if (arg == "--help") usage(0);
+    if (arg == "--socket") {
+      sopt.unix_path = value("--socket");
+      have_endpoint = true;
+    } else if (arg == "--port") {
+      sopt.tcp_port = parse_int("--port", value("--port"), 0, 65535);
+      have_endpoint = true;
+    } else if (arg == "--cache-mb") {
+      lopt.cache_bytes =
+          static_cast<std::int64_t>(parse_int("--cache-mb", value("--cache-mb"), 1, 1 << 20))
+          << 20;
+    } else {
+      arg_error("unknown argument '" + arg + "' (see --help)");
+    }
+  }
+  if (!have_endpoint) arg_error("need --socket PATH or --port INT (see --help)");
+
+  try {
+    starlay::serve::LayoutService service(lopt);
+    starlay::serve::Server server(service, sopt);
+    if (starlay::core::BuildStatus st = server.listen(); !st.ok()) {
+      const starlay::core::BuildError& err = st.error();
+      std::fprintf(stderr, "starlayd: [%s] %s (path '%s', errno %d)\n",
+                   starlay::core::build_error_code_name(err.code), err.message.c_str(),
+                   err.io_path.c_str(), err.io_errno);
+      return 4;
+    }
+    if (!sopt.unix_path.empty())
+      std::printf("listening unix %s\n", sopt.unix_path.c_str());
+    else
+      std::printf("listening tcp %d\n", server.port());
+    std::fflush(stdout);
+    server.serve();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "starlayd: %s\n", e.what());
+    return 3;
+  }
+}

@@ -13,6 +13,7 @@
 
 #include "starlay/bisect/bisect.hpp"
 #include "starlay/comm/te.hpp"
+#include "starlay/core/build_request.hpp"
 #include "starlay/core/builder.hpp"
 #include "starlay/core/formulas.hpp"
 #include "starlay/layout/validate.hpp"
@@ -23,14 +24,15 @@ namespace {
 
 void report(const std::string& family, int n) {
   using namespace starlay;
-  auto found = core::try_find_builder(family);
+  core::BuildRequest request;
+  request.family = family;
+  request.params.n = n;
+  auto found = request.resolve();
   if (!found.ok()) {
     std::printf("%-14s (%s)\n", family.c_str(), found.error().message.c_str());
     return;
   }
-  core::BuildParams params;
-  params.n = n;
-  auto built = found.value()->try_build(params);
+  auto built = found.value()->try_build(request.params);
   if (!built.ok()) {
     std::printf("%-14s (%s)\n", family.c_str(), built.error().message.c_str());
     return;

@@ -6,6 +6,7 @@
 #include <climits>
 #include <string>
 
+#include "starlay/core/build_request.hpp"
 #include "starlay/core/star_shard.hpp"
 #include "starlay/layout/fingerprint.hpp"
 #include "starlay/layout/kernels/kernels.hpp"
@@ -261,10 +262,13 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
       if (passes.refine) label += "refine";
       if (passes.compact) label += passes.refine ? ",compact" : "compact";
       layout::StreamingCertifier cert;
-      core::BuildOutcome<layout::RouteStats> out =
-          builder.try_build_stream_passes(params, passes, cert);
+      core::BuildRequest request;
+      request.family = std::string(builder.name());
+      request.params = params;
+      request.passes = passes;
+      core::BuildOutcome<layout::RouteStats> out = builder.try_build_stream(request, cert);
       if (!out.ok()) {
-        rep.fail(label + ": try_build_stream_passes failed: " + out.error().message);
+        rep.fail(label + ": optimized try_build_stream failed: " + out.error().message);
         continue;
       }
       const layout::StreamReport& sr = cert.report();

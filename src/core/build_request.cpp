@@ -1,0 +1,89 @@
+#include "starlay/core/build_request.hpp"
+
+#include <string>
+
+#include "starlay/support/runtime_config.hpp"
+#include "starlay/support/thread_pool.hpp"
+
+namespace starlay::core {
+
+namespace kern = layout::kernels;
+
+BuildRequest BuildRequest::with_process_defaults() {
+  const support::RuntimeConfig& cfg = support::RuntimeConfig::process();
+  BuildRequest req;
+  req.options.threads = cfg.threads;
+  req.options.simd = cfg.simd;
+  req.options.workers = cfg.workers;
+  req.options.spill_dir = cfg.spill_dir;
+  return req;
+}
+
+BuildOutcome<const LayoutBuilder*> BuildRequest::resolve() const {
+  BuildOutcome<const LayoutBuilder*> found = try_find_builder(family);
+  if (!found.ok()) return found;
+  const LayoutBuilder* builder = found.value();
+  if (BuildStatus st = params.validate(*builder, explicit_fields); !st.ok())
+    return st.error();
+  if (!passes.empty() && !builder->supports_passes()) {
+    BuildError err;
+    err.code = BuildErrorCode::kUnknownParam;
+    err.message = "--passes does not apply to family '" + std::string(builder->name()) +
+                  "' (only the star hierarchy machinery threads optimization passes)";
+    return err;
+  }
+  return builder;
+}
+
+std::string BuildRequest::canonical_key(const LayoutBuilder& builder) const {
+  std::string key = "family=";
+  key += builder.name();
+  key += " n=";
+  key += std::to_string(params.n);
+  // Every field the family reads appears, even at its default value, so a
+  // future default change can never silently alias two distinct layouts
+  // under one key.  Fields the family ignores never appear, so "hcn n=3
+  // base=5" and "hcn n=3" collapse to the same (identical) layout.
+  const unsigned used = builder.params_used();
+  if ((used & kParamBaseSize) != 0) key += " base=" + std::to_string(params.base_size);
+  if ((used & kParamLayers) != 0) key += " layers=" + std::to_string(params.layers);
+  if ((used & kParamMultiplicity) != 0)
+    key += " mult=" + std::to_string(params.multiplicity);
+  if (!passes.empty()) {
+    key += " passes=";
+    key += passes.compact ? (passes.refine ? "compact,refine" : "compact") : "refine";
+  }
+  return key;
+}
+
+ScopedRequestRuntime::ScopedRequestRuntime(const RequestOptions& options) {
+  if (!options.simd.empty()) {
+    // Unknown spellings keep the startup level — the same graceful-fallback
+    // contract the STARLAY_SIMD environment variable has always had.
+    if (std::optional<kern::SimdLevel> level = parse_simd_level(options.simd))
+      forced_.emplace(*level);
+  }
+  if (options.threads >= 1) {
+    support::ThreadPool& pool = support::ThreadPool::instance();
+    if (pool.num_threads() != options.threads) {
+      restore_threads_ = pool.num_threads();
+      pool.set_num_threads(options.threads);
+    }
+  }
+}
+
+ScopedRequestRuntime::~ScopedRequestRuntime() {
+  if (restore_threads_ >= 1)
+    support::ThreadPool::instance().set_num_threads(restore_threads_);
+}
+
+kern::SimdLevel ScopedRequestRuntime::active_level() const { return kern::active_level(); }
+
+std::optional<kern::SimdLevel> parse_simd_level(std::string_view name) {
+  if (name == "scalar") return kern::SimdLevel::kScalar;
+  if (name == "sse4" || name == "sse4.2") return kern::SimdLevel::kSSE4;
+  if (name == "avx2") return kern::SimdLevel::kAVX2;
+  return std::nullopt;
+}
+
+}  // namespace starlay::core

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "starlay/core/baseline.hpp"
+#include "starlay/core/build_request.hpp"
 #include "starlay/core/collinear_complete.hpp"
 #include "starlay/core/complete2d.hpp"
 #include "starlay/core/hcn_layout.hpp"
@@ -15,6 +16,7 @@
 #include "starlay/core/multilayer_star.hpp"
 #include "starlay/core/formulas.hpp"
 #include "starlay/core/star_layout.hpp"
+#include "starlay/core/suggest.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/telemetry.hpp"
 #include "starlay/topology/networks.hpp"
@@ -409,38 +411,14 @@ std::string normalize_family_name(std::string_view raw) {
   return out;
 }
 
-/// Plain O(|a|*|b|) edit distance; the registry has ~20 short names.
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
-    }
-  }
-  return row[b.size()];
-}
-
 /// The registered name closest to \p normalized (there is always one:
-/// the registry is never empty).  Ties break to the lexicographically
-/// smallest name — explicitly, not via registry iteration order — so the
-/// suggestion (and every test pinning it) is identical across standard
-/// libraries and any future registry reordering.
+/// the registry is never empty).  Distance and tie-break rules live in
+/// suggest.hpp, shared with pass and protocol-method suggestions.
 std::string_view nearest_family_name(std::string_view normalized) {
-  std::string_view best;
-  std::size_t best_dist = 0;
-  for (const FnBuilder& b : registry()) {
-    const std::size_t d = edit_distance(normalized, b.name());
-    if (best.empty() || d < best_dist || (d == best_dist && b.name() < best)) {
-      best = b.name();
-      best_dist = d;
-    }
-  }
-  return best;
+  std::vector<std::string_view> names;
+  names.reserve(registry().size());
+  for (const FnBuilder& b : registry()) names.push_back(b.name());
+  return nearest_name(normalized, names);
 }
 
 struct ParamFieldInfo {
@@ -529,12 +507,24 @@ BuildOutcome<BuildResult> LayoutBuilder::try_build(const BuildParams& params) co
   }
 }
 
-BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildParams& params,
+BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildRequest& request,
                                                                  layout::WireSink& sink,
                                                                  topology::Graph* graph_out) const {
-  if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
+  if (BuildStatus st = request.params.validate(*this, request.explicit_fields); !st.ok())
+    return st.error();
+  if (!request.passes.empty() && !supports_passes()) {
+    BuildError err;
+    err.code = BuildErrorCode::kUnknownParam;
+    err.message = "--passes does not apply to family '" + std::string(name()) +
+                  "' (only the star hierarchy machinery threads optimization passes)";
+    return err;
+  }
+  // Attribute the trace to the request it served; the key string is only
+  // built while a trace is active.
+  if (tel::tracing()) tel::count("request{" + request.canonical_key(*this) + "}", 1);
   try {
-    return build_stream(params, sink, graph_out);
+    if (request.passes.empty()) return build_stream(request.params, sink, graph_out);
+    return build_stream_passes(request.params, request.passes, sink, graph_out);
   } catch (const InvariantError& e) {
     BuildError err;
     err.code = BuildErrorCode::kBudgetExceeded;
@@ -543,25 +533,23 @@ BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildPara
   }
 }
 
+BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream(const BuildParams& params,
+                                                                 layout::WireSink& sink,
+                                                                 topology::Graph* graph_out) const {
+  BuildRequest request;
+  request.family = std::string(name());
+  request.params = params;
+  return try_build_stream(request, sink, graph_out);
+}
+
 BuildOutcome<layout::RouteStats> LayoutBuilder::try_build_stream_passes(
     const BuildParams& params, const PassList& passes, layout::WireSink& sink,
     topology::Graph* graph_out) const {
-  if (BuildStatus st = params.validate(*this); !st.ok()) return st.error();
-  if (!passes.empty() && !supports_passes()) {
-    BuildError err;
-    err.code = BuildErrorCode::kUnknownParam;
-    err.message = "--passes does not apply to family '" + std::string(name()) +
-                  "' (only the star hierarchy machinery threads optimization passes)";
-    return err;
-  }
-  try {
-    return build_stream_passes(params, passes, sink, graph_out);
-  } catch (const InvariantError& e) {
-    BuildError err;
-    err.code = BuildErrorCode::kBudgetExceeded;
-    err.message = "family '" + std::string(name()) + "': " + e.what();
-    return err;
-  }
+  BuildRequest request;
+  request.family = std::string(name());
+  request.params = params;
+  request.passes = passes;
+  return try_build_stream(request, sink, graph_out);
 }
 
 const LayoutBuilder* find_builder(std::string_view name) {

@@ -1,0 +1,107 @@
+#pragma once
+/// \file build_request.hpp
+/// \brief One request representation for every layout consumer.
+///
+/// Before PR 9, "build family F at size n with passes P using K threads"
+/// was smeared across positional CLI flags, environment variables, and a
+/// widening fan of entry-point overloads (try_build_stream vs
+/// try_build_stream_passes).  A BuildRequest is the single value that
+/// carries all of it: the *layout identity* (family, n, the params the
+/// family reads, the optimization passes) plus the *runtime options* that
+/// change how — but never what — gets built (threads, SIMD level, shard
+/// workers, spill dir, trace attachment).
+///
+/// The same struct flows through every layer:
+///
+///   socket bytes  — the starlayd protocol parses request JSON into a
+///                   BuildRequest (serve/protocol.hpp);
+///   cache key     — canonical_key() is the daemon's dedup/cache key: only
+///                   identity fields, canonically spelled, runtime options
+///                   excluded (results are bit-identical across thread
+///                   counts, SIMD levels, and worker counts by the
+///                   determinism contract);
+///   builder       — LayoutBuilder::try_build_stream(const BuildRequest&)
+///                   is the one streaming entry point; the historical
+///                   params/passes overloads are thin wrappers over it;
+///   telemetry     — a traced build records the canonical key as a span
+///                   counter, so traces are attributable to requests;
+///   response JSON — the daemon echoes the canonical key back to clients.
+///
+/// Runtime-option defaults come from support::RuntimeConfig (the one-shot
+/// environment parse); per-request overrides are applied scope-locally via
+/// ScopedRequestRuntime, never by mutating the environment.
+
+#include <optional>
+#include <string>
+
+#include "starlay/core/build_status.hpp"
+#include "starlay/core/builder.hpp"
+#include "starlay/layout/kernels/kernels.hpp"
+
+namespace starlay::core {
+
+/// How to run a build — never *what* to build.  Excluded from
+/// canonical_key(); every field's zero/empty value means "use the
+/// process-wide RuntimeConfig default".
+struct RequestOptions {
+  int threads = 0;        ///< pool size for the build; 0 = process default
+  std::string simd;       ///< forced kernel level; empty = process default
+  int workers = 0;        ///< sharded runs: forked processes; 0 = default
+  int shards = 0;         ///< sharded runs: rank-range shards; 0 = auto
+  std::string spill_dir;  ///< sharded runs: spill root; empty = default
+  bool trace = false;     ///< attach a telemetry trace to the result
+};
+
+struct BuildRequest {
+  std::string family;            ///< registry name (normalized on resolve)
+  BuildParams params;
+  unsigned explicit_fields = 0;  ///< ParamField bits a driver saw set
+  PassList passes;               ///< optimization passes (identity if empty)
+  RequestOptions options;
+
+  /// A request whose options are seeded from RuntimeConfig::process()
+  /// (the STARLAY_* environment, parsed once at startup).
+  static BuildRequest with_process_defaults();
+
+  /// Resolves the family against the registry and validates the request
+  /// against it: kUnknownFamily (with suggestion), kSizeOutOfRange (with
+  /// the valid range), kUnknownParam for a set-but-unread field or for
+  /// passes on a family with supports_passes() == false.
+  BuildOutcome<const LayoutBuilder*> resolve() const;
+
+  /// Canonical identity serialization, e.g.
+  ///     "family=star n=7 base=3 passes=compact,refine"
+  /// Field spellings match starcheck case lines; only fields \p builder
+  /// reads appear (always, even at their defaults, so the key never
+  /// changes meaning if a default does); passes are listed in fixed
+  /// alphabetical order; runtime options never appear.  Equal keys mean
+  /// bit-identical layouts — this is the daemon's dedup and cache key.
+  std::string canonical_key(const LayoutBuilder& builder) const;
+};
+
+/// RAII application of a request's runtime overrides: forces the kernel
+/// level (kernels::ScopedForcedLevel) and resizes the global pool for the
+/// scope, restoring both on destruction.  The pool resize and the forced
+/// level are process-global, so the holder must guarantee no other build
+/// is running concurrently — the CLI applies it once at startup, the
+/// daemon only inside its exclusive execution lane.
+class ScopedRequestRuntime {
+ public:
+  explicit ScopedRequestRuntime(const RequestOptions& options);
+  ~ScopedRequestRuntime();
+  ScopedRequestRuntime(const ScopedRequestRuntime&) = delete;
+  ScopedRequestRuntime& operator=(const ScopedRequestRuntime&) = delete;
+
+  /// The kernel level in effect for this scope (after clamping).
+  layout::kernels::SimdLevel active_level() const;
+
+ private:
+  std::optional<layout::kernels::ScopedForcedLevel> forced_;
+  int restore_threads_ = 0;  ///< 0 = pool was not resized
+};
+
+/// Parses a --simd style spelling ("scalar", "sse4", "avx2") to a level;
+/// nullopt on an unknown spelling (callers own the diagnostic).
+std::optional<layout::kernels::SimdLevel> parse_simd_level(std::string_view name);
+
+}  // namespace starlay::core

@@ -39,6 +39,7 @@
 namespace starlay::core {
 
 class LayoutBuilder;
+struct BuildRequest;  // build_request.hpp — the unified request representation
 
 /// Bit per BuildParams field (beyond n, which every family reads).
 /// LayoutBuilder::params_used() advertises which fields a family consumes;
@@ -162,14 +163,30 @@ class LayoutBuilder {
   /// construction surfaces as kBudgetExceeded instead of a throw.
   BuildOutcome<BuildResult> try_build(const BuildParams& params) const;
 
-  /// Stable tier, streaming mode.  Same error contract as try_build().
+  /// Stable tier, streaming mode — THE streaming entry point.  Validates
+  /// request.params against this family (kSizeOutOfRange, kUnknownParam,
+  /// with request.explicit_fields naming driver-set fields), rejects a
+  /// non-empty request.passes on a family with supports_passes() == false
+  /// (kUnknownParam; the CLI surfaces it as exit code 2), then streams the
+  /// construction with the requested passes spliced in.  When a telemetry
+  /// trace is active the request's canonical key is recorded as a counter
+  /// on the enclosing span, so traces are attributable to requests.
+  /// request.options is NOT applied here — runtime overrides are the
+  /// caller's job (ScopedRequestRuntime), since they are process-global.
+  BuildOutcome<layout::RouteStats> try_build_stream(const BuildRequest& request,
+                                                    layout::WireSink& sink,
+                                                    topology::Graph* graph_out = nullptr) const;
+
+  /// Convenience wrapper: an identity-pipeline request for \p params.
+  /// Same error contract as try_build().
   BuildOutcome<layout::RouteStats> try_build_stream(const BuildParams& params,
                                                     layout::WireSink& sink,
                                                     topology::Graph* graph_out = nullptr) const;
 
-  /// Stable tier for build_stream_passes(): a non-empty pass list on a
-  /// family with supports_passes() == false returns kUnknownParam (the CLI
-  /// surfaces it as exit code 2); otherwise the try_build_stream contract.
+  /// DEPRECATED thin wrapper over try_build_stream(BuildRequest): folds
+  /// (params, passes) into a request and forwards.  New code should build a
+  /// BuildRequest (the passes ride in its `passes` field); this signature
+  /// stays only so the pre-PR-9 call sites keep compiling.
   BuildOutcome<layout::RouteStats> try_build_stream_passes(
       const BuildParams& params, const PassList& passes, layout::WireSink& sink,
       topology::Graph* graph_out = nullptr) const;

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "starlay/core/build_request.hpp"
 #include "starlay/core/build_status.hpp"
 #include "starlay/core/builder.hpp"
 
@@ -44,5 +45,38 @@ BuildOutcome<ParsedBuildParams> parse_build_params(int argc, const char* const* 
 /// params against it (kSizeOutOfRange with the valid range, kUnknownParam
 /// for an explicitly-set flag the family does not read).
 BuildOutcome<const LayoutBuilder*> resolve_builder(const ParsedBuildParams& parsed);
+
+/// A full BuildRequest parsed off a driver command line, plus what the
+/// line actually said (resolve_request needs to require --n).
+struct ParsedBuildRequest {
+  BuildRequest request;  ///< options pre-seeded from RuntimeConfig::process()
+  bool n_set = false;    ///< --n was present
+};
+
+/// Parses the shared builder flags (parse_build_params) PLUS the
+/// request-level flags
+///
+///   --passes CSV      optimization passes ("compact,refine")
+///   --threads INT     pool size for this job (>= 1)
+///   --simd LEVEL      forced kernel level: scalar | sse4 | avx2
+///   --workers INT     sharded runs: forked worker processes (>= 1)
+///   --shards INT      sharded runs: rank-range shard count (>= 1)
+///   --spill-dir PATH  sharded runs: spill root
+///
+/// (RequestOptions::trace has no flag here: starlay_cli's --trace takes a
+/// PATH and stays driver-specific; the daemon protocol sets it from JSON.)
+///
+/// into a BuildRequest whose options start from the process-wide
+/// RuntimeConfig defaults — so a flag overrides the environment, and an
+/// absent flag inherits it.  Unknown-pass and unknown-SIMD spellings are
+/// parse errors here (drivers want loud diagnostics), unlike the
+/// environment variables' silent-fallback contract.  Leftover arguments go
+/// to \p extra exactly as in parse_build_params.
+BuildOutcome<ParsedBuildRequest> parse_build_request(int argc, const char* const* argv,
+                                                     std::vector<std::string>* extra = nullptr);
+
+/// resolve_builder for full requests: requires --family and --n, then
+/// defers to BuildRequest::resolve() (family lookup + param + pass checks).
+BuildOutcome<const LayoutBuilder*> resolve_request(const ParsedBuildRequest& parsed);
 
 }  // namespace starlay::core

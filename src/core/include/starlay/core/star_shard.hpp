@@ -85,8 +85,9 @@ struct ShardOptions {
   int base_size = 3;        ///< the paper's l = O(1) base-block size
   int num_shards = 0;       ///< rank-range shards; 0 = auto (4 per worker)
   int workers = 1;          ///< forked processes; <= 1 = sequential in-process
-  std::string spill_dir;    ///< spill root (empty = "starlay_spill" in the
-                            ///< CWD); the engine owns only its own
+  std::string spill_dir;    ///< spill root (empty = RuntimeConfig::process()
+                            ///< .spill_dir, else "starlay_spill" in the CWD);
+                            ///< the engine owns only its own
                             ///< "<root>/star_n<n>" subtree
   bool keep_spill = false;  ///< keep the spill tree for post-mortems
   layout::ValidationOptions validation;

@@ -1,0 +1,30 @@
+#pragma once
+/// \file suggest.hpp
+/// \brief Shared nearest-name suggestion for every user-facing lookup.
+///
+/// try_find_builder introduced the "did you mean 'multilayer-star'?"
+/// diagnostic; parse_pass_list grew its own copy, and the service protocol
+/// needs the same for unknown method names.  This header is the single
+/// implementation: one edit-distance routine and one tie-break rule
+/// (smallest distance, then lexicographically smallest name), so every
+/// suggestion — family, pass, protocol method — is deterministic and
+/// pinned by the same tests.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace starlay::core {
+
+/// Plain O(|a|*|b|) Levenshtein distance; candidate sets are tiny
+/// (registry names, pass names, protocol methods).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to \p needle; empty view when \p candidates is
+/// empty.  Ties break to the lexicographically smallest candidate —
+/// explicitly, not via iteration order — so the suggestion is identical
+/// across standard libraries and any future reordering of the set.
+std::string_view nearest_name(std::string_view needle,
+                              const std::vector<std::string_view>& candidates);
+
+}  // namespace starlay::core

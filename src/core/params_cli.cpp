@@ -115,4 +115,89 @@ BuildOutcome<const LayoutBuilder*> resolve_builder(const ParsedBuildParams& pars
   return builder;
 }
 
+BuildOutcome<ParsedBuildRequest> parse_build_request(int argc, const char* const* argv,
+                                                     std::vector<std::string>* extra) {
+  std::vector<std::string> rest;
+  BuildOutcome<ParsedBuildParams> base = parse_build_params(argc, argv, &rest);
+  if (!base.ok()) return base.error();
+
+  ParsedBuildRequest out;
+  out.request = BuildRequest::with_process_defaults();
+  out.request.family = base.value().family;
+  out.request.params = base.value().params;
+  out.request.explicit_fields = base.value().explicit_fields;
+  out.n_set = base.value().n_set;
+
+  // Same two spellings as the shared flags: `--flag value` and `--flag=value`.
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    const std::string_view arg = rest[i];
+    const auto take_value = [&](std::string_view flag, std::string_view* value) {
+      if (arg == flag) {
+        if (i + 1 >= rest.size()) return false;
+        *value = rest[++i];
+        return true;
+      }
+      *value = arg.substr(flag.size() + 1);
+      return true;
+    };
+    const auto matches = [&](std::string_view flag) {
+      return arg == flag || (arg.size() > flag.size() &&
+                             arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=');
+    };
+    const auto int_flag = [&](std::string_view flag, int* slot) -> BuildStatus {
+      std::string_view value;
+      if (!take_value(flag, &value))
+        return invalid_argument("missing value after '" + std::string(flag) + "'");
+      int parsed = 0;
+      if (!parse_int(value, &parsed) || parsed < 1)
+        return invalid_argument("bad value '" + std::string(value) + "' for '" +
+                                std::string(flag) + "' (want an integer >= 1)");
+      *slot = parsed;
+      return {};
+    };
+
+    if (matches("--passes")) {
+      std::string_view value;
+      if (!take_value("--passes", &value))
+        return invalid_argument("missing value after '--passes'");
+      BuildOutcome<PassList> passes = parse_pass_list(value);
+      if (!passes.ok()) return passes.error();
+      out.request.passes = passes.value();
+    } else if (matches("--threads")) {
+      if (BuildStatus st = int_flag("--threads", &out.request.options.threads); !st.ok())
+        return st.error();
+    } else if (matches("--workers")) {
+      if (BuildStatus st = int_flag("--workers", &out.request.options.workers); !st.ok())
+        return st.error();
+    } else if (matches("--shards")) {
+      if (BuildStatus st = int_flag("--shards", &out.request.options.shards); !st.ok())
+        return st.error();
+    } else if (matches("--simd")) {
+      std::string_view value;
+      if (!take_value("--simd", &value))
+        return invalid_argument("missing value after '--simd'");
+      if (!parse_simd_level(value))
+        return invalid_argument("unknown SIMD level '" + std::string(value) +
+                                "' for '--simd' (scalar | sse4 | avx2)");
+      out.request.options.simd = std::string(value);
+    } else if (matches("--spill-dir")) {
+      std::string_view value;
+      if (!take_value("--spill-dir", &value))
+        return invalid_argument("missing value after '--spill-dir'");
+      out.request.options.spill_dir = std::string(value);
+    } else {
+      if (extra == nullptr)
+        return invalid_argument("unknown argument '" + std::string(arg) + "'");
+      extra->emplace_back(arg);
+    }
+  }
+  return out;
+}
+
+BuildOutcome<const LayoutBuilder*> resolve_request(const ParsedBuildRequest& parsed) {
+  if (parsed.request.family.empty()) return invalid_argument("missing --family NAME");
+  if (!parsed.n_set) return invalid_argument("missing --n INT");
+  return parsed.request.resolve();
+}
+
 }  // namespace starlay::core

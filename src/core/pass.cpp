@@ -4,6 +4,7 @@
 #include <cctype>
 #include <string>
 
+#include "starlay/core/suggest.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/thread_pool.hpp"
 
@@ -27,21 +28,6 @@ std::string normalize_pass_name(std::string_view raw) {
     out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
   }
   return out;
-}
-
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
-    }
-  }
-  return row[b.size()];
 }
 
 // ---- Structural passes --------------------------------------------------------
@@ -204,15 +190,9 @@ BuildOutcome<PassList> parse_pass_list(std::string_view csv) {
     if (entry.empty()) continue;  // tolerate "", "compact,", ",refine"
     const LayoutPass* pass = find_pass(entry);
     if (pass == nullptr) {
-      std::size_t best_dist = std::string::npos;
-      std::string_view best;
-      for (const LayoutPass* candidate : kNameablePasses) {
-        const std::size_t dist = edit_distance(entry, candidate->name());
-        if (dist < best_dist) {
-          best_dist = dist;
-          best = candidate->name();
-        }
-      }
+      std::vector<std::string_view> names;
+      for (const LayoutPass* candidate : kNameablePasses) names.push_back(candidate->name());
+      const std::string_view best = nearest_name(entry, names);
       BuildError err;
       err.code = BuildErrorCode::kUnknownParam;
       err.message = "unknown pass '" + entry + "' in --passes; did you mean '" +

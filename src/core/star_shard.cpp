@@ -20,6 +20,7 @@
 #include "starlay/support/mapped_file.hpp"
 #include "starlay/support/math.hpp"
 #include "starlay/support/process_pool.hpp"
+#include "starlay/support/runtime_config.hpp"
 #include "starlay/support/telemetry.hpp"
 #include "starlay/support/thread_pool.hpp"
 #include "starlay/topology/permutation.hpp"
@@ -488,7 +489,10 @@ void ShardEngine::setup() {
   for (int64_t s = 0; s <= num_shards_; ++s)
     shard_lo_[static_cast<std::size_t>(s)] = N_ * s / num_shards_;
 
-  const std::string root = opt_.spill_dir.empty() ? "starlay_spill" : opt_.spill_dir;
+  const std::string& cfg_spill = sup::RuntimeConfig::process().spill_dir;
+  const std::string root = !opt_.spill_dir.empty() ? opt_.spill_dir
+                           : !cfg_spill.empty()    ? cfg_spill
+                                                   : "starlay_spill";
   dir_ = root + "/star_n" + std::to_string(n_);
   sup::remove_tree(dir_);  // engine-owned subdir: stale runs only
   sup::make_dirs(dir_);

@@ -1,0 +1,38 @@
+#include "starlay/core/suggest.hpp"
+
+#include <algorithm>
+
+namespace starlay::core {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string_view nearest_name(std::string_view needle,
+                              const std::vector<std::string_view>& candidates) {
+  std::string_view best;
+  std::size_t best_dist = 0;
+  bool have = false;
+  for (const std::string_view c : candidates) {
+    const std::size_t d = edit_distance(needle, c);
+    if (!have || d < best_dist || (d == best_dist && c < best)) {
+      best = c;
+      best_dist = d;
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace starlay::core

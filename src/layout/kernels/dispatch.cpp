@@ -3,11 +3,11 @@
 // override it thread-safely through ScopedForcedLevel.
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 
 #include "kernels_internal.hpp"
 #include "starlay/support/check.hpp"
+#include "starlay/support/runtime_config.hpp"
 
 namespace starlay::layout::kernels {
 namespace {
@@ -38,8 +38,10 @@ SimdLevel clamp_supported(SimdLevel want) {
 }
 
 SimdLevel startup_level() {
-  static const SimdLevel level =
-      clamp_supported(parse_level(std::getenv("STARLAY_SIMD"), best_cpu_level()));
+  // STARLAY_SIMD arrives through the one-shot RuntimeConfig parse, so the
+  // daemon can trust the startup level never shifts under a running job.
+  static const SimdLevel level = clamp_supported(
+      parse_level(support::RuntimeConfig::process().simd.c_str(), best_cpu_level()));
   return level;
 }
 

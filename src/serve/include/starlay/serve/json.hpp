@@ -1,0 +1,85 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON value for the starlayd wire protocol.
+///
+/// The daemon speaks line-delimited JSON and the repo deliberately has no
+/// external dependencies, so this is the one JSON implementation in the
+/// tree: a small immutable-ish value type with a strict recursive-descent
+/// parser and a deterministic serializer (object members keep insertion
+/// order; no whitespace).  It supports exactly what the protocol needs —
+/// null, booleans, 64-bit integers, doubles, strings (with \uXXXX escapes
+/// decoded to UTF-8), arrays, objects — and rejects everything else
+/// (trailing garbage, unterminated literals, nesting deeper than 64).
+///
+/// It is NOT a general-purpose library: no comments, no NaN/Infinity, no
+/// duplicate-key detection (last one wins on lookup is avoided by keeping
+/// the first), and numbers outside int64 range fall back to double.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace starlay::serve {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                    // NOLINT
+  Json(std::int64_t i) : type_(Type::kInt), int_(i) {}              // NOLINT
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}               // NOLINT
+  Json(double d) : type_(Type::kDouble), double_(d) {}              // NOLINT
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {} // NOLINT
+  Json(std::string_view s) : Json(std::string(s)) {}                // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                     // NOLINT
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const { return type_ == Type::kInt || type_ == Type::kDouble; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const { return type_ == Type::kInt ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
+  /// Object lookup (first occurrence); nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  /// Array append / object member set (appends; does not replace).
+  void push_back(Json v) { items_.push_back(std::move(v)); }
+  void set(std::string key, Json v) { members_.emplace_back(std::move(key), std::move(v)); }
+
+  /// Compact deterministic serialization (insertion order, no whitespace).
+  std::string dump() const;
+
+  /// Strict parse of exactly one JSON document (surrounding whitespace
+  /// allowed, trailing bytes rejected).  nullopt on any syntax error.
+  static std::optional<Json> parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace starlay::serve

@@ -1,0 +1,73 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief The starlayd wire protocol: line-delimited JSON requests.
+///
+/// One request per line, one response line back, over a Unix or TCP
+/// socket.  A request is a JSON object:
+///
+///   {"id": 7, "method": "build", "family": "star", "n": 7,
+///    "base": 3, "layers": 2, "mult": 1, "passes": "compact,refine",
+///    "threads": 4, "simd": "avx2", "trace": true,
+///    "window": [0, 0, 200, 120]}
+///
+/// Methods: "build" (construct + validate, return measured metrics),
+/// "measure" (metrics only), "certify" (validation verdict), "bisect"
+/// (layout-slice bisection witness), "render-window" (SVG of a window —
+/// requires "window"), "ping", "stats" (cache/flight counters), and
+/// "shutdown".  Field spellings match the canonical request key
+/// (build_request.hpp): "base" / "layers" / "mult" mirror --base-size /
+/// --layers / --multiplicity.
+///
+/// Every parse failure maps onto the existing BuildErrorCode vocabulary —
+/// malformed JSON, a non-object, a bad field type, or an unknown method
+/// (with a nearest-name suggestion, like unknown families) are all
+/// kInvalidArgument; an unknown pass is kUnknownParam — so the daemon's
+/// error JSON carries exactly the codes starlay_cli already documents.
+///
+/// A response is a JSON object, always carrying the request's "id" (0 when
+/// the request was too malformed to read one):
+///
+///   {"id": 7, "ok": true, "method": "build", "key": "family=star n=7
+///    base=3", "cache": "hit", "result": {...}}
+///   {"id": 7, "ok": false, "error": {"code": "size-out-of-range",
+///    "message": "...", "n_lo": 2, "n_hi": 12}}
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "starlay/core/build_request.hpp"
+#include "starlay/core/build_status.hpp"
+#include "starlay/layout/geometry.hpp"
+#include "starlay/serve/json.hpp"
+
+namespace starlay::serve {
+
+struct ProtocolRequest {
+  std::int64_t id = 0;
+  std::string method;
+  core::BuildRequest build;  ///< options seeded from RuntimeConfig::process()
+  bool n_set = false;        ///< "n" was present
+  bool have_window = false;  ///< "window" was present
+  layout::Rect window{};
+};
+
+/// All protocol methods, sorted — the suggestion candidate set.
+const std::vector<std::string_view>& protocol_methods();
+
+/// Parses one request line.  Strict: unknown fields are rejected
+/// (kInvalidArgument), so a typo'd option can never be silently ignored.
+core::BuildOutcome<ProtocolRequest> parse_request(std::string_view line);
+
+/// Error envelope: {"id", "ok": false, "error": {code/message/payload}}.
+/// The "code" string is build_error_code_name() — the same stable
+/// identifiers starlay_cli prints.
+Json error_response(std::int64_t id, const core::BuildError& err);
+
+/// Success envelope around \p result; \p cache is "hit" / "miss" / "join"
+/// (empty = omitted, for cache-less methods like ping).
+Json ok_response(std::int64_t id, std::string_view method, std::string_view key,
+                 std::string_view cache, Json result);
+
+}  // namespace starlay::serve

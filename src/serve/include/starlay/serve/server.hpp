@@ -1,0 +1,56 @@
+#pragma once
+/// \file server.hpp
+/// \brief Socket front-end for LayoutService: accept, read lines, respond.
+///
+/// The server owns only transport: one listening socket (Unix-domain at a
+/// filesystem path, or TCP on 127.0.0.1), one accept loop, one thread per
+/// connection reading newline-delimited requests and writing back the
+/// response line LayoutService::handle_line produced.  All protocol and
+/// caching semantics live in the service, which is why the service tests
+/// need no sockets.
+///
+/// Lifecycle: listen() binds (kIoError with the failing path/errno on any
+/// socket failure), serve() runs the accept loop in the calling thread
+/// until a client sends {"method": "shutdown"} or another thread calls
+/// stop(), then joins every connection thread.  TCP binds to port 0 by
+/// default and reports the kernel-chosen port via port(), so test drivers
+/// never race for a fixed port.
+
+#include <string>
+
+#include "starlay/core/build_status.hpp"
+#include "starlay/serve/service.hpp"
+
+namespace starlay::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string unix_path;  ///< non-empty: Unix-domain socket at this path
+    int tcp_port = 0;       ///< Unix path empty: TCP on 127.0.0.1 (0 = ephemeral)
+  };
+
+  Server(LayoutService& service, Options opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens.  kIoError (path + errno attached) on failure.
+  core::BuildStatus listen();
+
+  /// The bound TCP port (after listen(); 0 for Unix-domain servers).
+  int port() const;
+
+  /// Accept loop; blocks until shutdown.  Call after listen() succeeded.
+  void serve();
+
+  /// Asynchronously stops serve(): closes the listening socket and nudges
+  /// open connections closed.  Safe from any thread and from handlers.
+  void stop();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace starlay::serve

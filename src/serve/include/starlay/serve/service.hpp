@@ -1,0 +1,122 @@
+#pragma once
+/// \file service.hpp
+/// \brief The layout service: one build per canonical key, shared forever.
+///
+/// LayoutService turns the stateless builder registry into a long-running
+/// daemon's engine.  Three mechanisms, all keyed by
+/// BuildRequest::canonical_key():
+///
+///  * Snapshot cache — a completed build is materialized once (graph +
+///    layout + validation verdict) into an immutable CachedLayout held by
+///    shared_ptr.  Every later request for the same key — build, measure,
+///    certify, bisect, render-window — answers from the snapshot without
+///    touching the build machinery.
+///  * Single-flight — concurrent requests for the same key elect one
+///    leader; the rest block on the flight and share the leader's snapshot
+///    (or its error).  N identical requests cost one build.
+///  * LRU byte budget — snapshots are charged their estimated footprint;
+///    when the total exceeds the budget the least-recently-used entries are
+///    evicted (the newest entry always survives, so a single over-budget
+///    layout still caches).
+///
+/// Concurrency contract: the support::ThreadPool's job state is shared, so
+/// two threads must never run pool jobs concurrently.  The service
+/// therefore runs every build (and every pool-using snapshot operation:
+/// bisection) inside one exclusive *execution lane*; cache hits bypass the
+/// lane entirely, which is what makes hit latency orders of magnitude
+/// below build latency.  Runtime overrides (threads/SIMD) and telemetry
+/// traces are process-global too, so they are applied only inside the
+/// lane, by the flight leader.  Build errors are returned but never
+/// cached: a transient condition (budget, I/O) must not poison the key.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "starlay/bisect/bisect.hpp"
+#include "starlay/core/build_request.hpp"
+#include "starlay/core/builder.hpp"
+#include "starlay/layout/layout.hpp"
+#include "starlay/layout/router.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::serve {
+
+/// Immutable completed build.  Never mutated after insertion, so any
+/// number of connection threads may read one snapshot concurrently.
+struct CachedLayout {
+  std::string key;      ///< canonical request key
+  std::string family;   ///< resolved registry name
+  core::BuildParams params;
+  core::PassList passes;
+  topology::Graph graph{0};
+  layout::Layout layout{0};
+  std::int64_t node_size = 0;
+  layout::RouteStats stats;
+  layout::ValidationReport validation;  ///< computed once at build time
+  std::int64_t bytes = 0;               ///< estimated resident footprint
+};
+
+/// Where a request's snapshot came from.
+enum class CacheSource { kHit, kMiss, kJoin };
+std::string_view cache_source_name(CacheSource s);  ///< "hit" / "miss" / "join"
+
+struct ServiceResult {
+  std::shared_ptr<const CachedLayout> snapshot;  ///< null on error
+  core::BuildError error;                        ///< set when !snapshot
+  CacheSource source = CacheSource::kHit;
+  std::string trace_json;  ///< non-empty only for a traced miss leader
+
+  bool ok() const { return snapshot != nullptr; }
+};
+
+struct ServiceStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;       ///< flights led (includes failed builds)
+  std::int64_t joins = 0;        ///< requests that waited on another's flight
+  std::int64_t evictions = 0;    ///< snapshots dropped by the LRU budget
+  std::int64_t builds_run = 0;   ///< successful builds inserted
+  std::int64_t entries = 0;      ///< snapshots currently cached
+  std::int64_t bytes = 0;        ///< their summed estimated footprint
+  std::int64_t byte_budget = 0;
+};
+
+class LayoutService {
+ public:
+  struct Options {
+    std::int64_t cache_bytes = std::int64_t{256} << 20;  ///< LRU budget
+  };
+
+  LayoutService();  ///< default Options
+  explicit LayoutService(Options opt);
+  ~LayoutService();
+  LayoutService(const LayoutService&) = delete;
+  LayoutService& operator=(const LayoutService&) = delete;
+
+  /// The core entry point: resolve, then hit / join / lead-a-build.
+  /// Blocking: a join waits for the leader; a miss runs the build in the
+  /// calling thread (inside the execution lane).  request.options.trace
+  /// attaches the leader's telemetry trace JSON to the result; hits and
+  /// joins never carry a trace (the build they share already ran).
+  ServiceResult acquire(const core::BuildRequest& request);
+
+  /// Layout-slice bisection of a snapshot.  Runs pool jobs, so it takes
+  /// the execution lane internally.
+  bisect::BisectionResult bisect(const CachedLayout& snapshot);
+
+  /// Handles one protocol line end-to-end (parse -> dispatch -> serialize)
+  /// and returns the response line (without trailing newline).  Sets
+  /// \p shutdown when the line was a shutdown request.  This is the whole
+  /// daemon minus the sockets, so tests drive it directly.
+  std::string handle_line(std::string_view line, bool* shutdown = nullptr);
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace starlay::serve

@@ -1,0 +1,311 @@
+#include "starlay/serve/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace starlay::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool eof() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  bool consume(char c) {
+    if (eof() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t* out) {
+    if (pos + 4 > text.size()) return false;
+    std::uint32_t v = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char c = text[pos + static_cast<std::size_t>(k)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return false;
+    }
+    pos += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (true) {
+      if (eof()) return false;
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control char
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (eof()) return false;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(&cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the low half.
+            if (!consume('\\') || !consume('u')) return false;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(&lo) || lo < 0xDC00 || lo > 0xDFFF) return false;
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return false;  // lone low surrogate
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return false;
+      }
+    }
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (consume('-')) {}
+    if (eof()) return false;
+    if (!consume('0')) {
+      if (eof() || peek() < '1' || peek() > '9') return false;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      if (eof() || peek() < '0' || peek() > '9') return false;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos;
+      if (eof() || peek() < '0' || peek() > '9') return false;
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        *out = Json(static_cast<std::int64_t>(v));
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(d)) return false;
+    *out = Json(d);
+    return true;
+  }
+
+  bool parse_value(Json* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (eof()) return false;
+    const char c = peek();
+    if (c == 'n') { if (!consume_word("null")) return false; *out = Json(); return true; }
+    if (c == 't') { if (!consume_word("true")) return false; *out = Json(true); return true; }
+    if (c == 'f') { if (!consume_word("false")) return false; *out = Json(false); return true; }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      *out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Json arr = Json::array();
+      skip_ws();
+      if (consume(']')) { *out = std::move(arr); return true; }
+      while (true) {
+        Json item;
+        if (!parse_value(&item, depth + 1)) return false;
+        arr.push_back(std::move(item));
+        skip_ws();
+        if (consume(']')) break;
+        if (!consume(',')) return false;
+      }
+      *out = std::move(arr);
+      return true;
+    }
+    if (c == '{') {
+      ++pos;
+      Json obj = Json::object();
+      skip_ws();
+      if (consume('}')) { *out = std::move(obj); return true; }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        Json value;
+        if (!parse_value(&value, depth + 1)) return false;
+        obj.set(std::move(key), std::move(value));
+        skip_ws();
+        if (consume('}')) break;
+        if (!consume(',')) return false;
+      }
+      *out = std::move(obj);
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return false;
+  }
+};
+
+void dump_string(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (uc < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", uc);
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void dump_value(const Json& j, std::string* out) {
+  switch (j.type()) {
+    case Json::Type::kNull: *out += "null"; return;
+    case Json::Type::kBool: *out += j.as_bool() ? "true" : "false"; return;
+    case Json::Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%" PRId64, j.as_int());
+      *out += buf;
+      return;
+    }
+    case Json::Type::kDouble: {
+      // %.17g round-trips every double; trim to the shortest spelling a
+      // reader parses back exactly is overkill for telemetry numbers.
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", j.as_double());
+      *out += buf;
+      return;
+    }
+    case Json::Type::kString: dump_string(j.as_string(), out); return;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : j.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        dump_value(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : j.members()) {
+        if (!first) out->push_back(',');
+        first = false;
+        dump_string(key, out);
+        out->push_back(':');
+        dump_value(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+const Json* Json::find(std::string_view key) const {
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_value(*this, &out);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text) {
+  Parser p{text};
+  Json value;
+  if (!p.parse_value(&value, 0)) return std::nullopt;
+  p.skip_ws();
+  if (!p.eof()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+}  // namespace starlay::serve

@@ -1,0 +1,153 @@
+#include "starlay/serve/protocol.hpp"
+
+#include <algorithm>
+
+#include "starlay/core/pass.hpp"
+#include "starlay/core/suggest.hpp"
+
+namespace starlay::serve {
+
+namespace {
+
+core::BuildError invalid(std::string message) {
+  core::BuildError err;
+  err.code = core::BuildErrorCode::kInvalidArgument;
+  err.message = std::move(message);
+  return err;
+}
+
+/// Accepts an integer-valued field (strictly an integer: 7, not 7.5 or "7").
+bool int_field(const Json& v, std::int64_t* out) {
+  if (!v.is_int()) return false;
+  *out = v.as_int();
+  return true;
+}
+
+}  // namespace
+
+const std::vector<std::string_view>& protocol_methods() {
+  static const std::vector<std::string_view> methods = {
+      "bisect", "build", "certify", "measure", "ping", "render-window", "shutdown", "stats",
+  };
+  return methods;
+}
+
+core::BuildOutcome<ProtocolRequest> parse_request(std::string_view line) {
+  std::optional<Json> doc = Json::parse(line);
+  if (!doc) return invalid("malformed request: not valid JSON");
+  if (!doc->is_object()) return invalid("malformed request: expected a JSON object");
+
+  ProtocolRequest req;
+  req.build = core::BuildRequest::with_process_defaults();
+
+  // Read "id" first so even a rejected request echoes it back.
+  if (const Json* id = doc->find("id")) {
+    if (!id->is_int()) return invalid("field 'id': expected an integer");
+    req.id = id->as_int();
+  }
+
+  for (const auto& [key, value] : doc->members()) {
+    std::int64_t i = 0;
+    if (key == "id") {
+      continue;  // handled above
+    } else if (key == "method") {
+      if (!value.is_string()) return invalid("field 'method': expected a string");
+      req.method = value.as_string();
+    } else if (key == "family") {
+      if (!value.is_string()) return invalid("field 'family': expected a string");
+      req.build.family = value.as_string();
+    } else if (key == "n") {
+      if (!int_field(value, &i)) return invalid("field 'n': expected an integer");
+      req.build.params.n = static_cast<int>(i);
+      req.n_set = true;
+    } else if (key == "base") {
+      if (!int_field(value, &i)) return invalid("field 'base': expected an integer");
+      req.build.params.base_size = static_cast<int>(i);
+      req.build.explicit_fields |= core::kParamBaseSize;
+    } else if (key == "layers") {
+      if (!int_field(value, &i)) return invalid("field 'layers': expected an integer");
+      req.build.params.layers = static_cast<int>(i);
+      req.build.explicit_fields |= core::kParamLayers;
+    } else if (key == "mult") {
+      if (!int_field(value, &i)) return invalid("field 'mult': expected an integer");
+      req.build.params.multiplicity = static_cast<int>(i);
+      req.build.explicit_fields |= core::kParamMultiplicity;
+    } else if (key == "passes") {
+      if (!value.is_string()) return invalid("field 'passes': expected a string");
+      core::BuildOutcome<core::PassList> passes = core::parse_pass_list(value.as_string());
+      if (!passes.ok()) return passes.error();  // kUnknownParam + suggestion
+      req.build.passes = passes.value();
+    } else if (key == "threads") {
+      if (!int_field(value, &i) || i < 1 || i > 256)
+        return invalid("field 'threads': expected an integer in [1, 256]");
+      req.build.options.threads = static_cast<int>(i);
+    } else if (key == "simd") {
+      if (!value.is_string()) return invalid("field 'simd': expected a string");
+      if (!core::parse_simd_level(value.as_string()))
+        return invalid("field 'simd': unknown level '" + value.as_string() +
+                       "' (scalar | sse4 | avx2)");
+      req.build.options.simd = value.as_string();
+    } else if (key == "trace") {
+      if (!value.is_bool()) return invalid("field 'trace': expected a boolean");
+      req.build.options.trace = value.as_bool();
+    } else if (key == "window") {
+      if (!value.is_array() || value.items().size() != 4)
+        return invalid("field 'window': expected [x0, y0, x1, y1]");
+      std::int64_t c[4];
+      for (int k = 0; k < 4; ++k)
+        if (!int_field(value.items()[static_cast<std::size_t>(k)], &c[k]))
+          return invalid("field 'window': expected [x0, y0, x1, y1] integers");
+      req.window = {c[0], c[1], c[2], c[3]};
+      req.have_window = true;
+    } else {
+      return invalid("unknown request field '" + key + "'");
+    }
+  }
+
+  if (req.method.empty()) return invalid("missing 'method'");
+  const auto& methods = protocol_methods();
+  if (std::find(methods.begin(), methods.end(), req.method) == methods.end()) {
+    // Same shape as unknown families: kInvalidArgument with the nearest
+    // known method, via the shared suggestion helper.
+    core::BuildError err;
+    err.code = core::BuildErrorCode::kInvalidArgument;
+    err.suggestion = std::string(core::nearest_name(req.method, methods));
+    err.message = "unknown method '" + req.method + "'; did you mean '" + err.suggestion + "'?";
+    return err;
+  }
+  return req;
+}
+
+Json error_response(std::int64_t id, const core::BuildError& err) {
+  Json e = Json::object();
+  e.set("code", Json(core::build_error_code_name(err.code)));
+  e.set("message", Json(err.message));
+  if (err.code == core::BuildErrorCode::kSizeOutOfRange) {
+    e.set("n_lo", Json(static_cast<std::int64_t>(err.n_lo)));
+    e.set("n_hi", Json(static_cast<std::int64_t>(err.n_hi)));
+  }
+  if (!err.suggestion.empty()) e.set("suggestion", Json(err.suggestion));
+  if (err.code == core::BuildErrorCode::kIoError) {
+    e.set("io_path", Json(err.io_path));
+    e.set("io_errno", Json(static_cast<std::int64_t>(err.io_errno)));
+  }
+  Json rsp = Json::object();
+  rsp.set("id", Json(id));
+  rsp.set("ok", Json(false));
+  rsp.set("error", std::move(e));
+  return rsp;
+}
+
+Json ok_response(std::int64_t id, std::string_view method, std::string_view key,
+                 std::string_view cache, Json result) {
+  Json rsp = Json::object();
+  rsp.set("id", Json(id));
+  rsp.set("ok", Json(true));
+  rsp.set("method", Json(method));
+  if (!key.empty()) rsp.set("key", Json(key));
+  if (!cache.empty()) rsp.set("cache", Json(cache));
+  rsp.set("result", std::move(result));
+  return rsp;
+}
+
+}  // namespace starlay::serve

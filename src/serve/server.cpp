@@ -1,0 +1,193 @@
+#include "starlay/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace starlay::serve {
+
+namespace {
+
+core::BuildError io_error(std::string what, std::string path) {
+  core::BuildError err;
+  err.code = core::BuildErrorCode::kIoError;
+  err.io_errno = errno;
+  err.io_path = std::move(path);
+  err.message = std::move(what) + ": " + std::strerror(err.io_errno);
+  return err;
+}
+
+/// write() the whole buffer, riding out EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  LayoutService& service;
+  Options opt;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::atomic<bool> stopping{false};
+
+  std::mutex mu;  ///< guards threads + client_fds
+  std::vector<std::thread> threads;
+  std::vector<int> client_fds;
+
+  explicit Impl(LayoutService& s) : service(s) {}
+
+  void handle_connection(int fd) {
+    std::string buffer;
+    char chunk[4096];
+    bool shutdown_requested = false;
+    while (!shutdown_requested) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF or error: client is gone
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+           nl = buffer.find('\n', start)) {
+        const std::string_view line(buffer.data() + start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;  // tolerate keep-alive blank lines
+        bool shutdown = false;
+        std::string response = service.handle_line(line, &shutdown);
+        response.push_back('\n');
+        if (!write_all(fd, response.data(), response.size())) {
+          shutdown_requested = shutdown;
+          break;
+        }
+        if (shutdown) {
+          // Respond first, then take the whole server down.
+          shutdown_requested = true;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+    }
+    {
+      // Deregister before closing so stop_sockets() never touches a
+      // recycled descriptor.
+      std::lock_guard<std::mutex> lock(mu);
+      for (std::size_t i = 0; i < client_fds.size(); ++i) {
+        if (client_fds[i] != fd) continue;
+        client_fds[i] = client_fds.back();
+        client_fds.pop_back();
+        break;
+      }
+    }
+    ::close(fd);
+    if (shutdown_requested) stop_sockets();
+  }
+
+  /// Closes the listening socket and nudges every open connection, so the
+  /// accept loop and every connection thread unblock promptly.
+  void stop_sockets() {
+    if (stopping.exchange(true)) return;
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(mu);
+    for (const int fd : client_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+Server::Server(LayoutService& service, Options opt) : impl_(new Impl(service)) {
+  impl_->opt = std::move(opt);
+}
+
+Server::~Server() {
+  impl_->stop_sockets();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+  for (std::thread& t : impl_->threads)
+    if (t.joinable()) t.join();
+  delete impl_;
+}
+
+core::BuildStatus Server::listen() {
+  if (!impl_->opt.unix_path.empty()) {
+    const std::string& path = impl_->opt.unix_path;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+      errno = ENAMETOOLONG;
+      return io_error("socket path too long", path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (impl_->listen_fd < 0) return io_error("cannot create socket", path);
+    ::unlink(path.c_str());  // stale socket from a previous run
+    if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+      return io_error("cannot bind socket", path);
+    if (::listen(impl_->listen_fd, 64) != 0) return io_error("cannot listen", path);
+    return {};
+  }
+
+  impl_->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const std::string where = "127.0.0.1:" + std::to_string(impl_->opt.tcp_port);
+  if (impl_->listen_fd < 0) return io_error("cannot create socket", where);
+  const int one = 1;
+  ::setsockopt(impl_->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(impl_->opt.tcp_port));
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    return io_error("cannot bind socket", where);
+  if (::listen(impl_->listen_fd, 64) != 0) return io_error("cannot listen", where);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(impl_->listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    impl_->bound_port = ntohs(bound.sin_port);
+  return {};
+}
+
+int Server::port() const { return impl_->bound_port; }
+
+void Server::serve() {
+  while (!impl_->stopping.load()) {
+    const int fd = ::accept(impl_->listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket was shut down
+    }
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (impl_->stopping.load()) {
+      ::close(fd);
+      break;
+    }
+    impl_->client_fds.push_back(fd);
+    impl_->threads.emplace_back([this, fd] { impl_->handle_connection(fd); });
+  }
+  // Stop accepting, then wait for in-flight connections to drain.
+  impl_->stop_sockets();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    threads.swap(impl_->threads);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  if (!impl_->opt.unix_path.empty()) ::unlink(impl_->opt.unix_path.c_str());
+}
+
+void Server::stop() { impl_->stop_sockets(); }
+
+}  // namespace starlay::serve

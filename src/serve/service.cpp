@@ -1,0 +1,295 @@
+#include "starlay/serve/service.hpp"
+
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "starlay/layout/wire_sink.hpp"
+#include "starlay/render/render.hpp"
+#include "starlay/serve/protocol.hpp"
+#include "starlay/support/telemetry.hpp"
+
+namespace starlay::serve {
+
+namespace {
+
+namespace tel = support::telemetry;
+
+core::BuildError invalid(std::string message) {
+  core::BuildError err;
+  err.code = core::BuildErrorCode::kInvalidArgument;
+  err.message = std::move(message);
+  return err;
+}
+
+/// Estimated resident footprint of a snapshot: the wire store's SoA
+/// buffers, the node rectangles, the graph's edge list, and the report
+/// strings.  An estimate, not an accounting — it only has to make the LRU
+/// budget proportional to reality.
+std::int64_t estimate_bytes(const CachedLayout& c) {
+  const layout::WireStore& w = c.layout.wires();
+  std::int64_t bytes = 0;
+  bytes += w.num_points() * 8;  // packed points
+  bytes += (w.size() + 1) * static_cast<std::int64_t>(sizeof(std::uint32_t));
+  bytes += w.size() * static_cast<std::int64_t>(sizeof(layout::WireStore::Meta));
+  bytes += static_cast<std::int64_t>(c.layout.node_rects().size()) *
+           static_cast<std::int64_t>(sizeof(layout::Rect));
+  bytes += c.graph.num_edges() * static_cast<std::int64_t>(sizeof(topology::Edge));
+  for (const std::string& e : c.validation.errors)
+    bytes += static_cast<std::int64_t>(e.size());
+  bytes += static_cast<std::int64_t>(c.key.size() + c.family.size() + sizeof(CachedLayout));
+  return bytes;
+}
+
+}  // namespace
+
+std::string_view cache_source_name(CacheSource s) {
+  switch (s) {
+    case CacheSource::kHit: return "hit";
+    case CacheSource::kMiss: return "miss";
+    case CacheSource::kJoin: return "join";
+  }
+  return "hit";
+}
+
+struct LayoutService::Impl {
+  struct Flight {
+    std::shared_ptr<const CachedLayout> snapshot;  ///< set by the leader
+    core::BuildError error;                        ///< set when snapshot is null
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  struct Entry {
+    std::shared_ptr<const CachedLayout> snapshot;
+    std::list<std::string>::iterator lru_it;  ///< position in `lru`
+  };
+
+  Options opt;
+
+  /// Guards every field below.  Never held while building.
+  mutable std::mutex mu;
+  std::unordered_map<std::string, Entry> cache;
+  std::list<std::string> lru;  ///< front = most recently used key
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights;
+  ServiceStats st;
+
+  /// The exclusive execution lane: the ThreadPool's job state, the forced
+  /// SIMD level, the pool size, and the telemetry trace are all
+  /// process-global, so exactly one request may use them at a time.
+  std::mutex lane;
+
+  void touch(Entry& e) {
+    lru.splice(lru.begin(), lru, e.lru_it);  // O(1), iterator stays valid
+  }
+
+  /// Drops least-recently-used snapshots until the budget holds, always
+  /// keeping at least the newest entry (an over-budget singleton stays:
+  /// evicting it would just rebuild it on every request).
+  void evict_over_budget() {
+    while (st.bytes > opt.cache_bytes && lru.size() > 1) {
+      const std::string& victim = lru.back();
+      auto it = cache.find(victim);
+      st.bytes -= it->second.snapshot->bytes;
+      --st.entries;
+      ++st.evictions;
+      cache.erase(it);
+      lru.pop_back();
+    }
+  }
+};
+
+LayoutService::LayoutService() : LayoutService(Options()) {}
+LayoutService::LayoutService(Options opt) : impl_(new Impl) { impl_->opt = opt; }
+LayoutService::~LayoutService() = default;
+
+ServiceResult LayoutService::acquire(const core::BuildRequest& request) {
+  ServiceResult res;
+
+  core::BuildOutcome<const core::LayoutBuilder*> resolved = request.resolve();
+  if (!resolved.ok()) {
+    res.error = resolved.error();
+    res.source = CacheSource::kMiss;
+    return res;
+  }
+  const core::LayoutBuilder* builder = resolved.value();
+  const std::string key = request.canonical_key(*builder);
+
+  std::shared_ptr<Impl::Flight> flight;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    if (auto it = impl_->cache.find(key); it != impl_->cache.end()) {
+      impl_->touch(it->second);
+      ++impl_->st.hits;
+      res.snapshot = it->second.snapshot;
+      res.source = CacheSource::kHit;
+      return res;
+    }
+    if (auto it = impl_->flights.find(key); it != impl_->flights.end()) {
+      // Someone is already building this key: join their flight.
+      ++impl_->st.joins;
+      std::shared_ptr<Impl::Flight> theirs = it->second;
+      theirs->cv.wait(lock, [&] { return theirs->done; });
+      res.snapshot = theirs->snapshot;  // immutable once done
+      res.error = theirs->error;
+      res.source = CacheSource::kJoin;
+      return res;
+    }
+    ++impl_->st.misses;
+    flight = std::make_shared<Impl::Flight>();
+    impl_->flights.emplace(key, flight);
+  }
+
+  // Flight leader: build outside the state mutex, inside the lane.
+  res.source = CacheSource::kMiss;
+  std::shared_ptr<CachedLayout> built;
+  core::BuildError build_error;
+  {
+    std::lock_guard<std::mutex> lane(impl_->lane);
+    const core::ScopedRequestRuntime runtime(request.options);
+    const bool traced = request.options.trace;
+    if (traced) tel::start_trace();
+
+    layout::MaterializingSink sink;
+    auto cached = std::make_shared<CachedLayout>();
+    core::BuildOutcome<layout::RouteStats> out =
+        builder->try_build_stream(request, sink, &cached->graph);
+    if (out.ok()) {
+      cached->key = key;
+      cached->family = std::string(builder->name());
+      cached->params = request.params;
+      cached->passes = request.passes;
+      cached->stats = out.value();
+      cached->node_size = out.value().node_size;
+      cached->layout = sink.take_layout();
+      cached->validation = layout::validate_layout(cached->graph, cached->layout);
+      cached->bytes = estimate_bytes(*cached);
+      built = std::move(cached);
+    } else {
+      build_error = out.error();
+    }
+    if (traced) res.trace_json = tel::stop_trace().to_json();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (built) {
+      ++impl_->st.builds_run;
+      impl_->lru.push_front(key);
+      impl_->cache.emplace(key, Impl::Entry{built, impl_->lru.begin()});
+      ++impl_->st.entries;
+      impl_->st.bytes += built->bytes;
+      impl_->evict_over_budget();
+      flight->snapshot = built;
+      res.snapshot = std::move(built);
+    } else {
+      // Errors are not cached: the flight's joiners share this error, but
+      // the next request for the key gets a fresh attempt.
+      flight->error = build_error;
+      res.error = std::move(build_error);
+    }
+    flight->done = true;
+    flight->cv.notify_all();
+    impl_->flights.erase(key);
+  }
+  return res;
+}
+
+bisect::BisectionResult LayoutService::bisect(const CachedLayout& snapshot) {
+  // layout_slice_bisection runs pool jobs; serialize with builds.
+  std::lock_guard<std::mutex> lane(impl_->lane);
+  return bisect::layout_slice_bisection(snapshot.graph, snapshot.layout);
+}
+
+ServiceStats LayoutService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ServiceStats s = impl_->st;
+  s.byte_budget = impl_->opt.cache_bytes;
+  return s;
+}
+
+std::string LayoutService::handle_line(std::string_view line, bool* shutdown) {
+  core::BuildOutcome<ProtocolRequest> parsed = parse_request(line);
+  if (!parsed.ok()) return error_response(0, parsed.error()).dump();
+  const ProtocolRequest& req = parsed.value();
+
+  if (req.method == "ping")
+    return ok_response(req.id, req.method, "", "", Json("pong")).dump();
+  if (req.method == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    return ok_response(req.id, req.method, "", "", Json(true)).dump();
+  }
+  if (req.method == "stats") {
+    const ServiceStats s = stats();
+    Json result = Json::object();
+    result.set("hits", Json(s.hits));
+    result.set("misses", Json(s.misses));
+    result.set("joins", Json(s.joins));
+    result.set("evictions", Json(s.evictions));
+    result.set("builds_run", Json(s.builds_run));
+    result.set("entries", Json(s.entries));
+    result.set("bytes", Json(s.bytes));
+    result.set("byte_budget", Json(s.byte_budget));
+    return ok_response(req.id, req.method, "", "", std::move(result)).dump();
+  }
+
+  // Everything else is a layout method: it needs a resolvable request.
+  if (req.build.family.empty())
+    return error_response(req.id, invalid("missing 'family'")).dump();
+  if (!req.n_set) return error_response(req.id, invalid("missing 'n'")).dump();
+  if (req.method == "render-window" && !req.have_window)
+    return error_response(req.id, invalid("method 'render-window' requires 'window'")).dump();
+
+  ServiceResult res = acquire(req.build);
+  if (!res.ok()) return error_response(req.id, res.error).dump();
+  const CachedLayout& c = *res.snapshot;
+
+  Json result = Json::object();
+  if (req.method == "build" || req.method == "measure") {
+    result.set("vertices", Json(static_cast<std::int64_t>(c.graph.num_vertices())));
+    result.set("edges", Json(c.graph.num_edges()));
+    result.set("wires", Json(c.layout.num_wires()));
+    result.set("layers", Json(static_cast<std::int64_t>(c.layout.num_layers())));
+    result.set("width", Json(c.layout.width()));
+    result.set("height", Json(c.layout.height()));
+    result.set("area", Json(c.layout.area()));
+    result.set("node_size", Json(c.node_size));
+    result.set("wire_length", Json(c.layout.total_wire_length()));
+    result.set("max_wire_length", Json(c.layout.max_wire_length()));
+    if (req.method == "build") {
+      result.set("valid", Json(c.validation.ok));
+      result.set("verdict", Json(c.validation.summary()));
+    }
+  } else if (req.method == "certify") {
+    result.set("valid", Json(c.validation.ok));
+    result.set("verdict", Json(c.validation.summary()));
+    Json errors = Json::array();
+    for (const std::string& e : c.validation.errors) errors.push_back(Json(e));
+    result.set("errors", std::move(errors));
+  } else if (req.method == "bisect") {
+    const bisect::BisectionResult b = bisect(c);
+    std::int64_t side0 = 0;
+    for (const std::uint8_t s : b.side) side0 += (s == 0) ? 1 : 0;
+    result.set("width", Json(b.width));
+    result.set("vertices", Json(static_cast<std::int64_t>(b.side.size())));
+    result.set("side0", Json(side0));  // witness balance: floor(N/2) vs ceil(N/2)
+  } else {  // render-window (the method set is closed by parse_request)
+    render::SvgOptions ropt;
+    ropt.window = req.window;
+    result.set("svg", Json(render::to_svg(c.layout, ropt)));
+  }
+
+  Json rsp = ok_response(req.id, req.method, c.key, cache_source_name(res.source),
+                         std::move(result));
+  if (!res.trace_json.empty()) {
+    // The trace is itself JSON; embed it structurally so clients read one
+    // document (fall back to a string if it ever fails to re-parse).
+    std::optional<Json> trace = Json::parse(res.trace_json);
+    rsp.set("trace", trace ? std::move(*trace) : Json(res.trace_json));
+  }
+  return rsp.dump();
+}
+
+}  // namespace starlay::serve

@@ -1,0 +1,50 @@
+#pragma once
+/// \file runtime_config.hpp
+/// \brief One startup parse of every STARLAY_* runtime knob.
+///
+/// The execution knobs used to be scattered getenv() calls — the pool read
+/// STARLAY_THREADS, the kernel dispatcher STARLAY_SIMD, the CLI
+/// STARLAY_WORKERS, and the shard engine fell back to a hard-coded spill
+/// directory.  A long-running daemon cannot re-point them per job with
+/// setenv() (getenv/setenv racing across threads is undefined behaviour),
+/// so the environment is now read exactly once, into one immutable struct:
+///
+///  * RuntimeConfig::process() — the process-wide defaults, parsed from the
+///    environment on first use and never again.  Every subsystem that used
+///    to call getenv() reads this instead.
+///  * Per-job overrides travel inside core::BuildRequest::options and are
+///    applied scope-locally (pool resize, kernels::ScopedForcedLevel,
+///    ShardOptions fields) — never by mutating the environment.
+///
+/// The historical variables keep their exact semantics:
+///
+///   STARLAY_THREADS    pool size, clamped to [1, 256]; unset/invalid =
+///                      hardware concurrency
+///   STARLAY_WORKERS    forked shard workers, clamped to [1, 256]; default 1
+///   STARLAY_SIMD       requested kernel level ("scalar", "sse4", "avx2");
+///                      unknown spellings keep auto-detection, unsupported
+///                      levels clamp down (dispatch.cpp owns that logic)
+///   STARLAY_SPILL_DIR  shard-engine spill root; default "starlay_spill"
+
+#include <string>
+
+namespace starlay::support {
+
+struct RuntimeConfig {
+  int threads = 0;        ///< pool size; 0 = hardware concurrency
+  int workers = 1;        ///< forked shard worker processes
+  std::string simd;       ///< requested kernel level; empty = auto-detect
+  std::string spill_dir;  ///< shard spill root; empty = "starlay_spill"
+
+  /// The process-wide defaults, parsed from the environment exactly once
+  /// (thread-safe function-local static).  Later setenv() calls are
+  /// intentionally invisible — consumers needing a different value pass an
+  /// explicit override, they do not mutate the environment.
+  static const RuntimeConfig& process();
+
+  /// Parses a config from getenv-style lookups; exposed so tests can feed
+  /// a fake environment.  \p get may return nullptr (unset).
+  static RuntimeConfig from_env(const char* (*get)(const char*));
+};
+
+}  // namespace starlay::support

@@ -1,0 +1,38 @@
+#include "starlay/support/runtime_config.hpp"
+
+#include <cstdlib>
+
+namespace starlay::support {
+
+namespace {
+
+/// Strict positive-int parse with the historical clamp to [1, 256]; any
+/// unparsable or non-positive value falls back to \p fallback (exactly what
+/// the scattered strtol call sites did).
+int parse_count(const char* s, int fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 1) return fallback;
+  return v > 256 ? 256 : static_cast<int>(v);
+}
+
+const char* real_getenv(const char* name) { return std::getenv(name); }
+
+}  // namespace
+
+RuntimeConfig RuntimeConfig::from_env(const char* (*get)(const char*)) {
+  RuntimeConfig cfg;
+  cfg.threads = parse_count(get("STARLAY_THREADS"), 0);
+  cfg.workers = parse_count(get("STARLAY_WORKERS"), 1);
+  if (const char* simd = get("STARLAY_SIMD"); simd != nullptr) cfg.simd = simd;
+  if (const char* spill = get("STARLAY_SPILL_DIR"); spill != nullptr) cfg.spill_dir = spill;
+  return cfg;
+}
+
+const RuntimeConfig& RuntimeConfig::process() {
+  static const RuntimeConfig cfg = from_env(&real_getenv);
+  return cfg;
+}
+
+}  // namespace starlay::support

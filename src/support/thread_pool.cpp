@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -10,16 +9,14 @@
 
 #include "starlay/support/check.hpp"
 #include "starlay/support/math.hpp"
+#include "starlay/support/runtime_config.hpp"
 
 namespace starlay::support {
 
 namespace {
 
 int env_or_hardware_threads() {
-  if (const char* env = std::getenv("STARLAY_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<int>(v > 256 ? 256 : v);
-  }
+  if (const int cfg = RuntimeConfig::process().threads; cfg >= 1) return cfg;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -1,0 +1,320 @@
+// Service-layer tests for the starlayd engine: the JSON codec, the
+// line protocol (golden round-trips and the malformed-request sweep),
+// single-flight deduplication under real concurrency, and the LRU byte
+// budget.  Everything drives LayoutService::handle_line / acquire
+// directly -- the socket layer adds no semantics (see serve/server.hpp),
+// so these tests need no networking.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "starlay/core/build_request.hpp"
+#include "starlay/serve/json.hpp"
+#include "starlay/serve/service.hpp"
+
+namespace {
+
+using starlay::core::BuildRequest;
+using starlay::serve::CacheSource;
+using starlay::serve::Json;
+using starlay::serve::LayoutService;
+using starlay::serve::ServiceResult;
+using starlay::serve::ServiceStats;
+
+// ---------------------------------------------------------------- JSON codec
+
+TEST(ServeJson, DumpParseRoundTripIsStable) {
+  const std::string doc =
+      R"({"id":3,"s":"a\"b\\c\nd","neg":-17,"f":1.5,"deep":[1,[2,[3]]],"t":true,"z":null})";
+  const std::optional<Json> once = Json::parse(doc);
+  ASSERT_TRUE(once.has_value());
+  const std::string dumped = once->dump();
+  const std::optional<Json> twice = Json::parse(dumped);
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(dumped, twice->dump());  // dump is a fixed point
+}
+
+TEST(ServeJson, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::parse("").has_value());
+  EXPECT_FALSE(Json::parse("{").has_value());
+  EXPECT_FALSE(Json::parse("{}extra").has_value());
+  EXPECT_FALSE(Json::parse("{'single': 1}").has_value());
+  EXPECT_FALSE(Json::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(Json::parse("01").has_value());
+  EXPECT_FALSE(Json::parse("\"\\u12\"").has_value());
+}
+
+TEST(ServeJson, ParseHandlesEscapesAndSurrogates) {
+  const std::optional<Json> j = Json::parse(R"("\u0041\u00e9\ud83d\ude00")");
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->as_string(), "A\xc3\xa9\xf0\x9f\x98\x80");  // A, e-acute, emoji
+}
+
+// ------------------------------------------------------- protocol round-trip
+
+Json response(LayoutService& service, const std::string& line, bool* shutdown = nullptr) {
+  const std::string reply = service.handle_line(line, shutdown);
+  std::optional<Json> rsp = Json::parse(reply);
+  EXPECT_TRUE(rsp.has_value()) << "unparseable response: " << reply;
+  return rsp ? *rsp : Json();
+}
+
+std::string error_code(const Json& rsp) {
+  const Json* err = rsp.find("error");
+  if (err == nullptr) return "";
+  const Json* code = err->find("code");
+  return code != nullptr ? code->as_string() : "";
+}
+
+TEST(ServeProtocol, PingGolden) {
+  LayoutService service;
+  // Byte-exact: the response encoding (field order, compact separators) is
+  // part of the protocol surface clients may diff against.
+  EXPECT_EQ(service.handle_line(R"({"id": 7, "method": "ping"})"),
+            R"({"id":7,"ok":true,"method":"ping","result":"pong"})");
+}
+
+TEST(ServeProtocol, ShutdownSetsFlagAndAcks) {
+  LayoutService service;
+  bool shutdown = false;
+  const Json rsp = response(service, R"({"method": "shutdown"})", &shutdown);
+  EXPECT_TRUE(shutdown);
+  EXPECT_TRUE(rsp.find("ok")->as_bool());
+}
+
+TEST(ServeProtocol, MeasureReturnsLayoutMetrics) {
+  LayoutService service;
+  const Json rsp = response(service, R"({"id": 1, "method": "measure", "family": "star", "n": 4})");
+  ASSERT_TRUE(rsp.find("ok")->as_bool());
+  EXPECT_EQ(rsp.find("cache")->as_string(), "miss");
+  EXPECT_EQ(rsp.find("key")->as_string(), "family=star n=4 base=3");
+  const Json* r = rsp.find("result");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->find("vertices")->as_int(), 24);  // 4!
+  EXPECT_EQ(r->find("edges")->as_int(), 36);     // 4! * 3 / 2
+  EXPECT_GT(r->find("area")->as_int(), 0);
+  EXPECT_GT(r->find("wire_length")->as_int(), 0);
+
+  // The same request again answers from the snapshot.
+  const Json again =
+      response(service, R"({"id": 2, "method": "measure", "family": "star", "n": 4})");
+  EXPECT_EQ(again.find("cache")->as_string(), "hit");
+  EXPECT_EQ(again.find("result")->find("area")->as_int(), r->find("area")->as_int());
+}
+
+TEST(ServeProtocol, CertifyBisectAndRenderShareOneSnapshot) {
+  LayoutService service;
+  const Json cert =
+      response(service, R"({"id": 1, "method": "certify", "family": "star", "n": 4})");
+  ASSERT_TRUE(cert.find("ok")->as_bool());
+  EXPECT_TRUE(cert.find("result")->find("valid")->as_bool());
+  EXPECT_EQ(cert.find("result")->find("errors")->items().size(), 0u);
+
+  const Json bis = response(service, R"({"id": 2, "method": "bisect", "family": "star", "n": 4})");
+  ASSERT_TRUE(bis.find("ok")->as_bool());
+  EXPECT_EQ(bis.find("cache")->as_string(), "hit");  // certify already built it
+  EXPECT_GT(bis.find("result")->find("width")->as_int(), 0);
+  EXPECT_EQ(bis.find("result")->find("vertices")->as_int(), 24);  // 4!
+  EXPECT_EQ(bis.find("result")->find("side0")->as_int(), 12);     // balanced witness
+
+  const Json svg = response(
+      service,
+      R"({"id": 3, "method": "render-window", "family": "star", "n": 4, "window": [0, 0, 40, 40]})");
+  ASSERT_TRUE(svg.find("ok")->as_bool());
+  EXPECT_EQ(svg.find("cache")->as_string(), "hit");
+  EXPECT_NE(svg.find("result")->find("svg")->as_string().find("<svg"), std::string::npos);
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.builds_run, 1);  // one snapshot served all three methods
+  EXPECT_EQ(st.hits, 2);
+}
+
+TEST(ServeProtocol, PassesAndParamsEnterTheCacheKey) {
+  LayoutService service;
+  const Json plain =
+      response(service, R"({"id": 1, "method": "measure", "family": "star", "n": 5})");
+  const Json passed = response(
+      service, R"({"id": 2, "method": "measure", "family": "star", "n": 5, "passes": "compact"})");
+  ASSERT_TRUE(plain.find("ok")->as_bool());
+  ASSERT_TRUE(passed.find("ok")->as_bool());
+  EXPECT_NE(plain.find("key")->as_string(), passed.find("key")->as_string());
+  EXPECT_EQ(passed.find("cache")->as_string(), "miss");  // distinct key: built fresh
+  EXPECT_LE(passed.find("result")->find("area")->as_int(),
+            plain.find("result")->find("area")->as_int());
+}
+
+TEST(ServeProtocol, TraceAttachesOnMissOnly) {
+  LayoutService service;
+  const Json miss = response(
+      service, R"({"id": 1, "method": "measure", "family": "star", "n": 4, "trace": true})");
+  ASSERT_TRUE(miss.find("ok")->as_bool());
+  ASSERT_NE(miss.find("trace"), nullptr);
+
+  const Json hit = response(
+      service, R"({"id": 2, "method": "measure", "family": "star", "n": 4, "trace": true})");
+  EXPECT_EQ(hit.find("cache")->as_string(), "hit");
+  EXPECT_EQ(hit.find("trace"), nullptr);  // no build ran; nothing to trace
+}
+
+// ------------------------------------------------- malformed-request sweep
+
+struct BadRequestCase {
+  const char* name;
+  const char* line;
+  const char* code;        ///< expected error.code
+  const char* suggestion;  ///< expected error.suggestion ("" = absent)
+};
+
+class ServeBadRequest : public ::testing::TestWithParam<BadRequestCase> {};
+
+TEST_P(ServeBadRequest, MapsOntoBuildErrorVocabulary) {
+  LayoutService service;
+  const BadRequestCase& c = GetParam();
+  const Json rsp = response(service, c.line);
+  EXPECT_FALSE(rsp.find("ok")->as_bool()) << c.line;
+  EXPECT_EQ(error_code(rsp), c.code) << c.line;
+  const Json* sug = rsp.find("error")->find("suggestion");
+  if (std::string(c.suggestion).empty()) {
+    EXPECT_EQ(sug, nullptr) << c.line;
+  } else {
+    ASSERT_NE(sug, nullptr) << c.line;
+    EXPECT_EQ(sug->as_string(), c.suggestion) << c.line;
+  }
+  // A request that never parsed must not touch the build machinery.
+  EXPECT_EQ(service.stats().misses + service.stats().builds_run, 0) << c.line;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ServeBadRequest,
+    ::testing::Values(
+        BadRequestCase{"not_json", "this is not json", "invalid-argument", ""},
+        BadRequestCase{"not_object", "[1, 2, 3]", "invalid-argument", ""},
+        BadRequestCase{"bad_n_type", R"({"method": "build", "family": "star", "n": "7"})",
+                       "invalid-argument", ""},
+        BadRequestCase{"bad_id_type", R"({"id": "abc", "method": "ping"})", "invalid-argument",
+                       ""},
+        BadRequestCase{"unknown_field", R"({"method": "ping", "flavor": 1})", "invalid-argument",
+                       ""},
+        BadRequestCase{"missing_method", R"({"family": "star", "n": 4})", "invalid-argument", ""},
+        BadRequestCase{"unknown_method", R"({"method": "biulds"})", "invalid-argument", "build"},
+        BadRequestCase{"unknown_pass",
+                       R"({"method": "build", "family": "star", "n": 4, "passes": "compactt"})",
+                       "unknown-param", "compact"},
+        BadRequestCase{"threads_out_of_range", R"({"method": "ping", "threads": 0})",
+                       "invalid-argument", ""},
+        BadRequestCase{"bad_simd", R"({"method": "ping", "simd": "avx512"})", "invalid-argument",
+                       ""},
+        BadRequestCase{"bad_window", R"({"method": "ping", "window": [1, 2, 3]})",
+                       "invalid-argument", ""}),
+    [](const ::testing::TestParamInfo<BadRequestCase>& param_info) {
+      return param_info.param.name;
+    });
+
+// Errors below need a parsed request (they exercise resolve, not parse),
+// so the miss counter does move; they assert codes only.
+TEST(ServeBadRequest, ResolveErrorsKeepTheBuildErrorVocabulary) {
+  LayoutService service;
+  const Json fam = response(service, R"({"method": "build", "family": "starr", "n": 4})");
+  EXPECT_EQ(error_code(fam), "unknown-family");
+  EXPECT_EQ(fam.find("error")->find("suggestion")->as_string(), "star");
+
+  const Json range = response(service, R"({"method": "build", "family": "star", "n": 40})");
+  EXPECT_EQ(error_code(range), "size-out-of-range");
+  ASSERT_NE(range.find("error")->find("n_lo"), nullptr);
+  ASSERT_NE(range.find("error")->find("n_hi"), nullptr);
+  EXPECT_GT(range.find("error")->find("n_hi")->as_int(), 0);
+
+  EXPECT_EQ(error_code(response(service, R"({"method": "build", "n": 4})")), "invalid-argument");
+  EXPECT_EQ(error_code(response(service, R"({"method": "build", "family": "star"})")),
+            "invalid-argument");
+  EXPECT_EQ(error_code(response(
+                service, R"({"method": "render-window", "family": "star", "n": 4})")),
+            "invalid-argument");  // no window
+  // Errors are never cached: nothing may be resident after this sweep.
+  EXPECT_EQ(service.stats().entries, 0);
+  EXPECT_EQ(service.stats().builds_run, 0);
+}
+
+// ---------------------------------------------------------- single-flight
+
+TEST(ServeSingleFlight, ConcurrentIdenticalRequestsShareOneBuild) {
+  LayoutService service;
+  BuildRequest request = BuildRequest::with_process_defaults();
+  request.family = "star";
+  request.params.n = 6;  // 720 vertices: long enough for joiners to pile up
+  request.passes.compact = true;
+
+  constexpr int kThreads = 8;
+  std::vector<ServiceResult> results(kThreads);
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::yield();
+      results[static_cast<std::size_t>(t)] = service.acquire(request);
+    });
+  }
+  while (ready.load() < kThreads) std::this_thread::yield();
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+
+  int misses = 0;
+  for (const ServiceResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    // Everyone holds the *same* immutable snapshot, not copies of it.
+    EXPECT_EQ(r.snapshot.get(), results[0].snapshot.get());
+    if (r.source == CacheSource::kMiss) ++misses;
+  }
+  EXPECT_EQ(misses, 1);  // exactly one leader
+
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.builds_run, 1);
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.hits + st.joins, kThreads - 1);
+}
+
+// ------------------------------------------------------------ LRU budget
+
+TEST(ServeLru, TinyBudgetEvictsOldSnapshotsButKeepsNewest) {
+  LayoutService::Options opt;
+  opt.cache_bytes = 1;  // every insertion is over budget
+  LayoutService service(opt);
+
+  auto measure = [&](int n) {
+    return response(service,
+                    R"({"method": "measure", "family": "star", "n": )" + std::to_string(n) + "}");
+  };
+
+  EXPECT_EQ(measure(4).find("cache")->as_string(), "miss");
+  EXPECT_EQ(measure(5).find("cache")->as_string(), "miss");  // evicts n=4
+  ServiceStats st = service.stats();
+  EXPECT_EQ(st.entries, 1);  // the newest entry always survives
+  EXPECT_EQ(st.evictions, 1);
+
+  EXPECT_EQ(measure(5).find("cache")->as_string(), "hit");   // newest is resident
+  EXPECT_EQ(measure(4).find("cache")->as_string(), "miss");  // old one was evicted
+  st = service.stats();
+  EXPECT_EQ(st.entries, 1);
+  EXPECT_EQ(st.evictions, 2);
+  EXPECT_EQ(st.builds_run, 3);
+  EXPECT_GT(st.bytes, 0);
+}
+
+TEST(ServeLru, BudgetLargeEnoughKeepsEverything) {
+  LayoutService service;  // default budget: 256 MiB
+  for (int n = 4; n <= 6; ++n) {
+    response(service,
+             R"({"method": "measure", "family": "star", "n": )" + std::to_string(n) + "}");
+  }
+  const ServiceStats st = service.stats();
+  EXPECT_EQ(st.entries, 3);
+  EXPECT_EQ(st.evictions, 0);
+  EXPECT_LE(st.bytes, st.byte_budget);
+}
+
+}  // namespace

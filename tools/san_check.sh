@@ -16,7 +16,9 @@
 # sse4, avx2) so every compiled vector variant's loads, tails, and masked
 # compares run instrumented — not just the level this machine auto-selects.
 # Both sweeps replay the starcheck corpus so every pinned family shape runs
-# its oracle + metamorphic battery under the sanitizer.
+# its oracle + metamorphic battery under the sanitizer, and both run the
+# layout-service suite (single-flight races, LRU bookkeeping) since the
+# daemon's locking is the youngest concurrent code in the tree.
 # A toolchain without a given sanitizer runtime skips it with a notice and
 # does not fail the sweep.
 set -euo pipefail
@@ -29,7 +31,7 @@ fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
          pass_pipeline_test shard_engine_test telemetry_test builder_api_test
-         kernels_test validate_test starcheck)
+         kernels_test validate_test serve_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -59,6 +61,10 @@ for SAN in "${SANITIZERS[@]}"; do
   # snapshot/restore cycles run the router's parallel stages twice per
   # build — prime territory for both sweeps.
   "$BUILD"/tests/pass_pipeline_test
+  # Layout service: single-flight leader election, flight join/notify, and
+  # the LRU under the state mutex are the newest lock-ordering code in the
+  # tree; the concurrency suite drives 8 racing clients through them.
+  "$BUILD"/tests/serve_test
   # Corpus replay: every pinned shape runs the full oracle + metamorphic
   # battery (thread sweep included), which exercises the builders, the
   # streaming certifier, and the pool under the sanitizer in one pass.
