@@ -39,7 +39,7 @@ void print_table() {
                     "area -> N^2/16; 72x below Sykora-Vrt'o 4.5N^2; "
                     "upper/lower -> 1 + o(1)");
   benchutil::row_labels({"n", "N", "area", "N^2/16", "ratio", "model-ratio",
-                         "vsSykoraVrto", "build-ms", "rss-mb", "valid"});
+                         "vsSykoraVrto", "wire_length", "build-ms", "rss-mb", "valid"});
   std::vector<int> sizes{4, 5, 6, 7, 8, 9};
   if (const char* cap = std::getenv("STARLAY_BENCH_MAX_N")) {
     const int max_n = std::atoi(cap);
@@ -97,10 +97,11 @@ void print_table() {
     const double area = static_cast<double>(r->routed.layout.area());
     const double model = core::star_area_model(n).area;
     const double rss_mb = benchutil::peak_rss_mb();
-    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16.1f%16.0f%16s\n", n, N, area,
-                core::star_area(N), area / core::star_area(N), area / model,
-                area / core::sykora_vrto_star_area(N), construct_ms, rss_mb,
-                valid ? "yes" : "NO");
+    std::printf("%16d%16.0f%16.0f%16.0f%16.3f%16.3f%16.4f%16lld%16.1f%16.0f%16s\n", n, N,
+                area, core::star_area(N), area / core::star_area(N), area / model,
+                area / core::sykora_vrto_star_area(N),
+                static_cast<long long>(r->routed.layout.total_wire_length()), construct_ms,
+                rss_mb, valid ? "yes" : "NO");
     benchutil::JsonReport::Row& row = report.add_row();
     row.integer("n", n)
         .integer("N", static_cast<long long>(N))

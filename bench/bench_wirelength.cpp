@@ -1,0 +1,118 @@
+// E22: certified wirelength across families.
+// Wirelength is a first-class certified quantity: every total printed here
+// is the same number the oracle re-sums serially, the metamorphic battery
+// pins across streaming/materialized/sharded modes, and (for the
+// hypercube-like and 3-ary families) the exact host-embedding closed forms
+// of formulas.hpp check as equalities.  The table re-measures the paper's
+// star-vs-hypercube density question on the wirelength axis: total routed
+// wirelength normalized by N^2 alongside area/N^2, across the star, the
+// plain/folded/enhanced hypercubes, and the 3-ary n-cube at comparable
+// node counts.
+//
+// The run is fully deterministic (construction is thread-invariant, pinned
+// by the metamorphic relations), so BENCH_wirelength.json is compared by
+// the bench_wirelength_drift gate with *exact* equality — any drift in a
+// committed total is a construction change, not noise.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "starlay/core/builder.hpp"
+#include "starlay/core/formulas.hpp"
+
+namespace {
+
+void print_table() {
+  using namespace starlay;
+  benchutil::header("E22: certified wirelength across families",
+                    "total/max wirelength are certified quantities; star vs "
+                    "hypercube density holds on the wirelength axis");
+  benchutil::row_labels({"family", "n", "N", "wires", "area", "wire_length",
+                         "max_wire_length", "wl/N^2", "wl-grid-host"});
+
+  struct Case {
+    const char* family;
+    std::vector<int> sizes;
+  };
+  // Comparable node counts: star 6 (720), Q_9/Q_10 (512/1024), 3^6 (729).
+  const Case cases[] = {
+      {"star", {4, 5, 6}},
+      {"hypercube", {6, 8, 10}},
+      {"folded-hypercube", {6, 8, 10}},
+      {"enhanced-hypercube", {6, 8, 10}},
+      {"3ary-cube", {3, 4, 6}},
+  };
+
+  benchutil::JsonReport report("BENCH_wirelength.json");
+  double star_wl_density = 0.0;  // wl/N^2 at the largest star size
+  double cube_wl_density = 0.0;  // wl/N^2 at the largest hypercube size
+  for (const Case& c : cases) {
+    const core::LayoutBuilder* b = core::find_builder(c.family);
+    if (!b) continue;
+    for (int n : c.sizes) {
+      core::BuildParams params;
+      params.n = n;
+      const core::BuildResult built = b->build(params);
+      const layout::Layout& lay = built.routed.layout;
+      const double N = static_cast<double>(built.graph.num_vertices());
+      const std::int64_t wl = lay.total_wire_length();
+      const std::int64_t wl_max = lay.max_wire_length();
+      const double density = static_cast<double>(wl) / (N * N);
+      // The registered exact host-embedding claim, where the family has one
+      // (-1 otherwise) — committed so the drift gate also pins the closed
+      // forms themselves.
+      const core::BoundSpec* spec = b->bound_spec();
+      const std::int64_t wl_grid =
+          spec && spec->wl_grid_exact ? spec->wl_grid_exact(params) : -1;
+      std::printf("%16s%16d%16.0f%16lld%16lld%16lld%16lld%16.5f%16lld\n", c.family, n, N,
+                  static_cast<long long>(lay.num_wires()),
+                  static_cast<long long>(lay.area()), static_cast<long long>(wl),
+                  static_cast<long long>(wl_max), density, static_cast<long long>(wl_grid));
+      benchutil::JsonReport::Row& row = report.add_row();
+      row.str("family", c.family)
+          .integer("n", n)
+          .integer("N", static_cast<long long>(N))
+          .integer("wires", static_cast<long long>(lay.num_wires()))
+          .integer("area", static_cast<long long>(lay.area()))
+          .integer("wire_length", static_cast<long long>(wl))
+          .integer("max_wire_length", static_cast<long long>(wl_max))
+          .num("wl_over_n2", density)
+          .integer("wl_grid_host", static_cast<long long>(wl_grid));
+      if (std::string(c.family) == "star") star_wl_density = density;
+      if (std::string(c.family) == "hypercube") cube_wl_density = density;
+    }
+  }
+  if (report.write()) std::printf("\nwrote BENCH_wirelength.json\n");
+  std::printf("\nheadline on the wirelength axis (hypercube wl/N^2 over star wl/N^2,\n"
+              "largest measured sizes): %.3f  (area-axis claim: %.3f)\n",
+              cube_wl_density / star_wl_density, starlay::core::star_vs_hypercube_ratio());
+}
+
+void BM_TotalWireLengthStar6(benchmark::State& state) {
+  const starlay::core::LayoutBuilder* b = starlay::core::find_builder("star");
+  starlay::core::BuildParams p;
+  p.n = 6;
+  const starlay::core::BuildResult built = b->build(p);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(built.routed.layout.total_wire_length());
+}
+BENCHMARK(BM_TotalWireLengthStar6)->Unit(benchmark::kMillisecond);
+
+void BM_ThreeAryCubeLayout(benchmark::State& state) {
+  const starlay::core::LayoutBuilder* b = starlay::core::find_builder("3ary-cube");
+  starlay::core::BuildParams p;
+  p.n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const starlay::core::BuildResult built = b->build(p);
+    benchmark::DoNotOptimize(built.routed.layout.total_wire_length());
+  }
+}
+BENCHMARK(BM_ThreeAryCubeLayout)->Arg(5)->Arg(6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+STARLAY_BENCH_MAIN(print_table, "wirelength")

@@ -165,6 +165,9 @@ int run_list() {
         std::printf(" area<=%.0fx(n>=%d)", spec->area_slack, spec->area_min_n);
       if (spec->tracks_exact) std::printf(" tracks=exact");
       if (spec->layers_exact) std::printf(" layers=exact");
+      if (spec->wl_grid_exact) std::printf(" wl-grid=exact");
+      if (spec->wl_cylinder_exact) std::printf(" wl-cylinder=exact");
+      if (spec->wl_tree_exact) std::printf(" wl-tree=exact");
       std::printf("  [%s]", spec->claim);
     } else {
       std::printf("  (no registered bounds)");
@@ -178,8 +181,8 @@ int run_list() {
 /// the BoundSpec leading term — the table the slack factors are calibrated
 /// from.
 int run_calibrate(const std::vector<std::string>& families) {
-  std::printf("%-22s %4s %12s %16s %8s %7s %6s\n", "family", "n", "area", "leading",
-              "ratio", "tracks", "layers");
+  std::printf("%-22s %4s %12s %16s %8s %7s %6s %14s %10s\n", "family", "n", "area",
+              "leading", "ratio", "tracks", "layers", "wl-total", "wl-max");
   int rc = 0;
   for (const starlay::core::LayoutBuilder* b : starlay::core::all_builders()) {
     if (!families.empty()) {
@@ -202,14 +205,16 @@ int run_calibrate(const std::vector<std::string>& families) {
       }
       const starlay::check::MeasuredBounds m =
           starlay::check::measure_bounds(*b, probe.params, built.value());
-      std::printf("%-22s %4d %12lld %16.1f %8s %7lld %6d\n", probe.family.c_str(), n,
-                  static_cast<long long>(m.area), m.area_leading,
+      std::printf("%-22s %4d %12lld %16.1f %8s %7lld %6d %14lld %10lld\n",
+                  probe.family.c_str(), n, static_cast<long long>(m.area), m.area_leading,
                   m.area_leading > 0
                       ? std::to_string(static_cast<double>(m.area) / m.area_leading)
                             .substr(0, 8)
                             .c_str()
                       : "-",
-                  static_cast<long long>(m.distinct_tracks), m.num_layers);
+                  static_cast<long long>(m.distinct_tracks), m.num_layers,
+                  static_cast<long long>(m.total_wire_length),
+                  static_cast<long long>(m.max_wire_length));
       // Stop each family once builds get big; calibration needs the trend,
       // not the tail.
       if (built.value().routed.layout.num_wires() > 10000) break;

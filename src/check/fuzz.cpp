@@ -34,6 +34,7 @@ int family_n_cap(std::string_view name, int lo, int hi) {
       {"bubble-sort", 6},   {"transposition", 6},     {"multilayer-star", 6},
       {"hcn", 4},           {"hfn", 4},               {"multilayer-hcn", 4},
       {"multilayer-hfn", 4},{"hypercube", 8},         {"folded-hypercube", 8},
+      {"enhanced-hypercube", 8},                      {"3ary-cube", 4},
       {"complete2d", 12},   {"complete2d-compact", 12},
       {"complete2d-directed", 10},                    {"collinear", 16},
       {"collinear-paper", 16},

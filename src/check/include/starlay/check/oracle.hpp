@@ -23,6 +23,13 @@
 ///  * *Paper-bound recomputation* — the family's BoundSpec (builder.hpp)
 ///    closed forms are re-evaluated from BuildParams and compared against
 ///    the layout's measured area, distinct-track count, and layer count.
+///  * *Wirelength recomputation* — total and max wirelength are re-summed
+///    serially from the raw polylines (independently of the chunk-parallel
+///    production reductions) and compared exactly; every polyline must be
+///    at least the Manhattan distance between its endpoints; and where the
+///    BoundSpec claims exact host-embedding wirelengths (grid / cylinder /
+///    3-ary tree), the oracle recovers the logical lattice from the node
+///    rectangle centers and checks the closed forms as *equalities*.
 ///
 /// A violation from the oracle on a validator-clean layout means one of
 /// the two is wrong — exactly the disagreement machine-generated checking
@@ -70,6 +77,24 @@ struct MeasuredBounds {
   double area_leading = 0.0;  ///< BoundSpec closed form; 0 when absent
   std::int64_t distinct_tracks = 0;  ///< distinct horizontal wire lines
   int num_layers = 0;
+
+  /// Serial scalar recompute of the routed wirelengths from the raw
+  /// polylines — deliberately NOT Layout::total_wire_length(), so the
+  /// chunk-parallel production reduction has an independent witness.
+  std::int64_t total_wire_length = 0;
+  std::int64_t max_wire_length = 0;
+
+  /// Host-embedding wirelengths measured from the finished geometry: the
+  /// logical lattice is recovered by ranking the distinct node-rectangle
+  /// center lines, then each subject edge contributes the host-graph
+  /// distance between its endpoints' lattice coordinates (grid: Manhattan;
+  /// cylinder: the axis with fewer distinct lines wraps, ties wrap y).
+  /// The tree host is measured from vertex ids alone (complete 3-ary tree
+  /// distance), independent of geometry.  -1 = not recoverable (a node
+  /// without a rectangle).
+  std::int64_t wl_grid_host = -1;
+  std::int64_t wl_cylinder_host = -1;
+  std::int64_t wl_tree_host = -1;
 };
 
 /// Recomputes the measured quantities of \p built for bound comparison.

@@ -87,6 +87,12 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
       if (sink.num_wires() != lay.num_wires())
         rep.fail("stream wire count " + std::to_string(sink.num_wires()) +
                  " != materialized " + std::to_string(lay.num_wires()));
+      if (sink.total_wire_length() != lay.total_wire_length())
+        rep.fail("stream total wire length " + std::to_string(sink.total_wire_length()) +
+                 " != materialized " + std::to_string(lay.total_wire_length()));
+      if (sink.max_wire_length() != lay.max_wire_length())
+        rep.fail("stream max wire length " + std::to_string(sink.max_wire_length()) +
+                 " != materialized " + std::to_string(lay.max_wire_length()));
       const std::vector<layout::Rect>& rects = sink.node_rects();
       if (static_cast<std::int64_t>(rects.size()) != lay.num_nodes()) {
         rep.fail("stream node count " + std::to_string(rects.size()) +
@@ -196,6 +202,12 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
       if (sr.area != lay.area())
         rep.fail("certifier area " + std::to_string(sr.area) + " != materialized " +
                  std::to_string(lay.area()));
+      if (sr.total_wire_length != lay.total_wire_length())
+        rep.fail("certifier total wire length " + std::to_string(sr.total_wire_length) +
+                 " != materialized " + std::to_string(lay.total_wire_length()));
+      if (sr.max_wire_length != lay.max_wire_length())
+        rep.fail("certifier max wire length " + std::to_string(sr.max_wire_length) +
+                 " != materialized " + std::to_string(lay.max_wire_length()));
     }
   }
 
@@ -247,6 +259,10 @@ MetamorphicReport run_metamorphic(const core::LayoutBuilder& builder,
         rep.fail(label + ": wire length " +
                  std::to_string(sr.stream.total_wire_length) + " != materialized " +
                  std::to_string(lay.total_wire_length()));
+      if (sr.stream.max_wire_length != lay.max_wire_length())
+        rep.fail(label + ": max wire length " +
+                 std::to_string(sr.stream.max_wire_length) + " != materialized " +
+                 std::to_string(lay.max_wire_length()));
     }
     support::remove_tree(spill_root);  // the engine only removes star_n<n>
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <string>
 
 namespace starlay::check {
@@ -78,6 +79,34 @@ Point seg_point(const OSeg& s, Coord along) {
   return s.horizontal ? Point{along, s.line} : Point{s.line, along};
 }
 
+std::int64_t polyline_length(const WireRef& w) {
+  std::int64_t len = 0;
+  for (int i = 1; i < w.npts(); ++i) {
+    const Point a = w.pt(i - 1);
+    const Point b = w.pt(i);
+    len += std::abs(static_cast<std::int64_t>(b.x) - a.x) +
+           std::abs(static_cast<std::int64_t>(b.y) - a.y);
+  }
+  return len;
+}
+
+/// Complete 3-ary tree distance between vertex ids: climb both toward the
+/// root (id/3) until they meet; every climb step costs 1 on each side.
+std::int64_t tree3_distance(std::int32_t u, std::int32_t v) {
+  std::int64_t steps = 0;
+  while (u != v) {
+    u /= 3;
+    v /= 3;
+    ++steps;
+  }
+  return 2 * steps;
+}
+
+/// Rank of \p value in the sorted distinct list \p lines.
+std::int64_t line_rank(const std::vector<std::int64_t>& lines, std::int64_t value) {
+  return std::lower_bound(lines.begin(), lines.end(), value) - lines.begin();
+}
+
 }  // namespace
 
 MeasuredBounds measure_bounds(const core::LayoutBuilder& builder,
@@ -101,6 +130,60 @@ MeasuredBounds measure_bounds(const core::LayoutBuilder& builder,
       std::unique(lines.begin(), lines.end()) - lines.begin();
   if (const core::BoundSpec* spec = builder.bound_spec())
     if (spec->area_leading) m.area_leading = spec->area_leading(params);
+
+  // Serial wirelength recompute (independent witness for the parallel
+  // production reductions).
+  for (const WireRef w : lay.wires()) {
+    const std::int64_t len = polyline_length(w);
+    m.total_wire_length += len;
+    m.max_wire_length = std::max(m.max_wire_length, len);
+  }
+
+  // Host-embedding wirelengths: recover the logical lattice by ranking the
+  // distinct node-center lines (2x the center keeps everything integral),
+  // then sum host distances over the subject edges.
+  const topology::Graph& g = built.graph;
+  const std::int32_t V = g.num_vertices();
+  std::vector<std::int64_t> cx(static_cast<std::size_t>(V));
+  std::vector<std::int64_t> cy(static_cast<std::size_t>(V));
+  bool lattice_ok = V > 0;
+  for (std::int32_t v = 0; v < V && lattice_ok; ++v) {
+    const Rect& r = lay.node_rect(v);
+    if (r.empty()) {
+      lattice_ok = false;
+      break;
+    }
+    cx[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(r.x0) + r.x1;
+    cy[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(r.y0) + r.y1;
+  }
+  if (lattice_ok) {
+    std::vector<std::int64_t> xs = cx;
+    std::vector<std::int64_t> ys = cy;
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+    const std::int64_t n_cols = static_cast<std::int64_t>(xs.size());
+    const std::int64_t n_rows = static_cast<std::int64_t>(ys.size());
+    // The cylinder host wraps the axis with fewer distinct lines; a tie
+    // wraps y (the builder.hpp convention).
+    const bool wrap_y = n_rows <= n_cols;
+    const std::int64_t wrap_len = wrap_y ? n_rows : n_cols;
+    m.wl_grid_host = 0;
+    m.wl_cylinder_host = 0;
+    m.wl_tree_host = 0;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      const topology::Edge& edge = g.edge(e);
+      const std::int64_t dc = std::abs(line_rank(xs, cx[static_cast<std::size_t>(edge.u)]) -
+                                       line_rank(xs, cx[static_cast<std::size_t>(edge.v)]));
+      const std::int64_t dr = std::abs(line_rank(ys, cy[static_cast<std::size_t>(edge.u)]) -
+                                       line_rank(ys, cy[static_cast<std::size_t>(edge.v)]));
+      m.wl_grid_host += dc + dr;
+      const std::int64_t wrapped = wrap_y ? dr : dc;
+      m.wl_cylinder_host += (wrap_y ? dc : dr) + std::min(wrapped, wrap_len - wrapped);
+      m.wl_tree_host += tree3_distance(edge.u, edge.v);
+    }
+  }
   return m;
 }
 
@@ -229,10 +312,37 @@ OracleReport run_oracle(const core::LayoutBuilder& builder, const core::BuildPar
     }
   }
 
+  // --- wirelength recomputation -------------------------------------------
+  const MeasuredBounds m = measure_bounds(builder, params, built);
+  // Universal per-wire lower bound: a rectilinear route can never be
+  // shorter than the Manhattan distance between its endpoints.
+  for (const WireRef w : lay.wires()) {
+    if (w.npts() < 2) continue;  // reported above
+    const Point a = w.front();
+    const Point b = w.back();
+    const std::int64_t manhattan = std::abs(static_cast<std::int64_t>(b.x) - a.x) +
+                                   std::abs(static_cast<std::int64_t>(b.y) - a.y);
+    const std::int64_t len = polyline_length(w);
+    if (len < manhattan)
+      rep.fail("wire " + std::to_string(w.index()) + ": polyline length " +
+                   std::to_string(len) + " below endpoint Manhattan distance " +
+                   std::to_string(manhattan),
+               max_v);
+  }
+  // The chunk-parallel production reductions must agree exactly with the
+  // serial scalar recompute.
+  if (lay.total_wire_length() != m.total_wire_length)
+    rep.fail("Layout::total_wire_length() " + std::to_string(lay.total_wire_length()) +
+                 " != serial recompute " + std::to_string(m.total_wire_length),
+             max_v);
+  if (lay.max_wire_length() != m.max_wire_length)
+    rep.fail("Layout::max_wire_length() " + std::to_string(lay.max_wire_length()) +
+                 " != serial recompute " + std::to_string(m.max_wire_length),
+             max_v);
+
   // --- paper-bound recomputation ------------------------------------------
   if (const core::BoundSpec* spec = builder.bound_spec()) {
     rep.bounds_checked = true;
-    const MeasuredBounds m = measure_bounds(builder, params, built);
     if (spec->area_leading && params.n >= spec->area_min_n) {
       const double bound = spec->area_slack * m.area_leading;
       if (static_cast<double>(m.area) > bound)
@@ -258,6 +368,29 @@ OracleReport run_oracle(const core::LayoutBuilder& builder, const core::BuildPar
                      std::to_string(want) + " (" + spec->claim + ")",
                  max_v);
     }
+    // Exact host-embedding wirelength equalities.  Checked against the
+    // quantities measured from the recovered lattice / vertex ids, so a
+    // permuted placement or missing edge trips them even when the layout
+    // stays geometrically clean.
+    const auto check_wl = [&](const std::function<std::int64_t(const core::BuildParams&)>& fn,
+                              std::int64_t measured, const char* host) {
+      if (!fn) return;
+      if (measured < 0) {
+        rep.fail(std::string("host wirelength (") + host +
+                     ") claimed but lattice not recoverable (" + spec->claim + ")",
+                 max_v);
+        return;
+      }
+      const std::int64_t want = fn(params);
+      if (measured != want)
+        rep.fail(std::string("host wirelength (") + host + ") " + std::to_string(measured) +
+                     " != exact closed form " + std::to_string(want) + " (" + spec->claim +
+                     ")",
+                 max_v);
+    };
+    check_wl(spec->wl_grid_exact, m.wl_grid_host, "grid");
+    check_wl(spec->wl_cylinder_exact, m.wl_cylinder_host, "cylinder");
+    check_wl(spec->wl_tree_exact, m.wl_tree_host, "tree");
   }
 
   // Universal lower bound: with pairwise-disjoint nodes inside the bounding

@@ -13,6 +13,7 @@
 #include "starlay/core/complete2d.hpp"
 #include "starlay/core/hcn_layout.hpp"
 #include "starlay/core/hypercube_layout.hpp"
+#include "starlay/core/kary_layout.hpp"
 #include "starlay/core/multilayer_star.hpp"
 #include "starlay/core/formulas.hpp"
 #include "starlay/core/star_layout.hpp"
@@ -144,6 +145,17 @@ const std::vector<FnBuilder>& registry() {
     const auto two_layers = [](const BuildParams&) { return 2; };
     const auto ml_layers = [](const BuildParams& p) { return multilayer_layers(p.layers); };
 
+    // Attaches the exact host-embedding wirelength claims (declared after
+    // `claim` in BoundSpec, so they are set by name rather than position).
+    using WlFn = std::function<std::int64_t(const BuildParams&)>;
+    const auto with_wl = [](BoundSpec spec, WlFn grid, WlFn cylinder = nullptr,
+                            WlFn tree = nullptr) {
+      spec.wl_grid_exact = std::move(grid);
+      spec.wl_cylinder_exact = std::move(cylinder);
+      spec.wl_tree_exact = std::move(tree);
+      return spec;
+    };
+
     add("star", "n-star graph, optimal N^2/16 hierarchical layout (Lemma 2.2)", {2, 12},
         kParamBaseSize,
         [](const BuildParams& p) { return from_star(star_layout(p.n, p.base_size)); },
@@ -267,8 +279,10 @@ const std::vector<FnBuilder>& registry() {
         [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
           return hypercube_layout_stream(p.n, s, g);
         },
-        BoundSpec{[](const BuildParams& p) { return hypercube_area(two_pow(p.n)); }, 12.0, 4,
-                  nullptr, two_layers, "Yeh-Varvarigos-Parhami [28]: area (4/9)N^2"});
+        with_wl(BoundSpec{[](const BuildParams& p) { return hypercube_area(two_pow(p.n)); },
+                          12.0, 4, nullptr, two_layers,
+                          "Yeh-Varvarigos-Parhami [28]: area (4/9)N^2"},
+                [](const BuildParams& p) { return hypercube_grid_wirelength(p.n); }));
     add("folded-hypercube", "d-dimensional folded hypercube, bit-split placement", {1, 16},
         kUsesNone,
         [](const BuildParams& p) {
@@ -279,8 +293,39 @@ const std::vector<FnBuilder>& registry() {
           return folded_hypercube_layout_stream(p.n, s, g);
         },
         // Doubled link count roughly quadruples the area of [28]'s bound.
-        BoundSpec{[](const BuildParams& p) { return 4.0 * hypercube_area(two_pow(p.n)); },
-                  8.0, 4, nullptr, two_layers, "[28] baseline, folded variant"});
+        with_wl(BoundSpec{[](const BuildParams& p) { return 4.0 * hypercube_area(two_pow(p.n)); },
+                          8.0, 4, nullptr, two_layers, "[28] baseline, folded variant"},
+                [](const BuildParams& p) { return folded_hypercube_grid_wirelength(p.n); }));
+    add("enhanced-hypercube",
+        "enhanced hypercube Q(d, 2) (Tzeng-Wei partial complement links)", {2, 16}, kUsesNone,
+        [](const BuildParams& p) {
+          HypercubeLayoutResult r = enhanced_hypercube_layout(p.n);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return enhanced_hypercube_layout_stream(p.n, s, g);
+        },
+        // Degree d+1 like the folded cube, so the same quadrupled [28] bound.
+        with_wl(BoundSpec{[](const BuildParams& p) { return 4.0 * hypercube_area(two_pow(p.n)); },
+                          8.0, 4, nullptr, two_layers,
+                          "[28] baseline, Tzeng-Wei Q(d,2) variant"},
+                [](const BuildParams& p) { return enhanced_hypercube_grid_wirelength(p.n); }));
+    add("3ary-cube", "3-ary n-cube, digit-split placement (arXiv 2204.12079 hosts)", {1, 10},
+        kUsesNone,
+        [](const BuildParams& p) {
+          KaryLayoutResult r = threeary_cube_layout(p.n);
+          return BuildResult{std::move(r.graph), std::move(r.routed)};
+        },
+        [](const BuildParams& p, layout::WireSink& s, topology::Graph* g) {
+          return threeary_cube_layout_stream(p.n, s, g);
+        },
+        // No leading-term area claim; the exact grid/cylinder/tree host
+        // wirelengths pin the placement and edge set instead.
+        with_wl(BoundSpec{nullptr, 0.0, 0, nullptr, two_layers,
+                          "arXiv 2204.12079: exact grid/cylinder/tree host wirelengths"},
+                [](const BuildParams& p) { return threeary_grid_wirelength(p.n); },
+                [](const BuildParams& p) { return threeary_cylinder_wirelength(p.n); },
+                [](const BuildParams& p) { return threeary_tree_wirelength(p.n); }));
     add("complete2d", "K_m on a near-square grid, area m^4/16 (Lemma 2.1)", {2, 4096},
         kParamMultiplicity,
         [](const BuildParams& p) {

@@ -39,6 +39,13 @@ HypercubeLayoutResult folded_hypercube_layout(int d) {
   return {std::move(g), std::move(routed)};
 }
 
+HypercubeLayoutResult enhanced_hypercube_layout(int d) {
+  topology::Graph g = topology::enhanced_hypercube(d, 2);
+  const layout::Placement p = hypercube_placement(d);
+  layout::RoutedLayout routed = layout::route_grid(g, p);
+  return {std::move(g), std::move(routed)};
+}
+
 layout::RouteStats hypercube_layout_stream(int d, layout::WireSink& sink,
                                            topology::Graph* graph_out) {
   topology::Graph g = topology::hypercube(d);
@@ -52,6 +59,16 @@ layout::RouteStats hypercube_layout_stream(int d, layout::WireSink& sink,
 layout::RouteStats folded_hypercube_layout_stream(int d, layout::WireSink& sink,
                                                   topology::Graph* graph_out) {
   topology::Graph g = topology::folded_hypercube(d);
+  const layout::Placement p = hypercube_placement(d);
+  g.release_adjacency();
+  layout::RouteStats stats = layout::route_grid_stream(g, p, {}, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
+layout::RouteStats enhanced_hypercube_layout_stream(int d, layout::WireSink& sink,
+                                                    topology::Graph* graph_out) {
+  topology::Graph g = topology::enhanced_hypercube(d, 2);
   const layout::Placement p = hypercube_placement(d);
   g.release_adjacency();
   layout::RouteStats stats = layout::route_grid_stream(g, p, {}, {}, sink);

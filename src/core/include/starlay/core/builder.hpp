@@ -108,6 +108,29 @@ struct BoundSpec {
   std::function<int(const BuildParams&)> layers_exact;
 
   const char* claim = "";  ///< the lemma/theorem the bounds come from
+
+  /// Exact *host-embedding* total wirelengths (arXiv 2204.12079 /
+  /// cs/0105034 style): the sum over subject edges of the host-graph
+  /// distance between the endpoint slots of the family's placement,
+  /// independent of how the router detours around congestion.  The oracle
+  /// recovers the logical lattice from the finished node rectangles and
+  /// checks these as *equalities*, so a silently permuted placement or a
+  /// dropped edge trips them even when the layout stays validator-clean.
+  ///
+  ///  * wl_grid_exact — host is the rows x cols grid (Manhattan distance
+  ///    on recovered lattice coordinates).
+  ///  * wl_cylinder_exact — grid with the axis that has FEWER distinct
+  ///    lines wrapped (ties wrap y); distances on that axis go modular.
+  ///  * wl_tree_exact — host is the complete 3-ary tree over vertex ids
+  ///    (distance 2*steps where steps = iterations of u/=3, v/=3 until
+  ///    equal); measured from ids alone, so it pins the edge set itself.
+  ///
+  /// Absent (default) = no claim for that host.  (Declared after `claim`
+  /// so the registry's positional BoundSpec initializers, which end at the
+  /// claim string, keep working; wl claims are attached by name.)
+  std::function<std::int64_t(const BuildParams&)> wl_grid_exact;
+  std::function<std::int64_t(const BuildParams&)> wl_cylinder_exact;
+  std::function<std::int64_t(const BuildParams&)> wl_tree_exact;
 };
 
 /// One network family's entry point, in both execution modes.

@@ -67,6 +67,73 @@ inline double star_vs_hypercube_ratio() { return 64.0 / 9.0; }
 /// Exact hypercube bisection width: N/2.
 inline std::int64_t hypercube_bisection(std::int64_t N) { return N / 2; }
 
+// ---- Host-embedding wirelengths (arXiv 2204.12079 / cs/0105034 style) ------
+//
+// Exact total wirelength of the canonical bit/digit-split placements into
+// abstract host metrics, re-derived in the style of the 3-ary n-cube
+// embedding paper (arXiv 2204.12079: cylinders and complete ternary trees)
+// and measured independently by the oracle (check/oracle.cpp) from the
+// finished geometry.  All are exact integers, not leading terms, so the
+// oracle checks them as equalities — an off-by-one in a placement digit
+// split trips them where slack-bounded area checks stay silent.
+
+inline std::int64_t int_pow(std::int64_t base, int e) {
+  std::int64_t p = 1;
+  for (int i = 0; i < e; ++i) p *= base;
+  return p;
+}
+
+/// Hypercube Q_d, bit-split placement (low d/2 bits -> row): the dimension-b
+/// link moves one lattice step of weight 2^b inside its half, 2^(d-1) links
+/// per dimension.  Sum: 2^(d-1) (2^floor(d/2) + 2^ceil(d/2) - 2).
+inline std::int64_t hypercube_grid_wirelength(int d) {
+  const int rb = d / 2;
+  return int_pow(2, d - 1) * (int_pow(2, rb) + int_pow(2, d - rb) - 2);
+}
+
+/// Folded hypercube FQ_d on the same placement: Q_d plus N/2 complement
+/// links; complementing reflects both lattice coordinates, contributing
+/// (cols floor(rows^2/2) + rows floor(cols^2/2)) / 2 in total.
+inline std::int64_t folded_hypercube_grid_wirelength(int d) {
+  const std::int64_t rows = int_pow(2, d / 2);
+  const std::int64_t cols = int_pow(2, d - d / 2);
+  return hypercube_grid_wirelength(d) +
+         (cols * (rows * rows / 2) + rows * (cols * cols / 2)) / 2;
+}
+
+/// Enhanced hypercube Q(d, 2) on the same placement: the partial complement
+/// keeps bit 0 (a row bit), reflecting rows in pairs and columns fully:
+/// extra links contribute 2 cols floor(rows^2/8) + rows cols^2/4.
+inline std::int64_t enhanced_hypercube_grid_wirelength(int d) {
+  const std::int64_t rows = int_pow(2, d / 2);
+  const std::int64_t cols = int_pow(2, d - d / 2);
+  return hypercube_grid_wirelength(d) + 2 * cols * (rows * rows / 8) +
+         rows * cols * cols / 4;
+}
+
+/// 3-ary n-cube, digit-split placement (low n/2 digits -> row): a dimension
+/// line {0, 1, 2} at digit weight w costs (1 + 1 + 2) w = 4w, 3^(n-1) lines
+/// per dimension.  Sum: 2 * 3^(n-1) (3^floor(n/2) + 3^ceil(n/2) - 2).
+inline std::int64_t threeary_grid_wirelength(int n) {
+  const int a = n / 2;
+  return 2 * int_pow(3, n - 1) * (int_pow(3, a) + int_pow(3, n - a) - 2);
+}
+
+/// Same placement with the row axis closed into a cycle (the 2204.12079
+/// cylinder host): only the top row digit's wrap link benefits, saving
+/// 3^(a-1) on one link of each of the 3^(n-1) lines of that dimension.
+inline std::int64_t threeary_cylinder_wirelength(int n) {
+  const int a = n / 2;
+  return threeary_grid_wirelength(n) - (a >= 1 ? int_pow(3, n + a - 2) : 0);
+}
+
+/// Complete ternary tree host, leaves in digit order: a dimension-j link
+/// joins leaves whose lowest common ancestor sits j+1 levels up, so it
+/// costs 2(j+1); 3^n links per dimension.  Sum: 3^n n (n+1).
+inline std::int64_t threeary_tree_wirelength(int n) {
+  return int_pow(3, n) * n * (n + 1);
+}
+
 // ---- HCN / HFN (Lemma 2.4, Theorems 3.10, 4.2) ------------------------------
 
 /// Leading term of the optimal HCN/HFN layout area.

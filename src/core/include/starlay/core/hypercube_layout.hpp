@@ -22,12 +22,19 @@ struct HypercubeLayoutResult {
 HypercubeLayoutResult hypercube_layout(int d);
 HypercubeLayoutResult folded_hypercube_layout(int d);
 
+/// Enhanced hypercube Q(d, 2) (Tzeng & Wei) on the same bit-split
+/// placement; the partial-complement links keep bit 0, so they reflect
+/// rows pairwise and columns fully.
+HypercubeLayoutResult enhanced_hypercube_layout(int d);
+
 /// Streaming variants: same constructions, wires emitted into \p sink
 /// instead of materialized (see star_layout.hpp for the conventions).
 layout::RouteStats hypercube_layout_stream(int d, layout::WireSink& sink,
                                            topology::Graph* graph_out = nullptr);
 layout::RouteStats folded_hypercube_layout_stream(int d, layout::WireSink& sink,
                                                   topology::Graph* graph_out = nullptr);
+layout::RouteStats enhanced_hypercube_layout_stream(int d, layout::WireSink& sink,
+                                                    topology::Graph* graph_out = nullptr);
 
 /// The bit-split placement used above (exposed for the HCN layout, which
 /// replicates it inside every cluster block).

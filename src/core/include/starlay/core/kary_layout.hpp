@@ -1,0 +1,34 @@
+#pragma once
+/// \file kary_layout.hpp
+/// \brief Digit-split grid layout for the 3-ary n-cube.
+///
+/// The k-ary analogue of hypercube_layout.hpp: the n base-3 digits of a
+/// vertex split into a row half (low floor(n/2) digits) and a column half,
+/// so every dimension line {0, 1, 2} runs inside one row or one column and
+/// the channel packer sees the same collinear profile the hypercube does.
+/// The placement's host-embedding wirelengths have exact closed forms
+/// (formulas.hpp, arXiv 2204.12079 style) that the oracle re-measures from
+/// the finished geometry and checks as equalities.
+
+#include "starlay/layout/router.hpp"
+#include "starlay/topology/graph.hpp"
+
+namespace starlay::core {
+
+struct KaryLayoutResult {
+  topology::Graph graph;
+  layout::RoutedLayout routed;
+};
+
+KaryLayoutResult threeary_cube_layout(int n);
+
+/// Streaming variant: same construction, wires emitted into \p sink
+/// instead of materialized (see star_layout.hpp for the conventions).
+layout::RouteStats threeary_cube_layout_stream(int n, layout::WireSink& sink,
+                                               topology::Graph* graph_out = nullptr);
+
+/// The digit-split placement used above: rows = 3^floor(n/2) (low digits),
+/// cols = 3^ceil(n/2) (high digits).
+layout::Placement threeary_cube_placement(int n);
+
+}  // namespace starlay::core

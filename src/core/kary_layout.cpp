@@ -1,0 +1,45 @@
+#include "starlay/core/kary_layout.hpp"
+
+#include "starlay/core/formulas.hpp"
+#include "starlay/layout/placement.hpp"
+#include "starlay/support/check.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay::core {
+
+layout::Placement threeary_cube_placement(int n) {
+  STARLAY_REQUIRE(n >= 1, "threeary_cube_placement: n must be >= 1");
+  const int row_digits = n / 2;  // low digits index the row
+  const std::int32_t rows = static_cast<std::int32_t>(int_pow(3, row_digits));
+  const std::int32_t cols = static_cast<std::int32_t>(int_pow(3, n - row_digits));
+  layout::Placement p;
+  p.rows = rows;
+  p.cols = cols;
+  const std::int32_t N = static_cast<std::int32_t>(int_pow(3, n));
+  p.slot.resize(static_cast<std::size_t>(N));
+  for (std::int32_t v = 0; v < N; ++v) {
+    const std::int32_t r = v % rows;
+    const std::int32_t c = v / rows;
+    p.slot[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(r) * cols + c;
+  }
+  return p;
+}
+
+KaryLayoutResult threeary_cube_layout(int n) {
+  topology::Graph g = topology::threeary_cube(n);
+  const layout::Placement p = threeary_cube_placement(n);
+  layout::RoutedLayout routed = layout::route_grid(g, p);
+  return {std::move(g), std::move(routed)};
+}
+
+layout::RouteStats threeary_cube_layout_stream(int n, layout::WireSink& sink,
+                                               topology::Graph* graph_out) {
+  topology::Graph g = topology::threeary_cube(n);
+  const layout::Placement p = threeary_cube_placement(n);
+  g.release_adjacency();
+  layout::RouteStats stats = layout::route_grid_stream(g, p, {}, {}, sink);
+  if (graph_out) *graph_out = std::move(g);
+  return stats;
+}
+
+}  // namespace starlay::core

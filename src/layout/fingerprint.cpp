@@ -1,5 +1,9 @@
 #include "starlay/layout/fingerprint.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
 #include "starlay/layout/kernels/kernels.hpp"
 #include "starlay/support/check.hpp"
 #include "starlay/support/thread_pool.hpp"
@@ -49,6 +53,17 @@ std::uint64_t fold_chunked(std::int64_t count, const HashF& wire_hash) {
 
 }  // namespace
 
+std::int64_t wire_polyline_length(const Wire& w) {
+  std::int64_t len = 0;
+  for (int i = 1; i < w.npts; ++i) {
+    const Point a = w.pts[static_cast<std::size_t>(i - 1)];
+    const Point b = w.pts[static_cast<std::size_t>(i)];
+    len += std::abs(static_cast<std::int64_t>(b.x) - a.x) +
+           std::abs(static_cast<std::int64_t>(b.y) - a.y);
+  }
+  return len;
+}
+
 std::uint64_t wire_content_hash(const Wire& w) {
   std::uint64_t h = kFingerprintSeed;
   h = fingerprint_mix(h, w.edge);
@@ -87,12 +102,17 @@ void FingerprintingSink::begin(const topology::Graph& g, std::vector<Rect>&& nod
   buffered_.clear();
   fingerprint_ = kFingerprintSeed;
   num_wires_ = 0;
+  total_wire_length_ = 0;
+  max_wire_length_ = 0;
   bulk_done_ = false;
 }
 
 void FingerprintingSink::emit(const Wire& w) {
   STARLAY_REQUIRE(!bulk_done_, "fingerprint: emit() after emit_bulk()");
   buffered_.push_back(wire_content_hash(w));
+  const std::int64_t len = wire_polyline_length(w);
+  total_wire_length_ += len;
+  max_wire_length_ = std::max(max_wire_length_, len);
 }
 
 void FingerprintingSink::emit_bulk(std::int64_t count, std::int64_t grain,
@@ -104,12 +124,25 @@ void FingerprintingSink::emit_bulk(std::int64_t count, std::int64_t grain,
   // (and thread count) produces the same value.  fill is pure by the
   // WireSink contract, so replaying it here at a different grain is fine.
   (void)grain;
+  // Wirelengths ride along on the digest scan: a relaxed fetch_add for the
+  // total and a CAS max — both order-independent integer reductions, so
+  // the results match the serial emit() path at every thread count.
+  std::atomic<std::int64_t> total{0};
+  std::atomic<std::int64_t> longest{0};
   fingerprint_ = fold_chunked(count, [&](std::int64_t i) {
     Wire w;
     fill(i, w);
+    const std::int64_t len = wire_polyline_length(w);
+    total.fetch_add(len, std::memory_order_relaxed);
+    std::int64_t cur = longest.load(std::memory_order_relaxed);
+    while (len > cur &&
+           !longest.compare_exchange_weak(cur, len, std::memory_order_relaxed)) {
+    }
     return wire_content_hash(w);
   });
   num_wires_ = count;
+  total_wire_length_ = total.load(std::memory_order_relaxed);
+  max_wire_length_ = longest.load(std::memory_order_relaxed);
   bulk_done_ = true;
 }
 

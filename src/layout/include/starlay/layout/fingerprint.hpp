@@ -71,12 +71,25 @@ class FingerprintingSink final : public WireSink {
   /// Node rectangles captured at begin() (builders emit them up front).
   const std::vector<Rect>& node_rects() const { return nodes_; }
 
+  /// Routed wirelengths of the emission, accumulated alongside the digest
+  /// (integer sums/maxes are order-independent, so both are deterministic
+  /// at every thread count).  Valid after end(); equal to the materialized
+  /// Layout's total_wire_length()/max_wire_length() by construction.
+  std::int64_t total_wire_length() const { return total_wire_length_; }
+  std::int64_t max_wire_length() const { return max_wire_length_; }
+
  private:
   std::vector<std::uint64_t> buffered_;  ///< emit() path; folded at end()
   std::vector<Rect> nodes_;
   std::uint64_t fingerprint_ = kFingerprintSeed;
   std::int64_t num_wires_ = 0;
+  std::int64_t total_wire_length_ = 0;
+  std::int64_t max_wire_length_ = 0;
   bool bulk_done_ = false;
 };
+
+/// Manhattan length of one wire's polyline (the quantity Layout::
+/// total_wire_length() sums); shared by the sink above and the tests.
+std::int64_t wire_polyline_length(const Wire& w);
 
 }  // namespace starlay::layout

@@ -33,4 +33,47 @@ Graph folded_hypercube(int d) {
   return g;
 }
 
+Graph enhanced_hypercube(int d, int k) {
+  STARLAY_REQUIRE(d >= 1 && d <= 24, "enhanced_hypercube: d must be in [1, 24]");
+  STARLAY_REQUIRE(k >= 1 && k <= d, "enhanced_hypercube: k must be in [1, d]");
+  const std::int32_t N = std::int32_t{1} << d;
+  // Complement mask of coordinates k .. d: bits k-1 .. d-1.
+  const std::int32_t mask = (N - 1) & ~((std::int32_t{1} << (k - 1)) - 1);
+  Graph g(N);
+  for (std::int32_t v = 0; v < N; ++v) {
+    for (int b = 0; b < d; ++b) {
+      const std::int32_t w = v ^ (std::int32_t{1} << b);
+      if (v < w) g.add_edge(v, w, b);
+    }
+    const std::int32_t c = v ^ mask;
+    if (v < c) g.add_edge(v, c, kEnhancedComplementLabel);
+  }
+  g.finalize();
+  return g;
+}
+
+Graph threeary_cube(int n) {
+  STARLAY_REQUIRE(n >= 1 && n <= 15, "threeary_cube: n must be in [1, 15]");
+  std::int64_t size = 1;
+  for (int i = 0; i < n; ++i) size *= 3;
+  const std::int32_t N = static_cast<std::int32_t>(size);
+  Graph g(N);
+  // Each directed digit increment (mod 3) names one undirected line edge
+  // exactly once: the 3-cycle {x, x+1, x+2} is produced by the increments
+  // at x, x+1, and x+2.
+  for (std::int32_t v = 0; v < N; ++v) {
+    std::int32_t weight = 1;  // 3^dim
+    std::int32_t rest = v;
+    for (int dim = 0; dim < n; ++dim) {
+      const std::int32_t digit = rest % 3;
+      const std::int32_t w = v + (digit == 2 ? -2 * weight : weight);
+      g.add_edge(std::min(v, w), std::max(v, w), dim);
+      weight *= 3;
+      rest /= 3;
+    }
+  }
+  g.finalize();
+  return g;
+}
+
 }  // namespace starlay::topology

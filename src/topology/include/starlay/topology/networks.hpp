@@ -5,8 +5,11 @@
 /// Edge labels:
 ///  * star / pancake / bubble-sort / transposition graphs: the generator
 ///    dimension (star: i in [2, n] swaps positions 1 and i);
-///  * hypercube / folded hypercube: the flipped bit index, and
-///    kFoldedComplementLabel for the complement (folded) links;
+///  * hypercube / folded hypercube / enhanced hypercube: the flipped bit
+///    index, kFoldedComplementLabel for the complement (folded) links, and
+///    kEnhancedComplementLabel for the partial-complement (enhanced) links;
+///  * 3-ary n-cube: the dimension whose digit changes (both the two
+///    adjacent links and the wrap link of a dimension line share it);
 ///  * complete graph: the copy index in [0, multiplicity);
 ///  * HCN / HFN: kIntraClusterBase + bit for intra-cluster hypercube links,
 ///    kInterClusterLabel for inter-cluster links, kDiameterLabel for the
@@ -19,6 +22,7 @@
 namespace starlay::topology {
 
 inline constexpr std::int32_t kFoldedComplementLabel = 1000;
+inline constexpr std::int32_t kEnhancedComplementLabel = 1500;
 inline constexpr std::int32_t kIntraClusterBase = 0;
 inline constexpr std::int32_t kInterClusterLabel = 2000;
 inline constexpr std::int32_t kDiameterLabel = 3000;
@@ -42,6 +46,16 @@ Graph hypercube(int d);
 
 /// d-dimensional folded hypercube FQ_d: Q_d plus complement edges.
 Graph folded_hypercube(int d);
+
+/// Enhanced hypercube Q(d, k) (Tzeng & Wei): Q_d plus one extra link per
+/// vertex complementing bits k-1 .. d-1 (1-indexed coordinates k .. d).
+/// Q(d, 1) is the folded hypercube; Q(d, d) duplicates dimension d-1.
+Graph enhanced_hypercube(int d, int k);
+
+/// 3-ary n-cube Q(3, n): 3^n vertices (base-3 digit strings), each
+/// dimension a 3-cycle over the digit — per dimension line, the two
+/// adjacent links plus the wrap link, so degree 2n and n * 3^n edges.
+Graph threeary_cube(int n);
 
 /// Complete graph K_m with \p multiplicity parallel edges per vertex pair.
 Graph complete_graph(int m, int multiplicity = 1);

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "starlay/core/build_request.hpp"
 #include "starlay/core/build_status.hpp"
 #include "starlay/core/builder.hpp"
 #include "starlay/core/params_cli.hpp"
@@ -202,6 +203,62 @@ TEST(BuilderApi, EveryAdvertisedParamFieldIsRead) {
       }
     }
   }
+}
+
+// Focused negative-path coverage for the wirelength-bearing families added
+// alongside the exact host-embedding BoundSpecs.  The generic sweeps above
+// already include them (they iterate all_builders()); these pin the exact
+// diagnostics a driver relays.
+TEST(BuilderApi, NewFamiliesRejectBadInputsStructurally) {
+  const struct {
+    const char* family;
+    int lo, hi;
+  } families[] = {{"3ary-cube", 1, 10}, {"enhanced-hypercube", 2, 16}};
+  for (const auto& f : families) {
+    const core::LayoutBuilder* b = core::find_builder(f.family);
+    ASSERT_NE(b, nullptr) << f.family;
+    EXPECT_EQ(b->n_range(), std::make_pair(f.lo, f.hi)) << f.family;
+    EXPECT_EQ(b->params_used(), 0u) << f.family;  // n only
+    EXPECT_FALSE(b->supports_passes()) << f.family;
+
+    // Out-of-range n, both sides.
+    for (int n : {f.lo - 1, f.hi + 1}) {
+      core::BuildParams params;
+      params.n = n;
+      auto out = b->try_build(params);
+      ASSERT_FALSE(out.ok()) << f.family << " n=" << n;
+      EXPECT_EQ(out.error().code, BuildErrorCode::kSizeOutOfRange) << f.family;
+    }
+
+    // A param the family does not read.
+    core::BuildParams stray;
+    stray.n = f.lo + 1;
+    stray.base_size = 4;
+    const core::BuildStatus st = stray.validate(*b);
+    ASSERT_FALSE(st.ok()) << f.family;
+    EXPECT_EQ(st.error().code, BuildErrorCode::kUnknownParam) << f.family;
+    EXPECT_EQ(st.error().message, "--base-size (base_size) does not apply to family '" +
+                                      std::string(f.family) + "'");
+
+    // --passes gating: neither family threads optimization passes.
+    core::BuildRequest request;
+    request.family = f.family;
+    request.params.n = f.lo + 1;
+    request.passes = core::PassList{/*refine=*/false, /*compact=*/true};
+    layout::FingerprintingSink sink;
+    auto streamed = b->try_build_stream(request, sink);
+    ASSERT_FALSE(streamed.ok()) << f.family;
+    EXPECT_EQ(streamed.error().code, BuildErrorCode::kUnknownParam) << f.family;
+    EXPECT_NE(streamed.error().message.find("--passes"), std::string::npos) << f.family;
+  }
+
+  // Name normalization reaches the new families too.
+  auto threeary = core::try_find_builder(" 3ARY_CUBE ");
+  ASSERT_TRUE(threeary.ok());
+  EXPECT_EQ(threeary.value()->name(), "3ary-cube");
+  auto enhanced = core::try_find_builder("Enhanced_Hypercube");
+  ASSERT_TRUE(enhanced.ok());
+  EXPECT_EQ(enhanced.value()->name(), "enhanced-hypercube");
 }
 
 TEST(BuilderApi, NondefaultFieldsBits) {

@@ -1,0 +1,256 @@
+// Wirelength as a first-class certified quantity: hand-pinned goldens for
+// the smallest builds, brute-force recomputation of every derived total
+// (ValidationReport, FingerprintingSink, Layout reductions), and the exact
+// host-embedding closed forms of formulas.hpp cross-checked against a
+// direct sum over the subject edges of the actual placements.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "starlay/core/builder.hpp"
+#include "starlay/core/formulas.hpp"
+#include "starlay/core/hypercube_layout.hpp"
+#include "starlay/core/kary_layout.hpp"
+#include "starlay/layout/fingerprint.hpp"
+#include "starlay/layout/validate.hpp"
+#include "starlay/topology/networks.hpp"
+
+namespace starlay {
+namespace {
+
+using core::BuildParams;
+using core::BuildResult;
+using core::LayoutBuilder;
+using layout::Layout;
+using layout::WireRef;
+
+std::int64_t brute_polyline_length(const WireRef& w) {
+  std::int64_t len = 0;
+  for (int i = 1; i < w.npts(); ++i)
+    len += std::abs(static_cast<std::int64_t>(w.pt(i).x) - w.pt(i - 1).x) +
+           std::abs(static_cast<std::int64_t>(w.pt(i).y) - w.pt(i - 1).y);
+  return len;
+}
+
+BuildResult build_family(const char* family, int n) {
+  const LayoutBuilder* b = core::find_builder(family);
+  EXPECT_NE(b, nullptr) << family;
+  BuildParams p;
+  p.n = n;
+  return b->build(p);
+}
+
+// --- hand-pinned goldens ----------------------------------------------------
+
+struct Golden {
+  const char* family;
+  int n;
+  std::int64_t total;
+  std::int64_t max;
+};
+
+TEST(Wirelength, GoldenTotalsForSmallestBuilds) {
+  // Pinned from the deterministic constructions; star n=2 and hypercube
+  // d=1 are checkable by eye (one edge between adjacent unit nodes routes
+  // with one jog: length 3).
+  const Golden goldens[] = {
+      {"star", 2, 3, 3},         {"star", 3, 42, 14},      {"star", 4, 454, 23},
+      {"hypercube", 1, 3, 3},    {"hypercube", 2, 20, 5},  {"hypercube", 3, 96, 11},
+      {"3ary-cube", 1, 15, 7},   {"3ary-cube", 2, 186, 15},
+  };
+  for (const Golden& g : goldens) {
+    const BuildResult built = build_family(g.family, g.n);
+    const Layout& lay = built.routed.layout;
+    EXPECT_EQ(lay.total_wire_length(), g.total) << g.family << " n=" << g.n;
+    EXPECT_EQ(lay.max_wire_length(), g.max) << g.family << " n=" << g.n;
+  }
+}
+
+// --- every derived total agrees with a brute-force sum ----------------------
+
+TEST(Wirelength, DerivedTotalsMatchBruteForceSegmentSum) {
+  const struct {
+    const char* family;
+    int n;
+  } cases[] = {{"star", 4},           {"hypercube", 3},          {"folded-hypercube", 3},
+               {"enhanced-hypercube", 3}, {"3ary-cube", 2},      {"hcn", 2}};
+  for (const auto& c : cases) {
+    const BuildResult built = build_family(c.family, c.n);
+    const Layout& lay = built.routed.layout;
+    std::int64_t total = 0;
+    std::int64_t longest = 0;
+    for (const WireRef w : lay.wires()) {
+      const std::int64_t len = brute_polyline_length(w);
+      total += len;
+      longest = std::max(longest, len);
+    }
+    EXPECT_EQ(lay.total_wire_length(), total) << c.family;
+    EXPECT_EQ(lay.max_wire_length(), longest) << c.family;
+
+    const layout::ValidationReport vr = layout::validate_layout(built.graph, lay);
+    EXPECT_TRUE(vr.ok) << c.family;
+    EXPECT_EQ(vr.total_wire_length, total) << c.family;
+    EXPECT_EQ(vr.max_wire_length, longest) << c.family;
+  }
+}
+
+TEST(Wirelength, FingerprintingSinkAgreesWithMaterialized) {
+  const struct {
+    const char* family;
+    int n;
+  } cases[] = {{"star", 4}, {"3ary-cube", 3}, {"enhanced-hypercube", 4}};
+  for (const auto& c : cases) {
+    const LayoutBuilder* b = core::find_builder(c.family);
+    ASSERT_NE(b, nullptr);
+    BuildParams p;
+    p.n = c.n;
+    const BuildResult built = b->build(p);
+    layout::FingerprintingSink sink;
+    ASSERT_TRUE(b->try_build_stream(p, sink).ok());
+    EXPECT_EQ(sink.total_wire_length(), built.routed.layout.total_wire_length()) << c.family;
+    EXPECT_EQ(sink.max_wire_length(), built.routed.layout.max_wire_length()) << c.family;
+  }
+}
+
+TEST(Wirelength, WirePolylineLengthCountsJogs) {
+  layout::Wire w;
+  w.push({0, 0});
+  w.push({4, 0});
+  w.push({4, 3});
+  w.push({2, 3});
+  EXPECT_EQ(layout::wire_polyline_length(w), 4 + 3 + 2);
+}
+
+// --- exact host-embedding closed forms vs direct edge sums ------------------
+
+// Lattice coordinates of vertex v under a placement: slot = r * cols + c.
+struct Lattice {
+  std::int64_t r, c;
+};
+Lattice lattice_of(const layout::Placement& p, std::int32_t v) {
+  const std::int64_t slot = p.slot[static_cast<std::size_t>(v)];
+  return {slot / p.cols, slot % p.cols};
+}
+
+std::int64_t tree3_distance(std::int32_t u, std::int32_t v) {
+  std::int64_t steps = 0;
+  while (u != v) {
+    u /= 3;
+    v /= 3;
+    ++steps;
+  }
+  return 2 * steps;
+}
+
+TEST(Wirelength, HypercubeGridFormulaMatchesEdgeSum) {
+  for (int d = 1; d <= 10; ++d) {
+    const topology::Graph g = topology::hypercube(d);
+    const layout::Placement p = core::hypercube_placement(d);
+    std::int64_t sum = 0;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      const Lattice a = lattice_of(p, g.edge(e).u);
+      const Lattice b = lattice_of(p, g.edge(e).v);
+      sum += std::abs(a.r - b.r) + std::abs(a.c - b.c);
+    }
+    EXPECT_EQ(core::hypercube_grid_wirelength(d), sum) << "d=" << d;
+  }
+  EXPECT_EQ(core::hypercube_grid_wirelength(1), 1);
+  EXPECT_EQ(core::hypercube_grid_wirelength(2), 4);
+  EXPECT_EQ(core::hypercube_grid_wirelength(3), 16);
+}
+
+TEST(Wirelength, FoldedHypercubeGridFormulaMatchesEdgeSum) {
+  for (int d = 1; d <= 10; ++d) {
+    const topology::Graph g = topology::folded_hypercube(d);
+    const layout::Placement p = core::hypercube_placement(d);
+    std::int64_t sum = 0;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      const Lattice a = lattice_of(p, g.edge(e).u);
+      const Lattice b = lattice_of(p, g.edge(e).v);
+      sum += std::abs(a.r - b.r) + std::abs(a.c - b.c);
+    }
+    EXPECT_EQ(core::folded_hypercube_grid_wirelength(d), sum) << "d=" << d;
+  }
+}
+
+TEST(Wirelength, EnhancedHypercubeGridFormulaMatchesEdgeSum) {
+  for (int d = 2; d <= 10; ++d) {
+    const topology::Graph g = topology::enhanced_hypercube(d, 2);
+    const layout::Placement p = core::hypercube_placement(d);
+    std::int64_t sum = 0;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      const Lattice a = lattice_of(p, g.edge(e).u);
+      const Lattice b = lattice_of(p, g.edge(e).v);
+      sum += std::abs(a.r - b.r) + std::abs(a.c - b.c);
+    }
+    EXPECT_EQ(core::enhanced_hypercube_grid_wirelength(d), sum) << "d=" << d;
+  }
+  // Hand-checked: the Q(d,2) partial-complement edges add host wirelength
+  // 2 (d=2), 8 (d=3), 32 (d=4) on top of the plain cube's grid total.
+  EXPECT_EQ(core::enhanced_hypercube_grid_wirelength(2) - core::hypercube_grid_wirelength(2),
+            2);
+  EXPECT_EQ(core::enhanced_hypercube_grid_wirelength(3) - core::hypercube_grid_wirelength(3),
+            8);
+  EXPECT_EQ(core::enhanced_hypercube_grid_wirelength(4) - core::hypercube_grid_wirelength(4),
+            32);
+}
+
+TEST(Wirelength, ThreeAryHostFormulasMatchEdgeSums) {
+  for (int n = 1; n <= 6; ++n) {
+    const topology::Graph g = topology::threeary_cube(n);
+    const layout::Placement p = core::threeary_cube_placement(n);
+    const std::int64_t rows = p.rows;  // rows <= cols, so the cylinder wraps y
+    std::int64_t grid = 0;
+    std::int64_t cylinder = 0;
+    std::int64_t tree = 0;
+    for (std::int64_t e = 0; e < g.num_edges(); ++e) {
+      const Lattice a = lattice_of(p, g.edge(e).u);
+      const Lattice b = lattice_of(p, g.edge(e).v);
+      const std::int64_t dr = std::abs(a.r - b.r);
+      const std::int64_t dc = std::abs(a.c - b.c);
+      grid += dr + dc;
+      cylinder += dc + std::min(dr, rows - dr);
+      tree += tree3_distance(g.edge(e).u, g.edge(e).v);
+    }
+    EXPECT_EQ(core::threeary_grid_wirelength(n), grid) << "n=" << n;
+    EXPECT_EQ(core::threeary_cylinder_wirelength(n), cylinder) << "n=" << n;
+    EXPECT_EQ(core::threeary_tree_wirelength(n), tree) << "n=" << n;
+  }
+  // Hand-checked smallest cases: one 3-cycle on a 1x3 grid (1+1+2 = 4,
+  // tree host 3 * 2 = 6); n=2 wraps one axis of length 3, saving one unit
+  // on each of the three wrap-around row edges.
+  EXPECT_EQ(core::threeary_grid_wirelength(1), 4);
+  EXPECT_EQ(core::threeary_cylinder_wirelength(1), 4);
+  EXPECT_EQ(core::threeary_tree_wirelength(1), 6);
+  EXPECT_EQ(core::threeary_grid_wirelength(2), 24);
+  EXPECT_EQ(core::threeary_cylinder_wirelength(2), 21);
+  EXPECT_EQ(core::threeary_tree_wirelength(2), 54);
+}
+
+// --- the registered BoundSpec claims point at the right formulas ------------
+
+TEST(Wirelength, RegisteredWlClaimsMatchFormulas) {
+  const core::LayoutBuilder* threeary = core::find_builder("3ary-cube");
+  ASSERT_NE(threeary, nullptr);
+  const core::BoundSpec* spec = threeary->bound_spec();
+  ASSERT_NE(spec, nullptr);
+  ASSERT_TRUE(spec->wl_grid_exact && spec->wl_cylinder_exact && spec->wl_tree_exact);
+  BuildParams p;
+  p.n = 3;
+  EXPECT_EQ(spec->wl_grid_exact(p), core::threeary_grid_wirelength(3));
+  EXPECT_EQ(spec->wl_cylinder_exact(p), core::threeary_cylinder_wirelength(3));
+  EXPECT_EQ(spec->wl_tree_exact(p), core::threeary_tree_wirelength(3));
+
+  for (const char* family : {"hypercube", "folded-hypercube", "enhanced-hypercube"}) {
+    const core::LayoutBuilder* b = core::find_builder(family);
+    ASSERT_NE(b, nullptr) << family;
+    ASSERT_NE(b->bound_spec(), nullptr) << family;
+    EXPECT_TRUE(static_cast<bool>(b->bound_spec()->wl_grid_exact)) << family;
+  }
+}
+
+}  // namespace
+}  // namespace starlay

@@ -41,7 +41,19 @@ compact away, so they only need area <= unoptimized).  The committed
 baseline's area_over_claim_compacted also must not drift up: layouts are
 deterministic, so any growth is a real optimization regression, not noise.
 
-A fifth mode gates the layout service's cache payoff:
+A fifth mode gates certified wirelength against drift:
+
+    bench_regression.py --wirelength <bench_wirelength-binary> [baseline-json]
+
+runs the bench_wirelength table once (the sweep is fully deterministic:
+construction is thread-invariant and pinned by the metamorphic relations)
+and compares every per-(family, n) row against the committed
+BENCH_wirelength.json with *exact* equality on wire_length,
+max_wire_length, area, wires, N, and wl_grid_host.  Any difference is a
+construction change, not noise — the new totals must be re-committed
+alongside the code that moved them.
+
+A sixth mode gates the layout service's cache payoff:
 
     bench_regression.py --serve-p99 <starlay_load-binary> <starlayd-binary>
 
@@ -56,6 +68,7 @@ Usage: bench_regression.py [--phase construct|validate] <bench-binary> [baseline
        bench_regression.py --telemetry-overhead <bench-binary>
        bench_regression.py --shard-rss <bench_shard_certify-binary>
        bench_regression.py --area-improvement <bench-binary> [baseline-json]
+       bench_regression.py --wirelength <bench_wirelength-binary> [baseline-json]
        bench_regression.py --serve-p99 <starlay_load-binary> <starlayd-binary>
 Environment: STARLAY_THREADS is forced to the baseline's thread count so
 timings are compared like for like.
@@ -66,8 +79,8 @@ validate_ms, so a regression report names the phase that moved in the test
 name itself.  Without --phase both are gated (the manual invocation).
 
 Wired into CTest as `bench_star_regression`, `bench_validate_regression`,
-`bench_telemetry_overhead`, `bench_shard_rss`, and `bench_serve_latency`
-with LABEL perf:
+`bench_telemetry_overhead`, `bench_shard_rss`, `bench_wirelength_drift`,
+and `bench_serve_latency` with LABEL perf:
     ctest -L perf
 """
 
@@ -248,6 +261,68 @@ def area_improvement(binary, baseline_path):
     return 0
 
 
+# Certified-quantity columns the wirelength gate pins exactly.  Everything
+# here is an integer produced by a deterministic construction, so equality
+# is the right comparison — a tolerance would only mask real changes.
+WL_EXACT_FIELDS = ("N", "wires", "area", "wire_length", "max_wire_length",
+                   "wl_grid_host")
+
+
+def wirelength_drift(binary, baseline_path):
+    """Re-runs bench_wirelength; gates every row against exact equality."""
+    env = dict(os.environ)
+    env["STARLAY_BENCH_TELEMETRY"] = "0"
+    # One run: the sweep is fully deterministic (thread-invariant
+    # construction, pinned by the metamorphic relations), so best-of
+    # repetition buys nothing and equality needs no noise floor.
+    subprocess.run(
+        [binary, "--benchmark_filter=NONE"],
+        cwd=os.path.dirname(binary) or ".",
+        env=env,
+        check=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    out = os.path.join(os.path.dirname(binary) or ".", "BENCH_wirelength.json")
+    with open(out, encoding="utf-8") as f:
+        rows = {(row["family"], row["n"]): row for row in json.load(f)}
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = {(row["family"], row["n"]): row for row in json.load(f)}
+    if not baseline:
+        print(f"no baseline rows in {baseline_path}")
+        return 2
+
+    failures = []
+    for key in sorted(baseline):
+        family, n = key
+        ref = baseline[key]
+        row = rows.get(key)
+        if row is None:
+            failures.append(f"{family} n={n}: row missing from fresh run")
+            print(f"{family:>20} n={n}: MISSING")
+            continue
+        drifted = [f"{field} {row[field]} != baseline {ref[field]}"
+                   for field in WL_EXACT_FIELDS if row[field] != ref[field]]
+        verdict = "ok" if not drifted else "DRIFTED"
+        if drifted:
+            failures.append(f"{family} n={n}: " + ", ".join(drifted))
+        print(f"{family:>20} n={n}: wl {row['wire_length']:>12} "
+              f"max {row['max_wire_length']:>6}  [{verdict}]")
+    for key in sorted(set(rows) - set(baseline)):
+        family, n = key
+        failures.append(
+            f"{family} n={n}: new row not in baseline (re-commit "
+            f"BENCH_wirelength.json alongside the bench change)")
+        print(f"{family:>20} n={n}: NOT IN BASELINE")
+
+    if failures:
+        print("\nFAIL: " + "; ".join(failures))
+        return 1
+    print(f"\nPASS: all {len(baseline)} (family, n) rows match the committed "
+          "baseline exactly on " + ", ".join(WL_EXACT_FIELDS))
+    return 0
+
+
 def serve_p99(load_binary, daemon_binary):
     """Drives starlayd via starlay_load; gates hit rate and hit-p99 payoff."""
     best = None
@@ -326,6 +401,17 @@ def main():
             print(__doc__)
             return 2
         return serve_p99(os.path.abspath(args[1]), os.path.abspath(args[2]))
+    if args[0] == "--wirelength":
+        if len(args) < 2:
+            print(__doc__)
+            return 2
+        baseline_path = (
+            args[2]
+            if len(args) > 2
+            else os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                              "BENCH_wirelength.json")
+        )
+        return wirelength_drift(os.path.abspath(args[1]), baseline_path)
     if args[0] == "--area-improvement":
         if len(args) < 2:
             print(__doc__)

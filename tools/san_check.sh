@@ -31,7 +31,7 @@ fi
 
 TARGETS=(parallel_determinism_test permutation_test stream_pipeline_test
          pass_pipeline_test shard_engine_test telemetry_test builder_api_test
-         kernels_test validate_test serve_test starcheck)
+         wirelength_test kernels_test validate_test serve_test starcheck)
 
 for SAN in "${SANITIZERS[@]}"; do
   case "$SAN" in
@@ -57,6 +57,10 @@ for SAN in "${SANITIZERS[@]}"; do
   "$BUILD"/tests/permutation_test --gtest_filter='*Enumerator*'
   "$BUILD"/tests/telemetry_test
   "$BUILD"/tests/builder_api_test
+  # Wirelength: FingerprintingSink's bulk path reduces total/max via relaxed
+  # atomics inside fold_chunked — the exact pattern a thread sweep must see;
+  # the brute-force segment sums also walk every wire's point array.
+  "$BUILD"/tests/wirelength_test
   # Pass pipeline: the refine guard's double-route and compaction's
   # snapshot/restore cycles run the router's parallel stages twice per
   # build — prime territory for both sweeps.
